@@ -1,0 +1,99 @@
+// Command djinn-service runs the DjiNN DNN-as-a-service server: it
+// loads the requested Tonic Suite models into memory (shared read-only
+// across workers, as in the paper) and serves the framed TCP protocol.
+//
+// Usage:
+//
+//	djinn-service [-addr :7420] [-apps DIG,POS,NER | -apps all] [-stats 10s]
+//
+// Loading all seven models allocates ~850 MB of weights (Table 1);
+// start with the smaller models when experimenting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"djinn"
+)
+
+func main() {
+	addr := flag.String("addr", ":7420", "listen address")
+	apps := flag.String("apps", "DIG,POS,CHK,NER", `comma-separated apps (IMC,DIG,FACE,ASR,POS,CHK,NER) or "all"`)
+	custom := flag.String("custom", "", "custom model: name=def.netdef[:weights.djnm]")
+	stats := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 disables)")
+	flag.Parse()
+
+	srv := djinn.NewServer()
+	if *custom != "" {
+		if err := registerCustom(srv, *custom); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var selected []djinn.App
+	if strings.EqualFold(*apps, "all") {
+		selected = djinn.Apps
+	} else {
+		for _, name := range strings.Split(*apps, ",") {
+			app, err := djinn.ParseApp(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, app)
+		}
+	}
+	for _, app := range selected {
+		log.Printf("loading %s model...", app)
+		if err := djinn.RegisterApp(srv, app); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *stats > 0 {
+		go func() {
+			for range time.Tick(*stats) {
+				for _, app := range selected {
+					if s, ok := srv.StatsFor(djinn.ServiceName(app)); ok && s.Queries > 0 {
+						log.Printf("%s: %d queries, %d batches, avg batch %.1f instances",
+							app, s.Queries, s.Batches, s.AvgBatch())
+					}
+				}
+			}
+		}()
+	}
+	log.Printf("DjiNN serving %v on %s", srv.Apps(), *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// registerCustom parses "name=def.netdef[:weights.djnm]" and loads the
+// model.
+func registerCustom(srv *djinn.Server, spec string) error {
+	name, paths, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("-custom wants name=def.netdef[:weights.djnm], got %q", spec)
+	}
+	defPath, weightPath, _ := strings.Cut(paths, ":")
+	defFile, err := os.Open(defPath)
+	if err != nil {
+		return err
+	}
+	defer defFile.Close()
+	var weights io.Reader
+	if weightPath != "" {
+		wf, err := os.Open(weightPath)
+		if err != nil {
+			return err
+		}
+		defer wf.Close()
+		weights = wf
+	}
+	log.Printf("loading custom model %q from %s...", name, defPath)
+	return djinn.RegisterFromDef(srv, name, defFile, weights, djinn.AppConfig{})
+}

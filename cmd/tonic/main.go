@@ -1,0 +1,161 @@
+// Command tonic runs Tonic Suite applications end-to-end against a
+// DjiNN server (start one with djinn-service).
+//
+// Usage:
+//
+//	tonic [-addr host:7420] pos  [sentence...]
+//	tonic [-addr ...]       chk  [sentence...]
+//	tonic [-addr ...]       ner  [sentence...]
+//	tonic [-addr ...]       dig  [-n 10]
+//	tonic [-addr ...]       imc
+//	tonic [-addr ...]       face
+//	tonic [-addr ...]       asr  [-seconds 1.0]
+//	tonic [-addr ...]       bench -app POS [-workers 4] [-dur 5s]
+//
+// Image and audio inputs are synthesised deterministically when not
+// supplied (the models carry synthetic weights, so predictions
+// demonstrate the pipeline rather than trained accuracy).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"djinn"
+	"djinn/internal/tensor"
+	"djinn/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7420", "DjiNN server address")
+	seed := flag.Uint64("seed", 42, "seed for synthetic inputs")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tonic [-addr host:port] <pos|chk|ner|dig|imc|face|asr|stats|bench> [args]")
+		os.Exit(2)
+	}
+	client, err := djinn.Dial(*addr)
+	if err != nil {
+		log.Fatalf("connecting to DjiNN at %s: %v (start cmd/djinn-service first)", *addr, err)
+	}
+	defer client.Close()
+
+	rng := tensor.NewRNG(*seed)
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "pos", "chk", "ner":
+		sentence := strings.Join(args, " ")
+		if sentence == "" {
+			sentence = workload.Sentence(rng, workload.SentenceWords)
+			fmt.Printf("input: %s\n", sentence)
+		}
+		var tagged []djinn.TaggedWord
+		var err error
+		switch cmd {
+		case "pos":
+			tagged, err = djinn.NewPOS(client).Tag(sentence)
+		case "chk":
+			tagged, err = djinn.NewCHK(client).Chunk(sentence)
+		case "ner":
+			tagged, err = djinn.NewNER(client).Recognize(sentence)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tw := range tagged {
+			fmt.Printf("%s ", tw)
+		}
+		fmt.Println()
+	case "dig":
+		fs := flag.NewFlagSet("dig", flag.ExitOnError)
+		n := fs.Int("n", 10, "number of digits")
+		fs.Parse(args)
+		imgs, labels := workload.Digits(rng, *n)
+		preds, err := djinn.NewDIG(client).Recognize(imgs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, p := range preds {
+			fmt.Printf("digit %2d: generated %d → predicted %s\n", i, labels[i], p)
+		}
+	case "imc":
+		app := djinn.NewIMC(client)
+		if len(args) > 0 {
+			// Classify a user-supplied PNG file.
+			f, err := os.Open(args[0])
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			pred, err := app.ClassifyPNG(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("image classification (%s): %s\n", args[0], pred)
+			break
+		}
+		img := workload.Image(rng, 480, 360)
+		top, err := app.ClassifyTopK(img, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("image classification (synthetic image), top 5:")
+		for i, p := range top {
+			fmt.Printf("  %d. %s\n", i+1, p)
+		}
+	case "face":
+		img := workload.Image(rng, 360, 360)
+		pred, err := djinn.NewFACE(client).Identify(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("face identification: %s\n", pred)
+	case "asr":
+		fs := flag.NewFlagSet("asr", flag.ExitOnError)
+		secs := fs.Float64("seconds", 1.0, "utterance length")
+		fs.Parse(args)
+		signal := workload.Utterance(rng, *secs)
+		t0 := time.Now()
+		tr, err := djinn.NewASR(client).Transcribe(signal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("decoded %d frames in %v\n", tr.Frames, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("phones: %s\n", strings.Join(tr.Phones, " "))
+		fmt.Printf("text:   %s\n", tr.Text)
+	case "stats":
+		apps, err := client.Apps()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, app := range apps {
+			stats, err := client.ServerStats(app)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %s\n", app, stats)
+		}
+	case "bench":
+		fs := flag.NewFlagSet("bench", flag.ExitOnError)
+		appName := fs.String("app", "POS", "application to drive")
+		workers := fs.Int("workers", 4, "closed-loop workers")
+		dur := fs.Duration("dur", 5*time.Second, "duration")
+		fs.Parse(args)
+		app, err := djinn.ParseApp(*appName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := workload.DriveClosedLoop(client, app, djinn.ServiceName(app), *workers, *dur)
+		fmt.Printf("%s: %.1f QPS over %v (%s)\n", app, res.QPS, *dur, res.Latency)
+		if res.Errors > 0 {
+			fmt.Printf("errors: %d\n", res.Errors)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
+		os.Exit(2)
+	}
+}

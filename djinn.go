@@ -1,0 +1,143 @@
+// Package djinn is the public API of this reproduction of "DjiNN and
+// Tonic: DNN as a Service and Its Implications for Future Warehouse
+// Scale Computers" (ISCA 2015).
+//
+// It exposes three layers:
+//
+//   - The DjiNN service: a TCP DNN-inference server hosting the seven
+//     Tonic Suite models with cross-request batching and shared
+//     read-only weights (NewServer, Dial).
+//
+//   - The Tonic Suite applications: end-to-end image classification,
+//     digit recognition, facial recognition, speech recognition and
+//     NLP tagging pipelines over a DjiNN backend (NewIMC … NewNER).
+//
+//   - The evaluation platform: calibrated CPU/GPU/WSC performance
+//     models that regenerate every table and figure of the paper
+//     (NewPlatform, the Fig*/Table* methods).
+//
+// See README.md for a quickstart and DESIGN.md for the system map.
+package djinn
+
+import (
+	"io"
+
+	"djinn/internal/experiments"
+	"djinn/internal/models"
+	"djinn/internal/nn"
+	"djinn/internal/service"
+	"djinn/internal/tonic"
+)
+
+// App identifies one of the seven Tonic Suite applications.
+type App = models.App
+
+// The Tonic Suite applications, in Table 1 order.
+const (
+	IMC  = models.IMC
+	DIG  = models.DIG
+	FACE = models.FACE
+	ASR  = models.ASR
+	POS  = models.POS
+	CHK  = models.CHK
+	NER  = models.NER
+)
+
+// Apps lists every application.
+var Apps = models.Apps
+
+// ParseApp converts "IMC", "ASR", ... to an App.
+func ParseApp(s string) (App, error) { return models.ParseApp(s) }
+
+// Server is the DjiNN service (model registry + TCP front end +
+// batching worker pools).
+type Server = service.Server
+
+// AppConfig tunes one registered application's batching and workers.
+type AppConfig = service.AppConfig
+
+// Client is a TCP client for a remote DjiNN server.
+type Client = service.Client
+
+// Backend is anything that answers DjiNN inference queries: a *Client
+// (remote) or a *Server (in-process).
+type Backend = service.Backend
+
+// NewServer creates an empty DjiNN server; register applications with
+// RegisterApp or RegisterAll before serving.
+func NewServer() *Server { return service.NewServer() }
+
+// Dial connects to a DjiNN server.
+func Dial(addr string) (*Client, error) { return service.Dial(addr) }
+
+// RegisterApp loads one application's model into a server with the
+// paper's Table 3 batching configuration.
+func RegisterApp(s *Server, app App) error { return tonic.Register(s, app) }
+
+// RegisterAll loads all seven Tonic models (~850 MB of weights).
+func RegisterAll(s *Server) error { return tonic.RegisterAll(s) }
+
+// ServiceName returns the registry name an application uses on the
+// wire ("imc", "dig", ...).
+func ServiceName(app App) string { return tonic.ServiceName(app) }
+
+// RegisterFromDef loads a custom application from a network-definition
+// file (see internal/nn's netdef format) and optional trained weights,
+// registering it under name — the paper's extensibility story:
+// "supporting more applications simply requires providing DjiNN a
+// pretrained neural network model".
+func RegisterFromDef(s *Server, name string, def io.Reader, weights io.Reader, cfg AppConfig) error {
+	net, err := nn.ParseNetDef(def, 1)
+	if err != nil {
+		return err
+	}
+	if weights != nil {
+		if err := net.LoadWeights(weights); err != nil {
+			return err
+		}
+	}
+	return s.Register(name, net, cfg)
+}
+
+// Tonic Suite applications. Each wraps a Backend with the app's real
+// pre/post-processing.
+type (
+	// ImageClassifier is IMC: AlexNet over 1000 classes.
+	ImageClassifier = tonic.IMC
+	// DigitRecognizer is DIG: 100-image MNIST queries.
+	DigitRecognizer = tonic.DIG
+	// FaceIdentifier is FACE: DeepFace over 83 identities.
+	FaceIdentifier = tonic.FACE
+	// SpeechRecognizer is ASR: feature extraction, Kaldi-style acoustic
+	// scoring, Viterbi decoding.
+	SpeechRecognizer = tonic.ASR
+	// POSTagger, Chunker and EntityRecognizer are the SENNA-based NLP
+	// applications.
+	POSTagger        = tonic.POS
+	Chunker          = tonic.CHK
+	EntityRecognizer = tonic.NER
+
+	// Prediction is a classification result.
+	Prediction = tonic.Prediction
+	// TaggedWord is one word with its predicted tag.
+	TaggedWord = tonic.TaggedWord
+	// Transcription is a decoded utterance.
+	Transcription = tonic.Transcription
+)
+
+// Application constructors.
+func NewIMC(b Backend) *ImageClassifier  { return tonic.NewIMC(b) }
+func NewDIG(b Backend) *DigitRecognizer  { return tonic.NewDIG(b) }
+func NewFACE(b Backend) *FaceIdentifier  { return tonic.NewFACE(b) }
+func NewASR(b Backend) *SpeechRecognizer { return tonic.NewASR(b) }
+func NewPOS(b Backend) *POSTagger        { return tonic.NewPOS(b) }
+func NewCHK(b Backend) *Chunker          { return tonic.NewCHK(b) }
+func NewNER(b Backend) *EntityRecognizer { return tonic.NewNER(b) }
+
+// Platform is the paper's evaluation platform (Table 2): the Xeon core
+// baseline, the K40 GPU model and the host interconnect. Its Fig* and
+// Render* methods regenerate the paper's evaluation.
+type Platform = experiments.Platform
+
+// NewPlatform returns the calibrated Table 2 platform.
+func NewPlatform() Platform { return experiments.DefaultPlatform() }

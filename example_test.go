@@ -1,0 +1,81 @@
+package djinn_test
+
+import (
+	"fmt"
+	"strings"
+
+	"djinn"
+	"djinn/internal/tensor"
+	"djinn/internal/workload"
+)
+
+// The smallest end-to-end use: an in-process DjiNN server with the
+// digit-recognition model, queried through the Tonic application.
+func Example() {
+	srv := djinn.NewServer()
+	if err := djinn.RegisterApp(srv, djinn.DIG); err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	dig := djinn.NewDIG(srv)
+	images, _ := workload.Digits(tensor.NewRNG(1), 3)
+	preds, err := dig.Recognize(images)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(preds), "digits classified")
+	// Output: 3 digits classified
+}
+
+// Registering a custom application from a network-definition file —
+// no code changes to the service.
+func ExampleRegisterFromDef() {
+	def := `
+name: "toy"
+type: DNN
+input: 16
+layer l1   fc      { out: 8 }
+layer act  relu    { }
+layer l2   fc      { out: 2 }
+layer prob softmax { }
+`
+	srv := djinn.NewServer()
+	defer srv.Close()
+	if err := djinn.RegisterFromDef(srv, "toy", strings.NewReader(def), nil, djinn.AppConfig{}); err != nil {
+		panic(err)
+	}
+	out, err := srv.Infer("toy", make([]float32, 16))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d classes, total probability %.0f\n", len(out), out[0]+out[1])
+	// Output: 2 classes, total probability 1
+}
+
+// The evaluation platform regenerates the paper's figures as data.
+func ExampleNewPlatform() {
+	p := djinn.NewPlatform()
+	for _, row := range p.Fig5() {
+		if row.App == djinn.ASR {
+			fmt.Printf("ASR baseline GPU speedup is in the paper's ~120x band: %v\n",
+				row.Speedup > 95 && row.Speedup < 145)
+		}
+	}
+	// Output: ASR baseline GPU speedup is in the paper's ~120x band: true
+}
+
+// Tagging a sentence with the SENNA-based part-of-speech application.
+func ExampleNewPOS() {
+	srv := djinn.NewServer()
+	if err := djinn.RegisterApp(srv, djinn.POS); err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	tagged, err := djinn.NewPOS(srv).Tag("DjiNN serves deep neural networks")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(tagged), "words tagged")
+	// Output: 5 words tagged
+}

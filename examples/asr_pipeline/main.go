@@ -1,0 +1,44 @@
+// ASR pipeline: the full speech-to-text path of the paper's Section
+// 3.2.2 — MFCC-style feature extraction (pre-emphasis, Hamming window,
+// FFT, mel filterbank, deltas, ±8-frame splicing into 2146-d vectors),
+// DNN senone posteriors from the DjiNN service, and Viterbi phone
+// decoding into text.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"djinn"
+	"djinn/internal/tensor"
+	"djinn/internal/workload"
+)
+
+func main() {
+	srv := djinn.NewServer()
+	fmt.Println("loading the 31M-parameter Kaldi-style acoustic model...")
+	if err := djinn.RegisterApp(srv, djinn.ASR); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	asr := djinn.NewASR(srv)
+	rng := tensor.NewRNG(11)
+	// One second of synthetic speech-like audio (voiced segments with
+	// moving formants; production recordings are substituted per
+	// DESIGN.md).
+	signal := workload.Utterance(rng, 1.0)
+	fmt.Printf("transcribing %.1f s of 16 kHz audio (%d samples)...\n",
+		float64(len(signal))/16000, len(signal))
+
+	t0 := time.Now()
+	tr, err := asr.Transcribe(signal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decoded %d frames in %v\n", tr.Frames, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("phones: %s\n", strings.Join(tr.Phones, " "))
+	fmt.Printf("text:   %s\n", tr.Text)
+}

@@ -1,0 +1,67 @@
+// Custom model: demonstrate DjiNN's extensibility claim by adding an
+// eighth application from a network-definition file — no code changes
+// to the service. A SENNA-style sentiment classifier is defined in
+// sentiment.netdef, registered under a new service name, and queried
+// with the same windowed word features the NLP apps use.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"djinn"
+	"djinn/internal/lang"
+	"djinn/internal/tensor"
+)
+
+func main() {
+	defPath := filepath.Join(findDir(), "sentiment.netdef")
+	def, err := os.Open(defPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer def.Close()
+
+	srv := djinn.NewServer()
+	defer srv.Close()
+	// No trained weights supplied: the service synthesises
+	// deterministic ones (pass a weights reader for a real model).
+	if err := djinn.RegisterFromDef(srv, "sentiment", def, nil, djinn.AppConfig{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered custom apps: %v\n", srv.Apps())
+
+	labels := []string{"negative", "neutral", "positive"}
+	for _, sentence := range []string{
+		"the new service is remarkably fast and pleasant",
+		"the old system fails constantly and loses data",
+	} {
+		words := lang.Tokenize(sentence)
+		// One 300-float window vector per word, mean-pooled into a
+		// single sentence query.
+		win := lang.Windows(words, nil)
+		per := len(win) / len(words)
+		query := make([]float32, per)
+		for i, v := range win {
+			query[i%per] += v / float32(len(words))
+		}
+		out, err := srv.Infer("sentiment", query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := tensor.Argmax(out)
+		fmt.Printf("%-55q → %s (%.0f%%)\n", sentence, labels[best], out[best]*100)
+	}
+}
+
+// findDir locates the example's directory whether run via `go run
+// ./examples/custom_model` (cwd = repo root) or from the directory
+// itself.
+func findDir() string {
+	if _, err := os.Stat("sentiment.netdef"); err == nil {
+		return "."
+	}
+	return filepath.Join("examples", "custom_model")
+}

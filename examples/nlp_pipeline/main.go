@@ -1,0 +1,64 @@
+// NLP pipeline: the three SENNA-based Tonic applications — POS tagging,
+// chunking (which internally issues a POS request first, exactly as in
+// the paper), and named-entity recognition with gazetteer features —
+// sharing one DjiNN service.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"djinn"
+)
+
+func main() {
+	srv := djinn.NewServer()
+	for _, app := range []djinn.App{djinn.POS, djinn.CHK, djinn.NER} {
+		if err := djinn.RegisterApp(srv, app); err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer srv.Close()
+
+	sentence := "Obama visited Google in Paris and praised the new DjiNN service"
+	fmt.Printf("input: %q\n\n", sentence)
+
+	pos := djinn.NewPOS(srv)
+	tagged, err := pos.Tag(sentence)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("POS: ")
+	for _, tw := range tagged {
+		fmt.Printf("%s ", tw)
+	}
+	fmt.Println()
+
+	chk := djinn.NewCHK(srv)
+	chunks, err := chk.Chunk(sentence)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("CHK: ")
+	for _, tw := range chunks {
+		fmt.Printf("%s ", tw)
+	}
+	fmt.Println()
+
+	ner := djinn.NewNER(srv)
+	entities, err := ner.Recognize(sentence)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("NER: ")
+	for _, tw := range entities {
+		fmt.Printf("%s ", tw)
+	}
+	fmt.Println()
+
+	// The chunker issued its own query AND an internal POS query:
+	posStats, _ := srv.StatsFor(djinn.ServiceName(djinn.POS))
+	chkStats, _ := srv.StatsFor(djinn.ServiceName(djinn.CHK))
+	fmt.Printf("\nPOS service answered %d queries (1 direct + 1 internal from CHK); CHK answered %d\n",
+		posStats.Queries, chkStats.Queries)
+}

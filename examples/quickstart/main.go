@@ -1,0 +1,45 @@
+// Quickstart: start an in-process DjiNN service, register a model, and
+// run a Tonic application against it — the smallest end-to-end use of
+// the public API. (For a networked deployment, run cmd/djinn-service
+// and replace the in-process server with djinn.Dial.)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"djinn"
+	"djinn/internal/tensor"
+	"djinn/internal/workload"
+)
+
+func main() {
+	// 1. A DjiNN server with the digit-recognition model loaded. The
+	// model's weights live in memory once, shared by all workers.
+	srv := djinn.NewServer()
+	if err := djinn.RegisterApp(srv, djinn.DIG); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	// 2. The Tonic digit-recognition app over the in-process backend.
+	dig := djinn.NewDIG(srv)
+
+	// 3. One query: a batch of ten 28×28 digit images.
+	rng := tensor.NewRNG(7)
+	images, labels := workload.Digits(rng, 10)
+	preds, err := dig.Recognize(images)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range preds {
+		fmt.Printf("digit %d (drawn as %d) → %s\n", i, labels[i], p)
+	}
+
+	// 4. Service-side counters show the cross-request batching DjiNN
+	// performs (Section 5.1 of the paper).
+	if s, ok := srv.StatsFor(djinn.ServiceName(djinn.DIG)); ok {
+		fmt.Printf("\nservice stats: %d queries, %d instances, %d forward passes (avg batch %.0f)\n",
+			s.Queries, s.Instances, s.Batches, s.AvgBatch())
+	}
+}

@@ -1,0 +1,30 @@
+// WSC TCO study: reproduce the paper's Section 6 analysis — the three
+// warehouse-scale-computer designs (CPU-only, Integrated GPU,
+// Disaggregated GPU), the Table 4 cost model, and the future
+// interconnect what-ifs — using the calibrated performance models.
+package main
+
+import (
+	"fmt"
+
+	"djinn"
+)
+
+func main() {
+	p := djinn.NewPlatform()
+
+	fmt.Println(p.RenderFig15())
+	fmt.Println()
+	fmt.Println(p.RenderFig16())
+
+	// Headline numbers (compare with the paper's abstract: "GPU-enabled
+	// WSCs improve TCO over CPU-only designs by 4-20×, depending on the
+	// composition of the workload").
+	fmt.Println("\nHeadline TCO improvements at 99% DNN workload:")
+	for _, mix := range []string{"MIXED", "IMAGE", "NLP"} {
+		pts := p.Fig15(mix)
+		last := pts[len(pts)-1]
+		fmt.Printf("  %-6s disaggregated %.1fx, integrated %.1fx\n",
+			mix, 1/last.Disagg, 1/last.Integrated)
+	}
+}

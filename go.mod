@@ -1,0 +1,3 @@
+module djinn
+
+go 1.22

@@ -1,0 +1,279 @@
+// Package cluster simulates Figure 14's warehouse-scale query path
+// end to end: queries arrive at a front-end load balancer, are
+// preprocessed on a CPU-server tier, traverse the datacenter fabric
+// (Disaggregated design) or the local PCIe bus (Integrated design) to
+// a GPU tier running the DjiNN service with batching and MPS, and
+// return. Where internal/wsc provisions the designs analytically for
+// TCO, this package measures the latency composition of a query
+// through each design — the red and blue arrows of Figure 14 as a
+// discrete-event simulation.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"djinn/internal/gpusim"
+	"djinn/internal/sim"
+	"djinn/internal/tensor"
+)
+
+// Design selects the query path topology.
+type Design int
+
+// The two GPU-accelerated designs of Figure 14 (the CPU-only design has
+// no tiering to simulate).
+const (
+	Integrated Design = iota
+	Disaggregated
+)
+
+// String names the design.
+func (d Design) String() string {
+	if d == Integrated {
+		return "Integrated"
+	}
+	return "Disaggregated"
+}
+
+// Config describes one cluster simulation.
+type Config struct {
+	Design Design
+	// CPUServers is the preprocessing tier size; each server offers
+	// CPUCores cores and preprocessing takes PreSeconds of one core.
+	CPUServers int
+	CPUCores   int
+	PreSeconds float64
+	// PostSeconds is the postprocessing time back on the CPU tier.
+	PostSeconds float64
+	// GPUServers is the GPU tier size; each runs the DjiNN service.
+	GPUServers  int
+	GPUsPerSrv  int
+	ProcsPerGPU int
+	Device      gpusim.DeviceSpec
+	// BatchQueries/BatchWindow is the per-GPU-server aggregation policy.
+	BatchQueries int
+	BatchWindow  float64
+	// BatchKernels lowers an n-query batch.
+	BatchKernels func(n int) []gpusim.KernelWork
+	// WireBytes is the per-query payload between tiers.
+	WireBytes float64
+	// NetBW is the per-GPU-server NIC-team goodput (Disaggregated);
+	// LinkBW is the per-server PCIe complex bandwidth (both designs).
+	NetBW  float64
+	LinkBW float64
+	// ArrivalRate is the Poisson query arrival rate at the front end.
+	ArrivalRate float64
+	Seed        uint64
+}
+
+// Result is the measured latency composition.
+type Result struct {
+	Completed int
+	QPS       float64
+	MeanLat   float64
+	P95Lat    float64
+	MeanPre   float64 // queueing + service on the CPU tier
+	MeanNet   float64 // fabric transfer (Disaggregated only)
+	MeanDNN   float64 // batching wait + PCIe + GPU execution
+	MeanPost  float64
+}
+
+// queryState tracks one query's stage timestamps.
+type queryState struct {
+	arrive  float64
+	preDone float64
+	netDone float64
+	dnnDone float64
+}
+
+// Simulate runs the cluster for the given simulated duration.
+func Simulate(cfg Config, duration float64) Result {
+	if cfg.ArrivalRate <= 0 || cfg.CPUServers <= 0 || cfg.GPUServers <= 0 {
+		panic("cluster: config needs arrivals and both tiers")
+	}
+	eng := sim.New()
+	rng := tensor.NewRNG(cfg.Seed + 99)
+	warmup := duration * 0.1
+
+	// CPU tier: each server is CPUCores parallel FIFO cores; queries
+	// pick the least-loaded server (the front-end load balancer).
+	type cpuServer struct{ cores []*sim.FIFO }
+	cpuTier := make([]*cpuServer, cfg.CPUServers)
+	for i := range cpuTier {
+		s := &cpuServer{}
+		for c := 0; c < cfg.CPUCores; c++ {
+			s.cores = append(s.cores, sim.NewFIFO(eng))
+		}
+		cpuTier[i] = s
+	}
+	cpuRR := 0
+	runCPU := func(seconds float64, done func()) {
+		// Round-robin across servers, then the least-busy core.
+		srv := cpuTier[cpuRR%len(cpuTier)]
+		cpuRR++
+		best := srv.cores[0]
+		for _, c := range srv.cores[1:] {
+			if c.BusySeconds < best.BusySeconds {
+				best = c
+			}
+		}
+		best.Acquire(seconds, done)
+	}
+
+	// GPU tier: per-server batching aggregator + MPS GPUs + links.
+	type gpuServer struct {
+		sched   []*mpsWrap
+		nic     *sim.FIFO
+		pcie    *sim.FIFO
+		pending []*queryState
+		window  *sim.Event
+		next    int // round-robin GPU within the server
+	}
+	gpuTier := make([]*gpuServer, cfg.GPUServers)
+	for i := range gpuTier {
+		g := &gpuServer{pcie: sim.NewFIFO(eng)}
+		if cfg.Design == Disaggregated {
+			g.nic = sim.NewFIFO(eng)
+		}
+		for j := 0; j < cfg.GPUsPerSrv; j++ {
+			g.sched = append(g.sched, newMPSWrap(eng, cfg.Device))
+		}
+		gpuTier[i] = g
+	}
+
+	var latencies, pres, nets, dnns, posts []float64
+	completed := 0
+
+	finishQuery := func(q *queryState) {
+		postStart := eng.Now()
+		runCPU(cfg.PostSeconds, func() {
+			if q.arrive < warmup {
+				return
+			}
+			completed++
+			latencies = append(latencies, eng.Now()-q.arrive)
+			pres = append(pres, q.preDone-q.arrive)
+			nets = append(nets, q.netDone-q.preDone)
+			dnns = append(dnns, q.dnnDone-q.netDone)
+			posts = append(posts, eng.Now()-postStart)
+		})
+	}
+
+	// flushBatch executes one aggregated batch on a server's next GPU.
+	flushBatch := func(g *gpuServer, batch []*queryState) {
+		ks := cfg.BatchKernels(len(batch))
+		gpu := g.sched[g.next%len(g.sched)]
+		g.next++
+		bytes := cfg.WireBytes * float64(len(batch))
+		afterPCIe := func() {
+			var runKernel func(i int)
+			runKernel = func(i int) {
+				if i >= len(ks) {
+					for _, q := range batch {
+						q.dnnDone = eng.Now()
+						finishQuery(q)
+					}
+					return
+				}
+				eng.After(cfg.Device.LaunchOverhead, func() {
+					gpu.submit(ks[i], func() { runKernel(i + 1) })
+				})
+			}
+			runKernel(0)
+		}
+		g.pcie.Acquire(bytes/cfg.LinkBW, afterPCIe)
+	}
+
+	enqueueAtGPU := func(g *gpuServer, q *queryState) {
+		q.netDone = eng.Now()
+		g.pending = append(g.pending, q)
+		flush := func() {
+			if len(g.pending) == 0 {
+				return
+			}
+			batch := g.pending
+			g.pending = nil
+			if g.window != nil {
+				g.window.Cancel()
+				g.window = nil
+			}
+			flushBatch(g, batch)
+		}
+		if len(g.pending) >= cfg.BatchQueries {
+			flush()
+		} else if g.window == nil {
+			g.window = eng.After(cfg.BatchWindow, func() {
+				g.window = nil
+				flush()
+			})
+		}
+	}
+
+	gpuRR := 0
+	routeToGPU := func(q *queryState) {
+		g := gpuTier[gpuRR%len(gpuTier)]
+		gpuRR++
+		if cfg.Design == Disaggregated {
+			g.nic.Acquire(cfg.WireBytes/cfg.NetBW, func() { enqueueAtGPU(g, q) })
+		} else {
+			enqueueAtGPU(g, q)
+		}
+	}
+
+	var arrive func()
+	arrive = func() {
+		q := &queryState{arrive: eng.Now()}
+		runCPU(cfg.PreSeconds, func() {
+			q.preDone = eng.Now()
+			routeToGPU(q)
+		})
+		next := rng.ExpFloat64() / cfg.ArrivalRate
+		if eng.Now()+next < duration {
+			eng.After(next, arrive)
+		}
+	}
+	eng.After(rng.ExpFloat64()/cfg.ArrivalRate, arrive)
+	eng.Run()
+
+	mean := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	res := Result{
+		Completed: completed,
+		QPS:       float64(completed) / (duration - warmup),
+		MeanLat:   mean(latencies),
+		MeanPre:   mean(pres),
+		MeanNet:   mean(nets),
+		MeanDNN:   mean(dnns),
+		MeanPost:  mean(posts),
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		res.P95Lat = latencies[int(0.95*float64(len(latencies)))]
+	}
+	return res
+}
+
+// String renders the latency composition.
+func (r Result) String() string {
+	return fmt.Sprintf("qps=%.1f lat=%.2fms (pre %.2f | net %.2f | dnn %.2f | post %.2f) p95=%.2fms",
+		r.QPS, r.MeanLat*1e3, r.MeanPre*1e3, r.MeanNet*1e3, r.MeanDNN*1e3, r.MeanPost*1e3, r.P95Lat*1e3)
+}
+
+// mpsWrap exposes the gpusim MPS scheduler for cluster use.
+type mpsWrap struct {
+	submit func(gpusim.KernelWork, func())
+}
+
+func newMPSWrap(eng *sim.Engine, d gpusim.DeviceSpec) *mpsWrap {
+	s := gpusim.NewMPSScheduler(eng, d)
+	return &mpsWrap{submit: func(w gpusim.KernelWork, done func()) { s.Submit(0, w, done) }}
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"testing"
+
+	"djinn/internal/gpusim"
+)
+
+func testConfig(d Design, rate float64) Config {
+	dev := gpusim.K40()
+	return Config{
+		Design:       d,
+		CPUServers:   4,
+		CPUCores:     12,
+		PreSeconds:   200e-6,
+		PostSeconds:  150e-6,
+		GPUServers:   2,
+		GPUsPerSrv:   4,
+		ProcsPerGPU:  4,
+		Device:       dev,
+		BatchQueries: 16,
+		BatchWindow:  2e-3,
+		BatchKernels: func(n int) []gpusim.KernelWork {
+			return []gpusim.KernelWork{dev.Work(2e8*float64(n)/16, 1e6, 1<<20)}
+		},
+		WireBytes:   40e3,
+		NetBW:       16e9,
+		LinkBW:      15.75e9,
+		ArrivalRate: rate,
+		Seed:        3,
+	}
+}
+
+func TestClusterThroughputTracksArrivals(t *testing.T) {
+	res := Simulate(testConfig(Disaggregated, 20000), 2.0)
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if res.QPS < 16000 || res.QPS > 24000 {
+		t.Fatalf("QPS %.0f, want ≈20000", res.QPS)
+	}
+}
+
+func TestClusterLatencyComposition(t *testing.T) {
+	res := Simulate(testConfig(Disaggregated, 20000), 2.0)
+	// All stages contribute, and their means roughly sum to the total.
+	sum := res.MeanPre + res.MeanNet + res.MeanDNN + res.MeanPost
+	if res.MeanLat <= 0 || sum <= 0 {
+		t.Fatalf("empty composition: %+v", res)
+	}
+	if diff := res.MeanLat - sum; diff > res.MeanLat*0.05 || diff < -res.MeanLat*0.05 {
+		t.Fatalf("stages (%.5f) do not compose to the total (%.5f)", sum, res.MeanLat)
+	}
+	if res.MeanPre < 200e-6*0.9 {
+		t.Fatalf("preprocessing %.6f below its service time", res.MeanPre)
+	}
+	if res.MeanNet <= 0 {
+		t.Fatal("disaggregated design must show fabric time")
+	}
+	if res.P95Lat < res.MeanLat {
+		t.Fatal("p95 below the mean")
+	}
+}
+
+func TestIntegratedSkipsTheFabric(t *testing.T) {
+	res := Simulate(testConfig(Integrated, 20000), 2.0)
+	if res.MeanNet != 0 {
+		t.Fatalf("integrated design shows %.6f of fabric time", res.MeanNet)
+	}
+	dis := Simulate(testConfig(Disaggregated, 20000), 2.0)
+	// The disaggregated query pays the network hop; below both designs'
+	// saturation points the difference is roughly that hop.
+	if dis.MeanLat <= res.MeanLat {
+		t.Fatalf("disaggregated latency %.6f should exceed integrated %.6f at low load", dis.MeanLat, res.MeanLat)
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	a := Simulate(testConfig(Disaggregated, 10000), 1.0)
+	b := Simulate(testConfig(Disaggregated, 10000), 1.0)
+	if a.Completed != b.Completed || a.MeanLat != b.MeanLat {
+		t.Fatal("cluster simulation not deterministic")
+	}
+}
+
+func TestClusterCPUBoundWhenPreHeavy(t *testing.T) {
+	// With expensive preprocessing and a tiny CPU tier, pre dominates.
+	cfg := testConfig(Disaggregated, 5000)
+	cfg.CPUServers = 1
+	cfg.CPUCores = 2
+	cfg.PreSeconds = 2e-3
+	res := Simulate(cfg, 2.0)
+	if res.MeanPre < res.MeanDNN {
+		t.Fatalf("expected CPU-bound composition, got pre %.4f vs dnn %.4f", res.MeanPre, res.MeanDNN)
+	}
+}
+
+func TestClusterRejectsBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Simulate(Config{}, 1)
+}
+
+func TestResultString(t *testing.T) {
+	res := Simulate(testConfig(Integrated, 5000), 0.5)
+	if s := res.String(); len(s) < 20 {
+		t.Fatalf("short render %q", s)
+	}
+}

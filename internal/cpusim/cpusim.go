@@ -1,0 +1,107 @@
+// Package cpusim models the paper's CPU baseline: a single Intel Xeon
+// E5-2620 v2 core running the Caffe+ATLAS DNN implementation (Section
+// 4). Like the GPU model it consumes the per-layer kernel descriptors
+// from internal/nn and applies a per-core roofline: dense-kernel compute
+// at ATLAS efficiency versus DRAM streaming for working sets that spill
+// the last-level cache. Figure 4's DNN-vs-rest cycle breakdown and every
+// GPU-vs-CPU speedup in the paper (Figures 5 and 10) are ratios against
+// this model.
+package cpusim
+
+import "djinn/internal/nn"
+
+// CoreSpec describes one CPU core for the analytic model.
+type CoreSpec struct {
+	Name      string
+	ClockHz   float64
+	PeakFLOPS float64 // per-core single-precision peak (AVX)
+	// GemmEffMax is the fraction of peak that ATLAS sustains on large
+	// dense kernels; efficiency falls off for small problems following
+	// eff = GemmEffMax · F/(F+EffHalfFLOPs), where F is the FLOPs of
+	// one library call (Caffe's CPU path calls ATLAS once per image per
+	// group for convolutions — Kernel.Calls).
+	GemmEffMax float64
+	// EffHalfFLOPs is the per-call problem size at which ATLAS reaches
+	// half its asymptotic efficiency.
+	EffHalfFLOPs float64
+	// CallOverhead is the fixed cost of one library invocation
+	// (dispatch, packing setup).
+	CallOverhead float64
+	// MemBW is the DRAM bandwidth one core can stream, bytes/s.
+	MemBW float64
+	// LLCBytes is the core's effective share of last-level cache; a
+	// kernel whose working set fits here pays no DRAM time on repeated
+	// passes.
+	LLCBytes float64
+	// ElemFLOPS is the throughput of simple element-wise layer loops
+	// (activations, pooling, normalisation): vectorisable streaming
+	// code, well below GEMM rates but far above scalar code.
+	ElemFLOPS float64
+	// ScalarFLOPS is the throughput of non-vectorised pre/post
+	// processing code (feature extraction, Viterbi search, decoding).
+	ScalarFLOPS float64
+}
+
+// XeonE5 returns the paper's baseline core: Intel Xeon E5-2620 v2
+// (Ivy Bridge EP, 2.10 GHz, 256-bit AVX: 16 SP FLOPs/cycle).
+func XeonE5() CoreSpec {
+	const clock = 2.1e9
+	return CoreSpec{
+		Name:         "Intel Xeon E5-2620 v2 core",
+		ClockHz:      clock,
+		PeakFLOPS:    16 * clock, // 33.6 GFLOPS
+		GemmEffMax:   0.72,
+		EffHalfFLOPs: 2e6,
+		CallOverhead: 1e-6,
+		MemBW:        8e9,
+		LLCBytes:     7.5e6, // 15 MB LLC shared by ~2 active contexts
+		ElemFLOPS:    8e9,
+		ScalarFLOPS:  2.5e9,
+	}
+}
+
+// KernelTime returns the core's execution time for one kernel: the
+// roofline maximum of ATLAS-efficiency compute and DRAM streaming time.
+// Working sets that fit in the LLC pay no DRAM time (the whole SENNA
+// model is ~700 KB, which is why the NLP nets see only ~7x from the
+// GPU at batch 1 — the CPU baseline is already compute-bound and
+// cache-resident).
+func (c CoreSpec) KernelTime(k nn.Kernel) float64 {
+	calls := float64(k.CallCount())
+	var compute float64
+	switch {
+	case k.GemmM > 0 && k.GemmN > 0:
+		// Dense kernel through ATLAS: the size-dependent efficiency
+		// curve applies per library call.
+		perCall := k.FLOPs / calls
+		eff := c.GemmEffMax * perCall / (perCall + c.EffHalfFLOPs)
+		compute = k.FLOPs / (c.PeakFLOPS * eff)
+	case k.FLOPs > 0:
+		// Element-wise / streaming layer loop (activations, pooling,
+		// LRN, locally-connected accumulation).
+		compute = k.FLOPs / c.ElemFLOPS
+	}
+	var dram float64
+	if total := k.Bytes(); total > c.LLCBytes {
+		dram = total / c.MemBW
+	}
+	t := compute
+	if dram > t {
+		t = dram
+	}
+	return t + calls*c.CallOverhead
+}
+
+// ForwardTime returns the single-core time for a network forward pass
+// described by its kernel sequence.
+func (c CoreSpec) ForwardTime(ks []nn.Kernel) float64 {
+	var t float64
+	for _, k := range ks {
+		t += c.KernelTime(k)
+	}
+	return t
+}
+
+// ScalarTime converts a pre/post-processing operation count into core
+// seconds.
+func (c CoreSpec) ScalarTime(ops float64) float64 { return ops / c.ScalarFLOPS }

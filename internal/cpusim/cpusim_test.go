@@ -1,0 +1,126 @@
+package cpusim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"djinn/internal/nn"
+)
+
+func TestXeonSpec(t *testing.T) {
+	c := XeonE5()
+	// Ivy Bridge EP: 2.1 GHz × 16 SP FLOPs/cycle = 33.6 GFLOPS/core.
+	if math.Abs(c.PeakFLOPS-33.6e9) > 1e6 {
+		t.Fatalf("peak %.3g, want 33.6e9", c.PeakFLOPS)
+	}
+	if c.GemmEffMax <= 0 || c.GemmEffMax > 1 {
+		t.Fatalf("implausible GEMM efficiency %v", c.GemmEffMax)
+	}
+}
+
+func TestGemmKernelEfficiencyCurve(t *testing.T) {
+	c := XeonE5()
+	// A large GEMM approaches asymptotic efficiency...
+	big := nn.Kernel{FLOPs: 1e9, GemmM: 1000, GemmN: 1000}
+	tBig := c.KernelTime(big)
+	effBig := big.FLOPs / tBig / c.PeakFLOPS
+	if effBig < c.GemmEffMax*0.95 {
+		t.Fatalf("large-GEMM efficiency %.2f, want ≈%.2f", effBig, c.GemmEffMax)
+	}
+	// ...while a small one falls well below it.
+	small := nn.Kernel{FLOPs: 1e5, GemmM: 50, GemmN: 50}
+	tSmall := c.KernelTime(small)
+	effSmall := small.FLOPs / tSmall / c.PeakFLOPS
+	if effSmall > c.GemmEffMax*0.2 {
+		t.Fatalf("small-GEMM efficiency %.2f should collapse", effSmall)
+	}
+}
+
+func TestPerCallGranularity(t *testing.T) {
+	c := XeonE5()
+	// Caffe's CPU conv loops per image: the same total FLOPs split into
+	// 100 calls must be slower than one batched call.
+	one := nn.Kernel{FLOPs: 1e8, GemmM: 100, GemmN: 100, Calls: 1}
+	many := nn.Kernel{FLOPs: 1e8, GemmM: 100, GemmN: 100, Calls: 100}
+	if c.KernelTime(many) <= c.KernelTime(one) {
+		t.Fatal("per-call splitting should cost time")
+	}
+}
+
+func TestLLCRoofline(t *testing.T) {
+	c := XeonE5()
+	// A kernel whose working set fits the LLC pays compute time only.
+	cached := nn.Kernel{FLOPs: 1e6, BytesIn: 1e6, GemmM: 100, GemmN: 100}
+	spill := nn.Kernel{FLOPs: 1e6, BytesIn: 1e9, GemmM: 100, GemmN: 100}
+	tc := c.KernelTime(cached)
+	ts := c.KernelTime(spill)
+	wantStream := 1e9 / c.MemBW
+	if ts < wantStream {
+		t.Fatalf("spilling kernel %v faster than DRAM streaming %v", ts, wantStream)
+	}
+	if tc > ts/10 {
+		t.Fatalf("cached kernel %v should be far faster than spilled %v", tc, ts)
+	}
+}
+
+func TestElementwiseKernelPath(t *testing.T) {
+	c := XeonE5()
+	// An activation layer kernel (no GEMM dims) runs at ElemFLOPS, not
+	// through the ATLAS curve.
+	k := nn.Kernel{FLOPs: 8e6, Threads: 1 << 20}
+	got := c.KernelTime(k)
+	want := 8e6/c.ElemFLOPS + c.CallOverhead
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("elementwise time %v, want %v", got, want)
+	}
+}
+
+func TestForwardTimeAdds(t *testing.T) {
+	c := XeonE5()
+	ks := []nn.Kernel{
+		{FLOPs: 1e7, GemmM: 100, GemmN: 100},
+		{FLOPs: 1e6, Threads: 1000},
+	}
+	sum := c.KernelTime(ks[0]) + c.KernelTime(ks[1])
+	if got := c.ForwardTime(ks); math.Abs(got-sum) > 1e-15 {
+		t.Fatalf("forward %v, want %v", got, sum)
+	}
+}
+
+func TestScalarTime(t *testing.T) {
+	c := XeonE5()
+	if got := c.ScalarTime(2.5e9); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("2.5e9 ops should take 1 s, got %v", got)
+	}
+}
+
+func TestKernelTimeMonotoneProperty(t *testing.T) {
+	// More FLOPs never takes less time (same shape and traffic).
+	c := XeonE5()
+	f := func(aRaw, bRaw uint32) bool {
+		a := float64(aRaw%1000000) + 1
+		b := a + float64(bRaw%1000000)
+		ka := nn.Kernel{FLOPs: a, GemmM: 64, GemmN: 64}
+		kb := nn.Kernel{FLOPs: b, GemmM: 64, GemmN: 64}
+		return c.KernelTime(kb) >= c.KernelTime(ka)-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelTimePositive(t *testing.T) {
+	c := XeonE5()
+	f := func(flopsRaw, bytesRaw uint32, gemm bool) bool {
+		k := nn.Kernel{FLOPs: float64(flopsRaw), BytesIn: float64(bytesRaw), Threads: 1}
+		if gemm {
+			k.GemmM, k.GemmN = 10, 10
+		}
+		tt := c.KernelTime(k)
+		return tt > 0 && !math.IsInf(tt, 0) && !math.IsNaN(tt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"djinn/internal/models"
+	"djinn/internal/tensor"
+)
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	for _, n := range []int{2, 4, 8, 32, 128} {
+		re := make([]float64, n)
+		im := make([]float64, n)
+		for i := range re {
+			re[i] = rng.Float64()*2 - 1
+			im[i] = rng.Float64()*2 - 1
+		}
+		wantRe, wantIm := DFTNaive(re, im)
+		FFT(re, im)
+		for i := range re {
+			if math.Abs(re[i]-wantRe[i]) > 1e-8 || math.Abs(im[i]-wantIm[i]) > 1e-8 {
+				t.Fatalf("n=%d bin %d: (%v,%v) want (%v,%v)", n, i, re[i], im[i], wantRe[i], wantIm[i])
+			}
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	f := func(seed uint8) bool {
+		n := 64
+		re := make([]float64, n)
+		im := make([]float64, n)
+		orig := make([]float64, n)
+		for i := range re {
+			re[i] = rng.Float64()*2 - 1
+			orig[i] = re[i]
+		}
+		FFT(re, im)
+		IFFT(re, im)
+		for i := range re {
+			if math.Abs(re[i]-orig[i]) > 1e-9 || math.Abs(im[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	// Parseval: Σ|x|² = (1/N)Σ|X|².
+	rng := tensor.NewRNG(3)
+	n := 256
+	re := make([]float64, n)
+	im := make([]float64, n)
+	var timeEnergy float64
+	for i := range re {
+		re[i] = rng.Float64()*2 - 1
+		timeEnergy += re[i] * re[i]
+	}
+	FFT(re, im)
+	var freqEnergy float64
+	for i := range re {
+		freqEnergy += re[i]*re[i] + im[i]*im[i]
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy) > 1e-6*timeEnergy {
+		t.Fatalf("Parseval violated: %v vs %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FFT(make([]float64, 12), make([]float64, 12))
+}
+
+func TestPowerSpectrumPureTone(t *testing.T) {
+	// A pure sinusoid at bin k must concentrate power at bin k.
+	n := 512
+	k := 32
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(k) * float64(i) / float64(n))
+	}
+	spec := PowerSpectrum(x, n)
+	best := 0
+	for i := range spec {
+		if spec[i] > spec[best] {
+			best = i
+		}
+	}
+	if best != k {
+		t.Fatalf("peak at bin %d, want %d", best, k)
+	}
+}
+
+func TestHammingWindowShape(t *testing.T) {
+	w := Hamming(FrameLength)
+	if len(w) != FrameLength {
+		t.Fatal("wrong length")
+	}
+	mid := w[FrameLength/2]
+	if mid < 0.99 || mid > 1.01 {
+		t.Fatalf("centre %v, want ≈1", mid)
+	}
+	if w[0] < 0.07 || w[0] > 0.09 {
+		t.Fatalf("edge %v, want ≈0.08", w[0])
+	}
+	// Symmetry.
+	for i := 0; i < FrameLength/2; i++ {
+		if math.Abs(w[i]-w[FrameLength-1-i]) > 1e-12 {
+			t.Fatal("window not symmetric")
+		}
+	}
+}
+
+func TestMelFilterbankCoversSpectrum(t *testing.T) {
+	filters := MelFilterbank(NFFT, SampleRate)
+	if len(filters) != NumMel {
+		t.Fatalf("%d filters, want %d", len(filters), NumMel)
+	}
+	// Every filter has positive mass; adjacent filters overlap.
+	for m, f := range filters {
+		var mass float64
+		for _, v := range f {
+			if v < 0 || v > 1 {
+				t.Fatalf("filter %d has weight %v outside [0,1]", m, v)
+			}
+			mass += v
+		}
+		if mass <= 0 {
+			t.Fatalf("filter %d is empty", m)
+		}
+	}
+}
+
+func TestFramesCountAndOverlap(t *testing.T) {
+	sig := make([]float64, FrameLength+3*FrameShift)
+	for i := range sig {
+		sig[i] = float64(i)
+	}
+	frames := Frames(sig)
+	if len(frames) != 4 {
+		t.Fatalf("%d frames, want 4", len(frames))
+	}
+	if frames[1][0] != float64(FrameShift) {
+		t.Fatalf("frame 1 starts at %v, want %v", frames[1][0], FrameShift)
+	}
+	if Frames(make([]float64, FrameLength-1)) != nil {
+		t.Fatal("short signal should produce no frames")
+	}
+}
+
+func TestFeatureDimMatchesModelAndTable3(t *testing.T) {
+	if FeatureDim != models.ASRFeatureDim {
+		t.Fatalf("FeatureDim %d != models.ASRFeatureDim %d", FeatureDim, models.ASRFeatureDim)
+	}
+	// 548 frames at 4 bytes per float must equal Table 3's 4594 KB.
+	kb := float64(548*FeatureDim*4) / 1024
+	if math.Abs(kb-4594) > 1 {
+		t.Fatalf("548 frames = %.1f KB, Table 3 says 4594", kb)
+	}
+}
+
+func TestFeaturesShapeAndFiniteness(t *testing.T) {
+	ex := NewExtractor()
+	// 1 second of synthetic speech-ish signal.
+	sig := make([]float64, SampleRate)
+	for i := range sig {
+		ti := float64(i) / SampleRate
+		sig[i] = 0.5*math.Sin(2*math.Pi*140*ti) + 0.2*math.Sin(2*math.Pi*2400*ti)
+	}
+	feats := ex.Features(sig)
+	wantFrames := 1 + (SampleRate-FrameLength)/FrameShift
+	if len(feats) != wantFrames {
+		t.Fatalf("%d frames, want %d", len(feats), wantFrames)
+	}
+	for i, f := range feats {
+		if len(f) != FeatureDim {
+			t.Fatalf("frame %d has %d dims, want %d", i, len(f), FeatureDim)
+		}
+		for j, v := range f {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("frame %d dim %d is %v", i, j, v)
+			}
+		}
+	}
+}
+
+func TestFeaturesDistinguishSilenceFromTone(t *testing.T) {
+	ex := NewExtractor()
+	silence := make([]float64, SampleRate/2)
+	tone := make([]float64, SampleRate/2)
+	for i := range tone {
+		tone[i] = math.Sin(2 * math.Pi * 300 * float64(i) / SampleRate)
+	}
+	fs := ex.Features(silence)
+	ft := ex.Features(tone)
+	// Log-energy (dim NumMel within the centre context frame) must be
+	// much higher for the tone.
+	centre := (ContextFrames / 2) * DeltaDim
+	if ft[5][centre+NumMel] <= fs[5][centre+NumMel]+1 {
+		t.Fatalf("tone log-energy %v not above silence %v", ft[5][centre+NumMel], fs[5][centre+NumMel])
+	}
+}
+
+func TestPitchDetectsF0(t *testing.T) {
+	frame := make([]float64, FrameLength)
+	for i := range frame {
+		frame[i] = math.Sin(2 * math.Pi * 160 * float64(i) / SampleRate)
+	}
+	p := estimatePitch(frame)
+	// 160 Hz normalised by 320 → 0.5, tolerating lag quantisation.
+	if p < 0.4 || p > 0.6 {
+		t.Fatalf("pitch proxy %v, want ≈0.5", p)
+	}
+	if estimatePitch(make([]float64, FrameLength)) != 0 {
+		t.Fatal("silence should have zero pitch")
+	}
+}
+
+func BenchmarkFeatureExtraction1s(b *testing.B) {
+	ex := NewExtractor()
+	sig := make([]float64, SampleRate)
+	for i := range sig {
+		sig[i] = math.Sin(2 * math.Pi * 200 * float64(i) / SampleRate)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Features(sig)
+	}
+}

@@ -1,0 +1,242 @@
+package dsp
+
+import "math"
+
+// Feature-extraction configuration for the Kaldi-style front end.
+const (
+	// SampleRate is the audio sample rate the pipeline expects.
+	SampleRate = 16000
+	// FrameLength and FrameShift are the standard 25 ms / 10 ms frames.
+	FrameLength = 400 // samples
+	FrameShift  = 160 // samples
+	// NFFT is the FFT size for the power spectrum.
+	NFFT = 512
+	// NumMel is the mel filterbank size.
+	NumMel = 40
+	// BaseDim is mel energies + log-energy + pitch.
+	BaseDim = NumMel + 2 // 42
+	// DeltaDim is statics + Δ + ΔΔ.
+	DeltaDim = BaseDim * 3 // 126
+	// ContextFrames is the ±8 frame splicing window.
+	ContextFrames = 17
+	// UtteranceStats is the per-utterance normalisation scalar count
+	// appended to every frame.
+	UtteranceStats = 4
+	// FeatureDim is the final spliced dimension: 126·17 + 4 = 2146,
+	// matching Table 3's 4594 KB for 548 frames.
+	FeatureDim = DeltaDim*ContextFrames + UtteranceStats
+)
+
+func hzToMel(hz float64) float64  { return 1127 * math.Log(1+hz/700) }
+func melToHz(mel float64) float64 { return 700 * (math.Exp(mel/1127) - 1) }
+
+// MelFilterbank returns NumMel triangular filters over nfft/2+1 power
+// spectrum bins for the given sample rate.
+func MelFilterbank(nfft int, sampleRate float64) [][]float64 {
+	bins := nfft/2 + 1
+	lowMel := hzToMel(20)
+	highMel := hzToMel(sampleRate / 2)
+	centers := make([]float64, NumMel+2)
+	for i := range centers {
+		mel := lowMel + (highMel-lowMel)*float64(i)/float64(NumMel+1)
+		centers[i] = melToHz(mel) / sampleRate * float64(nfft)
+	}
+	filters := make([][]float64, NumMel)
+	for m := 0; m < NumMel; m++ {
+		f := make([]float64, bins)
+		lo, mid, hi := centers[m], centers[m+1], centers[m+2]
+		for b := 0; b < bins; b++ {
+			x := float64(b)
+			switch {
+			case x > lo && x <= mid:
+				f[b] = (x - lo) / (mid - lo)
+			case x > mid && x < hi:
+				f[b] = (hi - x) / (hi - mid)
+			}
+		}
+		filters[m] = f
+	}
+	return filters
+}
+
+// Frames splits a signal into overlapping frames; the last partial
+// frame is dropped, as in Kaldi.
+func Frames(x []float64) [][]float64 {
+	if len(x) < FrameLength {
+		return nil
+	}
+	n := 1 + (len(x)-FrameLength)/FrameShift
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		f := make([]float64, FrameLength)
+		copy(f, x[i*FrameShift:i*FrameShift+FrameLength])
+		out[i] = f
+	}
+	return out
+}
+
+// estimatePitch returns a normalised autocorrelation-peak pitch proxy
+// for one frame: the lag in [50, 400] samples (40-320 Hz) with the
+// highest normalised autocorrelation.
+func estimatePitch(frame []float64) float64 {
+	var energy float64
+	for _, v := range frame {
+		energy += v * v
+	}
+	if energy == 0 {
+		return 0
+	}
+	bestLag, bestCorr := 0, 0.0
+	for lag := 50; lag <= 400 && lag < len(frame); lag += 2 {
+		var c float64
+		for i := lag; i < len(frame); i++ {
+			c += frame[i] * frame[i-lag]
+		}
+		c /= energy
+		if c > bestCorr {
+			bestCorr, bestLag = c, lag
+		}
+	}
+	if bestLag == 0 {
+		return 0
+	}
+	return SampleRate / float64(bestLag) / 320.0 // normalised to ~[0,1]
+}
+
+// Extractor computes spliced acoustic features; construct once and
+// reuse (it holds the filterbank and window).
+type Extractor struct {
+	window  []float64
+	filters [][]float64
+}
+
+// NewExtractor builds the front end.
+func NewExtractor() *Extractor {
+	return &Extractor{
+		window:  Hamming(FrameLength),
+		filters: MelFilterbank(NFFT, SampleRate),
+	}
+}
+
+// baseFeatures computes the 42-dim static features for every frame.
+func (e *Extractor) baseFeatures(signal []float64) [][]float64 {
+	sig := make([]float64, len(signal))
+	copy(sig, signal)
+	PreEmphasis(sig, 0.97)
+	frames := Frames(sig)
+	out := make([][]float64, len(frames))
+	for i, frame := range frames {
+		var energy float64
+		for j := range frame {
+			energy += frame[j] * frame[j]
+			frame[j] *= e.window[j]
+		}
+		spec := PowerSpectrum(frame, NFFT)
+		feat := make([]float64, BaseDim)
+		for m, filt := range e.filters {
+			var s float64
+			for b, w := range filt {
+				if w != 0 {
+					s += w * spec[b]
+				}
+			}
+			feat[m] = math.Log(s + 1e-10)
+		}
+		feat[NumMel] = math.Log(energy + 1e-10)
+		feat[NumMel+1] = estimatePitch(frame)
+		out[i] = feat
+	}
+	return out
+}
+
+// addDeltas appends Δ and ΔΔ (2-frame regression) to each frame.
+func addDeltas(feats [][]float64) [][]float64 {
+	n := len(feats)
+	dim := len(feats[0])
+	at := func(i int) []float64 {
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return feats[i]
+	}
+	deltas := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		d := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			d[j] = (at(i + 1)[j] - at(i - 1)[j] + 2*(at(i + 2)[j]-at(i - 2)[j])) / 10
+		}
+		deltas[i] = d
+	}
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, 0, dim*3)
+		row = append(row, feats[i]...)
+		row = append(row, deltas[i]...)
+		// ΔΔ from the deltas, same regression.
+		dd := make([]float64, dim)
+		atD := func(k int) []float64 {
+			if k < 0 {
+				k = 0
+			}
+			if k >= n {
+				k = n - 1
+			}
+			return deltas[k]
+		}
+		for j := 0; j < dim; j++ {
+			dd[j] = (atD(i + 1)[j] - atD(i - 1)[j] + 2*(atD(i + 2)[j]-atD(i - 2)[j])) / 10
+		}
+		row = append(row, dd...)
+		out[i] = row
+	}
+	return out
+}
+
+// Features computes the full spliced feature matrix for a 16 kHz
+// signal: one FeatureDim (2146) float32 vector per 10 ms frame, exactly
+// what the DjiNN ASR service consumes.
+func (e *Extractor) Features(signal []float64) [][]float32 {
+	base := e.baseFeatures(signal)
+	if len(base) == 0 {
+		return nil
+	}
+	full := addDeltas(base)
+	n := len(full)
+	// Utterance-level stats: mean/std of log-energy and mean/std of
+	// pitch, appended to every frame.
+	var meanE, meanP, sqE, sqP float64
+	for _, f := range base {
+		meanE += f[NumMel]
+		meanP += f[NumMel+1]
+		sqE += f[NumMel] * f[NumMel]
+		sqP += f[NumMel+1] * f[NumMel+1]
+	}
+	meanE /= float64(n)
+	meanP /= float64(n)
+	stdE := math.Sqrt(math.Max(0, sqE/float64(n)-meanE*meanE))
+	stdP := math.Sqrt(math.Max(0, sqP/float64(n)-meanP*meanP))
+
+	half := ContextFrames / 2
+	out := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		row := make([]float32, 0, FeatureDim)
+		for c := -half; c <= half; c++ {
+			j := i + c
+			if j < 0 {
+				j = 0
+			}
+			if j >= n {
+				j = n - 1
+			}
+			for _, v := range full[j] {
+				row = append(row, float32(v))
+			}
+		}
+		row = append(row, float32(meanE), float32(stdE), float32(meanP), float32(stdP))
+		out[i] = row
+	}
+	return out
+}

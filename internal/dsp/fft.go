@@ -1,0 +1,114 @@
+// Package dsp is the signal-processing substrate behind the ASR
+// application's preprocessing (Section 3.2.2): framing, pre-emphasis,
+// windowing, a radix-2 FFT, mel filterbank energies, pitch estimation,
+// delta features and context splicing — producing exactly the
+// 2146-dimensional per-frame feature vectors whose size Table 3
+// reports (548 vectors, 4594 KB).
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of the complex signal (re, im). Lengths must be equal and a
+// power of two.
+func FFT(re, im []float64) {
+	n := len(re)
+	if n != len(im) {
+		panic("dsp: FFT length mismatch")
+	}
+	if n&(n-1) != 0 || n == 0 {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	// Butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += length {
+			curRe, curIm := 1.0, 0.0
+			half := length / 2
+			for k := 0; k < half; k++ {
+				i, j := start+k, start+k+half
+				tRe := re[j]*curRe - im[j]*curIm
+				tIm := re[j]*curIm + im[j]*curRe
+				re[j], im[j] = re[i]-tRe, im[i]-tIm
+				re[i], im[i] = re[i]+tRe, im[i]+tIm
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+		}
+	}
+}
+
+// IFFT computes the inverse FFT in place.
+func IFFT(re, im []float64) {
+	for i := range im {
+		im[i] = -im[i]
+	}
+	FFT(re, im)
+	n := float64(len(re))
+	for i := range re {
+		re[i] /= n
+		im[i] /= -n
+	}
+}
+
+// DFTNaive is the O(n²) reference used by property tests.
+func DFTNaive(re, im []float64) ([]float64, []float64) {
+	n := len(re)
+	outRe := make([]float64, n)
+	outIm := make([]float64, n)
+	for k := 0; k < n; k++ {
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			c, s := math.Cos(ang), math.Sin(ang)
+			outRe[k] += re[t]*c - im[t]*s
+			outIm[k] += re[t]*s + im[t]*c
+		}
+	}
+	return outRe, outIm
+}
+
+// PowerSpectrum returns |FFT(x)|² of a real signal zero-padded to
+// nfft, keeping the nfft/2+1 non-redundant bins.
+func PowerSpectrum(x []float64, nfft int) []float64 {
+	re := make([]float64, nfft)
+	im := make([]float64, nfft)
+	copy(re, x)
+	FFT(re, im)
+	out := make([]float64, nfft/2+1)
+	for i := range out {
+		out[i] = re[i]*re[i] + im[i]*im[i]
+	}
+	return out
+}
+
+// Hamming returns an n-point Hamming window.
+func Hamming(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// PreEmphasis applies y[t] = x[t] - alpha*x[t-1] in place (alpha is
+// typically 0.97), boosting high frequencies before spectral analysis.
+func PreEmphasis(x []float64, alpha float64) {
+	for i := len(x) - 1; i > 0; i-- {
+		x[i] -= alpha * x[i-1]
+	}
+}

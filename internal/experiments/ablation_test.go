@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAblationCalibrationOrderingRobust: the paper's core qualitative
+// claim — heavy DNNs gain an order of magnitude more from the GPU than
+// the tiny NLP nets — must survive ±40% shifts in every GPU calibration
+// constant.
+func TestAblationCalibrationOrderingRobust(t *testing.T) {
+	rows := plat().AblationCalibration()
+	for _, r := range rows {
+		if r.Metric == "ASR/POS-ratio" && r.Value < 5 {
+			t.Errorf("at %s the ASR/POS speedup ratio collapsed to %.1f", r.Setting, r.Value)
+		}
+		if r.Metric == "ASR-batch1-speedup" && (r.Value < 40 || r.Value > 400) {
+			t.Errorf("at %s ASR speedup %.0f left the plausible band", r.Setting, r.Value)
+		}
+	}
+}
+
+// TestAblationLaunchOverhead: the NLP batching gain exists at every
+// overhead setting and exceeds ASR's everywhere (batching is about
+// occupancy, not just launch amortisation).
+func TestAblationLaunchOverhead(t *testing.T) {
+	rows := plat().AblationLaunchOverhead()
+	bySetting := map[string]map[string]float64{}
+	for _, r := range rows {
+		if bySetting[r.Setting] == nil {
+			bySetting[r.Setting] = map[string]float64{}
+		}
+		bySetting[r.Setting][r.Metric] = r.Value
+	}
+	for setting, m := range bySetting {
+		if m["POS-batch-gain"] < 4 {
+			t.Errorf("%s: POS batching gain %.1f too small", setting, m["POS-batch-gain"])
+		}
+		if m["POS-batch-gain"] <= m["ASR-batch-gain"] {
+			t.Errorf("%s: NLP should gain more from batching than ASR (%.1f vs %.1f)",
+				setting, m["POS-batch-gain"], m["ASR-batch-gain"])
+		}
+	}
+}
+
+// TestAblationPoolGranularity: flexible per-app chassis sizing is never
+// worse than any fixed size, and beats the worst fixed size clearly —
+// quantifying the disaggregated design's provisioning freedom.
+func TestAblationPoolGranularity(t *testing.T) {
+	rows := plat().AblationPoolGranularity()
+	var flexible float64
+	worst := 0.0
+	for _, r := range rows {
+		if r.Setting == "flexible" {
+			flexible = r.Value
+		} else if r.Value > worst {
+			worst = r.Value
+		}
+	}
+	if flexible <= 0 {
+		t.Fatal("missing flexible row")
+	}
+	for _, r := range rows {
+		if r.Setting != "flexible" && r.Value < flexible*0.999 {
+			t.Errorf("fixed pool %s (%.3f) beat flexible sizing (%.3f)", r.Setting, r.Value, flexible)
+		}
+	}
+	if worst < flexible*1.2 {
+		t.Errorf("expected the worst fixed pool (%.3f) to be clearly worse than flexible (%.3f)", worst, flexible)
+	}
+}
+
+func TestRenderAblations(t *testing.T) {
+	out := plat().RenderAblations()
+	for _, want := range []string{"calibration", "launch-overhead", "pool-granularity", "flexible"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}

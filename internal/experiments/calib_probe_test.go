@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"testing"
+
+	"djinn/internal/models"
+	"djinn/internal/workload"
+)
+
+// TestCalibrationProbe prints the model's headline numbers next to the
+// paper's targets; run with -v when tuning the calibration constants.
+func TestCalibrationProbe(t *testing.T) {
+	p := DefaultPlatform()
+	t.Logf("%-5s %12s %12s %8s %8s %8s %8s", "app", "cpuDNN", "gpuB1", "spdB1", "spdBat", "spdMPS4", "occB1")
+	for _, app := range models.Apps {
+		spec := workload.Get(app)
+		cpu := p.CPUDNNTime(app)
+		g1 := p.GPUBatchCycle(app, 1)
+		sp1 := (1 / g1) / (1 / cpu)
+		gb := p.GPUQPS(app, spec.BatchSize)
+		spb := gb * cpu
+		res := p.ServerQPS(app, 1, 4, true, true)
+		spm := res.QPS * cpu
+		prof := p.GPU.ProfileForward(spec.Kernels(spec.Instances * 1))
+		t.Logf("%-5s %12.4g %12.4g %8.1f %8.1f %8.1f %8.2f", app, cpu, g1, sp1, spb, spm, prof.Occupancy)
+	}
+	for _, app := range []models.App{models.IMC, models.ASR, models.POS} {
+		t.Logf("%s scaling (PCIe-limited, then unconstrained):", app)
+		for _, n := range []int{1, 2, 4, 8} {
+			lim := p.ServerQPS(app, n, 4, true, true)
+			unl := p.ServerQPS(app, n, 4, true, false)
+			t.Logf("  gpus=%d  qps=%10.1f (util %.2f, pcie %.2f)   unconstrained=%10.1f", n, lim.QPS, lim.GPUUtil, lim.PCIeUtil, unl.QPS)
+		}
+	}
+}

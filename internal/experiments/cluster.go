@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"djinn/internal/cluster"
+	"djinn/internal/gpusim"
+	"djinn/internal/models"
+	"djinn/internal/workload"
+	"djinn/internal/wsc"
+)
+
+// Extension experiment: end-to-end query latency composition through
+// the Integrated and Disaggregated designs (Figure 14's red and blue
+// arrows, measured). The TCO study says what each design costs; this
+// says what a query experiences in each — in particular, the fabric
+// hop the Disaggregated design adds.
+type ClusterRow struct {
+	App    models.App
+	Design cluster.Design
+	Result cluster.Result
+}
+
+// Cluster simulates both designs serving one application at 50% of the
+// GPU tier's capacity.
+func (p Platform) Cluster(app models.App) []ClusterRow {
+	spec := workload.Get(app)
+	link := wsc.Table6()[0]
+	perGPU := p.ServerQPS(app, 1, OptimalMPSProcs, true, false).QPS
+	const gpuServers, gpusPerSrv = 2, 4
+	capacity := float64(gpuServers*gpusPerSrv) * perGPU
+	if c := float64(gpuServers) * link.NetBW / spec.WireBytes(); c < capacity {
+		capacity = c
+	}
+	pre := p.CPU.ScalarTime(spec.PreOps)
+	post := p.CPU.ScalarTime(spec.PostOps)
+	// Size the CPU tier for ~60% utilisation at the offered load, as an
+	// operator would (NLP's pre/post demand far exceeds its GPU tier's).
+	cpuServers := int(capacity*0.5*(pre+post)/(wsc.CoresPerBeefyServer*0.6)) + 1
+	base := cluster.Config{
+		CPUServers:   cpuServers,
+		CPUCores:     int(wsc.CoresPerBeefyServer),
+		PreSeconds:   pre,
+		PostSeconds:  post,
+		GPUServers:   gpuServers,
+		GPUsPerSrv:   gpusPerSrv,
+		ProcsPerGPU:  OptimalMPSProcs,
+		Device:       p.GPU,
+		BatchQueries: spec.BatchSize,
+		BatchWindow:  2e-3,
+		BatchKernels: func(n int) []gpusim.KernelWork { return p.GPU.Lower(spec.Kernels(n)) },
+		WireBytes:    spec.WireBytes(),
+		NetBW:        link.NetBW,
+		LinkBW:       link.LinkBW,
+		ArrivalRate:  capacity * 0.5,
+		Seed:         uint64(app) + 5,
+	}
+	horizon := 100000 / base.ArrivalRate
+	if horizon < 0.5 {
+		horizon = 0.5
+	}
+	if horizon > 20 {
+		horizon = 20
+	}
+	var rows []ClusterRow
+	for _, d := range []cluster.Design{cluster.Integrated, cluster.Disaggregated} {
+		cfg := base
+		cfg.Design = d
+		rows = append(rows, ClusterRow{App: app, Design: d, Result: cluster.Simulate(cfg, horizon)})
+	}
+	return rows
+}
+
+// RenderCluster prints the latency composition study.
+func (p Platform) RenderCluster() string {
+	out := "Extension: end-to-end latency composition, Integrated vs Disaggregated (50% load)\n"
+	t := &table{header: []string{"app", "design", "QPS", "mean ms", "pre", "fabric", "DNN", "post", "p95 ms"}}
+	for _, app := range []models.App{models.POS, models.IMC, models.DIG} {
+		for _, r := range p.Cluster(app) {
+			res := r.Result
+			t.add(app.String(), r.Design.String(), f1(res.QPS),
+				f3(res.MeanLat*1e3), f3(res.MeanPre*1e3), f3(res.MeanNet*1e3),
+				f3(res.MeanDNN*1e3), f3(res.MeanPost*1e3), f3(res.P95Lat*1e3))
+		}
+	}
+	out += t.String()
+	out += fmt.Sprintln("\n(fabric = the Disaggregated design's NIC-team hop; zero for Integrated)")
+	return out
+}

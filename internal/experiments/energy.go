@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"djinn/internal/models"
+	"djinn/internal/wsc"
+)
+
+// Extension experiment: energy per query. The paper measures wall power
+// for its TCO inputs; this derives the per-query energy comparison that
+// follows from the same numbers — the efficiency argument behind the
+// 4-20× TCO result, at query granularity.
+type EnergyRow struct {
+	App         models.App
+	CPUJoules   float64 // one query on a Xeon core (with its server share)
+	GPUJoules   float64 // one query's share of an optimised GPU
+	Improvement float64
+}
+
+// Energy computes per-query energy on both platforms. The CPU side
+// charges a core its 1/12 share of the 300W beefy server; the GPU side
+// charges a K40 its 240W board power plus a 1/8 host share, divided by
+// the optimised Figure 10 throughput.
+func (p Platform) Energy() []EnergyRow {
+	cf := wsc.Table4()
+	corePower := cf.GPUCapableServerWatts / wsc.CoresPerBeefyServer
+	gpuPower := cf.GPUWatts + cf.GPUCapableServerWatts/8
+	var rows []EnergyRow
+	for _, app := range models.Apps {
+		cpuJ := corePower * p.CPUDNNTime(app)
+		qps := p.ServerQPS(app, 1, OptimalMPSProcs, true, true).QPS
+		gpuJ := gpuPower / qps
+		rows = append(rows, EnergyRow{
+			App: app, CPUJoules: cpuJ, GPUJoules: gpuJ, Improvement: cpuJ / gpuJ,
+		})
+	}
+	return rows
+}
+
+// RenderEnergy prints the energy study.
+func (p Platform) RenderEnergy() string {
+	t := &table{header: []string{"app", "CPU J/query", "GPU J/query", "improvement"}}
+	for _, r := range p.Energy() {
+		t.add(r.App.String(), fmt4(r.CPUJoules), fmt4(r.GPUJoules), f1(r.Improvement))
+	}
+	return "Extension: energy per query, Xeon core (with server share) vs optimised K40\n" + t.String()
+}
+
+func fmt4(v float64) string {
+	switch {
+	case v >= 1:
+		return f2(v)
+	case v >= 1e-3:
+		return f2(v*1e3) + "m"
+	default:
+		return f2(v*1e6) + "u"
+	}
+}

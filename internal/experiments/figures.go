@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"djinn/internal/gpusim"
+	"djinn/internal/models"
+	"djinn/internal/workload"
+)
+
+// Fig4Row is one bar of Figure 4: the fraction of a query's CPU cycles
+// spent in the DNN versus pre/post-processing.
+type Fig4Row struct {
+	App       models.App
+	DNNFrac   float64
+	PreFrac   float64
+	PostFrac  float64
+	TotalSecs float64 // single-core seconds per query
+	DNNSecs   float64
+}
+
+// Fig4 reproduces Figure 4's cycle breakdown on the Xeon core.
+func (p Platform) Fig4() []Fig4Row {
+	var rows []Fig4Row
+	for _, app := range models.Apps {
+		spec := workload.Get(app)
+		pre := p.CPU.ScalarTime(spec.PreOps)
+		post := p.CPU.ScalarTime(spec.PostOps)
+		dnn := p.CPUDNNTime(app)
+		total := pre + dnn + post
+		rows = append(rows, Fig4Row{
+			App: app, DNNFrac: dnn / total, PreFrac: pre / total,
+			PostFrac: post / total, TotalSecs: total, DNNSecs: dnn,
+		})
+	}
+	return rows
+}
+
+// Fig5Row is one bar of Figure 5: GPU-over-CPU throughput improvement
+// of the DNN service component at batch size 1 without MPS.
+type Fig5Row struct {
+	App     models.App
+	Speedup float64
+}
+
+// Fig5 reproduces Figure 5's baseline GPU-vs-CPU comparison.
+func (p Platform) Fig5() []Fig5Row {
+	var rows []Fig5Row
+	for _, app := range models.Apps {
+		cpu := p.CPUDNNTime(app)
+		gpu := p.GPUBatchCycle(app, 1)
+		rows = append(rows, Fig5Row{App: app, Speedup: cpu / gpu})
+	}
+	return rows
+}
+
+// Fig6Row is one application's profiler counters (Figure 6) at batch 1.
+type Fig6Row struct {
+	App     models.App
+	Profile gpusim.Profile
+}
+
+// Fig6 reproduces Figure 6's bottleneck analysis: kernel-level counters
+// weighted by execution time, at batch size 1.
+func (p Platform) Fig6() []Fig6Row {
+	var rows []Fig6Row
+	for _, app := range models.Apps {
+		spec := workload.Get(app)
+		rows = append(rows, Fig6Row{App: app, Profile: p.GPU.ProfileForward(spec.Kernels(1))})
+	}
+	return rows
+}
+
+// Fig7Batches is the batch-size sweep of Figure 7.
+var Fig7Batches = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Fig7Point is one point of Figure 7's batching study: throughput (7a),
+// GPU occupancy (7b) and query latency (7c) at a batch size.
+type Fig7Point struct {
+	App       models.App
+	Batch     int
+	QPS       float64
+	Occupancy float64
+	Latency   float64 // seconds; all queries in a batch share it
+}
+
+// Fig7 reproduces Figure 7 for one application.
+func (p Platform) Fig7(app models.App) []Fig7Point {
+	spec := workload.Get(app)
+	var pts []Fig7Point
+	for _, b := range Fig7Batches {
+		cycle := p.GPUBatchCycle(app, b)
+		prof := p.GPU.ProfileForward(spec.Kernels(b))
+		pts = append(pts, Fig7Point{
+			App: app, Batch: b,
+			QPS:       float64(b) / cycle,
+			Occupancy: prof.Occupancy,
+			Latency:   cycle,
+		})
+	}
+	return pts
+}
+
+// PickBatch returns the knee-of-the-curve batch size, mirroring how
+// Section 5.1 selects Table 3's batch sizes ("high throughput while
+// limiting query latency impact"): the smallest batch that stops
+// yielding a ≥10% marginal throughput gain, with latency capped at 5×
+// the single-query service time.
+func (p Platform) PickBatch(app models.App) int {
+	pts := p.Fig7(app)
+	latCap := 5 * pts[0].Latency
+	for i := 0; i < len(pts)-1; i++ {
+		if pts[i+1].QPS < pts[i].QPS*1.10 || pts[i+1].Latency > latCap {
+			return pts[i].Batch
+		}
+	}
+	return pts[len(pts)-1].Batch
+}
+
+// Fig8Point is one point of Figures 8 and 9: throughput and latency as
+// the number of concurrent DNN service instances on one GPU grows, with
+// and without MPS. Table 3 batch sizes are used (Section 5.2).
+type Fig8Point struct {
+	App       models.App
+	Instances int
+	MPSQPS    float64
+	NonMPSQPS float64
+	MPSLat    float64
+	NonMPSLat float64
+}
+
+// Fig8Instances is the instance-count sweep (MPS supports at most 16).
+var Fig8Instances = []int{1, 2, 4, 8, 16}
+
+// Fig8 reproduces Figures 8 and 9 for one application on a single GPU.
+func (p Platform) Fig8(app models.App) []Fig8Point {
+	var pts []Fig8Point
+	for _, n := range Fig8Instances {
+		mps := p.ServerQPS(app, 1, n, true, true)
+		non := p.ServerQPS(app, 1, n, false, true)
+		pts = append(pts, Fig8Point{
+			App: app, Instances: n,
+			MPSQPS: mps.QPS, NonMPSQPS: non.QPS,
+			MPSLat: mps.AvgLatency, NonMPSLat: non.AvgLatency,
+		})
+	}
+	return pts
+}
+
+// Fig10Row is one bar of Figure 10: final single-GPU speedup over the
+// CPU core with input batching (Table 3 sizes) and 4 MPS services.
+type Fig10Row struct {
+	App     models.App
+	Batch   int
+	Speedup float64
+}
+
+// OptimalMPSProcs is the concurrency Section 5.2 selects: "four MPS
+// concurrent DNN servers on one GPU achieves high throughput gain with
+// limited latency impact".
+const OptimalMPSProcs = 4
+
+// Fig10 reproduces Figure 10.
+func (p Platform) Fig10() []Fig10Row {
+	var rows []Fig10Row
+	for _, app := range models.Apps {
+		spec := workload.Get(app)
+		res := p.ServerQPS(app, 1, OptimalMPSProcs, true, true)
+		rows = append(rows, Fig10Row{
+			App: app, Batch: spec.BatchSize,
+			Speedup: res.QPS * p.CPUDNNTime(app),
+		})
+	}
+	return rows
+}
+
+// GPUCounts is the multi-GPU sweep of Figures 11-13.
+var GPUCounts = []int{1, 2, 3, 4, 5, 6, 7, 8}
+
+// Fig11Point is one point of Figure 11 (PCIe-limited) or Figure 12
+// (inputs pinned in GPU memory, no PCIe transfers).
+type Fig11Point struct {
+	App      models.App
+	GPUs     int
+	QPS      float64
+	Speedup  float64 // over one CPU core
+	GPUUtil  float64
+	PCIeUtil float64
+}
+
+// Fig11 reproduces Figure 11 (pcieLimited=true) or Figure 12 (false)
+// for one application.
+func (p Platform) Fig11(app models.App, pcieLimited bool) []Fig11Point {
+	cpu := p.CPUDNNTime(app)
+	var pts []Fig11Point
+	for _, n := range GPUCounts {
+		res := p.ServerQPS(app, n, OptimalMPSProcs, true, pcieLimited)
+		pts = append(pts, Fig11Point{
+			App: app, GPUs: n, QPS: res.QPS, Speedup: res.QPS * cpu,
+			GPUUtil: res.GPUUtil, PCIeUtil: res.PCIeUtil,
+		})
+	}
+	return pts
+}
+
+// Fig13Point is one point of Figure 13: the network bandwidth required
+// to sustain the unconstrained (Figure 12) throughput at a GPU count.
+type Fig13Point struct {
+	App     models.App
+	GPUs    int
+	BytesPS float64
+}
+
+// Reference bandwidths drawn on Figure 13.
+const (
+	PCIeV3Bandwidth = 15.75e9 // one x16 link
+	TenGbEBandwidth = 1.25e9
+)
+
+// Fig13 reproduces Figure 13 for one application: peak throughput
+// without bandwidth constraints multiplied by the per-query wire bytes.
+func (p Platform) Fig13(app models.App) []Fig13Point {
+	spec := workload.Get(app)
+	var pts []Fig13Point
+	for _, pt := range p.Fig11(app, false) {
+		pts = append(pts, Fig13Point{
+			App: app, GPUs: pt.GPUs,
+			BytesPS: pt.QPS * spec.WireBytes(),
+		})
+	}
+	return pts
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"djinn/internal/gpusim"
+	"djinn/internal/models"
+)
+
+// Extension experiment: the paper closes by arguing GPUs are "the more
+// promising direction for scaling up DNN-based webservices". This
+// study replays Figure 10 (Table 3 batching + 4 MPS services) on the
+// two GPU generations that followed the K40 — Maxwell's M40 (more
+// compute, same DRAM bandwidth) and Pascal's P100 (HBM2) — showing
+// which services track compute and which track bandwidth.
+type FutureGPURow struct {
+	App     models.App
+	Device  string
+	Speedup float64 // over the same Xeon core baseline
+	VsK40   float64 // relative to the K40's Figure 10 value
+}
+
+// FutureGPUs replays the optimised single-GPU experiment per device.
+func (p Platform) FutureGPUs() []FutureGPURow {
+	devices := []gpusim.DeviceSpec{gpusim.K40(), gpusim.M40(), gpusim.P100()}
+	var rows []FutureGPURow
+	base := map[models.App]float64{}
+	for _, dev := range devices {
+		q := p
+		q.GPU = dev
+		for _, r := range q.Fig10() {
+			row := FutureGPURow{App: r.App, Device: dev.Name, Speedup: r.Speedup}
+			if dev.Name == devices[0].Name {
+				base[r.App] = r.Speedup
+			}
+			row.VsK40 = r.Speedup / base[r.App]
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// RenderFutureGPUs prints the generation study.
+func (p Platform) RenderFutureGPUs() string {
+	t := &table{header: []string{"app", "device", "speedup vs Xeon core", "vs K40"}}
+	for _, r := range p.FutureGPUs() {
+		t.add(r.App.String(), r.Device, f1(r.Speedup), f2(r.VsK40))
+	}
+	return "Extension: Figure 10 replayed on post-K40 GPU generations\n" + t.String()
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"djinn/internal/models"
+)
+
+// TestOpenLoopExtension: serving-curve sanity for the open-loop
+// extension experiment on the NLP service.
+func TestOpenLoopExtension(t *testing.T) {
+	pts := plat().OpenLoop(models.POS)
+	if len(pts) != len(OpenLoopFracs) {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Throughput tracks offered load below capacity.
+	for _, pt := range pts[:4] {
+		if pt.QPS < pt.Load*0.9 || pt.QPS > pt.Load*1.1 {
+			t.Errorf("at %.2f of capacity: served %.0f vs offered %.0f", pt.LoadFrac, pt.QPS, pt.Load)
+		}
+	}
+	// Mean batch size grows with load (the aggregator fills faster).
+	if pts[1].MeanBatch < pts[0].MeanBatch {
+		t.Errorf("batch fill should grow with load: %.1f → %.1f", pts[0].MeanBatch, pts[1].MeanBatch)
+	}
+	// Latency explodes past capacity.
+	over := pts[len(pts)-1]
+	sweet := pts[2]
+	if over.MeanLat < 5*sweet.MeanLat {
+		t.Errorf("overload latency %.4f should explode past sweet-spot %.4f", over.MeanLat, sweet.MeanLat)
+	}
+	// Percentiles stay ordered everywhere.
+	for _, pt := range pts {
+		if pt.P99Lat < pt.MeanLat*0.5 {
+			t.Errorf("p99 %.4f below half the mean %.4f at load %.2f", pt.P99Lat, pt.MeanLat, pt.LoadFrac)
+		}
+	}
+}
+
+// TestEnergyExtension: the GPU's per-query energy advantage tracks its
+// throughput advantage scaled by the power ratio — roughly an order of
+// magnitude for the heavy networks.
+func TestEnergyExtension(t *testing.T) {
+	rows := plat().Energy()
+	byApp := map[models.App]EnergyRow{}
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+	for _, a := range []models.App{models.IMC, models.ASR, models.DIG} {
+		if byApp[a].Improvement < 5 {
+			t.Errorf("%s energy improvement %.1f×, expected the GPU to win clearly", a, byApp[a].Improvement)
+		}
+	}
+	// FACE's modest speedup shrinks but does not erase the win.
+	if byApp[models.FACE].Improvement < 1.5 {
+		t.Errorf("FACE energy improvement %.1f×", byApp[models.FACE].Improvement)
+	}
+	for _, r := range rows {
+		if r.CPUJoules <= 0 || r.GPUJoules <= 0 {
+			t.Errorf("%s: non-positive energy", r.App)
+		}
+	}
+}
+
+// TestValidateDisaggServer: the analytic per-server capacity the TCO
+// provisioning uses must agree with the discrete-event simulation of
+// the full server data path (NIC team → PCIe → GPUs) within 10%.
+func TestValidateDisaggServer(t *testing.T) {
+	for _, r := range plat().ValidateDisaggServer() {
+		if r.Ratio < 0.90 || r.Ratio > 1.10 {
+			t.Errorf("%s: DES %.0f vs analytic %.0f QPS (ratio %.2f)", r.App, r.DESQPS, r.AnalyticQPS, r.Ratio)
+		}
+	}
+}
+
+// TestClusterExtension: the Disaggregated design's fabric hop costs
+// microseconds against milliseconds of end-to-end latency — the
+// latency price of disaggregation is negligible, which is why the TCO
+// argument can win (Section 6.2).
+func TestClusterExtension(t *testing.T) {
+	for _, app := range []models.App{models.POS, models.DIG} {
+		rows := plat().Cluster(app)
+		if len(rows) != 2 {
+			t.Fatalf("%s: %d rows", app, len(rows))
+		}
+		integ, disagg := rows[0].Result, rows[1].Result
+		if integ.MeanNet != 0 {
+			t.Errorf("%s: integrated design shows fabric time %.6f", app, integ.MeanNet)
+		}
+		if disagg.MeanNet <= 0 {
+			t.Errorf("%s: disaggregated design shows no fabric time", app)
+		}
+		if disagg.MeanNet > disagg.MeanLat*0.05 {
+			t.Errorf("%s: fabric hop %.4f is more than 5%% of latency %.4f", app, disagg.MeanNet, disagg.MeanLat)
+		}
+		if disagg.Completed == 0 || integ.Completed == 0 {
+			t.Errorf("%s: empty simulation", app)
+		}
+	}
+}
+
+// TestFutureGPUs: newer generations help, and they help according to
+// each service's bottleneck — Maxwell's compute-only bump barely moves
+// the memory-bound FACE service, while Pascal's HBM2 moves it most.
+func TestFutureGPUs(t *testing.T) {
+	rows := plat().FutureGPUs()
+	get := func(dev string, app models.App) float64 {
+		for _, r := range rows {
+			if r.App == app && strings.Contains(r.Device, dev) {
+				return r.VsK40
+			}
+		}
+		t.Fatalf("missing row %s/%s", dev, app)
+		return 0
+	}
+	for _, app := range models.Apps {
+		if v := get("P100", app); v < 1.0 {
+			t.Errorf("%s regressed on P100: %.2f", app, v)
+		}
+	}
+	if get("M40", models.FACE) > 1.3 {
+		t.Errorf("memory-bound FACE should barely gain from M40's compute: %.2f", get("M40", models.FACE))
+	}
+	if get("M40", models.ASR) < get("M40", models.FACE) {
+		t.Errorf("compute-bound ASR should gain more from M40 than FACE")
+	}
+	if get("P100", models.FACE) < 2 {
+		t.Errorf("FACE should gain strongly from HBM2: %.2f", get("P100", models.FACE))
+	}
+}

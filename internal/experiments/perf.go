@@ -1,0 +1,108 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each Fig*/Table*
+// function returns typed rows; rendering to text lives in render.go and
+// cmd/djinn-bench drives the full set.
+package experiments
+
+import (
+	"math"
+
+	"djinn/internal/cpusim"
+	"djinn/internal/gpusim"
+	"djinn/internal/models"
+	"djinn/internal/workload"
+)
+
+// Platform bundles the hardware models of Table 2: the Xeon core
+// baseline and the K40 GPU with its PCIe v3 host link.
+type Platform struct {
+	CPU cpusim.CoreSpec
+	GPU gpusim.DeviceSpec
+	// HostPCIeBW is the aggregate PCIe bandwidth of the host root
+	// complex shared by all GPUs (one x16's worth, as the dual-socket
+	// board oversubscribes its 8 slots).
+	HostPCIeBW  float64
+	PCIeLatency float64
+}
+
+// DefaultPlatform returns the paper's Table 2 platform.
+func DefaultPlatform() Platform {
+	return Platform{
+		CPU: cpusim.XeonE5(),
+		GPU: gpusim.K40(),
+		// Two sockets, 40 PCIe v3 lanes each: the eight x16 slots are
+		// oversubscribed onto roughly 2×15.75 GB/s of root-complex
+		// bandwidth shared by all GPUs.
+		HostPCIeBW:  31.5e9,
+		PCIeLatency: 3e-6,
+	}
+}
+
+// CPUDNNTime returns the single-core time for the DNN portion of one
+// query (Section 4's CPU baseline: Caffe + ATLAS).
+func (p Platform) CPUDNNTime(app models.App) float64 {
+	spec := workload.Get(app)
+	return p.CPU.ForwardTime(spec.Kernels(1))
+}
+
+// CPUQueryTime returns the single-core time for a whole query: pre-
+// processing, DNN forward pass, and postprocessing.
+func (p Platform) CPUQueryTime(app models.App) float64 {
+	spec := workload.Get(app)
+	return p.CPU.ScalarTime(spec.PreOps) + p.CPUDNNTime(app) + p.CPU.ScalarTime(spec.PostOps)
+}
+
+// GPUBatchCycle returns the single-instance GPU time to serve one batch
+// of queryBatch queries: PCIe transfer in, forward pass with launch
+// gaps, transfer out. This is the analytic model behind the batching
+// study (Figure 7).
+func (p Platform) GPUBatchCycle(app models.App, queryBatch int) float64 {
+	spec := workload.Get(app)
+	t := p.GPU.ForwardTime(spec.Kernels(queryBatch))
+	if p.HostPCIeBW > 0 && !math.IsInf(p.HostPCIeBW, 1) {
+		bytes := (spec.WireInBytes + spec.WireOutBytes) * float64(queryBatch)
+		t += bytes/p.HostPCIeBW + 2*p.PCIeLatency
+	}
+	return t
+}
+
+// GPUQPS returns single-instance GPU throughput at a batch size.
+func (p Platform) GPUQPS(app models.App, queryBatch int) float64 {
+	return float64(queryBatch) / p.GPUBatchCycle(app, queryBatch)
+}
+
+// serverConfig builds the DES configuration for n GPUs with the given
+// process count and scheduling mode.
+func (p Platform) serverConfig(gpus, procs int, mps, pcieLimited bool) gpusim.ServerConfig {
+	cfg := gpusim.ServerConfig{
+		Device:      p.GPU,
+		GPUs:        gpus,
+		ProcsPerGPU: procs,
+		MPS:         mps,
+		PCIeLatency: p.PCIeLatency,
+	}
+	if pcieLimited {
+		cfg.HostPCIeBW = p.HostPCIeBW
+	}
+	return cfg
+}
+
+// batchWork lowers an app's Table 3 batch for the DES.
+func (p Platform) batchWork(app models.App, queryBatch int) gpusim.BatchWork {
+	spec := workload.Get(app)
+	return gpusim.NewBatchWork(
+		p.GPU, spec.Kernels(queryBatch), queryBatch,
+		spec.WireInBytes*float64(queryBatch),
+		spec.WireOutBytes*float64(queryBatch),
+	)
+}
+
+// ServerQPS runs the saturation DES: n GPUs, procs instances per GPU,
+// Table 3 batch sizes.
+func (p Platform) ServerQPS(app models.App, gpus, procs int, mps, pcieLimited bool) gpusim.Result {
+	spec := workload.Get(app)
+	return gpusim.SaturationQPS(
+		p.serverConfig(gpus, procs, mps, pcieLimited),
+		p.batchWork(app, spec.BatchSize),
+	)
+}

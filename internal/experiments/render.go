@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"djinn/internal/models"
+	"djinn/internal/workload"
+	"djinn/internal/wsc"
+)
+
+// Rendering helpers: every experiment can print itself as an aligned
+// text table, the form cmd/djinn-bench emits.
+
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func si(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fK", v/1e3)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// RenderFig4 prints Figure 4's cycle breakdown.
+func (p Platform) RenderFig4() string {
+	t := &table{header: []string{"app", "DNN %", "pre %", "post %", "query secs"}}
+	for _, r := range p.Fig4() {
+		t.add(r.App.String(), f1(r.DNNFrac*100), f1(r.PreFrac*100), f1(r.PostFrac*100), fmt.Sprintf("%.4g", r.TotalSecs))
+	}
+	return "Figure 4: cycle breakdown per DNN application (Xeon core)\n" + t.String()
+}
+
+// RenderFig5 prints Figure 5's baseline speedups.
+func (p Platform) RenderFig5() string {
+	t := &table{header: []string{"app", "GPU/CPU speedup (batch 1)"}}
+	for _, r := range p.Fig5() {
+		t.add(r.App.String(), f1(r.Speedup))
+	}
+	return "Figure 5: throughput improvement, K40 over one Xeon core\n" + t.String()
+}
+
+// RenderFig6 prints Figure 6's profiler counters.
+func (p Platform) RenderFig6() string {
+	t := &table{header: []string{"app", "IPC/peak", "occupancy", "L1&shared util", "L2 util"}}
+	for _, r := range p.Fig6() {
+		t.add(r.App.String(), f2(r.Profile.IPCRatio), f2(r.Profile.Occupancy), f2(r.Profile.L1Util), f2(r.Profile.L2Util))
+	}
+	return "Figure 6: performance bottleneck analysis (kernel counters, batch 1)\n" + t.String()
+}
+
+// RenderFig7 prints the batching study for every application.
+func (p Platform) RenderFig7() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: throughput (a), occupancy (b), latency (c) vs batch size\n")
+	for _, app := range models.Apps {
+		t := &table{header: []string{"batch", "QPS", "occupancy", "latency ms"}}
+		for _, pt := range p.Fig7(app) {
+			t.add(fmt.Sprintf("%d", pt.Batch), f1(pt.QPS), f2(pt.Occupancy), f3(pt.Latency*1e3))
+		}
+		fmt.Fprintf(&b, "\n[%s]  (selected batch: %d, paper Table 3: %d)\n%s",
+			app, p.PickBatch(app), workload.Get(app).BatchSize, t.String())
+	}
+	return b.String()
+}
+
+// RenderFig8 prints Figures 8 and 9 for every application.
+func (p Platform) RenderFig8() string {
+	var b strings.Builder
+	b.WriteString("Figures 8 & 9: throughput and latency vs DNN service instances per GPU\n")
+	for _, app := range models.Apps {
+		t := &table{header: []string{"instances", "MPS QPS", "non-MPS QPS", "MPS lat ms", "non-MPS lat ms"}}
+		for _, pt := range p.Fig8(app) {
+			t.add(fmt.Sprintf("%d", pt.Instances), f1(pt.MPSQPS), f1(pt.NonMPSQPS),
+				f3(pt.MPSLat*1e3), f3(pt.NonMPSLat*1e3))
+		}
+		fmt.Fprintf(&b, "\n[%s]\n%s", app, t.String())
+	}
+	return b.String()
+}
+
+// RenderFig10 prints the final single-GPU speedups.
+func (p Platform) RenderFig10() string {
+	t := &table{header: []string{"app", "batch", "speedup (batching + 4 MPS procs)"}}
+	for _, r := range p.Fig10() {
+		t.add(r.App.String(), fmt.Sprintf("%d", r.Batch), f1(r.Speedup))
+	}
+	return "Figure 10: optimised single-GPU throughput improvement over one Xeon core\n" + t.String()
+}
+
+// RenderFig11 prints the GPU-scaling study (Figure 11 PCIe-limited,
+// Figure 12 unconstrained).
+func (p Platform) RenderFig11(pcieLimited bool) string {
+	name := "Figure 11: throughput vs number of GPUs (shared host PCIe)"
+	if !pcieLimited {
+		name = "Figure 12: throughput vs number of GPUs (no PCIe bandwidth limits)"
+	}
+	var b strings.Builder
+	b.WriteString(name + "\n")
+	for _, app := range models.Apps {
+		t := &table{header: []string{"gpus", "QPS", "speedup vs CPU core", "GPU util", "PCIe util"}}
+		for _, pt := range p.Fig11(app, pcieLimited) {
+			t.add(fmt.Sprintf("%d", pt.GPUs), f1(pt.QPS), f1(pt.Speedup), f2(pt.GPUUtil), f2(pt.PCIeUtil))
+		}
+		fmt.Fprintf(&b, "\n[%s]\n%s", app, t.String())
+	}
+	return b.String()
+}
+
+// RenderFig13 prints the bandwidth requirements.
+func (p Platform) RenderFig13() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13: bandwidth required for peak throughput (PCIe v3 = %s/s, 10GbE = %s/s)\n",
+		si(PCIeV3Bandwidth), si(TenGbEBandwidth))
+	t := &table{header: []string{"app", "1 GPU", "2", "4", "8"}}
+	for _, app := range models.Apps {
+		pts := p.Fig13(app)
+		byGPU := map[int]float64{}
+		for _, pt := range pts {
+			byGPU[pt.GPUs] = pt.BytesPS
+		}
+		t.add(app.String(), si(byGPU[1])+"/s", si(byGPU[2])+"/s", si(byGPU[4])+"/s", si(byGPU[8])+"/s")
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// RenderFig15 prints the TCO study for all three mixes.
+func (p Platform) RenderFig15() string {
+	var b strings.Builder
+	b.WriteString("Figure 15: TCO normalised to the CPU-only design (lower is better)\n")
+	for _, mix := range MixNames {
+		t := &table{header: []string{"DNN %", "Integrated GPU", "Disaggregated GPU"}}
+		for _, pt := range p.Fig15(mix) {
+			t.add(f1(pt.DNNFrac*100), f3(pt.Integrated), f3(pt.Disagg))
+		}
+		fmt.Fprintf(&b, "\n[%s workload]\n%s", mix, t.String())
+	}
+	return b.String()
+}
+
+// RenderFig16 prints the future-interconnect study.
+func (p Platform) RenderFig16() string {
+	var b strings.Builder
+	b.WriteString("Figure 16: TCO impact of future networking technologies (normalised to baseline CPU-only)\n")
+	for _, mix := range []string{"MIXED", "NLP"} {
+		t := &table{header: []string{"design point", "perf ×", "CPU-only", "Integrated", "Disaggregated", "int: srv/gpu/net", "dis: srv/gpu/net"}}
+		for _, pt := range p.Fig16(mix) {
+			t.add(pt.Link, f2(pt.PerfScale),
+				f2(pt.CPUOnly.Total()), f2(pt.Integrated.Total()), f2(pt.Disagg.Total()),
+				fmt.Sprintf("%s/%s/%s", f2(pt.Integrated.Servers), f2(pt.Integrated.GPUs), f2(pt.Integrated.Network)),
+				fmt.Sprintf("%s/%s/%s", f2(pt.Disagg.Servers), f2(pt.Disagg.GPUs), f2(pt.Disagg.Network)))
+		}
+		fmt.Fprintf(&b, "\n[%s workload, 100%% DNN]\n%s", mix, t.String())
+	}
+	return b.String()
+}
+
+// RenderTable1 prints the network architecture summary with measured
+// parameter counts next to the paper's.
+func RenderTable1() string {
+	t := &table{header: []string{"type", "application", "network", "net type", "layers", "params (paper)", "params (built)"}}
+	for _, a := range models.Apps {
+		info := models.Table1(a)
+		net := models.BuildCached(a)
+		t.add(info.Service, info.Application, info.Network, string(info.NetType),
+			fmt.Sprintf("%d", info.PaperLayers), si(float64(info.PaperParams)), si(float64(net.ParamCount())))
+	}
+	return "Table 1: Tonic Suite neural network architectures\n" + t.String()
+}
+
+// RenderTable3 prints the service workload summary.
+func RenderTable3() string {
+	t := &table{header: []string{"app", "input", "input KB", "output", "batch size"}}
+	for _, s := range workload.All() {
+		t.add(s.App.String(), s.InputDesc, f1(s.WireInBytes/1024), s.OutputDesc, fmt.Sprintf("%d", s.BatchSize))
+	}
+	return "Table 3: DjiNN service applications\n" + t.String()
+}
+
+// RenderTable4 prints the TCO cost factors.
+func RenderTable4() string {
+	cf := wsc.Table4()
+	t := &table{header: []string{"component", "cost factor"}}
+	t.add("300W GPU-capable server", fmt.Sprintf("$%.0f", cf.GPUCapableServerCost))
+	t.add("High-end 240W GPU", fmt.Sprintf("$%.0f", cf.GPUCost))
+	t.add("75W wimpy server", fmt.Sprintf("$%.0f", cf.WimpyServerCost))
+	t.add("Networking equipment", fmt.Sprintf("$%.0f/10GbE NIC", cf.NICCost))
+	t.add("WSC capital expenditures", fmt.Sprintf("$%.0f/Watt", cf.CapexPerWatt))
+	t.add("Operational expenditures", fmt.Sprintf("$%.2f/Watt/month", cf.OpexPerWattMonth))
+	t.add("Power Usage Efficiency (PUE)", fmt.Sprintf("%.1f", cf.PUE))
+	t.add("Electricity", fmt.Sprintf("$%.3f per kWh", cf.ElectricityPerKWh))
+	t.add("Interest rate", fmt.Sprintf("%.0f%%", cf.InterestRate*100))
+	t.add("Server lifetime", fmt.Sprintf("%.0f months", cf.ServerLifetimeMonths))
+	t.add("Maintenance/operations", fmt.Sprintf("%.0f%%/month", cf.MaintenanceFracMonth*100))
+	return "Table 4: TCO parameters\n" + t.String()
+}
+
+// RenderTable5 prints the workload mixes.
+func RenderTable5() string {
+	t := &table{header: []string{"type", "description"}}
+	t.add("MIXED", "Mix (IMC, DIG, FACE, ASR, POS, CHK, NER)")
+	t.add("IMAGE", "Image processing (IMC, DIG, FACE)")
+	t.add("NLP", "Natural language processing (POS, CHK, NER)")
+	return "Table 5: DNN service workloads\n" + t.String()
+}
+
+// RenderTable6 prints the interconnect design points.
+func RenderTable6() string {
+	t := &table{header: []string{"design point", "link GB/s", "network GB/s", "NICs/server", "NIC cost", "server cost ×"}}
+	for _, l := range wsc.Table6() {
+		t.add(l.Name, f1(l.LinkBW/1e9), f1(l.NetBW/1e9), f1(l.NICsPerSrv),
+			fmt.Sprintf("$%.0f", l.NICUnitCost), f2(l.ServerFactor))
+	}
+	return "Table 6: interconnect and network configurations\n" + t.String()
+}
+
+// RenderTable2 prints the experimental platform specification.
+func (p Platform) RenderTable2() string {
+	t := &table{header: []string{"component", "specification", "quantity"}}
+	t.add("SYS-4U", "4U Intel Dual CPU Chassis, 8x PCIe 3.0 x16 slots", "1")
+	t.add("CPU", p.CPU.Name+" package (6C, 2.10 GHz)", "2")
+	t.add("HDD", "1TB 2.5\" HDD", "1")
+	t.add("RAM", "16GB DDR3 1866 MHz ECC/Server Memory", "16")
+	t.add("GPU", p.GPU.Name+" M-Class 12 GB PCIe", "8")
+	t.add("(model)", fmt.Sprintf("host root complex %s/s, PCIe latency %.0fus", si(p.HostPCIeBW), p.PCIeLatency*1e6), "")
+	return "Table 2: platform specifications\n" + t.String()
+}

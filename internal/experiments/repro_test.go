@@ -1,0 +1,435 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"djinn/internal/models"
+)
+
+// This file is the reproduction gate: one test per table/figure
+// asserting that the paper's qualitative results — who wins, by roughly
+// what factor, where crossovers fall — hold on the models. Measured
+// values are recorded in EXPERIMENTS.md.
+
+func plat() Platform { return DefaultPlatform() }
+
+func fig4Rows(t *testing.T) map[models.App]Fig4Row {
+	t.Helper()
+	out := map[models.App]Fig4Row{}
+	for _, r := range plat().Fig4() {
+		out[r.App] = r
+	}
+	return out
+}
+
+// TestFig4CycleBreakdown: image tasks are almost entirely DNN, ASR is
+// roughly half, NLP about two thirds.
+func TestFig4CycleBreakdown(t *testing.T) {
+	rows := fig4Rows(t)
+	for _, a := range []models.App{models.IMC, models.DIG, models.FACE} {
+		if f := rows[a].DNNFrac; f < 0.90 {
+			t.Errorf("%s DNN fraction %.2f, paper shows ~all cycles in the DNN", a, f)
+		}
+	}
+	if f := rows[models.ASR].DNNFrac; f < 0.40 || f > 0.60 {
+		t.Errorf("ASR DNN fraction %.2f, paper shows about half", f)
+	}
+	for _, a := range []models.App{models.POS, models.CHK, models.NER} {
+		if f := rows[a].DNNFrac; f < 0.60 || f > 0.80 {
+			t.Errorf("%s DNN fraction %.2f, paper shows more than two thirds", a, f)
+		}
+	}
+}
+
+// TestFig5BaselineSpeedups: ASR ≈120×, networks with >30M parameters
+// above 20×, NLP around 7×.
+func TestFig5BaselineSpeedups(t *testing.T) {
+	rows := map[models.App]float64{}
+	for _, r := range plat().Fig5() {
+		rows[r.App] = r.Speedup
+	}
+	if s := rows[models.ASR]; s < 95 || s > 145 {
+		t.Errorf("ASR baseline speedup %.0f, paper reports ≈120×", s)
+	}
+	for _, a := range []models.App{models.IMC, models.FACE, models.ASR} {
+		if rows[a] < 20 {
+			t.Errorf("%s (>30M params) speedup %.0f, paper reports above 20×", a, rows[a])
+		}
+	}
+	for _, a := range []models.App{models.POS, models.CHK, models.NER} {
+		if s := rows[a]; s < 5 || s > 11 {
+			t.Errorf("%s speedup %.1f, paper reports around 7×", a, s)
+		}
+	}
+	if rows[models.DIG] < 10 {
+		t.Errorf("DIG speedup %.0f implausibly low", rows[models.DIG])
+	}
+}
+
+// TestFig6BottleneckAnalysis: NLP tasks under 20%% occupancy, ASR above
+// 60%%; IPC tracks occupancy; bandwidth utilisation low everywhere.
+func TestFig6BottleneckAnalysis(t *testing.T) {
+	rows := map[models.App]Fig6Row{}
+	for _, r := range plat().Fig6() {
+		rows[r.App] = r
+	}
+	for _, a := range []models.App{models.POS, models.CHK, models.NER} {
+		if occ := rows[a].Profile.Occupancy; occ > 0.25 {
+			t.Errorf("%s occupancy %.2f, paper shows under 20%%", a, occ)
+		}
+	}
+	if occ := rows[models.ASR].Profile.Occupancy; occ < 0.60 {
+		t.Errorf("ASR occupancy %.2f, paper shows above 90%%", occ)
+	}
+	// IPC correlates with occupancy: ASR's IPC ratio far above NLP's.
+	if rows[models.ASR].Profile.IPCRatio < 3*rows[models.POS].Profile.IPCRatio {
+		t.Errorf("IPC should track occupancy: ASR %.2f vs POS %.2f",
+			rows[models.ASR].Profile.IPCRatio, rows[models.POS].Profile.IPCRatio)
+	}
+	// No application is limited by on-chip memory bandwidth.
+	for a, r := range rows {
+		if r.Profile.L1Util > 0.8 || r.Profile.L2Util > 0.8 {
+			t.Errorf("%s on-chip bandwidth util (%.2f, %.2f) should be well below peak", a, r.Profile.L1Util, r.Profile.L2Util)
+		}
+	}
+}
+
+// TestFig7BatchingShapes: throughput rises then plateaus; occupancy is
+// non-decreasing; latency explodes only at large batch; per-app gains
+// match the paper (≥15× for NLP, ≈5× for IMC, small for ASR).
+func TestFig7BatchingShapes(t *testing.T) {
+	p := plat()
+	gain := func(app models.App) float64 {
+		pts := p.Fig7(app)
+		best := 0.0
+		for _, pt := range pts {
+			if pt.QPS > best {
+				best = pt.QPS
+			}
+		}
+		return best / pts[0].QPS
+	}
+	if g := gain(models.POS); g < 8 {
+		t.Errorf("POS batching gain %.1f, paper reports over 15×", g)
+	}
+	if g := gain(models.IMC); g < 2 || g > 12 {
+		t.Errorf("IMC batching gain %.1f, paper reports ≈5×", g)
+	}
+	if g := gain(models.ASR); g > 2.0 {
+		t.Errorf("ASR batching gain %.1f, paper reports a small gain", g)
+	}
+	// Occupancy non-decreasing in batch for every app.
+	for _, app := range models.Apps {
+		pts := p.Fig7(app)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Occupancy < pts[i-1].Occupancy-0.02 {
+				t.Errorf("%s occupancy fell from %.2f to %.2f at batch %d",
+					app, pts[i-1].Occupancy, pts[i].Occupancy, pts[i].Batch)
+			}
+			if pts[i].Latency < pts[i-1].Latency*0.99 {
+				t.Errorf("%s latency fell with batch size at %d", app, pts[i].Batch)
+			}
+		}
+	}
+}
+
+// TestFig7PickBatchNearTable3: the knee-selection heuristic should land
+// within 4× of the paper's chosen batch size for every application.
+func TestFig7PickBatchNearTable3(t *testing.T) {
+	p := plat()
+	want := map[models.App]int{
+		models.IMC: 16, models.DIG: 16, models.FACE: 2,
+		models.ASR: 2, models.POS: 64, models.CHK: 64, models.NER: 64,
+	}
+	for app, paper := range want {
+		got := p.PickBatch(app)
+		switch app {
+		case models.FACE, models.DIG:
+			// Documented divergences (EXPERIMENTS.md): our model
+			// amortises FACE's locally-connected weight traffic across
+			// the batch so its knee sits past the paper's 2; DIG's
+			// 100-image queries saturate the GPU almost immediately so
+			// its knee sits before the paper's 16. Sanity-check only.
+			if got < 1 || got > 256 {
+				t.Errorf("%s: selected batch %d out of range", app, got)
+			}
+			t.Logf("%s: selected batch %d vs paper's %d (expected divergence, see EXPERIMENTS.md)", app, got, paper)
+		default:
+			ratio := float64(got) / float64(paper)
+			if ratio > 4.5 || ratio < 0.2 {
+				t.Errorf("%s: selected batch %d vs paper's %d", app, got, paper)
+			}
+		}
+	}
+}
+
+// TestFig8MPSConcurrency: with MPS, throughput at 16 instances is at
+// least as high as 1 instance and beats time-sharing; at 16 instances
+// MPS latency is meaningfully lower (paper: up to 3×).
+func TestFig8MPSConcurrency(t *testing.T) {
+	p := plat()
+	maxGain := 0.0
+	for _, app := range []models.App{models.POS, models.IMC, models.FACE, models.DIG} {
+		pts := p.Fig8(app)
+		first, last := pts[0], pts[len(pts)-1]
+		if last.MPSQPS < first.MPSQPS*0.9 {
+			t.Errorf("%s MPS throughput fell with instances: %.0f → %.0f", app, first.MPSQPS, last.MPSQPS)
+		}
+		if last.MPSQPS < last.NonMPSQPS*0.95 {
+			t.Errorf("%s at 16 instances: MPS %.0f below time-sharing %.0f", app, last.MPSQPS, last.NonMPSQPS)
+		}
+		if last.MPSLat > last.NonMPSLat {
+			t.Errorf("%s at 16 instances: MPS latency %.4f above time-sharing %.4f", app, last.MPSLat, last.NonMPSLat)
+		}
+		if g := last.MPSQPS / first.MPSQPS; g > maxGain {
+			maxGain = g
+		}
+	}
+	// "Up to a 6× throughput improvement with concurrent service
+	// execution": require a substantial best-case gain.
+	if maxGain < 1.5 {
+		t.Errorf("best MPS concurrency gain %.2f; paper reports up to 6×", maxGain)
+	}
+	t.Logf("best MPS concurrency gain: %.2fx (paper: up to 6x)", maxGain)
+}
+
+// TestFig9LatencyReduction: at 16 instances, MPS cuts latency vs
+// time-sharing for the low-occupancy services (paper: up to 3×).
+func TestFig9LatencyReduction(t *testing.T) {
+	p := plat()
+	best := 0.0
+	for _, app := range []models.App{models.POS, models.CHK, models.NER, models.IMC} {
+		pts := p.Fig8(app)
+		last := pts[len(pts)-1]
+		if r := last.NonMPSLat / last.MPSLat; r > best {
+			best = r
+		}
+	}
+	if best < 1.5 {
+		t.Errorf("best MPS latency reduction %.2f×, paper reports up to 3×", best)
+	}
+	t.Logf("best MPS latency reduction at 16 instances: %.2fx (paper: up to 3x)", best)
+}
+
+// TestFig10OptimisedSpeedups: over 100× for all but FACE (≈40×); NLP
+// lifted from ≈7× to over 120×.
+func TestFig10OptimisedSpeedups(t *testing.T) {
+	for _, r := range plat().Fig10() {
+		switch r.App {
+		case models.FACE:
+			if r.Speedup < 28 || r.Speedup > 65 {
+				t.Errorf("FACE optimised speedup %.0f, paper reports ≈40×", r.Speedup)
+			}
+		case models.POS, models.CHK, models.NER:
+			if r.Speedup < 120 {
+				t.Errorf("%s optimised speedup %.0f, paper reports over 120×", r.App, r.Speedup)
+			}
+		default:
+			if r.Speedup < 100 {
+				t.Errorf("%s optimised speedup %.0f, paper reports over 100×", r.App, r.Speedup)
+			}
+		}
+	}
+}
+
+// TestFig11GPUScaling: image and speech services scale near-linearly to
+// 8 GPUs; NLP throughput plateaus around 4 GPUs because of PCIe.
+func TestFig11GPUScaling(t *testing.T) {
+	p := plat()
+	scaling := func(app models.App, limited bool) float64 {
+		pts := p.Fig11(app, limited)
+		return pts[len(pts)-1].QPS / pts[0].QPS
+	}
+	for _, a := range []models.App{models.IMC, models.DIG, models.FACE, models.ASR} {
+		if s := scaling(a, true); s < 7 {
+			t.Errorf("%s scales %.1f× at 8 GPUs, paper shows near-linear", a, s)
+		}
+	}
+	for _, a := range []models.App{models.POS, models.CHK, models.NER} {
+		s := scaling(a, true)
+		if s > 5 {
+			t.Errorf("%s scales %.1f× at 8 GPUs, paper shows a plateau by 4 GPUs", a, s)
+		}
+		// The plateau: the last doubling adds almost nothing.
+		pts := p.Fig11(a, true)
+		if pts[7].QPS > pts[3].QPS*1.25 {
+			t.Errorf("%s still gaining past 4 GPUs: %.0f → %.0f", a, pts[3].QPS, pts[7].QPS)
+		}
+	}
+}
+
+// TestFig12UnconstrainedScaling: without PCIe limits every application
+// scales near-linearly, and 3 of the 7 reach ≈1000× over a CPU core at
+// 8 GPUs.
+func TestFig12UnconstrainedScaling(t *testing.T) {
+	p := plat()
+	near1000 := 0
+	for _, app := range models.Apps {
+		pts := p.Fig11(app, false)
+		if s := pts[len(pts)-1].QPS / pts[0].QPS; s < 7.2 {
+			t.Errorf("%s unconstrained scaling %.1f×, want near-linear", app, s)
+		}
+		sp := pts[len(pts)-1].Speedup
+		if sp > 700 && sp < 1600 {
+			near1000++
+		}
+	}
+	if near1000 < 3 {
+		t.Errorf("%d applications near 1000× at 8 GPUs, paper reports 3", near1000)
+	}
+}
+
+// TestFig13BandwidthRequirements: NLP requirements blow past the PCIe
+// v3 line; the computation-heavy tasks stay within reach of a ≥4 GB/s
+// network.
+func TestFig13BandwidthRequirements(t *testing.T) {
+	p := plat()
+	at8 := func(app models.App) float64 {
+		pts := p.Fig13(app)
+		return pts[len(pts)-1].BytesPS
+	}
+	for _, a := range []models.App{models.POS, models.CHK, models.NER} {
+		if bw := at8(a); bw < PCIeV3Bandwidth {
+			t.Errorf("%s needs %.1f GB/s at 8 GPUs, paper shows NLP far above the PCIe v3 line", a, bw/1e9)
+		}
+	}
+	// The computation-heavy tasks are "not bound by the PCIe bandwidth":
+	// their 8-GPU requirement fits inside the host's root complex.
+	host := p.HostPCIeBW
+	for _, a := range []models.App{models.IMC, models.DIG, models.FACE, models.ASR} {
+		bw := at8(a)
+		if bw > host {
+			t.Errorf("%s needs %.1f GB/s, above the %.1f GB/s host root complex", a, bw/1e9, host/1e9)
+		}
+	}
+	// "The theoretical throughput can be achieved by a network with a
+	// bandwidth of at least 4GB/s" — the heaviest compute-bound task
+	// sits in the single-to-low-double-digit GB/s range at 8 GPUs.
+	maxHeavy := math.Max(math.Max(at8(models.IMC), at8(models.DIG)), math.Max(at8(models.FACE), at8(models.ASR)))
+	if maxHeavy < 2e9 || maxHeavy > host {
+		t.Errorf("heaviest compute-bound requirement %.1f GB/s outside [2, %.1f]", maxHeavy/1e9, host/1e9)
+	}
+	// Requirements grow linearly with GPU count.
+	pts := p.Fig13(models.POS)
+	if r := pts[len(pts)-1].BytesPS / pts[0].BytesPS; r < 7 {
+		t.Errorf("POS requirement scaling %.1f×, want ≈8×", r)
+	}
+}
+
+// TestFig15TCO: GPU designs beat CPU-only except near 0% DNN; the
+// Disaggregated design wins for MIXED and NLP; NLP's ceiling is far
+// below MIXED's; IMAGE has a crossover where Integrated pulls ahead.
+func TestFig15TCO(t *testing.T) {
+	p := plat()
+	mixed := p.Fig15("MIXED")
+	nlp := p.Fig15("NLP")
+	img := p.Fig15("IMAGE")
+
+	last := func(pts []Fig15Point) Fig15Point { return pts[len(pts)-1] }
+
+	// Max improvements: MIXED substantial (paper: up to 20×; this
+	// model's ceiling is bounded by integer pool granularity at 500
+	// reference servers — see EXPERIMENTS.md), NLP modest (paper: 4×).
+	mixedImp := 1 / last(mixed).Disagg
+	nlpImp := 1 / last(nlp).Disagg
+	if mixedImp < 3.5 {
+		t.Errorf("MIXED disaggregated improvement %.1f×, paper reports up to 20×", mixedImp)
+	}
+	if nlpImp < 2 || nlpImp > 6 {
+		t.Errorf("NLP disaggregated improvement %.1f×, paper reports up to 4×", nlpImp)
+	}
+	if nlpImp > mixedImp {
+		t.Errorf("NLP improvement (%.1f×) should be below MIXED's (%.1f×)", nlpImp, mixedImp)
+	}
+
+	// Disaggregated at or below Integrated for MIXED and NLP across the
+	// sweep (paper: 10% to 2× better).
+	for _, pts := range [][]Fig15Point{mixed, nlp} {
+		for _, pt := range pts {
+			if pt.Disagg > pt.Integrated*1.02 {
+				t.Errorf("%s at %.0f%% DNN: disaggregated %.3f above integrated %.3f",
+					pt.Mix, pt.DNNFrac*100, pt.Disagg, pt.Integrated)
+			}
+		}
+	}
+
+	// Both GPU designs improve on CPU-only once DNN work is substantial.
+	for _, pt := range mixed {
+		if pt.DNNFrac >= 0.3 && (pt.Integrated > 1 || pt.Disagg > 1) {
+			t.Errorf("MIXED at %.0f%% DNN: GPU designs should beat CPU-only (int %.2f, dis %.2f)",
+				pt.DNNFrac*100, pt.Integrated, pt.Disagg)
+		}
+	}
+
+	// IMAGE crossover: some point in the upper half of the sweep where
+	// Integrated is at or below Disaggregated (paper: beyond 72%).
+	crossed := false
+	for _, pt := range img {
+		if pt.DNNFrac >= 0.4 && pt.Integrated <= pt.Disagg {
+			crossed = true
+			t.Logf("IMAGE crossover at %.0f%% DNN (int %.3f vs dis %.3f)", pt.DNNFrac*100, pt.Integrated, pt.Disagg)
+			break
+		}
+	}
+	if !crossed {
+		t.Error("no IMAGE crossover found; paper reports one at 72% DNN")
+	}
+}
+
+// TestFig16FutureInterconnects: better links unlock large NLP
+// throughput; CPU-only must grow proportionally; Integrated NLP TCO
+// drops with better bandwidth; Disaggregated growth is network-cost
+// driven.
+func TestFig16FutureInterconnects(t *testing.T) {
+	p := plat()
+	nlp := p.Fig16("NLP")
+	if len(nlp) != 3 {
+		t.Fatalf("%d design points, want 3", len(nlp))
+	}
+	v3, v4, qpi := nlp[0], nlp[1], nlp[2]
+	if qpi.PerfScale < 3 || qpi.PerfScale > 8 {
+		t.Errorf("QPI/400GbE NLP performance %.1f×, paper reports up to 4.5×", qpi.PerfScale)
+	}
+	if v4.PerfScale < 1.5 || v4.PerfScale > 2.5 {
+		t.Errorf("PCIe v4 NLP performance %.1f×, expected ≈2× (bandwidth doubles)", v4.PerfScale)
+	}
+	// CPU-only TCO grows in proportion to the performance target.
+	if math.Abs(qpi.CPUOnly.Total()/v3.CPUOnly.Total()-qpi.PerfScale) > 0.05*qpi.PerfScale {
+		t.Errorf("CPU-only TCO should scale with performance: %.2f vs %.2f×",
+			qpi.CPUOnly.Total()/v3.CPUOnly.Total(), qpi.PerfScale)
+	}
+	// "For the NLP workload, improving the bandwidth actually reduces
+	// TCO slightly" (Integrated): fewer stranded GPUs.
+	if qpi.Integrated.Total() >= v3.Integrated.Total() {
+		t.Errorf("Integrated NLP TCO should fall with better interconnect: %.2f → %.2f",
+			v3.Integrated.Total(), qpi.Integrated.Total())
+	}
+	// Disaggregated TCO growth stems primarily from networking costs.
+	netGrowth := qpi.Disagg.Network - v3.Disagg.Network
+	otherGrowth := (qpi.Disagg.Total() - qpi.Disagg.Network) - (v3.Disagg.Total() - v3.Disagg.Network)
+	if netGrowth <= otherGrowth {
+		t.Errorf("Disaggregated TCO growth should be network-driven: net +%.2f vs other +%.2f", netGrowth, otherGrowth)
+	}
+	// Both GPU designs stay far below the matched CPU-only design.
+	for _, pt := range nlp {
+		if pt.Integrated.Total() > pt.CPUOnly.Total()*0.8 || pt.Disagg.Total() > pt.CPUOnly.Total()*0.8 {
+			t.Errorf("%s: GPU designs should remain well below CPU-only", pt.Link)
+		}
+	}
+}
+
+// TestRenderersProduceOutput smoke-tests every text renderer.
+func TestRenderersProduceOutput(t *testing.T) {
+	p := plat()
+	outputs := []string{
+		p.RenderFig4(), p.RenderFig5(), p.RenderFig6(), p.RenderFig10(),
+		p.RenderFig13(), p.RenderFig15(), p.RenderFig16(),
+		RenderTable1(), RenderTable3(), RenderTable4(), RenderTable5(), RenderTable6(),
+	}
+	for i, s := range outputs {
+		if len(s) < 80 {
+			t.Errorf("renderer %d produced suspiciously short output: %q", i, s)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// TestTCOProbe prints Figure 15/16 headline numbers for calibration;
+// run with -v when tuning.
+func TestTCOProbe(t *testing.T) {
+	p := DefaultPlatform()
+	for _, mix := range MixNames {
+		pts := p.Fig15(mix)
+		t.Logf("%s:", mix)
+		for _, pt := range pts {
+			t.Logf("  dnn=%.2f  integrated=%.3f  disagg=%.3f  (improvement int=%.1fx dis=%.1fx)",
+				pt.DNNFrac, pt.Integrated, pt.Disagg, 1/pt.Integrated, 1/pt.Disagg)
+		}
+	}
+	for _, mix := range []string{"MIXED", "NLP"} {
+		t.Logf("Fig16 %s:", mix)
+		for _, pt := range p.Fig16(mix) {
+			t.Logf("  %-16s perf=%.2fx  cpu=%.2f int=%.2f dis=%.2f",
+				pt.Link, pt.PerfScale, pt.CPUOnly.Total(), pt.Integrated.Total(), pt.Disagg.Total())
+		}
+	}
+}

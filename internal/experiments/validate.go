@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"djinn/internal/gpusim"
+	"djinn/internal/models"
+	"djinn/internal/workload"
+	"djinn/internal/wsc"
+)
+
+// Validation experiment: the TCO study provisions the Disaggregated
+// design from an analytic per-server throughput cap,
+// min(GPUs × perGPU, NetBW/bytes, LinkBW/bytes). This cross-checks that
+// cap against a full discrete-event simulation of one GPU server —
+// queries traversing the NIC team, the PCIe complex, and 8 GPUs with 4
+// MPS services each — so the provisioning inputs are backed by the
+// same machinery as the performance figures.
+type ValidationRow struct {
+	App         models.App
+	AnalyticQPS float64
+	DESQPS      float64
+	Ratio       float64
+}
+
+// ValidateDisaggServer compares analytic and simulated per-GPU-server
+// throughput under the baseline PCIe v3 / 10GbE design point.
+func (p Platform) ValidateDisaggServer() []ValidationRow {
+	link := wsc.Table6()[0]
+	var rows []ValidationRow
+	for _, app := range models.Apps {
+		spec := workload.Get(app)
+		perGPU := p.ServerQPS(app, 1, OptimalMPSProcs, true, false).QPS
+		analytic := wsc.GPUsPerDisaggServer * perGPU
+		if cap := link.NetBW / spec.WireBytes(); cap < analytic {
+			analytic = cap
+		}
+		if cap := link.LinkBW / spec.WireBytes(); cap < analytic {
+			analytic = cap
+		}
+		cfg := gpusim.ServerConfig{
+			Device:      p.GPU,
+			GPUs:        wsc.GPUsPerDisaggServer,
+			ProcsPerGPU: OptimalMPSProcs,
+			MPS:         true,
+			HostPCIeBW:  link.LinkBW,
+			PCIeLatency: p.PCIeLatency,
+			NetBW:       link.NetBW,
+			NetLatency:  20e-6,
+		}
+		res := gpusim.SaturationQPS(cfg, p.batchWork(app, spec.BatchSize))
+		rows = append(rows, ValidationRow{
+			App: app, AnalyticQPS: analytic, DESQPS: res.QPS,
+			Ratio: res.QPS / analytic,
+		})
+	}
+	return rows
+}
+
+// RenderValidation prints the cross-check.
+func (p Platform) RenderValidation() string {
+	t := &table{header: []string{"app", "analytic QPS/server", "simulated QPS/server", "ratio"}}
+	for _, r := range p.ValidateDisaggServer() {
+		t.add(r.App.String(), f1(r.AnalyticQPS), f1(r.DESQPS), fmt.Sprintf("%.2f", r.Ratio))
+	}
+	return "Validation: analytic Disaggregated-server capacity vs discrete-event simulation\n" + t.String()
+}

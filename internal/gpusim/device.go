@@ -1,0 +1,220 @@
+// Package gpusim models the NVIDIA Tesla K40 GPU the paper's server is
+// built from. Since this reproduction runs without GPU hardware, the
+// package substitutes an analytic-plus-discrete-event performance model
+// built from exactly the mechanisms the paper uses to explain its
+// results: per-kernel roofline (compute vs DRAM traffic), occupancy
+// derived from launched warps vs resident-warp capacity (Figures 6 and
+// 7b), kernel-launch overhead, context-switch costs for time-shared
+// processes vs shared-resource concurrency under MPS (Figures 8 and 9),
+// and a shared host PCIe root complex (Figures 11-13). Five scalar
+// calibration constants are documented on DeviceSpec; everything else
+// derives from the networks' kernel descriptors (internal/nn).
+package gpusim
+
+import "math"
+
+// DeviceSpec describes a GPU for the analytic timing model.
+type DeviceSpec struct {
+	Name       string
+	SMs        int     // streaming multiprocessors
+	CoresPerSM int     // CUDA cores per SM
+	ClockHz    float64 // core clock
+	// PeakFLOPS is the single-precision peak (2 ops/core/cycle FMA).
+	PeakFLOPS float64
+	MemBW     float64 // DRAM bandwidth, bytes/s
+	MemBytes  int64   // device memory
+	L2BW      float64 // L2 aggregate bandwidth, bytes/s (profiler counters)
+	L1BW      float64 // L1/shared aggregate bandwidth, bytes/s
+	// MaxWarpsPerSM is the resident-warp capacity per SM; occupancy is
+	// launched warps divided by SMs*MaxWarpsPerSM (capped at 1).
+	MaxWarpsPerSM int
+	WarpSize      int
+
+	// Calibration constants (see DESIGN.md §2). MaxEff is the fraction
+	// of peak FLOPS dense GEMM sustains at full occupancy (cuBLAS on
+	// Kepler). CompSat and MemSat are the occupancies at which compute
+	// issue and DRAM bandwidth saturate; below them, achievable
+	// throughput scales linearly with occupancy (the latency-hiding
+	// model, after Hong & Kim). LaunchOverhead is the host-side gap per
+	// kernel launch during which the GPU is idle for this process.
+	// CtxSwitch is the penalty to switch the GPU between processes when
+	// MPS is off. MinKernelTime is the latency floor of any kernel
+	// (pipeline fill and drain).
+	MaxEff         float64
+	CompSat        float64
+	MemSat         float64
+	LaunchOverhead float64 // seconds
+	CtxSwitch      float64 // seconds
+	MinKernelTime  float64 // seconds
+	// SmallTileEff is the peak-efficiency multiplier of the small-tile
+	// (32×32) SGEMM kernels cuBLAS falls back to for small matrices:
+	// more blocks (better occupancy) at lower per-thread efficiency.
+	// The model runs both candidates and keeps the faster one.
+	SmallTileEff float64
+	// MinOcc floors the occupancy used for compute throughput: even a
+	// one-block kernel keeps a few SMs pipelined rather than scaling
+	// all the way to zero.
+	MinOcc float64
+}
+
+// K40 returns the paper's accelerator: NVIDIA Tesla K40 (Table 2).
+func K40() DeviceSpec {
+	const clock = 745e6
+	const sms = 15
+	const cores = 192
+	return DeviceSpec{
+		Name:           "NVIDIA Tesla K40",
+		SMs:            sms,
+		CoresPerSM:     cores,
+		ClockHz:        clock,
+		PeakFLOPS:      2 * float64(sms*cores) * clock, // 4.29 TFLOPS
+		MemBW:          288e9,
+		MemBytes:       12 << 30,
+		L2BW:           750e9,
+		L1BW:           1.4e12,
+		MaxWarpsPerSM:  64,
+		WarpSize:       32,
+		MaxEff:         0.70,
+		CompSat:        1.0,
+		MemSat:         0.05,
+		LaunchOverhead: 6e-6,
+		CtxSwitch:      60e-6,
+		MinKernelTime:  2e-6,
+		SmallTileEff:   0.60,
+		MinOcc:         0.12,
+	}
+}
+
+// Occupancy returns the achieved occupancy for a kernel launching the
+// given number of threads: active warps over the device's resident-warp
+// capacity, capped at 1. Small kernels (the NLP networks at low batch)
+// land well under 20%, reproducing Figure 6.
+func (d DeviceSpec) Occupancy(threads int) float64 {
+	if threads <= 0 {
+		return 0
+	}
+	warps := (threads + d.WarpSize - 1) / d.WarpSize
+	cap := d.SMs * d.MaxWarpsPerSM
+	occ := float64(warps) / float64(cap)
+	if occ > 1 {
+		occ = 1
+	}
+	return occ
+}
+
+// compEff returns the fraction of peak FLOPS achievable at occupancy
+// occ: MaxEff once enough warps are resident to hide latency, scaling
+// linearly below CompSat, floored at MinOcc.
+func (d DeviceSpec) compEff(occ float64) float64 {
+	if occ < d.MinOcc {
+		occ = d.MinOcc
+	}
+	s := occ / d.CompSat
+	if s > 1 {
+		s = 1
+	}
+	return d.MaxEff * s
+}
+
+// memEff returns the fraction of DRAM bandwidth achievable at occupancy
+// occ; a handful of warps per SM saturates DRAM.
+func (d DeviceSpec) memEff(occ float64) float64 {
+	s := occ / d.MemSat
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// KernelWork summarises one kernel for the timing model.
+type KernelWork struct {
+	FLOPs float64
+	Bytes float64
+	// Occ is the resident-warp occupancy of the kernel as launched
+	// (what MPS resource sharing sees). DispOcc is the achieved
+	// occupancy a profiler would report — for small-tile GEMM kernels
+	// it is discounted by their per-thread inefficiency, which is what
+	// makes Figure 7b's curves rise smoothly with batch size.
+	Occ      float64
+	DispOcc  float64
+	SoloTime float64 // execution time with the GPU to itself (no launch overhead)
+}
+
+// Work converts a kernel descriptor (FLOPs, bytes, threads) into timed
+// work: the roofline maximum of compute time at occupancy-scaled
+// efficiency and DRAM time at occupancy-scaled bandwidth.
+func (d DeviceSpec) Work(flops, bytes float64, threads int) KernelWork {
+	return d.workAt(flops, bytes, d.Occupancy(threads), 1)
+}
+
+func (d DeviceSpec) workAt(flops, bytes, occ, tileEff float64) KernelWork {
+	var compute, memory float64
+	if flops > 0 {
+		compute = flops / (d.PeakFLOPS * d.compEff(occ) * tileEff)
+	}
+	if bytes > 0 {
+		memory = bytes / (d.MemBW * d.memEff(occ))
+	}
+	t := math.Max(compute, memory)
+	if t < d.MinKernelTime {
+		t = d.MinKernelTime
+	}
+	if t <= 0 {
+		t = 1e-9
+	}
+	return KernelWork{FLOPs: flops, Bytes: bytes, Occ: occ, DispOcc: occ * tileEff, SoloTime: t}
+}
+
+// GemmWork times an SGEMM kernel over an m×n output (count independent
+// problems in the launch): cuBLAS-style, it evaluates a large-tile
+// (128×64, full efficiency) and a small-tile (32×32, SmallTileEff)
+// candidate and keeps the faster. Tile quantisation makes small-batch
+// GEMMs underoccupy the device — the root cause of Figures 6 and 7b.
+func (d DeviceSpec) GemmWork(flops, bytes float64, m, n, count int) KernelWork {
+	if count < 1 {
+		count = 1
+	}
+	tiles := func(tm, tn int) int {
+		return ((m + tm - 1) / tm) * ((n + tn - 1) / tn) * count * 256
+	}
+	large := d.workAt(flops, bytes, d.Occupancy(tiles(128, 64)), 1)
+	small := d.workAt(flops, bytes, d.Occupancy(tiles(32, 32)), d.SmallTileEff)
+	if small.SoloTime < large.SoloTime {
+		return small
+	}
+	return large
+}
+
+// M40 returns an NVIDIA Tesla M40 (Maxwell, 2015): the generation the
+// paper's conclusions would first meet, with ~1.6× the K40's compute at
+// the same DRAM bandwidth.
+func M40() DeviceSpec {
+	d := K40()
+	d.Name = "NVIDIA Tesla M40"
+	d.SMs = 24
+	d.CoresPerSM = 128
+	d.ClockHz = 1.114e9
+	d.PeakFLOPS = 2 * float64(24*128) * 1.114e9 // 6.84 TFLOPS
+	d.MemBW = 288e9
+	d.MemBytes = 12 << 30
+	d.L2BW = 1.1e12
+	d.MaxWarpsPerSM = 64
+	return d
+}
+
+// P100 returns an NVIDIA Tesla P100 (Pascal, 2016): HBM2 memory lifts
+// the bandwidth roofline 2.5×, which is what the memory-bound FACE
+// service needs.
+func P100() DeviceSpec {
+	d := K40()
+	d.Name = "NVIDIA Tesla P100"
+	d.SMs = 56
+	d.CoresPerSM = 64
+	d.ClockHz = 1.328e9
+	d.PeakFLOPS = 2 * float64(56*64) * 1.328e9 // 9.5 TFLOPS
+	d.MemBW = 732e9
+	d.MemBytes = 16 << 30
+	d.L2BW = 2e12
+	d.MaxWarpsPerSM = 64
+	return d
+}

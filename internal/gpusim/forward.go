@@ -1,0 +1,82 @@
+package gpusim
+
+import "djinn/internal/nn"
+
+// Lower converts a network's kernel descriptors into timed GPU work:
+// GEMM kernels through the two-candidate tile model, element-wise
+// kernels through their thread count.
+func (d DeviceSpec) Lower(ks []nn.Kernel) []KernelWork {
+	out := make([]KernelWork, len(ks))
+	for i, k := range ks {
+		bytes := k.Bytes() * k.Replay()
+		if k.GemmM > 0 && k.GemmN > 0 {
+			out[i] = d.GemmWork(k.FLOPs, bytes, k.GemmM, k.GemmN, k.GemmCount)
+		} else {
+			out[i] = d.Work(k.FLOPs, bytes, k.Threads)
+		}
+	}
+	return out
+}
+
+// ForwardTime returns the single-process forward-pass time for a kernel
+// sequence: each kernel's solo execution plus the per-launch host gap.
+// This is the analytic path used for the batching study (Figure 7);
+// the multi-process experiments use the discrete-event scheduler.
+func (d DeviceSpec) ForwardTime(ks []nn.Kernel) float64 {
+	var t float64
+	for _, w := range d.Lower(ks) {
+		t += w.SoloTime + d.LaunchOverhead
+	}
+	return t
+}
+
+// Profile is the set of profiler counters Figure 6 reports, averaged
+// over a forward pass's kernels weighted by each kernel's execution
+// time (the paper's methodology: "metrics are collected at the kernel
+// level ... weighted by each kernel's execution time").
+type Profile struct {
+	IPCRatio  float64 // achieved instruction throughput / peak
+	Occupancy float64 // active warps / peak active warps
+	L1Util    float64 // L1/shared-memory bandwidth utilisation
+	L2Util    float64 // L2 bandwidth utilisation
+	Time      float64 // total kernel time (no launch gaps)
+}
+
+// ProfileForward produces Figure 6's counters for a kernel sequence.
+func (d DeviceSpec) ProfileForward(ks []nn.Kernel) Profile {
+	var p Profile
+	for _, w := range d.Lower(ks) {
+		t := w.SoloTime
+		// Instruction throughput achieved by this kernel relative to
+		// device peak issue. Memory-bound kernels issue at the rate the
+		// data arrives.
+		ipc := (w.FLOPs / t) / d.PeakFLOPS
+		if ipc > 1 {
+			ipc = 1
+		}
+		// On-chip traffic: every FLOP sources operands through the
+		// L1/shared hierarchy with heavy register-level reuse (~0.25
+		// bytes/FLOP after blocking); DRAM traffic is a lower bound for
+		// L2 traffic.
+		l1 := (w.FLOPs * 0.25) / (t * d.L1BW)
+		if l1 > 1 {
+			l1 = 1
+		}
+		l2 := (w.Bytes * 1.5) / (t * d.L2BW)
+		if l2 > 1 {
+			l2 = 1
+		}
+		p.IPCRatio += ipc * t
+		p.Occupancy += w.DispOcc * t
+		p.L1Util += l1 * t
+		p.L2Util += l2 * t
+		p.Time += t
+	}
+	if p.Time > 0 {
+		p.IPCRatio /= p.Time
+		p.Occupancy /= p.Time
+		p.L1Util /= p.Time
+		p.L2Util /= p.Time
+	}
+	return p
+}

@@ -1,0 +1,185 @@
+package gpusim
+
+import (
+	"sort"
+
+	"djinn/internal/sim"
+	"djinn/internal/tensor"
+)
+
+// OpenLoopConfig describes an open-loop service experiment: queries
+// arrive in a Poisson stream, the service aggregates them into batches
+// (size threshold or window timeout, DjiNN's aggregator policy), and
+// the batches execute on the simulated GPU server. Where the
+// closed-loop saturation runs measure peak throughput (Figures 7-12),
+// this measures the latency a service user sees at a given load.
+type OpenLoopConfig struct {
+	Server ServerConfig
+	// ArrivalRate is the query arrival rate, per second.
+	ArrivalRate float64
+	// BatchQueries is the aggregation threshold in queries.
+	BatchQueries int
+	// BatchWindow is the aggregation timeout, seconds.
+	BatchWindow float64
+	// QueryKernels lowers one query's forward pass; a batch of n
+	// queries runs kernels scaled from a batch-n forward pass supplied
+	// by BatchKernels.
+	BatchKernels func(queries int) []KernelWork
+	// BytesPerQuery is the PCIe transfer size per query.
+	BytesPerQuery float64
+	Seed          uint64
+}
+
+// OpenLoopResult summarises the run.
+type OpenLoopResult struct {
+	Arrived   int
+	Completed int
+	QPS       float64
+	MeanLat   float64
+	P50, P95  float64
+	P99       float64
+	MeanBatch float64
+}
+
+// SimulateOpenLoop runs the open-loop experiment for the given
+// simulated duration (after a 10% warmup) and reports query latency
+// from arrival to completion — queueing in the aggregator included.
+func SimulateOpenLoop(cfg OpenLoopConfig, duration float64) OpenLoopResult {
+	if cfg.ArrivalRate <= 0 || cfg.BatchQueries <= 0 || cfg.BatchWindow <= 0 {
+		panic("gpusim: open-loop config needs positive rate, batch and window")
+	}
+	eng := sim.New()
+	var sched scheduler
+	if cfg.Server.MPS {
+		sched = newMPSSched(eng, cfg.Server.Device)
+	} else {
+		sched = newExclusiveSched(eng, cfg.Server.Device)
+	}
+	var pcie *sim.FIFO
+	if cfg.Server.HostPCIeBW > 0 {
+		pcie = sim.NewFIFO(eng)
+	}
+	rng := tensor.NewRNG(cfg.Seed + 1)
+	warmup := duration * 0.1
+	var (
+		pendingArrivals []float64 // arrival times of queued queries
+		windowEvent     *sim.Event
+		latencies       []float64
+		arrived         int
+		completed       int
+		batchQueries    int
+		batches         int
+		busyProcs       int
+		batchQueue      [][]float64 // formed batches waiting for a worker
+	)
+	maxProcs := cfg.Server.ProcsPerGPU * cfg.Server.GPUs
+	if maxProcs <= 0 {
+		maxProcs = 1
+	}
+
+	// dispatch runs one batch on a service worker; DjiNN has a fixed
+	// worker pool, so formed batches queue when all workers are busy.
+	var dispatch func(arrivals []float64)
+	dispatch = func(arrivals []float64) {
+		busyProcs++
+		ks := cfg.BatchKernels(len(arrivals))
+		finish := func() {
+			busyProcs--
+			for _, at := range arrivals {
+				if at >= warmup {
+					latencies = append(latencies, eng.Now()-at)
+					completed++
+				}
+			}
+			batches++
+			batchQueries += len(arrivals)
+			if len(batchQueue) > 0 && busyProcs < maxProcs {
+				next := batchQueue[0]
+				batchQueue = batchQueue[1:]
+				dispatch(next)
+			}
+		}
+		var runKernel func(i int)
+		runKernel = func(i int) {
+			if i >= len(ks) {
+				finish()
+				return
+			}
+			eng.After(cfg.Server.Device.LaunchOverhead, func() {
+				sched.Submit(0, ks[i], func() { runKernel(i + 1) })
+			})
+		}
+		start := func() { runKernel(0) }
+		if pcie != nil {
+			bytes := cfg.BytesPerQuery * float64(len(arrivals))
+			pcie.Acquire(bytes/cfg.Server.HostPCIeBW, func() {
+				eng.After(cfg.Server.PCIeLatency, start)
+			})
+		} else {
+			start()
+		}
+	}
+
+	flush := func() {
+		if len(pendingArrivals) == 0 {
+			return
+		}
+		batch := pendingArrivals
+		pendingArrivals = nil
+		if windowEvent != nil {
+			windowEvent.Cancel()
+			windowEvent = nil
+		}
+		if busyProcs >= maxProcs {
+			batchQueue = append(batchQueue, batch)
+			return
+		}
+		dispatch(batch)
+	}
+
+	var arrive func()
+	arrive = func() {
+		arrived++
+		pendingArrivals = append(pendingArrivals, eng.Now())
+		if len(pendingArrivals) >= cfg.BatchQueries {
+			flush()
+		} else if windowEvent == nil {
+			windowEvent = eng.After(cfg.BatchWindow, func() {
+				windowEvent = nil
+				flush()
+			})
+		}
+		next := rng.ExpFloat64() / cfg.ArrivalRate
+		if eng.Now()+next < duration {
+			eng.After(next, arrive)
+		}
+	}
+	eng.After(rng.ExpFloat64()/cfg.ArrivalRate, arrive)
+	eng.Run()
+
+	res := OpenLoopResult{Arrived: arrived, Completed: completed}
+	measured := duration - warmup
+	if measured > 0 {
+		res.QPS = float64(completed) / measured
+	}
+	if len(latencies) > 0 {
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanLat = sum / float64(len(latencies))
+		sort.Float64s(latencies)
+		q := func(p float64) float64 {
+			i := int(p * float64(len(latencies)))
+			if i >= len(latencies) {
+				i = len(latencies) - 1
+			}
+			return latencies[i]
+		}
+		res.P50, res.P95, res.P99 = q(0.50), q(0.95), q(0.99)
+	}
+	if batches > 0 {
+		res.MeanBatch = float64(batchQueries) / float64(batches)
+	}
+	return res
+}

@@ -1,0 +1,95 @@
+package gpusim
+
+import (
+	"testing"
+)
+
+func openLoopCfg(rate float64) OpenLoopConfig {
+	d := K40()
+	// One batch-16 forward pass is a single ~67µs kernel, scaled by fill.
+	return OpenLoopConfig{
+		Server:        ServerConfig{Device: d, GPUs: 1, ProcsPerGPU: 1, MPS: true},
+		ArrivalRate:   rate,
+		BatchQueries:  16,
+		BatchWindow:   2e-3,
+		BatchKernels:  func(q int) []KernelWork { return []KernelWork{d.Work(2e8*float64(q)/16, 1e6, 1<<20)} },
+		BytesPerQuery: 1e4,
+		Seed:          7,
+	}
+}
+
+func TestOpenLoopThroughputMatchesArrivals(t *testing.T) {
+	// Far below capacity, completed QPS ≈ arrival rate.
+	res := SimulateOpenLoop(openLoopCfg(2000), 2.0)
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if res.QPS < 1600 || res.QPS > 2400 {
+		t.Fatalf("QPS %v, want ≈2000", res.QPS)
+	}
+}
+
+func TestOpenLoopLatencyCurveShape(t *testing.T) {
+	// A batching service has a U-shaped latency curve: at trickle load
+	// queries wait out the batch window; in the sweet spot batches fill
+	// instantly; near saturation queueing explodes (Figure 7c's elbow).
+	low := SimulateOpenLoop(openLoopCfg(1000), 2.0)
+	mid := SimulateOpenLoop(openLoopCfg(50000), 2.0)
+	sat := SimulateOpenLoop(openLoopCfg(230000), 2.0)
+	// Low load: window-dominated, bounded by window + service time.
+	if low.MeanLat > 5e-3 {
+		t.Fatalf("low-load latency %v far above the 2ms batch window", low.MeanLat)
+	}
+	if low.MeanLat < 5e-4 {
+		t.Fatalf("low-load latency %v should include window waiting", low.MeanLat)
+	}
+	// Sweet spot: below the window wait.
+	if mid.MeanLat >= low.MeanLat {
+		t.Fatalf("sweet-spot latency %v should beat trickle-load %v", mid.MeanLat, low.MeanLat)
+	}
+	// Saturation: queueing dominates everything.
+	if sat.MeanLat < 4*mid.MeanLat {
+		t.Fatalf("near-saturation latency %v should explode past %v", sat.MeanLat, mid.MeanLat)
+	}
+}
+
+func TestOpenLoopBatchFormation(t *testing.T) {
+	// At high load the aggregator should form full batches; at trickle
+	// load it should flush singles on the window.
+	hot := SimulateOpenLoop(openLoopCfg(100000), 1.0)
+	if hot.MeanBatch < 8 {
+		t.Fatalf("hot mean batch %.1f, want near 16", hot.MeanBatch)
+	}
+	cold := SimulateOpenLoop(openLoopCfg(50), 2.0)
+	if cold.MeanBatch > 4 {
+		t.Fatalf("cold mean batch %.1f, want small", cold.MeanBatch)
+	}
+}
+
+func TestOpenLoopPercentilesOrdered(t *testing.T) {
+	res := SimulateOpenLoop(openLoopCfg(20000), 2.0)
+	if !(res.P50 <= res.P95 && res.P95 <= res.P99) {
+		t.Fatalf("percentiles out of order: %v %v %v", res.P50, res.P95, res.P99)
+	}
+	if res.MeanLat <= 0 {
+		t.Fatal("no latency measured")
+	}
+}
+
+func TestOpenLoopDeterministic(t *testing.T) {
+	a := SimulateOpenLoop(openLoopCfg(5000), 1.0)
+	b := SimulateOpenLoop(openLoopCfg(5000), 1.0)
+	if a.Completed != b.Completed || a.MeanLat != b.MeanLat {
+		t.Fatal("open-loop simulation is not deterministic")
+	}
+}
+
+func TestOpenLoopRejectsBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := openLoopCfg(0)
+	SimulateOpenLoop(cfg, 1)
+}

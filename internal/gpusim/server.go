@@ -1,0 +1,209 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"djinn/internal/nn"
+	"djinn/internal/sim"
+)
+
+// MaxMPSProcs is the maximum number of simultaneous processes MPS
+// supports (Section 5.2).
+const MaxMPSProcs = 16
+
+// ServerConfig describes one DNN GPU server for the discrete-event
+// experiments.
+type ServerConfig struct {
+	Device      DeviceSpec
+	GPUs        int
+	ProcsPerGPU int  // concurrent DNN service instances per GPU
+	MPS         bool // concurrent kernels (true) vs time-sharing (false)
+	// HostPCIeBW is the aggregate host root-complex bandwidth shared by
+	// all GPUs, bytes/s. Zero or +Inf disables the PCIe model entirely
+	// (the paper's "input pinned in GPU memory" configuration, Fig 12).
+	HostPCIeBW float64
+	// PCIeLatency is the fixed per-transfer latency (DMA setup).
+	PCIeLatency float64
+	// NetBW is the goodput of the NIC team feeding this server from the
+	// CPU tier (the Disaggregated design's network hop, Figure 14c);
+	// query payloads traverse it before the PCIe complex. Zero disables
+	// the hop (Integrated design: queries arrive on the local bus).
+	NetBW float64
+	// NetLatency is the fixed per-transfer network latency.
+	NetLatency float64
+}
+
+// BatchWork is one batched query's worth of work: the forward-pass
+// kernels at the batch size, the wire bytes moved across PCIe, and how
+// many application queries the batch carries.
+type BatchWork struct {
+	Kernels  []KernelWork
+	BytesIn  float64
+	BytesOut float64
+	Queries  int
+}
+
+// NewBatchWork lowers a network forward pass at the given batch size.
+// queries is the number of application-level queries in the batch and
+// bytesIn/bytesOut the total wire bytes for the batch.
+func NewBatchWork(d DeviceSpec, ks []nn.Kernel, queries int, bytesIn, bytesOut float64) BatchWork {
+	return BatchWork{Kernels: d.Lower(ks), BytesIn: bytesIn, BytesOut: bytesOut, Queries: queries}
+}
+
+// Result summarises a saturation run.
+type Result struct {
+	QPS        float64 // application queries per second
+	BatchRate  float64 // batches per second
+	AvgLatency float64 // mean batch latency, seconds
+	P95Latency float64
+	GPUUtil    float64 // mean busy fraction across GPUs
+	PCIeUtil   float64 // host link utilisation (0 when unconstrained)
+}
+
+// SimulateSaturation runs a closed-loop saturation experiment: every
+// service process always has a next batch ready (the paper's
+// stress-test methodology). It returns steady-state throughput and
+// latency measured over [warmup, warmup+measure).
+func SimulateSaturation(cfg ServerConfig, b BatchWork, warmup, measure float64) Result {
+	if cfg.GPUs <= 0 || cfg.ProcsPerGPU <= 0 {
+		panic("gpusim: config needs at least one GPU and one process")
+	}
+	if cfg.MPS && cfg.ProcsPerGPU > MaxMPSProcs {
+		panic(fmt.Sprintf("gpusim: MPS supports at most %d processes, got %d", MaxMPSProcs, cfg.ProcsPerGPU))
+	}
+	if len(b.Kernels) == 0 {
+		panic("gpusim: batch has no kernels")
+	}
+	eng := sim.New()
+	scheds := make([]scheduler, cfg.GPUs)
+	for i := range scheds {
+		if cfg.MPS {
+			scheds[i] = newMPSSched(eng, cfg.Device)
+		} else {
+			scheds[i] = newExclusiveSched(eng, cfg.Device)
+		}
+	}
+	pcieLimited := cfg.HostPCIeBW > 0 && !math.IsInf(cfg.HostPCIeBW, 1)
+	var pcie *sim.FIFO
+	if pcieLimited {
+		pcie = sim.NewFIFO(eng)
+	}
+	netLimited := cfg.NetBW > 0 && !math.IsInf(cfg.NetBW, 1)
+	var nic *sim.FIFO
+	if netLimited {
+		nic = sim.NewFIFO(eng)
+	}
+
+	end := warmup + measure
+	var doneQueries int
+	var doneBatches int
+	var latencies []float64
+
+	// Each process is a little state machine: transfer in → kernels
+	// (with launch gaps) → transfer out → record → repeat.
+	procID := 0
+	for g := 0; g < cfg.GPUs; g++ {
+		sched := scheds[g]
+		for p := 0; p < cfg.ProcsPerGPU; p++ {
+			id := procID
+			procID++
+			var runBatch func()
+			runBatch = func() {
+				if eng.Now() >= end {
+					return
+				}
+				start := eng.Now()
+				finish := func() {
+					if eng.Now() >= warmup && eng.Now() < end {
+						doneQueries += b.Queries
+						doneBatches++
+						latencies = append(latencies, eng.Now()-start)
+					}
+					runBatch()
+				}
+				afterKernels := func() {
+					if pcieLimited && b.BytesOut > 0 {
+						pcie.Acquire(b.BytesOut/cfg.HostPCIeBW, func() {
+							eng.After(cfg.PCIeLatency, finish)
+						})
+					} else {
+						finish()
+					}
+				}
+				var runKernel func(i int)
+				runKernel = func(i int) {
+					if i >= len(b.Kernels) {
+						afterKernels()
+						return
+					}
+					// Host-side launch gap, then the kernel itself.
+					eng.After(cfg.Device.LaunchOverhead, func() {
+						sched.Submit(id, b.Kernels[i], func() { runKernel(i + 1) })
+					})
+				}
+				toPCIe := func() {
+					if pcieLimited && b.BytesIn > 0 {
+						pcie.Acquire(b.BytesIn/cfg.HostPCIeBW, func() {
+							eng.After(cfg.PCIeLatency, func() { runKernel(0) })
+						})
+					} else {
+						runKernel(0)
+					}
+				}
+				if netLimited && b.BytesIn > 0 {
+					nic.Acquire(b.BytesIn/cfg.NetBW, func() {
+						eng.After(cfg.NetLatency, toPCIe)
+					})
+				} else {
+					toPCIe()
+				}
+			}
+			runBatch()
+		}
+	}
+	eng.RunUntil(end)
+
+	res := Result{
+		QPS:       float64(doneQueries) / measure,
+		BatchRate: float64(doneBatches) / measure,
+	}
+	if len(latencies) > 0 {
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.AvgLatency = sum / float64(len(latencies))
+		sort.Float64s(latencies)
+		res.P95Latency = latencies[int(float64(len(latencies))*0.95)]
+	}
+	var busy float64
+	for _, s := range scheds {
+		busy += s.BusySeconds()
+	}
+	res.GPUUtil = busy / (float64(cfg.GPUs) * end)
+	if pcieLimited {
+		res.PCIeUtil = pcie.Utilization()
+	}
+	return res
+}
+
+// SaturationQPS is a convenience wrapper returning only throughput,
+// with a warmup and measurement window automatically scaled to the
+// batch's single-process time so fast and slow services both converge.
+func SaturationQPS(cfg ServerConfig, b BatchWork) Result {
+	var solo float64
+	for _, w := range b.Kernels {
+		solo += w.SoloTime + cfg.Device.LaunchOverhead
+	}
+	// Enough time for every process to complete many batches.
+	horizon := solo * 60 * float64(cfg.ProcsPerGPU)
+	if horizon < 0.25 {
+		horizon = 0.25
+	}
+	if horizon > 60 {
+		horizon = 60
+	}
+	return SimulateSaturation(cfg, b, horizon/5, horizon)
+}

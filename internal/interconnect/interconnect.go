@@ -1,0 +1,83 @@
+// Package interconnect models the CPU↔GPU links of Section 6: PCI
+// Express generations and Intel QPI, with per-transfer timing and the
+// aggregate-bandwidth figures the WSC designs are provisioned around.
+package interconnect
+
+import "fmt"
+
+// Link is one interconnect technology instance.
+type Link struct {
+	Name string
+	// BytesPerSec is the usable unidirectional bandwidth.
+	BytesPerSec float64
+	// Latency is the fixed per-transfer cost (DMA setup, traversal).
+	Latency float64
+}
+
+// TransferTime returns the time to move n bytes across the link.
+func (l Link) TransferTime(n float64) float64 {
+	if n < 0 {
+		panic("interconnect: negative transfer size")
+	}
+	if l.BytesPerSec <= 0 {
+		panic(fmt.Sprintf("interconnect: link %s has no bandwidth", l.Name))
+	}
+	return l.Latency + n/l.BytesPerSec
+}
+
+// PCIe generation parameters: per-lane effective throughput after
+// encoding overhead (8b/10b for gen 1-2, 128b/130b from gen 3).
+var pciePerLane = map[int]float64{
+	1: 250e6,
+	2: 500e6,
+	3: 984.6e6, // 0.9846 GB/s → x16 = 15.75 GB/s, the paper's figure
+	4: 1969e6,  // x16 = 31.5 GB/s ≈ the paper's 31.75
+	5: 3938e6,
+}
+
+// PCIe returns a PCIe link of the given generation and lane count.
+func PCIe(gen, lanes int) Link {
+	perLane, ok := pciePerLane[gen]
+	if !ok {
+		panic(fmt.Sprintf("interconnect: unknown PCIe generation %d", gen))
+	}
+	if lanes <= 0 || lanes > 32 {
+		panic(fmt.Sprintf("interconnect: implausible lane count %d", lanes))
+	}
+	return Link{
+		Name:        fmt.Sprintf("PCIe v%d x%d", gen, lanes),
+		BytesPerSec: perLane * float64(lanes),
+		Latency:     3e-6,
+	}
+}
+
+// QPILinkBW is one Quick Path Interconnect link's bandwidth (Section
+// 6.4: "standard QPI links available at the time of this writing yield
+// 25.6 GB/s").
+const QPILinkBW = 25.6e9
+
+// QPI returns an aggregate of n point-to-point QPI links (the paper's
+// future design uses 12: 6 per socket for 12 GPUs → 307.2 GB/s).
+func QPI(links int) Link {
+	if links <= 0 {
+		panic("interconnect: need at least one QPI link")
+	}
+	return Link{
+		Name:        fmt.Sprintf("QPI x%d", links),
+		BytesPerSec: QPILinkBW * float64(links),
+		Latency:     1e-6,
+	}
+}
+
+// HostComplex returns the aggregate host root-complex bandwidth of a
+// multi-socket server: sockets × one x16 link of the generation (each
+// socket's 40 lanes realistically sustain about one x16's worth of
+// concurrent DMA traffic once oversubscribed across slots).
+func HostComplex(gen, sockets int) Link {
+	one := PCIe(gen, 16)
+	return Link{
+		Name:        fmt.Sprintf("%d-socket PCIe v%d root complex", sockets, gen),
+		BytesPerSec: one.BytesPerSec * float64(sockets),
+		Latency:     one.Latency,
+	}
+}

@@ -1,0 +1,84 @@
+package interconnect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPCIeBandwidths(t *testing.T) {
+	// The paper's figures: PCIe v3 x16 = 15.75 GB/s, v4 doubles it.
+	v3 := PCIe(3, 16)
+	if math.Abs(v3.BytesPerSec-15.75e9) > 0.01e9 {
+		t.Fatalf("v3 x16 = %.4g, want 15.75e9", v3.BytesPerSec)
+	}
+	v4 := PCIe(4, 16)
+	if r := v4.BytesPerSec / v3.BytesPerSec; math.Abs(r-2) > 0.01 {
+		t.Fatalf("v4/v3 ratio %v, want 2", r)
+	}
+	// Lanes scale linearly.
+	if x8 := PCIe(3, 8); math.Abs(x8.BytesPerSec*2-v3.BytesPerSec) > 1 {
+		t.Fatal("lane scaling broken")
+	}
+}
+
+func TestPCIeRejectsBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { PCIe(7, 16) },
+		func() { PCIe(3, 0) },
+		func() { PCIe(3, 64) },
+		func() { QPI(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQPIAggregate(t *testing.T) {
+	// Section 6.4: 12 QPI links = 307.2 GB/s.
+	q := QPI(12)
+	if math.Abs(q.BytesPerSec-307.2e9) > 1 {
+		t.Fatalf("12 QPI links = %.4g, want 307.2e9", q.BytesPerSec)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	l := Link{Name: "test", BytesPerSec: 1e9, Latency: 1e-6}
+	if got := l.TransferTime(1e9); math.Abs(got-1.000001) > 1e-12 {
+		t.Fatalf("transfer %v", got)
+	}
+	if got := l.TransferTime(0); got != 1e-6 {
+		t.Fatalf("zero transfer should cost latency only, got %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size should panic")
+		}
+	}()
+	l.TransferTime(-1)
+}
+
+func TestTransferTimeMonotoneProperty(t *testing.T) {
+	l := PCIe(3, 16)
+	f := func(aRaw, bRaw uint32) bool {
+		a := float64(aRaw)
+		b := a + float64(bRaw)
+		return l.TransferTime(b) >= l.TransferTime(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostComplex(t *testing.T) {
+	h := HostComplex(3, 2)
+	if math.Abs(h.BytesPerSec-31.5e9) > 0.05e9 {
+		t.Fatalf("dual-socket v3 complex %.4g, want ≈31.5e9", h.BytesPerSec)
+	}
+}

@@ -1,0 +1,153 @@
+// Package lang is the natural-language substrate behind the POS, CHK
+// and NER applications (Section 3.2.3): tokenisation, SENNA-style
+// per-word feature vectors (hashed 50-d embeddings plus capitalisation
+// and suffix features), context-window assembly, the three tag sets,
+// gazetteer features for NER, and sentence-level Viterbi decoding of
+// the most likely tag sequence from the DNN's per-word posteriors.
+package lang
+
+import (
+	"strings"
+	"unicode"
+
+	"djinn/internal/models"
+	"djinn/internal/tensor"
+)
+
+// Feature layout per word: 50 embedding dims + 5 capitalisation flags
+// + 5 suffix-hash dims = 60 = models.SennaWordDim.
+const (
+	EmbedDim  = 50
+	CapsDim   = 5
+	SuffixDim = 5
+	WordDim   = EmbedDim + CapsDim + SuffixDim
+)
+
+// Tokenize splits text into words, separating trailing/leading
+// punctuation into its own tokens (SENNA's tokenisation granularity).
+func Tokenize(text string) []string {
+	var out []string
+	for _, field := range strings.Fields(text) {
+		out = append(out, splitToken(field)...)
+	}
+	return out
+}
+
+func splitToken(tok string) []string {
+	runes := []rune(tok)
+	start, end := 0, len(runes)
+	var lead, trail []string
+	for start < end && isPunct(runes[start]) {
+		lead = append(lead, string(runes[start]))
+		start++
+	}
+	for end > start && isPunct(runes[end-1]) {
+		trail = append([]string{string(runes[end-1])}, trail...)
+		end--
+	}
+	var out []string
+	out = append(out, lead...)
+	if start < end {
+		out = append(out, string(runes[start:end]))
+	}
+	out = append(out, trail...)
+	return out
+}
+
+func isPunct(r rune) bool {
+	return unicode.IsPunct(r) || unicode.IsSymbol(r)
+}
+
+// Embed writes the 60-d feature vector of one word into dst. The 50-d
+// embedding is a deterministic hash projection (the pre-trained SENNA
+// lookup table substituted per DESIGN.md); capitalisation and suffix
+// features are computed exactly as SENNA does.
+func Embed(word string, dst []float32) {
+	if len(dst) < WordDim {
+		panic("lang: Embed destination too small")
+	}
+	lower := strings.ToLower(word)
+	rng := tensor.NewRNG(hashString(lower))
+	for i := 0; i < EmbedDim; i++ {
+		dst[i] = rng.Float32()*2 - 1
+	}
+	// Capitalisation features: all-lower, first-upper, all-upper,
+	// contains-digit, contains-hyphen.
+	caps := dst[EmbedDim : EmbedDim+CapsDim]
+	for i := range caps {
+		caps[i] = 0
+	}
+	if lower == word {
+		caps[0] = 1
+	}
+	r := []rune(word)
+	if len(r) > 0 && unicode.IsUpper(r[0]) {
+		caps[1] = 1
+	}
+	if word != "" && strings.ToUpper(word) == word && strings.ContainsFunc(word, unicode.IsLetter) {
+		caps[2] = 1
+	}
+	if strings.ContainsFunc(word, unicode.IsDigit) {
+		caps[3] = 1
+	}
+	if strings.Contains(word, "-") {
+		caps[4] = 1
+	}
+	// Suffix features: hash projection of the final 3 characters.
+	suffix := lower
+	if len(suffix) > 3 {
+		suffix = suffix[len(suffix)-3:]
+	}
+	srng := tensor.NewRNG(hashString("sfx:" + suffix))
+	for i := 0; i < SuffixDim; i++ {
+		dst[EmbedDim+CapsDim+i] = srng.Float32()*2 - 1
+	}
+}
+
+func hashString(s string) uint64 {
+	// FNV-1a.
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Windows assembles the SENNA window-approach input: for each word, the
+// concatenated features of the surrounding window (±2), with zero
+// padding beyond sentence boundaries. extraPerWord, when non-nil,
+// supplies additional per-word features (POS-tag embeddings for CHK,
+// gazetteer flags for NER) appended to each word's 60 dims.
+func Windows(words []string, extraPerWord [][]float32) []float32 {
+	extra := 0
+	if len(extraPerWord) > 0 {
+		extra = len(extraPerWord[0])
+	}
+	per := WordDim + extra
+	window := models.SennaWindow
+	half := window / 2
+	n := len(words)
+	// Precompute per-word features.
+	feats := make([][]float32, n)
+	for i, w := range words {
+		f := make([]float32, per)
+		Embed(w, f)
+		if extra > 0 {
+			copy(f[WordDim:], extraPerWord[i])
+		}
+		feats[i] = f
+	}
+	out := make([]float32, n*window*per)
+	for i := 0; i < n; i++ {
+		row := out[i*window*per : (i+1)*window*per]
+		for c := -half; c <= half; c++ {
+			j := i + c
+			dst := row[(c+half)*per : (c+half+1)*per]
+			if j >= 0 && j < n {
+				copy(dst, feats[j])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package lang
+
+import (
+	"math"
+	"strings"
+
+	"djinn/internal/models"
+	"djinn/internal/tensor"
+)
+
+// POSTags is the 45-tag Penn Treebank set used by the POS application.
+var POSTags = []string{
+	"CC", "CD", "DT", "EX", "FW", "IN", "JJ", "JJR", "JJS", "LS",
+	"MD", "NN", "NNS", "NNP", "NNPS", "PDT", "POS", "PRP", "PRP$",
+	"RB", "RBR", "RBS", "RP", "SYM", "TO", "UH", "VB", "VBD", "VBG",
+	"VBN", "VBP", "VBZ", "WDT", "WP", "WP$", "WRB", "#", "$", ".",
+	",", ":", "(", ")", "``", "''",
+}
+
+// CHKTags is the 23-tag IOB2 chunk set used by the CHK application.
+var CHKTags = []string{
+	"O",
+	"B-NP", "I-NP", "B-VP", "I-VP", "B-PP", "I-PP",
+	"B-ADVP", "I-ADVP", "B-ADJP", "I-ADJP", "B-SBAR", "I-SBAR",
+	"B-PRT", "I-PRT", "B-CONJP", "I-CONJP", "B-INTJ", "I-INTJ",
+	"B-LST", "I-LST", "B-UCP", "I-UCP",
+}
+
+// NERTags is the 9-tag IOB2 named-entity set used by the NER
+// application.
+var NERTags = []string{
+	"O",
+	"B-PER", "I-PER", "B-LOC", "I-LOC", "B-ORG", "I-ORG",
+	"B-MISC", "I-MISC",
+}
+
+// TagSet returns the tag list for an NLP application.
+func TagSet(app models.App) []string {
+	switch app {
+	case models.POS:
+		return POSTags
+	case models.CHK:
+		return CHKTags
+	case models.NER:
+		return NERTags
+	}
+	panic("lang: not an NLP application")
+}
+
+// Transitions returns the log-transition matrix [from+1][to] used by
+// sentence-level Viterbi decoding; row 0 is the start state. For IOB
+// tag sets, invalid transitions (I-X not preceded by B-X or I-X) get
+// -Inf, which is a hard structural constraint SENNA also enforces; the
+// remaining scores substitute the trained transition parameters with a
+// deterministic prior.
+func Transitions(tags []string) [][]float32 {
+	n := len(tags)
+	rng := tensor.NewRNG(hashString("trans:" + strings.Join(tags, ",")))
+	m := make([][]float32, n+1)
+	for from := 0; from <= n; from++ {
+		row := make([]float32, n)
+		for to := 0; to < n; to++ {
+			row[to] = rng.Float32() * 0.1
+			toTag := tags[to]
+			if strings.HasPrefix(toTag, "I-") {
+				kind := toTag[2:]
+				ok := false
+				if from > 0 {
+					fromTag := tags[from-1]
+					ok = fromTag == "B-"+kind || fromTag == "I-"+kind
+				}
+				if !ok {
+					row[to] = float32(math.Inf(-1))
+				}
+			}
+		}
+		m[from] = row
+	}
+	return m
+}
+
+// Viterbi returns the most likely tag sequence given per-word
+// log-posteriors emit[word][tag] and the transition matrix from
+// Transitions (trans[0] holds start scores).
+func Viterbi(emit [][]float32, trans [][]float32) []int {
+	n := len(emit)
+	if n == 0 {
+		return nil
+	}
+	k := len(emit[0])
+	negInf := float32(math.Inf(-1))
+	score := make([]float32, k)
+	back := make([][]int, n)
+	for t := 0; t < k; t++ {
+		score[t] = trans[0][t] + emit[0][t]
+	}
+	for i := 1; i < n; i++ {
+		back[i] = make([]int, k)
+		next := make([]float32, k)
+		for t := 0; t < k; t++ {
+			best, bi := negInf, 0
+			for pt := 0; pt < k; pt++ {
+				s := score[pt] + trans[pt+1][t]
+				if s > best {
+					best, bi = s, pt
+				}
+			}
+			next[t] = best + emit[i][t]
+			back[i][t] = bi
+		}
+		score = next
+	}
+	best, bi := negInf, 0
+	for t := 0; t < k; t++ {
+		if score[t] > best {
+			best, bi = score[t], t
+		}
+	}
+	path := make([]int, n)
+	path[n-1] = bi
+	for i := n - 1; i > 0; i-- {
+		path[i-1] = back[i][path[i]]
+	}
+	return path
+}
+
+// ViterbiBruteForce exhaustively searches all tag sequences; usable
+// only for tiny inputs, it is the reference for property tests.
+func ViterbiBruteForce(emit [][]float32, trans [][]float32) []int {
+	n := len(emit)
+	if n == 0 {
+		return nil
+	}
+	k := len(emit[0])
+	best := float32(math.Inf(-1))
+	var bestPath []int
+	path := make([]int, n)
+	var rec func(i int, score float32)
+	rec = func(i int, score float32) {
+		if i == n {
+			if score > best {
+				best = score
+				bestPath = append([]int(nil), path...)
+			}
+			return
+		}
+		for t := 0; t < k; t++ {
+			prev := 0
+			if i > 0 {
+				prev = path[i-1] + 1
+			}
+			s := score + trans[prev][t] + emit[i][t]
+			if math.IsInf(float64(s), -1) {
+				continue
+			}
+			path[i] = t
+			rec(i+1, s)
+		}
+	}
+	rec(0, 0)
+	return bestPath
+}
+
+// gazetteer is a small built-in name list standing in for SENNA's
+// gazetteer files: person, location, organisation, misc.
+var gazetteer = map[string]int{
+	"john": 0, "mary": 0, "barack": 0, "obama": 0, "einstein": 0,
+	"alice": 0, "bob": 0,
+	"paris": 1, "london": 1, "michigan": 1, "portland": 1, "america": 1,
+	"france": 1, "berlin": 1, "detroit": 1,
+	"google": 2, "apple": 2, "microsoft": 2, "facebook": 2, "amazon": 2,
+	"nvidia": 2, "intel": 2, "nec": 2,
+	"siri": 3, "android": 3, "imagenet": 3, "wikipedia": 3,
+}
+
+// GazetteerFeatures returns the 4 per-word gazetteer membership flags
+// (person/location/organisation/misc) NER consumes.
+func GazetteerFeatures(words []string) [][]float32 {
+	out := make([][]float32, len(words))
+	for i, w := range words {
+		f := make([]float32, models.SennaNERExtra)
+		if class, ok := gazetteer[strings.ToLower(w)]; ok {
+			f[class] = 1
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// POSTagFeatures returns a 5-d embedding of each word's POS tag, the
+// extra input feature CHK consumes after its internal POS request.
+func POSTagFeatures(tagIdx []int) [][]float32 {
+	out := make([][]float32, len(tagIdx))
+	for i, t := range tagIdx {
+		f := make([]float32, models.SennaCHKExtra)
+		rng := tensor.NewRNG(hashString("postag:" + POSTags[t]))
+		for j := range f {
+			f[j] = rng.Float32()*2 - 1
+		}
+		out[i] = f
+	}
+	return out
+}

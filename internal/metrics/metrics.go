@@ -1,0 +1,133 @@
+// Package metrics provides the measurement plumbing for driving the
+// real DjiNN service: thread-safe latency recorders with percentile
+// queries and throughput windows, used by the load drivers and the
+// service CLI.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder accumulates latency samples; safe for concurrent use.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewLatencyRecorder creates an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder { return &LatencyRecorder{} }
+
+// Record adds one sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.sorted = false
+	r.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Mean returns the average latency, or 0 with no samples.
+func (r *LatencyRecorder) Mean() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range r.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(r.samples))
+}
+
+// Percentile returns the p-quantile (0 < p ≤ 1) by nearest-rank, or 0
+// with no samples.
+func (r *LatencyRecorder) Percentile(p float64) time.Duration {
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("metrics: percentile %v out of (0,1]", p))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+	idx := int(math.Ceil(p*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return r.samples[idx]
+}
+
+// Summary is a snapshot of a recorder.
+type Summary struct {
+	Count         int
+	Mean          time.Duration
+	P50, P95, P99 time.Duration
+}
+
+// Summarize returns count, mean and key percentiles.
+func (r *LatencyRecorder) Summarize() Summary {
+	return Summary{
+		Count: r.Count(),
+		Mean:  r.Mean(),
+		P50:   r.Percentile(0.50),
+		P95:   r.Percentile(0.95),
+		P99:   r.Percentile(0.99),
+	}
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v", s.Count, s.Mean, s.P50, s.P95, s.P99)
+}
+
+// Throughput measures completed operations over wall-clock time.
+type Throughput struct {
+	mu    sync.Mutex
+	count int64
+	start time.Time
+}
+
+// NewThroughput starts a throughput window now.
+func NewThroughput() *Throughput { return &Throughput{start: time.Now()} }
+
+// Add records n completed operations.
+func (t *Throughput) Add(n int64) {
+	t.mu.Lock()
+	t.count += n
+	t.mu.Unlock()
+}
+
+// Rate returns operations per second since the window started.
+func (t *Throughput) Rate() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el := time.Since(t.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(t.count) / el
+}
+
+// Count returns the total operations recorded.
+func (t *Throughput) Count() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}

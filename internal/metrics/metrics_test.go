@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLatencyMeanAndPercentiles(t *testing.T) {
+	r := NewLatencyRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	if r.Count() != 100 {
+		t.Fatalf("count %d", r.Count())
+	}
+	if m := r.Mean(); m != 50500*time.Microsecond {
+		t.Fatalf("mean %v", m)
+	}
+	if p := r.Percentile(0.50); p != 50*time.Millisecond {
+		t.Fatalf("p50 %v", p)
+	}
+	if p := r.Percentile(0.95); p != 95*time.Millisecond {
+		t.Fatalf("p95 %v", p)
+	}
+	if p := r.Percentile(1.0); p != 100*time.Millisecond {
+		t.Fatalf("p100 %v", p)
+	}
+	if p := r.Percentile(0.001); p != 1*time.Millisecond {
+		t.Fatalf("p0.1 %v", p)
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	r := NewLatencyRecorder()
+	if r.Mean() != 0 || r.Percentile(0.5) != 0 || r.Count() != 0 {
+		t.Fatal("empty recorder should report zeros")
+	}
+}
+
+func TestPercentilePanicsOutOfRange(t *testing.T) {
+	r := NewLatencyRecorder()
+	for _, p := range []float64{0, -1, 1.01} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%v) should panic", p)
+				}
+			}()
+			r.Percentile(p)
+		}()
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := NewLatencyRecorder()
+		for _, v := range raw {
+			r.Record(time.Duration(v) * time.Microsecond)
+		}
+		last := time.Duration(0)
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			q := r.Percentile(p)
+			if q < last {
+				return false
+			}
+			last = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewLatencyRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(time.Millisecond)
+				r.Percentile(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 800 {
+		t.Fatalf("count %d, want 800", r.Count())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := NewLatencyRecorder()
+	r.Record(time.Millisecond)
+	r.Record(3 * time.Millisecond)
+	s := r.Summarize()
+	if s.Count != 2 || s.Mean != 2*time.Millisecond {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := NewThroughput()
+	tp.Add(10)
+	tp.Add(5)
+	if tp.Count() != 15 {
+		t.Fatalf("count %d", tp.Count())
+	}
+	time.Sleep(10 * time.Millisecond)
+	if r := tp.Rate(); r <= 0 || r > 15/0.01 {
+		t.Fatalf("rate %v implausible", r)
+	}
+}

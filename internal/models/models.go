@@ -1,0 +1,279 @@
+// Package models reconstructs the seven Tonic Suite network
+// architectures of Table 1. Layer structure and parameter counts match
+// the paper (AlexNet 60M / CNN / 22 layers, MNIST 60K / CNN / 7,
+// DeepFace 120M / CNN / 8, Kaldi 30M / DNN / 13, SENNA 180K / DNN / 3);
+// weights are synthesised deterministically since trained weights do not
+// affect any throughput, bandwidth or TCO result in the paper.
+package models
+
+import (
+	"fmt"
+	"sync"
+
+	"djinn/internal/nn"
+	"djinn/internal/tensor"
+)
+
+// App identifies one of the seven Tonic Suite applications.
+type App int
+
+// The Tonic Suite applications (Table 1).
+const (
+	IMC  App = iota // Image Classification (AlexNet)
+	DIG             // Digit Recognition (MNIST)
+	FACE            // Facial Recognition (DeepFace)
+	ASR             // Automatic Speech Recognition (Kaldi)
+	POS             // Part-of-Speech Tagging (SENNA)
+	CHK             // Word Chunking (SENNA)
+	NER             // Name Entity Recognition (SENNA)
+	NumApps
+)
+
+// Apps lists all applications in Table 1 order.
+var Apps = []App{IMC, DIG, FACE, ASR, POS, CHK, NER}
+
+// String returns the paper's abbreviation for the app.
+func (a App) String() string {
+	switch a {
+	case IMC:
+		return "IMC"
+	case DIG:
+		return "DIG"
+	case FACE:
+		return "FACE"
+	case ASR:
+		return "ASR"
+	case POS:
+		return "POS"
+	case CHK:
+		return "CHK"
+	case NER:
+		return "NER"
+	}
+	return fmt.Sprintf("App(%d)", int(a))
+}
+
+// ParseApp converts an app abbreviation (case-sensitive, as printed by
+// String) back to an App.
+func ParseApp(s string) (App, error) {
+	for _, a := range Apps {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("models: unknown application %q", s)
+}
+
+// Info is the Table 1 row for an application.
+type Info struct {
+	App         App
+	Service     string // Image / Speech / NLP service grouping
+	Application string // long name
+	Network     string // source network
+	NetType     nn.NetKind
+	PaperLayers int // layer count as quoted in Table 1
+	PaperParams int // parameter count as quoted in Table 1
+}
+
+// Table1 returns the paper's Table 1 metadata for the app.
+func Table1(a App) Info {
+	switch a {
+	case IMC:
+		return Info{a, "Image", "Image Classification", "AlexNet", nn.KindCNN, 22, 60_000_000}
+	case DIG:
+		return Info{a, "Image", "Digit Recognition", "MNIST", nn.KindCNN, 7, 60_000}
+	case FACE:
+		return Info{a, "Image", "Facial Recognition", "DeepFace", nn.KindCNN, 8, 120_000_000}
+	case ASR:
+		return Info{a, "Speech", "Automatic Speech Recognition", "Kaldi", nn.KindDNN, 13, 30_000_000}
+	case POS:
+		return Info{a, "NLP", "Part-of-Speech Tagging", "SENNA", nn.KindDNN, 3, 180_000}
+	case CHK:
+		return Info{a, "NLP", "Chunking", "SENNA", nn.KindDNN, 3, 180_000}
+	case NER:
+		return Info{a, "NLP", "Name Entity Recognition", "SENNA", nn.KindDNN, 3, 180_000}
+	}
+	panic("models: unknown app")
+}
+
+// Dimensions shared with the preprocessing pipelines.
+const (
+	// ASRFeatureDim is the per-frame spliced feature dimension. The
+	// paper's Table 3 reports 4594 KB for 548 feature vectors, i.e.
+	// 2146 float32s per frame: 42 base features (40 mel filterbank
+	// energies + log-energy + pitch) × 3 (statics, Δ, ΔΔ) spliced over
+	// a ±8 frame context window (17 frames), plus 4 utterance-level
+	// normalisation statistics. 126·17 + 4 = 2146.
+	ASRFeatureDim = 2146
+	// ASRSenones is the number of tied-triphone output states.
+	ASRSenones = 3000
+	// SennaWindow is SENNA's context window (words).
+	SennaWindow = 5
+	// SennaWordDim is the per-word feature dimension (50-d embedding
+	// plus 10 capitalisation/suffix discrete features).
+	SennaWordDim = 60
+	// SennaHidden is the SENNA hidden layer width.
+	SennaHidden = 500
+	// SennaCHKExtra is CHK's extra per-word input width: a 5-d embedding
+	// of the word's POS tag (SENNA's chunker consumes POS output, which
+	// is why the CHK app issues an internal POS request first).
+	SennaCHKExtra = 5
+	// SennaNERExtra is NER's extra per-word input width: four gazetteer
+	// membership flags (person/location/organisation/misc), as in SENNA.
+	SennaNERExtra = 4
+	// POSTags is the Penn-Treebank tag count.
+	POSTags = 45
+	// CHKTags is the IOB2 chunk tag count.
+	CHKTags = 23
+	// NERTags is the IOB2 named-entity tag count.
+	NERTags = 9
+	// FaceClasses is the PubFig83+LFW celebrity identity count the
+	// FACE application classifies over; the DeepFace classifier layer
+	// itself is the published 4030-way layer (Table 1's 120M
+	// parameters include it) and FACE uses its first 83 outputs.
+	FaceClasses = 83
+)
+
+// Build constructs the network for an application with deterministic
+// synthetic weights derived from seed.
+func Build(a App, seed uint64) *nn.Net {
+	rng := tensor.NewRNG(seed ^ (uint64(a)+1)*0x9e3779b97f4a7c15)
+	switch a {
+	case IMC:
+		return buildAlexNet(rng)
+	case DIG:
+		return buildMNIST(rng)
+	case FACE:
+		return buildDeepFace(rng)
+	case ASR:
+		return buildKaldi(rng)
+	case POS:
+		return buildSenna(rng, "senna-pos", POSTags, 0)
+	case CHK:
+		return buildSenna(rng, "senna-chk", CHKTags, SennaCHKExtra)
+	case NER:
+		return buildSenna(rng, "senna-ner", NERTags, SennaNERExtra)
+	}
+	panic("models: unknown app")
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[App]*nn.Net{}
+)
+
+// BuildCached returns a process-wide shared instance of the app's
+// network (seed 1). This mirrors DjiNN's deployment: one in-memory model
+// per application, shared read-only by all workers. DeepFace alone is
+// ~475 MB of weights, so callers should prefer this over Build.
+func BuildCached(a App) *nn.Net {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if n, ok := cache[a]; ok {
+		return n
+	}
+	n := Build(a, 1)
+	cache[a] = n
+	return n
+}
+
+// buildAlexNet reconstructs Krizhevsky et al.'s AlexNet: 22 layers,
+// 60,965,224 parameters, 1000-way ImageNet classifier.
+func buildAlexNet(rng *tensor.RNG) *nn.Net {
+	n := nn.NewNet("alexnet", nn.KindCNN, 3, 227, 227)
+	n.Add(nn.NewConv("conv1", rng, 3, 96, 11, nn.ConvOpt{Stride: 4})).
+		Add(nn.NewReLU("relu1")).
+		Add(nn.NewLRN("norm1", 5, 1e-4, 0.75, 1)).
+		Add(nn.NewPool("pool1", nn.MaxPool, 3, 2, 0)).
+		Add(nn.NewConv("conv2", rng, 96, 256, 5, nn.ConvOpt{Pad: 2, Groups: 2})).
+		Add(nn.NewReLU("relu2")).
+		Add(nn.NewLRN("norm2", 5, 1e-4, 0.75, 1)).
+		Add(nn.NewPool("pool2", nn.MaxPool, 3, 2, 0)).
+		Add(nn.NewConv("conv3", rng, 256, 384, 3, nn.ConvOpt{Pad: 1})).
+		Add(nn.NewReLU("relu3")).
+		Add(nn.NewConv("conv4", rng, 384, 384, 3, nn.ConvOpt{Pad: 1, Groups: 2})).
+		Add(nn.NewReLU("relu4")).
+		Add(nn.NewConv("conv5", rng, 384, 256, 3, nn.ConvOpt{Pad: 1, Groups: 2})).
+		Add(nn.NewReLU("relu5")).
+		Add(nn.NewPool("pool5", nn.MaxPool, 3, 2, 0)).
+		Add(nn.NewFC("fc6", rng, 256*6*6, 4096)).
+		Add(nn.NewReLU("relu6")).
+		Add(nn.NewDropout("drop6", 0.5)).
+		Add(nn.NewFC("fc7", rng, 4096, 4096)).
+		Add(nn.NewReLU("relu7")).
+		Add(nn.NewDropout("drop7", 0.5)).
+		Add(nn.NewFC("fc8", rng, 4096, 1000)).
+		Add(nn.NewSoftmax("prob"))
+	return n
+}
+
+// buildMNIST reconstructs the 7-layer, ~60K-parameter MNIST digit
+// network (LeNet-style: convolution-heavy with compact classifier
+// layers, as in LeNet-5).
+func buildMNIST(rng *tensor.RNG) *nn.Net {
+	n := nn.NewNet("mnist", nn.KindCNN, 1, 28, 28)
+	n.Add(nn.NewConv("conv1", rng, 1, 20, 5, nn.ConvOpt{})).
+		Add(nn.NewPool("pool1", nn.MaxPool, 2, 2, 0)).
+		Add(nn.NewConv("conv2", rng, 20, 40, 5, nn.ConvOpt{})).
+		Add(nn.NewPool("pool2", nn.MaxPool, 2, 2, 0)).
+		Add(nn.NewFC("ip1", rng, 40*4*4, 56)).
+		Add(nn.NewReLU("relu1")).
+		Add(nn.NewFC("ip2", rng, 56, 10)).
+		Add(nn.NewSoftmax("prob"))
+	return n
+}
+
+// buildDeepFace reconstructs Taigman et al.'s DeepFace: C1–M2–C3 shared
+// convolutions, L4–L6 locally-connected layers (the untied weights are
+// where the ~119M parameters live), F7–F8 fully connected. ReLUs follow
+// each weighted layer but, as in the DeepFace paper, are not counted in
+// the 8-layer figure.
+func buildDeepFace(rng *tensor.RNG) *nn.Net {
+	n := nn.NewNet("deepface", nn.KindCNN, 3, 152, 152)
+	n.Add(nn.NewConv("C1", rng, 3, 32, 11, nn.ConvOpt{})). // 142×142
+								Add(nn.NewReLU("relu1")).
+								Add(nn.NewPool("M2", nn.MaxPool, 3, 2, 1)).          // 71×71
+								Add(nn.NewConv("C3", rng, 32, 16, 9, nn.ConvOpt{})). // 63×63
+								Add(nn.NewReLU("relu3")).
+								Add(nn.NewLocal("L4", rng, 16, 63, 63, 16, 9, 1)). // 55×55
+								Add(nn.NewReLU("relu4")).
+								Add(nn.NewLocal("L5", rng, 16, 55, 55, 16, 7, 2)). // 25×25
+								Add(nn.NewReLU("relu5")).
+								Add(nn.NewLocal("L6", rng, 16, 25, 25, 16, 5, 1)). // 21×21
+								Add(nn.NewReLU("relu6")).
+								Add(nn.NewFC("F7", rng, 16*21*21, 4096)).
+								Add(nn.NewReLU("relu7")).
+								Add(nn.NewDropout("drop7", 0.5)).
+								Add(nn.NewFC("F8", rng, 4096, 4030)).
+								Add(nn.NewSoftmax("prob"))
+	return n
+}
+
+// buildKaldi reconstructs the Kaldi hybrid acoustic model: 2146-d
+// spliced features, six 2048-unit sigmoid hidden layers and a 3000-way
+// senone softmax — 13 compute layers, ~31M parameters.
+func buildKaldi(rng *tensor.RNG) *nn.Net {
+	n := nn.NewNet("kaldi", nn.KindDNN, ASRFeatureDim)
+	dims := []int{ASRFeatureDim, 2048, 2048, 2048, 2048, 2048, 2048}
+	for i := 0; i < 6; i++ {
+		n.Add(nn.NewFC(fmt.Sprintf("affine%d", i+1), rng, dims[i], dims[i+1])).
+			Add(nn.NewSigmoid(fmt.Sprintf("sigmoid%d", i+1)))
+	}
+	n.Add(nn.NewFC("affine7", rng, 2048, ASRSenones)).
+		Add(nn.NewSoftmax("prob"))
+	return n
+}
+
+// buildSenna reconstructs a SENNA window-approach tagger: a window of
+// per-word features (plus task-specific extras — POS-tag embeddings for
+// CHK, gazetteer flags for NER), one 500-unit HardTanh hidden layer and
+// a per-task tag classifier — 3 layers, ~180K parameters.
+func buildSenna(rng *tensor.RNG, name string, tags, extraPerWord int) *nn.Net {
+	in := SennaWindow * (SennaWordDim + extraPerWord)
+	n := nn.NewNet(name, nn.KindDNN, in)
+	n.Add(nn.NewFC("l1", rng, in, SennaHidden)).
+		Add(nn.NewHardTanh("hardtanh")).
+		Add(nn.NewFC("l2", rng, SennaHidden, tags)).
+		Add(nn.NewSoftmax("prob"))
+	return n
+}

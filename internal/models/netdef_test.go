@@ -1,0 +1,35 @@
+package models
+
+import (
+	"bytes"
+	"testing"
+
+	"djinn/internal/nn"
+)
+
+// TestAllModelsRoundTripThroughNetDef exports each Table 1 network as a
+// definition file and re-parses it: DjiNN's "just provide a model"
+// extensibility claim must cover its own suite.
+func TestAllModelsRoundTripThroughNetDef(t *testing.T) {
+	for _, a := range Apps {
+		orig := BuildCached(a)
+		var def bytes.Buffer
+		if err := orig.WriteDef(&def); err != nil {
+			t.Fatalf("%s: export: %v", a, err)
+		}
+		parsed, err := nn.ParseNetDef(bytes.NewReader(def.Bytes()), 1)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v\n%s", a, err, def.String())
+		}
+		if parsed.ParamCount() != orig.ParamCount() {
+			t.Errorf("%s: %d params after round trip, want %d", a, parsed.ParamCount(), orig.ParamCount())
+		}
+		if len(parsed.Layers()) != len(orig.Layers()) {
+			t.Errorf("%s: %d layers after round trip, want %d", a, len(parsed.Layers()), len(orig.Layers()))
+		}
+		po, pp := orig.OutShape(), parsed.OutShape()
+		if len(po) != len(pp) || po[0] != pp[0] {
+			t.Errorf("%s: out shape %v != %v", a, pp, po)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package netsim models the datacenter network of Section 6: Ethernet
+// generations, NIC teaming with the paper's 20% protocol-overhead
+// assumption, and the hierarchical-switch cost amortisation behind
+// Table 4's "$750 per 10GbE NIC" figure.
+package netsim
+
+import "fmt"
+
+// EthernetGen is a link-speed generation.
+type EthernetGen int
+
+// Ethernet generations used in the paper's design points.
+const (
+	TenGbE         EthernetGen = 10
+	FortyGbE       EthernetGen = 40
+	FourHundredGbE EthernetGen = 400
+)
+
+// RawBytesPerSec returns the generation's theoretical line rate.
+func (g EthernetGen) RawBytesPerSec() float64 { return float64(g) * 1e9 / 8 }
+
+// String returns e.g. "10GbE".
+func (g EthernetGen) String() string { return fmt.Sprintf("%dGbE", int(g)) }
+
+// ProtocolOverhead is the paper's assumption for Ethernet efficiency:
+// "assuming an additional protocol overhead of 20% on ethernet".
+const ProtocolOverhead = 0.20
+
+// Team is a bonded set of identical NICs on one server.
+type Team struct {
+	Gen   EthernetGen
+	Count int
+}
+
+// GoodputBytesPerSec returns the team's usable bandwidth after protocol
+// overhead.
+func (t Team) GoodputBytesPerSec() float64 {
+	return float64(t.Count) * t.Gen.RawBytesPerSec() * (1 - ProtocolOverhead)
+}
+
+// TeamToSaturate returns the smallest team of the generation whose
+// goodput covers the given link bandwidth — how the paper sizes its
+// network design points ("the PCIe v4 bus can be saturated by 9 teamed
+// 40GbE connections", "8 teamed 400GbE connections are sufficient to
+// saturate the QPI links").
+func TeamToSaturate(gen EthernetGen, linkBytesPerSec float64) Team {
+	per := gen.RawBytesPerSec() * (1 - ProtocolOverhead)
+	n := int(linkBytesPerSec / per)
+	if float64(n)*per < linkBytesPerSec {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return Team{Gen: gen, Count: n}
+}
+
+// FabricCost models the paper's network-pricing methodology: "500
+// server leaf nodes connected to a hierarchical 10GbE network
+// containing a mix of core and edge switches. We then average out the
+// cost of those switches across the NICs installed in the servers to
+// arrive at a cost estimate of $750 per NIC."
+type FabricCost struct {
+	LeafNodes     int
+	NICsPerLeaf   int
+	NICUnitPrice  float64 // bare adapter price
+	EdgePortPrice float64 // per-port price of edge switches
+	CorePortPrice float64 // per-port price of core switches
+	Oversubscribe float64 // edge→core oversubscription ratio
+}
+
+// TenGbEFabric returns a parameterisation that reproduces Table 4's
+// $750/NIC for a 500-leaf hierarchical 10GbE fabric.
+func TenGbEFabric() FabricCost {
+	return FabricCost{
+		LeafNodes:     500,
+		NICsPerLeaf:   1,
+		NICUnitPrice:  300,
+		EdgePortPrice: 300,
+		CorePortPrice: 600,
+		Oversubscribe: 4,
+	}
+}
+
+// PerNIC returns the all-in cost per installed NIC: the adapter plus
+// its amortised share of edge and core switch ports.
+func (f FabricCost) PerNIC() float64 {
+	if f.LeafNodes <= 0 || f.NICsPerLeaf <= 0 {
+		panic("netsim: fabric needs leaves and NICs")
+	}
+	nics := float64(f.LeafNodes * f.NICsPerLeaf)
+	// Every NIC consumes one edge port; edge switches uplink to the
+	// core at 1/Oversubscribe ports per edge port.
+	edgePorts := nics
+	corePorts := nics / f.Oversubscribe
+	total := nics*f.NICUnitPrice + edgePorts*f.EdgePortPrice + corePorts*f.CorePortPrice
+	return total / nics
+}
+
+// ScaledNICPrice projects the per-NIC all-in price of a faster
+// generation from the 10GbE baseline: switch silicon cost grows
+// sub-linearly with line rate (cost per Gb/s falls roughly 35% per
+// generation step), matching the Table 6 price assumptions.
+func ScaledNICPrice(base float64, gen EthernetGen) float64 {
+	steps := 0.0
+	switch gen {
+	case TenGbE:
+		return base
+	case FortyGbE:
+		steps = 1
+	case FourHundredGbE:
+		steps = 2.5
+	default:
+		panic(fmt.Sprintf("netsim: unknown generation %v", gen))
+	}
+	ratio := float64(gen) / 10
+	// price = base × speedup × (cost-per-bandwidth decay)^steps
+	decay := 1.0
+	for i := 0.0; i < steps; i++ {
+		decay *= 0.65
+	}
+	return base * ratio * decay
+}

@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"djinn/internal/interconnect"
+)
+
+func TestEthernetRates(t *testing.T) {
+	if TenGbE.RawBytesPerSec() != 1.25e9 {
+		t.Fatalf("10GbE = %v", TenGbE.RawBytesPerSec())
+	}
+	if FourHundredGbE.RawBytesPerSec() != 50e9 {
+		t.Fatalf("400GbE = %v", FourHundredGbE.RawBytesPerSec())
+	}
+	if TenGbE.String() != "10GbE" {
+		t.Fatalf("name %q", TenGbE)
+	}
+}
+
+func TestTeamGoodput(t *testing.T) {
+	// The paper's footnote: "Assuming 80% of theoretical peak can be
+	// obtained, 16 × 1.25GB/s connection yields 16GB/s."
+	team := Team{Gen: TenGbE, Count: 16}
+	if got := team.GoodputBytesPerSec(); math.Abs(got-16e9) > 1 {
+		t.Fatalf("16×10GbE goodput %v, want 16e9", got)
+	}
+}
+
+func TestTeamToSaturatePaperDesignPoints(t *testing.T) {
+	// 16 10GbE NICs saturate a PCIe v3 x16, as in the paper.
+	if team := TeamToSaturate(TenGbE, interconnect.PCIe(3, 16).BytesPerSec); team.Count != 16 {
+		t.Fatalf("10GbE team for PCIe v3: %d NICs, want 16", team.Count)
+	}
+	// 8 400GbE links saturate 12 QPI lanes, as in the paper.
+	if team := TeamToSaturate(FourHundredGbE, interconnect.QPI(12).BytesPerSec); team.Count != 8 {
+		t.Fatalf("400GbE team for QPI: %d, want 8", team.Count)
+	}
+	// The 40GbE/PCIe v4 pairing: the arithmetic yields 8 (the paper
+	// quotes 9, a margin allowance).
+	if team := TeamToSaturate(FortyGbE, interconnect.PCIe(4, 16).BytesPerSec); team.Count != 8 {
+		t.Fatalf("40GbE team for PCIe v4: %d, want 8", team.Count)
+	}
+}
+
+func TestTeamToSaturateProperty(t *testing.T) {
+	// The returned team always covers the requested bandwidth, and
+	// removing one NIC would not.
+	f := func(bwRaw uint32) bool {
+		bw := float64(bwRaw%400)*1e9 + 1e9
+		team := TeamToSaturate(TenGbE, bw)
+		per := TenGbE.RawBytesPerSec() * (1 - ProtocolOverhead)
+		if team.GoodputBytesPerSec() < bw-1 {
+			return false
+		}
+		return float64(team.Count-1)*per < bw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFabricCostReproducesTable4(t *testing.T) {
+	// The hierarchical 500-leaf 10GbE fabric must average to the
+	// paper's $750 per NIC.
+	if got := TenGbEFabric().PerNIC(); math.Abs(got-750) > 0.01 {
+		t.Fatalf("fabric per-NIC cost $%.2f, Table 4 says $750", got)
+	}
+}
+
+func TestFabricCostScalesWithSwitchPrices(t *testing.T) {
+	f := TenGbEFabric()
+	f.CorePortPrice *= 2
+	if f.PerNIC() <= 750 {
+		t.Fatal("pricier core switches must raise the per-NIC cost")
+	}
+}
+
+func TestScaledNICPrice(t *testing.T) {
+	base := 750.0
+	if ScaledNICPrice(base, TenGbE) != base {
+		t.Fatal("10GbE price should be the base")
+	}
+	p40 := ScaledNICPrice(base, FortyGbE)
+	p400 := ScaledNICPrice(base, FourHundredGbE)
+	if p40 <= base || p400 <= p40 {
+		t.Fatalf("prices should rise with line rate: %v, %v, %v", base, p40, p400)
+	}
+	// But cost per GB/s must fall with each generation.
+	perGB := func(price float64, gen EthernetGen) float64 {
+		return price / (gen.RawBytesPerSec() / 1e9)
+	}
+	if perGB(p40, FortyGbE) >= perGB(base, TenGbE) {
+		t.Fatal("40GbE should be cheaper per GB/s than 10GbE")
+	}
+	if perGB(p400, FourHundredGbE) >= perGB(p40, FortyGbE) {
+		t.Fatal("400GbE should be cheaper per GB/s than 40GbE")
+	}
+}

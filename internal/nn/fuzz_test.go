@@ -1,0 +1,26 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseNetDef: arbitrary definition text must never panic the
+// parser — it either builds a network or returns an error.
+func FuzzParseNetDef(f *testing.F) {
+	f.Add(sampleDef)
+	f.Add("name: \"x\"\ninput: 4\nlayer a fc { out: 2 }\n")
+	f.Add("layer broken")
+	f.Add("input: -1")
+	f.Add("name: \"y\"\ninput: 1 4 4\nlayer c conv { out: 2 kernel: 99 }\n")
+	f.Fuzz(func(t *testing.T, def string) {
+		net, err := ParseNetDef(strings.NewReader(def), 1)
+		if err == nil && net != nil {
+			// Anything that parses must be executable metadata-wise.
+			if net.ParamCount() < 0 {
+				t.Fatal("negative parameter count")
+			}
+			_ = net.Kernels(1)
+		}
+	})
+}

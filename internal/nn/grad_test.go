@@ -1,0 +1,233 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"djinn/internal/tensor"
+)
+
+// numericalGradCheck compares the analytic parameter and input gradients
+// of a single-layer net against central finite differences of a scalar
+// loss L = Σ w_i · out_i with fixed random weights w.
+func numericalGradCheck(t *testing.T, net *Net, inShape []int, batch int, tol float64) {
+	t.Helper()
+	rng := tensor.NewRNG(77)
+	r := net.NewRunner(batch)
+	in := tensor.New(append([]int{batch}, inShape...)...)
+	rng.FillNorm(in.Data(), 0, 1)
+
+	out := r.Forward(in)
+	lossW := make([]float32, out.Len())
+	rng.FillNorm(lossW, 0, 1)
+	loss := func() float64 {
+		o := r.Forward(in)
+		var s float64
+		for i, v := range o.Data() {
+			s += float64(v) * float64(lossW[i])
+		}
+		return s
+	}
+
+	// Analytic gradients.
+	for _, p := range net.Params() {
+		p.EnsureGrad().Zero()
+	}
+	r.Forward(in)
+	dOut := tensor.FromSlice(append([]float32(nil), lossW...), out.Shape()...)
+	r.Backward(dOut)
+
+	const h = 1e-2
+	check := func(label string, data []float32, analytic []float32, idx int) {
+		orig := data[idx]
+		data[idx] = orig + h
+		lp := loss()
+		data[idx] = orig - h
+		lm := loss()
+		data[idx] = orig
+		numeric := (lp - lm) / (2 * h)
+		got := float64(analytic[idx])
+		if math.Abs(got-numeric) > tol*(1+math.Abs(numeric)) {
+			t.Errorf("%s[%d]: analytic %v vs numeric %v", label, idx, got, numeric)
+		}
+	}
+
+	for _, p := range net.Params() {
+		n := p.W.Len()
+		stride := n/7 + 1
+		for i := 0; i < n; i += stride {
+			check(p.Name, p.W.Data(), p.Grad.Data(), i)
+		}
+	}
+	ig := r.InputGrad()
+	stride := in.Len()/7 + 1
+	for i := 0; i < in.Len(); i += stride {
+		check("input", in.Data(), ig.Data()[:in.Len()], i)
+	}
+}
+
+func TestGradFC(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	n := NewNet("g-fc", KindDNN, 6)
+	n.Add(NewFC("fc", rng, 6, 4))
+	numericalGradCheck(t, n, []int{6}, 3, 1e-2)
+}
+
+func TestGradConv(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	n := NewNet("g-conv", KindCNN, 2, 5, 5)
+	n.Add(NewConv("conv", rng, 2, 3, 3, ConvOpt{Pad: 1, Stride: 2}))
+	numericalGradCheck(t, n, []int{2, 5, 5}, 2, 1e-2)
+}
+
+func TestGradConvGroups(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	n := NewNet("g-convg", KindCNN, 4, 4, 4)
+	n.Add(NewConv("conv", rng, 4, 4, 3, ConvOpt{Pad: 1, Groups: 2}))
+	numericalGradCheck(t, n, []int{4, 4, 4}, 1, 1e-2)
+}
+
+func TestGradMaxPool(t *testing.T) {
+	n := NewNet("g-pool", KindCNN, 2, 4, 4)
+	n.Add(NewPool("pool", MaxPool, 2, 2, 0))
+	numericalGradCheck(t, n, []int{2, 4, 4}, 2, 1e-2)
+}
+
+func TestGradAvgPool(t *testing.T) {
+	n := NewNet("g-apool", KindCNN, 2, 4, 4)
+	n.Add(NewPool("pool", AvgPool, 2, 2, 0))
+	numericalGradCheck(t, n, []int{2, 4, 4}, 2, 1e-2)
+}
+
+func TestGradActivations(t *testing.T) {
+	for _, mk := range []func(string) *Activation{NewReLU, NewSigmoid, NewTanh, NewHardTanh} {
+		l := mk("act")
+		n := NewNet("g-"+l.Kind(), KindDNN, 8)
+		n.Add(l)
+		numericalGradCheck(t, n, []int{8}, 2, 2e-2)
+	}
+}
+
+func TestGradSoftmax(t *testing.T) {
+	n := NewNet("g-sm", KindDNN, 5)
+	n.Add(NewSoftmax("prob"))
+	numericalGradCheck(t, n, []int{5}, 2, 1e-2)
+}
+
+func TestGradStack(t *testing.T) {
+	// Full small CNN: conv → relu → pool → fc → softmax.
+	n := smallCNN(42)
+	numericalGradCheck(t, n, []int{1, 8, 8}, 2, 3e-2)
+}
+
+func TestTrainingLearnsSyntheticTask(t *testing.T) {
+	// The engine must be able to learn a separable task: classify which
+	// quadrant of the image contains the bright blob. Exercises the
+	// whole train loop (forward, NLL, backward, SGD).
+	rng := tensor.NewRNG(99)
+	n := smallCNN(100)
+	r := n.NewRunner(16)
+	opt := NewSGD(0.05, 0.9, 1e-4)
+
+	gen := func(batch int) (*tensor.Tensor, []int) {
+		in := tensor.New(batch, 1, 8, 8)
+		labels := make([]int, batch)
+		for b := 0; b < batch; b++ {
+			q := rng.Intn(4)
+			labels[b] = q
+			oh, ow := (q/2)*4, (q%2)*4
+			for i := 0; i < 4; i++ {
+				for j := 0; j < 4; j++ {
+					in.Set(1+0.1*rng.Norm(), b, 0, oh+i, ow+j)
+				}
+			}
+		}
+		return in, labels
+	}
+
+	for step := 0; step < 150; step++ {
+		in, labels := gen(16)
+		TrainBatch(r, opt, in, labels)
+	}
+	in, labels := gen(16)
+	probs := r.Forward(in)
+	if acc := Accuracy(probs, labels); acc < 0.9 {
+		t.Fatalf("trained accuracy %.2f, want >= 0.9", acc)
+	}
+}
+
+func TestSGDStepZeroesGrads(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	fc := NewFC("fc", rng, 3, 2)
+	g := fc.Weight.EnsureGrad()
+	g.Fill(1)
+	opt := NewSGD(0.1, 0, 0)
+	before := fc.Weight.W.Data()[0]
+	opt.Step([]*Param{fc.Weight}, 1)
+	if fc.Weight.W.Data()[0] != before-0.1 {
+		t.Fatalf("sgd step wrong: %v -> %v", before, fc.Weight.W.Data()[0])
+	}
+	for _, v := range g.Data() {
+		if v != 0 {
+			t.Fatal("gradients not zeroed after step")
+		}
+	}
+}
+
+func TestNLLLossKnownValue(t *testing.T) {
+	probs := tensor.FromSlice([]float32{0.5, 0.25, 0.25}, 1, 3)
+	d := tensor.New(1, 3)
+	loss := NLLLoss(probs, []int{0}, d)
+	if math.Abs(loss-math.Log(2)) > 1e-5 {
+		t.Fatalf("loss %v, want ln 2", loss)
+	}
+	if math.Abs(float64(d.At(0, 0))+2) > 1e-4 {
+		t.Fatalf("grad %v, want -2", d.At(0, 0))
+	}
+	if d.At(0, 1) != 0 {
+		t.Fatal("non-label grad should be 0")
+	}
+}
+
+func TestGradLRN(t *testing.T) {
+	n := NewNet("g-lrn", KindCNN, 4, 2, 2)
+	n.Add(NewLRN("lrn", 3, 0.5, 0.75, 1)) // large alpha so the term matters
+	numericalGradCheck(t, n, []int{4, 2, 2}, 2, 2e-2)
+}
+
+func TestGradAlexNetStyleStack(t *testing.T) {
+	// conv → relu → lrn → pool → fc → softmax: the full AlexNet layer
+	// mix is differentiable end to end.
+	rng := tensor.NewRNG(60)
+	n := NewNet("g-alex", KindCNN, 2, 8, 8)
+	n.Add(NewConv("conv", rng, 2, 4, 3, ConvOpt{Pad: 1})).
+		Add(NewReLU("relu")).
+		Add(NewLRN("lrn", 3, 0.3, 0.75, 1)).
+		Add(NewPool("pool", MaxPool, 2, 2, 0)).
+		Add(NewFC("fc", rng, 4*4*4, 6)).
+		Add(NewSoftmax("prob"))
+	numericalGradCheck(t, n, []int{2, 8, 8}, 2, 4e-2)
+}
+
+func TestGradLocal(t *testing.T) {
+	rng := tensor.NewRNG(61)
+	n := NewNet("g-local", KindCNN, 2, 5, 5)
+	n.Add(NewLocal("loc", rng, 2, 5, 5, 3, 3, 2))
+	numericalGradCheck(t, n, []int{2, 5, 5}, 2, 2e-2)
+}
+
+func TestEveryWeightedLayerIsTrainable(t *testing.T) {
+	// Completeness: every layer kind with parameters implements
+	// BackLayer, so every Table 1 network is trainable end to end.
+	rng := tensor.NewRNG(62)
+	layers := []Layer{
+		NewConv("c", rng, 2, 2, 3, ConvOpt{}),
+		NewFC("f", rng, 4, 4),
+		NewLocal("l", rng, 2, 4, 4, 2, 3, 1),
+	}
+	for _, l := range layers {
+		if _, ok := l.(BackLayer); !ok {
+			t.Errorf("layer kind %s has parameters but no backward pass", l.Kind())
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"djinn/internal/tensor"
+)
+
+// Model serialisation: DjiNN loads pre-trained models at start-up and
+// keeps them resident. The format stores each parameter tensor by name:
+//
+//	magic   uint32 'DJNM'
+//	nparams uint32
+//	repeat: nameLen uint16, name bytes, tensor (tensor binary format)
+//
+// Loading matches parameters by name against an already-built Net, so
+// the architecture itself is code (internal/models), as with Caffe's
+// prototxt + caffemodel split.
+const modelMagic = 0x444a4e4d // "DJNM"
+
+// SaveWeights writes every parameter of the net to w.
+func (n *Net) SaveWeights(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	params := n.Params()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], modelMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(params)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if len(p.Name) > 1<<16-1 {
+			return fmt.Errorf("nn: parameter name too long: %q", p.Name)
+		}
+		var nl [2]byte
+		binary.LittleEndian.PutUint16(nl[:], uint16(len(p.Name)))
+		if _, err := bw.Write(nl[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if _, err := p.W.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadWeights reads a stream written by SaveWeights into the net's
+// parameters. Every stored parameter must exist in the net with a
+// matching shape, and every net parameter must be provided.
+func (n *Net) LoadWeights(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != modelMagic {
+		return fmt.Errorf("nn: bad model magic")
+	}
+	count := int(binary.LittleEndian.Uint32(hdr[4:]))
+	byName := map[string]*Param{}
+	for _, p := range n.Params() {
+		byName[p.Name] = p
+	}
+	if count != len(byName) {
+		return fmt.Errorf("nn: model has %d parameters, net %s expects %d", count, n.name, len(byName))
+	}
+	seen := map[string]bool{}
+	for i := 0; i < count; i++ {
+		var nl [2]byte
+		if _, err := io.ReadFull(br, nl[:]); err != nil {
+			return err
+		}
+		nameBytes := make([]byte, binary.LittleEndian.Uint16(nl[:]))
+		if _, err := io.ReadFull(br, nameBytes); err != nil {
+			return err
+		}
+		name := string(nameBytes)
+		t, err := tensor.ReadFrom(br)
+		if err != nil {
+			return fmt.Errorf("nn: reading parameter %q: %w", name, err)
+		}
+		p, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("nn: model parameter %q not in net %s", name, n.name)
+		}
+		if seen[name] {
+			return fmt.Errorf("nn: duplicate parameter %q", name)
+		}
+		if !p.W.SameShape(t) {
+			return fmt.Errorf("nn: parameter %q shape %v, net expects %v", name, t.Shape(), p.W.Shape())
+		}
+		p.W.CopyFrom(t)
+		seen[name] = true
+	}
+	return nil
+}

@@ -1,0 +1,371 @@
+package nn
+
+import (
+	"math"
+
+	"djinn/internal/tensor"
+)
+
+// Activation is an element-wise non-linearity layer. All Tonic networks
+// use one of ReLU (AlexNet, LeNet, DeepFace), Sigmoid (the Kaldi
+// acoustic model) or HardTanh (SENNA).
+type Activation struct {
+	name string
+	kind string
+	fn   func([]float32)
+	// grad computes dx given the layer's input x, output y and dy.
+	grad func(x, y, dy, dx []float32)
+}
+
+// NewReLU returns a rectified-linear activation layer.
+func NewReLU(name string) *Activation {
+	return &Activation{
+		name: name, kind: "relu", fn: tensor.ReLU,
+		grad: func(x, y, dy, dx []float32) { tensor.ReLUGrad(x, dy, dx) },
+	}
+}
+
+// NewSigmoid returns a logistic activation layer.
+func NewSigmoid(name string) *Activation {
+	return &Activation{
+		name: name, kind: "sigmoid", fn: tensor.Sigmoid,
+		grad: func(x, y, dy, dx []float32) {
+			for i := range y {
+				dx[i] = dy[i] * y[i] * (1 - y[i])
+			}
+		},
+	}
+}
+
+// NewTanh returns a tanh activation layer.
+func NewTanh(name string) *Activation {
+	return &Activation{
+		name: name, kind: "tanh", fn: tensor.Tanh,
+		grad: func(x, y, dy, dx []float32) {
+			for i := range y {
+				dx[i] = dy[i] * (1 - y[i]*y[i])
+			}
+		},
+	}
+}
+
+// NewHardTanh returns SENNA's clamped-linear activation layer.
+func NewHardTanh(name string) *Activation {
+	return &Activation{
+		name: name, kind: "hardtanh", fn: tensor.HardTanh,
+		grad: func(x, y, dy, dx []float32) {
+			for i := range x {
+				if x[i] > -1 && x[i] < 1 {
+					dx[i] = dy[i]
+				} else {
+					dx[i] = 0
+				}
+			}
+		},
+	}
+}
+
+// Name implements Layer.
+func (a *Activation) Name() string { return a.name }
+
+// Kind implements Layer.
+func (a *Activation) Kind() string { return a.kind }
+
+// Params implements Layer.
+func (a *Activation) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (a *Activation) OutShape(in []int) ([]int, error) { return in, nil }
+
+// Forward implements Layer.
+func (a *Activation) Forward(ctx *Ctx, in, out *tensor.Tensor) {
+	copy(out.Data(), in.Data())
+	a.fn(out.Data())
+}
+
+// Backward implements BackLayer.
+func (a *Activation) Backward(ctx *Ctx, in, out, dout, din *tensor.Tensor) {
+	a.grad(in.Data(), out.Data(), dout.Data(), din.Data())
+}
+
+// Kernels implements Layer: one memory-bound element-wise kernel.
+func (a *Activation) Kernels(in []int, batch int, ks []Kernel) []Kernel {
+	n := sampleElems(in) * batch
+	return append(ks, Kernel{
+		Name:     a.name,
+		FLOPs:    float64(n),
+		BytesIn:  float64(4 * n),
+		BytesOut: float64(4 * n),
+		Threads:  n,
+	})
+}
+
+// Dropout zeroes activations with probability P during training and
+// scales the survivors by 1/(1-P) (inverted dropout, as Caffe does), so
+// inference is the identity. AlexNet's fc6/fc7 use P=0.5.
+type Dropout struct {
+	name string
+	P    float32
+}
+
+// NewDropout creates a dropout layer with drop probability p.
+func NewDropout(name string, p float32) *Dropout { return &Dropout{name: name, P: p} }
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Kind implements Layer.
+func (d *Dropout) Kind() string { return "dropout" }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) ([]int, error) { return in, nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(ctx *Ctx, in, out *tensor.Tensor) {
+	if !ctx.Train || d.P <= 0 {
+		copy(out.Data(), in.Data())
+		return
+	}
+	scale := 1 / (1 - d.P)
+	src, dst := in.Data(), out.Data()
+	for i := range src {
+		if ctx.rng.Float32() < d.P {
+			dst[i] = 0
+		} else {
+			dst[i] = src[i] * scale
+		}
+	}
+}
+
+// Backward implements BackLayer. The mask is recovered from the forward
+// output (zero ⇒ dropped), which is exact because survivors are scaled
+// by a non-zero factor; the rare organically-zero activation routes no
+// gradient, which is harmless.
+func (d *Dropout) Backward(ctx *Ctx, in, out, dout, din *tensor.Tensor) {
+	if !ctx.Train || d.P <= 0 {
+		copy(din.Data(), dout.Data())
+		return
+	}
+	scale := 1 / (1 - d.P)
+	o, dy, dx := out.Data(), dout.Data(), din.Data()
+	for i := range o {
+		if o[i] == 0 {
+			dx[i] = 0
+		} else {
+			dx[i] = dy[i] * scale
+		}
+	}
+}
+
+// Kernels implements Layer. Inference-time dropout is free (Caffe skips
+// the kernel), so it contributes nothing to the cost model.
+func (d *Dropout) Kernels(in []int, batch int, ks []Kernel) []Kernel { return ks }
+
+// LRN is AlexNet's across-channel local response normalisation:
+// out = in / (k + alpha/n · Σ in²)^beta over a window of n channels.
+type LRN struct {
+	name        string
+	N           int
+	Alpha, Beta float32
+	K           float32
+}
+
+// NewLRN creates a local response normalisation layer with AlexNet's
+// standard parameters when alpha/beta are zero.
+func NewLRN(name string, n int, alpha, beta, k float32) *LRN {
+	if n == 0 {
+		n = 5
+	}
+	if alpha == 0 {
+		alpha = 1e-4
+	}
+	if beta == 0 {
+		beta = 0.75
+	}
+	if k == 0 {
+		k = 1
+	}
+	return &LRN{name: name, N: n, Alpha: alpha, Beta: beta, K: k}
+}
+
+// Name implements Layer.
+func (l *LRN) Name() string { return l.name }
+
+// Kind implements Layer.
+func (l *LRN) Kind() string { return "lrn" }
+
+// Params implements Layer.
+func (l *LRN) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (l *LRN) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, shapeErr(l.Kind(), l.name, in, "want [C,H,W]")
+	}
+	return in, nil
+}
+
+// Forward implements Layer.
+func (l *LRN) Forward(ctx *Ctx, in, out *tensor.Tensor) {
+	batch := in.Dim(0)
+	c, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
+	spatial := h * w
+	per := c * spatial
+	half := l.N / 2
+	for b := 0; b < batch; b++ {
+		src := in.Data()[b*per : (b+1)*per]
+		dst := out.Data()[b*per : (b+1)*per]
+		for pos := 0; pos < spatial; pos++ {
+			for ch := 0; ch < c; ch++ {
+				lo := ch - half
+				if lo < 0 {
+					lo = 0
+				}
+				hi := ch + half
+				if hi >= c {
+					hi = c - 1
+				}
+				var sum float32
+				for j := lo; j <= hi; j++ {
+					v := src[j*spatial+pos]
+					sum += v * v
+				}
+				scale := l.K + l.Alpha/float32(l.N)*sum
+				dst[ch*spatial+pos] = src[ch*spatial+pos] / float32(math.Pow(float64(scale), float64(l.Beta)))
+			}
+		}
+	}
+}
+
+// Backward implements BackLayer. With s_c = k + (α/n)·Σ_{j∈win(c)} x_j²
+// and y_c = x_c · s_c^{-β}:
+//
+//	∂y_c/∂x_i = s_c^{-β}·[c=i] − 2βα/n · x_c · x_i · s_c^{-β-1}  (i ∈ win(c))
+func (l *LRN) Backward(ctx *Ctx, in, out, dout, din *tensor.Tensor) {
+	batch := in.Dim(0)
+	c, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
+	spatial := h * w
+	per := c * spatial
+	half := l.N / 2
+	coef := 2 * l.Beta * l.Alpha / float32(l.N)
+	for b := 0; b < batch; b++ {
+		x := in.Data()[b*per : (b+1)*per]
+		dy := dout.Data()[b*per : (b+1)*per]
+		dx := din.Data()[b*per : (b+1)*per]
+		for pos := 0; pos < spatial; pos++ {
+			// Recompute the per-channel scales at this position.
+			scale := make([]float32, c)
+			for ch := 0; ch < c; ch++ {
+				lo, hi := maxInt(0, ch-half), minInt(c-1, ch+half)
+				var sum float32
+				for j := lo; j <= hi; j++ {
+					v := x[j*spatial+pos]
+					sum += v * v
+				}
+				scale[ch] = l.K + l.Alpha/float32(l.N)*sum
+			}
+			for i := 0; i < c; i++ {
+				xi := x[i*spatial+pos]
+				var g float32
+				// Channels whose window contains i.
+				lo, hi := maxInt(0, i-half), minInt(c-1, i+half)
+				for ch := lo; ch <= hi; ch++ {
+					sPow := float32(math.Pow(float64(scale[ch]), float64(-l.Beta)))
+					grad := dy[ch*spatial+pos]
+					if ch == i {
+						g += grad * sPow
+					}
+					g -= grad * coef * x[ch*spatial+pos] * xi * sPow / scale[ch]
+				}
+				dx[i*spatial+pos] = g
+			}
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Kernels implements Layer: memory-bound with a small per-element
+// compute term for the window sum and power.
+func (l *LRN) Kernels(in []int, batch int, ks []Kernel) []Kernel {
+	n := sampleElems(in) * batch
+	return append(ks, Kernel{
+		Name:     l.name,
+		FLOPs:    float64(n) * float64(2*l.N+10),
+		BytesIn:  float64(4*n) * 2,
+		BytesOut: float64(4 * n),
+		Threads:  n,
+	})
+}
+
+// Softmax normalises the per-sample vector into a probability
+// distribution; it is the terminal layer of every Tonic network.
+type Softmax struct{ name string }
+
+// NewSoftmax creates a softmax layer.
+func NewSoftmax(name string) *Softmax { return &Softmax{name: name} }
+
+// Name implements Layer.
+func (s *Softmax) Name() string { return s.name }
+
+// Kind implements Layer.
+func (s *Softmax) Kind() string { return "softmax" }
+
+// Params implements Layer.
+func (s *Softmax) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (s *Softmax) OutShape(in []int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, shapeErr(s.Kind(), s.name, in, "want a flat vector")
+	}
+	return in, nil
+}
+
+// Forward implements Layer.
+func (s *Softmax) Forward(ctx *Ctx, in, out *tensor.Tensor) {
+	copy(out.Data(), in.Data())
+	tensor.Softmax(in.Dim(0), in.Dim(1), out.Data())
+}
+
+// Backward implements BackLayer using the softmax Jacobian:
+// dx_i = y_i (dy_i − Σ_j dy_j y_j).
+func (s *Softmax) Backward(ctx *Ctx, in, out, dout, din *tensor.Tensor) {
+	batch, n := in.Dim(0), in.Dim(1)
+	for b := 0; b < batch; b++ {
+		y := out.Data()[b*n : (b+1)*n]
+		dy := dout.Data()[b*n : (b+1)*n]
+		dx := din.Data()[b*n : (b+1)*n]
+		dot := tensor.Dot(dy, y)
+		for i := range y {
+			dx[i] = y[i] * (dy[i] - dot)
+		}
+	}
+}
+
+// Kernels implements Layer.
+func (s *Softmax) Kernels(in []int, batch int, ks []Kernel) []Kernel {
+	n := sampleElems(in) * batch
+	return append(ks, Kernel{
+		Name:     s.name,
+		FLOPs:    float64(4 * n),
+		BytesIn:  float64(4 * n),
+		BytesOut: float64(4 * n),
+		Threads:  n,
+	})
+}

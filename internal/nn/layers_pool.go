@@ -1,0 +1,238 @@
+package nn
+
+import (
+	"math"
+
+	"djinn/internal/tensor"
+)
+
+// PoolKind selects the pooling operation.
+type PoolKind int
+
+// Pooling operations.
+const (
+	MaxPool PoolKind = iota
+	AvgPool
+)
+
+// Pool is a 2-D spatial pooling layer over NCHW inputs.
+type Pool struct {
+	name           string
+	Op             PoolKind
+	Kernel, Stride int
+	Pad            int
+}
+
+// NewPool creates a pooling layer. stride 0 means stride = kernel.
+func NewPool(name string, op PoolKind, kernel, stride, pad int) *Pool {
+	if stride == 0 {
+		stride = kernel
+	}
+	return &Pool{name: name, Op: op, Kernel: kernel, Stride: stride, Pad: pad}
+}
+
+// Name implements Layer.
+func (p *Pool) Name() string { return p.name }
+
+// Kind implements Layer.
+func (p *Pool) Kind() string {
+	if p.Op == MaxPool {
+		return "maxpool"
+	}
+	return "avgpool"
+}
+
+// Params implements Layer.
+func (p *Pool) Params() []*Param { return nil }
+
+func (p *Pool) geom(in []int) tensor.ConvGeom {
+	return tensor.ConvGeom{
+		Channels: in[0], Height: in[1], Width: in[2],
+		KernelH: p.Kernel, KernelW: p.Kernel,
+		StrideH: p.Stride, StrideW: p.Stride,
+		PadH: p.Pad, PadW: p.Pad,
+	}
+}
+
+// OutShape implements Layer.
+func (p *Pool) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, shapeErr(p.Kind(), p.name, in, "want [C,H,W]")
+	}
+	g := p.geom(in)
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return nil, shapeErr(p.Kind(), p.name, in, "kernel larger than padded input")
+	}
+	return []int{in[0], g.OutH(), g.OutW()}, nil
+}
+
+// Forward implements Layer.
+func (p *Pool) Forward(ctx *Ctx, in, out *tensor.Tensor) {
+	batch := in.Dim(0)
+	inShape := in.Shape()[1:]
+	g := p.geom(inShape)
+	c, h, w := inShape[0], inShape[1], inShape[2]
+	outH, outW := g.OutH(), g.OutW()
+	inPer, outPer := c*h*w, c*outH*outW
+	for b := 0; b < batch; b++ {
+		src := in.Data()[b*inPer : (b+1)*inPer]
+		dst := out.Data()[b*outPer : (b+1)*outPer]
+		for ch := 0; ch < c; ch++ {
+			plane := src[ch*h*w : (ch+1)*h*w]
+			outPlane := dst[ch*outH*outW : (ch+1)*outH*outW]
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					outPlane[oh*outW+ow] = p.poolWindow(plane, h, w, oh, ow)
+				}
+			}
+		}
+	}
+}
+
+func (p *Pool) poolWindow(plane []float32, h, w, oh, ow int) float32 {
+	h0 := oh*p.Stride - p.Pad
+	w0 := ow*p.Stride - p.Pad
+	if p.Op == MaxPool {
+		best := float32(math.Inf(-1))
+		for kh := 0; kh < p.Kernel; kh++ {
+			ih := h0 + kh
+			if ih < 0 || ih >= h {
+				continue
+			}
+			for kw := 0; kw < p.Kernel; kw++ {
+				iw := w0 + kw
+				if iw < 0 || iw >= w {
+					continue
+				}
+				if v := plane[ih*w+iw]; v > best {
+					best = v
+				}
+			}
+		}
+		if math.IsInf(float64(best), -1) {
+			return 0
+		}
+		return best
+	}
+	var sum float32
+	count := 0
+	for kh := 0; kh < p.Kernel; kh++ {
+		ih := h0 + kh
+		if ih < 0 || ih >= h {
+			continue
+		}
+		for kw := 0; kw < p.Kernel; kw++ {
+			iw := w0 + kw
+			if iw < 0 || iw >= w {
+				continue
+			}
+			sum += plane[ih*w+iw]
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float32(count)
+}
+
+// Backward implements BackLayer. Max pooling routes the gradient to the
+// argmax tap (recomputed here); average pooling spreads it uniformly.
+func (p *Pool) Backward(ctx *Ctx, in, out, dout, din *tensor.Tensor) {
+	batch := in.Dim(0)
+	inShape := in.Shape()[1:]
+	g := p.geom(inShape)
+	c, h, w := inShape[0], inShape[1], inShape[2]
+	outH, outW := g.OutH(), g.OutW()
+	inPer, outPer := c*h*w, c*outH*outW
+	din.Zero()
+	for b := 0; b < batch; b++ {
+		src := in.Data()[b*inPer : (b+1)*inPer]
+		dSrc := din.Data()[b*inPer : (b+1)*inPer]
+		dOut := dout.Data()[b*outPer : (b+1)*outPer]
+		for ch := 0; ch < c; ch++ {
+			plane := src[ch*h*w : (ch+1)*h*w]
+			dPlane := dSrc[ch*h*w : (ch+1)*h*w]
+			dOutPlane := dOut[ch*outH*outW : (ch+1)*outH*outW]
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					gr := dOutPlane[oh*outW+ow]
+					if gr == 0 {
+						continue
+					}
+					p.spreadWindow(plane, dPlane, h, w, oh, ow, gr)
+				}
+			}
+		}
+	}
+}
+
+func (p *Pool) spreadWindow(plane, dPlane []float32, h, w, oh, ow int, grad float32) {
+	h0 := oh*p.Stride - p.Pad
+	w0 := ow*p.Stride - p.Pad
+	if p.Op == MaxPool {
+		best := float32(math.Inf(-1))
+		bi := -1
+		for kh := 0; kh < p.Kernel; kh++ {
+			ih := h0 + kh
+			if ih < 0 || ih >= h {
+				continue
+			}
+			for kw := 0; kw < p.Kernel; kw++ {
+				iw := w0 + kw
+				if iw < 0 || iw >= w {
+					continue
+				}
+				if v := plane[ih*w+iw]; v > best {
+					best, bi = v, ih*w+iw
+				}
+			}
+		}
+		if bi >= 0 {
+			dPlane[bi] += grad
+		}
+		return
+	}
+	count := 0
+	for kh := 0; kh < p.Kernel; kh++ {
+		if ih := h0 + kh; ih >= 0 && ih < h {
+			for kw := 0; kw < p.Kernel; kw++ {
+				if iw := w0 + kw; iw >= 0 && iw < w {
+					count++
+				}
+			}
+		}
+	}
+	if count == 0 {
+		return
+	}
+	share := grad / float32(count)
+	for kh := 0; kh < p.Kernel; kh++ {
+		ih := h0 + kh
+		if ih < 0 || ih >= h {
+			continue
+		}
+		for kw := 0; kw < p.Kernel; kw++ {
+			iw := w0 + kw
+			if iw < 0 || iw >= w {
+				continue
+			}
+			dPlane[ih*w+iw] += share
+		}
+	}
+}
+
+// Kernels implements Layer. Pooling is memory-bound: each output reads
+// kernel² inputs.
+func (p *Pool) Kernels(in []int, batch int, ks []Kernel) []Kernel {
+	g := p.geom(in)
+	outElems := in[0] * g.OutH() * g.OutW() * batch
+	reads := float64(outElems) * float64(p.Kernel*p.Kernel) * 4
+	return append(ks, Kernel{
+		Name:     p.name,
+		FLOPs:    float64(outElems) * float64(p.Kernel*p.Kernel),
+		BytesIn:  reads,
+		BytesOut: float64(4 * outElems),
+		Threads:  outElems,
+	})
+}

@@ -1,0 +1,387 @@
+package nn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"djinn/internal/tensor"
+)
+
+// Network definition files give DjiNN the property the paper claims
+// for it: "supporting more applications simply requires providing
+// DjiNN a pretrained neural network model". The format is a simplified
+// Caffe-prototxt:
+//
+//	name: "alexnet"
+//	type: CNN
+//	input: 3 227 227
+//
+//	layer conv1 conv { out: 96  kernel: 11  stride: 4 }
+//	layer relu1 relu { }
+//	layer pool1 maxpool { kernel: 3  stride: 2 }
+//	layer fc8   fc   { out: 1000 }
+//	layer prob  softmax { }
+//
+// Comments run from '#' to end of line. Layer kinds and attributes:
+//
+//	conv     out, kernel, stride (1), pad (0), groups (1)
+//	local    out, kernel, stride (1)
+//	fc       out
+//	maxpool  kernel, stride (kernel), pad (0)
+//	avgpool  kernel, stride (kernel), pad (0)
+//	lrn      local_size (5), alpha (1e-4), beta (0.75), k (1)
+//	dropout  ratio (0.5)
+//	relu, sigmoid, tanh, hardtanh, softmax   (no attributes)
+//
+// ParseNetDef builds the network with deterministic synthetic weights
+// from seed; load trained weights afterwards with Net.LoadWeights.
+
+// ParseNetDef reads a network definition and constructs the network.
+func ParseNetDef(r io.Reader, seed uint64) (*Net, error) {
+	sc := bufio.NewScanner(r)
+	var (
+		name    string
+		kind    = KindDNN
+		inShape []int
+		net     *Net
+		lineNo  int
+	)
+	rng := tensor.NewRNG(seed)
+	fail := func(format string, args ...any) (*Net, error) {
+		return nil, fmt.Errorf("netdef line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "name:"):
+			name = strings.Trim(strings.TrimSpace(strings.TrimPrefix(line, "name:")), `"`)
+		case strings.HasPrefix(line, "type:"):
+			switch v := strings.TrimSpace(strings.TrimPrefix(line, "type:")); v {
+			case "CNN":
+				kind = KindCNN
+			case "DNN":
+				kind = KindDNN
+			default:
+				return fail("unknown network type %q (want CNN or DNN)", v)
+			}
+		case strings.HasPrefix(line, "input:"):
+			fields := strings.Fields(strings.TrimPrefix(line, "input:"))
+			if len(fields) == 0 {
+				return fail("input needs at least one dimension")
+			}
+			inShape = inShape[:0]
+			for _, f := range fields {
+				d, err := strconv.Atoi(f)
+				if err != nil || d <= 0 {
+					return fail("bad input dimension %q", f)
+				}
+				inShape = append(inShape, d)
+			}
+		case strings.HasPrefix(line, "layer "):
+			if net == nil {
+				if name == "" || len(inShape) == 0 {
+					return fail("layer before name:/input: header")
+				}
+				net = NewNet(name, kind, inShape...)
+			}
+			layer, err := parseLayerLine(line, net, rng)
+			if err != nil {
+				return fail("%v", err)
+			}
+			if err := addChecked(net, layer); err != nil {
+				return fail("%v", err)
+			}
+		default:
+			return fail("unrecognised directive %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if net == nil || len(net.Layers()) == 0 {
+		return nil, fmt.Errorf("netdef: no layers defined")
+	}
+	return net, nil
+}
+
+// addChecked converts Net.Add's shape panics into errors for the parser.
+func addChecked(net *Net, l Layer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	net.Add(l)
+	return nil
+}
+
+type attrs struct {
+	m    map[string]string
+	used map[string]bool
+}
+
+func (a attrs) str(key string) (string, bool) {
+	v, ok := a.m[key]
+	a.used[key] = true
+	return v, ok
+}
+
+func (a attrs) intOr(key string, def int) (int, error) {
+	v, ok := a.str(key)
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("attribute %s: %v", key, err)
+	}
+	return n, nil
+}
+
+func (a attrs) floatOr(key string, def float64) (float64, error) {
+	v, ok := a.str(key)
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("attribute %s: %v", key, err)
+	}
+	return f, nil
+}
+
+func (a attrs) mustInt(key string) (int, error) {
+	if _, ok := a.m[key]; !ok {
+		return 0, fmt.Errorf("missing required attribute %q", key)
+	}
+	return a.intOr(key, 0)
+}
+
+func (a attrs) unused() []string {
+	var out []string
+	for k := range a.m {
+		if !a.used[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// parseLayerLine parses `layer <name> <kind> { k: v  k: v }`.
+func parseLayerLine(line string, net *Net, rng *tensor.RNG) (Layer, error) {
+	open := strings.IndexByte(line, '{')
+	closeIdx := strings.LastIndexByte(line, '}')
+	if open < 0 || closeIdx < open {
+		return nil, fmt.Errorf("layer needs a { ... } attribute block")
+	}
+	head := strings.Fields(line[:open])
+	if len(head) != 3 {
+		return nil, fmt.Errorf("layer header %q: want `layer <name> <kind>`", strings.TrimSpace(line[:open]))
+	}
+	name, kind := head[1], head[2]
+	a := attrs{m: map[string]string{}, used: map[string]bool{}}
+	body := strings.TrimSpace(line[open+1 : closeIdx])
+	if body != "" {
+		// Attributes are `key: value` pairs; normalise "key:value" so
+		// the colon is its own token, then consume triples.
+		fields := strings.Fields(strings.ReplaceAll(body, ":", " : "))
+		for i := 0; i < len(fields); i += 3 {
+			if i+1 >= len(fields) || fields[i+1] != ":" {
+				return nil, fmt.Errorf("bad attribute syntax near %q", fields[i])
+			}
+			if i+2 >= len(fields) {
+				return nil, fmt.Errorf("attribute %q missing value", fields[i])
+			}
+			a.m[fields[i]] = fields[i+2]
+		}
+	}
+	cur := net.OutShape()
+	var layer Layer
+	var err error
+	// Attribute validation shared by the weighted/pooling layers: the
+	// constructors panic on non-positive geometry, so the parser must
+	// reject it first (found by FuzzParseNetDef).
+	positive := func(name string, vals ...int) error {
+		for _, v := range vals {
+			if v <= 0 {
+				return fmt.Errorf("layer %s: attribute values must be positive", name)
+			}
+		}
+		return nil
+	}
+	switch kind {
+	case "conv":
+		var out, kernel, stride, pad, groups int
+		if out, err = a.mustInt("out"); err == nil {
+			if kernel, err = a.mustInt("kernel"); err == nil {
+				if stride, err = a.intOr("stride", 1); err == nil {
+					if pad, err = a.intOr("pad", 0); err == nil {
+						groups, err = a.intOr("groups", 1)
+					}
+				}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := positive(name, out, kernel, stride, groups, pad+1); err != nil {
+			return nil, err
+		}
+		if len(cur) != 3 {
+			return nil, fmt.Errorf("conv layer %s needs a [C,H,W] input, have %v", name, cur)
+		}
+		if cur[0]%groups != 0 || out%groups != 0 {
+			return nil, fmt.Errorf("conv layer %s: channels (%d→%d) not divisible by groups %d", name, cur[0], out, groups)
+		}
+		layer = NewConv(name, rng, cur[0], out, kernel, ConvOpt{Stride: stride, Pad: pad, Groups: groups})
+	case "local":
+		var out, kernel, stride int
+		if out, err = a.mustInt("out"); err == nil {
+			if kernel, err = a.mustInt("kernel"); err == nil {
+				stride, err = a.intOr("stride", 1)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := positive(name, out, kernel, stride); err != nil {
+			return nil, err
+		}
+		if len(cur) != 3 {
+			return nil, fmt.Errorf("local layer %s needs a [C,H,W] input, have %v", name, cur)
+		}
+		if kernel > cur[1] || kernel > cur[2] {
+			return nil, fmt.Errorf("local layer %s: kernel %d exceeds input %dx%d", name, kernel, cur[1], cur[2])
+		}
+		layer = NewLocal(name, rng, cur[0], cur[1], cur[2], out, kernel, stride)
+	case "fc":
+		out, err := a.mustInt("out")
+		if err != nil {
+			return nil, err
+		}
+		if err := positive(name, out); err != nil {
+			return nil, err
+		}
+		in := 1
+		for _, d := range cur {
+			in *= d
+		}
+		layer = NewFC(name, rng, in, out)
+	case "maxpool", "avgpool":
+		kernel, err := a.mustInt("kernel")
+		if err != nil {
+			return nil, err
+		}
+		stride, err := a.intOr("stride", 0)
+		if err != nil {
+			return nil, err
+		}
+		pad, err := a.intOr("pad", 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := positive(name, kernel, stride+1, pad+1); err != nil {
+			return nil, err
+		}
+		op := MaxPool
+		if kind == "avgpool" {
+			op = AvgPool
+		}
+		layer = NewPool(name, op, kernel, stride, pad)
+	case "lrn":
+		size, err := a.intOr("local_size", 5)
+		if err != nil {
+			return nil, err
+		}
+		alpha, err := a.floatOr("alpha", 1e-4)
+		if err != nil {
+			return nil, err
+		}
+		beta, err := a.floatOr("beta", 0.75)
+		if err != nil {
+			return nil, err
+		}
+		k, err := a.floatOr("k", 1)
+		if err != nil {
+			return nil, err
+		}
+		layer = NewLRN(name, size, float32(alpha), float32(beta), float32(k))
+	case "dropout":
+		ratio, err := a.floatOr("ratio", 0.5)
+		if err != nil {
+			return nil, err
+		}
+		if ratio < 0 || ratio >= 1 {
+			return nil, fmt.Errorf("layer %s: dropout ratio %g outside [0,1)", name, ratio)
+		}
+		layer = NewDropout(name, float32(ratio))
+	case "relu":
+		layer = NewReLU(name)
+	case "sigmoid":
+		layer = NewSigmoid(name)
+	case "tanh":
+		layer = NewTanh(name)
+	case "hardtanh":
+		layer = NewHardTanh(name)
+	case "softmax":
+		layer = NewSoftmax(name)
+	default:
+		return nil, fmt.Errorf("unknown layer kind %q", kind)
+	}
+	if extra := a.unused(); len(extra) > 0 {
+		return nil, fmt.Errorf("layer %s: unknown attributes %v", name, extra)
+	}
+	return layer, nil
+}
+
+// WriteDef exports the network as a definition file that ParseNetDef
+// round-trips (weights are not included; use SaveWeights).
+func (n *Net) WriteDef(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "name: %q\n", n.name)
+	fmt.Fprintf(bw, "type: %s\n", n.kind)
+	fmt.Fprintf(bw, "input:")
+	for _, d := range n.inShape {
+		fmt.Fprintf(bw, " %d", d)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintln(bw)
+	for _, l := range n.layers {
+		switch v := l.(type) {
+		case *Conv:
+			fmt.Fprintf(bw, "layer %s conv { out: %d  kernel: %d  stride: %d  pad: %d  groups: %d }\n",
+				v.Name(), v.OutC, v.KernelH, v.StrideH, v.PadH, v.Groups)
+		case *Local:
+			fmt.Fprintf(bw, "layer %s local { out: %d  kernel: %d  stride: %d }\n",
+				v.Name(), v.OutC, v.Kernel, v.Stride)
+		case *FC:
+			fmt.Fprintf(bw, "layer %s fc { out: %d }\n", v.Name(), v.Out)
+		case *Pool:
+			fmt.Fprintf(bw, "layer %s %s { kernel: %d  stride: %d  pad: %d }\n",
+				v.Name(), v.Kind(), v.Kernel, v.Stride, v.Pad)
+		case *LRN:
+			fmt.Fprintf(bw, "layer %s lrn { local_size: %d  alpha: %g  beta: %g  k: %g }\n",
+				v.Name(), v.N, v.Alpha, v.Beta, v.K)
+		case *Dropout:
+			fmt.Fprintf(bw, "layer %s dropout { ratio: %g }\n", v.Name(), v.P)
+		case *Activation, *Softmax:
+			fmt.Fprintf(bw, "layer %s %s { }\n", l.Name(), l.Kind())
+		default:
+			return fmt.Errorf("netdef: cannot export layer kind %T", l)
+		}
+	}
+	return bw.Flush()
+}

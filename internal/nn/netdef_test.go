@@ -1,0 +1,167 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"djinn/internal/tensor"
+)
+
+const sampleDef = `
+# A small CNN for tests.
+name: "sample"
+type: CNN
+input: 1 8 8
+
+layer conv1 conv { out: 4  kernel: 3  pad: 1 }
+layer relu1 relu { }
+layer pool1 maxpool { kernel: 2 }
+layer fc1   fc   { out: 10 }
+layer prob  softmax { }
+`
+
+func TestParseNetDef(t *testing.T) {
+	net, err := ParseNetDef(strings.NewReader(sampleDef), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Name() != "sample" || net.Kind() != KindCNN {
+		t.Fatalf("header parsed wrong: %s %s", net.Name(), net.Kind())
+	}
+	if len(net.Layers()) != 5 {
+		t.Fatalf("%d layers", len(net.Layers()))
+	}
+	if !shapeEq(net.OutShape(), []int{10}) {
+		t.Fatalf("out shape %v", net.OutShape())
+	}
+	// The parsed network must run.
+	r := net.NewRunner(2)
+	in := tensor.New(2, 1, 8, 8)
+	tensor.NewRNG(2).FillNorm(in.Data(), 0, 1)
+	out := r.Forward(in)
+	if out.Dim(1) != 10 {
+		t.Fatalf("forward shape %v", out.Shape())
+	}
+}
+
+func TestParseNetDefDeterministicSeed(t *testing.T) {
+	a, _ := ParseNetDef(strings.NewReader(sampleDef), 7)
+	b, _ := ParseNetDef(strings.NewReader(sampleDef), 7)
+	c, _ := ParseNetDef(strings.NewReader(sampleDef), 8)
+	pa, pb, pc := a.Params()[0].W.Data(), b.Params()[0].W.Data(), c.Params()[0].W.Data()
+	same := true
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same seed differs")
+		}
+		if pa[i] != pc[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestParseNetDefErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		def  string
+	}{
+		{"no layers", "name: \"x\"\ninput: 4\n"},
+		{"layer before header", "layer a relu { }\n"},
+		{"bad kind", "name: \"x\"\ninput: 4\nlayer a wat { }\n"},
+		{"bad type", "name: \"x\"\ntype: RNN\ninput: 4\nlayer a relu { }\n"},
+		{"bad dim", "name: \"x\"\ninput: zero\nlayer a relu { }\n"},
+		{"missing attr", "name: \"x\"\ninput: 4\nlayer a fc { }\n"},
+		{"unknown attr", "name: \"x\"\ninput: 4\nlayer a fc { out: 2  wat: 3 }\n"},
+		{"bad attr value", "name: \"x\"\ninput: 4\nlayer a fc { out: two }\n"},
+		{"missing value", "name: \"x\"\ninput: 4\nlayer a fc { out: }\n"},
+		{"no block", "name: \"x\"\ninput: 4\nlayer a relu\n"},
+		{"conv on vector", "name: \"x\"\ninput: 4\nlayer a conv { out: 2 kernel: 3 }\n"},
+		{"shape mismatch", "name: \"x\"\ninput: 1 4 4\nlayer a conv { out: 2 kernel: 9 }\n"},
+		{"garbage directive", "name: \"x\"\ninput: 4\nwhatever\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseNetDef(strings.NewReader(c.def), 1); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestNetDefRoundTrip(t *testing.T) {
+	// Export a hand-built network with every exportable layer kind and
+	// re-parse it: structure, parameter counts and shapes must match.
+	rng := tensor.NewRNG(3)
+	orig := NewNet("round", KindCNN, 3, 16, 16)
+	orig.Add(NewConv("c1", rng, 3, 8, 3, ConvOpt{Pad: 1, Groups: 1})).
+		Add(NewReLU("r1")).
+		Add(NewLRN("n1", 5, 1e-4, 0.75, 1)).
+		Add(NewPool("p1", MaxPool, 2, 2, 0)).
+		Add(NewConv("c2", rng, 8, 8, 3, ConvOpt{Pad: 1, Groups: 2})).
+		Add(NewTanh("t1")).
+		Add(NewLocal("l1", rng, 8, 8, 8, 4, 3, 1)).
+		Add(NewSigmoid("s1")).
+		Add(NewPool("p2", AvgPool, 2, 2, 0)).
+		Add(NewFC("f1", rng, 4*3*3, 20)).
+		Add(NewHardTanh("h1")).
+		Add(NewDropout("d1", 0.4)).
+		Add(NewFC("f2", rng, 20, 5)).
+		Add(NewSoftmax("prob"))
+
+	var buf bytes.Buffer
+	if err := orig.WriteDef(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseNetDef(bytes.NewReader(buf.Bytes()), 9)
+	if err != nil {
+		t.Fatalf("re-parsing exported def: %v\n%s", err, buf.String())
+	}
+	if parsed.ParamCount() != orig.ParamCount() {
+		t.Fatalf("param count %d != %d", parsed.ParamCount(), orig.ParamCount())
+	}
+	if len(parsed.Layers()) != len(orig.Layers()) {
+		t.Fatalf("layer count %d != %d", len(parsed.Layers()), len(orig.Layers()))
+	}
+	for i, l := range parsed.Layers() {
+		if l.Kind() != orig.Layers()[i].Kind() || l.Name() != orig.Layers()[i].Name() {
+			t.Fatalf("layer %d: %s/%s != %s/%s", i, l.Name(), l.Kind(), orig.Layers()[i].Name(), orig.Layers()[i].Kind())
+		}
+	}
+	if !shapeEq(parsed.OutShape(), orig.OutShape()) {
+		t.Fatalf("out shape %v != %v", parsed.OutShape(), orig.OutShape())
+	}
+}
+
+func TestNetDefWeightsTransplant(t *testing.T) {
+	// The deployment flow: export def + weights, rebuild elsewhere,
+	// load weights, get identical outputs.
+	orig, err := ParseNetDef(strings.NewReader(sampleDef), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var def, weights bytes.Buffer
+	if err := orig.WriteDef(&def); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.SaveWeights(&weights); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := ParseNetDef(bytes.NewReader(def.Bytes()), 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.LoadWeights(bytes.NewReader(weights.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(1, 1, 8, 8)
+	tensor.NewRNG(5).FillNorm(in.Data(), 0, 1)
+	a := orig.NewRunner(1).Forward(in).Clone()
+	b := clone.NewRunner(1).Forward(in)
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatal("transplanted network diverges")
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"djinn/internal/tensor"
+)
+
+func smallCNN(seed uint64) *Net {
+	rng := tensor.NewRNG(seed)
+	n := NewNet("small-cnn", KindCNN, 1, 8, 8)
+	n.Add(NewConv("conv1", rng, 1, 4, 3, ConvOpt{Pad: 1})).
+		Add(NewReLU("relu1")).
+		Add(NewPool("pool1", MaxPool, 2, 2, 0)).
+		Add(NewFC("fc1", rng, 4*4*4, 10)).
+		Add(NewSoftmax("prob"))
+	return n
+}
+
+func TestNetShapePropagation(t *testing.T) {
+	n := smallCNN(1)
+	want := [][]int{{4, 8, 8}, {4, 8, 8}, {4, 4, 4}, {10}, {10}}
+	for i, s := range n.shapes {
+		if !shapeEq(s, want[i]) {
+			t.Fatalf("layer %d shape %v, want %v", i, s, want[i])
+		}
+	}
+	if n.LayerCount() != 4 {
+		t.Fatalf("LayerCount=%d, want 4 (softmax excluded)", n.LayerCount())
+	}
+}
+
+func TestNetAddRejectsBadShapes(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	n := NewNet("bad", KindCNN, 1, 8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on channel mismatch")
+		}
+	}()
+	n.Add(NewConv("conv1", rng, 3, 4, 3, ConvOpt{}))
+}
+
+func TestForwardOutputIsDistribution(t *testing.T) {
+	n := smallCNN(2)
+	r := n.NewRunner(4)
+	rng := tensor.NewRNG(3)
+	in := tensor.New(3, 1, 8, 8)
+	rng.FillNorm(in.Data(), 0, 1)
+	out := r.Forward(in)
+	if out.Dim(0) != 3 || out.Dim(1) != 10 {
+		t.Fatalf("output shape %v", out.Shape())
+	}
+	for b := 0; b < 3; b++ {
+		var s float64
+		for j := 0; j < 10; j++ {
+			s += float64(out.At(b, j))
+		}
+		if math.Abs(s-1) > 1e-4 {
+			t.Fatalf("row %d sums to %v", b, s)
+		}
+	}
+}
+
+func TestForwardDeterministicAndBatchInvariant(t *testing.T) {
+	// Property: processing samples in a batch must produce the same
+	// outputs as processing them one at a time — the correctness
+	// precondition for DjiNN's query batching (Section 5.1).
+	n := smallCNN(4)
+	rng := tensor.NewRNG(5)
+	batch := 5
+	in := tensor.New(batch, 1, 8, 8)
+	rng.FillNorm(in.Data(), 0, 1)
+	rBatch := n.NewRunner(batch)
+	outBatch := rBatch.Forward(in).Clone()
+	rOne := n.NewRunner(1)
+	for b := 0; b < batch; b++ {
+		single := tensor.FromSlice(in.Data()[b*64:(b+1)*64], 1, 1, 8, 8)
+		out := rOne.Forward(single)
+		for j := 0; j < 10; j++ {
+			got := out.At(0, j)
+			want := outBatch.At(b, j)
+			if math.Abs(float64(got-want)) > 1e-5 {
+				t.Fatalf("sample %d class %d: batched %v vs single %v", b, j, want, got)
+			}
+		}
+	}
+}
+
+func TestRunnerConcurrentForward(t *testing.T) {
+	// Many runners over one shared net must not race (DjiNN's worker
+	// model). Run with -race to exercise this.
+	n := smallCNN(6)
+	rng := tensor.NewRNG(7)
+	in := tensor.New(1, 1, 8, 8)
+	rng.FillNorm(in.Data(), 0, 1)
+	ref := n.NewRunner(1).Forward(in).Clone()
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := n.NewRunner(1)
+			for i := 0; i < 20; i++ {
+				out := r.Forward(in)
+				for j := 0; j < 10; j++ {
+					if out.At(0, j) != ref.At(0, j) {
+						errs <- "concurrent forward diverged"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestConvGroups(t *testing.T) {
+	// With groups=2, the first half of output channels must not depend
+	// on the second half of input channels.
+	rng := tensor.NewRNG(8)
+	conv := NewConv("g", rng, 4, 4, 3, ConvOpt{Pad: 1, Groups: 2})
+	ctx := NewCtx(0)
+	in := tensor.New(1, 4, 5, 5)
+	rng.FillNorm(in.Data(), 0, 1)
+	out1 := tensor.New(1, 4, 5, 5)
+	conv.Forward(ctx, in, out1)
+	// Perturb the second input group; first output group must not change.
+	in2 := in.Clone()
+	for i := 2 * 25; i < 4*25; i++ {
+		in2.Data()[i] += 10
+	}
+	out2 := tensor.New(1, 4, 5, 5)
+	conv.Forward(ctx, in2, out2)
+	for i := 0; i < 2*25; i++ {
+		if out1.Data()[i] != out2.Data()[i] {
+			t.Fatal("group 1 output depends on group 2 input")
+		}
+	}
+	changed := false
+	for i := 2 * 25; i < 4*25; i++ {
+		if out1.Data()[i] != out2.Data()[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("group 2 output ignored its input")
+	}
+}
+
+func TestConvKnownValues(t *testing.T) {
+	// 1x1 input channel, 2x2 image, identity-ish kernel.
+	rng := tensor.NewRNG(9)
+	conv := NewConv("k", rng, 1, 1, 2, ConvOpt{})
+	copy(conv.Weight.W.Data(), []float32{1, 2, 3, 4})
+	conv.Bias.W.Data()[0] = 0.5
+	ctx := NewCtx(0)
+	in := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	out := tensor.New(1, 1, 1, 1)
+	conv.Forward(ctx, in, out)
+	// 1*1+2*2+3*3+4*4 + 0.5 = 30.5
+	if got := out.At(0, 0, 0, 0); got != 30.5 {
+		t.Fatalf("conv output %v, want 30.5", got)
+	}
+}
+
+func TestMaxPoolKnownValues(t *testing.T) {
+	p := NewPool("p", MaxPool, 2, 2, 0)
+	ctx := NewCtx(0)
+	in := tensor.FromSlice([]float32{
+		1, 5, 2, 0,
+		3, 4, 1, 1,
+		0, 0, 9, 8,
+		0, 0, 7, 6,
+	}, 1, 1, 4, 4)
+	out := tensor.New(1, 1, 2, 2)
+	p.Forward(ctx, in, out)
+	want := []float32{5, 2, 0, 9}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("pool out %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestAvgPool(t *testing.T) {
+	p := NewPool("p", AvgPool, 2, 2, 0)
+	ctx := NewCtx(0)
+	in := tensor.FromSlice([]float32{1, 3, 5, 7}, 1, 1, 2, 2)
+	out := tensor.New(1, 1, 1, 1)
+	p.Forward(ctx, in, out)
+	if out.Data()[0] != 4 {
+		t.Fatalf("avg pool %v, want 4", out.Data()[0])
+	}
+}
+
+func TestLRNNormalises(t *testing.T) {
+	l := NewLRN("n", 5, 1, 0.75, 1) // big alpha to make the effect visible
+	ctx := NewCtx(0)
+	in := tensor.New(1, 5, 1, 1)
+	in.Fill(2)
+	out := tensor.New(1, 5, 1, 1)
+	l.Forward(ctx, in, out)
+	// Middle channel window covers all 5 channels: scale = 1 + (1/5)*20 = 5.
+	want := 2 / float32(math.Pow(5, 0.75))
+	if math.Abs(float64(out.At(0, 2, 0, 0)-want)) > 1e-5 {
+		t.Fatalf("lrn %v, want %v", out.At(0, 2, 0, 0), want)
+	}
+	// Edge channels see fewer neighbours, so are normalised less.
+	if out.At(0, 0, 0, 0) <= out.At(0, 2, 0, 0) {
+		t.Fatal("edge channel should be normalised less than centre")
+	}
+}
+
+func TestDropoutTrainVsEval(t *testing.T) {
+	d := NewDropout("d", 0.5)
+	in := tensor.New(1, 1000)
+	in.Fill(1)
+	out := tensor.New(1, 1000)
+	evalCtx := NewCtx(1)
+	d.Forward(evalCtx, in, out)
+	for _, v := range out.Data() {
+		if v != 1 {
+			t.Fatal("dropout must be identity at inference")
+		}
+	}
+	trainCtx := NewCtx(1)
+	trainCtx.Train = true
+	d.Forward(trainCtx, in, out)
+	zeros := 0
+	for _, v := range out.Data() {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+		default:
+			t.Fatalf("train-mode dropout produced %v, want 0 or 2", v)
+		}
+	}
+	if zeros < 400 || zeros > 600 {
+		t.Fatalf("dropped %d of 1000 at p=0.5", zeros)
+	}
+}
+
+func TestLocalLayerUntiedWeights(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	l := NewLocal("loc", rng, 1, 4, 4, 2, 3, 1)
+	if got, want := l.Weight.W.Len(), 2*2*2*9; got != want {
+		t.Fatalf("local weights %d, want %d", got, want)
+	}
+	// Same input patch at different locations must (generically) give
+	// different outputs because the weights are untied.
+	ctx := NewCtx(0)
+	in := tensor.New(1, 1, 4, 4)
+	in.Fill(1)
+	out := tensor.New(1, 2, 2, 2)
+	l.Forward(ctx, in, out)
+	if out.At(0, 0, 0, 0) == out.At(0, 0, 0, 1) {
+		t.Fatal("untied weights should give different outputs at different locations")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	n1 := smallCNN(11)
+	var buf bytes.Buffer
+	if err := n1.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n2 := smallCNN(999) // different init
+	if err := n2.LoadWeights(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(12)
+	in := tensor.New(1, 1, 8, 8)
+	rng.FillNorm(in.Data(), 0, 1)
+	o1 := n1.NewRunner(1).Forward(in).Clone()
+	o2 := n2.NewRunner(1).Forward(in)
+	for i := range o1.Data() {
+		if o1.Data()[i] != o2.Data()[i] {
+			t.Fatal("loaded net differs from saved net")
+		}
+	}
+}
+
+func TestLoadWeightsRejectsWrongNet(t *testing.T) {
+	n1 := smallCNN(13)
+	var buf bytes.Buffer
+	if err := n1.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(14)
+	other := NewNet("other", KindDNN, 64)
+	other.Add(NewFC("fc1", rng, 64, 10)).Add(NewSoftmax("prob"))
+	if err := other.LoadWeights(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected error loading mismatched model")
+	}
+}
+
+func TestKernelAccounting(t *testing.T) {
+	rng := tensor.NewRNG(15)
+	n := NewNet("acct", KindDNN, 100)
+	n.Add(NewFC("fc1", rng, 100, 50)).Add(NewSoftmax("prob"))
+	ks := n.Kernels(4)
+	// fc gemm + fc bias + softmax = 3 kernels.
+	if len(ks) != 3 {
+		t.Fatalf("%d kernels, want 3", len(ks))
+	}
+	gemm := ks[0]
+	if gemm.FLOPs != 2*100*50*4 {
+		t.Fatalf("gemm flops %v", gemm.FLOPs)
+	}
+	if gemm.Threads != GemmThreads(50, 4) {
+		t.Fatalf("gemm threads %v, want %v", gemm.Threads, GemmThreads(50, 4))
+	}
+	// Weight bytes appear once regardless of batch.
+	ks1 := n.Kernels(1)
+	w1 := ks1[0].BytesIn - 4*100 // subtract activations
+	w4 := gemm.BytesIn - 4*100*4
+	if w1 != w4 || w1 != 4*100*50 {
+		t.Fatalf("weight bytes w1=%v w4=%v", w1, w4)
+	}
+}
+
+func TestParamCountAndWeightBytes(t *testing.T) {
+	n := smallCNN(16)
+	// conv1: 4*1*3*3 + 4 = 40; fc1: 64*10 + 10 = 650.
+	if got := n.ParamCount(); got != 690 {
+		t.Fatalf("ParamCount=%d, want 690", got)
+	}
+	if n.WeightBytes() != 4*690 {
+		t.Fatalf("WeightBytes=%d", n.WeightBytes())
+	}
+}
+
+func TestFLOPsScaleWithBatch(t *testing.T) {
+	n := smallCNN(17)
+	f1 := n.FLOPs(1)
+	f8 := n.FLOPs(8)
+	if math.Abs(f8/f1-8) > 0.01 {
+		t.Fatalf("FLOPs should scale linearly with batch: %v vs %v", f1, f8)
+	}
+}
+
+func TestSummaryMentionsEveryLayer(t *testing.T) {
+	n := smallCNN(18)
+	s := n.Summary()
+	for _, name := range []string{"conv1", "relu1", "pool1", "fc1", "prob"} {
+		if !bytes.Contains([]byte(s), []byte(name)) {
+			t.Fatalf("summary missing %s:\n%s", name, s)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"sync"
+
+	"djinn/internal/tensor"
+)
+
+// ParallelRunner executes one network's forward pass with intra-batch
+// parallelism: the batch is split into contiguous chunks processed
+// concurrently by private Runners over the shared read-only weights.
+// This is how a CPU-only DjiNN deployment uses its cores within a
+// single large batch (complementing the across-batch worker pool).
+type ParallelRunner struct {
+	net     *Net
+	runners []*Runner
+	out     *tensor.Tensor
+}
+
+// NewParallelRunner creates a runner with the given worker count, each
+// able to process up to maxBatch/workers (rounded up) samples.
+func (n *Net) NewParallelRunner(maxBatch, workers int) *ParallelRunner {
+	if workers <= 0 {
+		panic("nn: NewParallelRunner: workers must be positive")
+	}
+	if workers > maxBatch {
+		workers = maxBatch
+	}
+	per := (maxBatch + workers - 1) / workers
+	p := &ParallelRunner{net: n}
+	for i := 0; i < workers; i++ {
+		p.runners = append(p.runners, n.NewRunner(per))
+	}
+	p.out = tensor.New(append([]int{maxBatch}, n.OutShape()...)...)
+	return p
+}
+
+// MaxBatch returns the total batch capacity.
+func (p *ParallelRunner) MaxBatch() int {
+	per := p.runners[0].MaxBatch()
+	return per * len(p.runners)
+}
+
+// Forward runs the batch across the workers and returns the stacked
+// output, owned by the ParallelRunner until the next call.
+func (p *ParallelRunner) Forward(input *tensor.Tensor) *tensor.Tensor {
+	batch := input.Dim(0)
+	inPer := input.Len() / batch
+	outShape := p.net.OutShape()
+	outPer := 1
+	for _, d := range outShape {
+		outPer *= d
+	}
+	per := p.runners[0].MaxBatch()
+	var wg sync.WaitGroup
+	for w := 0; w*per < batch; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > batch {
+			hi = batch
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			chunk := tensor.FromSlice(
+				input.Data()[lo*inPer:hi*inPer],
+				append([]int{hi - lo}, p.net.InShape()...)...)
+			res := p.runners[w].Forward(chunk)
+			copy(p.out.Data()[lo*outPer:hi*outPer], res.Data()[:(hi-lo)*outPer])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return tensor.FromSlice(p.out.Data()[:batch*outPer], append([]int{batch}, outShape...)...)
+}

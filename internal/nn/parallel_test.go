@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"djinn/internal/tensor"
+)
+
+func TestParallelRunnerMatchesSerial(t *testing.T) {
+	net := smallCNN(50)
+	rng := tensor.NewRNG(51)
+	const batch = 13
+	in := tensor.New(batch, 1, 8, 8)
+	rng.FillNorm(in.Data(), 0, 1)
+	serial := net.NewRunner(batch).Forward(in).Clone()
+	for _, workers := range []int{1, 2, 4, 7, 13, 20} {
+		p := net.NewParallelRunner(batch, workers)
+		got := p.Forward(in)
+		if got.Dim(0) != batch {
+			t.Fatalf("workers=%d: batch %d", workers, got.Dim(0))
+		}
+		for i := range serial.Data() {
+			if math.Abs(float64(got.Data()[i]-serial.Data()[i])) > 1e-6 {
+				t.Fatalf("workers=%d: output %d differs: %v vs %v", workers, i, got.Data()[i], serial.Data()[i])
+			}
+		}
+	}
+}
+
+func TestParallelRunnerPartialBatch(t *testing.T) {
+	net := smallCNN(52)
+	p := net.NewParallelRunner(16, 4)
+	rng := tensor.NewRNG(53)
+	// A batch smaller than one chunk and one that spans some workers.
+	for _, b := range []int{1, 3, 9, 16} {
+		in := tensor.New(b, 1, 8, 8)
+		rng.FillNorm(in.Data(), 0, 1)
+		out := p.Forward(in)
+		if out.Dim(0) != b || out.Dim(1) != 10 {
+			t.Fatalf("batch %d: shape %v", b, out.Shape())
+		}
+		for j := 0; j < b; j++ {
+			var s float64
+			for k := 0; k < 10; k++ {
+				s += float64(out.At(j, k))
+			}
+			if math.Abs(s-1) > 1e-4 {
+				t.Fatalf("batch %d row %d sums to %v", b, j, s)
+			}
+		}
+	}
+}
+
+func TestParallelRunnerRejectsBadWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	smallCNN(54).NewParallelRunner(8, 0)
+}
+
+func TestParallelRunnerSpeedsUpLargeBatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	rng := tensor.NewRNG(55)
+	net := NewNet("wide", KindDNN, 512)
+	net.Add(NewFC("fc1", rng, 512, 1024)).
+		Add(NewReLU("r")).
+		Add(NewFC("fc2", rng, 1024, 512)).
+		Add(NewSoftmax("p"))
+	const batch = 64
+	in := tensor.New(batch, 512)
+	rng.FillNorm(in.Data(), 0, 1)
+	serial := net.NewRunner(batch)
+	par := net.NewParallelRunner(batch, 4)
+	// Warm up, then time a few iterations of each.
+	serial.Forward(in)
+	par.Forward(in)
+	t0 := time.Now()
+	for i := 0; i < 10; i++ {
+		serial.Forward(in)
+	}
+	ts := time.Since(t0)
+	t0 = time.Now()
+	for i := 0; i < 10; i++ {
+		par.Forward(in)
+	}
+	tp := time.Since(t0)
+	t.Logf("serial %v, parallel(4) %v (%.2fx)", ts, tp, float64(ts)/float64(tp))
+	if tp > ts*2 {
+		t.Fatalf("parallel runner pathologically slow: %v vs %v", tp, ts)
+	}
+}

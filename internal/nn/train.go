@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"djinn/internal/tensor"
+)
+
+// SGD is a plain stochastic-gradient-descent optimiser with momentum
+// and L2 weight decay — the optimiser Caffe uses for the Tonic networks.
+// Training is not on the paper's serving critical path, but having it
+// lets tests and examples demonstrate the engine end-to-end (e.g.
+// learning the digit-recognition task from scratch).
+type SGD struct {
+	LR       float32
+	Momentum float32
+	Decay    float32
+	velocity map[*Param][]float32
+}
+
+// NewSGD creates an optimiser.
+func NewSGD(lr, momentum, decay float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, Decay: decay, velocity: map[*Param][]float32{}}
+}
+
+// Step applies accumulated gradients to the parameters and zeroes them.
+// scale is typically 1/batchSize.
+func (s *SGD) Step(params []*Param, scale float32) {
+	for _, p := range params {
+		if p.Grad == nil {
+			continue
+		}
+		g := p.Grad.Data()
+		w := p.W.Data()
+		v := s.velocity[p]
+		if v == nil {
+			v = make([]float32, len(w))
+			s.velocity[p] = v
+		}
+		for i := range w {
+			grad := g[i]*scale + s.Decay*w[i]
+			v[i] = s.Momentum*v[i] - s.LR*grad
+			w[i] += v[i]
+			g[i] = 0
+		}
+	}
+}
+
+// NLLLoss computes the mean negative-log-likelihood of the labels under
+// the network's probability outputs (the softmax layer must be the final
+// layer) and writes the gradient w.r.t. those probabilities into dProbs.
+func NLLLoss(probs *tensor.Tensor, labels []int, dProbs *tensor.Tensor) float64 {
+	batch, n := probs.Dim(0), probs.Dim(1)
+	if len(labels) != batch {
+		panic(fmt.Sprintf("nn: NLLLoss: %d labels for batch %d", len(labels), batch))
+	}
+	dProbs.Zero()
+	var loss float64
+	const eps = 1e-10
+	for b, lab := range labels {
+		if lab < 0 || lab >= n {
+			panic(fmt.Sprintf("nn: NLLLoss: label %d out of range [0,%d)", lab, n))
+		}
+		p := probs.Data()[b*n+lab]
+		loss += -math.Log(float64(p) + eps)
+		dProbs.Data()[b*n+lab] = -1 / (p + eps) / float32(batch)
+	}
+	return loss / float64(batch)
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label.
+func Accuracy(probs *tensor.Tensor, labels []int) float64 {
+	batch, n := probs.Dim(0), probs.Dim(1)
+	correct := 0
+	for b, lab := range labels {
+		if tensor.Argmax(probs.Data()[b*n:(b+1)*n]) == lab {
+			correct++
+		}
+	}
+	return float64(correct) / float64(batch)
+}
+
+// TrainBatch runs one forward/backward/update step on a labelled batch
+// and returns the batch loss. The runner must wrap a network whose final
+// layer is softmax.
+func TrainBatch(r *Runner, opt *SGD, input *tensor.Tensor, labels []int) float64 {
+	r.SetTrain(true)
+	defer r.SetTrain(false)
+	probs := r.Forward(input)
+	dProbs := tensor.New(probs.Shape()...)
+	loss := NLLLoss(probs, labels, dProbs)
+	r.Backward(dProbs)
+	opt.Step(r.net.Params(), 1)
+	return loss
+}

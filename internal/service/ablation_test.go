@@ -1,0 +1,89 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAblationFlushPolicy: the batching aggregator's size+timeout flush
+// (DESIGN.md §5). With a size-only policy (simulated by an effectively
+// infinite window), a lone query would wait forever; the timeout bounds
+// its latency. Conversely, under a concurrent burst the window should
+// not prevent full batches from forming.
+func TestAblationFlushPolicy(t *testing.T) {
+	const window = 5 * time.Millisecond
+
+	// A lone query completes in roughly one window, not one eternity.
+	s := NewServer()
+	s.SetLogger(silence)
+	defer s.Close()
+	if err := s.Register("tiny", testNet(1), AppConfig{
+		BatchInstances: 1 << 20, // size threshold never reached
+		BatchWindow:    window,
+		Workers:        1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := s.Infer("tiny", make([]float32, 8)); err != nil {
+		t.Fatal(err)
+	}
+	lone := time.Since(start)
+	if lone > 50*window {
+		t.Fatalf("lone query took %v; timeout flush is not bounding latency", lone)
+	}
+
+	// A burst of queries still fills batches rather than flushing each
+	// query alone.
+	s2 := NewServer()
+	s2.SetLogger(silence)
+	defer s2.Close()
+	if err := s2.Register("tiny", testNet(1), AppConfig{
+		BatchInstances: 8,
+		BatchWindow:    window,
+		Workers:        1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s2.Infer("tiny", make([]float32, 8))
+		}()
+	}
+	wg.Wait()
+	st, _ := s2.StatsFor("tiny")
+	if st.AvgBatch() < 2 {
+		t.Fatalf("burst average batch %.1f; aggregation is not happening", st.AvgBatch())
+	}
+}
+
+// BenchmarkFlushWindow measures single-query service latency across
+// batch-window settings — the latency cost of waiting for batches that
+// never fill.
+func BenchmarkFlushWindow(b *testing.B) {
+	for _, window := range []time.Duration{time.Millisecond, 4 * time.Millisecond} {
+		b.Run(window.String(), func(b *testing.B) {
+			s := NewServer()
+			s.SetLogger(silence)
+			defer s.Close()
+			if err := s.Register("tiny", testNet(1), AppConfig{
+				BatchInstances: 1 << 20,
+				BatchWindow:    window,
+				Workers:        1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]float32, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Infer("tiny", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

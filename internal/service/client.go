@@ -1,0 +1,108 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client is a DjiNN service client speaking the framed TCP protocol.
+// It is safe for concurrent use; requests on one connection are
+// serialised (open several clients for pipelining, as the Tonic load
+// drivers do).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	rw   *bufio.ReadWriter
+}
+
+// Dial connects to a DjiNN server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		rw:   bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn)),
+	}
+}
+
+// Infer sends one query payload for app and returns the probability
+// vectors the service computed.
+func (c *Client) Infer(app string, in []float32) ([]float32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeRequest(c.rw, app, in); err != nil {
+		return nil, fmt.Errorf("service: sending request: %w", err)
+	}
+	if err := c.rw.Flush(); err != nil {
+		return nil, fmt.Errorf("service: flushing request: %w", err)
+	}
+	status, msg, out, err := readResponse(c.rw)
+	if err != nil {
+		return nil, fmt.Errorf("service: reading response: %w", err)
+	}
+	if status != StatusOK {
+		return nil, fmt.Errorf("service: server error: %s", msg)
+	}
+	return out, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Backend abstracts "something that can answer DjiNN queries": a TCP
+// Client or an in-process Server. Tonic applications program against
+// it.
+type Backend interface {
+	Infer(app string, in []float32) ([]float32, error)
+}
+
+var (
+	_ Backend = (*Client)(nil)
+	_ Backend = (*Server)(nil)
+)
+
+// Control sends a control command ("apps", "stats <app>") and returns
+// the server's textual answer.
+func (c *Client) Control(cmd string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeControl(c.rw, cmd); err != nil {
+		return "", fmt.Errorf("service: sending control: %w", err)
+	}
+	if err := c.rw.Flush(); err != nil {
+		return "", err
+	}
+	status, msg, _, err := readResponse(c.rw)
+	if err != nil {
+		return "", fmt.Errorf("service: reading control response: %w", err)
+	}
+	if status != StatusOK {
+		return "", fmt.Errorf("service: %s", msg)
+	}
+	return msg, nil
+}
+
+// Apps lists the applications registered on the server.
+func (c *Client) Apps() ([]string, error) {
+	answer, err := c.Control("apps")
+	if err != nil {
+		return nil, err
+	}
+	return strings.Fields(answer), nil
+}
+
+// ServerStats returns the textual counters of one application.
+func (c *Client) ServerStats(app string) (string, error) {
+	return c.Control("stats " + app)
+}

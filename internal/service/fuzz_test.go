@@ -1,0 +1,65 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadRequest: arbitrary bytes must never panic the request parser
+// (a network-facing server survives hostile frames).
+func FuzzReadRequest(f *testing.F) {
+	var seed bytes.Buffer
+	writeRequest(&seed, "asr", []float32{1, 2, 3})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x51, 0x52, 0x4a, 0x44})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		app, in, err := readRequest(bytes.NewReader(data))
+		if err == nil {
+			// A parse that succeeds must produce sane fields.
+			if len(app) == 0 || len(app) > MaxAppNameLen {
+				t.Fatalf("accepted bad app name %q", app)
+			}
+			if len(in) > MaxPayloadFloats {
+				t.Fatalf("accepted oversized payload %d", len(in))
+			}
+		}
+	})
+}
+
+// FuzzReadResponse: same guarantee for the client-side parser.
+func FuzzReadResponse(f *testing.F) {
+	var seed bytes.Buffer
+	writeResponse(&seed, StatusOK, "ok", []float32{4, 5})
+	f.Add(seed.Bytes())
+	f.Add([]byte{0x53, 0x52, 0x4a, 0x44, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		readResponse(bytes.NewReader(data))
+	})
+}
+
+// FuzzControlRoundTrip: valid control commands round-trip; arbitrary
+// bytes never panic the control parser.
+func FuzzControlRoundTrip(f *testing.F) {
+	f.Add("apps")
+	f.Add("stats tiny")
+	f.Fuzz(func(t *testing.T, cmd string) {
+		if len(cmd) == 0 || len(cmd) > 1024 {
+			return
+		}
+		var buf bytes.Buffer
+		if err := writeControl(&buf, cmd); err != nil {
+			t.Fatalf("writing %q: %v", cmd, err)
+		}
+		var magic [4]byte
+		copy(magic[:], buf.Bytes()[:4])
+		got, err := readControlBody(bytes.NewReader(buf.Bytes()[4:]))
+		if err != nil {
+			t.Fatalf("reading back %q: %v", cmd, err)
+		}
+		if got != cmd {
+			t.Fatalf("round trip %q -> %q", cmd, got)
+		}
+	})
+}

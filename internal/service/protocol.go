@@ -1,0 +1,242 @@
+// Package service implements DjiNN itself (Section 3.1): a standalone
+// DNN-inference service accepting requests over a custom socket
+// protocol on TCP/IP. Pre-trained models are loaded once at start-up
+// and shared read-only across all workers; incoming requests are
+// batched across connections (Section 5.1's throughput optimisation)
+// and executed by a pool of workers, each owning its private activation
+// buffers.
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire protocol: little-endian framed messages.
+//
+//	request:  magic 'DJRQ' u32 | appLen u16 | app bytes | nFloats u32 | floats
+//	response: magic 'DJRS' u32 | status u8  | msgLen u16 | msg bytes  | nFloats u32 | floats
+//
+// The request payload is the preprocessed input for one query: a batch
+// of DNN input instances laid out contiguously (e.g. 548 spliced
+// feature vectors for ASR, 28 word windows for POS). The response is
+// the corresponding probability vectors.
+const (
+	reqMagic  = 0x444a5251 // "DJRQ"
+	respMagic = 0x444a5253 // "DJRS"
+	ctrlMagic = 0x444a4343 // "DJCC" — control commands (apps, stats)
+
+	// StatusOK indicates a successful inference.
+	StatusOK = 0
+	// StatusError indicates a failed request; the message explains why.
+	StatusError = 1
+
+	// MaxAppNameLen bounds the application-name field.
+	MaxAppNameLen = 128
+	// MaxPayloadFloats bounds a request or response payload (64M
+	// floats = 256 MB), a sanity limit against corrupt frames.
+	MaxPayloadFloats = 64 << 20
+)
+
+func writeUint32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readUint32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func writeFloats(w io.Writer, data []float32) error {
+	if err := writeUint32(w, uint32(len(data))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(data); off += 4096 {
+		end := off + 4096
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := data[off:end]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf[:len(chunk)*4]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFloats(r io.Reader) ([]float32, error) {
+	n, err := readUint32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxPayloadFloats {
+		return nil, fmt.Errorf("service: payload of %d floats exceeds limit", n)
+	}
+	data := make([]float32, n)
+	buf := make([]byte, 4*4096)
+	for off := 0; off < int(n); off += 4096 {
+		end := off + 4096
+		if end > int(n) {
+			end = int(n)
+		}
+		chunk := buf[:(end-off)*4]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return nil, err
+		}
+		for i := off; i < end; i++ {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(chunk[(i-off)*4:]))
+		}
+	}
+	return data, nil
+}
+
+// writeRequest frames one inference request.
+func writeRequest(w io.Writer, app string, in []float32) error {
+	if len(app) == 0 || len(app) > MaxAppNameLen {
+		return fmt.Errorf("service: bad app name length %d", len(app))
+	}
+	if err := writeUint32(w, reqMagic); err != nil {
+		return err
+	}
+	var nl [2]byte
+	binary.LittleEndian.PutUint16(nl[:], uint16(len(app)))
+	if _, err := w.Write(nl[:]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, app); err != nil {
+		return err
+	}
+	return writeFloats(w, in)
+}
+
+// readRequest parses one inference request (including its magic).
+func readRequest(r io.Reader) (app string, in []float32, err error) {
+	magic, err := readUint32(r)
+	if err != nil {
+		return "", nil, err
+	}
+	if magic != reqMagic {
+		return "", nil, fmt.Errorf("service: bad request magic %#x", magic)
+	}
+	return readRequestBody(r)
+}
+
+// readRequestBody parses an inference request after its magic has been
+// consumed (the server dispatches on the magic).
+func readRequestBody(r io.Reader) (app string, in []float32, err error) {
+	var nl [2]byte
+	if _, err := io.ReadFull(r, nl[:]); err != nil {
+		return "", nil, err
+	}
+	nameLen := binary.LittleEndian.Uint16(nl[:])
+	if nameLen == 0 || nameLen > MaxAppNameLen {
+		return "", nil, fmt.Errorf("service: bad app name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return "", nil, err
+	}
+	in, err = readFloats(r)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(name), in, nil
+}
+
+// writeResponse frames one inference response.
+func writeResponse(w io.Writer, status byte, msg string, out []float32) error {
+	if err := writeUint32(w, respMagic); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{status}); err != nil {
+		return err
+	}
+	if len(msg) > 1<<16-1 {
+		msg = msg[:1<<16-1]
+	}
+	var ml [2]byte
+	binary.LittleEndian.PutUint16(ml[:], uint16(len(msg)))
+	if _, err := w.Write(ml[:]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, msg); err != nil {
+		return err
+	}
+	return writeFloats(w, out)
+}
+
+// readResponse parses one inference response.
+func readResponse(r io.Reader) (status byte, msg string, out []float32, err error) {
+	magic, err := readUint32(r)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if magic != respMagic {
+		return 0, "", nil, fmt.Errorf("service: bad response magic %#x", magic)
+	}
+	var sb [1]byte
+	if _, err := io.ReadFull(r, sb[:]); err != nil {
+		return 0, "", nil, err
+	}
+	var ml [2]byte
+	if _, err := io.ReadFull(r, ml[:]); err != nil {
+		return 0, "", nil, err
+	}
+	msgBytes := make([]byte, binary.LittleEndian.Uint16(ml[:]))
+	if _, err := io.ReadFull(r, msgBytes); err != nil {
+		return 0, "", nil, err
+	}
+	out, err = readFloats(r)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return sb[0], string(msgBytes), out, nil
+}
+
+// writeControl frames one control command (a short text command such as
+// "apps" or "stats <app>"). The response reuses the standard response
+// frame with the answer in its message field.
+func writeControl(w io.Writer, cmd string) error {
+	if len(cmd) == 0 || len(cmd) > 1024 {
+		return fmt.Errorf("service: bad control command length %d", len(cmd))
+	}
+	if err := writeUint32(w, ctrlMagic); err != nil {
+		return err
+	}
+	var nl [2]byte
+	binary.LittleEndian.PutUint16(nl[:], uint16(len(cmd)))
+	if _, err := w.Write(nl[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, cmd)
+	return err
+}
+
+// readControlBody parses a control command after its magic.
+func readControlBody(r io.Reader) (string, error) {
+	var nl [2]byte
+	if _, err := io.ReadFull(r, nl[:]); err != nil {
+		return "", err
+	}
+	n := binary.LittleEndian.Uint16(nl[:])
+	if n == 0 || n > 1024 {
+		return "", fmt.Errorf("service: bad control command length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,476 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"djinn/internal/nn"
+	"djinn/internal/tensor"
+)
+
+// AppConfig controls batching and worker-pool parameters for one
+// registered application.
+type AppConfig struct {
+	// BatchInstances is the number of DNN input instances aggregated
+	// into one forward pass (queries × instances-per-query at the
+	// Table 3 operating point). Zero means 64.
+	BatchInstances int
+	// BatchWindow is how long the aggregator waits for a batch to fill
+	// before flushing a partial one. Zero means 2ms.
+	BatchWindow time.Duration
+	// Workers is the number of concurrent inference workers (the
+	// paper's concurrent DNN service instances; 4 is the paper's
+	// chosen MPS operating point). Zero means 4.
+	Workers int
+	// IntraOpWorkers splits each forward pass's batch across this many
+	// goroutines (CPU-only deployments use cores inside a batch as
+	// well as across batches). Zero or 1 disables intra-op parallelism.
+	IntraOpWorkers int
+	// MaxPending bounds the queries waiting in the app's aggregation
+	// queue; beyond it the service sheds load with an error instead of
+	// letting latency grow without bound. Zero means 1024.
+	MaxPending int
+}
+
+func (c AppConfig) withDefaults() AppConfig {
+	if c.BatchInstances <= 0 {
+		c.BatchInstances = 64
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.IntraOpWorkers <= 0 {
+		c.IntraOpWorkers = 1
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 1024
+	}
+	return c
+}
+
+// Stats is a snapshot of one application's service counters.
+type Stats struct {
+	Queries   int64 // requests served
+	Instances int64 // DNN input instances processed
+	Batches   int64 // forward passes executed
+	Errors    int64
+}
+
+// AvgBatch returns the mean instances per forward pass.
+func (s Stats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Instances) / float64(s.Batches)
+}
+
+type pendingReq struct {
+	in        []float32
+	instances int
+	resp      chan result
+}
+
+type result struct {
+	out []float32
+	err error
+}
+
+type app struct {
+	name      string
+	net       *nn.Net
+	cfg       AppConfig
+	sampleIn  int // floats per input instance
+	sampleOut int
+	reqCh     chan *pendingReq
+	queries   atomic.Int64
+	instances atomic.Int64
+	batches   atomic.Int64
+	errors    atomic.Int64
+}
+
+// Server is the DjiNN service: a model registry plus a TCP front-end.
+type Server struct {
+	mu       sync.Mutex
+	apps     map[string]*app
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	done     chan struct{}
+	wg       sync.WaitGroup
+	logf     func(format string, args ...any)
+}
+
+// NewServer creates an empty DjiNN server. Register applications before
+// serving.
+func NewServer() *Server {
+	return &Server{
+		apps:  map[string]*app{},
+		conns: map[net.Conn]struct{}{},
+		done:  make(chan struct{}),
+		logf:  log.Printf,
+	}
+}
+
+// SetLogger replaces the server's log function (tests use a silent one).
+func (s *Server) SetLogger(logf func(string, ...any)) { s.logf = logf }
+
+// Register adds an application backed by a network whose weights are
+// shared read-only across the app's workers. It returns an error if the
+// name is taken.
+func (s *Server) Register(name string, netw *nn.Net, cfg AppConfig) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.apps[name]; ok {
+		return fmt.Errorf("service: app %q already registered", name)
+	}
+	cfg = cfg.withDefaults()
+	a := &app{
+		name: name, net: netw, cfg: cfg,
+		sampleIn:  elems(netw.InShape()),
+		sampleOut: elems(netw.OutShape()),
+		reqCh:     make(chan *pendingReq, cfg.MaxPending),
+	}
+	s.apps[name] = a
+	s.logf("service: registered %s (%d params, %.1f MB, batch %d instances, %d workers)",
+		name, netw.ParamCount(), float64(netw.WeightBytes())/(1<<20), cfg.BatchInstances, cfg.Workers)
+	batchCh := make(chan []*pendingReq, cfg.Workers)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		a.aggregate(batchCh, s.done)
+	}()
+	for w := 0; w < cfg.Workers; w++ {
+		var runner forwardRunner
+		if cfg.IntraOpWorkers > 1 {
+			runner = netw.NewParallelRunner(cfg.BatchInstances, cfg.IntraOpWorkers)
+		} else {
+			runner = netw.NewRunner(cfg.BatchInstances)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			a.work(runner, batchCh)
+		}()
+	}
+	return nil
+}
+
+// forwardRunner is the worker-side execution interface, satisfied by
+// both nn.Runner and nn.ParallelRunner.
+type forwardRunner interface {
+	Forward(*tensor.Tensor) *tensor.Tensor
+	MaxBatch() int
+}
+
+func elems(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// Apps returns the registered application names.
+func (s *Server) Apps() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.apps))
+	for n := range s.apps {
+		names = append(names, n)
+	}
+	return names
+}
+
+// StatsFor returns the counters of one application.
+func (s *Server) StatsFor(name string) (Stats, bool) {
+	s.mu.Lock()
+	a, ok := s.apps[name]
+	s.mu.Unlock()
+	if !ok {
+		return Stats{}, false
+	}
+	return Stats{
+		Queries:   a.queries.Load(),
+		Instances: a.instances.Load(),
+		Batches:   a.batches.Load(),
+		Errors:    a.errors.Load(),
+	}, true
+}
+
+// aggregate collects requests into batches: it flushes when the pending
+// instance count reaches BatchInstances or when BatchWindow has elapsed
+// since the first pending request — the cross-request batching that
+// Section 5.1 shows is key to GPU throughput.
+func (a *app) aggregate(batchCh chan<- []*pendingReq, done <-chan struct{}) {
+	defer close(batchCh)
+	var (
+		pending   []*pendingReq
+		instances int
+		timer     *time.Timer
+		timeout   <-chan time.Time
+	)
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		batchCh <- pending
+		pending, instances = nil, 0
+		if timer != nil {
+			timer.Stop()
+			timer, timeout = nil, nil
+		}
+	}
+	for {
+		select {
+		case <-done:
+			flush()
+			return
+		case req := <-a.reqCh:
+			if len(pending) == 0 {
+				timer = time.NewTimer(a.cfg.BatchWindow)
+				timeout = timer.C
+			}
+			pending = append(pending, req)
+			instances += req.instances
+			if instances >= a.cfg.BatchInstances {
+				flush()
+			}
+		case <-timeout:
+			flush()
+		}
+	}
+}
+
+// work executes batches on a private runner. A batch may exceed the
+// runner's capacity when a single query carries many instances (an ASR
+// query is 548 frames); the worker then chunks the forward passes.
+func (a *app) work(runner forwardRunner, batchCh <-chan []*pendingReq) {
+	maxB := runner.MaxBatch()
+	input := tensor.New(append([]int{maxB}, a.net.InShape()...)...)
+	for batch := range batchCh {
+		// Gather all instances across the batch's requests.
+		total := 0
+		for _, r := range batch {
+			total += r.instances
+		}
+		out := make([]float32, total*a.sampleOut)
+		flat := make([]float32, 0, total*a.sampleIn)
+		for _, r := range batch {
+			flat = append(flat, r.in...)
+		}
+		for off := 0; off < total; off += maxB {
+			n := total - off
+			if n > maxB {
+				n = maxB
+			}
+			in := tensor.FromSlice(input.Data()[:n*a.sampleIn], append([]int{n}, a.net.InShape()...)...)
+			copy(in.Data(), flat[off*a.sampleIn:(off+n)*a.sampleIn])
+			res := runner.Forward(in)
+			copy(out[off*a.sampleOut:(off+n)*a.sampleOut], res.Data()[:n*a.sampleOut])
+			a.batches.Add(1)
+		}
+		a.instances.Add(int64(total))
+		// Scatter results back to requests.
+		off := 0
+		for _, r := range batch {
+			n := r.instances * a.sampleOut
+			resp := make([]float32, n)
+			copy(resp, out[off:off+n])
+			off += n
+			a.queries.Add(1)
+			r.resp <- result{out: resp}
+		}
+	}
+}
+
+// Serve accepts connections on l until Close is called.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Addr returns the listening address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// handle runs one connection: a loop of request → batched inference →
+// response. Multiple requests from one connection are processed in
+// order. Control frames (apps/stats introspection) interleave freely
+// with inference requests.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		magic, err := readUint32(conn)
+		if err != nil {
+			return // EOF: connection closed
+		}
+		switch magic {
+		case reqMagic:
+			appName, in, err := readRequestBody(conn)
+			if err != nil {
+				return
+			}
+			out, err := s.dispatch(appName, in)
+			if err != nil {
+				if werr := writeResponse(conn, StatusError, err.Error(), nil); werr != nil {
+					return
+				}
+				continue
+			}
+			if err := writeResponse(conn, StatusOK, "", out); err != nil {
+				return
+			}
+		case ctrlMagic:
+			cmd, err := readControlBody(conn)
+			if err != nil {
+				return
+			}
+			answer, err := s.control(cmd)
+			status := byte(StatusOK)
+			if err != nil {
+				status, answer = StatusError, err.Error()
+			}
+			if err := writeResponse(conn, status, answer, nil); err != nil {
+				return
+			}
+		default:
+			return // protocol violation: drop the connection
+		}
+	}
+}
+
+// control answers a control command: "apps" lists registered
+// applications; "stats <app>" reports an application's counters.
+func (s *Server) control(cmd string) (string, error) {
+	fields := strings.Fields(cmd)
+	if len(fields) == 0 {
+		return "", errors.New("service: empty control command")
+	}
+	switch fields[0] {
+	case "apps":
+		names := s.Apps()
+		sort.Strings(names)
+		return strings.Join(names, " "), nil
+	case "stats":
+		if len(fields) != 2 {
+			return "", errors.New("service: usage: stats <app>")
+		}
+		st, ok := s.StatsFor(fields[1])
+		if !ok {
+			return "", fmt.Errorf("service: unknown application %q", fields[1])
+		}
+		return fmt.Sprintf("queries=%d instances=%d batches=%d errors=%d avg_batch=%.2f",
+			st.Queries, st.Instances, st.Batches, st.Errors, st.AvgBatch()), nil
+	default:
+		return "", fmt.Errorf("service: unknown control command %q", fields[0])
+	}
+}
+
+// dispatch routes one query payload to its application and waits for
+// the batched result. It is also the in-process entry point used by
+// tests and by Tonic running in embedded mode.
+func (s *Server) dispatch(appName string, in []float32) ([]float32, error) {
+	s.mu.Lock()
+	a, ok := s.apps[appName]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("service: unknown application %q", appName)
+	}
+	if len(in) == 0 || len(in)%a.sampleIn != 0 {
+		a.errors.Add(1)
+		return nil, fmt.Errorf("service: %s payload of %d floats is not a multiple of the %d-float input", appName, len(in), a.sampleIn)
+	}
+	req := &pendingReq{in: in, instances: len(in) / a.sampleIn, resp: make(chan result, 1)}
+	select {
+	case a.reqCh <- req:
+	case <-s.done:
+		return nil, errors.New("service: server closed")
+	default:
+		// Aggregation queue full: shed load rather than queue unboundedly.
+		a.errors.Add(1)
+		return nil, fmt.Errorf("service: %s overloaded (%d queries pending)", appName, cap(a.reqCh))
+	}
+	select {
+	case res := <-req.resp:
+		return res.out, res.err
+	case <-s.done:
+		return nil, errors.New("service: server closed")
+	}
+}
+
+// Infer runs one query in-process, bypassing TCP but using the same
+// batching and worker machinery. Useful for embedded deployments and
+// tests.
+func (s *Server) Infer(appName string, in []float32) ([]float32, error) {
+	return s.dispatch(appName, in)
+}
+
+// Close stops the server: the listener, all connections, and the
+// worker pools.
+func (s *Server) Close() {
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		return
+	default:
+	}
+	close(s.done)
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}

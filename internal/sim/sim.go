@@ -1,0 +1,161 @@
+// Package sim is a minimal discrete-event simulation engine: a virtual
+// clock, an event heap, and FIFO/processor-sharing resource helpers.
+// The GPU server experiments (Figures 8, 9, 11, 12) run on it, which
+// makes every published curve deterministic and reproducible in
+// milliseconds of wall-clock time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine owns the virtual clock and pending events. All times are in
+// seconds of simulated time.
+type Engine struct {
+	now  float64
+	seq  int64
+	evts eventHeap
+}
+
+// New creates an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at absolute time t (panics if t is in the
+// past). Events at equal times run in scheduling order.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.evts, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for len(e.evts) > 0 {
+		e.step()
+	}
+}
+
+// RunUntil executes events with timestamps ≤ t, then sets the clock to
+// t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.evts) > 0 && e.evts[0].at <= t {
+		e.step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.evts).(*Event)
+	if ev.cancelled {
+		return
+	}
+	e.now = ev.at
+	ev.fn()
+}
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.evts {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Event is a scheduled callback; it can be cancelled before it fires.
+type Event struct {
+	at        float64
+	seq       int64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+// Cancel prevents the event from firing. Safe to call more than once.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// FIFO is a single-server queue: work items are served one at a time in
+// arrival order. It models serialised shared links such as a PCIe root
+// complex or a bonded NIC team.
+type FIFO struct {
+	eng       *Engine
+	busyUntil float64
+	// BusySeconds accumulates total service time, for utilisation
+	// accounting.
+	BusySeconds float64
+}
+
+// NewFIFO creates a FIFO resource on the engine.
+func NewFIFO(eng *Engine) *FIFO { return &FIFO{eng: eng} }
+
+// Acquire enqueues a service demand of d seconds and calls done when it
+// completes.
+func (f *FIFO) Acquire(d float64, done func()) {
+	start := f.busyUntil
+	if start < f.eng.now {
+		start = f.eng.now
+	}
+	f.busyUntil = start + d
+	f.BusySeconds += d
+	f.eng.At(f.busyUntil, done)
+}
+
+// Utilization returns the fraction of [0, now] the resource was busy.
+func (f *FIFO) Utilization() float64 {
+	if f.eng.now == 0 {
+		return 0
+	}
+	u := f.BusySeconds / f.eng.now
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock %v, want 3", e.Now())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-time events out of scheduling order: %v", order)
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	e := New()
+	var hits []float64
+	e.After(1, func() {
+		hits = append(hits, e.Now())
+		e.After(2, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Fatalf("hits %v", hits)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(float64(i), func() { count++ })
+	}
+	e.RunUntil(5.5)
+	if count != 5 {
+		t.Fatalf("ran %d events, want 5", count)
+	}
+	if e.Now() != 5.5 {
+		t.Fatalf("clock %v, want 5.5", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending %d, want 5", e.Pending())
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("ran %d events total, want 10", count)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestFIFOSerialises(t *testing.T) {
+	e := New()
+	f := NewFIFO(e)
+	var ends []float64
+	f.Acquire(2, func() { ends = append(ends, e.Now()) })
+	f.Acquire(3, func() { ends = append(ends, e.Now()) })
+	e.After(1, func() {
+		f.Acquire(1, func() { ends = append(ends, e.Now()) })
+	})
+	e.Run()
+	want := []float64{2, 5, 6}
+	if len(ends) != 3 {
+		t.Fatalf("ends %v", ends)
+	}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends %v, want %v", ends, want)
+		}
+	}
+	if u := f.Utilization(); u != 1 {
+		t.Fatalf("utilization %v, want 1", u)
+	}
+}
+
+func TestFIFOIdleGap(t *testing.T) {
+	e := New()
+	f := NewFIFO(e)
+	f.Acquire(1, func() {})
+	e.At(5, func() { f.Acquire(1, func() {}) })
+	e.Run()
+	if e.Now() != 6 {
+		t.Fatalf("clock %v, want 6", e.Now())
+	}
+	if u := f.Utilization(); u < 0.32 || u > 0.34 {
+		t.Fatalf("utilization %v, want 2/6", u)
+	}
+}
+
+// Property: N sequential FIFO acquisitions finish at the prefix sums of
+// their durations, regardless of how they are interleaved in scheduling.
+func TestFIFOPrefixSumProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 20 {
+			return true
+		}
+		e := New()
+		fifo := NewFIFO(e)
+		var ends []float64
+		var sum float64
+		var want []float64
+		for _, r := range raw {
+			d := float64(r%10) + 1
+			sum += d
+			want = append(want, sum)
+			fifo.Acquire(d, func() { ends = append(ends, e.Now()) })
+		}
+		e.Run()
+		if len(ends) != len(want) {
+			return false
+		}
+		for i := range want {
+			if ends[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	e := New()
+	last := -1.0
+	for i := 0; i < 100; i++ {
+		d := float64((i*37)%13) + 0.5
+		e.After(d, func() {
+			if e.Now() < last {
+				t.Error("clock went backwards")
+			}
+			last = e.Now()
+		})
+	}
+	e.Run()
+}

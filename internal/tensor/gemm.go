@@ -1,0 +1,142 @@
+package tensor
+
+import "fmt"
+
+// gemm block sizes, sized so that a block of B and the corresponding rows
+// of A stay resident in L1/L2 while the inner kernel runs.
+const (
+	blockM = 64
+	blockN = 256
+	blockK = 64
+)
+
+// Gemm computes C = alpha*A*B + beta*C for row-major matrices,
+// where A is m×k, B is k×n and C is m×n. It panics if the buffer sizes
+// do not match the dimensions. The implementation is cache-blocked with
+// an unrolled inner kernel; it is the workhorse behind fully-connected
+// and (via im2col) convolutional layers.
+func Gemm(m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic(fmt.Sprintf("tensor: gemm buffer too small for m=%d n=%d k=%d (len a=%d b=%d c=%d)", m, n, k, len(a), len(b), len(c)))
+	}
+	if beta != 1 {
+		if beta == 0 {
+			for i := 0; i < m*n; i++ {
+				c[i] = 0
+			}
+		} else {
+			for i := 0; i < m*n; i++ {
+				c[i] *= beta
+			}
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	for kk := 0; kk < k; kk += blockK {
+		kMax := min(kk+blockK, k)
+		for jj := 0; jj < n; jj += blockN {
+			jMax := min(jj+blockN, n)
+			for ii := 0; ii < m; ii += blockM {
+				iMax := min(ii+blockM, m)
+				gemmBlock(ii, iMax, jj, jMax, kk, kMax, n, k, alpha, a, b, c)
+			}
+		}
+	}
+}
+
+// gemmBlock handles one cache block. The inner loop is written over j so
+// the compiler can keep the accumulation in registers and the B row
+// access is sequential.
+func gemmBlock(i0, i1, j0, j1, k0, k1, n, k int, alpha float32, a, b, c []float32) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : i*k+k1]
+		crow := c[i*n : i*n+j1]
+		for kk := k0; kk < k1; kk++ {
+			av := alpha * arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : kk*n+j1]
+			j := j0
+			for ; j+4 <= j1; j += 4 {
+				crow[j] += av * brow[j]
+				crow[j+1] += av * brow[j+1]
+				crow[j+2] += av * brow[j+2]
+				crow[j+3] += av * brow[j+3]
+			}
+			for ; j < j1; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// GemmNaive is the straightforward triple loop, kept as the reference
+// implementation for property tests of Gemm.
+func GemmNaive(m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum float32
+			for kk := 0; kk < k; kk++ {
+				sum += a[i*k+kk] * b[kk*n+j]
+			}
+			c[i*n+j] = alpha*sum + beta*c[i*n+j]
+		}
+	}
+}
+
+// Gemv computes y = alpha*A*x + beta*y where A is m×n row-major.
+func Gemv(m, n int, alpha float32, a, x []float32, beta float32, y []float32) {
+	if len(a) < m*n || len(x) < n || len(y) < m {
+		panic(fmt.Sprintf("tensor: gemv buffer too small for m=%d n=%d", m, n))
+	}
+	for i := 0; i < m; i++ {
+		row := a[i*n : i*n+n]
+		var sum float32
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			sum += row[j]*x[j] + row[j+1]*x[j+1] + row[j+2]*x[j+2] + row[j+3]*x[j+3]
+		}
+		for ; j < n; j++ {
+			sum += row[j] * x[j]
+		}
+		y[i] = alpha*sum + beta*y[i]
+	}
+}
+
+// Dot returns the inner product of a and b (which must be equal length).
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("tensor: dot length mismatch")
+	}
+	var sum float32
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("tensor: axpy length mismatch")
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every element of x by alpha.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,93 @@
+package tensor
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling
+// operation over a single image plane.
+type ConvGeom struct {
+	Channels      int // input channels
+	Height, Width int // input spatial size
+	KernelH       int
+	KernelW       int
+	StrideH       int
+	StrideW       int
+	PadH          int
+	PadW          int
+}
+
+// OutH returns the output height for the geometry.
+func (g ConvGeom) OutH() int { return (g.Height+2*g.PadH-g.KernelH)/g.StrideH + 1 }
+
+// OutW returns the output width for the geometry.
+func (g ConvGeom) OutW() int { return (g.Width+2*g.PadW-g.KernelW)/g.StrideW + 1 }
+
+// Im2col expands one image (channels×height×width, row-major) into a
+// column matrix of shape (Channels*KernelH*KernelW) × (OutH*OutW), so a
+// convolution becomes a single GEMM with the filter matrix. Out-of-image
+// taps (padding) contribute zeros. col must have room for the full
+// matrix.
+func Im2col(g ConvGeom, img, col []float32) {
+	outH, outW := g.OutH(), g.OutW()
+	colIdx := 0
+	for c := 0; c < g.Channels; c++ {
+		chBase := c * g.Height * g.Width
+		for kh := 0; kh < g.KernelH; kh++ {
+			for kw := 0; kw < g.KernelW; kw++ {
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					if ih < 0 || ih >= g.Height {
+						for ow := 0; ow < outW; ow++ {
+							col[colIdx] = 0
+							colIdx++
+						}
+						continue
+					}
+					rowBase := chBase + ih*g.Width
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.StrideW - g.PadW + kw
+						if iw < 0 || iw >= g.Width {
+							col[colIdx] = 0
+						} else {
+							col[colIdx] = img[rowBase+iw]
+						}
+						colIdx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2im is the adjoint of Im2col: it scatters (accumulates) a column
+// matrix back into an image buffer. img must be zeroed by the caller if
+// accumulation from a clean slate is desired. Used by the convolution
+// backward pass.
+func Col2im(g ConvGeom, col, img []float32) {
+	outH, outW := g.OutH(), g.OutW()
+	colIdx := 0
+	for c := 0; c < g.Channels; c++ {
+		chBase := c * g.Height * g.Width
+		for kh := 0; kh < g.KernelH; kh++ {
+			for kw := 0; kw < g.KernelW; kw++ {
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					if ih < 0 || ih >= g.Height {
+						colIdx += outW
+						continue
+					}
+					rowBase := chBase + ih*g.Width
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.StrideW - g.PadW + kw
+						if iw >= 0 && iw < g.Width {
+							img[rowBase+iw] += col[colIdx]
+						}
+						colIdx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// ColSize returns the number of elements Im2col writes for geometry g.
+func ColSize(g ConvGeom) int {
+	return g.Channels * g.KernelH * g.KernelW * g.OutH() * g.OutW()
+}

@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The binary tensor format is a little-endian stream:
+//
+//	magic  uint32  'TNSR'
+//	ndims  uint32
+//	dims   ndims × uint32
+//	data   product(dims) × float32
+//
+// It is the unit of model serialisation in internal/nn.
+const tensorMagic = 0x544e5352 // "TNSR"
+
+// WriteTo serialises the tensor to w in the binary format above.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put32 := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		k, err := bw.Write(buf[:])
+		n += int64(k)
+		return err
+	}
+	if err := put32(tensorMagic); err != nil {
+		return n, err
+	}
+	if err := put32(uint32(len(t.shape))); err != nil {
+		return n, err
+	}
+	for _, d := range t.shape {
+		if err := put32(uint32(d)); err != nil {
+			return n, err
+		}
+	}
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(t.data); off += 4096 {
+		end := off + 4096
+		if end > len(t.data) {
+			end = len(t.data)
+		}
+		chunk := t.data[off:end]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		k, err := bw.Write(buf[:len(chunk)*4])
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserialises a tensor written by WriteTo and returns it.
+// It reads exactly the tensor's bytes from r (no read-ahead), so tensors
+// can be streamed back-to-back from the same reader.
+func ReadFrom(r io.Reader) (*Tensor, error) {
+	get32 := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	magic, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != tensorMagic {
+		return nil, fmt.Errorf("tensor: bad magic %#x", magic)
+	}
+	nd, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if nd == 0 || nd > 8 {
+		return nil, fmt.Errorf("tensor: implausible dimension count %d", nd)
+	}
+	shape := make([]int, nd)
+	elems := 1
+	for i := range shape {
+		d, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if d == 0 || d > 1<<28 {
+			return nil, fmt.Errorf("tensor: implausible dimension %d", d)
+		}
+		shape[i] = int(d)
+		elems *= int(d)
+		if elems > 1<<30 {
+			return nil, fmt.Errorf("tensor: tensor too large (%v)", shape)
+		}
+	}
+	t := New(shape...)
+	buf := make([]byte, 4*4096)
+	for off := 0; off < elems; off += 4096 {
+		end := off + 4096
+		if end > elems {
+			end = elems
+		}
+		chunk := buf[:(end-off)*4]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return nil, err
+		}
+		for i := off; i < end; i++ {
+			t.data[i] = math.Float32frombits(binary.LittleEndian.Uint32(chunk[(i-off)*4:]))
+		}
+	}
+	return t, nil
+}

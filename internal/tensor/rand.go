@@ -1,0 +1,87 @@
+package tensor
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift64*), used to synthesise model weights and workload inputs
+// reproducibly without pulling in math/rand state ordering concerns.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed (0 is remapped so the
+// generator never sticks at zero).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal sample (Box–Muller).
+func (r *RNG) Norm() float32 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return float32(math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2))
+}
+
+// ExpFloat64 returns an exponential sample with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u)
+}
+
+// FillUniform fills x with uniform samples in [lo, hi).
+func (r *RNG) FillUniform(x []float32, lo, hi float32) {
+	span := hi - lo
+	for i := range x {
+		x[i] = lo + span*r.Float32()
+	}
+}
+
+// FillNorm fills x with normal samples of the given mean and stddev.
+func (r *RNG) FillNorm(x []float32, mean, std float32) {
+	for i := range x {
+		x[i] = mean + std*r.Norm()
+	}
+}
+
+// XavierFill initialises weights with the scaled-uniform scheme of
+// Glorot & Bengio given fan-in and fan-out, the default Caffe weight
+// filler for the networks in Tonic Suite.
+func (r *RNG) XavierFill(x []float32, fanIn, fanOut int) {
+	limit := float32(math.Sqrt(6 / float64(fanIn+fanOut)))
+	r.FillUniform(x, -limit, limit)
+}

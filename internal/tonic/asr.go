@@ -1,0 +1,193 @@
+package tonic
+
+import (
+	"math"
+	"strings"
+
+	"djinn/internal/dsp"
+	"djinn/internal/models"
+	"djinn/internal/service"
+)
+
+// The decoder's phone inventory: the acoustic model's 3000 senones are
+// tied states of these phones (senone s belongs to phone s % NumPhones,
+// a uniform tying standing in for the Kaldi decision tree).
+const NumPhones = 40
+
+// Phones is the phone inventory used to spell decoded words.
+var Phones = []string{
+	"aa", "ae", "ah", "ao", "aw", "ay", "eh", "er", "ey", "ih",
+	"iy", "ow", "oy", "uh", "uw", "b", "ch", "d", "dh", "f",
+	"g", "hh", "jh", "k", "l", "m", "n", "ng", "p", "r",
+	"s", "sh", "t", "th", "v", "w", "y", "z", "zh", "sil",
+}
+
+// ASR is the speech-recognition application: MFCC-style feature
+// extraction (internal/dsp), DNN senone posteriors from DjiNN, and a
+// Viterbi phone decoder with a bigram phone model — the Kaldi decode
+// pipeline with a synthetic lexicon (DESIGN.md §2).
+type ASR struct {
+	backend   service.Backend
+	extractor *dsp.Extractor
+	lexicon   *Lexicon
+	beam      int
+}
+
+// NewASR creates the application over a DjiNN backend with the default
+// lexicon and beam width.
+func NewASR(b service.Backend) *ASR {
+	return &ASR{backend: b, extractor: dsp.NewExtractor(), lexicon: DefaultLexicon(), beam: 24}
+}
+
+// SetLexicon replaces the pronunciation lexicon used for word decoding.
+func (a *ASR) SetLexicon(l *Lexicon, beam int) {
+	a.lexicon = l
+	if beam > 0 {
+		a.beam = beam
+	}
+}
+
+// Transcription is the decoded result for one utterance.
+type Transcription struct {
+	Text   string
+	Words  []string // lexicon token-passing decode
+	Phones []string // best phone path (collapsed)
+	Frames int
+}
+
+// Transcribe decodes a 16 kHz audio signal: preprocessing produces one
+// 2146-d feature vector per 10 ms frame, the service returns per-frame
+// senone posteriors, and postprocessing Viterbi-decodes the most likely
+// phone sequence and spells it into text.
+func (a *ASR) Transcribe(signal []float64) (Transcription, error) {
+	feats := a.extractor.Features(signal)
+	if len(feats) == 0 {
+		return Transcription{}, nil
+	}
+	in := make([]float32, 0, len(feats)*dsp.FeatureDim)
+	for _, f := range feats {
+		in = append(in, f...)
+	}
+	out, err := a.backend.Infer(ServiceName(models.ASR), in)
+	if err != nil {
+		return Transcription{}, err
+	}
+	senones := models.ASRSenones
+	n := len(out) / senones
+	ll := phoneLogLikelihoods(out, n, senones)
+	phones := decodePhonePath(ll)
+	words := a.lexicon.Decode(ll, a.beam)
+	text := strings.Join(words, " ")
+	if text == "" {
+		// No lexicon path scored: fall back to spelling the phone path.
+		text = phonesToText(phones)
+	}
+	return Transcription{
+		Text:   text,
+		Words:  words,
+		Phones: phones,
+		Frames: n,
+	}, nil
+}
+
+// phoneLogLikelihoods collapses senone posteriors to per-frame phone
+// log-evidence (senone s belongs to phone s % NumPhones).
+func phoneLogLikelihoods(post []float32, frames, senones int) [][]float32 {
+	out := make([][]float32, frames)
+	for t := 0; t < frames; t++ {
+		row := make([]float32, NumPhones)
+		frame := post[t*senones : (t+1)*senones]
+		for s, p := range frame {
+			row[s%NumPhones] += p
+		}
+		for i, v := range row {
+			row[i] = float32(math.Log(float64(v) + 1e-8))
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// decodePhones collapses senone posteriors to phone log-likelihoods and
+// Viterbi-decodes the best phone path (used by tests and the fallback
+// spelling).
+func decodePhones(post []float32, frames, senones int) []string {
+	return decodePhonePath(phoneLogLikelihoods(post, frames, senones))
+}
+
+// decodePhonePath runs Viterbi over per-frame phone log-likelihoods
+// with self-loop-favouring transitions (frames are 10 ms; phones last
+// several frames), then collapses runs and drops silence.
+func decodePhonePath(emit [][]float32) []string {
+	frames := len(emit)
+	if frames == 0 {
+		return nil
+	}
+	const (
+		selfLoop = float32(-0.1) // log-prob of staying in a phone
+		switchTo = float32(-3.0) // log-prob of moving to a new phone
+	)
+	// Viterbi over phones.
+	score := make([]float32, NumPhones)
+	copy(score, emit[0])
+	back := make([][]int, frames)
+	for t := 1; t < frames; t++ {
+		back[t] = make([]int, NumPhones)
+		next := make([]float32, NumPhones)
+		// Best predecessor overall (for switch transitions).
+		bestPrev, bestIdx := float32(math.Inf(-1)), 0
+		for p, s := range score {
+			if s > bestPrev {
+				bestPrev, bestIdx = s, p
+			}
+		}
+		for p := 0; p < NumPhones; p++ {
+			stay := score[p] + selfLoop
+			move := bestPrev + switchTo
+			if stay >= move || bestIdx == p {
+				next[p] = stay + emit[t][p]
+				back[t][p] = p
+			} else {
+				next[p] = move + emit[t][p]
+				back[t][p] = bestIdx
+			}
+		}
+		score = next
+	}
+	best, bi := float32(math.Inf(-1)), 0
+	for p, s := range score {
+		if s > best {
+			best, bi = s, p
+		}
+	}
+	path := make([]int, frames)
+	path[frames-1] = bi
+	for t := frames - 1; t > 0; t-- {
+		path[t-1] = back[t][path[t]]
+	}
+	// Collapse runs and drop silence.
+	var phones []string
+	prev := -1
+	for _, p := range path {
+		if p != prev && Phones[p] != "sil" {
+			phones = append(phones, Phones[p])
+		}
+		prev = p
+	}
+	return phones
+}
+
+// phonesToText spells phone sequences into words: a word boundary every
+// three phones (the synthetic lexicon substituting Kaldi's
+// pronunciation dictionary; DESIGN.md §2).
+func phonesToText(phones []string) string {
+	var words []string
+	for i := 0; i < len(phones); i += 3 {
+		end := i + 3
+		if end > len(phones) {
+			end = len(phones)
+		}
+		words = append(words, strings.Join(phones[i:end], ""))
+	}
+	return strings.Join(words, " ")
+}

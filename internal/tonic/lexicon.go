@@ -1,0 +1,205 @@
+package tonic
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Lexicon maps words to phone-sequence pronunciations and decodes word
+// sequences from frame-level phone posteriors by token passing over a
+// pronunciation prefix trie — the decoding-graph search Kaldi performs
+// after the DNN scores each frame (Section 3.2.2's postprocessing).
+type Lexicon struct {
+	root     *trieNode
+	phoneIdx map[string]int
+}
+
+type trieNode struct {
+	id       int               // stable identity for beam deduplication
+	children map[int]*trieNode // phone index → next node
+	word     string            // non-empty when a word ends here
+}
+
+// NewLexicon builds a lexicon from word → space-separated phone
+// pronunciations. Unknown phones are rejected.
+func NewLexicon(entries map[string]string) (*Lexicon, error) {
+	nodes := 0
+	mk := func() *trieNode {
+		nodes++
+		return &trieNode{id: nodes, children: map[int]*trieNode{}}
+	}
+	l := &Lexicon{root: mk(), phoneIdx: map[string]int{}}
+	for i, p := range Phones {
+		l.phoneIdx[p] = i
+	}
+	// Deterministic insertion order.
+	words := make([]string, 0, len(entries))
+	for w := range entries {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	for _, w := range words {
+		node := l.root
+		for _, p := range strings.Fields(entries[w]) {
+			idx, ok := l.phoneIdx[p]
+			if !ok {
+				return nil, &unknownPhoneError{word: w, phone: p}
+			}
+			next := node.children[idx]
+			if next == nil {
+				next = mk()
+				node.children[idx] = next
+			}
+			node = next
+		}
+		node.word = w
+	}
+	return l, nil
+}
+
+type unknownPhoneError struct{ word, phone string }
+
+func (e *unknownPhoneError) Error() string {
+	return "tonic: lexicon entry " + e.word + " uses unknown phone " + e.phone
+}
+
+// DefaultLexicon is a small demonstration vocabulary over the decoder's
+// phone set, standing in for Kaldi's pronunciation dictionary.
+func DefaultLexicon() *Lexicon {
+	l, err := NewLexicon(map[string]string{
+		"a":       "ah",
+		"the":     "dh ah",
+		"to":      "t uw",
+		"and":     "ae n d",
+		"of":      "ah v",
+		"in":      "ih n",
+		"is":      "ih z",
+		"it":      "ih t",
+		"you":     "y uw",
+		"we":      "w iy",
+		"go":      "g ow",
+		"no":      "n ow",
+		"yes":     "y eh s",
+		"hello":   "hh eh l ow",
+		"world":   "w er l d",
+		"ok":      "ow k ey",
+		"call":    "k ao l",
+		"play":    "p l ey",
+		"stop":    "s t aa p",
+		"time":    "t ay m",
+		"day":     "d ey",
+		"new":     "n uw",
+		"york":    "y ao r k",
+		"weather": "w eh dh er",
+		"music":   "m y uw z ih k",
+		"search":  "s er ch",
+		"find":    "f ay n d",
+		"home":    "hh ow m",
+		"send":    "s eh n d",
+		"message": "m eh s ih jh",
+	})
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// token is one decoding hypothesis: a trie position plus history.
+type token struct {
+	node    *trieNode
+	score   float32
+	lastPh  int
+	history []string
+}
+
+// Decode runs token passing over per-frame phone log-likelihoods
+// (frames × NumPhones): tokens advance through pronunciations, loop on
+// the current phone, and restart at the trie root when a word completes
+// (paying wordPenalty). The best-scoring token's word history wins.
+// beam bounds the live tokens per frame.
+func (l *Lexicon) Decode(phoneLL [][]float32, beam int) []string {
+	if len(phoneLL) == 0 {
+		return nil
+	}
+	if beam <= 0 {
+		beam = 16
+	}
+	const (
+		selfLoop    = float32(-0.2)
+		advance     = float32(-0.5)
+		wordPenalty = float32(-2.0)
+	)
+	sil := l.phoneIdx["sil"]
+	live := []token{{node: l.root, lastPh: -1}}
+	for _, frame := range phoneLL {
+		var next []token
+		emit := func(t token, ph int, bonus float32) {
+			next = append(next, token{
+				node:   t.node,
+				score:  t.score + frame[ph] + bonus,
+				lastPh: ph, history: t.history,
+			})
+		}
+		for _, t := range live {
+			// Stay in the current phone (phones span many frames).
+			if t.lastPh >= 0 {
+				emit(t, t.lastPh, selfLoop)
+			} else {
+				// At a word boundary, silence may absorb frames.
+				emit(t, sil, selfLoop)
+			}
+			// Advance to each next phone of the pronunciation.
+			for ph, child := range t.node.children {
+				nt := token{node: child, score: t.score + frame[ph] + advance, lastPh: ph, history: t.history}
+				if child.word != "" {
+					// Word completes: record it and restart at the root.
+					hist := append(append([]string(nil), nt.history...), child.word)
+					next = append(next, token{
+						node: l.root, score: nt.score + wordPenalty,
+						lastPh: ph, history: hist,
+					})
+				}
+				if len(child.children) > 0 {
+					next = append(next, nt)
+				}
+			}
+		}
+		// Beam prune: keep the best hypotheses, dropping state-duplicates.
+		// Ties break on trie position so decoding is deterministic
+		// despite map-ordered expansion.
+		sort.Slice(next, func(i, j int) bool {
+			if next[i].score != next[j].score {
+				return next[i].score > next[j].score
+			}
+			if next[i].node.id != next[j].node.id {
+				return next[i].node.id < next[j].node.id
+			}
+			return next[i].lastPh < next[j].lastPh
+		})
+		seen := map[[2]int]bool{}
+		live = live[:0]
+		for _, t := range next {
+			key := [2]int{t.node.id, t.lastPh}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			live = append(live, t)
+			if len(live) >= beam {
+				break
+			}
+		}
+		if len(live) == 0 {
+			live = []token{{node: l.root, lastPh: -1, score: float32(math.Inf(-1)) / 2}}
+		}
+	}
+	best := live[0]
+	for _, t := range live[1:] {
+		// Prefer tokens with completed histories on ties.
+		if t.score > best.score || (t.score == best.score && len(t.history) > len(best.history)) {
+			best = t
+		}
+	}
+	return best.history
+}

@@ -1,0 +1,110 @@
+package tonic
+
+import (
+	"strings"
+	"testing"
+)
+
+// phoneLL builds synthetic per-frame log-likelihoods strongly favouring
+// a phone sequence, framesPer frames per phone.
+func phoneLL(t *testing.T, phones []string, framesPer int) [][]float32 {
+	t.Helper()
+	idx := map[string]int{}
+	for i, p := range Phones {
+		idx[p] = i
+	}
+	var out [][]float32
+	for _, p := range phones {
+		pi, ok := idx[p]
+		if !ok {
+			t.Fatalf("unknown phone %q", p)
+		}
+		for f := 0; f < framesPer; f++ {
+			row := make([]float32, NumPhones)
+			for i := range row {
+				row[i] = -8
+			}
+			row[pi] = -0.1
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func TestLexiconDecodeSingleWord(t *testing.T) {
+	lex := DefaultLexicon()
+	// "hello" = hh eh l ow.
+	ll := phoneLL(t, []string{"hh", "eh", "l", "ow"}, 4)
+	words := lex.Decode(ll, 24)
+	if len(words) != 1 || words[0] != "hello" {
+		t.Fatalf("decoded %v, want [hello]", words)
+	}
+}
+
+func TestLexiconDecodeWordSequence(t *testing.T) {
+	lex := DefaultLexicon()
+	// "hello world": hh eh l ow | w er l d, with silence between.
+	seq := []string{"hh", "eh", "l", "ow", "sil", "w", "er", "l", "d"}
+	words := lex.Decode(phoneLL(t, seq, 5), 32)
+	got := strings.Join(words, " ")
+	if got != "hello world" {
+		t.Fatalf("decoded %q, want \"hello world\"", got)
+	}
+}
+
+func TestLexiconDecodePrefixWords(t *testing.T) {
+	// "no" (n ow) is a prefix-sharing competitor of "new" (n uw): the
+	// evidence must pick the right one.
+	lex := DefaultLexicon()
+	if got := lex.Decode(phoneLL(t, []string{"n", "ow"}, 5), 24); len(got) != 1 || got[0] != "no" {
+		t.Fatalf("decoded %v, want [no]", got)
+	}
+	if got := lex.Decode(phoneLL(t, []string{"n", "uw"}, 5), 24); len(got) != 1 || got[0] != "new" {
+		t.Fatalf("decoded %v, want [new]", got)
+	}
+}
+
+func TestLexiconDecodeSilenceOnly(t *testing.T) {
+	lex := DefaultLexicon()
+	words := lex.Decode(phoneLL(t, []string{"sil"}, 20), 24)
+	if len(words) != 0 {
+		t.Fatalf("silence decoded as %v", words)
+	}
+}
+
+func TestLexiconDecodeDeterministic(t *testing.T) {
+	lex := DefaultLexicon()
+	seq := []string{"y", "eh", "s", "sil", "n", "ow"}
+	a := lex.Decode(phoneLL(t, seq, 4), 16)
+	b := lex.Decode(phoneLL(t, seq, 4), 16)
+	if strings.Join(a, " ") != strings.Join(b, " ") {
+		t.Fatalf("nondeterministic decode: %v vs %v", a, b)
+	}
+}
+
+func TestLexiconBeamWidthTradeoff(t *testing.T) {
+	// A wider beam never scores worse on a decodable sequence.
+	lex := DefaultLexicon()
+	seq := []string{"p", "l", "ey", "sil", "m", "y", "uw", "z", "ih", "k"}
+	narrow := lex.Decode(phoneLL(t, seq, 4), 2)
+	wide := lex.Decode(phoneLL(t, seq, 4), 64)
+	if got := strings.Join(wide, " "); got != "play music" {
+		t.Fatalf("wide beam decoded %q, want \"play music\"", got)
+	}
+	// The narrow beam may miss words but must not invent longer junk.
+	if len(narrow) > len(wide) {
+		t.Fatalf("narrow beam produced more words (%v) than wide (%v)", narrow, wide)
+	}
+}
+
+func TestNewLexiconRejectsUnknownPhone(t *testing.T) {
+	if _, err := NewLexicon(map[string]string{"x": "zz qq"}); err == nil {
+		t.Fatal("expected unknown-phone error")
+	}
+}
+
+func TestLexiconEmptyInput(t *testing.T) {
+	if got := DefaultLexicon().Decode(nil, 8); got != nil {
+		t.Fatalf("empty input decoded as %v", got)
+	}
+}

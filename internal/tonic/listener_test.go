@@ -1,0 +1,7 @@
+package tonic
+
+import "net"
+
+func newLocalListener() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

@@ -1,0 +1,125 @@
+package tonic
+
+import (
+	"fmt"
+	"math"
+
+	"djinn/internal/lang"
+	"djinn/internal/models"
+	"djinn/internal/service"
+)
+
+// TaggedWord is one word with its predicted tag.
+type TaggedWord struct {
+	Word string
+	Tag  string
+}
+
+// String renders "word/TAG".
+func (t TaggedWord) String() string { return t.Word + "/" + t.Tag }
+
+// nlpQuery runs the common SENNA pipeline: window features → DjiNN →
+// sentence-level Viterbi over the task's tag set.
+func nlpQuery(b service.Backend, app models.App, words []string, extra [][]float32) ([]int, error) {
+	if len(words) == 0 {
+		return nil, nil
+	}
+	in := lang.Windows(words, extra)
+	out, err := b.Infer(ServiceName(app), in)
+	if err != nil {
+		return nil, err
+	}
+	tags := lang.TagSet(app)
+	k := len(tags)
+	if len(out) != len(words)*k {
+		return nil, fmt.Errorf("tonic: %s returned %d floats for %d words × %d tags", app, len(out), len(words), k)
+	}
+	// Posteriors → log-emissions for the sequence search.
+	emit := make([][]float32, len(words))
+	for i := range emit {
+		row := make([]float32, k)
+		for j := 0; j < k; j++ {
+			row[j] = float32(math.Log(float64(out[i*k+j]) + 1e-10))
+		}
+		emit[i] = row
+	}
+	return lang.Viterbi(emit, lang.Transitions(tags)), nil
+}
+
+func zipTags(words []string, idx []int, tags []string) []TaggedWord {
+	out := make([]TaggedWord, len(words))
+	for i, w := range words {
+		out[i] = TaggedWord{Word: w, Tag: tags[idx[i]]}
+	}
+	return out
+}
+
+// POS is the part-of-speech tagging application.
+type POS struct{ backend service.Backend }
+
+// NewPOS creates the application over a DjiNN backend.
+func NewPOS(b service.Backend) *POS { return &POS{backend: b} }
+
+// Tag tokenises a sentence and tags each word with its part of speech.
+func (a *POS) Tag(sentence string) ([]TaggedWord, error) {
+	words := lang.Tokenize(sentence)
+	idx, err := a.TagIndices(words)
+	if err != nil {
+		return nil, err
+	}
+	return zipTags(words, idx, lang.POSTags), nil
+}
+
+// TagIndices tags pre-tokenised words, returning tag indices (used
+// internally by CHK).
+func (a *POS) TagIndices(words []string) ([]int, error) {
+	return nlpQuery(a.backend, models.POS, words, nil)
+}
+
+// CHK is the word-chunking application. As in the paper, it "internally
+// makes a POS service request, updates the tags for its input, and then
+// makes its own DNN service request".
+type CHK struct {
+	backend service.Backend
+	pos     *POS
+}
+
+// NewCHK creates the application over a DjiNN backend.
+func NewCHK(b service.Backend) *CHK { return &CHK{backend: b, pos: NewPOS(b)} }
+
+// Chunk tags each word with its IOB2 chunk label.
+func (a *CHK) Chunk(sentence string) ([]TaggedWord, error) {
+	words := lang.Tokenize(sentence)
+	if len(words) == 0 {
+		return nil, nil
+	}
+	posIdx, err := a.pos.TagIndices(words)
+	if err != nil {
+		return nil, fmt.Errorf("tonic: internal POS request: %w", err)
+	}
+	idx, err := nlpQuery(a.backend, models.CHK, words, lang.POSTagFeatures(posIdx))
+	if err != nil {
+		return nil, err
+	}
+	return zipTags(words, idx, lang.CHKTags), nil
+}
+
+// NER is the named-entity recognition application.
+type NER struct{ backend service.Backend }
+
+// NewNER creates the application over a DjiNN backend.
+func NewNER(b service.Backend) *NER { return &NER{backend: b} }
+
+// Recognize tags each word with its IOB2 entity label, using gazetteer
+// membership flags as extra input features.
+func (a *NER) Recognize(sentence string) ([]TaggedWord, error) {
+	words := lang.Tokenize(sentence)
+	if len(words) == 0 {
+		return nil, nil
+	}
+	idx, err := nlpQuery(a.backend, models.NER, words, lang.GazetteerFeatures(words))
+	if err != nil {
+		return nil, err
+	}
+	return zipTags(words, idx, lang.NERTags), nil
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"sync"
+	"time"
+
+	"djinn/internal/metrics"
+	"djinn/internal/models"
+	"djinn/internal/service"
+	"djinn/internal/tensor"
+)
+
+// QueryPayload synthesises one ready-to-send DjiNN query payload for an
+// application: Instances input vectors of the network's input
+// dimension, the load the paper's stress tests put on the DNN service
+// (preprocessing happens client-side and is not part of service load).
+func QueryPayload(app models.App, rng *tensor.RNG) []float32 {
+	spec := Get(app)
+	dims := 1
+	for _, d := range models.BuildCached(app).InShape() {
+		dims *= d
+	}
+	out := make([]float32, spec.Instances*dims)
+	rng.FillNorm(out, 0, 0.5)
+	return out
+}
+
+// DriveResult summarises a load-driver run against a live service.
+type DriveResult struct {
+	Queries int64
+	QPS     float64
+	Latency metrics.Summary
+	Errors  int64
+}
+
+// DriveClosedLoop saturates the backend with the given number of
+// concurrent workers, each issuing queries back-to-back for the
+// duration — the paper's stress-test methodology, on the real service.
+func DriveClosedLoop(b service.Backend, app models.App, name string, workers int, duration time.Duration) DriveResult {
+	lat := metrics.NewLatencyRecorder()
+	var wg sync.WaitGroup
+	var errs int64
+	var errMu sync.Mutex
+	stop := time.Now().Add(duration)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := tensor.NewRNG(seed)
+			payload := QueryPayload(app, rng)
+			for time.Now().Before(stop) {
+				t0 := time.Now()
+				if _, err := b.Infer(name, payload); err != nil {
+					errMu.Lock()
+					errs++
+					errMu.Unlock()
+					return
+				}
+				lat.Record(time.Since(t0))
+			}
+		}(uint64(w) + 1)
+	}
+	wg.Wait()
+	sum := lat.Summarize()
+	return DriveResult{
+		Queries: int64(sum.Count),
+		QPS:     float64(sum.Count) / duration.Seconds(),
+		Latency: sum,
+		Errors:  errs,
+	}
+}
+
+// DrivePoisson issues queries with exponentially distributed
+// inter-arrival times at the given rate (open-loop), bounding the
+// number of outstanding requests by maxInflight connections.
+func DrivePoisson(b service.Backend, app models.App, name string, rate float64, maxInflight int, duration time.Duration) DriveResult {
+	if rate <= 0 || maxInflight <= 0 {
+		panic("workload: DrivePoisson needs positive rate and inflight bound")
+	}
+	lat := metrics.NewLatencyRecorder()
+	rng := tensor.NewRNG(99)
+	payload := QueryPayload(app, rng)
+	sem := make(chan struct{}, maxInflight)
+	var wg sync.WaitGroup
+	var errs int64
+	var errMu sync.Mutex
+	deadline := time.Now().Add(duration)
+	arrival := time.Now()
+	for {
+		arrival = arrival.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		if arrival.After(deadline) {
+			break
+		}
+		if d := time.Until(arrival); d > 0 {
+			time.Sleep(d)
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			if _, err := b.Infer(name, payload); err != nil {
+				errMu.Lock()
+				errs++
+				errMu.Unlock()
+				return
+			}
+			lat.Record(time.Since(t0))
+		}()
+	}
+	wg.Wait()
+	sum := lat.Summarize()
+	return DriveResult{
+		Queries: int64(sum.Count),
+		QPS:     float64(sum.Count) / duration.Seconds(),
+		Latency: sum,
+		Errors:  errs,
+	}
+}

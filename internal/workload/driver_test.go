@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"djinn/internal/models"
+	"djinn/internal/service"
+	"djinn/internal/tensor"
+)
+
+func digServer(t *testing.T) *service.Server {
+	t.Helper()
+	s := service.NewServer()
+	s.SetLogger(func(string, ...any) {})
+	spec := Get(models.DIG)
+	if err := s.Register("dig", models.BuildCached(models.DIG), service.AppConfig{
+		BatchInstances: spec.BatchSize * spec.Instances,
+		BatchWindow:    time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestQueryPayloadSizes(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	for _, app := range models.Apps {
+		spec := Get(app)
+		dims := 1
+		for _, d := range models.BuildCached(app).InShape() {
+			dims *= d
+		}
+		p := QueryPayload(app, rng)
+		if len(p) != spec.Instances*dims {
+			t.Errorf("%s payload %d floats, want %d", app, len(p), spec.Instances*dims)
+		}
+	}
+}
+
+func TestDriveClosedLoop(t *testing.T) {
+	s := digServer(t)
+	res := DriveClosedLoop(s, models.DIG, "dig", 4, 300*time.Millisecond)
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	if res.Queries < 4 {
+		t.Fatalf("only %d queries completed", res.Queries)
+	}
+	if res.QPS <= 0 || res.Latency.Mean <= 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+}
+
+func TestDrivePoisson(t *testing.T) {
+	s := digServer(t)
+	res := DrivePoisson(s, models.DIG, "dig", 50, 8, 300*time.Millisecond)
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	if res.Queries < 3 {
+		t.Fatalf("only %d queries completed", res.Queries)
+	}
+	if res.Latency.P95 < res.Latency.P50 {
+		t.Fatal("percentiles inverted")
+	}
+}

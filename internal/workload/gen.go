@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"image"
+	"image/color"
+	"math"
+	"strings"
+
+	"djinn/internal/dsp"
+	"djinn/internal/tensor"
+)
+
+// Synthetic input generators. The paper drives Tonic with production
+// datasets (ImageNet, PubFig83+LFW photos, speech recordings, news
+// text); this reproduction substitutes deterministic generators that
+// produce inputs of exactly the Table 3 sizes and exercise the same
+// preprocessing code paths (DESIGN.md §2).
+
+// Image returns a deterministic synthetic RGB image: smooth gradients
+// with rectangles and a disc, enough structure for resize/mean-subtract
+// preprocessing to be non-trivial.
+func Image(rng *tensor.RNG, w, h int) image.Image {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	phase := rng.Float64() * 2 * math.Pi
+	cx := float64(w) * (0.3 + 0.4*rng.Float64())
+	cy := float64(h) * (0.3 + 0.4*rng.Float64())
+	radius := float64(minInt(w, h)) * (0.1 + 0.2*rng.Float64())
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r := 0.5 + 0.5*math.Sin(2*math.Pi*float64(x)/float64(w)+phase)
+			g := 0.5 + 0.5*math.Cos(2*math.Pi*float64(y)/float64(h)+phase)
+			b := 0.5
+			dx, dy := float64(x)-cx, float64(y)-cy
+			if dx*dx+dy*dy < radius*radius {
+				r, g, b = 0.9, 0.2, 0.1
+			}
+			img.Set(x, y, color.RGBA{
+				R: uint8(r * 255), G: uint8(g * 255), B: uint8(b * 255), A: 255,
+			})
+		}
+	}
+	return img
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Digit renders a crude 28×28 greyscale digit-like glyph for class d
+// (0-9): strokes positioned per class, so different classes are
+// visually distinct.
+func Digit(rng *tensor.RNG, d int) []float32 {
+	out := make([]float32, 28*28)
+	set := func(x, y int, v float32) {
+		if x >= 0 && x < 28 && y >= 0 && y < 28 {
+			i := y*28 + x
+			if v > out[i] {
+				out[i] = v
+			}
+		}
+	}
+	stroke := func(x0, y0, x1, y1 int) {
+		steps := 40
+		for s := 0; s <= steps; s++ {
+			t := float64(s) / float64(steps)
+			x := int(float64(x0) + t*float64(x1-x0))
+			y := int(float64(y0) + t*float64(y1-y0))
+			for dx := -1; dx <= 1; dx++ {
+				for dy := -1; dy <= 1; dy++ {
+					set(x+dx, y+dy, 0.9)
+				}
+			}
+		}
+	}
+	switch d {
+	case 0:
+		stroke(10, 6, 18, 6)
+		stroke(18, 6, 18, 22)
+		stroke(18, 22, 10, 22)
+		stroke(10, 22, 10, 6)
+	case 1:
+		stroke(14, 5, 14, 23)
+	case 2:
+		stroke(9, 7, 19, 7)
+		stroke(19, 7, 19, 14)
+		stroke(19, 14, 9, 14)
+		stroke(9, 14, 9, 22)
+		stroke(9, 22, 19, 22)
+	case 3:
+		stroke(9, 6, 19, 6)
+		stroke(19, 6, 19, 22)
+		stroke(9, 22, 19, 22)
+		stroke(11, 14, 19, 14)
+	case 4:
+		stroke(9, 5, 9, 14)
+		stroke(9, 14, 19, 14)
+		stroke(17, 5, 17, 23)
+	case 5:
+		stroke(19, 6, 9, 6)
+		stroke(9, 6, 9, 14)
+		stroke(9, 14, 19, 14)
+		stroke(19, 14, 19, 22)
+		stroke(19, 22, 9, 22)
+	case 6:
+		stroke(17, 5, 10, 12)
+		stroke(10, 12, 10, 22)
+		stroke(10, 22, 18, 22)
+		stroke(18, 22, 18, 14)
+		stroke(18, 14, 10, 14)
+	case 7:
+		stroke(9, 6, 19, 6)
+		stroke(19, 6, 12, 23)
+	case 8:
+		stroke(10, 6, 18, 6)
+		stroke(18, 6, 18, 22)
+		stroke(18, 22, 10, 22)
+		stroke(10, 22, 10, 6)
+		stroke(10, 14, 18, 14)
+	case 9:
+		stroke(18, 22, 18, 6)
+		stroke(18, 6, 10, 6)
+		stroke(10, 6, 10, 14)
+		stroke(10, 14, 18, 14)
+	}
+	// Pixel noise.
+	for i := range out {
+		out[i] += 0.05 * rng.Float32()
+		if out[i] > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Digits returns n digit images with their labels.
+func Digits(rng *tensor.RNG, n int) (imgs [][]float32, labels []int) {
+	for i := 0; i < n; i++ {
+		d := rng.Intn(10)
+		labels = append(labels, d)
+		imgs = append(imgs, Digit(rng, d))
+	}
+	return imgs, labels
+}
+
+// Utterance synthesises seconds of 16 kHz speech-like audio: voiced
+// segments with moving formants separated by short silences.
+func Utterance(rng *tensor.RNG, seconds float64) []float64 {
+	n := int(seconds * dsp.SampleRate)
+	out := make([]float64, n)
+	t := 0
+	for t < n {
+		segment := dsp.SampleRate/8 + rng.Intn(dsp.SampleRate/4) // 125-375 ms
+		voiced := rng.Float32() < 0.8
+		f0 := 90 + 120*rng.Float64()
+		f1 := 300 + 1200*rng.Float64()
+		f2 := 1500 + 1500*rng.Float64()
+		for i := 0; i < segment && t < n; i++ {
+			if voiced {
+				ti := float64(t) / dsp.SampleRate
+				out[t] = 0.5*math.Sin(2*math.Pi*f0*ti) +
+					0.25*math.Sin(2*math.Pi*f1*ti) +
+					0.12*math.Sin(2*math.Pi*f2*ti) +
+					0.02*(rng.Float64()*2-1)
+			} else {
+				out[t] = 0.01 * (rng.Float64()*2 - 1)
+			}
+			t++
+		}
+	}
+	return out
+}
+
+// ASRQueryAudio returns an utterance sized so preprocessing yields the
+// paper's 548 feature vectors (Table 3): 548 frames at a 10 ms shift
+// with a 25 ms window.
+func ASRQueryAudio(rng *tensor.RNG) []float64 {
+	samples := dsp.FrameLength + (ASRFrames-1)*dsp.FrameShift
+	return Utterance(rng, float64(samples)/dsp.SampleRate)
+}
+
+var sentenceVocab = strings.Fields(`
+the a an big small quick lazy bright dark old new
+fox dog cat company president city market system network service query
+runs jumps builds serves processes answers improves accelerates measures scales designs
+quickly slowly carefully barely remarkably
+in on over under through across with without
+Google Microsoft Apple Paris London Obama Einstein Michigan America
+and or but`)
+
+// Sentence generates an n-word sentence from a small vocabulary,
+// mixing common words and gazetteer entities (so NER has something to
+// find). The paper's NLP queries are 28-word sentences.
+func Sentence(rng *tensor.RNG, n int) string {
+	words := make([]string, n)
+	for i := range words {
+		words[i] = sentenceVocab[rng.Intn(len(sentenceVocab))]
+	}
+	return strings.Join(words, " ")
+}

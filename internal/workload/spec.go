@@ -1,0 +1,142 @@
+// Package workload defines the per-application service workload of
+// Table 3 — what one query carries on the wire, how many DNN input
+// instances it contains, the batch size Section 5.1 selects — plus the
+// pre/post-processing cost model behind Figure 4 and synthetic input
+// generators standing in for the paper's production inputs.
+package workload
+
+import (
+	"djinn/internal/models"
+	"djinn/internal/nn"
+)
+
+// Spec is the Table 3 row for one application plus the non-DNN
+// processing costs used by Figure 4 and the TCO study.
+type Spec struct {
+	App models.App
+	// InputDesc and OutputDesc are Table 3's human-readable columns.
+	InputDesc  string
+	OutputDesc string
+	// Instances is how many DNN input samples one service query
+	// carries: 1 image for IMC/FACE, 100 images for DIG, 548 feature
+	// vectors for ASR, 28 words for the NLP tasks.
+	Instances int
+	// WireInBytes is the query payload sent to the DjiNN service
+	// (Table 3's "Input data size"); WireOutBytes the response payload.
+	WireInBytes  float64
+	WireOutBytes float64
+	// BatchSize is the query batch size selected in Section 5.1
+	// (Table 3's last column): the number of queries aggregated into
+	// one GPU forward pass.
+	BatchSize int
+	// PreOps and PostOps are the non-DNN operation counts per query
+	// executed on a CPU core (feature extraction before the DNN and
+	// sequence search after it). They are calibrated so a Xeon core
+	// reproduces Figure 4's cycle breakdown: image tasks are ~98% DNN,
+	// ASR roughly half, NLP about two thirds.
+	PreOps  float64
+	PostOps float64
+}
+
+// SentenceWords is the NLP query size (a 28-word sentence, Table 3).
+const SentenceWords = 28
+
+// ASRFrames is the speech query size (548 feature vectors, Table 3).
+const ASRFrames = 548
+
+// DIGImages is the digit query size (100 images, Table 3).
+const DIGImages = 100
+
+// Get returns the Table 3 spec for an application.
+func Get(app models.App) Spec {
+	switch app {
+	case models.IMC:
+		return Spec{
+			App: app, InputDesc: "1 image", OutputDesc: "1 classification",
+			Instances: 1, WireInBytes: 604 * 1024, WireOutBytes: 4 * 1024,
+			BatchSize: 16,
+			// JPEG decode + resize to 227x227 + mean subtraction.
+			PreOps: 5.2e6, PostOps: 0.1e6,
+		}
+	case models.DIG:
+		return Spec{
+			App: app, InputDesc: "100 images", OutputDesc: "100 classifications",
+			Instances: DIGImages, WireInBytes: 307 * 1024, WireOutBytes: 0.4 * 1024,
+			BatchSize: 16,
+			// Greyscale normalisation of 100 28x28 images.
+			PreOps: 0.4e6, PostOps: 0.1e6,
+		}
+	case models.FACE:
+		return Spec{
+			App: app, InputDesc: "1 image", OutputDesc: "1 classification",
+			Instances: 1, WireInBytes: 271 * 1024, WireOutBytes: 0.3 * 1024,
+			BatchSize: 2,
+			// Face detection + 2-D alignment to the 152x152 crop.
+			PreOps: 6.5e6, PostOps: 0.1e6,
+		}
+	case models.ASR:
+		return Spec{
+			App: app, InputDesc: "548 speech feature vectors", OutputDesc: "548 probability vectors",
+			Instances: ASRFrames, WireInBytes: 4594 * 1024, WireOutBytes: 214 * 1024,
+			BatchSize: 2,
+			// Pre: MFCC/filterbank extraction + splicing for 5.5 s of
+			// audio. Post: Viterbi beam search over the decoding graph
+			// — the dominant non-DNN cost, which is why ASR is the one
+			// application where the DNN is only about half the cycles
+			// (Figure 4).
+			PreOps: 0.65e9, PostOps: 3.4e9,
+		}
+	case models.POS:
+		return Spec{
+			App: app, InputDesc: "28 word sentence", OutputDesc: "28 probability vectors",
+			Instances: SentenceWords, WireInBytes: 38 * 1024, WireOutBytes: 5 * 1024,
+			BatchSize: 64,
+			// Pre: tokenisation, hashing, embedding window assembly.
+			// Post: sentence-level Viterbi over the tag lattice.
+			PreOps: 0.40e6, PostOps: 0.31e6,
+		}
+	case models.CHK:
+		return Spec{
+			App: app, InputDesc: "28 word sentence", OutputDesc: "28 probability vectors",
+			Instances: SentenceWords, WireInBytes: 75 * 1024, WireOutBytes: 2.5 * 1024,
+			BatchSize: 64,
+			// CHK first issues an internal POS request (its wire size
+			// includes POS posterior features), then runs its own pass.
+			PreOps: 0.45e6, PostOps: 0.27e6,
+		}
+	case models.NER:
+		return Spec{
+			App: app, InputDesc: "28 word sentence", OutputDesc: "28 probability vectors",
+			Instances: SentenceWords, WireInBytes: 43 * 1024, WireOutBytes: 1 * 1024,
+			BatchSize: 64,
+			// NER adds gazetteer lookups to the standard pipeline.
+			PreOps: 0.40e6, PostOps: 0.26e6,
+		}
+	}
+	panic("workload: unknown app")
+}
+
+// All returns the specs for every application in Table 1 order.
+func All() []Spec {
+	out := make([]Spec, 0, len(models.Apps))
+	for _, a := range models.Apps {
+		out = append(out, Get(a))
+	}
+	return out
+}
+
+// Kernels returns the application's forward-pass kernel descriptors for
+// a batch of the given number of *queries*, scaling by the instances
+// each query carries — a batch of 2 ASR queries is a 1096-frame network
+// batch, a batch of 64 POS queries is a 1792-word batch.
+func (s Spec) Kernels(queryBatch int) []nn.Kernel {
+	return models.BuildCached(s.App).Kernels(queryBatch * s.Instances)
+}
+
+// QueryFLOPs returns the DNN forward FLOPs one query requires.
+func (s Spec) QueryFLOPs() float64 {
+	return models.BuildCached(s.App).FLOPs(s.Instances)
+}
+
+// WireBytes returns total bytes moved per query (request + response).
+func (s Spec) WireBytes() float64 { return s.WireInBytes + s.WireOutBytes }

