@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# check runs everything CI should gate on: vet, a full build, the full
+# test suite (tier-1), and race-detector runs for the concurrency-heavy
+# packages (the serving path and its metrics).
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/service/... ./internal/metrics/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

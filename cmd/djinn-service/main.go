@@ -16,7 +16,9 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"djinn"
@@ -58,14 +60,34 @@ func main() {
 		go func() {
 			for range time.Tick(*stats) {
 				for _, app := range selected {
-					if s, ok := srv.StatsFor(djinn.ServiceName(app)); ok && s.Queries > 0 {
-						log.Printf("%s: %d queries, %d batches, avg batch %.1f instances",
-							app, s.Queries, s.Batches, s.AvgBatch())
+					name := djinn.ServiceName(app)
+					s, ok := srv.StatsFor(name)
+					if !ok || s.Queries+s.Shed+s.Expired == 0 {
+						continue
+					}
+					log.Printf("%s: %d queries, %d batches, avg batch %.1f instances, shed %d, expired %d",
+						app, s.Queries, s.Batches, s.AvgBatch(), s.Shed, s.Expired)
+					if lat, ok := srv.LatencyFor(name); ok && lat.Forward.Count > 0 {
+						log.Printf("%s: queue p50=%v p99=%v | assembly p50=%v | forward p50=%v p99=%v | respond p50=%v",
+							app, lat.QueueWait.P50, lat.QueueWait.P99, lat.BatchAssembly.P50,
+							lat.Forward.P50, lat.Forward.P99, lat.Respond.P50)
 					}
 				}
 			}
 		}()
 	}
+	// SIGINT/SIGTERM drain the server gracefully: in-flight batches run
+	// to completion, queued stragglers fail with the shutdown error, and
+	// ListenAndServe returns nil once the drain finishes.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("draining: rejecting new queries, flushing in-flight batches...")
+		start := time.Now()
+		srv.Close()
+		log.Printf("drained in %v", time.Since(start).Round(time.Millisecond))
+	}()
 	log.Printf("DjiNN serving %v on %s", srv.Apps(), *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatal(err)

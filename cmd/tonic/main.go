@@ -10,7 +10,9 @@
 //	tonic [-addr ...]       imc
 //	tonic [-addr ...]       face
 //	tonic [-addr ...]       asr  [-seconds 1.0]
-//	tonic [-addr ...]       bench -app POS [-workers 4] [-dur 5s]
+//	tonic [-addr ...]       bench -app POS [-workers 4] [-dur 5s] [-deadline 20ms]
+//	tonic [-addr ...]       stats
+//	tonic [-addr ...]       latency
 //
 // Image and audio inputs are synthesised deterministically when not
 // supplied (the models carry synthetic weights, so predictions
@@ -35,7 +37,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed for synthetic inputs")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tonic [-addr host:port] <pos|chk|ner|dig|imc|face|asr|stats|bench> [args]")
+		fmt.Fprintln(os.Stderr, "usage: tonic [-addr host:port] <pos|chk|ner|dig|imc|face|asr|stats|latency|bench> [args]")
 		os.Exit(2)
 	}
 	client, err := djinn.Dial(*addr)
@@ -139,23 +141,45 @@ func main() {
 			}
 			fmt.Printf("%-10s %s\n", app, stats)
 		}
+	case "latency":
+		apps, err := client.Apps()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, app := range apps {
+			breakdown, err := client.ServerLatency(app)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s:\n%s", app, indent(breakdown))
+		}
 	case "bench":
 		fs := flag.NewFlagSet("bench", flag.ExitOnError)
 		appName := fs.String("app", "POS", "application to drive")
 		workers := fs.Int("workers", 4, "closed-loop workers")
 		dur := fs.Duration("dur", 5*time.Second, "duration")
+		deadline := fs.Duration("deadline", 0, "per-query deadline (0 = none)")
 		fs.Parse(args)
 		app, err := djinn.ParseApp(*appName)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := workload.DriveClosedLoop(client, app, djinn.ServiceName(app), *workers, *dur)
+		res := workload.DriveClosedLoopDeadline(client, app, djinn.ServiceName(app), *workers, *dur, *deadline)
 		fmt.Printf("%s: %.1f QPS over %v (%s)\n", app, res.QPS, *dur, res.Latency)
-		if res.Errors > 0 {
-			fmt.Printf("errors: %d\n", res.Errors)
+		if res.Errors+res.Shed+res.Expired > 0 {
+			fmt.Printf("errors: %d, shed: %d, expired: %d\n", res.Errors, res.Shed, res.Expired)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
 		os.Exit(2)
 	}
+}
+
+// indent prefixes every line of s with two spaces.
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }

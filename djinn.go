@@ -23,6 +23,7 @@ import (
 	"io"
 
 	"djinn/internal/experiments"
+	"djinn/internal/metrics"
 	"djinn/internal/models"
 	"djinn/internal/nn"
 	"djinn/internal/service"
@@ -62,6 +63,32 @@ type Client = service.Client
 // Backend is anything that answers DjiNN inference queries: a *Client
 // (remote) or a *Server (in-process).
 type Backend = service.Backend
+
+// ContextBackend is a Backend that additionally accepts a
+// context.Context per query (InferCtx), letting callers attach
+// deadlines and cancellation. Both *Client and *Server implement it.
+type ContextBackend = service.ContextBackend
+
+// Stats are one application's lifecycle counters (queries, batches,
+// shed, expired, errors).
+type Stats = service.Stats
+
+// StageSummary is the per-stage latency breakdown a server records for
+// each query: queue wait, batch assembly, forward pass, respond.
+type StageSummary = metrics.StageSummary
+
+// Sentinel errors for the request lifecycle. Match with errors.Is:
+// they survive the wire, so a remote Client returns the same values an
+// in-process Server does.
+var (
+	// ErrDeadlineExceeded: the query's deadline expired before the
+	// forward pass ran (or the caller's context was cancelled).
+	ErrDeadlineExceeded = service.ErrDeadlineExceeded
+	// ErrShuttingDown: the server is draining; the query was rejected.
+	ErrShuttingDown = service.ErrShuttingDown
+	// ErrOverloaded: the application's queue was full (load shedding).
+	ErrOverloaded = service.ErrOverloaded
+)
 
 // NewServer creates an empty DjiNN server; register applications with
 // RegisterApp or RegisterAll before serving.

@@ -65,17 +65,25 @@ type Config struct {
 	// ArrivalRate is the Poisson query arrival rate at the front end.
 	ArrivalRate float64
 	Seed        uint64
+	// Deadline is the per-query latency budget in seconds (0 = none).
+	// Mirroring the DjiNN service's request lifecycle, a query whose
+	// age exceeds the deadline when its batch is assembled is dropped
+	// there instead of occupying GPU capacity.
+	Deadline float64
 }
 
 // Result is the measured latency composition.
 type Result struct {
 	Completed int
+	Expired   int // dropped at batch assembly past their deadline
 	QPS       float64
 	MeanLat   float64
 	P95Lat    float64
 	MeanPre   float64 // queueing + service on the CPU tier
 	MeanNet   float64 // fabric transfer (Disaggregated only)
 	MeanDNN   float64 // batching wait + PCIe + GPU execution
+	MeanWait  float64 // batch-assembly wait inside MeanDNN
+	MeanExec  float64 // PCIe + GPU execution inside MeanDNN
 	MeanPost  float64
 }
 
@@ -84,6 +92,7 @@ type queryState struct {
 	arrive  float64
 	preDone float64
 	netDone float64
+	flushed float64
 	dnnDone float64
 }
 
@@ -142,8 +151,8 @@ func Simulate(cfg Config, duration float64) Result {
 		gpuTier[i] = g
 	}
 
-	var latencies, pres, nets, dnns, posts []float64
-	completed := 0
+	var latencies, pres, nets, dnns, waits, execs, posts []float64
+	completed, expired := 0, 0
 
 	finishQuery := func(q *queryState) {
 		postStart := eng.Now()
@@ -156,12 +165,36 @@ func Simulate(cfg Config, duration float64) Result {
 			pres = append(pres, q.preDone-q.arrive)
 			nets = append(nets, q.netDone-q.preDone)
 			dnns = append(dnns, q.dnnDone-q.netDone)
+			waits = append(waits, q.flushed-q.netDone)
+			execs = append(execs, q.dnnDone-q.flushed)
 			posts = append(posts, eng.Now()-postStart)
 		})
 	}
 
 	// flushBatch executes one aggregated batch on a server's next GPU.
+	// Queries already past their deadline are dropped here, at batch
+	// assembly — the same lifecycle point the DjiNN service sheds them —
+	// so a dead query never occupies GPU capacity.
 	flushBatch := func(g *gpuServer, batch []*queryState) {
+		if cfg.Deadline > 0 {
+			live := batch[:0]
+			for _, q := range batch {
+				if eng.Now()-q.arrive > cfg.Deadline {
+					if q.arrive >= warmup {
+						expired++
+					}
+					continue
+				}
+				live = append(live, q)
+			}
+			batch = live
+			if len(batch) == 0 {
+				return
+			}
+		}
+		for _, q := range batch {
+			q.flushed = eng.Now()
+		}
 		ks := cfg.BatchKernels(len(batch))
 		gpu := g.sched[g.next%len(g.sched)]
 		g.next++
@@ -248,11 +281,14 @@ func Simulate(cfg Config, duration float64) Result {
 	}
 	res := Result{
 		Completed: completed,
+		Expired:   expired,
 		QPS:       float64(completed) / (duration - warmup),
 		MeanLat:   mean(latencies),
 		MeanPre:   mean(pres),
 		MeanNet:   mean(nets),
 		MeanDNN:   mean(dnns),
+		MeanWait:  mean(waits),
+		MeanExec:  mean(execs),
 		MeanPost:  mean(posts),
 	}
 	if len(latencies) > 0 {
@@ -262,10 +298,16 @@ func Simulate(cfg Config, duration float64) Result {
 	return res
 }
 
-// String renders the latency composition.
+// String renders the latency composition, splitting the DNN stage into
+// batch-assembly wait and execution, plus deadline drops when present.
 func (r Result) String() string {
-	return fmt.Sprintf("qps=%.1f lat=%.2fms (pre %.2f | net %.2f | dnn %.2f | post %.2f) p95=%.2fms",
-		r.QPS, r.MeanLat*1e3, r.MeanPre*1e3, r.MeanNet*1e3, r.MeanDNN*1e3, r.MeanPost*1e3, r.P95Lat*1e3)
+	s := fmt.Sprintf("qps=%.1f lat=%.2fms (pre %.2f | net %.2f | dnn %.2f [wait %.2f exec %.2f] | post %.2f) p95=%.2fms",
+		r.QPS, r.MeanLat*1e3, r.MeanPre*1e3, r.MeanNet*1e3, r.MeanDNN*1e3,
+		r.MeanWait*1e3, r.MeanExec*1e3, r.MeanPost*1e3, r.P95Lat*1e3)
+	if r.Expired > 0 {
+		s += fmt.Sprintf(" expired=%d", r.Expired)
+	}
+	return s
 }
 
 // mpsWrap exposes the gpusim MPS scheduler for cluster use.

@@ -95,6 +95,37 @@ func TestClusterCPUBoundWhenPreHeavy(t *testing.T) {
 	}
 }
 
+func TestClusterWaitExecDecomposeDNN(t *testing.T) {
+	res := Simulate(testConfig(Disaggregated, 20000), 2.0)
+	if res.MeanWait <= 0 || res.MeanExec <= 0 {
+		t.Fatalf("wait/exec split empty: %+v", res)
+	}
+	sum := res.MeanWait + res.MeanExec
+	if diff := res.MeanDNN - sum; diff > res.MeanDNN*0.05 || diff < -res.MeanDNN*0.05 {
+		t.Fatalf("wait %.6f + exec %.6f does not compose to dnn %.6f", res.MeanWait, res.MeanExec, res.MeanDNN)
+	}
+}
+
+func TestClusterDeadlineDropsAtAssembly(t *testing.T) {
+	// An overloaded cluster (one slow CPU tier feeding the GPUs) with a
+	// tight deadline must drop queries at batch assembly rather than
+	// running them; the ones that do complete met the budget.
+	cfg := testConfig(Disaggregated, 20000)
+	cfg.BatchQueries = 64
+	cfg.BatchWindow = 20e-3 // window exceeds the deadline: lone queries expire
+	cfg.Deadline = 5e-3
+	res := Simulate(cfg, 2.0)
+	if res.Expired == 0 {
+		t.Fatalf("no queries expired under a %.0fms deadline with a %.0fms batch window: %+v",
+			cfg.Deadline*1e3, cfg.BatchWindow*1e3, res)
+	}
+	// Without a deadline nothing expires.
+	cfg.Deadline = 0
+	if res := Simulate(cfg, 2.0); res.Expired != 0 {
+		t.Fatalf("expired %d queries with no deadline configured", res.Expired)
+	}
+}
+
 func TestClusterRejectsBadConfig(t *testing.T) {
 	defer func() {
 		if recover() == nil {

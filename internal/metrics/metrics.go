@@ -1,64 +1,116 @@
 // Package metrics provides the measurement plumbing for driving the
 // real DjiNN service: thread-safe latency recorders with percentile
 // queries and throughput windows, used by the load drivers and the
-// service CLI.
+// service CLI, plus the per-stage request-lifecycle breakdown the
+// server exports through its "latency" control verb.
 package metrics
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
 
+// DefaultReservoirSize bounds a LatencyRecorder's in-memory sample set.
+// Beyond it the recorder switches to uniform reservoir sampling, so a
+// week-long benchmark run holds percentile estimates in constant
+// memory instead of growing a slice without bound.
+const DefaultReservoirSize = 16384
+
 // LatencyRecorder accumulates latency samples; safe for concurrent use.
+// Count and Mean are exact over every recorded sample; percentiles are
+// computed over a bounded uniform reservoir (DefaultReservoirSize
+// unless NewLatencyRecorderSize chose otherwise), and the sorted view
+// is cached between Record calls rather than re-sorted per query.
 type LatencyRecorder struct {
 	mu      sync.Mutex
 	samples []time.Duration
+	cap     int
+	count   int64         // total samples ever recorded
+	sum     time.Duration // exact running sum for Mean
 	sorted  bool
+	rng     uint64 // xorshift state for reservoir replacement
 }
 
-// NewLatencyRecorder creates an empty recorder.
-func NewLatencyRecorder() *LatencyRecorder { return &LatencyRecorder{} }
+// NewLatencyRecorder creates an empty recorder with the default
+// reservoir bound.
+func NewLatencyRecorder() *LatencyRecorder {
+	return NewLatencyRecorderSize(DefaultReservoirSize)
+}
+
+// NewLatencyRecorderSize creates an empty recorder keeping at most size
+// samples for percentile estimation (size <= 0 means the default).
+func NewLatencyRecorderSize(size int) *LatencyRecorder {
+	if size <= 0 {
+		size = DefaultReservoirSize
+	}
+	return &LatencyRecorder{cap: size, rng: 0x9e3779b97f4a7c15}
+}
+
+func (r *LatencyRecorder) rand() uint64 {
+	// xorshift64: cheap, deterministic, good enough for reservoir slots.
+	x := r.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.rng = x
+	return x
+}
 
 // Record adds one sample.
 func (r *LatencyRecorder) Record(d time.Duration) {
 	r.mu.Lock()
-	r.samples = append(r.samples, d)
-	r.sorted = false
+	r.count++
+	r.sum += d
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, d)
+		r.sorted = false
+	} else if j := r.rand() % uint64(r.count); j < uint64(r.cap) {
+		// Algorithm R: keep each of the count samples in the reservoir
+		// with probability cap/count.
+		r.samples[j] = d
+		r.sorted = false
+	}
 	r.mu.Unlock()
 }
 
-// Count returns the number of samples.
+// Count returns the number of samples recorded (not the reservoir size).
 func (r *LatencyRecorder) Count() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.samples)
+	return int(r.count)
 }
 
-// Mean returns the average latency, or 0 with no samples.
+// Mean returns the average latency over all recorded samples, or 0 with
+// no samples.
 func (r *LatencyRecorder) Mean() time.Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.samples) == 0 {
-		return 0
-	}
-	var sum time.Duration
-	for _, s := range r.samples {
-		sum += s
-	}
-	return sum / time.Duration(len(r.samples))
+	return r.meanLocked()
 }
 
-// Percentile returns the p-quantile (0 < p ≤ 1) by nearest-rank, or 0
-// with no samples.
+func (r *LatencyRecorder) meanLocked() time.Duration {
+	if r.count == 0 {
+		return 0
+	}
+	return r.sum / time.Duration(r.count)
+}
+
+// Percentile returns the p-quantile (0 < p ≤ 1) by nearest-rank over
+// the reservoir, or 0 with no samples.
 func (r *LatencyRecorder) Percentile(p float64) time.Duration {
 	if p <= 0 || p > 1 {
 		panic(fmt.Sprintf("metrics: percentile %v out of (0,1]", p))
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.percentileLocked(p)
+}
+
+func (r *LatencyRecorder) percentileLocked(p float64) time.Duration {
 	n := len(r.samples)
 	if n == 0 {
 		return 0
@@ -81,20 +133,103 @@ type Summary struct {
 	P50, P95, P99 time.Duration
 }
 
-// Summarize returns count, mean and key percentiles.
+// Summarize returns count, mean and key percentiles under one lock.
 func (r *LatencyRecorder) Summarize() Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return Summary{
-		Count: r.Count(),
-		Mean:  r.Mean(),
-		P50:   r.Percentile(0.50),
-		P95:   r.Percentile(0.95),
-		P99:   r.Percentile(0.99),
+		Count: int(r.count),
+		Mean:  r.meanLocked(),
+		P50:   r.percentileLocked(0.50),
+		P95:   r.percentileLocked(0.95),
+		P99:   r.percentileLocked(0.99),
 	}
 }
 
 // String renders the summary.
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v", s.Count, s.Mean, s.P50, s.P95, s.P99)
+}
+
+// Stage identifies one segment of a request's life inside the service:
+// waiting in the app queue, waiting for its batch to fill, the forward
+// pass, and result scatter/response delivery. These are the server-side
+// overheads that dominate end-to-end latency in shared DNN services.
+type Stage int
+
+// The lifecycle stages, in request order.
+const (
+	StageQueueWait Stage = iota
+	StageBatchAssembly
+	StageForward
+	StageRespond
+	numStages
+)
+
+// String names the stage as reported by the "latency" control verb.
+func (s Stage) String() string {
+	switch s {
+	case StageQueueWait:
+		return "queue_wait"
+	case StageBatchAssembly:
+		return "batch_assembly"
+	case StageForward:
+		return "forward"
+	case StageRespond:
+		return "respond"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// StageBreakdown holds one bounded recorder per lifecycle stage; safe
+// for concurrent use.
+type StageBreakdown struct {
+	recs [numStages]*LatencyRecorder
+}
+
+// NewStageBreakdown creates an empty breakdown.
+func NewStageBreakdown() *StageBreakdown {
+	b := &StageBreakdown{}
+	for i := range b.recs {
+		b.recs[i] = NewLatencyRecorder()
+	}
+	return b
+}
+
+// Record adds one sample to a stage.
+func (b *StageBreakdown) Record(s Stage, d time.Duration) {
+	if s < 0 || s >= numStages {
+		return
+	}
+	b.recs[s].Record(d)
+}
+
+// StageSummary is a snapshot of all four stages.
+type StageSummary struct {
+	QueueWait     Summary
+	BatchAssembly Summary
+	Forward       Summary
+	Respond       Summary
+}
+
+// Summarize snapshots every stage.
+func (b *StageBreakdown) Summarize() StageSummary {
+	return StageSummary{
+		QueueWait:     b.recs[StageQueueWait].Summarize(),
+		BatchAssembly: b.recs[StageBatchAssembly].Summarize(),
+		Forward:       b.recs[StageForward].Summarize(),
+		Respond:       b.recs[StageRespond].Summarize(),
+	}
+}
+
+// String renders one line per stage.
+func (s StageSummary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %s\n", StageQueueWait, s.QueueWait)
+	fmt.Fprintf(&sb, "%-14s %s\n", StageBatchAssembly, s.BatchAssembly)
+	fmt.Fprintf(&sb, "%-14s %s\n", StageForward, s.Forward)
+	fmt.Fprintf(&sb, "%-14s %s", StageRespond, s.Respond)
+	return sb.String()
 }
 
 // Throughput measures completed operations over wall-clock time.

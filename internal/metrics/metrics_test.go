@@ -109,6 +109,96 @@ func TestSummary(t *testing.T) {
 	}
 }
 
+func TestReservoirBoundsMemory(t *testing.T) {
+	const size = 64
+	r := NewLatencyRecorderSize(size)
+	for i := 0; i < 10*size; i++ {
+		r.Record(time.Duration(i+1) * time.Microsecond)
+	}
+	if r.Count() != 10*size {
+		t.Fatalf("count %d, want %d", r.Count(), 10*size)
+	}
+	if got := len(r.samples); got != size {
+		t.Fatalf("reservoir holds %d samples, want bound %d", got, size)
+	}
+	// Mean stays exact over all samples even though the reservoir is
+	// bounded: sum of 1..640 µs / 640 = 320.5 µs.
+	if m := r.Mean(); m != 320500*time.Nanosecond {
+		t.Fatalf("mean %v, want 320.5µs", m)
+	}
+	// Percentiles come from the reservoir; they must stay inside the
+	// recorded range and keep their ordering.
+	p50, p99 := r.Percentile(0.5), r.Percentile(0.99)
+	if p50 <= 0 || p99 > 640*time.Microsecond || p99 < p50 {
+		t.Fatalf("implausible reservoir percentiles p50=%v p99=%v", p50, p99)
+	}
+}
+
+func TestPercentileSortIsCached(t *testing.T) {
+	r := NewLatencyRecorder()
+	for i := 100; i >= 1; i-- {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	if r.Percentile(0.5) != 50*time.Millisecond {
+		t.Fatal("wrong p50")
+	}
+	if !r.sorted {
+		t.Fatal("sort not cached after Percentile")
+	}
+	// Further percentile queries must not dirty the cache; a new Record
+	// must.
+	r.Percentile(0.99)
+	if !r.sorted {
+		t.Fatal("cache invalidated by read")
+	}
+	r.Record(time.Millisecond)
+	if r.sorted {
+		t.Fatal("cache not invalidated by Record")
+	}
+}
+
+func TestStageBreakdown(t *testing.T) {
+	b := NewStageBreakdown()
+	b.Record(StageQueueWait, 4*time.Millisecond)
+	b.Record(StageQueueWait, 6*time.Millisecond)
+	b.Record(StageForward, 2*time.Millisecond)
+	b.Record(Stage(99), time.Second) // out of range: ignored
+	s := b.Summarize()
+	if s.QueueWait.Count != 2 || s.QueueWait.Mean != 5*time.Millisecond {
+		t.Fatalf("queue wait %+v", s.QueueWait)
+	}
+	if s.Forward.Count != 1 || s.BatchAssembly.Count != 0 || s.Respond.Count != 0 {
+		t.Fatalf("stage counts wrong: %+v", s)
+	}
+	str := s.String()
+	for _, want := range []string{"queue_wait", "batch_assembly", "forward", "respond"} {
+		if !containsLine(str, want) {
+			t.Fatalf("rendered summary missing %q:\n%s", want, str)
+		}
+	}
+}
+
+func containsLine(s, sub string) bool {
+	for _, line := range splitLines(s) {
+		if len(line) >= len(sub) && line[:len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
 func TestThroughput(t *testing.T) {
 	tp := NewThroughput()
 	tp.Add(10)

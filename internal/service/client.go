@@ -2,6 +2,7 @@ package service
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -9,14 +10,21 @@ import (
 	"time"
 )
 
+// deadlineGrace is added to the connection I/O deadline beyond the
+// context deadline: the server is authoritative for expiring a query
+// (it answers StatusDeadline at the budget boundary), so the transport
+// only times out when the server itself is wedged past the grace.
+const deadlineGrace = time.Second
+
 // Client is a DjiNN service client speaking the framed TCP protocol.
 // It is safe for concurrent use; requests on one connection are
 // serialised (open several clients for pipelining, as the Tonic load
 // drivers do).
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	rw   *bufio.ReadWriter
+	mu    sync.Mutex
+	conn  net.Conn
+	rw    *bufio.ReadWriter
+	stale bool // a transport timeout desynced the stream
 }
 
 // Dial connects to a DjiNN server.
@@ -39,22 +47,74 @@ func NewClient(conn net.Conn) *Client {
 // Infer sends one query payload for app and returns the probability
 // vectors the service computed.
 func (c *Client) Infer(app string, in []float32) ([]float32, error) {
+	return c.InferCtx(context.Background(), app, in)
+}
+
+// InferCtx sends one query bounded by ctx. The remaining budget rides
+// the request frame, so the server expires the query at whichever
+// lifecycle stage the deadline passes (queue, batch assembly, or the
+// response wait) and answers with a distinct status the caller can
+// test with errors.Is(err, ErrDeadlineExceeded).
+func (c *Client) InferCtx(ctx context.Context, app string, in []float32) ([]float32, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeRequest(c.rw, app, in); err != nil {
-		return nil, fmt.Errorf("service: sending request: %w", err)
+	if err := c.usable(ctx); err != nil {
+		return nil, err
+	}
+	var budget time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		budget = time.Until(dl)
+		if budget <= 0 {
+			return nil, fmt.Errorf("%w: %v", ErrDeadlineExceeded, ctx.Err())
+		}
+		// The transport deadline backstops a wedged server; the grace
+		// lets the server's own StatusDeadline answer arrive first.
+		c.conn.SetDeadline(dl.Add(deadlineGrace))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := writeRequest(c.rw, app, budget, in); err != nil {
+		return nil, c.fail(fmt.Errorf("service: sending request: %w", err))
 	}
 	if err := c.rw.Flush(); err != nil {
-		return nil, fmt.Errorf("service: flushing request: %w", err)
+		return nil, c.fail(fmt.Errorf("service: flushing request: %w", err))
 	}
-	status, msg, out, err := readResponse(c.rw)
+	status, msg, out, err := c.readReply()
 	if err != nil {
-		return nil, fmt.Errorf("service: reading response: %w", err)
+		return nil, err
 	}
 	if status != StatusOK {
-		return nil, fmt.Errorf("service: server error: %s", msg)
+		return nil, errorFor(status, msg)
 	}
 	return out, nil
+}
+
+// usable rejects calls on a context that is already dead or a stream
+// that a previous transport timeout left mid-frame.
+func (c *Client) usable(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrDeadlineExceeded, err)
+	}
+	if c.stale {
+		return fmt.Errorf("service: connection desynced by an earlier timeout; dial a fresh client")
+	}
+	return nil
+}
+
+// readReply reads one response frame, poisoning the stream on
+// transport errors (a timeout mid-frame leaves unread bytes that would
+// corrupt every later exchange).
+func (c *Client) readReply() (byte, string, []float32, error) {
+	status, msg, out, err := readResponse(c.rw)
+	if err != nil {
+		return 0, "", nil, c.fail(fmt.Errorf("service: reading response: %w", err))
+	}
+	return status, msg, out, nil
+}
+
+// fail marks the stream unusable and passes the error through.
+func (c *Client) fail(err error) error {
+	c.stale = true
+	return err
 }
 
 // Close closes the connection.
@@ -67,25 +127,37 @@ type Backend interface {
 	Infer(app string, in []float32) ([]float32, error)
 }
 
+// ContextBackend is a Backend that also accepts per-query contexts, the
+// request-lifecycle entry point: deadlines propagate through enqueue,
+// batch assembly, and the response wait. Both *Client and *Server
+// implement it.
+type ContextBackend interface {
+	Backend
+	InferCtx(ctx context.Context, app string, in []float32) ([]float32, error)
+}
+
 var (
-	_ Backend = (*Client)(nil)
-	_ Backend = (*Server)(nil)
+	_ ContextBackend = (*Client)(nil)
+	_ ContextBackend = (*Server)(nil)
 )
 
-// Control sends a control command ("apps", "stats <app>") and returns
-// the server's textual answer.
+// Control sends a control command ("apps", "stats <app>",
+// "latency <app>") and returns the server's textual answer.
 func (c *Client) Control(cmd string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.stale {
+		return "", fmt.Errorf("service: connection desynced by an earlier timeout; dial a fresh client")
+	}
 	if err := writeControl(c.rw, cmd); err != nil {
-		return "", fmt.Errorf("service: sending control: %w", err)
+		return "", c.fail(fmt.Errorf("service: sending control: %w", err))
 	}
 	if err := c.rw.Flush(); err != nil {
-		return "", err
+		return "", c.fail(err)
 	}
-	status, msg, _, err := readResponse(c.rw)
+	status, msg, _, err := c.readReply()
 	if err != nil {
-		return "", fmt.Errorf("service: reading control response: %w", err)
+		return "", err
 	}
 	if status != StatusOK {
 		return "", fmt.Errorf("service: %s", msg)
@@ -105,4 +177,10 @@ func (c *Client) Apps() ([]string, error) {
 // ServerStats returns the textual counters of one application.
 func (c *Client) ServerStats(app string) (string, error) {
 	return c.Control("stats " + app)
+}
+
+// ServerLatency returns the textual per-stage lifecycle breakdown
+// (queue wait / batch assembly / forward / respond) of one application.
+func (c *Client) ServerLatency(app string) (string, error) {
+	return c.Control("latency " + app)
 }

@@ -9,13 +9,13 @@ import (
 // (a network-facing server survives hostile frames).
 func FuzzReadRequest(f *testing.F) {
 	var seed bytes.Buffer
-	writeRequest(&seed, "asr", []float32{1, 2, 3})
+	writeRequest(&seed, "asr", 0, []float32{1, 2, 3})
 	f.Add(seed.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0x51, 0x52, 0x4a, 0x44})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		app, in, err := readRequest(bytes.NewReader(data))
+		app, _, in, err := readRequest(bytes.NewReader(data))
 		if err == nil {
 			// A parse that succeeds must produce sane fields.
 			if len(app) == 0 || len(app) > MaxAppNameLen {

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel errors for the request lifecycle. Both the in-process path
+// and the TCP client surface these (the wire carries them as dedicated
+// status codes), so callers can distinguish an expired deadline, a
+// draining server, and shed load from genuine failures with errors.Is.
+var (
+	// ErrDeadlineExceeded reports that a query's context expired before
+	// the service produced its result.
+	ErrDeadlineExceeded = errors.New("service: deadline exceeded")
+	// ErrShuttingDown reports that the server is draining and no longer
+	// accepts queries.
+	ErrShuttingDown = errors.New("service: server shutting down")
+	// ErrOverloaded reports that the query was shed because the
+	// application's pending queue was full.
+	ErrOverloaded = errors.New("service: overloaded")
+)
+
+// statusFor maps a dispatch error onto its wire status code.
+func statusFor(err error) byte {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, ErrDeadlineExceeded):
+		return StatusDeadline
+	case errors.Is(err, ErrShuttingDown):
+		return StatusShutdown
+	case errors.Is(err, ErrOverloaded):
+		return StatusOverload
+	}
+	return StatusError
+}
+
+// errorFor reconstructs the sentinel-wrapped error for a non-OK wire
+// status on the client side.
+func errorFor(status byte, msg string) error {
+	switch status {
+	case StatusDeadline:
+		return fmt.Errorf("%w: %s", ErrDeadlineExceeded, msg)
+	case StatusShutdown:
+		return fmt.Errorf("%w: %s", ErrShuttingDown, msg)
+	case StatusOverload:
+		return fmt.Errorf("%w: %s", ErrOverloaded, msg)
+	}
+	return fmt.Errorf("service: server error: %s", msg)
+}
+
+// request is the first-class request object threaded through the whole
+// serving path: the caller's context, the query payload, and the
+// timestamps that delimit each lifecycle stage (enqueue → dequeue by
+// the aggregator → batch flush → forward pass → response).
+type request struct {
+	ctx       context.Context
+	in        []float32
+	instances int
+
+	enqueued time.Time // dispatch put it on the app queue
+	dequeued time.Time // aggregator picked it up
+	flushed  time.Time // its batch was handed to a worker
+
+	resp      chan result
+	responded atomic.Bool
+}
+
+type result struct {
+	out []float32
+	err error
+}
+
+// respond delivers the request's single response. Exactly one delivery
+// wins: the worker's result, the aggregator's expiry/drain error, or
+// the dispatcher abandoning the wait — every other caller sees false
+// and must not touch the request further. This is the invariant that
+// makes dispatch hang-proof.
+func (r *request) respond(res result) bool {
+	if !r.responded.CompareAndSwap(false, true) {
+		return false
+	}
+	r.resp <- res
+	return true
+}
+
+// expired reports whether the request's context has been cancelled.
+func (r *request) expired() bool {
+	return r.ctx != nil && r.ctx.Err() != nil
+}

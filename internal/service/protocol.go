@@ -12,17 +12,24 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 )
 
 // Wire protocol: little-endian framed messages.
 //
-//	request:  magic 'DJRQ' u32 | appLen u16 | app bytes | nFloats u32 | floats
+//	request:  magic 'DJRQ' u32 | appLen u16 | app bytes | deadlineMicros u32 | nFloats u32 | floats
 //	response: magic 'DJRS' u32 | status u8  | msgLen u16 | msg bytes  | nFloats u32 | floats
 //
 // The request payload is the preprocessed input for one query: a batch
 // of DNN input instances laid out contiguously (e.g. 548 spliced
 // feature vectors for ASR, 28 word windows for POS). The response is
 // the corresponding probability vectors.
+//
+// deadlineMicros is the client's remaining latency budget in
+// microseconds (0 = unbounded). It is a relative duration, not a wall
+// clock, so client/server clock skew cannot expire a query spuriously;
+// the server arms a context deadline from it and sheds the query at
+// whichever lifecycle stage the budget runs out.
 const (
 	reqMagic  = 0x444a5251 // "DJRQ"
 	respMagic = 0x444a5253 // "DJRS"
@@ -32,6 +39,15 @@ const (
 	StatusOK = 0
 	// StatusError indicates a failed request; the message explains why.
 	StatusError = 1
+	// StatusDeadline indicates the query's deadline expired before a
+	// result was produced (maps to ErrDeadlineExceeded client-side).
+	StatusDeadline = 2
+	// StatusShutdown indicates the server is draining and rejected the
+	// query (maps to ErrShuttingDown client-side).
+	StatusShutdown = 3
+	// StatusOverload indicates the query was shed because the app's
+	// pending queue was full (maps to ErrOverloaded client-side).
+	StatusOverload = 4
 
 	// MaxAppNameLen bounds the application-name field.
 	MaxAppNameLen = 128
@@ -102,8 +118,14 @@ func readFloats(r io.Reader) ([]float32, error) {
 	return data, nil
 }
 
-// writeRequest frames one inference request.
-func writeRequest(w io.Writer, app string, in []float32) error {
+// maxWireDeadline is the largest budget the u32 microsecond field can
+// carry (~71 minutes); longer deadlines are clamped — any real query
+// SLA is orders of magnitude shorter.
+const maxWireDeadline = time.Duration(math.MaxUint32) * time.Microsecond
+
+// writeRequest frames one inference request. deadline is the remaining
+// latency budget (0 = none).
+func writeRequest(w io.Writer, app string, deadline time.Duration, in []float32) error {
 	if len(app) == 0 || len(app) > MaxAppNameLen {
 		return fmt.Errorf("service: bad app name length %d", len(app))
 	}
@@ -118,41 +140,51 @@ func writeRequest(w io.Writer, app string, in []float32) error {
 	if _, err := io.WriteString(w, app); err != nil {
 		return err
 	}
+	if deadline < 0 || deadline > maxWireDeadline {
+		deadline = maxWireDeadline
+	}
+	if err := writeUint32(w, uint32(deadline/time.Microsecond)); err != nil {
+		return err
+	}
 	return writeFloats(w, in)
 }
 
 // readRequest parses one inference request (including its magic).
-func readRequest(r io.Reader) (app string, in []float32, err error) {
+func readRequest(r io.Reader) (app string, deadline time.Duration, in []float32, err error) {
 	magic, err := readUint32(r)
 	if err != nil {
-		return "", nil, err
+		return "", 0, nil, err
 	}
 	if magic != reqMagic {
-		return "", nil, fmt.Errorf("service: bad request magic %#x", magic)
+		return "", 0, nil, fmt.Errorf("service: bad request magic %#x", magic)
 	}
 	return readRequestBody(r)
 }
 
 // readRequestBody parses an inference request after its magic has been
 // consumed (the server dispatches on the magic).
-func readRequestBody(r io.Reader) (app string, in []float32, err error) {
+func readRequestBody(r io.Reader) (app string, deadline time.Duration, in []float32, err error) {
 	var nl [2]byte
 	if _, err := io.ReadFull(r, nl[:]); err != nil {
-		return "", nil, err
+		return "", 0, nil, err
 	}
 	nameLen := binary.LittleEndian.Uint16(nl[:])
 	if nameLen == 0 || nameLen > MaxAppNameLen {
-		return "", nil, fmt.Errorf("service: bad app name length %d", nameLen)
+		return "", 0, nil, fmt.Errorf("service: bad app name length %d", nameLen)
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(r, name); err != nil {
-		return "", nil, err
+		return "", 0, nil, err
+	}
+	micros, err := readUint32(r)
+	if err != nil {
+		return "", 0, nil, err
 	}
 	in, err = readFloats(r)
 	if err != nil {
-		return "", nil, err
+		return "", 0, nil, err
 	}
-	return string(name), in, nil
+	return string(name), time.Duration(micros) * time.Microsecond, in, nil
 }
 
 // writeResponse frames one inference response.

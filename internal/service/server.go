@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -11,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"djinn/internal/metrics"
 	"djinn/internal/nn"
 	"djinn/internal/tensor"
 )
@@ -63,7 +65,9 @@ type Stats struct {
 	Queries   int64 // requests served
 	Instances int64 // DNN input instances processed
 	Batches   int64 // forward passes executed
-	Errors    int64
+	Errors    int64 // malformed payloads and worker failures
+	Shed      int64 // rejected because the pending queue was full
+	Expired   int64 // abandoned because the query's deadline passed
 }
 
 // AvgBatch returns the mean instances per forward pass.
@@ -74,28 +78,45 @@ func (s Stats) AvgBatch() float64 {
 	return float64(s.Instances) / float64(s.Batches)
 }
 
-type pendingReq struct {
-	in        []float32
-	instances int
-	resp      chan result
-}
-
-type result struct {
-	out []float32
-	err error
-}
-
 type app struct {
 	name      string
 	net       *nn.Net
 	cfg       AppConfig
 	sampleIn  int // floats per input instance
 	sampleOut int
-	reqCh     chan *pendingReq
+	reqCh     chan *request
+	stages    *metrics.StageBreakdown
 	queries   atomic.Int64
 	instances atomic.Int64
 	batches   atomic.Int64
 	errors    atomic.Int64
+	shed      atomic.Int64
+	expired   atomic.Int64
+
+	// gateMu serialises enqueues against shutdown: dispatch holds the
+	// read side across its (non-blocking) send, Close takes the write
+	// side to flip closed. After that handover no new request can enter
+	// reqCh, so the aggregator's final drain is exhaustive.
+	gateMu sync.RWMutex
+	closed bool
+}
+
+// enqueue admits a request to the app's aggregation queue, shedding
+// load when the queue is full and rejecting once the server drains.
+func (a *app) enqueue(req *request) error {
+	a.gateMu.RLock()
+	defer a.gateMu.RUnlock()
+	if a.closed {
+		return fmt.Errorf("%w: %s rejected during drain", ErrShuttingDown, a.name)
+	}
+	select {
+	case a.reqCh <- req:
+		return nil
+	default:
+		// Aggregation queue full: shed load rather than queue unboundedly.
+		a.shed.Add(1)
+		return fmt.Errorf("%w: %s (%d queries pending)", ErrOverloaded, a.name, cap(a.reqCh))
+	}
 }
 
 // Server is the DjiNN service: a model registry plus a TCP front-end.
@@ -104,7 +125,8 @@ type Server struct {
 	apps     map[string]*app
 	listener net.Listener
 	conns    map[net.Conn]struct{}
-	done     chan struct{}
+	closing  chan struct{} // closed first: stop admitting, start drain
+	done     chan struct{} // closed last: drain finished
 	wg       sync.WaitGroup
 	logf     func(format string, args ...any)
 }
@@ -113,10 +135,11 @@ type Server struct {
 // serving.
 func NewServer() *Server {
 	return &Server{
-		apps:  map[string]*app{},
-		conns: map[net.Conn]struct{}{},
-		done:  make(chan struct{}),
-		logf:  log.Printf,
+		apps:    map[string]*app{},
+		conns:   map[net.Conn]struct{}{},
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+		logf:    log.Printf,
 	}
 }
 
@@ -129,6 +152,11 @@ func (s *Server) SetLogger(logf func(string, ...any)) { s.logf = logf }
 func (s *Server) Register(name string, netw *nn.Net, cfg AppConfig) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	select {
+	case <-s.closing:
+		return fmt.Errorf("%w: cannot register %q", ErrShuttingDown, name)
+	default:
+	}
 	if _, ok := s.apps[name]; ok {
 		return fmt.Errorf("service: app %q already registered", name)
 	}
@@ -137,16 +165,17 @@ func (s *Server) Register(name string, netw *nn.Net, cfg AppConfig) error {
 		name: name, net: netw, cfg: cfg,
 		sampleIn:  elems(netw.InShape()),
 		sampleOut: elems(netw.OutShape()),
-		reqCh:     make(chan *pendingReq, cfg.MaxPending),
+		reqCh:     make(chan *request, cfg.MaxPending),
+		stages:    metrics.NewStageBreakdown(),
 	}
 	s.apps[name] = a
 	s.logf("service: registered %s (%d params, %.1f MB, batch %d instances, %d workers)",
 		name, netw.ParamCount(), float64(netw.WeightBytes())/(1<<20), cfg.BatchInstances, cfg.Workers)
-	batchCh := make(chan []*pendingReq, cfg.Workers)
+	batchCh := make(chan []*request, cfg.Workers)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		a.aggregate(batchCh, s.done)
+		a.aggregate(batchCh, s.closing)
 	}()
 	for w := 0; w < cfg.Workers; w++ {
 		var runner forwardRunner
@@ -190,11 +219,16 @@ func (s *Server) Apps() []string {
 	return names
 }
 
-// StatsFor returns the counters of one application.
-func (s *Server) StatsFor(name string) (Stats, bool) {
+func (s *Server) app(name string) (*app, bool) {
 	s.mu.Lock()
 	a, ok := s.apps[name]
 	s.mu.Unlock()
+	return a, ok
+}
+
+// StatsFor returns the counters of one application.
+func (s *Server) StatsFor(name string) (Stats, bool) {
+	a, ok := s.app(name)
 	if !ok {
 		return Stats{}, false
 	}
@@ -203,17 +237,32 @@ func (s *Server) StatsFor(name string) (Stats, bool) {
 		Instances: a.instances.Load(),
 		Batches:   a.batches.Load(),
 		Errors:    a.errors.Load(),
+		Shed:      a.shed.Load(),
+		Expired:   a.expired.Load(),
 	}, true
+}
+
+// LatencyFor returns the per-stage lifecycle breakdown of one
+// application: queue wait, batch assembly, forward pass, response
+// delivery.
+func (s *Server) LatencyFor(name string) (metrics.StageSummary, bool) {
+	a, ok := s.app(name)
+	if !ok {
+		return metrics.StageSummary{}, false
+	}
+	return a.stages.Summarize(), true
 }
 
 // aggregate collects requests into batches: it flushes when the pending
 // instance count reaches BatchInstances or when BatchWindow has elapsed
 // since the first pending request — the cross-request batching that
-// Section 5.1 shows is key to GPU throughput.
-func (a *app) aggregate(batchCh chan<- []*pendingReq, done <-chan struct{}) {
+// Section 5.1 shows is key to GPU throughput. Queries whose deadline
+// has already expired are failed here, at batch-assembly time, so a
+// dead query never occupies forward-pass capacity.
+func (a *app) aggregate(batchCh chan<- []*request, closing <-chan struct{}) {
 	defer close(batchCh)
 	var (
-		pending   []*pendingReq
+		pending   []*request
 		instances int
 		timer     *time.Timer
 		timeout   <-chan time.Time
@@ -222,6 +271,10 @@ func (a *app) aggregate(batchCh chan<- []*pendingReq, done <-chan struct{}) {
 		if len(pending) == 0 {
 			return
 		}
+		now := time.Now()
+		for _, req := range pending {
+			req.flushed = now
+		}
 		batchCh <- pending
 		pending, instances = nil, 0
 		if timer != nil {
@@ -229,21 +282,42 @@ func (a *app) aggregate(batchCh chan<- []*pendingReq, done <-chan struct{}) {
 			timer, timeout = nil, nil
 		}
 	}
+	admit := func(req *request) {
+		req.dequeued = time.Now()
+		if req.expired() {
+			if req.respond(result{err: fmt.Errorf("%w: expired after %v in queue", ErrDeadlineExceeded, req.dequeued.Sub(req.enqueued).Round(time.Microsecond))}) {
+				a.expired.Add(1)
+			}
+			return
+		}
+		if len(pending) == 0 {
+			timer = time.NewTimer(a.cfg.BatchWindow)
+			timeout = timer.C
+		}
+		pending = append(pending, req)
+		instances += req.instances
+		if instances >= a.cfg.BatchInstances {
+			flush()
+		}
+	}
 	for {
 		select {
-		case <-done:
+		case <-closing:
+			// Graceful drain: the batch under assembly still runs, but
+			// stragglers waiting in the queue fail immediately. The
+			// enqueue gate is already closed, so this drain sees every
+			// request that will ever be on reqCh.
 			flush()
-			return
+			for {
+				select {
+				case req := <-a.reqCh:
+					req.respond(result{err: fmt.Errorf("%w: %s drained before execution", ErrShuttingDown, a.name)})
+				default:
+					return
+				}
+			}
 		case req := <-a.reqCh:
-			if len(pending) == 0 {
-				timer = time.NewTimer(a.cfg.BatchWindow)
-				timeout = timer.C
-			}
-			pending = append(pending, req)
-			instances += req.instances
-			if instances >= a.cfg.BatchInstances {
-				flush()
-			}
+			admit(req)
 		case <-timeout:
 			flush()
 		}
@@ -253,42 +327,68 @@ func (a *app) aggregate(batchCh chan<- []*pendingReq, done <-chan struct{}) {
 // work executes batches on a private runner. A batch may exceed the
 // runner's capacity when a single query carries many instances (an ASR
 // query is 548 frames); the worker then chunks the forward passes.
-func (a *app) work(runner forwardRunner, batchCh <-chan []*pendingReq) {
+func (a *app) work(runner forwardRunner, batchCh <-chan []*request) {
 	maxB := runner.MaxBatch()
 	input := tensor.New(append([]int{maxB}, a.net.InShape()...)...)
 	for batch := range batchCh {
-		// Gather all instances across the batch's requests.
-		total := 0
-		for _, r := range batch {
-			total += r.instances
-		}
-		out := make([]float32, total*a.sampleOut)
-		flat := make([]float32, 0, total*a.sampleIn)
-		for _, r := range batch {
-			flat = append(flat, r.in...)
-		}
-		for off := 0; off < total; off += maxB {
-			n := total - off
-			if n > maxB {
-				n = maxB
+		a.runBatch(runner, input, maxB, batch)
+	}
+}
+
+// runBatch runs one aggregated batch, records per-stage timings, and
+// guarantees every request in the batch receives exactly one response:
+// a panic anywhere in the forward path fails the batch's requests with
+// an error instead of deadlocking their callers.
+func (a *app) runBatch(runner forwardRunner, input *tensor.Tensor, maxB int, batch []*request) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("service: %s worker panic: %v", a.name, r)
+			for _, req := range batch {
+				if req.respond(result{err: err}) {
+					a.errors.Add(1)
+				}
 			}
-			in := tensor.FromSlice(input.Data()[:n*a.sampleIn], append([]int{n}, a.net.InShape()...)...)
-			copy(in.Data(), flat[off*a.sampleIn:(off+n)*a.sampleIn])
-			res := runner.Forward(in)
-			copy(out[off*a.sampleOut:(off+n)*a.sampleOut], res.Data()[:n*a.sampleOut])
-			a.batches.Add(1)
 		}
-		a.instances.Add(int64(total))
-		// Scatter results back to requests.
-		off := 0
-		for _, r := range batch {
-			n := r.instances * a.sampleOut
-			resp := make([]float32, n)
-			copy(resp, out[off:off+n])
-			off += n
+	}()
+	forwardStart := time.Now()
+	// Gather all instances across the batch's requests.
+	total := 0
+	for _, r := range batch {
+		total += r.instances
+	}
+	out := make([]float32, total*a.sampleOut)
+	flat := make([]float32, 0, total*a.sampleIn)
+	for _, r := range batch {
+		flat = append(flat, r.in...)
+	}
+	for off := 0; off < total; off += maxB {
+		n := total - off
+		if n > maxB {
+			n = maxB
+		}
+		in := tensor.FromSlice(input.Data()[:n*a.sampleIn], append([]int{n}, a.net.InShape()...)...)
+		copy(in.Data(), flat[off*a.sampleIn:(off+n)*a.sampleIn])
+		res := runner.Forward(in)
+		copy(out[off*a.sampleOut:(off+n)*a.sampleOut], res.Data()[:n*a.sampleOut])
+		a.batches.Add(1)
+	}
+	a.instances.Add(int64(total))
+	forwardDone := time.Now()
+	forward := forwardDone.Sub(forwardStart)
+	// Scatter results back to requests.
+	off := 0
+	for _, r := range batch {
+		n := r.instances * a.sampleOut
+		resp := make([]float32, n)
+		copy(resp, out[off:off+n])
+		off += n
+		if r.respond(result{out: resp}) {
 			a.queries.Add(1)
-			r.resp <- result{out: resp}
 		}
+		a.stages.Record(metrics.StageQueueWait, r.dequeued.Sub(r.enqueued))
+		a.stages.Record(metrics.StageBatchAssembly, r.flushed.Sub(r.dequeued))
+		a.stages.Record(metrics.StageForward, forward)
+		a.stages.Record(metrics.StageRespond, time.Since(forwardDone))
 	}
 }
 
@@ -301,7 +401,11 @@ func (s *Server) Serve(l net.Listener) error {
 		conn, err := l.Accept()
 		if err != nil {
 			select {
-			case <-s.done:
+			case <-s.closing:
+				// Graceful shutdown: don't return until the drain has
+				// finished, so callers of ListenAndServe can exit as
+				// soon as it does.
+				<-s.done
 				return nil
 			default:
 				return err
@@ -339,8 +443,8 @@ func (s *Server) Addr() net.Addr {
 
 // handle runs one connection: a loop of request → batched inference →
 // response. Multiple requests from one connection are processed in
-// order. Control frames (apps/stats introspection) interleave freely
-// with inference requests.
+// order. Control frames (apps/stats/latency introspection) interleave
+// freely with inference requests.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -355,13 +459,21 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		switch magic {
 		case reqMagic:
-			appName, in, err := readRequestBody(conn)
+			appName, budget, in, err := readRequestBody(conn)
 			if err != nil {
 				return
 			}
-			out, err := s.dispatch(appName, in)
+			ctx := context.Background()
+			var cancel context.CancelFunc
+			if budget > 0 {
+				ctx, cancel = context.WithTimeout(ctx, budget)
+			}
+			out, err := s.dispatch(ctx, appName, in)
+			if cancel != nil {
+				cancel()
+			}
 			if err != nil {
-				if werr := writeResponse(conn, StatusError, err.Error(), nil); werr != nil {
+				if werr := writeResponse(conn, statusFor(err), err.Error(), nil); werr != nil {
 					return
 				}
 				continue
@@ -389,7 +501,8 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // control answers a control command: "apps" lists registered
-// applications; "stats <app>" reports an application's counters.
+// applications; "stats <app>" reports an application's counters;
+// "latency <app>" reports its per-stage lifecycle breakdown.
 func (s *Server) control(cmd string) (string, error) {
 	fields := strings.Fields(cmd)
 	if len(fields) == 0 {
@@ -408,8 +521,17 @@ func (s *Server) control(cmd string) (string, error) {
 		if !ok {
 			return "", fmt.Errorf("service: unknown application %q", fields[1])
 		}
-		return fmt.Sprintf("queries=%d instances=%d batches=%d errors=%d avg_batch=%.2f",
-			st.Queries, st.Instances, st.Batches, st.Errors, st.AvgBatch()), nil
+		return fmt.Sprintf("queries=%d instances=%d batches=%d errors=%d shed=%d expired=%d avg_batch=%.2f",
+			st.Queries, st.Instances, st.Batches, st.Errors, st.Shed, st.Expired, st.AvgBatch()), nil
+	case "latency":
+		if len(fields) != 2 {
+			return "", errors.New("service: usage: latency <app>")
+		}
+		sum, ok := s.LatencyFor(fields[1])
+		if !ok {
+			return "", fmt.Errorf("service: unknown application %q", fields[1])
+		}
+		return sum.String(), nil
 	default:
 		return "", fmt.Errorf("service: unknown control command %q", fields[0])
 	}
@@ -417,11 +539,12 @@ func (s *Server) control(cmd string) (string, error) {
 
 // dispatch routes one query payload to its application and waits for
 // the batched result. It is also the in-process entry point used by
-// tests and by Tonic running in embedded mode.
-func (s *Server) dispatch(appName string, in []float32) ([]float32, error) {
-	s.mu.Lock()
-	a, ok := s.apps[appName]
-	s.mu.Unlock()
+// tests and by Tonic running in embedded mode. The context bounds the
+// whole lifecycle: an already-expired context is rejected before the
+// query ever occupies a batch slot, and a deadline that fires while the
+// query is queued abandons the wait instead of blocking forever.
+func (s *Server) dispatch(ctx context.Context, appName string, in []float32) ([]float32, error) {
+	a, ok := s.app(appName)
 	if !ok {
 		return nil, fmt.Errorf("service: unknown application %q", appName)
 	}
@@ -429,42 +552,76 @@ func (s *Server) dispatch(appName string, in []float32) ([]float32, error) {
 		a.errors.Add(1)
 		return nil, fmt.Errorf("service: %s payload of %d floats is not a multiple of the %d-float input", appName, len(in), a.sampleIn)
 	}
-	req := &pendingReq{in: in, instances: len(in) / a.sampleIn, resp: make(chan result, 1)}
-	select {
-	case a.reqCh <- req:
-	case <-s.done:
-		return nil, errors.New("service: server closed")
-	default:
-		// Aggregation queue full: shed load rather than queue unboundedly.
-		a.errors.Add(1)
-		return nil, fmt.Errorf("service: %s overloaded (%d queries pending)", appName, cap(a.reqCh))
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	if err := ctx.Err(); err != nil {
+		a.expired.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrDeadlineExceeded, err)
+	}
+	req := &request{
+		ctx:       ctx,
+		in:        in,
+		instances: len(in) / a.sampleIn,
+		enqueued:  time.Now(),
+		resp:      make(chan result, 1),
+	}
+	if err := a.enqueue(req); err != nil {
+		return nil, err
+	}
+	// Every enqueued request is guaranteed exactly one response (worker
+	// result, worker-panic error, expiry at batch assembly, or drain
+	// error), so waiting on resp alone cannot hang; ctx lets the caller
+	// abandon the wait early.
 	select {
 	case res := <-req.resp:
 		return res.out, res.err
-	case <-s.done:
-		return nil, errors.New("service: server closed")
+	case <-ctx.Done():
+		// Claim the response slot so the late worker result (if any) is
+		// discarded and counted as expired exactly once.
+		if req.respond(result{}) {
+			a.expired.Add(1)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrDeadlineExceeded, ctx.Err())
 	}
 }
 
-// Infer runs one query in-process, bypassing TCP but using the same
-// batching and worker machinery. Useful for embedded deployments and
-// tests.
-func (s *Server) Infer(appName string, in []float32) ([]float32, error) {
-	return s.dispatch(appName, in)
+// InferCtx runs one query in-process under a context, bypassing TCP but
+// using the same batching and worker machinery.
+func (s *Server) InferCtx(ctx context.Context, appName string, in []float32) ([]float32, error) {
+	return s.dispatch(ctx, appName, in)
 }
 
-// Close stops the server: the listener, all connections, and the
-// worker pools.
+// Infer runs one query in-process without a deadline. Useful for
+// embedded deployments and tests.
+func (s *Server) Infer(appName string, in []float32) ([]float32, error) {
+	return s.dispatch(context.Background(), appName, in)
+}
+
+// Close stops the server gracefully: it stops accepting new queries and
+// connections, lets batches already under assembly run to completion,
+// fails queued stragglers with ErrShuttingDown, and waits for every
+// worker to exit. Outstanding Infer calls are always unblocked — with a
+// result if their batch was in flight, with an error otherwise.
 func (s *Server) Close() {
 	s.mu.Lock()
 	select {
-	case <-s.done:
+	case <-s.closing:
 		s.mu.Unlock()
+		<-s.done
 		return
 	default:
 	}
-	close(s.done)
+	// Close the admission gates first: once every in-flight enqueue has
+	// drained past its RLock, no new request can appear on any reqCh.
+	// Holding s.mu keeps this atomic with respect to Register, so no
+	// app can slip in between the gate sweep and the closing signal.
+	for _, a := range s.apps {
+		a.gateMu.Lock()
+		a.closed = true
+		a.gateMu.Unlock()
+	}
+	close(s.closing)
 	if s.listener != nil {
 		s.listener.Close()
 	}
@@ -473,4 +630,5 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	close(s.done)
 }

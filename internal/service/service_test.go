@@ -53,15 +53,18 @@ func refOutput(t *testing.T, in []float32) []float32 {
 func TestProtocolRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	in := []float32{1, 2, 3, -4.5}
-	if err := writeRequest(&buf, "asr", in); err != nil {
+	if err := writeRequest(&buf, "asr", 250*time.Millisecond, in); err != nil {
 		t.Fatal(err)
 	}
-	app, got, err := readRequest(&buf)
+	app, deadline, got, err := readRequest(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if app != "asr" || len(got) != 4 || got[3] != -4.5 {
 		t.Fatalf("round trip wrong: %q %v", app, got)
+	}
+	if deadline != 250*time.Millisecond {
+		t.Fatalf("deadline budget %v did not survive the wire", deadline)
 	}
 	buf.Reset()
 	if err := writeResponse(&buf, StatusError, "boom", []float32{7}); err != nil {
@@ -79,11 +82,11 @@ func TestProtocolRoundTripProperty(t *testing.T) {
 			return true
 		}
 		var buf bytes.Buffer
-		if err := writeRequest(&buf, name, vals); err != nil {
+		if err := writeRequest(&buf, name, 0, vals); err != nil {
 			return false
 		}
-		app, got, err := readRequest(&buf)
-		if err != nil || app != name || len(got) != len(vals) {
+		app, deadline, got, err := readRequest(&buf)
+		if err != nil || app != name || deadline != 0 || len(got) != len(vals) {
 			return false
 		}
 		for i := range vals {
@@ -100,13 +103,13 @@ func TestProtocolRoundTripProperty(t *testing.T) {
 }
 
 func TestProtocolRejectsGarbage(t *testing.T) {
-	if _, _, err := readRequest(bytes.NewReader([]byte{9, 9, 9, 9, 0, 0})); err == nil {
+	if _, _, _, err := readRequest(bytes.NewReader([]byte{9, 9, 9, 9, 0, 0})); err == nil {
 		t.Fatal("expected bad-magic error")
 	}
 	var buf bytes.Buffer
-	writeRequest(&buf, "x", []float32{1, 2})
+	writeRequest(&buf, "x", 0, []float32{1, 2})
 	trunc := buf.Bytes()[:buf.Len()-2]
-	if _, _, err := readRequest(bytes.NewReader(trunc)); err == nil {
+	if _, _, _, err := readRequest(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("expected truncation error")
 	}
 }
@@ -412,8 +415,13 @@ func TestBackpressureShedsLoad(t *testing.T) {
 	if rejected == 0 {
 		t.Log("no rejections observed (drain kept up); acceptable but unusual")
 	}
-	if st.Errors != rejected {
-		t.Fatalf("error counter %d != rejections %d", st.Errors, rejected)
+	// Shed load is accounted separately from malformed payloads and
+	// worker failures.
+	if st.Shed != rejected {
+		t.Fatalf("shed counter %d != rejections %d", st.Shed, rejected)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("shed queries leaked into the error counter (%d)", st.Errors)
 	}
 }
 

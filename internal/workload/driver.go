@@ -1,7 +1,10 @@
 package workload
 
 import (
+	"context"
+	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"djinn/internal/metrics"
@@ -27,20 +30,90 @@ func QueryPayload(app models.App, rng *tensor.RNG) []float32 {
 
 // DriveResult summarises a load-driver run against a live service.
 type DriveResult struct {
-	Queries int64
+	Queries int64 // completed successfully
 	QPS     float64
 	Latency metrics.Summary
-	Errors  int64
+	Errors  int64 // genuine failures (malformed payloads, worker faults)
+	Shed    int64 // rejected by backpressure (ErrOverloaded)
+	Expired int64 // missed their per-query deadline (ErrDeadlineExceeded)
+}
+
+// driveCounters classifies per-query outcomes during a run.
+type driveCounters struct {
+	errs    atomic.Int64
+	shed    atomic.Int64
+	expired atomic.Int64
+}
+
+// outcome classifies one issued query.
+type outcome int
+
+const (
+	outcomeOK      outcome = iota
+	outcomeExpired         // missed its deadline — expected under load
+	outcomeShed            // backpressure rejection — expected under load
+	outcomeError           // genuine failure (fault, dead backend, ...)
+)
+
+// issue sends one query, using the context-aware API when a per-query
+// deadline is set, and classifies the outcome.
+func (c *driveCounters) issue(b service.Backend, name string, payload []float32, deadline time.Duration, lat *metrics.LatencyRecorder) outcome {
+	t0 := time.Now()
+	var err error
+	if deadline > 0 {
+		if cb, ok := b.(service.ContextBackend); ok {
+			ctx, cancel := context.WithTimeout(context.Background(), deadline)
+			_, err = cb.InferCtx(ctx, name, payload)
+			cancel()
+		} else {
+			_, err = b.Infer(name, payload)
+		}
+	} else {
+		_, err = b.Infer(name, payload)
+	}
+	switch {
+	case err == nil:
+		lat.Record(time.Since(t0))
+		return outcomeOK
+	case errors.Is(err, service.ErrDeadlineExceeded):
+		c.expired.Add(1)
+		return outcomeExpired
+	case errors.Is(err, service.ErrOverloaded):
+		c.shed.Add(1)
+		return outcomeShed
+	default:
+		c.errs.Add(1)
+		return outcomeError
+	}
+}
+
+func (c *driveCounters) result(lat *metrics.LatencyRecorder, duration time.Duration) DriveResult {
+	sum := lat.Summarize()
+	return DriveResult{
+		Queries: int64(sum.Count),
+		QPS:     float64(sum.Count) / duration.Seconds(),
+		Latency: sum,
+		Errors:  c.errs.Load(),
+		Shed:    c.shed.Load(),
+		Expired: c.expired.Load(),
+	}
 }
 
 // DriveClosedLoop saturates the backend with the given number of
 // concurrent workers, each issuing queries back-to-back for the
 // duration — the paper's stress-test methodology, on the real service.
 func DriveClosedLoop(b service.Backend, app models.App, name string, workers int, duration time.Duration) DriveResult {
+	return DriveClosedLoopDeadline(b, app, name, workers, duration, 0)
+}
+
+// DriveClosedLoopDeadline is DriveClosedLoop with a per-query deadline
+// (0 = none): each query carries a context that expires after deadline,
+// and misses are counted in DriveResult.Expired rather than aborting
+// the worker.
+func DriveClosedLoopDeadline(b service.Backend, app models.App, name string, workers int, duration, deadline time.Duration) DriveResult {
 	lat := metrics.NewLatencyRecorder()
+	var counters driveCounters
 	var wg sync.WaitGroup
-	var errs int64
-	var errMu sync.Mutex
 	stop := time.Now().Add(duration)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -48,47 +121,52 @@ func DriveClosedLoop(b service.Backend, app models.App, name string, workers int
 			defer wg.Done()
 			rng := tensor.NewRNG(seed)
 			payload := QueryPayload(app, rng)
+			// Back off exponentially on consecutive hard errors so a
+			// dead backend (connection refused fails in microseconds)
+			// doesn't turn the closed loop into a busy spin.
+			backoff := time.Duration(0)
 			for time.Now().Before(stop) {
-				t0 := time.Now()
-				if _, err := b.Infer(name, payload); err != nil {
-					errMu.Lock()
-					errs++
-					errMu.Unlock()
-					return
+				if counters.issue(b, name, payload, deadline, lat) == outcomeError {
+					if backoff == 0 {
+						backoff = time.Millisecond
+					} else if backoff < 100*time.Millisecond {
+						backoff *= 2
+					}
+					time.Sleep(backoff)
+				} else {
+					backoff = 0
 				}
-				lat.Record(time.Since(t0))
 			}
 		}(uint64(w) + 1)
 	}
 	wg.Wait()
-	sum := lat.Summarize()
-	return DriveResult{
-		Queries: int64(sum.Count),
-		QPS:     float64(sum.Count) / duration.Seconds(),
-		Latency: sum,
-		Errors:  errs,
-	}
+	return counters.result(lat, duration)
 }
 
 // DrivePoisson issues queries with exponentially distributed
 // inter-arrival times at the given rate (open-loop), bounding the
 // number of outstanding requests by maxInflight connections.
 func DrivePoisson(b service.Backend, app models.App, name string, rate float64, maxInflight int, duration time.Duration) DriveResult {
+	return DrivePoissonDeadline(b, app, name, rate, maxInflight, duration, 0)
+}
+
+// DrivePoissonDeadline is DrivePoisson with a per-query deadline
+// (0 = none).
+func DrivePoissonDeadline(b service.Backend, app models.App, name string, rate float64, maxInflight int, duration, deadline time.Duration) DriveResult {
 	if rate <= 0 || maxInflight <= 0 {
 		panic("workload: DrivePoisson needs positive rate and inflight bound")
 	}
 	lat := metrics.NewLatencyRecorder()
+	var counters driveCounters
 	rng := tensor.NewRNG(99)
 	payload := QueryPayload(app, rng)
 	sem := make(chan struct{}, maxInflight)
 	var wg sync.WaitGroup
-	var errs int64
-	var errMu sync.Mutex
-	deadline := time.Now().Add(duration)
+	stop := time.Now().Add(duration)
 	arrival := time.Now()
 	for {
 		arrival = arrival.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
-		if arrival.After(deadline) {
+		if arrival.After(stop) {
 			break
 		}
 		if d := time.Until(arrival); d > 0 {
@@ -99,22 +177,9 @@ func DrivePoisson(b service.Backend, app models.App, name string, rate float64, 
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			t0 := time.Now()
-			if _, err := b.Infer(name, payload); err != nil {
-				errMu.Lock()
-				errs++
-				errMu.Unlock()
-				return
-			}
-			lat.Record(time.Since(t0))
+			counters.issue(b, name, payload, deadline, lat)
 		}()
 	}
 	wg.Wait()
-	sum := lat.Summarize()
-	return DriveResult{
-		Queries: int64(sum.Count),
-		QPS:     float64(sum.Count) / duration.Seconds(),
-		Latency: sum,
-		Errors:  errs,
-	}
+	return counters.result(lat, duration)
 }

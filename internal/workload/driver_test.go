@@ -53,6 +53,28 @@ func TestDriveClosedLoop(t *testing.T) {
 	}
 }
 
+func TestDriveClosedLoopDeadline(t *testing.T) {
+	s := digServer(t)
+	// A nanosecond budget expires before dispatch: every query is
+	// rejected pre-forward and lands in Expired, not Errors.
+	res := DriveClosedLoopDeadline(s, models.DIG, "dig", 2, 50*time.Millisecond, time.Nanosecond)
+	if res.Expired == 0 {
+		t.Fatal("no deadline misses recorded")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("deadline misses misclassified as %d errors", res.Errors)
+	}
+	if res.Queries != 0 {
+		t.Fatalf("%d queries completed under an impossible deadline", res.Queries)
+	}
+	// A generous budget completes normally. The budget must absorb a
+	// full DIG batch forward under the race detector's ~20× slowdown.
+	res = DriveClosedLoopDeadline(s, models.DIG, "dig", 2, 50*time.Millisecond, 2*time.Minute)
+	if res.Queries == 0 || res.Errors != 0 {
+		t.Fatalf("generous deadline run failed: %+v", res)
+	}
+}
+
 func TestDrivePoisson(t *testing.T) {
 	s := digServer(t)
 	res := DrivePoisson(s, models.DIG, "dig", 50, 8, 300*time.Millisecond)
