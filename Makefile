@@ -4,7 +4,8 @@ GO ?= go
 
 # check runs everything CI should gate on: vet, a full build, the full
 # test suite (tier-1), and race-detector runs for the concurrency-heavy
-# packages (the serving path and its metrics).
+# packages (the serving path, the multi-backend router, the load
+# drivers, and their metrics).
 check: vet build test race
 
 vet:
@@ -17,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/service/... ./internal/metrics/...
+	$(GO) test -race ./internal/service/... ./internal/metrics/... ./internal/router/... ./internal/workload/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	djinn-service [-addr :7420] [-apps DIG,POS,NER | -apps all] [-stats 10s]
+//	djinn-service [-addr :7420] [-apps DIG,POS,NER | -apps all] [-replicas 1] [-stats 10s]
+//
+// With -replicas N > 1 it runs N independent replica servers in one
+// process on consecutive ports (addr's port, port+1, ...), sharing one
+// read-only copy of each model's weights — the cheap way to stand up a
+// local fleet for router experiments (point a router at every port).
 //
 // Loading all seven models allocates ~850 MB of weights (Table 1);
 // start with the smaller models when experimenting.
@@ -15,9 +20,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -25,18 +33,23 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":7420", "listen address")
+	addr := flag.String("addr", ":7420", "listen address (first replica; replica i adds i to the port)")
 	apps := flag.String("apps", "DIG,POS,CHK,NER", `comma-separated apps (IMC,DIG,FACE,ASR,POS,CHK,NER) or "all"`)
 	custom := flag.String("custom", "", "custom model: name=def.netdef[:weights.djnm]")
+	replicas := flag.Int("replicas", 1, "number of replica servers to run in this process")
 	stats := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 disables)")
 	flag.Parse()
 
-	srv := djinn.NewServer()
-	if *custom != "" {
-		if err := registerCustom(srv, *custom); err != nil {
-			log.Fatal(err)
-		}
+	if *replicas < 1 {
+		fmt.Fprintln(os.Stderr, "-replicas must be >= 1")
+		os.Exit(2)
 	}
+	addrs, err := replicaAddrs(*addr, *replicas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	var selected []djinn.App
 	if strings.EqualFold(*apps, "all") {
 		selected = djinn.Apps
@@ -50,47 +63,112 @@ func main() {
 			selected = append(selected, app)
 		}
 	}
-	for _, app := range selected {
-		log.Printf("loading %s model...", app)
-		if err := djinn.RegisterApp(srv, app); err != nil {
-			log.Fatal(err)
+
+	// Build every replica before serving: model weights are cached, so
+	// N replicas share one read-only copy per app (the paper's
+	// weight-sharing, across replica boundaries too).
+	servers := make([]*djinn.Server, *replicas)
+	for i := range servers {
+		srv := djinn.NewServer()
+		if *custom != "" {
+			if err := registerCustom(srv, *custom); err != nil {
+				log.Fatal(err)
+			}
 		}
+		for _, app := range selected {
+			if i == 0 {
+				log.Printf("loading %s model...", app)
+			}
+			if err := djinn.RegisterApp(srv, app); err != nil {
+				log.Fatal(err)
+			}
+		}
+		servers[i] = srv
 	}
+
 	if *stats > 0 {
 		go func() {
 			for range time.Tick(*stats) {
-				for _, app := range selected {
-					name := djinn.ServiceName(app)
-					s, ok := srv.StatsFor(name)
-					if !ok || s.Queries+s.Shed+s.Expired == 0 {
-						continue
-					}
-					log.Printf("%s: %d queries, %d batches, avg batch %.1f instances, shed %d, expired %d",
-						app, s.Queries, s.Batches, s.AvgBatch(), s.Shed, s.Expired)
-					if lat, ok := srv.LatencyFor(name); ok && lat.Forward.Count > 0 {
-						log.Printf("%s: queue p50=%v p99=%v | assembly p50=%v | forward p50=%v p99=%v | respond p50=%v",
-							app, lat.QueueWait.P50, lat.QueueWait.P99, lat.BatchAssembly.P50,
-							lat.Forward.P50, lat.Forward.P99, lat.Respond.P50)
-					}
+				for i, srv := range servers {
+					reportStats(srv, i, selected)
 				}
 			}
 		}()
 	}
-	// SIGINT/SIGTERM drain the server gracefully: in-flight batches run
-	// to completion, queued stragglers fail with the shutdown error, and
-	// ListenAndServe returns nil once the drain finishes.
+
+	// SIGINT/SIGTERM drain every replica gracefully: in-flight batches
+	// run to completion, queued stragglers fail with the shutdown
+	// error, and each ListenAndServe returns nil once its drain ends.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Printf("draining: rejecting new queries, flushing in-flight batches...")
+		log.Printf("draining %d replica(s): rejecting new queries, flushing in-flight batches...", len(servers))
 		start := time.Now()
-		srv.Close()
+		var wg sync.WaitGroup
+		for _, srv := range servers {
+			wg.Add(1)
+			go func(s *djinn.Server) { defer wg.Done(); s.Close() }(srv)
+		}
+		wg.Wait()
 		log.Printf("drained in %v", time.Since(start).Round(time.Millisecond))
 	}()
-	log.Printf("DjiNN serving %v on %s", srv.Apps(), *addr)
-	if err := srv.ListenAndServe(*addr); err != nil {
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(servers))
+	for i, srv := range servers {
+		wg.Add(1)
+		go func(i int, srv *djinn.Server) {
+			defer wg.Done()
+			log.Printf("DjiNN replica %d serving %v on %s", i, srv.Apps(), addrs[i])
+			if err := srv.ListenAndServe(addrs[i]); err != nil {
+				errs <- fmt.Errorf("replica %d: %w", i, err)
+			}
+		}(i, srv)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
 		log.Fatal(err)
+	}
+}
+
+// replicaAddrs expands a base listen address into n consecutive-port
+// addresses.
+func replicaAddrs(addr string, n int) ([]string, error) {
+	if n == 1 {
+		return []string{addr}, nil
+	}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("-replicas needs host:port in -addr: %w", err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("-replicas needs a numeric port in -addr (got %q): replica i listens on port+i", portStr)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = net.JoinHostPort(host, strconv.Itoa(port+i))
+	}
+	return addrs, nil
+}
+
+// reportStats logs one replica's per-app counters and latency stages.
+func reportStats(srv *djinn.Server, replica int, selected []djinn.App) {
+	for _, app := range selected {
+		name := djinn.ServiceName(app)
+		s, ok := srv.StatsFor(name)
+		if !ok || s.Queries+s.Shed+s.Expired == 0 {
+			continue
+		}
+		log.Printf("replica %d %s: %d queries, %d batches, avg batch %.1f instances, shed %d, expired %d",
+			replica, app, s.Queries, s.Batches, s.AvgBatch(), s.Shed, s.Expired)
+		if lat, ok := srv.LatencyFor(name); ok && lat.Forward.Count > 0 {
+			log.Printf("replica %d %s: queue p50=%v p99=%v | assembly p50=%v | forward p50=%v p99=%v | respond p50=%v",
+				replica, app, lat.QueueWait.P50, lat.QueueWait.P99, lat.BatchAssembly.P50,
+				lat.Forward.P50, lat.Forward.P99, lat.Respond.P50)
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"djinn/internal/metrics"
 	"djinn/internal/models"
 	"djinn/internal/nn"
+	"djinn/internal/router"
 	"djinn/internal/service"
 	"djinn/internal/tonic"
 )
@@ -88,6 +89,9 @@ var (
 	ErrShuttingDown = service.ErrShuttingDown
 	// ErrOverloaded: the application's queue was full (load shedding).
 	ErrOverloaded = service.ErrOverloaded
+	// ErrTransport: the connection to a server failed mid-exchange (or
+	// could not be established). Retryable on another replica.
+	ErrTransport = service.ErrTransport
 )
 
 // NewServer creates an empty DjiNN server; register applications with
@@ -96,6 +100,36 @@ func NewServer() *Server { return service.NewServer() }
 
 // Dial connects to a DjiNN server.
 func Dial(addr string) (*Client, error) { return service.Dial(addr) }
+
+// DefaultDial is the TCP dialer Dial uses; pass it (or a custom
+// DialFunc) to a Router's AddAddr.
+var DefaultDial = service.DefaultDial
+
+// Router is the client-side multi-backend dispatch tier: it fans
+// queries across replica backends with per-replica health tracking,
+// probe-based recovery, and deadline-aware retry. It implements
+// ContextBackend, so every Tonic application runs over a fleet
+// unchanged.
+type Router = router.Router
+
+// RouterConfig tunes a Router's dispatch policy, retry budget, and
+// health thresholds.
+type RouterConfig = router.Config
+
+// BackendSnapshot is one replica's health and counters in
+// Router.Stats().
+type BackendSnapshot = router.BackendSnapshot
+
+// The Router's dispatch policies.
+const (
+	RoundRobin       = router.RoundRobin
+	LeastOutstanding = router.LeastOutstanding
+	PowerOfTwo       = router.PowerOfTwo
+)
+
+// NewRouter creates a Router; add replicas with AddBackend (in-process
+// or pre-dialed backends) or AddAddr (TCP, with pooled connections).
+func NewRouter(cfg RouterConfig) *Router { return router.New(cfg) }
 
 // RegisterApp loads one application's model into a server with the
 // paper's Table 3 batching configuration.

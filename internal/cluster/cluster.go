@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"djinn/internal/gpusim"
+	"djinn/internal/router"
 	"djinn/internal/sim"
 	"djinn/internal/tensor"
 )
@@ -65,6 +66,10 @@ type Config struct {
 	// ArrivalRate is the Poisson query arrival rate at the front end.
 	ArrivalRate float64
 	Seed        uint64
+	// Policy selects the GPU server for each query, mirroring the live
+	// router's dispatch policies (router.RoundRobin is the zero value)
+	// so measured and simulated routing can be compared directly.
+	Policy router.Policy
 	// Deadline is the per-query latency budget in seconds (0 = none).
 	// Mirroring the DjiNN service's request lifecycle, a query whose
 	// age exceeds the deadline when its batch is assembled is dropped
@@ -138,6 +143,10 @@ func Simulate(cfg Config, duration float64) Result {
 		pending []*queryState
 		window  *sim.Event
 		next    int // round-robin GPU within the server
+		// outstanding counts queries routed here that have not left the
+		// DNN stage — the signal the load-aware dispatch policies read,
+		// mirroring the live router's per-replica outstanding counter.
+		outstanding int
 	}
 	gpuTier := make([]*gpuServer, cfg.GPUServers)
 	for i := range gpuTier {
@@ -183,6 +192,7 @@ func Simulate(cfg Config, duration float64) Result {
 					if q.arrive >= warmup {
 						expired++
 					}
+					g.outstanding--
 					continue
 				}
 				live = append(live, q)
@@ -205,6 +215,7 @@ func Simulate(cfg Config, duration float64) Result {
 				if i >= len(ks) {
 					for _, q := range batch {
 						q.dnnDone = eng.Now()
+						g.outstanding--
 						finishQuery(q)
 					}
 					return
@@ -243,10 +254,35 @@ func Simulate(cfg Config, duration float64) Result {
 		}
 	}
 
+	// The front-end dispatch tier: the same three policies the live
+	// router implements, applied to GPU servers.
 	gpuRR := 0
+	pickGPU := func() *gpuServer {
+		switch cfg.Policy {
+		case router.LeastOutstanding:
+			best := gpuTier[0]
+			for _, g := range gpuTier[1:] {
+				if g.outstanding < best.outstanding {
+					best = g
+				}
+			}
+			return best
+		case router.PowerOfTwo:
+			a := gpuTier[rng.Intn(len(gpuTier))]
+			b := gpuTier[rng.Intn(len(gpuTier))]
+			if b.outstanding < a.outstanding {
+				return b
+			}
+			return a
+		default: // router.RoundRobin
+			g := gpuTier[gpuRR%len(gpuTier)]
+			gpuRR++
+			return g
+		}
+	}
 	routeToGPU := func(q *queryState) {
-		g := gpuTier[gpuRR%len(gpuTier)]
-		gpuRR++
+		g := pickGPU()
+		g.outstanding++
 		if cfg.Design == Disaggregated {
 			g.nic.Acquire(cfg.WireBytes/cfg.NetBW, func() { enqueueAtGPU(g, q) })
 		} else {

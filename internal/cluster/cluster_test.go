@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"djinn/internal/gpusim"
+	"djinn/internal/router"
 )
 
 func testConfig(d Design, rate float64) Config {
@@ -139,5 +140,31 @@ func TestResultString(t *testing.T) {
 	res := Simulate(testConfig(Integrated, 5000), 0.5)
 	if s := res.String(); len(s) < 20 {
 		t.Fatalf("short render %q", s)
+	}
+}
+
+func TestClusterRoutingPoliciesMirrorTheRouter(t *testing.T) {
+	// The sim accepts the live router's three dispatch policies. Each
+	// must serve the full arrival stream (no policy loses queries), stay
+	// deterministic, and the load-aware policies must not do worse than
+	// round-robin on batch-assembly wait across a homogeneous tier.
+	rr := Simulate(testConfig(Disaggregated, 20000), 2.0)
+	for _, pol := range []router.Policy{router.LeastOutstanding, router.PowerOfTwo} {
+		cfg := testConfig(Disaggregated, 20000)
+		cfg.Policy = pol
+		res := Simulate(cfg, 2.0)
+		if res.Completed == 0 {
+			t.Fatalf("%v: nothing completed", pol)
+		}
+		if res.QPS < rr.QPS*0.9 || res.QPS > rr.QPS*1.1 {
+			t.Fatalf("%v: QPS %.0f diverges from round-robin's %.0f", pol, res.QPS, rr.QPS)
+		}
+		if res.MeanWait > rr.MeanWait*2 {
+			t.Fatalf("%v: assembly wait %.6f far exceeds round-robin's %.6f", pol, res.MeanWait, rr.MeanWait)
+		}
+		again := Simulate(cfg, 2.0)
+		if again.Completed != res.Completed || again.MeanLat != res.MeanLat {
+			t.Fatalf("%v: simulation not deterministic", pol)
+		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -157,12 +158,16 @@ func (s Summary) String() string {
 // overheads that dominate end-to-end latency in shared DNN services.
 type Stage int
 
-// The lifecycle stages, in request order.
+// The lifecycle stages, in request order. StageRoute is recorded by
+// the multi-backend router (replica selection + retries around the
+// whole exchange) rather than by the server, so a single server's
+// breakdown reports it empty.
 const (
 	StageQueueWait Stage = iota
 	StageBatchAssembly
 	StageForward
 	StageRespond
+	StageRoute
 	numStages
 )
 
@@ -177,6 +182,8 @@ func (s Stage) String() string {
 		return "forward"
 	case StageRespond:
 		return "respond"
+	case StageRoute:
+		return "route"
 	}
 	return fmt.Sprintf("stage(%d)", int(s))
 }
@@ -204,12 +211,13 @@ func (b *StageBreakdown) Record(s Stage, d time.Duration) {
 	b.recs[s].Record(d)
 }
 
-// StageSummary is a snapshot of all four stages.
+// StageSummary is a snapshot of every lifecycle stage.
 type StageSummary struct {
 	QueueWait     Summary
 	BatchAssembly Summary
 	Forward       Summary
 	Respond       Summary
+	Route         Summary
 }
 
 // Summarize snapshots every stage.
@@ -219,17 +227,82 @@ func (b *StageBreakdown) Summarize() StageSummary {
 		BatchAssembly: b.recs[StageBatchAssembly].Summarize(),
 		Forward:       b.recs[StageForward].Summarize(),
 		Respond:       b.recs[StageRespond].Summarize(),
+		Route:         b.recs[StageRoute].Summarize(),
 	}
 }
 
-// String renders one line per stage.
+// String renders one line per stage, omitting the router-side route
+// stage when nothing recorded it (the single-server case).
 func (s StageSummary) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-14s %s\n", StageQueueWait, s.QueueWait)
 	fmt.Fprintf(&sb, "%-14s %s\n", StageBatchAssembly, s.BatchAssembly)
 	fmt.Fprintf(&sb, "%-14s %s\n", StageForward, s.Forward)
 	fmt.Fprintf(&sb, "%-14s %s", StageRespond, s.Respond)
+	if s.Route.Count > 0 {
+		fmt.Fprintf(&sb, "\n%-14s %s", StageRoute, s.Route)
+	}
 	return sb.String()
+}
+
+// BackendCounters accumulates one backend replica's routing outcomes.
+// All fields are atomic; the router increments them on its hot path
+// without locks.
+type BackendCounters struct {
+	sent      atomic.Int64 // attempts routed to this backend
+	ok        atomic.Int64 // successful answers
+	failures  atomic.Int64 // retryable failures (shed, draining, transport)
+	slow      atomic.Int64 // answers past the slow-response threshold
+	markDowns atomic.Int64 // healthy → down transitions
+	probes    atomic.Int64 // recovery probes sent while down
+}
+
+// Sent records one attempt routed to the backend.
+func (c *BackendCounters) Sent() { c.sent.Add(1) }
+
+// OK records one successful answer.
+func (c *BackendCounters) OK() { c.ok.Add(1) }
+
+// Failure records one retryable failure.
+func (c *BackendCounters) Failure() { c.failures.Add(1) }
+
+// Slow records one answer past the slow-response threshold.
+func (c *BackendCounters) Slow() { c.slow.Add(1) }
+
+// MarkDown records one healthy → down transition.
+func (c *BackendCounters) MarkDown() { c.markDowns.Add(1) }
+
+// Probe records one recovery probe issued while the backend was down.
+func (c *BackendCounters) Probe() { c.probes.Add(1) }
+
+// BackendStats is a point-in-time snapshot of BackendCounters.
+type BackendStats struct {
+	Sent      int64
+	OK        int64
+	Failures  int64
+	Slow      int64
+	MarkDowns int64
+	Probes    int64
+}
+
+// Snapshot reads the counters. Like the server's Stats snapshot, the
+// reads are ordered against the increment order (sent before ok /
+// failures) so Sent ≥ OK+Failures can never be violated by a torn read.
+func (c *BackendCounters) Snapshot() BackendStats {
+	var s BackendStats
+	s.OK = c.ok.Load()
+	s.Failures = c.failures.Load()
+	s.Slow = c.slow.Load()
+	s.MarkDowns = c.markDowns.Load()
+	s.Probes = c.probes.Load()
+	s.Sent = c.sent.Load()
+	return s
+}
+
+// String renders the snapshot as key=value pairs.
+func (s BackendStats) String() string {
+	return fmt.Sprintf("sent=%d ok=%d failures=%d slow=%d markdowns=%d probes=%d",
+		s.Sent, s.OK, s.Failures, s.Slow, s.MarkDowns, s.Probes)
 }
 
 // Throughput measures completed operations over wall-clock time.

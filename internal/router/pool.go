@@ -1,0 +1,97 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"djinn/internal/service"
+)
+
+// clientPool is a bounded pool of framed-protocol connections to one
+// replica address. A service.Client serialises requests on its
+// connection, so the pool is what gives one backend pipelining: up to
+// size exchanges can be in flight concurrently, and idle connections
+// are recycled instead of re-dialled per query.
+type clientPool struct {
+	addr string
+	dial service.DialFunc
+
+	mu     sync.Mutex
+	idle   []*service.Client
+	size   int
+	closed bool
+}
+
+func newClientPool(addr string, dial service.DialFunc, size int) *clientPool {
+	if size <= 0 {
+		size = 4
+	}
+	return &clientPool{addr: addr, dial: dial, size: size}
+}
+
+// get returns an idle connection or dials a fresh one.
+func (p *clientPool) get() (*service.Client, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: pool for %s is closed", service.ErrShuttingDown, p.addr)
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return service.DialWith(p.addr, p.dial)
+}
+
+// put recycles a connection, discarding it if its stream desynced or
+// the pool is already holding its bound.
+func (p *clientPool) put(c *service.Client) {
+	if c.Stale() {
+		c.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= p.size {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// close discards every idle connection and refuses further gets.
+func (p *clientPool) close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle, p.closed = nil, true
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}
+
+// pooledBackend adapts a clientPool to the ContextBackend interface the
+// router routes over: each query borrows one pooled connection for the
+// length of the exchange.
+type pooledBackend struct{ pool *clientPool }
+
+func (b *pooledBackend) Infer(app string, in []float32) ([]float32, error) {
+	return b.InferCtx(context.Background(), app, in)
+}
+
+func (b *pooledBackend) InferCtx(ctx context.Context, app string, in []float32) ([]float32, error) {
+	c, err := b.pool.get()
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.InferCtx(ctx, app, in)
+	b.pool.put(c)
+	return out, err
+}
+
+var _ service.ContextBackend = (*pooledBackend)(nil)

@@ -1,0 +1,486 @@
+// Package router is the dispatch tier the paper's WSC study assumes in
+// front of a fleet of DjiNN instances (§6): a client-side front end
+// that fans queries across N service replicas. It owns the replica
+// set — per-backend connection pools, health state driven by
+// consecutive-failure and slow-response signals with exponential
+// probe-based recovery — plus per-app routing policies (round-robin,
+// least-outstanding, power-of-two-choices) and deadline-aware retry:
+// a query that fails on a marked-down or erroring backend is reissued
+// on another replica within its remaining context budget.
+//
+// The router implements service.ContextBackend, so everything that
+// drives a single server (the Tonic applications, the workload
+// drivers) drives a fleet unchanged.
+package router
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"djinn/internal/metrics"
+	"djinn/internal/service"
+)
+
+// HealthConfig tunes the per-replica health state machine.
+type HealthConfig struct {
+	// FailureThreshold is how many consecutive failure signals
+	// (retryable errors or slow responses) mark a replica down.
+	// Zero means 3.
+	FailureThreshold int
+	// SlowThreshold classifies a successful answer as a slow-response
+	// signal when it takes longer than this. Zero disables the signal.
+	SlowThreshold time.Duration
+	// ProbeInterval is how long a replica stays down after its first
+	// mark-down; each failed recovery probe doubles it up to
+	// MaxProbeInterval. Zero means 100ms.
+	ProbeInterval time.Duration
+	// MaxProbeInterval caps the exponential back-off. Zero means 5s.
+	MaxProbeInterval time.Duration
+}
+
+func (h HealthConfig) withDefaults() HealthConfig {
+	if h.FailureThreshold <= 0 {
+		h.FailureThreshold = 3
+	}
+	if h.ProbeInterval <= 0 {
+		h.ProbeInterval = 100 * time.Millisecond
+	}
+	if h.MaxProbeInterval <= 0 {
+		h.MaxProbeInterval = 5 * time.Second
+	}
+	return h
+}
+
+// Config describes one router.
+type Config struct {
+	// Policy is the default routing policy.
+	Policy Policy
+	// AppPolicy overrides the policy for specific applications (the
+	// paper's apps have very different query costs: a 548-frame ASR
+	// query is worth spreading by load, a 38KB POS query is not).
+	AppPolicy map[string]Policy
+	// MaxAttempts bounds how many replicas one query may try before
+	// its failure is surfaced. Zero means one attempt per replica,
+	// with a floor of two so a lone replica still absorbs one
+	// transient transport error.
+	MaxAttempts int
+	// Health tunes mark-down and recovery.
+	Health HealthConfig
+	// PoolSize is the connection-pool bound per TCP backend added with
+	// AddAddr. Zero means 4.
+	PoolSize int
+}
+
+// healthState is one replica's availability.
+type healthState int
+
+const (
+	healthy healthState = iota
+	down
+)
+
+// replica is one backend plus its routing state.
+type replica struct {
+	id string
+	be service.ContextBackend
+
+	outstanding atomic.Int64
+	counters    metrics.BackendCounters
+
+	ownedPool *clientPool // non-nil when the router dialled this backend
+
+	mu            sync.Mutex
+	state         healthState
+	consecFails   int
+	downUntil     time.Time
+	probeInterval time.Duration // next mark-down duration (doubles per failed probe)
+	probing       bool          // one recovery probe in flight
+}
+
+// available reports whether the replica may receive a regular query.
+// A down replica whose mark-down expired is NOT available here; pick
+// claims it explicitly as a probe so exactly one query tests it.
+func (r *replica) available() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state == healthy
+}
+
+// claimProbe atomically claims the single recovery-probe slot of a
+// down replica whose mark-down has expired.
+func (r *replica) claimProbe(now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != down || r.probing || now.Before(r.downUntil) {
+		return false
+	}
+	r.probing = true
+	r.counters.Probe()
+	return true
+}
+
+// onSuccess records a successful exchange; slow marks it as a
+// slow-response health signal (the answer still goes to the caller).
+func (r *replica) onSuccess(init HealthConfig, slow bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if slow {
+		r.counters.Slow()
+		r.failLocked(init, time.Now())
+		return
+	}
+	r.consecFails = 0
+	r.probing = false
+	if r.state == down {
+		// Recovery: the probe answered fast. Reset the back-off so the
+		// next incident starts from the initial interval.
+		r.state = healthy
+		r.probeInterval = init.ProbeInterval
+	}
+}
+
+// onFailure records a retryable failure signal.
+func (r *replica) onFailure(init HealthConfig) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters.Failure()
+	r.failLocked(init, time.Now())
+}
+
+// failLocked advances the health machine on one failure signal: a
+// failed recovery probe re-marks the replica down with a doubled
+// interval; FailureThreshold consecutive signals mark a healthy one
+// down.
+func (r *replica) failLocked(init HealthConfig, now time.Time) {
+	r.consecFails++
+	if r.state == down {
+		if r.probing {
+			// The recovery probe failed: back off exponentially.
+			r.probing = false
+			r.markDownLocked(init, now)
+		}
+		return
+	}
+	if r.consecFails >= init.FailureThreshold {
+		r.markDownLocked(init, now)
+	}
+}
+
+func (r *replica) markDownLocked(init HealthConfig, now time.Time) {
+	if r.probeInterval <= 0 {
+		r.probeInterval = init.ProbeInterval
+	}
+	r.state = down
+	r.downUntil = now.Add(r.probeInterval)
+	r.probeInterval *= 2
+	if r.probeInterval > init.MaxProbeInterval {
+		r.probeInterval = init.MaxProbeInterval
+	}
+	r.counters.MarkDown()
+}
+
+// Healthy reports the replica's current availability (for snapshots).
+func (r *replica) healthy() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state == healthy
+}
+
+// Router fans queries across a set of service replicas.
+type Router struct {
+	cfg Config
+
+	mu       sync.Mutex
+	replicas []*replica
+	rr       atomic.Uint64
+	rng      uint64
+	closed   bool
+
+	route *metrics.StageBreakdown
+}
+
+// New creates a router with no backends; add them with AddBackend or
+// AddAddr before serving queries.
+func New(cfg Config) *Router {
+	cfg.Health = cfg.Health.withDefaults()
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 4
+	}
+	return &Router{cfg: cfg, rng: 0x6a09e667f3bcc909, route: metrics.NewStageBreakdown()}
+}
+
+// AddBackend registers a replica the caller owns (an in-process
+// *service.Server, a hand-dialled *service.Client, or a test fake).
+// The router will route to it but not close it.
+func (rt *Router) AddBackend(id string, be service.ContextBackend) error {
+	return rt.add(&replica{id: id, be: be, probeInterval: rt.cfg.Health.ProbeInterval})
+}
+
+// AddAddr registers a TCP replica by address. The router owns the
+// connection pool it creates: connections are dialled lazily (through
+// dial, or the default dialer when nil), pipelined up to PoolSize, and
+// closed by Close.
+func (rt *Router) AddAddr(id, addr string, dial service.DialFunc) error {
+	pool := newClientPool(addr, dial, rt.cfg.PoolSize)
+	return rt.add(&replica{
+		id: id, be: &pooledBackend{pool: pool},
+		ownedPool: pool, probeInterval: rt.cfg.Health.ProbeInterval,
+	})
+}
+
+func (rt *Router) add(r *replica) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return fmt.Errorf("%w: router is closed", service.ErrShuttingDown)
+	}
+	for _, existing := range rt.replicas {
+		if existing.id == r.id {
+			return fmt.Errorf("router: backend %q already registered", r.id)
+		}
+	}
+	rt.replicas = append(rt.replicas, r)
+	return nil
+}
+
+// Backends returns the registered replica IDs, in registration order.
+func (rt *Router) Backends() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ids := make([]string, len(rt.replicas))
+	for i, r := range rt.replicas {
+		ids[i] = r.id
+	}
+	return ids
+}
+
+// snapshotReplicas copies the replica slice so routing never holds the
+// router lock across a backend exchange.
+func (rt *Router) snapshotReplicas() []*replica {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]*replica(nil), rt.replicas...)
+}
+
+// rand steps the router's xorshift state (p2c sampling).
+func (rt *Router) rand() uint64 {
+	rt.mu.Lock()
+	x := rt.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	rt.rng = x
+	rt.mu.Unlock()
+	return x
+}
+
+// policyFor resolves the routing policy for one application.
+func (rt *Router) policyFor(app string) Policy {
+	if p, ok := rt.cfg.AppPolicy[app]; ok {
+		return p
+	}
+	return rt.cfg.Policy
+}
+
+// pick selects the replica for one attempt. Priority order: a down
+// replica whose mark-down expired claims this query as its single
+// recovery probe; otherwise the app's policy chooses among healthy
+// replicas not yet tried by this query; if that set is empty the
+// policy chooses among all untried replicas (better to fail fast
+// against a down backend — which also probes it — than to fail without
+// attempting). Returns nil only when every replica has been tried.
+func (rt *Router) pick(app string, tried map[*replica]bool) *replica {
+	replicas := rt.snapshotReplicas()
+	now := time.Now()
+	var candidates []*replica
+	for _, r := range replicas {
+		if tried[r] {
+			continue
+		}
+		if r.claimProbe(now) {
+			return r
+		}
+		if r.available() {
+			candidates = append(candidates, r)
+		}
+	}
+	if len(candidates) == 0 {
+		for _, r := range replicas {
+			if !tried[r] {
+				candidates = append(candidates, r)
+			}
+		}
+	}
+	switch len(candidates) {
+	case 0:
+		return nil
+	case 1:
+		return candidates[0]
+	}
+	switch rt.policyFor(app) {
+	case LeastOutstanding:
+		best := candidates[0]
+		for _, r := range candidates[1:] {
+			if r.outstanding.Load() < best.outstanding.Load() {
+				best = r
+			}
+		}
+		return best
+	case PowerOfTwo:
+		x := rt.rand()
+		a := candidates[x%uint64(len(candidates))]
+		b := candidates[(x>>32)%uint64(len(candidates))]
+		if b.outstanding.Load() < a.outstanding.Load() {
+			return b
+		}
+		return a
+	default: // RoundRobin
+		return candidates[rt.rr.Add(1)%uint64(len(candidates))]
+	}
+}
+
+// maxAttempts resolves the per-query attempt bound.
+func (rt *Router) maxAttempts(nReplicas int) int {
+	if rt.cfg.MaxAttempts > 0 {
+		return rt.cfg.MaxAttempts
+	}
+	if nReplicas < 2 {
+		return 2
+	}
+	return nReplicas
+}
+
+// Infer routes one query without a deadline.
+func (rt *Router) Infer(app string, in []float32) ([]float32, error) {
+	return rt.InferCtx(context.Background(), app, in)
+}
+
+// InferCtx routes one query across the fleet within its context
+// budget. Retryable failures (a shed query, a draining replica, a
+// broken transport) move the query to another replica and feed the
+// failed replica's health state; deadline expiry is terminal, and so
+// are server-answered application errors. Every attempt re-checks the
+// remaining budget first, so a retry storm can never outlive the
+// query's own deadline.
+func (rt *Router) InferCtx(ctx context.Context, app string, in []float32) ([]float32, error) {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("%w: router is closed", service.ErrShuttingDown)
+	}
+	n := len(rt.replicas)
+	rt.mu.Unlock()
+	if n == 0 {
+		return nil, fmt.Errorf("router: no backends registered")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	attempts := rt.maxAttempts(n)
+	tried := make(map[*replica]bool, attempts)
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w: budget exhausted after %d attempts (last: %v)", service.ErrDeadlineExceeded, attempt, lastErr)
+			}
+			return nil, fmt.Errorf("%w: %v", service.ErrDeadlineExceeded, err)
+		}
+		rep := rt.pick(app, tried)
+		if rep == nil {
+			// Every replica tried: widen to the full set for the
+			// remaining attempts rather than give up early.
+			tried = make(map[*replica]bool, attempts)
+			if rep = rt.pick(app, tried); rep == nil {
+				break
+			}
+		}
+		out, err := rt.attempt(ctx, rep, app, in)
+		if err == nil {
+			rt.route.Record(metrics.StageRoute, time.Since(start))
+			return out, nil
+		}
+		if !service.Retryable(err) {
+			return nil, err
+		}
+		lastErr = err
+		tried[rep] = true
+	}
+	return nil, fmt.Errorf("router: %s failed on %d attempt(s): %w", app, attempts, lastErr)
+}
+
+// attempt runs one exchange against one replica, maintaining its
+// outstanding count, counters, and health signals.
+func (rt *Router) attempt(ctx context.Context, rep *replica, app string, in []float32) ([]float32, error) {
+	rep.counters.Sent()
+	rep.outstanding.Add(1)
+	t0 := time.Now()
+	out, err := rep.be.InferCtx(ctx, app, in)
+	elapsed := time.Since(t0)
+	rep.outstanding.Add(-1)
+	if err == nil {
+		rep.counters.OK()
+		slow := rt.cfg.Health.SlowThreshold > 0 && elapsed > rt.cfg.Health.SlowThreshold
+		rep.onSuccess(rt.cfg.Health, slow)
+		return out, nil
+	}
+	if service.Retryable(err) {
+		rep.onFailure(rt.cfg.Health)
+	}
+	return nil, err
+}
+
+// BackendSnapshot is one replica's routing state at a point in time.
+type BackendSnapshot struct {
+	ID          string
+	Healthy     bool
+	Outstanding int64
+	Stats       metrics.BackendStats
+}
+
+// Stats snapshots every replica, in registration order.
+func (rt *Router) Stats() []BackendSnapshot {
+	replicas := rt.snapshotReplicas()
+	out := make([]BackendSnapshot, len(replicas))
+	for i, r := range replicas {
+		out[i] = BackendSnapshot{
+			ID:          r.id,
+			Healthy:     r.healthy(),
+			Outstanding: r.outstanding.Load(),
+			Stats:       r.counters.Snapshot(),
+		}
+	}
+	return out
+}
+
+// RouteLatency summarises the route stage: the whole fleet-side
+// lifecycle of successful queries, replica selection and retries
+// included.
+func (rt *Router) RouteLatency() metrics.Summary {
+	return rt.route.Summarize().Route
+}
+
+// Close releases every router-owned connection pool and refuses
+// further queries. Backends registered with AddBackend are the
+// caller's to close.
+func (rt *Router) Close() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	replicas := append([]*replica(nil), rt.replicas...)
+	rt.mu.Unlock()
+	for _, r := range replicas {
+		if r.ownedPool != nil {
+			r.ownedPool.close()
+		}
+	}
+}
+
+var _ service.ContextBackend = (*Router)(nil)

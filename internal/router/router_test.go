@@ -1,0 +1,543 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"djinn/internal/nn"
+	"djinn/internal/service"
+	"djinn/internal/tensor"
+	"djinn/internal/testutil"
+)
+
+func silence(string, ...any) {}
+
+// tinyNet mirrors the service package's test network: 8 inputs, 4
+// softmax outputs, deterministic weights per seed.
+func tinyNet(seed uint64) *nn.Net {
+	rng := tensor.NewRNG(seed)
+	n := nn.NewNet("tiny", nn.KindDNN, 8)
+	n.Add(nn.NewFC("fc1", rng, 8, 16)).
+		Add(nn.NewReLU("relu")).
+		Add(nn.NewFC("fc2", rng, 16, 4)).
+		Add(nn.NewSoftmax("prob"))
+	return n
+}
+
+// startReplica boots one TCP service replica with the tiny model and
+// identical weights across replicas, so any replica answers any query
+// identically — the property routing relies on.
+func startReplica(t *testing.T, cfg service.AppConfig) (*service.Server, string) {
+	t.Helper()
+	s := service.NewServer()
+	s.SetLogger(silence)
+	if err := s.Register("tiny", tinyNet(1), cfg); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(s.Close)
+	return s, l.Addr().String()
+}
+
+func refOutput(t *testing.T, in []float32) []float32 {
+	t.Helper()
+	r := tinyNet(1).NewRunner(1)
+	out := r.Forward(tensor.FromSlice(in, 1, 8))
+	return append([]float32(nil), out.Data()...)
+}
+
+// fakeBackend is a scriptable replica for deterministic policy and
+// health tests.
+type fakeBackend struct {
+	calls atomic.Int64
+	mu    sync.Mutex
+	err   error         // returned instead of a result when non-nil
+	delay time.Duration // simulated service time
+	gate  chan struct{} // when non-nil, calls block until it closes
+}
+
+func (f *fakeBackend) setErr(err error) {
+	f.mu.Lock()
+	f.err = err
+	f.mu.Unlock()
+}
+
+func (f *fakeBackend) Infer(app string, in []float32) ([]float32, error) {
+	return f.InferCtx(context.Background(), app, in)
+}
+
+func (f *fakeBackend) InferCtx(ctx context.Context, app string, in []float32) ([]float32, error) {
+	f.calls.Add(1)
+	f.mu.Lock()
+	err, delay, gate := f.err, f.delay, f.gate
+	f.mu.Unlock()
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %v", service.ErrDeadlineExceeded, ctx.Err())
+		}
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return []float32{1}, nil
+}
+
+func TestRouterAnswersMatchSingleServer(t *testing.T) {
+	testutil.NoLeaks(t)
+	rt := New(Config{Policy: RoundRobin})
+	defer rt.Close()
+	for i := 0; i < 3; i++ {
+		_, addr := startReplica(t, service.AppConfig{BatchInstances: 4, BatchWindow: time.Millisecond})
+		if err := rt.AddAddr(fmt.Sprintf("r%d", i), addr, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in := []float32{1, 0, -1, 2, 0.5, 0, 0, 1}
+	want := refOutput(t, in)
+	// Every replica must produce the identical answer as routing cycles.
+	for i := 0; i < 9; i++ {
+		out, err := rt.Infer("tiny", in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if math.Abs(float64(out[j]-want[j])) > 1e-6 {
+				t.Fatalf("query %d: out[%d]=%v want %v", i, j, out[j], want[j])
+			}
+		}
+	}
+	for _, snap := range rt.Stats() {
+		if snap.Stats.Sent != 3 || snap.Stats.OK != 3 {
+			t.Fatalf("round-robin skew: %s got %s, want sent=3 ok=3", snap.ID, snap.Stats)
+		}
+	}
+	if lat := rt.RouteLatency(); lat.Count != 9 {
+		t.Fatalf("route stage recorded %d samples, want 9", lat.Count)
+	}
+}
+
+// loadReplica pins synthetic outstanding load on one registered
+// replica (tests run in-package, so they reach the counter the
+// load-aware policies read).
+func loadReplica(rt *Router, id string, n int64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, r := range rt.replicas {
+		if r.id == id {
+			r.outstanding.Add(n)
+			return
+		}
+	}
+	panic("unknown replica " + id)
+}
+
+func TestRouterPerAppPolicies(t *testing.T) {
+	a, b := &fakeBackend{}, &fakeBackend{}
+	rt := New(Config{
+		Policy:    RoundRobin,
+		AppPolicy: map[string]Policy{"busy": LeastOutstanding},
+	})
+	defer rt.Close()
+	rt.AddBackend("a", a)
+	rt.AddBackend("b", b)
+	// Pin load on a: the "busy" app's least-outstanding policy must
+	// always pick the idle b, while the default round-robin app keeps
+	// alternating regardless of load.
+	loadReplica(rt, "a", 5)
+	for i := 0; i < 8; i++ {
+		if _, err := rt.Infer("busy", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.calls.Load(); got != 8 {
+		t.Fatalf("least-outstanding sent %d of 8 queries to the idle replica", got)
+	}
+	aBase := a.calls.Load()
+	for i := 0; i < 8; i++ {
+		if _, err := rt.Infer("other", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.calls.Load() - aBase; got != 4 {
+		t.Fatalf("round-robin app sent %d of 8 queries to the loaded replica, want 4", got)
+	}
+}
+
+func TestRouterPowerOfTwoPrefersIdleReplica(t *testing.T) {
+	busy, idle := &fakeBackend{}, &fakeBackend{}
+	rt := New(Config{Policy: PowerOfTwo})
+	defer rt.Close()
+	rt.AddBackend("busy", busy)
+	rt.AddBackend("idle", idle)
+	loadReplica(rt, "busy", 5)
+	const queries = 32
+	for i := 0; i < queries; i++ {
+		if _, err := rt.Infer("tiny", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// p2c compares the two sampled replicas' outstanding counts; with
+	// one replica pinned busy, every sample that sees both replicas
+	// picks the idle one, so the idle replica must take the clear
+	// majority (sampling the busy replica twice is the only leak).
+	if got := idle.calls.Load(); got < queries*3/4 {
+		t.Fatalf("power-of-two sent only %d of %d queries to the idle replica", got, queries)
+	}
+	if busy.calls.Load()+idle.calls.Load() != queries {
+		t.Fatal("lost attempts")
+	}
+}
+
+func TestRouterRetriesRetryableAndSucceeds(t *testing.T) {
+	bad, good := &fakeBackend{}, &fakeBackend{}
+	bad.setErr(fmt.Errorf("%w: replica draining", service.ErrShuttingDown))
+	rt := New(Config{Policy: RoundRobin})
+	defer rt.Close()
+	rt.AddBackend("bad", bad)
+	rt.AddBackend("good", good)
+	for i := 0; i < 6; i++ {
+		if _, err := rt.Infer("tiny", nil); err != nil {
+			t.Fatalf("query %d failed despite a healthy replica: %v", i, err)
+		}
+	}
+	stats := rt.Stats()
+	if stats[1].Stats.OK != 6 {
+		t.Fatalf("healthy replica answered %d of 6", stats[1].Stats.OK)
+	}
+	if stats[0].Stats.Failures == 0 {
+		t.Fatal("draining replica's failures were not recorded")
+	}
+}
+
+func TestRouterMarksDownAfterConsecutiveFailures(t *testing.T) {
+	bad, good := &fakeBackend{}, &fakeBackend{}
+	bad.setErr(fmt.Errorf("%w: boom", service.ErrTransport))
+	rt := New(Config{
+		Policy: RoundRobin,
+		Health: HealthConfig{FailureThreshold: 3, ProbeInterval: time.Hour},
+	})
+	defer rt.Close()
+	rt.AddBackend("bad", bad)
+	rt.AddBackend("good", good)
+	for i := 0; i < 12; i++ {
+		if _, err := rt.Infer("tiny", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := rt.Stats()
+	if stats[0].Healthy {
+		t.Fatal("failing replica still marked healthy after threshold")
+	}
+	if stats[0].Stats.MarkDowns != 1 {
+		t.Fatalf("markdowns = %d, want 1", stats[0].Stats.MarkDowns)
+	}
+	// Once down (probe interval: 1h), the bad replica receives nothing.
+	badCalls := bad.calls.Load()
+	for i := 0; i < 8; i++ {
+		if _, err := rt.Infer("tiny", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := bad.calls.Load(); got != badCalls {
+		t.Fatalf("marked-down replica still received %d queries", got-badCalls)
+	}
+}
+
+func TestRouterProbeRecoveryWithExponentialBackoff(t *testing.T) {
+	flaky, good := &fakeBackend{}, &fakeBackend{}
+	flaky.setErr(fmt.Errorf("%w: down", service.ErrTransport))
+	const probe = 20 * time.Millisecond
+	rt := New(Config{
+		Policy: RoundRobin,
+		Health: HealthConfig{FailureThreshold: 1, ProbeInterval: probe, MaxProbeInterval: time.Second},
+	})
+	defer rt.Close()
+	rt.AddBackend("flaky", flaky)
+	rt.AddBackend("good", good)
+	// One failure marks it down (threshold 1).
+	for i := 0; i < 2; i++ {
+		if _, err := rt.Infer("tiny", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rt.Stats()[0].Healthy {
+		t.Fatal("replica not marked down")
+	}
+	// After the first interval a single probe goes through, fails, and
+	// doubles the back-off.
+	time.Sleep(probe + 10*time.Millisecond)
+	for i := 0; i < 4; i++ {
+		rt.Infer("tiny", nil)
+	}
+	s := rt.Stats()[0].Stats
+	if s.Probes != 1 {
+		t.Fatalf("probes = %d, want exactly 1 per expired interval", s.Probes)
+	}
+	if s.MarkDowns != 2 {
+		t.Fatalf("markdowns = %d, want 2 (initial + failed probe)", s.MarkDowns)
+	}
+	// Heal the replica; after the doubled interval the next probe
+	// succeeds and traffic returns.
+	flaky.setErr(nil)
+	time.Sleep(2*probe + 10*time.Millisecond)
+	for i := 0; i < 6; i++ {
+		if _, err := rt.Infer("tiny", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rt.Stats()[0].Healthy {
+		t.Fatal("replica did not recover after a successful probe")
+	}
+	if ok := rt.Stats()[0].Stats.OK; ok == 0 {
+		t.Fatal("recovered replica received no traffic")
+	}
+}
+
+func TestRouterSlowResponsesTripMarkDown(t *testing.T) {
+	slow := &fakeBackend{}
+	slow.mu.Lock()
+	slow.delay = 30 * time.Millisecond
+	slow.mu.Unlock()
+	fast := &fakeBackend{}
+	rt := New(Config{
+		Policy: RoundRobin,
+		Health: HealthConfig{
+			FailureThreshold: 2,
+			SlowThreshold:    5 * time.Millisecond,
+			ProbeInterval:    time.Hour,
+		},
+	})
+	defer rt.Close()
+	rt.AddBackend("slow", slow)
+	rt.AddBackend("fast", fast)
+	for i := 0; i < 8; i++ {
+		if _, err := rt.Infer("tiny", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := rt.Stats()[0]
+	if snap.Healthy {
+		t.Fatal("persistently slow replica was never marked down")
+	}
+	if snap.Stats.Slow < 2 {
+		t.Fatalf("slow signals = %d, want ≥ threshold", snap.Stats.Slow)
+	}
+}
+
+func TestRouterDeadlineIsTerminal(t *testing.T) {
+	a, b := &fakeBackend{}, &fakeBackend{}
+	gate := make(chan struct{})
+	defer close(gate)
+	a.mu.Lock()
+	a.gate = gate
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.gate = gate
+	b.mu.Unlock()
+	rt := New(Config{Policy: RoundRobin})
+	defer rt.Close()
+	rt.AddBackend("a", a)
+	rt.AddBackend("b", b)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := rt.InferCtx(ctx, "tiny", nil)
+	if !errors.Is(err, service.ErrDeadlineExceeded) {
+		t.Fatalf("got %v, want ErrDeadlineExceeded", err)
+	}
+	// The deadline belongs to the query: exactly one attempt, no retry
+	// burning the other replica.
+	if total := a.calls.Load() + b.calls.Load(); total != 1 {
+		t.Fatalf("deadline expiry was retried: %d attempts", total)
+	}
+}
+
+func TestRouterApplicationErrorIsTerminal(t *testing.T) {
+	a, b := &fakeBackend{}, &fakeBackend{}
+	a.setErr(errors.New("service: unknown application \"nope\""))
+	b.setErr(errors.New("service: unknown application \"nope\""))
+	rt := New(Config{Policy: RoundRobin})
+	defer rt.Close()
+	rt.AddBackend("a", a)
+	rt.AddBackend("b", b)
+	if _, err := rt.Infer("nope", nil); err == nil {
+		t.Fatal("expected the application error through")
+	}
+	if total := a.calls.Load() + b.calls.Load(); total != 1 {
+		t.Fatalf("deterministic app error was retried: %d attempts", total)
+	}
+	// App errors are not health signals: both replicas stay routable.
+	for _, snap := range rt.Stats() {
+		if !snap.Healthy {
+			t.Fatalf("app error marked %s down", snap.ID)
+		}
+	}
+}
+
+func TestRouterAllReplicasDownSurfacesLastError(t *testing.T) {
+	a, b := &fakeBackend{}, &fakeBackend{}
+	a.setErr(fmt.Errorf("%w: a", service.ErrOverloaded))
+	b.setErr(fmt.Errorf("%w: b", service.ErrOverloaded))
+	rt := New(Config{Policy: RoundRobin, MaxAttempts: 4})
+	defer rt.Close()
+	rt.AddBackend("a", a)
+	rt.AddBackend("b", b)
+	_, err := rt.Infer("tiny", nil)
+	if err == nil {
+		t.Fatal("expected failure with every replica overloaded")
+	}
+	if !errors.Is(err, service.ErrOverloaded) {
+		t.Fatalf("exhaustion error %v does not wrap the last cause", err)
+	}
+	if total := a.calls.Load() + b.calls.Load(); total != 4 {
+		t.Fatalf("attempts = %d, want MaxAttempts=4", total)
+	}
+}
+
+func TestRouterNoBackends(t *testing.T) {
+	rt := New(Config{})
+	defer rt.Close()
+	if _, err := rt.Infer("tiny", nil); err == nil {
+		t.Fatal("expected an error with no backends")
+	}
+}
+
+func TestRouterDuplicateBackendID(t *testing.T) {
+	rt := New(Config{})
+	defer rt.Close()
+	if err := rt.AddBackend("a", &fakeBackend{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddBackend("a", &fakeBackend{}); err == nil {
+		t.Fatal("expected duplicate-ID error")
+	}
+}
+
+func TestRouterClosedRefusesQueries(t *testing.T) {
+	rt := New(Config{})
+	rt.AddBackend("a", &fakeBackend{})
+	rt.Close()
+	if _, err := rt.Infer("tiny", nil); !errors.Is(err, service.ErrShuttingDown) {
+		t.Fatalf("post-close Infer returned %v, want ErrShuttingDown", err)
+	}
+	if err := rt.AddBackend("b", &fakeBackend{}); !errors.Is(err, service.ErrShuttingDown) {
+		t.Fatalf("post-close AddBackend returned %v, want ErrShuttingDown", err)
+	}
+	rt.Close() // idempotent
+}
+
+// TestRouterKillReplicaMidRunZeroLostQueries is the acceptance test:
+// concurrent clients drive a three-replica TCP fleet while one replica
+// is killed mid-run. Zero queries may be lost — every one either
+// succeeds (directly or via retry on a surviving replica) or fails
+// with a terminal lifecycle error it can account for.
+func TestRouterKillReplicaMidRunZeroLostQueries(t *testing.T) {
+	testutil.NoLeaks(t)
+	rt := New(Config{
+		Policy: RoundRobin,
+		Health: HealthConfig{FailureThreshold: 2, ProbeInterval: 200 * time.Millisecond},
+	})
+	defer rt.Close()
+	var victim *service.Server
+	for i := 0; i < 3; i++ {
+		s, addr := startReplica(t, service.AppConfig{
+			BatchInstances: 4, BatchWindow: time.Millisecond, Workers: 2,
+		})
+		if i == 0 {
+			victim = s
+		}
+		if err := rt.AddAddr(fmt.Sprintf("r%d", i), addr, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in := []float32{1, 0, -1, 2, 0.5, 0, 0, 1}
+	want := refOutput(t, in)
+
+	const clients = 8
+	var issued, ok, terminal atomic.Int64
+	var unexplainedMu sync.Mutex
+	var firstUnexplained error
+	noteUnexplained := func(err error) {
+		unexplainedMu.Lock()
+		if firstUnexplained == nil {
+			firstUnexplained = err
+		}
+		unexplainedMu.Unlock()
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				issued.Add(1)
+				out, err := rt.Infer("tiny", in)
+				switch {
+				case err == nil:
+					for j := range want {
+						if math.Abs(float64(out[j]-want[j])) > 1e-6 {
+							noteUnexplained(fmt.Errorf("wrong answer after failover"))
+						}
+					}
+					ok.Add(1)
+				case errors.Is(err, service.ErrDeadlineExceeded),
+					errors.Is(err, service.ErrShuttingDown),
+					errors.Is(err, service.ErrOverloaded),
+					errors.Is(err, service.ErrTransport):
+					// Terminal lifecycle outcome: accounted, not lost.
+					terminal.Add(1)
+				default:
+					terminal.Add(1)
+					noteUnexplained(err)
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	victim.Close() // kill one replica mid-run
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if firstUnexplained != nil {
+		t.Fatalf("unexplained failure: %v", firstUnexplained)
+	}
+	if got := ok.Load() + terminal.Load(); got != issued.Load() {
+		t.Fatalf("lost queries: issued %d, accounted %d", issued.Load(), got)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no query succeeded")
+	}
+	// The fleet kept answering after the kill: with two survivors and
+	// retry, failures should be rare — and the victim must be marked
+	// down by run end.
+	stats := rt.Stats()
+	if stats[0].Healthy {
+		t.Fatal("killed replica still marked healthy")
+	}
+	if stats[1].Stats.OK == 0 || stats[2].Stats.OK == 0 {
+		t.Fatalf("survivors did not absorb the load: %v / %v", stats[1].Stats, stats[2].Stats)
+	}
+	t.Logf("issued=%d ok=%d terminal=%d", issued.Load(), ok.Load(), terminal.Load())
+}

@@ -1,0 +1,212 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"djinn/internal/testutil"
+)
+
+// inproc registers the tiny test net on an in-process server with the
+// given aggregation config; no TCP involved, so these tests exercise
+// the aggregator and worker paths directly.
+func inproc(t *testing.T, cfg AppConfig) *Server {
+	t.Helper()
+	testutil.NoLeaks(t)
+	s := NewServer()
+	s.SetLogger(silence)
+	if err := s.Register("tiny", testNet(1), cfg); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// inferN issues n concurrent single-instance queries and blocks until
+// every one has a response, failing the test on any error.
+func inferN(t *testing.T, s *Server, n int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in := make([]float32, 8)
+			in[0] = float32(i)
+			out, err := s.Infer("tiny", in)
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			if len(out) != 4 {
+				t.Errorf("query %d: %d outputs, want 4", i, len(out))
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestAggregatorFlushPaths pins down the three ways a batch leaves the
+// aggregator: the pending instance count reaching BatchInstances, the
+// batch window expiring under a partial batch, and the drain on Close
+// running the batch still under assembly. Each case makes the other
+// two paths unreachable (a far-off window, an unreachable threshold)
+// so a pass proves the intended path fired.
+func TestAggregatorFlushPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  AppConfig
+		run  func(t *testing.T, s *Server)
+		// counter expectations; max values of 0 mean "equal to min"
+		minBatches, maxBatches int64
+		queries                int64
+	}{
+		{
+			// Four single-instance queries exactly fill BatchInstances;
+			// the window is a minute away, so the only way these queries
+			// can complete promptly is the batch-full flush.
+			name: "batch-full",
+			cfg:  AppConfig{BatchInstances: 4, BatchWindow: time.Minute, Workers: 1},
+			run: func(t *testing.T, s *Server) {
+				start := time.Now()
+				inferN(t, s, 4)
+				if d := time.Since(start); d > 30*time.Second {
+					t.Fatalf("batch-full flush took %v; window flush suspected", d)
+				}
+			},
+			minBatches: 1, maxBatches: 1, queries: 4,
+		},
+		{
+			// Two queries can never reach a 1000-instance threshold; only
+			// the window timer can release them.
+			name: "window-timeout",
+			cfg:  AppConfig{BatchInstances: 1000, BatchWindow: 25 * time.Millisecond, Workers: 1},
+			run: func(t *testing.T, s *Server) {
+				start := time.Now()
+				inferN(t, s, 2)
+				if d := time.Since(start); d < 20*time.Millisecond {
+					t.Fatalf("responses after %v, before the 25ms window could expire", d)
+				}
+			},
+			// The two arrivals may straddle a window boundary.
+			minBatches: 1, maxBatches: 2, queries: 2,
+		},
+		{
+			// Neither threshold (1000) nor window (a minute) can fire;
+			// Close's drain must flush the batch under assembly, and the
+			// paper-faithful guarantee is that those queries still run to
+			// completion rather than failing.
+			name: "drain-on-close",
+			cfg:  AppConfig{BatchInstances: 1000, BatchWindow: time.Minute, Workers: 1},
+			run: func(t *testing.T, s *Server) {
+				done := make(chan struct{})
+				go func() { defer close(done); inferN(t, s, 3) }()
+				// Give the queries time to pool inside the aggregator.
+				time.Sleep(50 * time.Millisecond)
+				s.Close()
+				select {
+				case <-done:
+				case <-time.After(10 * time.Second):
+					t.Fatal("drain did not release pooled queries")
+				}
+			},
+			minBatches: 1, maxBatches: 1, queries: 3,
+		},
+		{
+			// Partial batches under load: 16 workers race the aggregator,
+			// so flushes interleave threshold hits with window expiries of
+			// whatever is pending. The exact batch count is timing-
+			// dependent; the invariants are not.
+			name: "partial-batch-under-load",
+			cfg:  AppConfig{BatchInstances: 4, BatchWindow: 5 * time.Millisecond, Workers: 2},
+			run: func(t *testing.T, s *Server) {
+				inferN(t, s, 16)
+			},
+			minBatches: 4, maxBatches: 16, queries: 16,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := inproc(t, tc.cfg)
+			tc.run(t, s)
+			st, ok := s.StatsFor("tiny")
+			if !ok {
+				t.Fatal("no stats for tiny")
+			}
+			if st.Queries != tc.queries {
+				t.Errorf("Queries = %d, want %d", st.Queries, tc.queries)
+			}
+			if st.Instances != tc.queries { // single-instance queries
+				t.Errorf("Instances = %d, want %d", st.Instances, tc.queries)
+			}
+			if st.Batches < tc.minBatches || st.Batches > tc.maxBatches {
+				t.Errorf("Batches = %d, want in [%d, %d]", st.Batches, tc.minBatches, tc.maxBatches)
+			}
+			if st.Errors != 0 || st.Shed != 0 || st.Expired != 0 {
+				t.Errorf("unexpected failures: %+v", st)
+			}
+			if avg := st.AvgBatch(); avg < 1 {
+				t.Errorf("AvgBatch = %.2f, want >= 1", avg)
+			}
+		})
+	}
+}
+
+// TestStatsSnapshotNeverTears hammers StatsFor while queries complete
+// and checks every snapshot is internally consistent. runBatch bumps
+// batches, then instances, then queries; StatsFor loads them in the
+// reverse order, so no interleaving can produce Queries > Instances or
+// a processed instance with no batch. Before the ordered loads this
+// could tear: a snapshot could read instances just before a batch's
+// increment and queries just after it.
+func TestStatsSnapshotNeverTears(t *testing.T) {
+	s := inproc(t, AppConfig{BatchInstances: 3, BatchWindow: time.Millisecond, Workers: 2})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Vary instances per query (1..3) so multi-instance batches
+			// widen the window between the instance and query increments.
+			in := make([]float32, 8*(w%3+1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Infer("tiny", in); err != nil {
+					t.Errorf("infer: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(200 * time.Millisecond)
+	snapshots := 0
+	for time.Now().Before(deadline) {
+		st, ok := s.StatsFor("tiny")
+		if !ok {
+			t.Fatal("no stats for tiny")
+		}
+		if st.Queries > st.Instances {
+			t.Fatalf("torn snapshot: Queries=%d > Instances=%d", st.Queries, st.Instances)
+		}
+		if st.Instances > 0 && st.Batches == 0 {
+			t.Fatalf("torn snapshot: Instances=%d with Batches=0", st.Instances)
+		}
+		snapshots++
+	}
+	close(stop)
+	wg.Wait()
+	if snapshots == 0 {
+		t.Fatal("no snapshots taken")
+	}
+	if st, _ := s.StatsFor("tiny"); st.Queries == 0 {
+		t.Fatal("no queries completed during the run")
+	}
+}

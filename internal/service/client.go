@@ -27,11 +27,31 @@ type Client struct {
 	stale bool // a transport timeout desynced the stream
 }
 
+// DialFunc opens the transport to a DjiNN server. The router's
+// connection pools inject custom dialers through it (short timeouts,
+// test fakes, in-process pipes).
+type DialFunc func(addr string) (net.Conn, error)
+
+// DefaultDial is the DialFunc Dial uses: TCP with a 10s timeout.
+func DefaultDial(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 10*time.Second)
+}
+
 // Dial connects to a DjiNN server.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	return DialWith(addr, DefaultDial)
+}
+
+// DialWith connects using a custom dialer. Dial failures are wrapped in
+// ErrTransport so routing layers can classify them as retryable on
+// another replica.
+func DialWith(addr string, dial DialFunc) (*Client, error) {
+	if dial == nil {
+		dial = DefaultDial
+	}
+	conn, err := dial(addr)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: dialing %s: %w", ErrTransport, addr, err)
 	}
 	return NewClient(conn), nil
 }
@@ -95,9 +115,18 @@ func (c *Client) usable(ctx context.Context) error {
 		return fmt.Errorf("%w: %v", ErrDeadlineExceeded, err)
 	}
 	if c.stale {
-		return fmt.Errorf("service: connection desynced by an earlier timeout; dial a fresh client")
+		return fmt.Errorf("%w: connection desynced by an earlier timeout; dial a fresh client", ErrTransport)
 	}
 	return nil
+}
+
+// Stale reports whether an earlier transport failure desynced this
+// client's stream. A stale client answers every call with ErrTransport;
+// connection pools use this to discard it instead of recycling it.
+func (c *Client) Stale() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stale
 }
 
 // readReply reads one response frame, poisoning the stream on
@@ -111,10 +140,12 @@ func (c *Client) readReply() (byte, string, []float32, error) {
 	return status, msg, out, nil
 }
 
-// fail marks the stream unusable and passes the error through.
+// fail marks the stream unusable and wraps the error in ErrTransport:
+// the failure is a property of this connection, not of the query, so
+// callers holding other replicas may retry there.
 func (c *Client) fail(err error) error {
 	c.stale = true
-	return err
+	return fmt.Errorf("%w: %w", ErrTransport, err)
 }
 
 // Close closes the connection.
@@ -147,7 +178,7 @@ func (c *Client) Control(cmd string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.stale {
-		return "", fmt.Errorf("service: connection desynced by an earlier timeout; dial a fresh client")
+		return "", fmt.Errorf("%w: connection desynced by an earlier timeout; dial a fresh client", ErrTransport)
 	}
 	if err := writeControl(c.rw, cmd); err != nil {
 		return "", c.fail(fmt.Errorf("service: sending control: %w", err))

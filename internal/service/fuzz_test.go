@@ -3,20 +3,36 @@ package service
 import (
 	"bytes"
 	"testing"
+	"time"
 )
 
 // FuzzReadRequest: arbitrary bytes must never panic the request parser
-// (a network-facing server survives hostile frames).
+// (a network-facing server survives hostile frames). The parser runs
+// in a loop over the input, the shape a server connection sees when a
+// router's retry lands a duplicate frame right behind the original.
 func FuzzReadRequest(f *testing.F) {
 	var seed bytes.Buffer
 	writeRequest(&seed, "asr", 0, []float32{1, 2, 3})
 	f.Add(seed.Bytes())
+	// A request carrying a deadline, the lifecycle extension's field.
+	var deadlined bytes.Buffer
+	writeRequest(&deadlined, "dig", 250*time.Millisecond, []float32{4, 5, 6, 7})
+	f.Add(deadlined.Bytes())
+	// Two identical frames back to back: what a retried query looks
+	// like on the wire when the first attempt's connection survived.
+	f.Add(append(append([]byte{}, seed.Bytes()...), seed.Bytes()...))
+	// A valid frame with trailing garbage that must not poison it.
+	f.Add(append(append([]byte{}, deadlined.Bytes()...), 0xde, 0xad))
 	f.Add([]byte{})
 	f.Add([]byte{0x51, 0x52, 0x4a, 0x44})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		app, _, in, err := readRequest(bytes.NewReader(data))
-		if err == nil {
+		r := bytes.NewReader(data)
+		for i := 0; i < 16; i++ {
+			app, deadline, in, err := readRequest(r)
+			if err != nil {
+				break
+			}
 			// A parse that succeeds must produce sane fields.
 			if len(app) == 0 || len(app) > MaxAppNameLen {
 				t.Fatalf("accepted bad app name %q", app)
@@ -24,18 +40,40 @@ func FuzzReadRequest(f *testing.F) {
 			if len(in) > MaxPayloadFloats {
 				t.Fatalf("accepted oversized payload %d", len(in))
 			}
+			if deadline < 0 {
+				t.Fatalf("accepted negative deadline %v", deadline)
+			}
 		}
 	})
 }
 
-// FuzzReadResponse: same guarantee for the client-side parser.
+// FuzzReadResponse: same guarantee for the client-side parser, looping
+// like a pooled router connection that reads consecutive responses.
 func FuzzReadResponse(f *testing.F) {
 	var seed bytes.Buffer
 	writeResponse(&seed, StatusOK, "ok", []float32{4, 5})
 	f.Add(seed.Bytes())
+	// One seed per lifecycle status the server can answer with: the
+	// client maps these to ErrDeadlineExceeded / ErrShuttingDown /
+	// ErrOverloaded, so their frames must parse cleanly.
+	for _, st := range []byte{StatusDeadline, StatusShutdown, StatusOverload} {
+		var b bytes.Buffer
+		writeResponse(&b, st, "tiny rejected", nil)
+		f.Add(b.Bytes())
+	}
+	// A retried exchange: error response followed by a success.
+	var retried bytes.Buffer
+	writeResponse(&retried, StatusOverload, "busy", nil)
+	writeResponse(&retried, StatusOK, "ok", []float32{1})
+	f.Add(retried.Bytes())
 	f.Add([]byte{0x53, 0x52, 0x4a, 0x44, 0x00})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		readResponse(bytes.NewReader(data))
+		r := bytes.NewReader(data)
+		for i := 0; i < 16; i++ {
+			if _, _, _, err := readResponse(r); err != nil {
+				break
+			}
+		}
 	})
 }
 

@@ -22,7 +22,26 @@ var (
 	// ErrOverloaded reports that the query was shed because the
 	// application's pending queue was full.
 	ErrOverloaded = errors.New("service: overloaded")
+	// ErrTransport reports that the connection to the server failed
+	// (dial error, broken or desynced stream) rather than the server
+	// answering an error status. The query may never have reached the
+	// server, or its answer may have been lost in flight.
+	ErrTransport = errors.New("service: transport failure")
 )
+
+// Retryable reports whether a failed query may safely be reissued on
+// another replica: the backend shed it (ErrOverloaded), is draining
+// (ErrShuttingDown), or the transport broke (ErrTransport). Inference
+// is idempotent, so retrying a query whose answer was lost in flight
+// is safe. Deadline expiry is terminal — the budget belongs to the
+// query, not the backend — and server-answered application errors
+// (unknown app, malformed payload) are deterministic, so retrying
+// them elsewhere would only repeat the failure.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrShuttingDown) ||
+		errors.Is(err, ErrTransport)
+}
 
 // statusFor maps a dispatch error onto its wire status code.
 func statusFor(err error) byte {

@@ -226,16 +226,25 @@ func (s *Server) app(name string) (*app, bool) {
 	return a, ok
 }
 
-// StatsFor returns the counters of one application.
+// StatsFor returns the counters of one application. The three
+// batch-path counters are loaded in the inverse of runBatch's increment
+// order (batches per chunk, then instances, then queries per response):
+// each counter is read before any counter that is bumped earlier, so a
+// snapshot taken concurrently with a completing batch can never tear
+// into an impossible state — Queries ≤ Instances always holds, and
+// Instances > 0 implies Batches > 0.
 func (s *Server) StatsFor(name string) (Stats, bool) {
 	a, ok := s.app(name)
 	if !ok {
 		return Stats{}, false
 	}
+	queries := a.queries.Load()
+	instances := a.instances.Load()
+	batches := a.batches.Load()
 	return Stats{
-		Queries:   a.queries.Load(),
-		Instances: a.instances.Load(),
-		Batches:   a.batches.Load(),
+		Queries:   queries,
+		Instances: instances,
+		Batches:   batches,
 		Errors:    a.errors.Load(),
 		Shed:      a.shed.Load(),
 		Expired:   a.expired.Load(),

@@ -12,6 +12,7 @@ import (
 
 	"djinn/internal/nn"
 	"djinn/internal/tensor"
+	"djinn/internal/testutil"
 )
 
 func silence(string, ...any) {}
@@ -28,6 +29,10 @@ func testNet(seed uint64) *nn.Net {
 
 func startServer(t *testing.T, cfg AppConfig) (*Server, string) {
 	t.Helper()
+	// Registered before the Close cleanup below, so it checks after the
+	// server has fully drained: no worker, aggregator, or connection
+	// goroutine may outlive its server.
+	testutil.NoLeaks(t)
 	s := NewServer()
 	s.SetLogger(silence)
 	if err := s.Register("tiny", testNet(1), cfg); err != nil {

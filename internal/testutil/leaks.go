@@ -1,0 +1,117 @@
+// Package testutil holds shared test helpers for the serving-path
+// packages. It must only be imported from _test files.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// NoLeaks snapshots the goroutines alive when called and registers a
+// cleanup that fails the test if new goroutines are still running at
+// test end. Server Close/drain regressions — an aggregator that never
+// exits, a worker stuck on a batch channel, a pool connection left
+// reading — fail loudly instead of silently accumulating across the
+// test binary.
+//
+// Call it first in the test, before starting servers or routers:
+//
+//	func TestX(t *testing.T) {
+//		testutil.NoLeaks(t)
+//		...
+//	}
+//
+// The check retries for up to two seconds, because goroutines finish
+// asynchronously after Close returns (connection handlers observing
+// EOF, timers firing); only goroutines that persist past the grace
+// window are leaks.
+func NoLeaks(t testing.TB) {
+	t.Helper()
+	before := goroutineStacks()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d goroutine(s) outlived the test:\n%s",
+			len(leaked), strings.Join(leaked, "\n"))
+	})
+}
+
+// goroutineStacks returns the stack dump of every live goroutine,
+// keyed by goroutine ID.
+func goroutineStacks() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	stacks := map[string]string{}
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if id := goroutineID(g); id != "" {
+			stacks[id] = g
+		}
+	}
+	return stacks
+}
+
+// goroutineID extracts the "goroutine N" key from one stack block.
+func goroutineID(stack string) string {
+	var id int
+	var state string
+	if _, err := fmt.Sscanf(stack, "goroutine %d [%s", &id, &state); err != nil {
+		return ""
+	}
+	return fmt.Sprintf("goroutine %d", id)
+}
+
+// leakedSince diffs the current goroutine set against a snapshot,
+// ignoring goroutines that belong to the test harness itself.
+func leakedSince(before map[string]string) []string {
+	var leaked []string
+	for id, stack := range goroutineStacks() {
+		if _, ok := before[id]; ok {
+			continue
+		}
+		if isHarness(stack) {
+			continue
+		}
+		leaked = append(leaked, stack)
+	}
+	return leaked
+}
+
+// isHarness reports whether a goroutine belongs to the testing
+// machinery rather than the code under test: the testing package's own
+// runners and timers, and this package's cleanup goroutine.
+func isHarness(stack string) bool {
+	for _, marker := range []string{
+		"testing.tRunner",
+		"testing.(*T).Run",
+		"testing.(*M).",
+		"testing.runTests",
+		"testing.runFuzzing",
+		"runtime/pprof.",
+		"djinn/internal/testutil.",
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}

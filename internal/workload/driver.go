@@ -111,6 +111,17 @@ func DriveClosedLoop(b service.Backend, app models.App, name string, workers int
 // and misses are counted in DriveResult.Expired rather than aborting
 // the worker.
 func DriveClosedLoopDeadline(b service.Backend, app models.App, name string, workers int, duration, deadline time.Duration) DriveResult {
+	return DriveClosedLoopPayload(b, name, func(rng *tensor.RNG) []float32 {
+		return QueryPayload(app, rng)
+	}, workers, duration, deadline)
+}
+
+// DriveClosedLoopPayload is the closed-loop core with a caller-supplied
+// payload generator (called once per worker with that worker's RNG),
+// letting experiments drive apps outside the Tonic Suite — e.g. a
+// synthetic model sized so the service's batch window, not the forward
+// pass, bounds each replica.
+func DriveClosedLoopPayload(b service.Backend, name string, payload func(*tensor.RNG) []float32, workers int, duration, deadline time.Duration) DriveResult {
 	lat := metrics.NewLatencyRecorder()
 	var counters driveCounters
 	var wg sync.WaitGroup
@@ -120,13 +131,13 @@ func DriveClosedLoopDeadline(b service.Backend, app models.App, name string, wor
 		go func(seed uint64) {
 			defer wg.Done()
 			rng := tensor.NewRNG(seed)
-			payload := QueryPayload(app, rng)
+			query := payload(rng)
 			// Back off exponentially on consecutive hard errors so a
 			// dead backend (connection refused fails in microseconds)
 			// doesn't turn the closed loop into a busy spin.
 			backoff := time.Duration(0)
 			for time.Now().Before(stop) {
-				if counters.issue(b, name, payload, deadline, lat) == outcomeError {
+				if counters.issue(b, name, query, deadline, lat) == outcomeError {
 					if backoff == 0 {
 						backoff = time.Millisecond
 					} else if backoff < 100*time.Millisecond {

@@ -7,10 +7,14 @@ import (
 	"djinn/internal/models"
 	"djinn/internal/service"
 	"djinn/internal/tensor"
+	"djinn/internal/testutil"
 )
 
 func digServer(t *testing.T) *service.Server {
 	t.Helper()
+	// Drivers spawn a goroutine per worker/in-flight query; this fails
+	// the test if any survive the run and the server's drain.
+	testutil.NoLeaks(t)
 	s := service.NewServer()
 	s.SetLogger(func(string, ...any) {})
 	spec := Get(models.DIG)
