@@ -114,23 +114,23 @@ func main() {
 		log.Printf("drained in %v", time.Since(start).Round(time.Millisecond))
 	}()
 
+	// A replica that fails to serve (port in use, accept error) is
+	// fatal for the whole process the moment it happens: silently
+	// running a smaller fleet than -replicas asked for would skew every
+	// router experiment pointed at it. Graceful drain returns nil, so
+	// shutdown never trips this.
 	var wg sync.WaitGroup
-	errs := make(chan error, len(servers))
 	for i, srv := range servers {
 		wg.Add(1)
 		go func(i int, srv *djinn.Server) {
 			defer wg.Done()
 			log.Printf("DjiNN replica %d serving %v on %s", i, srv.Apps(), addrs[i])
 			if err := srv.ListenAndServe(addrs[i]); err != nil {
-				errs <- fmt.Errorf("replica %d: %w", i, err)
+				log.Fatalf("replica %d: %v", i, err)
 			}
 		}(i, srv)
 	}
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		log.Fatal(err)
-	}
 }
 
 // replicaAddrs expands a base listen address into n consecutive-port

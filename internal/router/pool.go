@@ -8,11 +8,13 @@ import (
 	"djinn/internal/service"
 )
 
-// clientPool is a bounded pool of framed-protocol connections to one
-// replica address. A service.Client serialises requests on its
-// connection, so the pool is what gives one backend pipelining: up to
-// size exchanges can be in flight concurrently, and idle connections
-// are recycled instead of re-dialled per query.
+// clientPool recycles framed-protocol connections to one replica
+// address. A service.Client serialises requests on its connection, so
+// pooling is what gives one backend pipelining: each in-flight
+// exchange borrows its own connection. size bounds only how many idle
+// connections are kept for reuse — it does NOT cap concurrency: when
+// the idle list is empty get dials a fresh connection, and put closes
+// returned connections beyond the idle bound.
 type clientPool struct {
 	addr string
 	dial service.DialFunc

@@ -15,6 +15,7 @@ package router
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -69,8 +70,10 @@ type Config struct {
 	MaxAttempts int
 	// Health tunes mark-down and recovery.
 	Health HealthConfig
-	// PoolSize is the connection-pool bound per TCP backend added with
-	// AddAddr. Zero means 4.
+	// PoolSize is how many idle connections each TCP backend added
+	// with AddAddr keeps for reuse. It does not cap concurrency:
+	// exchanges beyond it dial fresh connections that are closed
+	// instead of recycled when they finish. Zero means 4.
 	PoolSize int
 }
 
@@ -140,6 +143,31 @@ func (r *replica) onSuccess(init HealthConfig, slow bool) {
 		r.state = healthy
 		r.probeInterval = init.ProbeInterval
 	}
+}
+
+// onTerminal resolves an attempt that ended in a non-retryable error.
+// For a healthy replica this is not a health signal (application
+// errors are deterministic, deadline budgets belong to the query) —
+// but a probe must never keep its slot past its attempt, or the
+// replica is ejected from the fleet forever. A server-answered error
+// proves the replica is alive, so the probe recovers it; a client-side
+// deadline or cancellation is inconclusive, so the replica is
+// re-marked down with the usual exponential back-off and re-probed
+// later.
+func (r *replica) onTerminal(init HealthConfig, answered bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.probing {
+		return
+	}
+	r.probing = false
+	if answered {
+		r.consecFails = 0
+		r.state = healthy
+		r.probeInterval = init.ProbeInterval
+		return
+	}
+	r.markDownLocked(init, time.Now())
 }
 
 // onFailure records a retryable failure signal.
@@ -430,7 +458,14 @@ func (rt *Router) attempt(ctx context.Context, rep *replica, app string, in []fl
 	}
 	if service.Retryable(err) {
 		rep.onFailure(rt.cfg.Health)
+		return nil, err
 	}
+	// Non-retryable outcome. An error answered while the caller's
+	// budget is intact can only be a server-produced status, which is
+	// liveness evidence; a deadline or cancellation says nothing about
+	// the replica. Either way the probe slot is released.
+	answered := ctx.Err() == nil && !errors.Is(err, service.ErrDeadlineExceeded)
+	rep.onTerminal(rt.cfg.Health, answered)
 	return nil, err
 }
 

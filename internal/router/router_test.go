@@ -309,6 +309,97 @@ func TestRouterProbeRecoveryWithExponentialBackoff(t *testing.T) {
 	}
 }
 
+// TestRouterProbeReleasedOnTerminalError guards the probe slot against
+// leaking: a recovery probe that ends in a NON-retryable error must
+// still release the replica's single probe slot. A server-answered
+// application error proves the replica alive and recovers it; a
+// deadline is inconclusive and re-marks it down with back-off — but
+// either way a later probe must remain possible, or one unlucky probe
+// permanently ejects the replica from the fleet.
+func TestRouterProbeReleasedOnTerminalError(t *testing.T) {
+	const probe = 20 * time.Millisecond
+	newFleet := func(t *testing.T) (*fakeBackend, *Router) {
+		t.Helper()
+		bad, good := &fakeBackend{}, &fakeBackend{}
+		bad.setErr(fmt.Errorf("%w: down", service.ErrTransport))
+		rt := New(Config{
+			Policy: RoundRobin,
+			Health: HealthConfig{FailureThreshold: 1, ProbeInterval: probe, MaxProbeInterval: time.Second},
+		})
+		t.Cleanup(rt.Close)
+		rt.AddBackend("bad", bad)
+		rt.AddBackend("good", good)
+		for i := 0; i < 2; i++ {
+			if _, err := rt.Infer("tiny", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rt.Stats()[0].Healthy {
+			t.Fatal("replica not marked down")
+		}
+		return bad, rt
+	}
+
+	t.Run("server-answered error recovers the replica", func(t *testing.T) {
+		bad, rt := newFleet(t)
+		// The probe lands while the replica answers a deterministic
+		// application error: the error surfaces to its unlucky caller,
+		// but the answer itself proves the replica alive.
+		bad.setErr(errors.New("service: server error: bad payload"))
+		time.Sleep(probe + 10*time.Millisecond)
+		var sawAppErr bool
+		for i := 0; i < 4; i++ {
+			if _, err := rt.Infer("tiny", nil); err != nil {
+				sawAppErr = true
+			}
+		}
+		if !sawAppErr {
+			t.Fatal("probe never reached the erroring replica")
+		}
+		if !rt.Stats()[0].Healthy {
+			t.Fatal("server-answered probe left the replica down (probe slot leaked)")
+		}
+	})
+
+	t.Run("deadline re-marks down and allows a re-probe", func(t *testing.T) {
+		bad, rt := newFleet(t)
+		// The probe times out: inconclusive liveness evidence, so the
+		// replica goes back down with doubled back-off — not wedged
+		// with its probe slot held forever.
+		bad.setErr(fmt.Errorf("%w: no result before deadline", service.ErrDeadlineExceeded))
+		time.Sleep(probe + 10*time.Millisecond)
+		for i := 0; i < 4; i++ {
+			rt.Infer("tiny", nil)
+		}
+		s := rt.Stats()[0]
+		if s.Healthy {
+			t.Fatal("inconclusive probe marked the replica healthy")
+		}
+		if s.Stats.Probes != 1 {
+			t.Fatalf("probes = %d, want 1", s.Stats.Probes)
+		}
+		if s.Stats.MarkDowns != 2 {
+			t.Fatalf("markdowns = %d, want 2 (initial + inconclusive probe)", s.Stats.MarkDowns)
+		}
+		// After the doubled interval the slot must be claimable again;
+		// a healed replica then recovers via its second probe.
+		bad.setErr(nil)
+		time.Sleep(2*probe + 10*time.Millisecond)
+		for i := 0; i < 6; i++ {
+			if _, err := rt.Infer("tiny", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s = rt.Stats()[0]
+		if s.Stats.Probes != 2 {
+			t.Fatalf("probes = %d, want 2 (slot released for re-probe)", s.Stats.Probes)
+		}
+		if !s.Healthy {
+			t.Fatal("replica never recovered after a terminal-error probe")
+		}
+	})
+}
+
 func TestRouterSlowResponsesTripMarkDown(t *testing.T) {
 	slow := &fakeBackend{}
 	slow.mu.Lock()
