@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/service/... ./internal/metrics/... ./internal/router/... ./internal/workload/...
+	$(GO) test -race ./internal/service/... ./internal/metrics/... ./internal/router/... ./internal/workload/... ./internal/trace/... ./internal/admin/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	djinn-service [-addr :7420] [-apps DIG,POS,NER | -apps all] [-replicas 1] [-stats 10s]
+//	djinn-service [-addr :7420] [-apps DIG,POS,NER | -apps all] [-replicas 1] [-stats 10s] [-admin :7421]
+//
+// -admin starts the observability plane on a separate HTTP listener:
+// Prometheus metrics on /metrics, the Go profiler under /debug/pprof/,
+// a JSON slow-query log on /slowlog, and per-request span timelines on
+// /trace?id= (send queries with a trace ID to populate them).
 //
 // With -replicas N > 1 it runs N independent replica servers in one
 // process on consecutive ports (addr's port, port+1, ...), sharing one
@@ -21,6 +26,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -38,6 +44,7 @@ func main() {
 	custom := flag.String("custom", "", "custom model: name=def.netdef[:weights.djnm]")
 	replicas := flag.Int("replicas", 1, "number of replica servers to run in this process")
 	stats := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 disables)")
+	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /metrics, /slowlog, /trace?id=, /debug/pprof/ (empty disables)")
 	flag.Parse()
 
 	if *replicas < 1 {
@@ -84,6 +91,27 @@ func main() {
 			}
 		}
 		servers[i] = srv
+	}
+
+	if *adminAddr != "" {
+		// Each replica gets a store labelled with its name so the slow
+		// log and /trace can tell the fleet's tiers apart.
+		reps := make([]djinn.AdminReplica, len(servers))
+		stores := make([]*djinn.TraceStore, len(servers))
+		for i, srv := range servers {
+			name := fmt.Sprintf("replica-%d", i)
+			st := djinn.NewTraceStore(name, 0)
+			srv.SetTraceStore(st)
+			reps[i] = djinn.AdminReplica{Name: name, Server: srv}
+			stores[i] = st
+		}
+		handler := djinn.NewAdminHandler(djinn.AdminOptions{Replicas: reps, Stores: stores})
+		go func() {
+			log.Printf("admin plane on http://%s (/metrics /slowlog /trace?id= /debug/pprof/)", *adminAddr)
+			if err := http.ListenAndServe(*adminAddr, handler); err != nil {
+				log.Fatalf("admin listener: %v", err)
+			}
+		}()
 	}
 
 	if *stats > 0 {

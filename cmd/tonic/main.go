@@ -10,9 +10,11 @@
 //	tonic [-addr ...]       imc
 //	tonic [-addr ...]       face
 //	tonic [-addr ...]       asr  [-seconds 1.0]
-//	tonic [-addr ...]       bench -app POS [-workers 4] [-dur 5s] [-deadline 20ms]
+//	tonic [-addr ...]       bench -app POS [-workers 4] [-dur 5s] [-deadline 20ms] [-trace 100]
 //	tonic [-addr ...]       stats
 //	tonic [-addr ...]       latency
+//	tonic [-addr ...]       trace <id>
+//	tonic [-addr ...]       trace -slowest 5
 //
 // Image and audio inputs are synthesised deterministically when not
 // supplied (the models carry synthetic weights, so predictions
@@ -37,7 +39,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed for synthetic inputs")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tonic [-addr host:port] <pos|chk|ner|dig|imc|face|asr|stats|latency|bench> [args]")
+		fmt.Fprintln(os.Stderr, "usage: tonic [-addr host:port] <pos|chk|ner|dig|imc|face|asr|stats|latency|trace|bench> [args]")
 		os.Exit(2)
 	}
 	client, err := djinn.Dial(*addr)
@@ -159,16 +161,46 @@ func main() {
 		workers := fs.Int("workers", 4, "closed-loop workers")
 		dur := fs.Duration("dur", 5*time.Second, "duration")
 		deadline := fs.Duration("deadline", 0, "per-query deadline (0 = none)")
+		traceEvery := fs.Int("trace", 0, "mint a trace ID on every Nth query per worker (0 = untraced)")
 		fs.Parse(args)
 		app, err := djinn.ParseApp(*appName)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := workload.DriveClosedLoopDeadline(client, app, djinn.ServiceName(app), *workers, *dur, *deadline)
+		res := workload.DriveClosedLoopOptions(client, djinn.ServiceName(app), func(rng *tensor.RNG) []float32 {
+			return workload.QueryPayload(app, rng)
+		}, workload.DriveOptions{Workers: *workers, Duration: *dur, Deadline: *deadline, TraceEvery: *traceEvery})
 		fmt.Printf("%s: %.1f QPS over %v (%s)\n", app, res.QPS, *dur, res.Latency)
 		if res.Errors+res.Shed+res.Expired > 0 {
 			fmt.Printf("errors: %d, shed: %d, expired: %d\n", res.Errors, res.Shed, res.Expired)
 		}
+		if len(res.TraceIDs) > 0 {
+			fmt.Printf("sampled trace IDs (inspect with `tonic trace <id>`):\n")
+			for _, id := range res.TraceIDs {
+				fmt.Printf("  %s\n", id)
+			}
+		}
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		slowest := fs.Int("slowest", 0, "list the server's N slowest retained traces instead of one ID")
+		fs.Parse(args)
+		if *slowest > 0 {
+			out, err := client.ServerSlowestTraces(*slowest)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(out)
+			break
+		}
+		if fs.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: tonic trace <id> | tonic trace -slowest N")
+			os.Exit(2)
+		}
+		out, err := client.ServerTrace(fs.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
 		os.Exit(2)

@@ -20,8 +20,11 @@
 package djinn
 
 import (
+	"context"
 	"io"
+	"net/http"
 
+	"djinn/internal/admin"
 	"djinn/internal/experiments"
 	"djinn/internal/metrics"
 	"djinn/internal/models"
@@ -29,6 +32,7 @@ import (
 	"djinn/internal/router"
 	"djinn/internal/service"
 	"djinn/internal/tonic"
+	"djinn/internal/trace"
 )
 
 // App identifies one of the seven Tonic Suite applications.
@@ -194,6 +198,43 @@ func NewASR(b Backend) *SpeechRecognizer { return tonic.NewASR(b) }
 func NewPOS(b Backend) *POSTagger        { return tonic.NewPOS(b) }
 func NewCHK(b Backend) *Chunker          { return tonic.NewCHK(b) }
 func NewNER(b Backend) *EntityRecognizer { return tonic.NewNER(b) }
+
+// Trace is one request's recorded span timeline as seen by one tier
+// (or several tiers, after MergeTraces).
+type Trace = trace.Trace
+
+// TraceStore is a bounded in-memory span store; each tier of a process
+// (the router, each server replica) owns one.
+type TraceStore = trace.Store
+
+// NewTraceID mints a request trace ID. Attach it to a query's context
+// with WithTraceID and every hop (router attempt, queue, batch,
+// forward, respond) records spans under it.
+func NewTraceID() string { return trace.NewID() }
+
+// WithTraceID attaches a trace ID to a query context; Client and Router
+// lower it onto the wire so remote tiers annotate under the same ID.
+func WithTraceID(ctx context.Context, id string) context.Context { return trace.WithID(ctx, id) }
+
+// NewTraceStore creates a bounded trace store labelled with tier.
+// capacity <= 0 means the default (1024 traces).
+func NewTraceStore(tier string, capacity int) *TraceStore { return trace.NewStore(tier, capacity) }
+
+// MergeTraces combines one request's spans across tiers (e.g. the
+// router's store plus each replica's) into a single timeline whose span
+// names are prefixed "tier/".
+func MergeTraces(id string, stores ...*TraceStore) (Trace, bool) { return trace.Merge(id, stores...) }
+
+// AdminOptions selects what a process's admin HTTP plane exports.
+type AdminOptions = admin.Options
+
+// AdminReplica pairs one in-process server with its exported name.
+type AdminReplica = admin.Replica
+
+// NewAdminHandler builds the admin HTTP handler: Prometheus text on
+// /metrics, pprof under /debug/pprof/, the slow-query log on /slowlog,
+// and merged per-request timelines on /trace?id=.
+func NewAdminHandler(opts AdminOptions) http.Handler { return admin.NewHandler(opts) }
 
 // Platform is the paper's evaluation platform (Table 2): the Xeon core
 // baseline, the K40 GPU model and the host interconnect. Its Fig* and

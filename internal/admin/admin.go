@@ -1,0 +1,318 @@
+// Package admin is the scrapeable export plane of a DjiNN process: a
+// small HTTP listener, separate from the query socket, that exposes the
+// service's internal instrumentation. The WSC operator story from the
+// paper (Section 6 sizes fleets from measured throughput and latency)
+// needs those measurements to leave the process somehow; this package
+// serves them in the three forms operations tooling already speaks —
+// Prometheus text on /metrics, net/http/pprof under /debug/pprof/, and
+// a JSON slow-query log of the worst recent traces on /slowlog.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"time"
+
+	"djinn/internal/metrics"
+	"djinn/internal/router"
+	"djinn/internal/service"
+	"djinn/internal/trace"
+)
+
+// Replica pairs a server with the name it reports under (a process
+// hosting several replicas labels each one, e.g. "replica-0").
+type Replica struct {
+	Name   string
+	Server *service.Server
+}
+
+// Options selects what the admin plane exports. Every field is
+// optional: a router-only process omits Replicas, a single-server
+// process omits Router.
+type Options struct {
+	// Replicas are the in-process servers to export.
+	Replicas []Replica
+	// Router, when set, contributes per-backend routing counters.
+	Router *router.Router
+	// Stores are the trace stores the slow-query log and /trace draw
+	// from (typically one per tier in this process).
+	Stores []*trace.Store
+	// SlowLog bounds the /slowlog response to the K worst traces.
+	// Zero means 10.
+	SlowLog int
+}
+
+// NewHandler builds the admin HTTP handler:
+//
+//	/metrics        Prometheus text exposition
+//	/slowlog        JSON: the K slowest retained traces, worst first
+//	/trace?id=<id>  JSON: one trace merged across this process's tiers
+//	/debug/pprof/   the standard Go profiler endpoints
+func NewHandler(opts Options) http.Handler {
+	if opts.SlowLog <= 0 {
+		opts.SlowLog = 10
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, opts)
+	})
+	mux.HandleFunc("/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(slowlog(opts.Stores, opts.SlowLog))
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if !trace.ValidID(id) {
+			http.Error(w, "missing or invalid ?id=", http.StatusBadRequest)
+			return
+		}
+		tr, ok := trace.Merge(id, opts.Stores...)
+		if !ok {
+			http.Error(w, "trace not retained", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(traceEntry(tr))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		io.WriteString(w, "djinn admin: /metrics /slowlog /trace?id= /debug/pprof/\n")
+	})
+	return mux
+}
+
+// SlowEntry is one slow-query-log record: a retained trace plus its
+// total wall-clock extent, ready for jq-style consumption.
+type SlowEntry struct {
+	ID    string        `json:"id"`
+	Tier  string        `json:"tier"`
+	Total time.Duration `json:"total_ns"`
+	Spans []trace.Span  `json:"spans"`
+}
+
+func traceEntry(tr trace.Trace) SlowEntry {
+	return SlowEntry{ID: tr.ID, Tier: tr.Tier, Total: tr.Duration(), Spans: tr.Spans}
+}
+
+// slowlog collects the k worst traces across every store, slowest
+// first. The same ID may appear once per tier; the per-tier views are
+// kept distinct (merge on demand via /trace?id=).
+func slowlog(stores []*trace.Store, k int) []SlowEntry {
+	var all []SlowEntry
+	for _, st := range stores {
+		if st == nil {
+			continue
+		}
+		for _, tr := range st.Slowest(k) {
+			all = append(all, traceEntry(tr))
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Total > all[j].Total })
+	if len(all) > k {
+		all = all[:k]
+	}
+	if all == nil {
+		all = []SlowEntry{}
+	}
+	return all
+}
+
+// writeMetrics renders the Prometheus text exposition format by hand —
+// the format is a stable line protocol and hand-rolling it keeps the
+// repo dependency-free.
+func writeMetrics(w io.Writer, opts Options) {
+	writeBuildInfo(w)
+
+	if len(opts.Replicas) > 0 {
+		fmt.Fprintln(w, "# HELP djinn_app_events_total Per-application lifecycle counters (queries, instances, batches, errors, shed, expired).")
+		fmt.Fprintln(w, "# TYPE djinn_app_events_total counter")
+		for _, rep := range opts.Replicas {
+			if rep.Server == nil {
+				continue
+			}
+			for _, app := range sortedApps(rep.Server) {
+				st, ok := rep.Server.StatsFor(app)
+				if !ok {
+					continue
+				}
+				for _, c := range []struct {
+					event string
+					v     int64
+				}{
+					{"queries", st.Queries}, {"instances", st.Instances},
+					{"batches", st.Batches}, {"errors", st.Errors},
+					{"shed", st.Shed}, {"expired", st.Expired},
+				} {
+					fmt.Fprintf(w, "djinn_app_events_total{replica=%q,app=%q,event=%q} %d\n",
+						rep.Name, app, c.event, c.v)
+				}
+			}
+		}
+
+		fmt.Fprintln(w, "# HELP djinn_stage_latency_seconds Per-stage request lifecycle latency.")
+		fmt.Fprintln(w, "# TYPE djinn_stage_latency_seconds histogram")
+		for _, rep := range opts.Replicas {
+			if rep.Server == nil {
+				continue
+			}
+			for _, app := range sortedApps(rep.Server) {
+				for _, stage := range metrics.Stages {
+					h, ok := rep.Server.StageHistogram(app, stage)
+					if !ok || h.Count == 0 {
+						continue
+					}
+					writeHistogram(w, "djinn_stage_latency_seconds",
+						fmt.Sprintf("replica=%q,app=%q,stage=%q", rep.Name, app, stage), h)
+				}
+			}
+		}
+
+		fmt.Fprintln(w, "# HELP djinn_stage_latency_quantile_seconds Reservoir-sampled stage latency quantiles.")
+		fmt.Fprintln(w, "# TYPE djinn_stage_latency_quantile_seconds gauge")
+		for _, rep := range opts.Replicas {
+			if rep.Server == nil {
+				continue
+			}
+			for _, app := range sortedApps(rep.Server) {
+				sum, ok := rep.Server.LatencyFor(app)
+				if !ok {
+					continue
+				}
+				for _, st := range []struct {
+					stage metrics.Stage
+					s     metrics.Summary
+				}{
+					{metrics.StageQueueWait, sum.QueueWait},
+					{metrics.StageBatchAssembly, sum.BatchAssembly},
+					{metrics.StageForward, sum.Forward},
+					{metrics.StageRespond, sum.Respond},
+				} {
+					if st.s.Count == 0 {
+						continue
+					}
+					base := fmt.Sprintf("replica=%q,app=%q,stage=%q", rep.Name, app, st.stage)
+					for _, q := range []struct {
+						q string
+						d time.Duration
+					}{{"0.5", st.s.P50}, {"0.95", st.s.P95}, {"0.99", st.s.P99}} {
+						fmt.Fprintf(w, "djinn_stage_latency_quantile_seconds{%s,quantile=%q} %g\n",
+							base, q.q, q.d.Seconds())
+					}
+				}
+			}
+		}
+
+		fmt.Fprintln(w, "# HELP djinn_recent_qps Completed queries per second over the last 10s window.")
+		fmt.Fprintln(w, "# TYPE djinn_recent_qps gauge")
+		for _, rep := range opts.Replicas {
+			if rep.Server == nil {
+				continue
+			}
+			fmt.Fprintf(w, "djinn_recent_qps{replica=%q} %g\n",
+				rep.Name, rep.Server.Throughput().RecentRate(10*time.Second))
+		}
+	}
+
+	if opts.Router != nil {
+		fmt.Fprintln(w, "# HELP djinn_backend_events_total Per-backend routing counters (sent, ok, failures, slow, markdowns, probes).")
+		fmt.Fprintln(w, "# TYPE djinn_backend_events_total counter")
+		snaps := opts.Router.Stats()
+		for _, bs := range snaps {
+			for _, c := range []struct {
+				event string
+				v     int64
+			}{
+				{"sent", bs.Stats.Sent}, {"ok", bs.Stats.OK},
+				{"failures", bs.Stats.Failures}, {"slow", bs.Stats.Slow},
+				{"markdowns", bs.Stats.MarkDowns}, {"probes", bs.Stats.Probes},
+			} {
+				fmt.Fprintf(w, "djinn_backend_events_total{backend=%q,event=%q} %d\n",
+					bs.ID, c.event, c.v)
+			}
+		}
+		fmt.Fprintln(w, "# HELP djinn_backend_healthy Whether the router considers the backend routable (1) or marked down (0).")
+		fmt.Fprintln(w, "# TYPE djinn_backend_healthy gauge")
+		for _, bs := range snaps {
+			v := 0
+			if bs.Healthy {
+				v = 1
+			}
+			fmt.Fprintf(w, "djinn_backend_healthy{backend=%q} %d\n", bs.ID, v)
+		}
+		fmt.Fprintln(w, "# HELP djinn_backend_outstanding Queries in flight to the backend.")
+		fmt.Fprintln(w, "# TYPE djinn_backend_outstanding gauge")
+		for _, bs := range snaps {
+			fmt.Fprintf(w, "djinn_backend_outstanding{backend=%q} %d\n", bs.ID, bs.Outstanding)
+		}
+	}
+
+	if len(opts.Stores) > 0 {
+		fmt.Fprintln(w, "# HELP djinn_traces_retained Traces currently held in each tier's bounded store.")
+		fmt.Fprintln(w, "# TYPE djinn_traces_retained gauge")
+		for _, st := range opts.Stores {
+			if st == nil {
+				continue
+			}
+			fmt.Fprintf(w, "djinn_traces_retained{tier=%q} %d\n", st.Tier(), st.Len())
+		}
+	}
+}
+
+// writeHistogram emits one Prometheus histogram series. The snapshot's
+// per-bucket counts become cumulative le-labelled buckets; durations
+// become seconds.
+func writeHistogram(w io.Writer, name, labels string, h metrics.HistogramSnapshot) {
+	var cum int64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, labels, formatLe(bound), cum)
+	}
+	cum += h.Counts[len(h.Counts)-1]
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.Sum.Seconds())
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count)
+}
+
+// formatLe renders a bucket bound in seconds without exponent noise
+// ("0.0005", not "5e-04") so scrapes diff cleanly.
+func formatLe(d time.Duration) string {
+	s := fmt.Sprintf("%.6f", d.Seconds())
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".") // whole-second bounds: "5." → "5"
+}
+
+func sortedApps(s *service.Server) []string {
+	apps := s.Apps()
+	sort.Strings(apps)
+	return apps
+}
+
+func writeBuildInfo(w io.Writer) {
+	fmt.Fprintln(w, "# HELP djinn_build_info Build metadata; the value is always 1.")
+	fmt.Fprintln(w, "# TYPE djinn_build_info gauge")
+	goVersion, revision := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		goVersion = bi.GoVersion
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				revision = kv.Value
+			}
+		}
+	}
+	fmt.Fprintf(w, "djinn_build_info{goversion=%q,revision=%q} 1\n", goVersion, revision)
+}

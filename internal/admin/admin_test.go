@@ -1,0 +1,224 @@
+package admin
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"djinn/internal/nn"
+	"djinn/internal/router"
+	"djinn/internal/service"
+	"djinn/internal/tensor"
+	"djinn/internal/testutil"
+	"djinn/internal/trace"
+)
+
+func silence(string, ...any) {}
+
+func testNet(seed uint64) *nn.Net {
+	rng := tensor.NewRNG(seed)
+	n := nn.NewNet("tiny", nn.KindDNN, 8)
+	n.Add(nn.NewFC("fc1", rng, 8, 16)).
+		Add(nn.NewReLU("relu")).
+		Add(nn.NewFC("fc2", rng, 16, 4)).
+		Add(nn.NewSoftmax("prob"))
+	return n
+}
+
+// adminFixture runs a tiny fleet (router over one in-process replica),
+// sends traced traffic through it, and returns a handler exporting it.
+func adminFixture(t *testing.T) (Options, string) {
+	t.Helper()
+	srv := service.NewServer()
+	srv.SetLogger(silence)
+	t.Cleanup(srv.Close)
+	srv.SetTraceStore(trace.NewStore("replica-0", 64))
+	if err := srv.Register("tiny", testNet(1), service.AppConfig{BatchInstances: 1, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rt := router.New(router.Config{})
+	t.Cleanup(rt.Close)
+	if err := rt.AddBackend("replica-0", srv); err != nil {
+		t.Fatal(err)
+	}
+
+	id := trace.NewID()
+	in := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := rt.InferCtx(trace.WithID(context.Background(), id), "tiny", in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Infer("tiny", in); err != nil {
+		t.Fatal(err)
+	}
+
+	return Options{
+		Replicas: []Replica{{Name: "replica-0", Server: srv}},
+		Router:   rt,
+		Stores:   []*trace.Store{rt.TraceStore(), srv.TraceStore()},
+		SlowLog:  5,
+	}, id
+}
+
+func get(t *testing.T, opts Options, url string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	NewHandler(opts).ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestMetricsExposition(t *testing.T) {
+	testutil.NoLeaks(t)
+	opts, _ := adminFixture(t)
+	code, body := get(t, opts, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		`djinn_build_info{goversion=`,
+		`djinn_app_events_total{replica="replica-0",app="tiny",event="queries"} 2`,
+		`djinn_app_events_total{replica="replica-0",app="tiny",event="shed"} 0`,
+		`djinn_app_events_total{replica="replica-0",app="tiny",event="expired"} 0`,
+		`djinn_app_events_total{replica="replica-0",app="tiny",event="errors"} 0`,
+		`djinn_stage_latency_seconds_bucket{replica="replica-0",app="tiny",stage="forward",le="+Inf"} 2`,
+		`djinn_stage_latency_seconds_count{replica="replica-0",app="tiny",stage="queue_wait"} 2`,
+		`djinn_stage_latency_seconds_sum{replica="replica-0",app="tiny",stage="forward"}`,
+		`djinn_stage_latency_quantile_seconds{replica="replica-0",app="tiny",stage="forward",quantile="0.99"}`,
+		`djinn_recent_qps{replica="replica-0"}`,
+		`djinn_backend_events_total{backend="replica-0",event="sent"} 2`,
+		`djinn_backend_events_total{backend="replica-0",event="ok"} 2`,
+		`djinn_backend_healthy{backend="replica-0"} 1`,
+		`djinn_backend_outstanding{backend="replica-0"} 0`,
+		`djinn_traces_retained{tier="router"} 1`,
+		`djinn_traces_retained{tier="replica-0"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if t.Failed() {
+		t.Log(body)
+	}
+}
+
+func TestMetricsHistogramBucketsCumulative(t *testing.T) {
+	testutil.NoLeaks(t)
+	opts, _ := adminFixture(t)
+	_, body := get(t, opts, "/metrics")
+	// Cumulative buckets must be monotonically non-decreasing within
+	// one series, ending at the _count value.
+	prefix := `djinn_stage_latency_seconds_bucket{replica="replica-0",app="tiny",stage="forward",`
+	var last int64 = -1
+	n := 0
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		n++
+		fields := strings.Fields(line)
+		v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket line %q", line)
+		}
+		if v < last {
+			t.Fatalf("bucket series not cumulative: %d after %d in %q", v, last, line)
+		}
+		last = v
+	}
+	if n == 0 {
+		t.Fatal("no forward bucket lines found")
+	}
+	if last != 2 {
+		t.Fatalf("+Inf bucket = %d, want 2", last)
+	}
+}
+
+func TestSlowlogAndTrace(t *testing.T) {
+	testutil.NoLeaks(t)
+	opts, id := adminFixture(t)
+
+	code, body := get(t, opts, "/slowlog")
+	if code != 200 {
+		t.Fatalf("/slowlog status %d", code)
+	}
+	var entries []SlowEntry
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatalf("slowlog not JSON: %v\n%s", err, body)
+	}
+	if len(entries) != 2 { // one router view + one replica view of the same id
+		t.Fatalf("slowlog has %d entries, want 2: %+v", len(entries), entries)
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Total > entries[i-1].Total {
+			t.Fatal("slowlog not sorted worst-first")
+		}
+	}
+
+	code, body = get(t, opts, "/trace?id="+id)
+	if code != 200 {
+		t.Fatalf("/trace status %d: %s", code, body)
+	}
+	var merged SlowEntry
+	if err := json.Unmarshal([]byte(body), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.ID != id || !strings.Contains(merged.Tier, "router") || !strings.Contains(merged.Tier, "replica-0") {
+		t.Fatalf("merged trace wrong: %+v", merged)
+	}
+	names := map[string]bool{}
+	for _, sp := range merged.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"router/route", "replica-0/forward"} {
+		if !names[want] {
+			t.Fatalf("merged trace missing %s: %+v", want, merged.Spans)
+		}
+	}
+
+	if code, _ := get(t, opts, "/trace"); code != 400 {
+		t.Fatalf("missing id returned %d, want 400", code)
+	}
+	if code, _ := get(t, opts, "/trace?id=deadbeefdeadbeef"); code != 404 {
+		t.Fatalf("unknown id returned %d, want 404", code)
+	}
+}
+
+func TestPprofAndIndex(t *testing.T) {
+	testutil.NoLeaks(t)
+	opts := Options{} // everything optional: an empty process still serves
+	if code, body := get(t, opts, "/debug/pprof/goroutine?debug=1"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof goroutine: %d\n%s", code, body)
+	}
+	if code, body := get(t, opts, "/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %s", code, body)
+	}
+	if code, _ := get(t, opts, "/nope"); code != 404 {
+		t.Fatal("unknown path not 404")
+	}
+	// Empty process: /metrics still yields build info, /slowlog [].
+	if _, body := get(t, opts, "/metrics"); !strings.Contains(body, "djinn_build_info") {
+		t.Fatal("empty /metrics missing build info")
+	}
+	if _, body := get(t, opts, "/slowlog"); strings.TrimSpace(body) != "[]" {
+		t.Fatalf("empty slowlog = %q", body)
+	}
+}
+
+func TestFormatLe(t *testing.T) {
+	for _, c := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{50 * time.Microsecond, "0.00005"},
+		{time.Millisecond, "0.001"},
+		{time.Second, "1"},
+		{5 * time.Second, "5"},
+	} {
+		if got := formatLe(c.d); got != c.want {
+			t.Errorf("formatLe(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

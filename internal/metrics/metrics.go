@@ -188,10 +188,86 @@ func (s Stage) String() string {
 	return fmt.Sprintf("stage(%d)", int(s))
 }
 
-// StageBreakdown holds one bounded recorder per lifecycle stage; safe
-// for concurrent use.
+// Stages lists every lifecycle stage in request order, for callers
+// (the admin exporter) that iterate the full breakdown.
+var Stages = []Stage{StageQueueWait, StageBatchAssembly, StageForward, StageRespond, StageRoute}
+
+// DefaultLatencyBuckets are the fixed histogram bucket upper bounds
+// used for the scrapeable export: roughly logarithmic from 50µs to 5s,
+// covering a sub-millisecond forward pass through a retry storm. They
+// complement the reservoirs: the reservoir answers "what is p99 right
+// now" exactly, the fixed buckets aggregate across scrapes and
+// processes (Prometheus histogram_quantile) without coordination.
+var DefaultLatencyBuckets = []time.Duration{
+	50 * time.Microsecond, 100 * time.Microsecond, 250 * time.Microsecond,
+	500 * time.Microsecond, time.Millisecond, 2500 * time.Microsecond,
+	5 * time.Millisecond, 10 * time.Millisecond, 25 * time.Millisecond,
+	50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond,
+	500 * time.Millisecond, time.Second, 2500 * time.Millisecond, 5 * time.Second,
+}
+
+// Histogram is a fixed-bucket latency histogram. Record is lock-free
+// (one atomic add per bucket/sum/count), so it can sit on the serving
+// hot path next to the reservoir recorders.
+type Histogram struct {
+	bounds []time.Duration
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Int64   // nanoseconds
+	count  atomic.Int64
+}
+
+// NewHistogram creates a histogram over the given ascending bucket
+// upper bounds (nil means DefaultLatencyBuckets).
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{
+		bounds: append([]time.Duration(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Counts is
+// per-bucket (not cumulative) and one longer than Bounds; the final
+// entry is the overflow (+Inf) bucket.
+type HistogramSnapshot struct {
+	Bounds []time.Duration
+	Counts []int64
+	Sum    time.Duration
+	Count  int64
+}
+
+// Snapshot copies the histogram. The per-bucket loads are not a single
+// atomic cut, but Count is loaded last after every bucket it covers, so
+// the sum of Counts never exceeds a concurrently read Count by more
+// than in-flight Records.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]time.Duration(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = time.Duration(h.sum.Load())
+	s.Count = h.count.Load()
+	return s
+}
+
+// StageBreakdown holds one bounded reservoir recorder plus one
+// fixed-bucket histogram per lifecycle stage; safe for concurrent use.
 type StageBreakdown struct {
-	recs [numStages]*LatencyRecorder
+	recs  [numStages]*LatencyRecorder
+	hists [numStages]*Histogram
 }
 
 // NewStageBreakdown creates an empty breakdown.
@@ -199,16 +275,27 @@ func NewStageBreakdown() *StageBreakdown {
 	b := &StageBreakdown{}
 	for i := range b.recs {
 		b.recs[i] = NewLatencyRecorder()
+		b.hists[i] = NewHistogram(nil)
 	}
 	return b
 }
 
-// Record adds one sample to a stage.
+// Record adds one sample to a stage's reservoir and histogram.
 func (b *StageBreakdown) Record(s Stage, d time.Duration) {
 	if s < 0 || s >= numStages {
 		return
 	}
 	b.recs[s].Record(d)
+	b.hists[s].Record(d)
+}
+
+// HistogramFor snapshots one stage's fixed-bucket histogram (the
+// scrapeable export path).
+func (b *StageBreakdown) HistogramFor(s Stage) HistogramSnapshot {
+	if s < 0 || s >= numStages {
+		return HistogramSnapshot{}
+	}
+	return b.hists[s].Snapshot()
 }
 
 // StageSummary is a snapshot of every lifecycle stage.
@@ -305,35 +392,101 @@ func (s BackendStats) String() string {
 		s.Sent, s.OK, s.Failures, s.Slow, s.MarkDowns, s.Probes)
 }
 
-// Throughput measures completed operations over wall-clock time.
+// throughputSlots is how many one-second buckets Throughput keeps for
+// its recent-window rate (so RecentRate supports windows up to 60s).
+const throughputSlots = 60
+
+// Throughput measures completed operations over wall-clock time. Rate
+// is the lifetime average; RecentRate is a sliding window over the
+// last seconds, so a long-running service's scrape shows current load
+// rather than the average since boot.
 type Throughput struct {
 	mu    sync.Mutex
 	count int64
 	start time.Time
+	now   func() time.Time // injectable clock for tests
+
+	slots   [throughputSlots]int64 // ops completed in one-second buckets
+	slotSec [throughputSlots]int64 // unix second each bucket holds
 }
 
 // NewThroughput starts a throughput window now.
-func NewThroughput() *Throughput { return &Throughput{start: time.Now()} }
+func NewThroughput() *Throughput {
+	return &Throughput{start: time.Now(), now: time.Now}
+}
 
 // Add records n completed operations.
 func (t *Throughput) Add(n int64) {
 	t.mu.Lock()
 	t.count += n
+	sec := t.now().Unix()
+	i := sec % throughputSlots
+	if t.slotSec[i] != sec {
+		t.slots[i], t.slotSec[i] = 0, sec
+	}
+	t.slots[i] += n
 	t.mu.Unlock()
 }
 
-// Rate returns operations per second since the window started.
+// Rate returns operations per second since the window started (or
+// since the last Reset).
 func (t *Throughput) Rate() float64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	el := time.Since(t.start).Seconds()
+	el := t.now().Sub(t.start).Seconds()
 	if el <= 0 {
 		return 0
 	}
 	return float64(t.count) / el
 }
 
-// Count returns the total operations recorded.
+// RecentRate returns operations per second over the trailing window
+// (clamped to [1s, 60s] and to the time elapsed since start/Reset), so
+// a service that was busy an hour ago but idle now reports ~0 instead
+// of its lifetime average.
+func (t *Throughput) RecentRate(window time.Duration) float64 {
+	if window < time.Second {
+		window = time.Second
+	}
+	if window > throughputSlots*time.Second {
+		window = throughputSlots * time.Second
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	elapsed := now.Sub(t.start)
+	if elapsed <= 0 {
+		return 0
+	}
+	if window > elapsed {
+		window = elapsed
+	}
+	cutoff := now.Add(-window).Unix()
+	var n int64
+	for i := range t.slots {
+		if t.slotSec[i] >= cutoff {
+			n += t.slots[i]
+		}
+	}
+	secs := window.Seconds()
+	if secs < 1 {
+		secs = 1
+	}
+	return float64(n) / secs
+}
+
+// Reset zeroes the counters and restarts both the lifetime and the
+// recent windows now.
+func (t *Throughput) Reset() {
+	t.mu.Lock()
+	t.count = 0
+	t.start = t.now()
+	t.slots = [throughputSlots]int64{}
+	t.slotSec = [throughputSlots]int64{}
+	t.mu.Unlock()
+}
+
+// Count returns the total operations recorded since start/Reset.
 func (t *Throughput) Count() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()

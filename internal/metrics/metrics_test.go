@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -209,5 +210,217 @@ func TestThroughput(t *testing.T) {
 	time.Sleep(10 * time.Millisecond)
 	if r := tp.Rate(); r <= 0 || r > 15/0.01 {
 		t.Fatalf("rate %v implausible", r)
+	}
+}
+
+func TestThroughputReset(t *testing.T) {
+	tp := NewThroughput()
+	tp.Add(100)
+	tp.Reset()
+	if tp.Count() != 0 {
+		t.Fatalf("count %d after reset", tp.Count())
+	}
+	if r := tp.RecentRate(time.Second); r != 0 {
+		t.Fatalf("recent rate %v after reset", r)
+	}
+	tp.Add(7)
+	if tp.Count() != 7 {
+		t.Fatalf("count %d after post-reset add", tp.Count())
+	}
+}
+
+// fakeClock drives a Throughput through simulated time.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func TestThroughputRecentRateSlidesPastOldLoad(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1_000_000, 0)}
+	tp := NewThroughput()
+	tp.now = clock.now
+	tp.start = clock.t
+
+	// A burst of 300 ops over 3 seconds...
+	for i := 0; i < 3; i++ {
+		tp.Add(100)
+		clock.t = clock.t.Add(time.Second)
+	}
+	if r := tp.RecentRate(3 * time.Second); r < 90 || r > 110 {
+		t.Fatalf("recent rate during burst %v, want ~100", r)
+	}
+	// ...then two minutes of silence: the lifetime average still shows
+	// the old load, the sliding window shows none.
+	clock.t = clock.t.Add(2 * time.Minute)
+	if r := tp.Rate(); r <= 0 {
+		t.Fatalf("lifetime rate %v, want > 0", r)
+	}
+	if r := tp.RecentRate(10 * time.Second); r != 0 {
+		t.Fatalf("recent rate after idle period %v, want 0", r)
+	}
+	// Fresh load dominates the window again.
+	tp.Add(50)
+	if r := tp.RecentRate(time.Second); r < 40 {
+		t.Fatalf("recent rate after fresh load %v, want ~50", r)
+	}
+}
+
+func TestThroughputRecentRateClampsWindowToElapsed(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(2_000_000, 0)}
+	tp := NewThroughput()
+	tp.now = clock.now
+	tp.start = clock.t
+	tp.Add(100)
+	clock.t = clock.t.Add(2 * time.Second)
+	// Only 2s have elapsed; a 60s window must not dilute the rate.
+	if r := tp.RecentRate(time.Minute); r < 45 || r > 110 {
+		t.Fatalf("clamped recent rate %v, want ~50", r)
+	}
+}
+
+func TestHistogramBucketsAndSnapshot(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond})
+	h.Record(500 * time.Microsecond) // bucket 0 (≤1ms)
+	h.Record(time.Millisecond)       // bucket 0 (boundary is inclusive)
+	h.Record(2 * time.Millisecond)   // bucket 1 (≤10ms)
+	h.Record(time.Second)            // overflow bucket
+	s := h.Snapshot()
+	if len(s.Counts) != 3 {
+		t.Fatalf("bucket count %d, want 3", len(s.Counts))
+	}
+	if s.Counts[0] != 2 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Fatalf("bucket counts %v", s.Counts)
+	}
+	if s.Count != 4 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if want := 1003500 * time.Microsecond; s.Sum != want {
+		t.Fatalf("sum %v, want %v", s.Sum, want)
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Record(time.Millisecond)
+	s := h.Snapshot()
+	if len(s.Bounds) != len(DefaultLatencyBuckets) || len(s.Counts) != len(s.Bounds)+1 {
+		t.Fatalf("default bucket shape: %d bounds, %d counts", len(s.Bounds), len(s.Counts))
+	}
+}
+
+// TestHistogramConcurrentRecordVsSnapshot interleaves the lock-free
+// Record path with Snapshot readers (the admin scraper's view) and
+// checks the final snapshot is exact once writers stop. Runs under
+// -race via the Makefile race gate.
+func TestHistogramConcurrentRecordVsSnapshot(t *testing.T) {
+	h := NewHistogram(nil)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var inBuckets int64
+			for _, c := range s.Counts {
+				inBuckets += c
+			}
+			// Count is loaded last, after the buckets: the bucket sum may
+			// run ahead of it by in-flight Records, never behind.
+			if inBuckets < s.Count {
+				t.Errorf("torn snapshot: bucket sum %d < count %d", inBuckets, s.Count)
+				return
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(w*per+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count %d, want %d", s.Count, workers*per)
+	}
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != workers*per {
+		t.Fatalf("bucket sum %d, want %d", total, workers*per)
+	}
+}
+
+func TestStageBreakdownHistogramPath(t *testing.T) {
+	b := NewStageBreakdown()
+	b.Record(StageForward, 2*time.Millisecond)
+	b.Record(StageForward, 30*time.Millisecond)
+	b.Record(Stage(99), time.Second) // out of range: ignored
+	s := b.HistogramFor(StageForward)
+	if s.Count != 2 {
+		t.Fatalf("forward histogram count %d", s.Count)
+	}
+	if empty := b.HistogramFor(StageQueueWait); empty.Count != 0 {
+		t.Fatalf("queue histogram count %d, want 0", empty.Count)
+	}
+	if oob := b.HistogramFor(Stage(99)); oob.Count != 0 || len(oob.Bounds) != 0 {
+		t.Fatalf("out-of-range stage returned %+v", oob)
+	}
+	if len(Stages) != int(numStages) {
+		t.Fatalf("Stages lists %d stages, breakdown has %d", len(Stages), numStages)
+	}
+}
+
+func TestStageSummaryStringRendering(t *testing.T) {
+	b := NewStageBreakdown()
+	b.Record(StageQueueWait, time.Millisecond)
+	b.Record(StageForward, 5*time.Millisecond)
+	s := b.Summarize()
+	str := s.String()
+	// Route is omitted when nothing recorded it (single-server case).
+	if containsLine(str, "route") {
+		t.Fatalf("route stage rendered with no samples:\n%s", str)
+	}
+	for _, want := range []string{"queue_wait", "batch_assembly", "forward", "respond"} {
+		if !containsLine(str, want) {
+			t.Fatalf("summary missing %q:\n%s", want, str)
+		}
+	}
+	b.Record(StageRoute, 2*time.Millisecond)
+	str = b.Summarize().String()
+	if !containsLine(str, "route") {
+		t.Fatalf("route stage missing after recording:\n%s", str)
+	}
+	if !strings.Contains(str, "n=1 mean=5ms") {
+		t.Fatalf("forward summary not rendered:\n%s", str)
+	}
+}
+
+func TestBackendStatsStringRendering(t *testing.T) {
+	var c BackendCounters
+	c.Sent()
+	c.Sent()
+	c.OK()
+	c.Failure()
+	c.Slow()
+	c.MarkDown()
+	c.Probe()
+	got := c.Snapshot().String()
+	want := "sent=2 ok=1 failures=1 slow=1 markdowns=1 probes=1"
+	if got != want {
+		t.Fatalf("backend stats rendering:\n got %q\nwant %q", got, want)
 	}
 }

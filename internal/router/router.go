@@ -23,6 +23,7 @@ import (
 
 	"djinn/internal/metrics"
 	"djinn/internal/service"
+	"djinn/internal/trace"
 )
 
 // HealthConfig tunes the per-replica health state machine.
@@ -227,7 +228,8 @@ type Router struct {
 	rng      uint64
 	closed   bool
 
-	route *metrics.StageBreakdown
+	route  *metrics.StageBreakdown
+	traces atomic.Pointer[trace.Store]
 }
 
 // New creates a router with no backends; add them with AddBackend or
@@ -237,7 +239,22 @@ func New(cfg Config) *Router {
 	if cfg.PoolSize <= 0 {
 		cfg.PoolSize = 4
 	}
-	return &Router{cfg: cfg, rng: 0x6a09e667f3bcc909, route: metrics.NewStageBreakdown()}
+	rt := &Router{cfg: cfg, rng: 0x6a09e667f3bcc909, route: metrics.NewStageBreakdown()}
+	rt.traces.Store(trace.NewStore("router", trace.DefaultStoreSize))
+	return rt
+}
+
+// TraceStore returns the router's bounded span store: every traced
+// query (a context carrying trace.WithID) leaves one route_attempt
+// span per attempt here — including the retry/markdown cause of each
+// failed attempt — plus a closing route span.
+func (rt *Router) TraceStore() *trace.Store { return rt.traces.Load() }
+
+// SetTraceStore replaces the router's span store.
+func (rt *Router) SetTraceStore(st *trace.Store) {
+	if st != nil {
+		rt.traces.Store(st)
+	}
 }
 
 // AddBackend registers a replica the caller owns (an in-process
@@ -408,6 +425,7 @@ func (rt *Router) InferCtx(ctx context.Context, app string, in []float32) ([]flo
 		ctx = context.Background()
 	}
 	start := time.Now()
+	traceID, traceStore := trace.IDFrom(ctx), rt.traces.Load()
 	attempts := rt.maxAttempts(n)
 	tried := make(map[*replica]bool, attempts)
 	var lastErr error
@@ -427,9 +445,22 @@ func (rt *Router) InferCtx(ctx context.Context, app string, in []float32) ([]flo
 				break
 			}
 		}
+		t0 := time.Now()
 		out, err := rt.attempt(ctx, rep, app, in)
+		if traceID != "" && traceStore != nil {
+			traceStore.Add(traceID, trace.Span{
+				Name: "route_attempt", Start: t0, Dur: time.Since(t0),
+				Note: attemptNote(rep, attempt, err),
+			})
+		}
 		if err == nil {
 			rt.route.Record(metrics.StageRoute, time.Since(start))
+			if traceID != "" && traceStore != nil {
+				traceStore.Add(traceID, trace.Span{
+					Name: "route", Start: start, Dur: time.Since(start),
+					Note: fmt.Sprintf("app=%s attempts=%d", app, attempt+1),
+				})
+			}
 			return out, nil
 		}
 		if !service.Retryable(err) {
@@ -439,6 +470,26 @@ func (rt *Router) InferCtx(ctx context.Context, app string, in []float32) ([]flo
 		tried[rep] = true
 	}
 	return nil, fmt.Errorf("router: %s failed on %d attempt(s): %w", app, attempts, lastErr)
+}
+
+// attemptNote summarises one routing attempt for its trace span: which
+// backend, which retry, and — on failure — the cause plus whether the
+// failure marked the replica down (the "2 retries after a markdown"
+// explanation a tail-latency trace needs).
+func attemptNote(rep *replica, attempt int, err error) string {
+	note := fmt.Sprintf("backend=%s attempt=%d", rep.id, attempt+1)
+	if err == nil {
+		return note + " ok"
+	}
+	msg := err.Error()
+	if len(msg) > 120 {
+		msg = msg[:120] + "..."
+	}
+	note += " err=" + msg
+	if !rep.healthy() {
+		note += " [backend marked down]"
+	}
+	return note
 }
 
 // attempt runs one exchange against one replica, maintaining its

@@ -5,9 +5,12 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"djinn/internal/trace"
 )
 
 // deadlineGrace is added to the connection I/O deadline beyond the
@@ -74,7 +77,9 @@ func (c *Client) Infer(app string, in []float32) ([]float32, error) {
 // the request frame, so the server expires the query at whichever
 // lifecycle stage the deadline passes (queue, batch assembly, or the
 // response wait) and answers with a distinct status the caller can
-// test with errors.Is(err, ErrDeadlineExceeded).
+// test with errors.Is(err, ErrDeadlineExceeded). A trace ID attached
+// to ctx (trace.WithID) rides the frame's optional trace header, so
+// the server annotates its lifecycle spans under the caller's ID.
 func (c *Client) InferCtx(ctx context.Context, app string, in []float32) ([]float32, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -92,8 +97,14 @@ func (c *Client) InferCtx(ctx context.Context, app string, in []float32) ([]floa
 		c.conn.SetDeadline(dl.Add(deadlineGrace))
 		defer c.conn.SetDeadline(time.Time{})
 	}
-	if err := writeRequest(c.rw, app, budget, in); err != nil {
-		return nil, c.fail(fmt.Errorf("service: sending request: %w", err))
+	var werr error
+	if id := trace.IDFrom(ctx); id != "" && len(id) <= trace.MaxIDLen {
+		werr = writeTracedRequest(c.rw, id, app, budget, in)
+	} else {
+		werr = writeRequest(c.rw, app, budget, in)
+	}
+	if werr != nil {
+		return nil, c.fail(fmt.Errorf("service: sending request: %w", werr))
 	}
 	if err := c.rw.Flush(); err != nil {
 		return nil, c.fail(fmt.Errorf("service: flushing request: %w", err))
@@ -214,4 +225,17 @@ func (c *Client) ServerStats(app string) (string, error) {
 // (queue wait / batch assembly / forward / respond) of one application.
 func (c *Client) ServerLatency(app string) (string, error) {
 	return c.Control("latency " + app)
+}
+
+// ServerTrace returns the server's rendered span timeline for one
+// trace ID — what the server recorded for a query sent with
+// trace.WithID.
+func (c *Client) ServerTrace(id string) (string, error) {
+	return c.Control("trace " + id)
+}
+
+// ServerSlowestTraces returns the server's N worst recent traces as
+// "id total spans" lines, slowest first.
+func (c *Client) ServerSlowestTraces(n int) (string, error) {
+	return c.Control("trace slowest " + strconv.Itoa(n))
 }

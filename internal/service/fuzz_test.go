@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 	"time"
+
+	"djinn/internal/trace"
 )
 
 // FuzzReadRequest: arbitrary bytes must never panic the request parser
@@ -45,6 +47,68 @@ func FuzzReadRequest(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzReadTracedRequest: the traced-frame path ('DJRT' magic + trace-ID
+// header) must never panic and never accept an oversized ID. The loop
+// dispatches on the magic exactly like the server's connection handler,
+// so plain and traced frames can interleave on one stream.
+func FuzzReadTracedRequest(f *testing.F) {
+	// A well-formed traced frame.
+	var traced bytes.Buffer
+	writeTracedRequest(&traced, "abcdef0123456789", "asr", 100*time.Millisecond, []float32{1, 2})
+	f.Add(traced.Bytes())
+	// Absent ID: idLen 0 is legal and means "untraced".
+	var untraced bytes.Buffer
+	writeTracedRequest(&untraced, "", "dig", 0, []float32{3})
+	f.Add(untraced.Bytes())
+	// Truncated: the header promises 16 ID bytes, the stream ends early.
+	f.Add(append(trMagicBytes(), 16, 'a', 'b'))
+	// Oversized: idLen 200 > trace.MaxIDLen is a protocol violation.
+	frame := append(trMagicBytes(), 200)
+	frame = append(frame, bytes.Repeat([]byte{'x'}, 200)...)
+	f.Add(frame)
+	// Duplicated back to back: a router retry landing behind the
+	// original on a surviving connection.
+	f.Add(append(append([]byte{}, traced.Bytes()...), traced.Bytes()...))
+	// A traced frame followed by a plain one on the same stream.
+	var mixed bytes.Buffer
+	mixed.Write(traced.Bytes())
+	writeRequest(&mixed, "pos", 0, []float32{4})
+	f.Add(mixed.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for i := 0; i < 16; i++ {
+			magic, err := readUint32(r)
+			if err != nil {
+				break
+			}
+			if magic == reqTraceMagic {
+				id, err := readTraceHeader(r)
+				if err != nil {
+					break
+				}
+				if len(id) > trace.MaxIDLen {
+					t.Fatalf("accepted %d-byte trace id", len(id))
+				}
+			} else if magic != reqMagic {
+				break
+			}
+			app, deadline, in, err := readRequestBody(r)
+			if err != nil {
+				break
+			}
+			if len(app) == 0 || len(app) > MaxAppNameLen ||
+				len(in) > MaxPayloadFloats || deadline < 0 {
+				t.Fatalf("accepted bad body: app=%q deadline=%v floats=%d", app, deadline, len(in))
+			}
+		}
+	})
+}
+
+// trMagicBytes is the little-endian 'DJRT' magic, for hand-built seeds.
+func trMagicBytes() []byte {
+	return []byte{0x54, 0x52, 0x4a, 0x44}
 }
 
 // FuzzReadResponse: same guarantee for the client-side parser, looping

@@ -80,6 +80,7 @@ type request struct {
 	ctx       context.Context
 	in        []float32
 	instances int
+	traceID   string // non-empty when the query carries a trace ID
 
 	enqueued time.Time // dispatch put it on the app queue
 	dequeued time.Time // aggregator picked it up

@@ -13,12 +13,22 @@ import (
 	"io"
 	"math"
 	"time"
+
+	"djinn/internal/trace"
 )
 
 // Wire protocol: little-endian framed messages.
 //
 //	request:  magic 'DJRQ' u32 | appLen u16 | app bytes | deadlineMicros u32 | nFloats u32 | floats
+//	traced:   magic 'DJRT' u32 | idLen u8 | id bytes | <request body as above, minus magic>
 //	response: magic 'DJRS' u32 | status u8  | msgLen u16 | msg bytes  | nFloats u32 | floats
+//
+// The traced frame is the optional trace-ID header: a client (or
+// router) that minted a request ID sends 'DJRT' so every hop can
+// annotate spans under that ID; untraced clients keep sending 'DJRQ'
+// and old servers simply never see the new magic. idLen is bounded by
+// trace.MaxIDLen; a zero idLen is legal and means "untraced" (the
+// frame degrades to a plain request).
 //
 // The request payload is the preprocessed input for one query: a batch
 // of DNN input instances laid out contiguously (e.g. 548 spliced
@@ -31,9 +41,10 @@ import (
 // the server arms a context deadline from it and sheds the query at
 // whichever lifecycle stage the budget runs out.
 const (
-	reqMagic  = 0x444a5251 // "DJRQ"
-	respMagic = 0x444a5253 // "DJRS"
-	ctrlMagic = 0x444a4343 // "DJCC" — control commands (apps, stats)
+	reqMagic      = 0x444a5251 // "DJRQ"
+	reqTraceMagic = 0x444a5254 // "DJRT" — request carrying a trace-ID header
+	respMagic     = 0x444a5253 // "DJRS"
+	ctrlMagic     = 0x444a4343 // "DJCC" — control commands (apps, stats)
 
 	// StatusOK indicates a successful inference.
 	StatusOK = 0
@@ -126,11 +137,35 @@ const maxWireDeadline = time.Duration(math.MaxUint32) * time.Microsecond
 // writeRequest frames one inference request. deadline is the remaining
 // latency budget (0 = none).
 func writeRequest(w io.Writer, app string, deadline time.Duration, in []float32) error {
-	if len(app) == 0 || len(app) > MaxAppNameLen {
-		return fmt.Errorf("service: bad app name length %d", len(app))
-	}
 	if err := writeUint32(w, reqMagic); err != nil {
 		return err
+	}
+	return writeRequestFields(w, app, deadline, in)
+}
+
+// writeTracedRequest frames one inference request carrying a trace-ID
+// header ('DJRT').
+func writeTracedRequest(w io.Writer, id, app string, deadline time.Duration, in []float32) error {
+	if len(id) > trace.MaxIDLen {
+		return fmt.Errorf("service: trace id of %d bytes exceeds %d", len(id), trace.MaxIDLen)
+	}
+	if err := writeUint32(w, reqTraceMagic); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{byte(len(id))}); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, id); err != nil {
+		return err
+	}
+	return writeRequestFields(w, app, deadline, in)
+}
+
+// writeRequestFields writes the request body shared by the plain and
+// traced frames (everything after the magic and optional trace header).
+func writeRequestFields(w io.Writer, app string, deadline time.Duration, in []float32) error {
+	if len(app) == 0 || len(app) > MaxAppNameLen {
+		return fmt.Errorf("service: bad app name length %d", len(app))
 	}
 	var nl [2]byte
 	binary.LittleEndian.PutUint16(nl[:], uint16(len(app)))
@@ -147,6 +182,28 @@ func writeRequest(w io.Writer, app string, deadline time.Duration, in []float32)
 		return err
 	}
 	return writeFloats(w, in)
+}
+
+// readTraceHeader parses the trace-ID header of a 'DJRT' frame after
+// its magic has been consumed. A zero-length ID is legal (untraced);
+// an oversized one is a protocol violation.
+func readTraceHeader(r io.Reader) (string, error) {
+	var lb [1]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		return "", err
+	}
+	n := int(lb[0])
+	if n == 0 {
+		return "", nil
+	}
+	if n > trace.MaxIDLen {
+		return "", fmt.Errorf("service: trace id of %d bytes exceeds %d", n, trace.MaxIDLen)
+	}
+	id := make([]byte, n)
+	if _, err := io.ReadFull(r, id); err != nil {
+		return "", err
+	}
+	return string(id), nil
 }
 
 // readRequest parses one inference request (including its magic).

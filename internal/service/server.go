@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"djinn/internal/metrics"
 	"djinn/internal/nn"
 	"djinn/internal/tensor"
+	"djinn/internal/trace"
 )
 
 // AppConfig controls batching and worker-pool parameters for one
@@ -86,6 +88,9 @@ type app struct {
 	sampleOut int
 	reqCh     chan *request
 	stages    *metrics.StageBreakdown
+	traces    *atomic.Pointer[trace.Store] // the server's store, shared
+	tput      *metrics.Throughput          // the server's completion rate, shared
+	batchSeq  atomic.Int64                 // batch ids for trace annotation
 	queries   atomic.Int64
 	instances atomic.Int64
 	batches   atomic.Int64
@@ -129,22 +134,45 @@ type Server struct {
 	done     chan struct{} // closed last: drain finished
 	wg       sync.WaitGroup
 	logf     func(format string, args ...any)
+	traces   atomic.Pointer[trace.Store]
+	tput     *metrics.Throughput
 }
 
 // NewServer creates an empty DjiNN server. Register applications before
 // serving.
 func NewServer() *Server {
-	return &Server{
+	s := &Server{
 		apps:    map[string]*app{},
 		conns:   map[net.Conn]struct{}{},
 		closing: make(chan struct{}),
 		done:    make(chan struct{}),
 		logf:    log.Printf,
+		tput:    metrics.NewThroughput(),
 	}
+	s.traces.Store(trace.NewStore("server", trace.DefaultStoreSize))
+	return s
 }
 
 // SetLogger replaces the server's log function (tests use a silent one).
 func (s *Server) SetLogger(logf func(string, ...any)) { s.logf = logf }
+
+// TraceStore returns the server's bounded span store: every query that
+// arrives with a trace ID leaves its lifecycle spans here.
+func (s *Server) TraceStore() *trace.Store { return s.traces.Load() }
+
+// SetTraceStore replaces the server's span store (a multi-replica
+// process gives each replica a store labelled with its name). Call
+// before serving; in-flight queries may still annotate the old store.
+func (s *Server) SetTraceStore(st *trace.Store) {
+	if st != nil {
+		s.traces.Store(st)
+	}
+}
+
+// Throughput returns the server's completion counter: one Add per
+// successfully answered query, across all apps. Its RecentRate is the
+// "current load" a metrics scrape reports.
+func (s *Server) Throughput() *metrics.Throughput { return s.tput }
 
 // Register adds an application backed by a network whose weights are
 // shared read-only across the app's workers. It returns an error if the
@@ -167,6 +195,8 @@ func (s *Server) Register(name string, netw *nn.Net, cfg AppConfig) error {
 		sampleOut: elems(netw.OutShape()),
 		reqCh:     make(chan *request, cfg.MaxPending),
 		stages:    metrics.NewStageBreakdown(),
+		traces:    &s.traces,
+		tput:      s.tput,
 	}
 	s.apps[name] = a
 	s.logf("service: registered %s (%d params, %.1f MB, batch %d instances, %d workers)",
@@ -262,6 +292,18 @@ func (s *Server) LatencyFor(name string) (metrics.StageSummary, bool) {
 	return a.stages.Summarize(), true
 }
 
+// StageHistogram returns one application's fixed-bucket latency
+// histogram for one lifecycle stage — the aggregatable counterpart of
+// LatencyFor's reservoir summaries, exported by the admin /metrics
+// endpoint in Prometheus form.
+func (s *Server) StageHistogram(name string, stage metrics.Stage) (metrics.HistogramSnapshot, bool) {
+	a, ok := s.app(name)
+	if !ok {
+		return metrics.HistogramSnapshot{}, false
+	}
+	return a.stages.HistogramFor(stage), true
+}
+
 // aggregate collects requests into batches: it flushes when the pending
 // instance count reaches BatchInstances or when BatchWindow has elapsed
 // since the first pending request — the cross-request batching that
@@ -296,6 +338,10 @@ func (a *app) aggregate(batchCh chan<- []*request, closing <-chan struct{}) {
 		if req.expired() {
 			if req.respond(result{err: fmt.Errorf("%w: expired after %v in queue", ErrDeadlineExceeded, req.dequeued.Sub(req.enqueued).Round(time.Microsecond))}) {
 				a.expired.Add(1)
+				a.traceSpans(req, trace.Span{
+					Name: "queue_wait", Start: req.enqueued,
+					Dur: req.dequeued.Sub(req.enqueued), Note: "expired in queue",
+				})
 			}
 			return
 		}
@@ -333,6 +379,18 @@ func (a *app) aggregate(batchCh chan<- []*request, closing <-chan struct{}) {
 	}
 }
 
+// traceSpans annotates a traced request's lifecycle spans into the
+// server's span store. It is a no-op for untraced requests, so the
+// only cost tracing adds to an untraced query is this nil check.
+func (a *app) traceSpans(req *request, spans ...trace.Span) {
+	if req.traceID == "" {
+		return
+	}
+	if st := a.traces.Load(); st != nil {
+		st.Add(req.traceID, spans...)
+	}
+}
+
 // work executes batches on a private runner. A batch may exceed the
 // runner's capacity when a single query carries many instances (an ASR
 // query is 548 frames); the worker then chunks the forward passes.
@@ -360,6 +418,7 @@ func (a *app) runBatch(runner forwardRunner, input *tensor.Tensor, maxB int, bat
 		}
 	}()
 	forwardStart := time.Now()
+	batchID := a.batchSeq.Add(1)
 	// Gather all instances across the batch's requests.
 	total := 0
 	for _, r := range batch {
@@ -393,11 +452,19 @@ func (a *app) runBatch(runner forwardRunner, input *tensor.Tensor, maxB int, bat
 		off += n
 		if r.respond(result{out: resp}) {
 			a.queries.Add(1)
+			a.tput.Add(1)
 		}
 		a.stages.Record(metrics.StageQueueWait, r.dequeued.Sub(r.enqueued))
 		a.stages.Record(metrics.StageBatchAssembly, r.flushed.Sub(r.dequeued))
 		a.stages.Record(metrics.StageForward, forward)
-		a.stages.Record(metrics.StageRespond, time.Since(forwardDone))
+		respond := time.Since(forwardDone)
+		a.stages.Record(metrics.StageRespond, respond)
+		a.traceSpans(r,
+			trace.Span{Name: "queue_wait", Start: r.enqueued, Dur: r.dequeued.Sub(r.enqueued)},
+			trace.Span{Name: "batch_assembly", Start: r.dequeued, Dur: r.flushed.Sub(r.dequeued),
+				Note: fmt.Sprintf("batch=%d size=%d instances=%d", batchID, len(batch), total)},
+			trace.Span{Name: "forward", Start: forwardStart, Dur: forward},
+			trace.Span{Name: "respond", Start: forwardDone, Dur: respond})
 	}
 }
 
@@ -467,12 +534,22 @@ func (s *Server) handle(conn net.Conn) {
 			return // EOF: connection closed
 		}
 		switch magic {
-		case reqMagic:
+		case reqMagic, reqTraceMagic:
+			var traceID string
+			if magic == reqTraceMagic {
+				var terr error
+				if traceID, terr = readTraceHeader(conn); terr != nil {
+					return // oversized or truncated trace header: drop the connection
+				}
+			}
 			appName, budget, in, err := readRequestBody(conn)
 			if err != nil {
 				return
 			}
 			ctx := context.Background()
+			if traceID != "" {
+				ctx = trace.WithID(ctx, traceID)
+			}
 			var cancel context.CancelFunc
 			if budget > 0 {
 				ctx, cancel = context.WithTimeout(ctx, budget)
@@ -511,13 +588,17 @@ func (s *Server) handle(conn net.Conn) {
 
 // control answers a control command: "apps" lists registered
 // applications; "stats <app>" reports an application's counters;
-// "latency <app>" reports its per-stage lifecycle breakdown.
+// "latency <app>" reports its per-stage lifecycle breakdown;
+// "trace <id>" renders the spans recorded for one traced query and
+// "trace slowest [n]" lists the worst retained traces.
 func (s *Server) control(cmd string) (string, error) {
 	fields := strings.Fields(cmd)
 	if len(fields) == 0 {
 		return "", errors.New("service: empty control command")
 	}
 	switch fields[0] {
+	case "trace":
+		return s.controlTrace(fields[1:])
 	case "apps":
 		names := s.Apps()
 		sort.Strings(names)
@@ -546,6 +627,46 @@ func (s *Server) control(cmd string) (string, error) {
 	}
 }
 
+// controlTrace answers the "trace" control verb: "trace <id>" renders
+// one trace's span timeline, "trace slowest [n]" lists the n worst
+// retained traces as "id total spans" lines (default 5).
+func (s *Server) controlTrace(args []string) (string, error) {
+	st := s.traces.Load()
+	if st == nil || len(args) == 0 {
+		return "", errors.New("service: usage: trace <id> | trace slowest [n]")
+	}
+	if args[0] != "slowest" {
+		if len(args) != 1 {
+			return "", errors.New("service: usage: trace <id> | trace slowest [n]")
+		}
+		tr, ok := st.Get(args[0])
+		if !ok {
+			return "", fmt.Errorf("service: no trace %q retained (store keeps the last %d traced queries)", args[0], st.Len())
+		}
+		return tr.Format(), nil
+	}
+	n := 5
+	if len(args) > 1 {
+		v, err := strconv.Atoi(args[1])
+		if err != nil || v <= 0 {
+			return "", errors.New("service: usage: trace slowest [n]")
+		}
+		n = v
+	}
+	slowest := st.Slowest(n)
+	if len(slowest) == 0 {
+		return "no traces retained (send queries with a trace ID)", nil
+	}
+	var sb strings.Builder
+	for i, tr := range slowest {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(&sb, "%s total=%v spans=%d", tr.ID, tr.Duration().Round(time.Microsecond), len(tr.Spans))
+	}
+	return sb.String(), nil
+}
+
 // dispatch routes one query payload to its application and waits for
 // the batched result. It is also the in-process entry point used by
 // tests and by Tonic running in embedded mode. The context bounds the
@@ -572,10 +693,13 @@ func (s *Server) dispatch(ctx context.Context, appName string, in []float32) ([]
 		ctx:       ctx,
 		in:        in,
 		instances: len(in) / a.sampleIn,
+		traceID:   trace.IDFrom(ctx),
 		enqueued:  time.Now(),
 		resp:      make(chan result, 1),
 	}
 	if err := a.enqueue(req); err != nil {
+		a.traceSpans(req, trace.Span{Name: "enqueue", Start: req.enqueued,
+			Dur: time.Since(req.enqueued), Note: "rejected: " + err.Error()})
 		return nil, err
 	}
 	// Every enqueued request is guaranteed exactly one response (worker
@@ -590,6 +714,8 @@ func (s *Server) dispatch(ctx context.Context, appName string, in []float32) ([]
 		// discarded and counted as expired exactly once.
 		if req.respond(result{}) {
 			a.expired.Add(1)
+			a.traceSpans(req, trace.Span{Name: "abandoned", Start: req.enqueued,
+				Dur: time.Since(req.enqueued), Note: "caller deadline expired during wait"})
 		}
 		return nil, fmt.Errorf("%w: %v", ErrDeadlineExceeded, ctx.Err())
 	}

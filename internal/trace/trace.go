@@ -1,0 +1,268 @@
+// Package trace provides end-to-end request tracing for the DjiNN
+// serving stack: per-request IDs minted at the client (or router),
+// propagated through an optional wire-protocol header field, and
+// annotated at every hop — route attempts with their retry cause,
+// queue enter/exit, batch id and size, forward pass, respond. Each
+// process keeps its spans in a bounded in-memory Store, so a
+// tail-latency query can be explained after the fact ("2 retries after
+// a markdown, then 11ms of batch assembly behind a batch of 32")
+// without any external collector. The paper argues end-to-end latency
+// must be decomposed into service-side stages to operate DNN-as-a-
+// service at scale; this package makes that decomposition visible per
+// request instead of only in aggregate.
+package trace
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxIDLen bounds a trace ID on the wire and in the store. IDs this
+// package mints are 16 hex characters; the bound leaves headroom for
+// externally minted IDs (e.g. a gateway's request ID).
+const MaxIDLen = 64
+
+// idState is the package-level xorshift state for NewID, seeded once
+// from the wall clock so concurrent processes mint disjoint streams.
+var idState atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	binary.LittleEndian.PutUint64(seed[:], uint64(time.Now().UnixNano()))
+	idState.Store(binary.LittleEndian.Uint64(seed[:]) | 1)
+}
+
+// NewID mints a 16-hex-character request ID. IDs are unique enough for
+// correlating spans across tiers within a store's retention window;
+// they are not cryptographic.
+func NewID() string {
+	for {
+		old := idState.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if idState.CompareAndSwap(old, x) {
+			return fmt.Sprintf("%016x", x)
+		}
+	}
+}
+
+// ValidID reports whether an ID may ride the wire header: non-empty
+// and within MaxIDLen bytes.
+func ValidID(id string) bool { return len(id) > 0 && len(id) <= MaxIDLen }
+
+type ctxKey struct{}
+
+// WithID returns a context carrying a trace ID. Clients and routers
+// attach it before InferCtx; the service client lowers it onto the
+// wire, and the server re-attaches it on its side of the connection.
+func WithID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// IDFrom extracts the trace ID from a context ("" when untraced).
+func IDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// Span is one annotated segment of a request's life inside one tier.
+type Span struct {
+	Name  string        `json:"name"`           // e.g. "queue_wait", "route_attempt"
+	Note  string        `json:"note,omitempty"` // e.g. "batch=12 size=3 instances=6"
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur"`
+}
+
+// Trace is one request's spans as seen by one tier (a router or one
+// server replica). Merge combines tiers.
+type Trace struct {
+	ID    string `json:"id"`
+	Tier  string `json:"tier"`
+	Spans []Span `json:"spans"`
+}
+
+// Duration is the wall-clock extent the trace covers: from the
+// earliest span start to the latest span end.
+func (t Trace) Duration() time.Duration {
+	if len(t.Spans) == 0 {
+		return 0
+	}
+	first := t.Spans[0].Start
+	var last time.Time
+	for _, s := range t.Spans {
+		if s.Start.Before(first) {
+			first = s.Start
+		}
+		if end := s.Start.Add(s.Dur); end.After(last) {
+			last = end
+		}
+	}
+	return last.Sub(first)
+}
+
+// Store is a bounded in-memory span collector: a ring of traces keyed
+// by ID. When full, adding a new ID evicts the oldest trace. Safe for
+// concurrent use; Add is the hot path and takes one short lock.
+type Store struct {
+	tier string
+
+	mu   sync.Mutex
+	ring []*Trace // insertion order; len(ring) <= cap
+	next int      // ring slot the next new trace overwrites once full
+	byID map[string]*Trace
+}
+
+// DefaultStoreSize is the trace retention bound a server or router
+// uses unless configured otherwise.
+const DefaultStoreSize = 1024
+
+// NewStore creates a store retaining at most capacity traces,
+// labelling its spans with tier ("router", "replica-0", ...).
+// capacity <= 0 means DefaultStoreSize.
+func NewStore(tier string, capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultStoreSize
+	}
+	return &Store{
+		tier: tier,
+		ring: make([]*Trace, 0, capacity),
+		byID: make(map[string]*Trace, capacity),
+	}
+}
+
+// Tier returns the label this store stamps on its traces.
+func (s *Store) Tier() string { return s.tier }
+
+// Add appends spans to the trace with the given ID, creating it (and
+// evicting the oldest trace if the store is full) on first sight. IDs
+// longer than MaxIDLen and empty IDs are dropped, mirroring the wire
+// bound, so a hostile header cannot grow the store's keys.
+func (s *Store) Add(id string, spans ...Span) {
+	if !ValidID(id) || len(spans) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr, ok := s.byID[id]
+	if !ok {
+		tr = &Trace{ID: id, Tier: s.tier}
+		if len(s.ring) < cap(s.ring) {
+			s.ring = append(s.ring, tr)
+		} else {
+			evicted := s.ring[s.next]
+			delete(s.byID, evicted.ID)
+			s.ring[s.next] = tr
+			s.next = (s.next + 1) % cap(s.ring)
+		}
+		s.byID[id] = tr
+	}
+	tr.Spans = append(tr.Spans, spans...)
+}
+
+// Get returns a copy of one trace.
+func (s *Store) Get(id string) (Trace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr, ok := s.byID[id]
+	if !ok {
+		return Trace{}, false
+	}
+	return copyTrace(tr), true
+}
+
+// Len reports how many traces the store currently retains.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ring)
+}
+
+// Slowest returns up to n retained traces ordered by descending
+// Duration — the store's slow-query view.
+func (s *Store) Slowest(n int) []Trace {
+	s.mu.Lock()
+	all := make([]Trace, 0, len(s.ring))
+	for _, tr := range s.ring {
+		all = append(all, copyTrace(tr))
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].Duration() > all[j].Duration() })
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+func copyTrace(tr *Trace) Trace {
+	return Trace{ID: tr.ID, Tier: tr.Tier, Spans: append([]Span(nil), tr.Spans...)}
+}
+
+// Merge combines the tiers' views of one request into a single trace
+// whose spans carry their tier in the Note-independent Tier field via
+// Format. Spans are ordered by start time; the result's Tier names the
+// tiers that contributed.
+func Merge(id string, stores ...*Store) (Trace, bool) {
+	merged := Trace{ID: id}
+	var tiers []string
+	for _, st := range stores {
+		if st == nil {
+			continue
+		}
+		tr, ok := st.Get(id)
+		if !ok {
+			continue
+		}
+		for i := range tr.Spans {
+			// Prefix the span name with its tier so a merged view reads
+			// like a cross-tier timeline.
+			tr.Spans[i].Name = tr.Tier + "/" + tr.Spans[i].Name
+		}
+		merged.Spans = append(merged.Spans, tr.Spans...)
+		tiers = append(tiers, tr.Tier)
+	}
+	if len(merged.Spans) == 0 {
+		return Trace{}, false
+	}
+	sort.SliceStable(merged.Spans, func(i, j int) bool {
+		return merged.Spans[i].Start.Before(merged.Spans[j].Start)
+	})
+	merged.Tier = strings.Join(tiers, "+")
+	return merged, true
+}
+
+// Format renders a trace as an aligned per-span timeline, offsets
+// relative to the earliest span:
+//
+//	trace 4f3a21... (replica-0)  total=13.4ms
+//	  +0s       1.1ms   queue_wait
+//	  +1.1ms    11ms    batch_assembly   batch=87 size=3 instances=32
+func (t Trace) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %s (%s)  spans=%d total=%v", t.ID, t.Tier, len(t.Spans), t.Duration().Round(time.Microsecond))
+	if len(t.Spans) == 0 {
+		return sb.String()
+	}
+	first := t.Spans[0].Start
+	for _, s := range t.Spans {
+		if s.Start.Before(first) {
+			first = s.Start
+		}
+	}
+	for _, s := range t.Spans {
+		fmt.Fprintf(&sb, "\n  +%-10v %-10v %-24s %s",
+			s.Start.Sub(first).Round(time.Microsecond),
+			s.Dur.Round(time.Microsecond), s.Name, s.Note)
+	}
+	return sb.String()
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"djinn/internal/testutil"
+)
+
+func TestNewIDShapeAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if len(id) != 16 || !ValidID(id) {
+			t.Fatalf("bad id %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q after %d mints", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	if got := IDFrom(context.Background()); got != "" {
+		t.Fatalf("background context carries id %q", got)
+	}
+	if got := IDFrom(nil); got != "" { //nolint:staticcheck // nil ctx tolerated by design
+		t.Fatalf("nil context carries id %q", got)
+	}
+	ctx := WithID(context.Background(), "abc123")
+	if got := IDFrom(ctx); got != "abc123" {
+		t.Fatalf("id did not survive the context: %q", got)
+	}
+}
+
+func TestStoreAddGetAndDuration(t *testing.T) {
+	s := NewStore("replica-0", 8)
+	base := time.Now()
+	s.Add("q1", Span{Name: "queue_wait", Start: base, Dur: time.Millisecond})
+	s.Add("q1", Span{Name: "forward", Start: base.Add(time.Millisecond), Dur: 3 * time.Millisecond})
+	tr, ok := s.Get("q1")
+	if !ok || len(tr.Spans) != 2 || tr.Tier != "replica-0" {
+		t.Fatalf("get: %+v ok=%v", tr, ok)
+	}
+	if d := tr.Duration(); d != 4*time.Millisecond {
+		t.Fatalf("duration %v, want 4ms", d)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+func TestStoreRejectsInvalidIDs(t *testing.T) {
+	s := NewStore("x", 4)
+	s.Add("", Span{Name: "a", Start: time.Now()})
+	s.Add(strings.Repeat("z", MaxIDLen+1), Span{Name: "a", Start: time.Now()})
+	s.Add("ok", nil...)
+	if s.Len() != 0 {
+		t.Fatalf("store accepted invalid adds: len=%d", s.Len())
+	}
+}
+
+func TestStoreEvictsOldest(t *testing.T) {
+	s := NewStore("x", 3)
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		s.Add(fmt.Sprintf("q%d", i), Span{Name: "s", Start: base, Dur: time.Duration(i) * time.Millisecond})
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len %d, want bound 3", s.Len())
+	}
+	for _, gone := range []string{"q0", "q1"} {
+		if _, ok := s.Get(gone); ok {
+			t.Fatalf("evicted trace %s still present", gone)
+		}
+	}
+	for _, kept := range []string{"q2", "q3", "q4"} {
+		if _, ok := s.Get(kept); !ok {
+			t.Fatalf("recent trace %s missing", kept)
+		}
+	}
+}
+
+func TestSlowestOrdersByDuration(t *testing.T) {
+	s := NewStore("x", 8)
+	base := time.Now()
+	for i, d := range []time.Duration{3, 9, 1, 7} {
+		s.Add(fmt.Sprintf("q%d", i), Span{Name: "s", Start: base, Dur: d * time.Millisecond})
+	}
+	top := s.Slowest(2)
+	if len(top) != 2 || top[0].ID != "q1" || top[1].ID != "q3" {
+		t.Fatalf("slowest wrong: %+v", top)
+	}
+	if all := s.Slowest(0); len(all) != 4 {
+		t.Fatalf("Slowest(0) returned %d, want all 4", len(all))
+	}
+}
+
+func TestMergeOrdersAcrossTiers(t *testing.T) {
+	base := time.Now()
+	rt := NewStore("router", 8)
+	srv := NewStore("replica-1", 8)
+	rt.Add("q", Span{Name: "route_attempt", Start: base, Dur: 10 * time.Millisecond, Note: "backend=replica-1 attempt=1 ok"})
+	srv.Add("q", Span{Name: "queue_wait", Start: base.Add(time.Millisecond), Dur: 2 * time.Millisecond})
+	srv.Add("q", Span{Name: "forward", Start: base.Add(3 * time.Millisecond), Dur: 5 * time.Millisecond})
+	merged, ok := Merge("q", rt, nil, srv)
+	if !ok || len(merged.Spans) != 3 {
+		t.Fatalf("merge: %+v ok=%v", merged, ok)
+	}
+	if merged.Spans[0].Name != "router/route_attempt" || merged.Spans[1].Name != "replica-1/queue_wait" {
+		t.Fatalf("merged order/tiers wrong: %+v", merged.Spans)
+	}
+	if merged.Tier != "router+replica-1" {
+		t.Fatalf("merged tier %q", merged.Tier)
+	}
+	if _, ok := Merge("absent", rt, srv); ok {
+		t.Fatal("merge of unknown id succeeded")
+	}
+}
+
+func TestFormatRendersSpans(t *testing.T) {
+	base := time.Now()
+	tr := Trace{ID: "deadbeef", Tier: "replica-0", Spans: []Span{
+		{Name: "queue_wait", Start: base, Dur: time.Millisecond},
+		{Name: "batch_assembly", Start: base.Add(time.Millisecond), Dur: 2 * time.Millisecond, Note: "batch=7 size=3"},
+	}}
+	got := tr.Format()
+	for _, want := range []string{"trace deadbeef", "replica-0", "queue_wait", "batch_assembly", "batch=7 size=3", "total=3ms"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("formatted trace missing %q:\n%s", want, got)
+		}
+	}
+	empty := Trace{ID: "e", Tier: "t"}
+	if s := empty.Format(); !strings.Contains(s, "spans=0") {
+		t.Fatalf("empty trace format: %q", s)
+	}
+}
+
+// TestStoreConcurrent hammers Add/Get/Slowest from many goroutines;
+// run under -race via the Makefile race gate.
+func TestStoreConcurrent(t *testing.T) {
+	testutil.NoLeaks(t)
+	s := NewStore("x", 64)
+	var wg sync.WaitGroup
+	base := time.Now()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i%32)
+				s.Add(id, Span{Name: "s", Start: base, Dur: time.Duration(i) * time.Microsecond})
+				s.Get(id)
+				if i%50 == 0 {
+					s.Slowest(4)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() == 0 || s.Len() > 64 {
+		t.Fatalf("store len %d out of bounds", s.Len())
+	}
+}

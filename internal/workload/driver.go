@@ -11,6 +11,7 @@ import (
 	"djinn/internal/models"
 	"djinn/internal/service"
 	"djinn/internal/tensor"
+	"djinn/internal/trace"
 )
 
 // QueryPayload synthesises one ready-to-send DjiNN query payload for an
@@ -36,13 +37,34 @@ type DriveResult struct {
 	Errors  int64 // genuine failures (malformed payloads, worker faults)
 	Shed    int64 // rejected by backpressure (ErrOverloaded)
 	Expired int64 // missed their per-query deadline (ErrDeadlineExceeded)
+	// TraceIDs are the trace IDs the drive minted when sampling was on
+	// (DriveOptions.TraceEvery > 0), capped at a handful — look them up
+	// afterwards with the service's trace control verb or /slowlog.
+	TraceIDs []string
 }
+
+// maxSampledTraces bounds DriveResult.TraceIDs; the drive keeps minting
+// (every sampled query still leaves spans server-side) but only the
+// first few IDs are reported back.
+const maxSampledTraces = 16
 
 // driveCounters classifies per-query outcomes during a run.
 type driveCounters struct {
 	errs    atomic.Int64
 	shed    atomic.Int64
 	expired atomic.Int64
+
+	mu       sync.Mutex
+	traceIDs []string
+}
+
+// sampled records one minted trace ID, keeping only the first few.
+func (c *driveCounters) sampled(id string) {
+	c.mu.Lock()
+	if len(c.traceIDs) < maxSampledTraces {
+		c.traceIDs = append(c.traceIDs, id)
+	}
+	c.mu.Unlock()
 }
 
 // outcome classifies one issued query.
@@ -56,18 +78,21 @@ const (
 )
 
 // issue sends one query, using the context-aware API when a per-query
-// deadline is set, and classifies the outcome.
-func (c *driveCounters) issue(b service.Backend, name string, payload []float32, deadline time.Duration, lat *metrics.LatencyRecorder) outcome {
+// deadline or trace ID rides it, and classifies the outcome.
+func (c *driveCounters) issue(b service.Backend, name string, payload []float32, deadline time.Duration, traceID string, lat *metrics.LatencyRecorder) outcome {
 	t0 := time.Now()
 	var err error
-	if deadline > 0 {
-		if cb, ok := b.(service.ContextBackend); ok {
-			ctx, cancel := context.WithTimeout(context.Background(), deadline)
-			_, err = cb.InferCtx(ctx, name, payload)
-			cancel()
-		} else {
-			_, err = b.Infer(name, payload)
+	if cb, ok := b.(service.ContextBackend); ok && (deadline > 0 || traceID != "") {
+		ctx := context.Background()
+		if traceID != "" {
+			ctx = trace.WithID(ctx, traceID)
 		}
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
+		}
+		_, err = cb.InferCtx(ctx, name, payload)
 	} else {
 		_, err = b.Infer(name, payload)
 	}
@@ -89,13 +114,17 @@ func (c *driveCounters) issue(b service.Backend, name string, payload []float32,
 
 func (c *driveCounters) result(lat *metrics.LatencyRecorder, duration time.Duration) DriveResult {
 	sum := lat.Summarize()
+	c.mu.Lock()
+	ids := append([]string(nil), c.traceIDs...)
+	c.mu.Unlock()
 	return DriveResult{
-		Queries: int64(sum.Count),
-		QPS:     float64(sum.Count) / duration.Seconds(),
-		Latency: sum,
-		Errors:  c.errs.Load(),
-		Shed:    c.shed.Load(),
-		Expired: c.expired.Load(),
+		Queries:  int64(sum.Count),
+		QPS:      float64(sum.Count) / duration.Seconds(),
+		Latency:  sum,
+		Errors:   c.errs.Load(),
+		Shed:     c.shed.Load(),
+		Expired:  c.expired.Load(),
+		TraceIDs: ids,
 	}
 }
 
@@ -122,11 +151,31 @@ func DriveClosedLoopDeadline(b service.Backend, app models.App, name string, wor
 // synthetic model sized so the service's batch window, not the forward
 // pass, bounds each replica.
 func DriveClosedLoopPayload(b service.Backend, name string, payload func(*tensor.RNG) []float32, workers int, duration, deadline time.Duration) DriveResult {
+	return DriveClosedLoopOptions(b, name, payload, DriveOptions{
+		Workers: workers, Duration: duration, Deadline: deadline,
+	})
+}
+
+// DriveOptions bundles the optional knobs of a closed-loop drive.
+type DriveOptions struct {
+	Workers  int           // concurrent closed-loop clients
+	Duration time.Duration // how long to drive
+	Deadline time.Duration // per-query deadline (0 = none)
+	// TraceEvery mints a fresh trace ID onto every Nth query per worker
+	// (0 = all untraced). Each sampled query's lifecycle lands in the
+	// backend's trace store; the first few IDs come back in
+	// DriveResult.TraceIDs so they can be looked up afterwards.
+	TraceEvery int
+}
+
+// DriveClosedLoopOptions is the full closed-loop driver: every other
+// closed-loop entry point funnels here.
+func DriveClosedLoopOptions(b service.Backend, name string, payload func(*tensor.RNG) []float32, opts DriveOptions) DriveResult {
 	lat := metrics.NewLatencyRecorder()
 	var counters driveCounters
 	var wg sync.WaitGroup
-	stop := time.Now().Add(duration)
-	for w := 0; w < workers; w++ {
+	stop := time.Now().Add(opts.Duration)
+	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func(seed uint64) {
 			defer wg.Done()
@@ -136,8 +185,13 @@ func DriveClosedLoopPayload(b service.Backend, name string, payload func(*tensor
 			// dead backend (connection refused fails in microseconds)
 			// doesn't turn the closed loop into a busy spin.
 			backoff := time.Duration(0)
-			for time.Now().Before(stop) {
-				if counters.issue(b, name, query, deadline, lat) == outcomeError {
+			for n := 0; time.Now().Before(stop); n++ {
+				var id string
+				if opts.TraceEvery > 0 && n%opts.TraceEvery == 0 {
+					id = trace.NewID()
+					counters.sampled(id)
+				}
+				if counters.issue(b, name, query, opts.Deadline, id, lat) == outcomeError {
 					if backoff == 0 {
 						backoff = time.Millisecond
 					} else if backoff < 100*time.Millisecond {
@@ -151,7 +205,7 @@ func DriveClosedLoopPayload(b service.Backend, name string, payload func(*tensor
 		}(uint64(w) + 1)
 	}
 	wg.Wait()
-	return counters.result(lat, duration)
+	return counters.result(lat, opts.Duration)
 }
 
 // DrivePoisson issues queries with exponentially distributed
@@ -188,7 +242,7 @@ func DrivePoissonDeadline(b service.Backend, app models.App, name string, rate f
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			counters.issue(b, name, payload, deadline, lat)
+			counters.issue(b, name, payload, deadline, "", lat)
 		}()
 	}
 	wg.Wait()

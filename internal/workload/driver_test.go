@@ -92,3 +92,46 @@ func TestDrivePoisson(t *testing.T) {
 		t.Fatal("percentiles inverted")
 	}
 }
+
+func TestDriveClosedLoopTraceSampling(t *testing.T) {
+	s := digServer(t)
+	res := DriveClosedLoopOptions(s, "dig", func(rng *tensor.RNG) []float32 {
+		return QueryPayload(models.DIG, rng)
+	}, DriveOptions{Workers: 2, Duration: 300 * time.Millisecond, TraceEvery: 10})
+	if res.Errors != 0 || res.Queries < 2 {
+		t.Fatalf("bad drive: %+v", res)
+	}
+	if len(res.TraceIDs) == 0 {
+		t.Fatal("TraceEvery set but no IDs sampled")
+	}
+	if len(res.TraceIDs) > maxSampledTraces {
+		t.Fatalf("%d sampled IDs exceed the cap", len(res.TraceIDs))
+	}
+	// Each sampled query must have left its lifecycle in the server's
+	// store under the minted ID.
+	tr, ok := s.TraceStore().Get(res.TraceIDs[0])
+	if !ok {
+		t.Fatalf("no server trace for sampled ID %s", res.TraceIDs[0])
+	}
+	var sawForward bool
+	for _, sp := range tr.Spans {
+		sawForward = sawForward || sp.Name == "forward"
+	}
+	if !sawForward {
+		t.Fatalf("sampled trace has no forward span: %+v", tr.Spans)
+	}
+}
+
+func TestDriveUntracedLeavesStoreEmpty(t *testing.T) {
+	s := digServer(t)
+	res := DriveClosedLoop(s, models.DIG, "dig", 2, 200*time.Millisecond)
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	if len(res.TraceIDs) != 0 {
+		t.Fatalf("untraced drive reported IDs: %v", res.TraceIDs)
+	}
+	if n := s.TraceStore().Len(); n != 0 {
+		t.Fatalf("untraced drive left %d traces", n)
+	}
+}
