@@ -4,12 +4,16 @@ GO ?= go
 
 # check runs everything CI should gate on: vet, a full build, the full
 # test suite (tier-1), and race-detector runs for the concurrency-heavy
-# packages (the serving path, the multi-backend router, the load
-# drivers, and their metrics).
+# packages (the serving path, the scheduler, the multi-backend router,
+# the load drivers, and their metrics).
 check: vet build test race
 
+# vet is static analysis plus a formatting gate: gofmt -l prints the
+# files that need reformatting, so any output fails the target.
 vet:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -18,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/service/... ./internal/metrics/... ./internal/router/... ./internal/workload/... ./internal/trace/... ./internal/admin/...
+	$(GO) test -race ./internal/service/... ./internal/sched/... ./internal/metrics/... ./internal/router/... ./internal/workload/... ./internal/trace/... ./internal/admin/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -49,6 +49,7 @@ func main() {
 		"openloop":  p.RenderOpenLoop,
 		"lifecycle": experiments.RenderLifecycle,
 		"router":    p.RenderRouter,
+		"sched":     experiments.RenderSched,
 		"overhead":  p.RenderOverhead,
 		"energy":    p.RenderEnergy,
 		"validate":  p.RenderValidation,
@@ -58,7 +59,7 @@ func main() {
 	order := []string{
 		"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
 		"fig11", "fig12", "fig13", "table4", "table5", "fig15", "table6", "fig16",
-		"ablation", "openloop", "lifecycle", "router", "overhead", "energy", "validate", "cluster", "gpugen",
+		"ablation", "openloop", "lifecycle", "router", "sched", "overhead", "energy", "validate", "cluster", "gpugen",
 	}
 	if *list {
 		ids := make([]string, 0, len(runners))

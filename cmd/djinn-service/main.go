@@ -187,11 +187,11 @@ func reportStats(srv *djinn.Server, replica int, selected []djinn.App) {
 	for _, app := range selected {
 		name := djinn.ServiceName(app)
 		s, ok := srv.StatsFor(name)
-		if !ok || s.Queries+s.Shed+s.Expired == 0 {
+		if !ok || s.Queries+s.Shed()+s.Expired == 0 {
 			continue
 		}
-		log.Printf("replica %d %s: %d queries, %d batches, avg batch %.1f instances, shed %d, expired %d",
-			replica, app, s.Queries, s.Batches, s.AvgBatch(), s.Shed, s.Expired)
+		log.Printf("replica %d %s: %d queries, %d batches, avg batch %.1f instances, shed %d (admission %d, expired-in-queue %d), expired %d",
+			replica, app, s.Queries, s.Batches, s.AvgBatch(), s.Shed(), s.ShedAdmission, s.ShedExpired, s.Expired)
 		if lat, ok := srv.LatencyFor(name); ok && lat.Forward.Count > 0 {
 			log.Printf("replica %d %s: queue p50=%v p99=%v | assembly p50=%v | forward p50=%v p99=%v | respond p50=%v",
 				replica, app, lat.QueueWait.P50, lat.QueueWait.P99, lat.BatchAssembly.P50,

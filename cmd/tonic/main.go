@@ -12,6 +12,7 @@
 //	tonic [-addr ...]       asr  [-seconds 1.0]
 //	tonic [-addr ...]       bench -app POS [-workers 4] [-dur 5s] [-deadline 20ms] [-trace 100]
 //	tonic [-addr ...]       stats
+//	tonic [-addr ...]       sched
 //	tonic [-addr ...]       latency
 //	tonic [-addr ...]       trace <id>
 //	tonic [-addr ...]       trace -slowest 5
@@ -39,7 +40,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed for synthetic inputs")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tonic [-addr host:port] <pos|chk|ner|dig|imc|face|asr|stats|latency|trace|bench> [args]")
+		fmt.Fprintln(os.Stderr, "usage: tonic [-addr host:port] <pos|chk|ner|dig|imc|face|asr|stats|sched|latency|trace|bench> [args]")
 		os.Exit(2)
 	}
 	client, err := djinn.Dial(*addr)
@@ -142,6 +143,18 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("%-10s %s\n", app, stats)
+		}
+	case "sched":
+		apps, err := client.Apps()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, app := range apps {
+			info, err := client.ServerSched(app)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %s\n", app, info)
 		}
 	case "latency":
 		apps, err := client.Apps()

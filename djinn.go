@@ -30,6 +30,7 @@ import (
 	"djinn/internal/models"
 	"djinn/internal/nn"
 	"djinn/internal/router"
+	"djinn/internal/sched"
 	"djinn/internal/service"
 	"djinn/internal/tonic"
 	"djinn/internal/trace"
@@ -60,7 +61,27 @@ func ParseApp(s string) (App, error) { return models.ParseApp(s) }
 type Server = service.Server
 
 // AppConfig tunes one registered application's batching and workers.
+// Setting its SLO enables the scheduler: SLO-aware admission control
+// and adaptive batching within [1, BatchInstances] (see internal/sched
+// and the README's Scheduling section).
 type AppConfig = service.AppConfig
+
+// Priority is an application's tenant class at the server's cross-app
+// execution gate (Server.SetSchedSlots).
+type Priority = sched.Priority
+
+// The scheduler's priority classes, in ascending weight (1/2/4) at the
+// execution gate.
+const (
+	Throughput      = sched.Throughput
+	Standard        = sched.Standard
+	LatencyCritical = sched.LatencyCritical
+)
+
+// SchedInfo is a point-in-time snapshot of one app's scheduler (live
+// batch size, flush window, admission counters); see Server.SchedFor
+// and Client.ServerSched.
+type SchedInfo = sched.Info
 
 // Client is a TCP client for a remote DjiNN server.
 type Client = service.Client
@@ -91,7 +112,10 @@ var (
 	ErrDeadlineExceeded = service.ErrDeadlineExceeded
 	// ErrShuttingDown: the server is draining; the query was rejected.
 	ErrShuttingDown = service.ErrShuttingDown
-	// ErrOverloaded: the application's queue was full (load shedding).
+	// ErrOverloaded: the query was shed before entering the queue —
+	// the application's queue was full, or its admission controller
+	// estimated the deadline could not be met. Retryable on another
+	// replica; the Router treats it as backpressure.
 	ErrOverloaded = service.ErrOverloaded
 	// ErrTransport: the connection to a server failed mid-exchange (or
 	// could not be established). Retryable on another replica.

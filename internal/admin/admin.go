@@ -21,6 +21,7 @@ import (
 
 	"djinn/internal/metrics"
 	"djinn/internal/router"
+	"djinn/internal/sched"
 	"djinn/internal/service"
 	"djinn/internal/trace"
 )
@@ -139,7 +140,7 @@ func writeMetrics(w io.Writer, opts Options) {
 	writeBuildInfo(w)
 
 	if len(opts.Replicas) > 0 {
-		fmt.Fprintln(w, "# HELP djinn_app_events_total Per-application lifecycle counters (queries, instances, batches, errors, shed, expired).")
+		fmt.Fprintln(w, "# HELP djinn_app_events_total Per-application lifecycle counters (queries, instances, batches, errors, shed_admission, shed_expired, expired).")
 		fmt.Fprintln(w, "# TYPE djinn_app_events_total counter")
 		for _, rep := range opts.Replicas {
 			if rep.Server == nil {
@@ -156,7 +157,8 @@ func writeMetrics(w io.Writer, opts Options) {
 				}{
 					{"queries", st.Queries}, {"instances", st.Instances},
 					{"batches", st.Batches}, {"errors", st.Errors},
-					{"shed", st.Shed}, {"expired", st.Expired},
+					{"shed_admission", st.ShedAdmission}, {"shed_expired", st.ShedExpired},
+					{"expired", st.Expired},
 				} {
 					fmt.Fprintf(w, "djinn_app_events_total{replica=%q,app=%q,event=%q} %d\n",
 						rep.Name, app, c.event, c.v)
@@ -217,6 +219,8 @@ func writeMetrics(w io.Writer, opts Options) {
 			}
 		}
 
+		writeSchedMetrics(w, opts)
+
 		fmt.Fprintln(w, "# HELP djinn_recent_qps Completed queries per second over the last 10s window.")
 		fmt.Fprintln(w, "# TYPE djinn_recent_qps gauge")
 		for _, rep := range opts.Replicas {
@@ -229,7 +233,7 @@ func writeMetrics(w io.Writer, opts Options) {
 	}
 
 	if opts.Router != nil {
-		fmt.Fprintln(w, "# HELP djinn_backend_events_total Per-backend routing counters (sent, ok, failures, slow, markdowns, probes).")
+		fmt.Fprintln(w, "# HELP djinn_backend_events_total Per-backend routing counters (sent, ok, failures, backpressure, slow, markdowns, probes).")
 		fmt.Fprintln(w, "# TYPE djinn_backend_events_total counter")
 		snaps := opts.Router.Stats()
 		for _, bs := range snaps {
@@ -238,7 +242,8 @@ func writeMetrics(w io.Writer, opts Options) {
 				v     int64
 			}{
 				{"sent", bs.Stats.Sent}, {"ok", bs.Stats.OK},
-				{"failures", bs.Stats.Failures}, {"slow", bs.Stats.Slow},
+				{"failures", bs.Stats.Failures}, {"backpressure", bs.Stats.Backpressure},
+				{"slow", bs.Stats.Slow},
 				{"markdowns", bs.Stats.MarkDowns}, {"probes", bs.Stats.Probes},
 			} {
 				fmt.Fprintf(w, "djinn_backend_events_total{backend=%q,event=%q} %d\n",
@@ -259,6 +264,11 @@ func writeMetrics(w io.Writer, opts Options) {
 		for _, bs := range snaps {
 			fmt.Fprintf(w, "djinn_backend_outstanding{backend=%q} %d\n", bs.ID, bs.Outstanding)
 		}
+		fmt.Fprintln(w, "# HELP djinn_backend_pressure Decaying overload penalty load-based policies add to outstanding.")
+		fmt.Fprintln(w, "# TYPE djinn_backend_pressure gauge")
+		for _, bs := range snaps {
+			fmt.Fprintf(w, "djinn_backend_pressure{backend=%q} %d\n", bs.ID, bs.Pressure)
+		}
 	}
 
 	if len(opts.Stores) > 0 {
@@ -269,6 +279,54 @@ func writeMetrics(w io.Writer, opts Options) {
 				continue
 			}
 			fmt.Fprintf(w, "djinn_traces_retained{tier=%q} %d\n", st.Tier(), st.Len())
+		}
+	}
+}
+
+// writeSchedMetrics renders per-app scheduler gauges for every replica
+// app registered with an SLO: the adaptive batch size and flush
+// window, the admission rate, and the live queue-delay estimate the
+// admission controller is steering on.
+func writeSchedMetrics(w io.Writer, opts Options) {
+	type entry struct {
+		replica, app string
+		info         sched.Info
+	}
+	var entries []entry
+	for _, rep := range opts.Replicas {
+		if rep.Server == nil {
+			continue
+		}
+		for _, app := range sortedApps(rep.Server) {
+			if info, ok := rep.Server.SchedFor(app); ok {
+				entries = append(entries, entry{rep.Name, app, info})
+			}
+		}
+	}
+	if len(entries) == 0 {
+		return
+	}
+	for _, g := range []struct {
+		name, help string
+		v          func(sched.Info) float64
+	}{
+		{"djinn_sched_batch_size", "Current adaptive batch size in instances.",
+			func(i sched.Info) float64 { return float64(i.Batch) }},
+		{"djinn_sched_window_seconds", "Current adaptive flush window.",
+			func(i sched.Info) float64 { return i.Window.Seconds() }},
+		{"djinn_sched_slo_seconds", "Declared p99 latency SLO.",
+			func(i sched.Info) float64 { return i.SLO.Seconds() }},
+		{"djinn_sched_admission_rate", "Fraction of admission decisions that admitted (lifetime).",
+			func(i sched.Info) float64 { return i.AdmissionRate() }},
+		{"djinn_sched_queued_instances", "Instances admitted but not yet executed.",
+			func(i sched.Info) float64 { return float64(i.Queued) }},
+		{"djinn_sched_est_wait_seconds", "Queue-delay estimate a new 1-instance query would see.",
+			func(i sched.Info) float64 { return i.EstWait.Seconds() }},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
+		for _, e := range entries {
+			fmt.Fprintf(w, "%s{replica=%q,app=%q,priority=%q} %g\n",
+				g.name, e.replica, e.app, e.info.Priority, g.v(e.info))
 		}
 	}
 }

@@ -37,7 +37,9 @@ func adminFixture(t *testing.T) (Options, string) {
 	srv.SetLogger(silence)
 	t.Cleanup(srv.Close)
 	srv.SetTraceStore(trace.NewStore("replica-0", 64))
-	if err := srv.Register("tiny", testNet(1), service.AppConfig{BatchInstances: 1, Workers: 1}); err != nil {
+	if err := srv.Register("tiny", testNet(1), service.AppConfig{
+		BatchInstances: 1, Workers: 1, SLO: time.Second,
+	}); err != nil {
 		t.Fatal(err)
 	}
 	rt := router.New(router.Config{})
@@ -80,7 +82,8 @@ func TestMetricsExposition(t *testing.T) {
 	for _, want := range []string{
 		`djinn_build_info{goversion=`,
 		`djinn_app_events_total{replica="replica-0",app="tiny",event="queries"} 2`,
-		`djinn_app_events_total{replica="replica-0",app="tiny",event="shed"} 0`,
+		`djinn_app_events_total{replica="replica-0",app="tiny",event="shed_admission"} 0`,
+		`djinn_app_events_total{replica="replica-0",app="tiny",event="shed_expired"} 0`,
 		`djinn_app_events_total{replica="replica-0",app="tiny",event="expired"} 0`,
 		`djinn_app_events_total{replica="replica-0",app="tiny",event="errors"} 0`,
 		`djinn_stage_latency_seconds_bucket{replica="replica-0",app="tiny",stage="forward",le="+Inf"} 2`,
@@ -90,8 +93,14 @@ func TestMetricsExposition(t *testing.T) {
 		`djinn_recent_qps{replica="replica-0"}`,
 		`djinn_backend_events_total{backend="replica-0",event="sent"} 2`,
 		`djinn_backend_events_total{backend="replica-0",event="ok"} 2`,
+		`djinn_backend_events_total{backend="replica-0",event="backpressure"} 0`,
 		`djinn_backend_healthy{backend="replica-0"} 1`,
 		`djinn_backend_outstanding{backend="replica-0"} 0`,
+		`djinn_backend_pressure{backend="replica-0"} 0`,
+		`djinn_sched_batch_size{replica="replica-0",app="tiny",priority="throughput"} 1`,
+		`djinn_sched_slo_seconds{replica="replica-0",app="tiny",priority="throughput"} 1`,
+		`djinn_sched_admission_rate{replica="replica-0",app="tiny",priority="throughput"} 1`,
+		`djinn_sched_queued_instances{replica="replica-0",app="tiny",priority="throughput"} 0`,
 		`djinn_traces_retained{tier="router"} 1`,
 		`djinn_traces_retained{tier="replica-0"} 1`,
 	} {

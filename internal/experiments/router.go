@@ -39,10 +39,10 @@ const benchPace = time.Millisecond
 // so the service still exercises its full batch/forward/respond path.
 type pacedLayer struct{}
 
-func (pacedLayer) Name() string                    { return "paced" }
-func (pacedLayer) Kind() string                    { return "paced" }
-func (pacedLayer) OutShape(in []int) ([]int, error) { return in, nil }
-func (pacedLayer) Params() []*nn.Param             { return nil }
+func (pacedLayer) Name() string                                            { return "paced" }
+func (pacedLayer) Kind() string                                            { return "paced" }
+func (pacedLayer) OutShape(in []int) ([]int, error)                        { return in, nil }
+func (pacedLayer) Params() []*nn.Param                                     { return nil }
 func (pacedLayer) Kernels(in []int, batch int, ks []nn.Kernel) []nn.Kernel { return ks }
 func (pacedLayer) Forward(ctx *nn.Ctx, in, out *tensor.Tensor) {
 	time.Sleep(time.Duration(in.Shape()[0]) * benchPace)

@@ -336,12 +336,13 @@ func (s StageSummary) String() string {
 // All fields are atomic; the router increments them on its hot path
 // without locks.
 type BackendCounters struct {
-	sent      atomic.Int64 // attempts routed to this backend
-	ok        atomic.Int64 // successful answers
-	failures  atomic.Int64 // retryable failures (shed, draining, transport)
-	slow      atomic.Int64 // answers past the slow-response threshold
-	markDowns atomic.Int64 // healthy → down transitions
-	probes    atomic.Int64 // recovery probes sent while down
+	sent         atomic.Int64 // attempts routed to this backend
+	ok           atomic.Int64 // successful answers
+	failures     atomic.Int64 // retryable failures (draining, transport)
+	backpressure atomic.Int64 // overload answers (admission/queue shed)
+	slow         atomic.Int64 // answers past the slow-response threshold
+	markDowns    atomic.Int64 // healthy → down transitions
+	probes       atomic.Int64 // recovery probes sent while down
 }
 
 // Sent records one attempt routed to the backend.
@@ -352,6 +353,10 @@ func (c *BackendCounters) OK() { c.ok.Add(1) }
 
 // Failure records one retryable failure.
 func (c *BackendCounters) Failure() { c.failures.Add(1) }
+
+// Backpressure records one overload answer: the backend is alive but
+// shed the query at admission or because its queue was full.
+func (c *BackendCounters) Backpressure() { c.backpressure.Add(1) }
 
 // Slow records one answer past the slow-response threshold.
 func (c *BackendCounters) Slow() { c.slow.Add(1) }
@@ -364,12 +369,13 @@ func (c *BackendCounters) Probe() { c.probes.Add(1) }
 
 // BackendStats is a point-in-time snapshot of BackendCounters.
 type BackendStats struct {
-	Sent      int64
-	OK        int64
-	Failures  int64
-	Slow      int64
-	MarkDowns int64
-	Probes    int64
+	Sent         int64
+	OK           int64
+	Failures     int64
+	Backpressure int64
+	Slow         int64
+	MarkDowns    int64
+	Probes       int64
 }
 
 // Snapshot reads the counters. Like the server's Stats snapshot, the
@@ -379,6 +385,7 @@ func (c *BackendCounters) Snapshot() BackendStats {
 	var s BackendStats
 	s.OK = c.ok.Load()
 	s.Failures = c.failures.Load()
+	s.Backpressure = c.backpressure.Load()
 	s.Slow = c.slow.Load()
 	s.MarkDowns = c.markDowns.Load()
 	s.Probes = c.probes.Load()
@@ -388,8 +395,8 @@ func (c *BackendCounters) Snapshot() BackendStats {
 
 // String renders the snapshot as key=value pairs.
 func (s BackendStats) String() string {
-	return fmt.Sprintf("sent=%d ok=%d failures=%d slow=%d markdowns=%d probes=%d",
-		s.Sent, s.OK, s.Failures, s.Slow, s.MarkDowns, s.Probes)
+	return fmt.Sprintf("sent=%d ok=%d failures=%d backpressure=%d slow=%d markdowns=%d probes=%d",
+		s.Sent, s.OK, s.Failures, s.Backpressure, s.Slow, s.MarkDowns, s.Probes)
 }
 
 // throughputSlots is how many one-second buckets Throughput keeps for

@@ -415,11 +415,12 @@ func TestBackendStatsStringRendering(t *testing.T) {
 	c.Sent()
 	c.OK()
 	c.Failure()
+	c.Backpressure()
 	c.Slow()
 	c.MarkDown()
 	c.Probe()
 	got := c.Snapshot().String()
-	want := "sent=2 ok=1 failures=1 slow=1 markdowns=1 probes=1"
+	want := "sent=2 ok=1 failures=1 backpressure=1 slow=1 markdowns=1 probes=1"
 	if got != want {
 		t.Fatalf("backend stats rendering:\n got %q\nwant %q", got, want)
 	}

@@ -92,7 +92,15 @@ type replica struct {
 	be service.ContextBackend
 
 	outstanding atomic.Int64
-	counters    metrics.BackendCounters
+	// pressure is a decaying backpressure penalty: each overload answer
+	// (the replica's admission controller or pending queue shed the
+	// query) bumps it, each fast success halves it. It is added to
+	// outstanding when load-based policies compare replicas, steering
+	// new work away from backends that are refusing it without the
+	// blunt instrument of a mark-down — an overload answer proves the
+	// replica is alive.
+	pressure atomic.Int64
+	counters metrics.BackendCounters
 
 	ownedPool *clientPool // non-nil when the router dialled this backend
 
@@ -144,6 +152,11 @@ func (r *replica) onSuccess(init HealthConfig, slow bool) {
 		r.state = healthy
 		r.probeInterval = init.ProbeInterval
 	}
+	// A fast answer is evidence the backend is absorbing load again:
+	// decay the backpressure penalty geometrically.
+	if p := r.pressure.Load(); p > 0 {
+		r.pressure.Store(p / 2)
+	}
 }
 
 // onTerminal resolves an attempt that ended in a non-retryable error.
@@ -177,6 +190,36 @@ func (r *replica) onFailure(init HealthConfig) {
 	defer r.mu.Unlock()
 	r.counters.Failure()
 	r.failLocked(init, time.Now())
+}
+
+// onBackpressure records an overload answer. Unlike onFailure this is
+// NOT a mark-down signal: the replica answered, which proves it is
+// alive and draining — marking it down would amplify the overload by
+// concentrating load on the remaining replicas and then blinding the
+// router to this one's recovery. Instead the pressure penalty steers
+// load-based policies away while the query retries elsewhere, and a
+// probing replica recovers (the probe got an answer).
+func (r *replica) onBackpressure(init HealthConfig) {
+	r.pressure.Add(pressureStep)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters.Backpressure()
+	r.consecFails = 0
+	r.probing = false
+	if r.state == down {
+		r.state = healthy
+		r.probeInterval = init.ProbeInterval
+	}
+}
+
+// pressureStep is how much one overload answer weighs against
+// outstanding queries when load-based policies compare replicas.
+const pressureStep = 2
+
+// load is the replica's comparison key for LeastOutstanding and
+// PowerOfTwo: queries in flight plus the decaying overload penalty.
+func (r *replica) load() int64 {
+	return r.outstanding.Load() + r.pressure.Load()
 }
 
 // failLocked advances the health machine on one failure signal: a
@@ -369,7 +412,7 @@ func (rt *Router) pick(app string, tried map[*replica]bool) *replica {
 	case LeastOutstanding:
 		best := candidates[0]
 		for _, r := range candidates[1:] {
-			if r.outstanding.Load() < best.outstanding.Load() {
+			if r.load() < best.load() {
 				best = r
 			}
 		}
@@ -378,7 +421,7 @@ func (rt *Router) pick(app string, tried map[*replica]bool) *replica {
 		x := rt.rand()
 		a := candidates[x%uint64(len(candidates))]
 		b := candidates[(x>>32)%uint64(len(candidates))]
-		if b.outstanding.Load() < a.outstanding.Load() {
+		if b.load() < a.load() {
 			return b
 		}
 		return a
@@ -508,7 +551,15 @@ func (rt *Router) attempt(ctx context.Context, rep *replica, app string, in []fl
 		return out, nil
 	}
 	if service.Retryable(err) {
-		rep.onFailure(rt.cfg.Health)
+		if errors.Is(err, service.ErrOverloaded) {
+			// The backend answered "no": its admission controller or
+			// pending queue shed the query. Backpressure, not failure —
+			// the retry goes elsewhere while load-based policies steer
+			// around this replica until it answers fast again.
+			rep.onBackpressure(rt.cfg.Health)
+		} else {
+			rep.onFailure(rt.cfg.Health)
+		}
 		return nil, err
 	}
 	// Non-retryable outcome. An error answered while the caller's
@@ -525,6 +576,7 @@ type BackendSnapshot struct {
 	ID          string
 	Healthy     bool
 	Outstanding int64
+	Pressure    int64 // decaying overload penalty (see replica.pressure)
 	Stats       metrics.BackendStats
 }
 
@@ -537,6 +589,7 @@ func (rt *Router) Stats() []BackendSnapshot {
 			ID:          r.id,
 			Healthy:     r.healthy(),
 			Outstanding: r.outstanding.Load(),
+			Pressure:    r.pressure.Load(),
 			Stats:       r.counters.Snapshot(),
 		}
 	}

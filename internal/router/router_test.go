@@ -632,3 +632,114 @@ func TestRouterKillReplicaMidRunZeroLostQueries(t *testing.T) {
 	}
 	t.Logf("issued=%d ok=%d terminal=%d", issued.Load(), ok.Load(), terminal.Load())
 }
+
+// TestRouterOverloadIsBackpressureNotMarkdown: an overload answer is
+// proof of life, not a failure — even with FailureThreshold 1 the
+// shedding replica stays healthy, accrues backpressure instead of
+// mark-downs, and load-based policies steer new work to its peers.
+func TestRouterOverloadIsBackpressureNotMarkdown(t *testing.T) {
+	testutil.NoLeaks(t)
+	shedding := &fakeBackend{}
+	shedding.setErr(fmt.Errorf("%w: admission rejected", service.ErrOverloaded))
+	healthy := &fakeBackend{}
+	rt := New(Config{Policy: LeastOutstanding, Health: HealthConfig{FailureThreshold: 1}})
+	defer rt.Close()
+	if err := rt.AddBackend("shedding", shedding); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddBackend("healthy", healthy); err != nil {
+		t.Fatal(err)
+	}
+
+	const queries = 5
+	for i := 0; i < queries; i++ {
+		if _, err := rt.Infer("tiny", make([]float32, 8)); err != nil {
+			t.Fatalf("query %d failed despite a healthy peer: %v", i, err)
+		}
+	}
+
+	stats := rt.Stats()
+	shed := stats[0]
+	if !shed.Healthy {
+		t.Fatal("overload answers marked the replica down")
+	}
+	if shed.Stats.MarkDowns != 0 || shed.Stats.Failures != 0 {
+		t.Fatalf("overload leaked into failure machinery: %+v", shed.Stats)
+	}
+	if shed.Stats.Backpressure == 0 || shed.Pressure == 0 {
+		t.Fatalf("backpressure not recorded: %+v", shed)
+	}
+	// The first query tried the shedding replica (equal loads, first in
+	// registration order) and retried; the pressure penalty then steered
+	// every later query straight to the healthy peer.
+	if got := shedding.calls.Load(); got != 1 {
+		t.Fatalf("shedding replica saw %d calls, want exactly 1", got)
+	}
+	if got := healthy.calls.Load(); got != queries {
+		t.Fatalf("healthy replica served %d, want %d", got, queries)
+	}
+}
+
+// TestRouterOverloadRecoversProbingReplica: a recovery probe answered
+// with overload proves the replica is alive — the probe slot must be
+// released and the replica recovered, not re-marked down.
+func TestRouterOverloadRecoversProbingReplica(t *testing.T) {
+	testutil.NoLeaks(t)
+	flaky := &fakeBackend{}
+	flaky.setErr(fmt.Errorf("%w: conn reset", service.ErrTransport))
+	rt := New(Config{
+		MaxAttempts: 1,
+		Health:      HealthConfig{FailureThreshold: 1, ProbeInterval: 5 * time.Millisecond},
+	})
+	defer rt.Close()
+	if err := rt.AddBackend("flaky", flaky); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transport failure marks it down.
+	if _, err := rt.Infer("tiny", make([]float32, 8)); err == nil {
+		t.Fatal("transport error did not surface")
+	}
+	if rt.Stats()[0].Healthy {
+		t.Fatal("replica not marked down after transport failure")
+	}
+
+	// After the probe interval the next query is the recovery probe; it
+	// answers with overload → alive → healthy again.
+	flaky.setErr(fmt.Errorf("%w: queue full", service.ErrOverloaded))
+	time.Sleep(10 * time.Millisecond)
+	if _, err := rt.Infer("tiny", make([]float32, 8)); !errors.Is(err, service.ErrOverloaded) {
+		t.Fatalf("probe returned %v, want ErrOverloaded", err)
+	}
+	if !rt.Stats()[0].Healthy {
+		t.Fatal("overload-answered probe left the replica down")
+	}
+
+	// And the replica serves again once it stops shedding.
+	flaky.setErr(nil)
+	if _, err := rt.Infer("tiny", make([]float32, 8)); err != nil {
+		t.Fatalf("recovered replica failed: %v", err)
+	}
+}
+
+// TestReplicaPressureDecays: each fast success halves the accumulated
+// penalty back to zero.
+func TestReplicaPressureDecays(t *testing.T) {
+	cfg := HealthConfig{}.withDefaults()
+	r := &replica{id: "x"}
+	for i := 0; i < 4; i++ {
+		r.onBackpressure(cfg)
+	}
+	if p := r.pressure.Load(); p != 4*pressureStep {
+		t.Fatalf("pressure = %d after 4 overloads, want %d", p, 4*pressureStep)
+	}
+	for i := 0; i < 10 && r.pressure.Load() > 0; i++ {
+		r.onSuccess(cfg, false)
+	}
+	if p := r.pressure.Load(); p != 0 {
+		t.Fatalf("pressure = %d after successes, want 0", p)
+	}
+	if r.load() != 0 {
+		t.Fatalf("load = %d on an idle replica", r.load())
+	}
+}

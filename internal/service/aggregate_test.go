@@ -143,7 +143,7 @@ func TestAggregatorFlushPaths(t *testing.T) {
 			if st.Batches < tc.minBatches || st.Batches > tc.maxBatches {
 				t.Errorf("Batches = %d, want in [%d, %d]", st.Batches, tc.minBatches, tc.maxBatches)
 			}
-			if st.Errors != 0 || st.Shed != 0 || st.Expired != 0 {
+			if st.Errors != 0 || st.Shed() != 0 || st.Expired != 0 {
 				t.Errorf("unexpected failures: %+v", st)
 			}
 			if avg := st.AvgBatch(); avg < 1 {

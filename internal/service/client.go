@@ -227,6 +227,14 @@ func (c *Client) ServerLatency(app string) (string, error) {
 	return c.Control("latency " + app)
 }
 
+// ServerSched returns one application's live scheduler state (batch
+// size, flush window, admission counters) as rendered by the "sched"
+// control verb — "disabled" for an app registered without an SLO.
+// sched.ParseInfo inverts the enabled form.
+func (c *Client) ServerSched(app string) (string, error) {
+	return c.Control("sched " + app)
+}
+
 // ServerTrace returns the server's rendered span timeline for one
 // trace ID — what the server recorded for a query sent with
 // trace.WithID.

@@ -146,6 +146,7 @@ func FuzzReadResponse(f *testing.F) {
 func FuzzControlRoundTrip(f *testing.F) {
 	f.Add("apps")
 	f.Add("stats tiny")
+	f.Add("sched tiny")
 	f.Fuzz(func(t *testing.T, cmd string) {
 		if len(cmd) == 0 || len(cmd) > 1024 {
 			return

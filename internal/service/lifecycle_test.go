@@ -67,8 +67,8 @@ func TestExpiredContextRejectedBeforeForward(t *testing.T) {
 	if st.Batches != 0 {
 		t.Fatalf("expired query occupied %d forward passes", st.Batches)
 	}
-	if st.Errors != 0 || st.Shed != 0 {
-		t.Fatalf("expiry leaked into errors=%d shed=%d", st.Errors, st.Shed)
+	if st.Errors != 0 || st.Shed() != 0 {
+		t.Fatalf("expiry leaked into errors=%d shed=%d", st.Errors, st.Shed())
 	}
 }
 
@@ -174,7 +174,7 @@ func TestQueueWaitDominatesForwardUnderSlowWorker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, field := range []string{"shed=", "expired=", "queries="} {
+	for _, field := range []string{"shed_admission=", "shed_expired=", "expired=", "queries="} {
 		if !strings.Contains(stats, field) {
 			t.Fatalf("stats output missing %q: %s", field, stats)
 		}
@@ -372,7 +372,7 @@ func TestLifecycleConcurrentMix(t *testing.T) {
 		t.Fatal("workers hung across drain")
 	}
 	st, _ := s.StatsFor("slow")
-	total := st.Queries + st.Expired + st.Shed
+	total := st.Queries + st.Expired + st.Shed()
 	if total == 0 {
 		t.Fatal("no queries accounted")
 	}

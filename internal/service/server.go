@@ -15,6 +15,7 @@ import (
 
 	"djinn/internal/metrics"
 	"djinn/internal/nn"
+	"djinn/internal/sched"
 	"djinn/internal/tensor"
 	"djinn/internal/trace"
 )
@@ -41,6 +42,16 @@ type AppConfig struct {
 	// queue; beyond it the service sheds load with an error instead of
 	// letting latency grow without bound. Zero means 1024.
 	MaxPending int
+	// SLO declares a target p99 latency for the app. A non-zero SLO
+	// enables the scheduler: admission control rejects queries that
+	// cannot meet their deadline before they enter the queue, and an
+	// adaptive controller resizes the effective batch size and flush
+	// window within [1, BatchInstances] to hold p99 at the SLO. Zero
+	// keeps the paper's static batching.
+	SLO time.Duration
+	// Priority is the app's tenant class at the cross-app execution
+	// gate (see Server.SetSchedSlots). Zero is sched.Throughput.
+	Priority sched.Priority
 }
 
 func (c AppConfig) withDefaults() AppConfig {
@@ -68,9 +79,21 @@ type Stats struct {
 	Instances int64 // DNN input instances processed
 	Batches   int64 // forward passes executed
 	Errors    int64 // malformed payloads and worker failures
-	Shed      int64 // rejected because the pending queue was full
-	Expired   int64 // abandoned because the query's deadline passed
+	// ShedAdmission counts queries rejected before they entered the
+	// queue — the pending queue was full, or the admission controller
+	// estimated they could not meet their deadline.
+	ShedAdmission int64
+	// ShedExpired counts queries that were admitted but died in the
+	// queue: their deadline passed before batch assembly reached them.
+	// A scheduler doing its job converts these into ShedAdmission.
+	ShedExpired int64
+	// Expired counts caller-side expiries: queries that arrived already
+	// dead, or whose caller abandoned the wait for a response.
+	Expired int64
 }
+
+// Shed is the total load shed before execution, both flavours.
+func (s Stats) Shed() int64 { return s.ShedAdmission + s.ShedExpired }
 
 // AvgBatch returns the mean instances per forward pass.
 func (s Stats) AvgBatch() float64 {
@@ -81,22 +104,26 @@ func (s Stats) AvgBatch() float64 {
 }
 
 type app struct {
-	name      string
-	net       *nn.Net
-	cfg       AppConfig
-	sampleIn  int // floats per input instance
-	sampleOut int
-	reqCh     chan *request
-	stages    *metrics.StageBreakdown
-	traces    *atomic.Pointer[trace.Store] // the server's store, shared
-	tput      *metrics.Throughput          // the server's completion rate, shared
-	batchSeq  atomic.Int64                 // batch ids for trace annotation
-	queries   atomic.Int64
-	instances atomic.Int64
-	batches   atomic.Int64
-	errors    atomic.Int64
-	shed      atomic.Int64
-	expired   atomic.Int64
+	name          string
+	net           *nn.Net
+	cfg           AppConfig
+	sampleIn      int // floats per input instance
+	sampleOut     int
+	reqCh         chan *request
+	stages        *metrics.StageBreakdown
+	traces        *atomic.Pointer[trace.Store] // the server's store, shared
+	tput          *metrics.Throughput          // the server's completion rate, shared
+	ctrl          *sched.Controller            // nil unless cfg.SLO > 0
+	gate          *sched.Gate                  // the server's execution gate (nil = unlimited)
+	batchSeq      atomic.Int64                 // batch ids for trace annotation
+	queries       atomic.Int64
+	instances     atomic.Int64
+	batches       atomic.Int64
+	errors        atomic.Int64
+	shedAdmission atomic.Int64
+	shedExpired   atomic.Int64
+	expired       atomic.Int64
+	timerWakeups  atomic.Int64 // aggregator flush-timer fires (lazy timer)
 
 	// gateMu serialises enqueues against shutdown: dispatch holds the
 	// read side across its (non-blocking) send, Close takes the write
@@ -119,7 +146,7 @@ func (a *app) enqueue(req *request) error {
 		return nil
 	default:
 		// Aggregation queue full: shed load rather than queue unboundedly.
-		a.shed.Add(1)
+		a.shedAdmission.Add(1)
 		return fmt.Errorf("%w: %s (%d queries pending)", ErrOverloaded, a.name, cap(a.reqCh))
 	}
 }
@@ -136,6 +163,7 @@ type Server struct {
 	logf     func(format string, args ...any)
 	traces   atomic.Pointer[trace.Store]
 	tput     *metrics.Throughput
+	gate     *sched.Gate // cross-app execution gate; nil = unlimited slots
 }
 
 // NewServer creates an empty DjiNN server. Register applications before
@@ -174,6 +202,18 @@ func (s *Server) SetTraceStore(st *trace.Store) {
 // "current load" a metrics scrape reports.
 func (s *Server) Throughput() *metrics.Throughput { return s.tput }
 
+// SetSchedSlots bounds how many batch executions may run concurrently
+// across all applications; when slots are contended, pending batches
+// are granted by weighted round-robin over the apps' priority classes,
+// so a latency-critical tenant's batch preempts queued throughput
+// work. Zero or negative means unlimited (the default). Call before
+// Register — apps capture the gate at registration time.
+func (s *Server) SetSchedSlots(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gate = sched.NewGate(n)
+}
+
 // Register adds an application backed by a network whose weights are
 // shared read-only across the app's workers. It returns an error if the
 // name is taken.
@@ -197,10 +237,24 @@ func (s *Server) Register(name string, netw *nn.Net, cfg AppConfig) error {
 		stages:    metrics.NewStageBreakdown(),
 		traces:    &s.traces,
 		tput:      s.tput,
+		gate:      s.gate,
+	}
+	if cfg.SLO > 0 {
+		a.ctrl = sched.NewController(sched.Config{
+			SLO:      cfg.SLO,
+			Priority: cfg.Priority,
+			MaxBatch: cfg.BatchInstances,
+			Workers:  cfg.Workers,
+		})
 	}
 	s.apps[name] = a
-	s.logf("service: registered %s (%d params, %.1f MB, batch %d instances, %d workers)",
-		name, netw.ParamCount(), float64(netw.WeightBytes())/(1<<20), cfg.BatchInstances, cfg.Workers)
+	if a.ctrl != nil {
+		s.logf("service: registered %s (%d params, %.1f MB, adaptive batch ≤%d instances, slo %v, priority %v, %d workers)",
+			name, netw.ParamCount(), float64(netw.WeightBytes())/(1<<20), cfg.BatchInstances, cfg.SLO, cfg.Priority, cfg.Workers)
+	} else {
+		s.logf("service: registered %s (%d params, %.1f MB, batch %d instances, %d workers)",
+			name, netw.ParamCount(), float64(netw.WeightBytes())/(1<<20), cfg.BatchInstances, cfg.Workers)
+	}
 	batchCh := make(chan []*request, cfg.Workers)
 	s.wg.Add(1)
 	go func() {
@@ -272,13 +326,24 @@ func (s *Server) StatsFor(name string) (Stats, bool) {
 	instances := a.instances.Load()
 	batches := a.batches.Load()
 	return Stats{
-		Queries:   queries,
-		Instances: instances,
-		Batches:   batches,
-		Errors:    a.errors.Load(),
-		Shed:      a.shed.Load(),
-		Expired:   a.expired.Load(),
+		Queries:       queries,
+		Instances:     instances,
+		Batches:       batches,
+		Errors:        a.errors.Load(),
+		ShedAdmission: a.shedAdmission.Load(),
+		ShedExpired:   a.shedExpired.Load(),
+		Expired:       a.expired.Load(),
 	}, true
+}
+
+// SchedFor returns the live scheduler snapshot of one application, or
+// false if the app is unknown or registered without an SLO.
+func (s *Server) SchedFor(name string) (sched.Info, bool) {
+	a, ok := s.app(name)
+	if !ok || a.ctrl == nil {
+		return sched.Info{}, false
+	}
+	return a.ctrl.Snapshot(), true
 }
 
 // LatencyFor returns the per-stage lifecycle breakdown of one
@@ -304,20 +369,61 @@ func (s *Server) StageHistogram(name string, stage metrics.Stage) (metrics.Histo
 	return a.stages.HistogramFor(stage), true
 }
 
+// batchTarget is the instance count that triggers a flush: the
+// adaptive controller's live batch size when scheduling is enabled,
+// the static BatchInstances otherwise.
+func (a *app) batchTarget() int {
+	if a.ctrl != nil {
+		return a.ctrl.BatchSize()
+	}
+	return a.cfg.BatchInstances
+}
+
+// flushWindow is how long a partial batch may wait to fill.
+func (a *app) flushWindow() time.Duration {
+	if a.ctrl != nil {
+		return a.ctrl.Window()
+	}
+	return a.cfg.BatchWindow
+}
+
 // aggregate collects requests into batches: it flushes when the pending
-// instance count reaches BatchInstances or when BatchWindow has elapsed
-// since the first pending request — the cross-request batching that
-// Section 5.1 shows is key to GPU throughput. Queries whose deadline
-// has already expired are failed here, at batch-assembly time, so a
-// dead query never occupies forward-pass capacity.
+// instance count reaches the batch target or when the flush window has
+// elapsed since the first pending request — the cross-request batching
+// that Section 5.1 shows is key to GPU throughput. Queries whose
+// deadline has already expired are failed here, at batch-assembly time,
+// so a dead query never occupies forward-pass capacity.
+//
+// The flush timer is lazy: one timer for the aggregator's lifetime,
+// armed only while a partial batch is pending. An idle app therefore
+// performs no timer wakeups at all (timerWakeups counts the fires).
 func (a *app) aggregate(batchCh chan<- []*request, closing <-chan struct{}) {
 	defer close(batchCh)
 	var (
 		pending   []*request
 		instances int
-		timer     *time.Timer
-		timeout   <-chan time.Time
+		armed     bool
 	)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	disarm := func() {
+		if !armed {
+			return
+		}
+		armed = false
+		if !timer.Stop() {
+			// The timer fired while we were flushing on the size
+			// threshold; drain the stale tick so the next arm's fire is
+			// the only value ever in the channel.
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
 	flush := func() {
 		if len(pending) == 0 {
 			return
@@ -328,16 +434,21 @@ func (a *app) aggregate(batchCh chan<- []*request, closing <-chan struct{}) {
 		}
 		batchCh <- pending
 		pending, instances = nil, 0
-		if timer != nil {
-			timer.Stop()
-			timer, timeout = nil, nil
-		}
+		disarm()
 	}
 	admit := func(req *request) {
 		req.dequeued = time.Now()
 		if req.expired() {
+			// Balance the admission account before the respond race:
+			// the request leaves the pipeline here whether or not its
+			// caller already abandoned the wait (in which case respond
+			// loses the CAS), and an un-Dropped admit would leak queued
+			// instances into every future delay estimate.
+			if a.ctrl != nil {
+				a.ctrl.Dropped(req.instances)
+			}
 			if req.respond(result{err: fmt.Errorf("%w: expired after %v in queue", ErrDeadlineExceeded, req.dequeued.Sub(req.enqueued).Round(time.Microsecond))}) {
-				a.expired.Add(1)
+				a.shedExpired.Add(1)
 				a.traceSpans(req, trace.Span{
 					Name: "queue_wait", Start: req.enqueued,
 					Dur: req.dequeued.Sub(req.enqueued), Note: "expired in queue",
@@ -346,12 +457,12 @@ func (a *app) aggregate(batchCh chan<- []*request, closing <-chan struct{}) {
 			return
 		}
 		if len(pending) == 0 {
-			timer = time.NewTimer(a.cfg.BatchWindow)
-			timeout = timer.C
+			timer.Reset(a.flushWindow())
+			armed = true
 		}
 		pending = append(pending, req)
 		instances += req.instances
-		if instances >= a.cfg.BatchInstances {
+		if instances >= a.batchTarget() {
 			flush()
 		}
 	}
@@ -366,6 +477,13 @@ func (a *app) aggregate(batchCh chan<- []*request, closing <-chan struct{}) {
 			for {
 				select {
 				case req := <-a.reqCh:
+					// Dropped regardless of the respond race: an
+					// abandoned caller has claimed the response slot
+					// already, but the admitted instances still leave
+					// the pipeline here.
+					if a.ctrl != nil {
+						a.ctrl.Dropped(req.instances)
+					}
 					req.respond(result{err: fmt.Errorf("%w: %s drained before execution", ErrShuttingDown, a.name)})
 				default:
 					return
@@ -373,7 +491,9 @@ func (a *app) aggregate(batchCh chan<- []*request, closing <-chan struct{}) {
 			}
 		case req := <-a.reqCh:
 			admit(req)
-		case <-timeout:
+		case <-timer.C:
+			a.timerWakeups.Add(1)
+			armed = false
 			flush()
 		}
 	}
@@ -407,6 +527,12 @@ func (a *app) work(runner forwardRunner, batchCh <-chan []*request) {
 // a panic anywhere in the forward path fails the batch's requests with
 // an error instead of deadlocking their callers.
 func (a *app) runBatch(runner forwardRunner, input *tensor.Tensor, maxB int, batch []*request) {
+	// Gather all instances across the batch's requests.
+	total := 0
+	for _, r := range batch {
+		total += r.instances
+	}
+	accounted := false
 	defer func() {
 		if r := recover(); r != nil {
 			err := fmt.Errorf("service: %s worker panic: %v", a.name, r)
@@ -415,15 +541,19 @@ func (a *app) runBatch(runner forwardRunner, input *tensor.Tensor, maxB int, bat
 					a.errors.Add(1)
 				}
 			}
+			if a.ctrl != nil && !accounted {
+				a.ctrl.Dropped(total)
+			}
 		}
 	}()
+	// Contend for an execution slot: when the server's gate is
+	// configured, pending batches across apps are granted by tenant
+	// priority, so this wait is where a latency-critical app's batch
+	// overtakes queued throughput work.
+	a.gate.Acquire(context.Background(), a.cfg.Priority)
+	defer a.gate.Release()
 	forwardStart := time.Now()
 	batchID := a.batchSeq.Add(1)
-	// Gather all instances across the batch's requests.
-	total := 0
-	for _, r := range batch {
-		total += r.instances
-	}
 	out := make([]float32, total*a.sampleOut)
 	flat := make([]float32, 0, total*a.sampleIn)
 	for _, r := range batch {
@@ -443,6 +573,11 @@ func (a *app) runBatch(runner forwardRunner, input *tensor.Tensor, maxB int, bat
 	a.instances.Add(int64(total))
 	forwardDone := time.Now()
 	forward := forwardDone.Sub(forwardStart)
+	if a.ctrl != nil {
+		a.ctrl.ObserveBatch(forward, total)
+		a.ctrl.Executed(total)
+		accounted = true
+	}
 	// Scatter results back to requests.
 	off := 0
 	for _, r := range batch {
@@ -453,6 +588,9 @@ func (a *app) runBatch(runner forwardRunner, input *tensor.Tensor, maxB int, bat
 		if r.respond(result{out: resp}) {
 			a.queries.Add(1)
 			a.tput.Add(1)
+			if a.ctrl != nil {
+				a.ctrl.Complete(time.Since(r.enqueued))
+			}
 		}
 		a.stages.Record(metrics.StageQueueWait, r.dequeued.Sub(r.enqueued))
 		a.stages.Record(metrics.StageBatchAssembly, r.flushed.Sub(r.dequeued))
@@ -589,6 +727,8 @@ func (s *Server) handle(conn net.Conn) {
 // control answers a control command: "apps" lists registered
 // applications; "stats <app>" reports an application's counters;
 // "latency <app>" reports its per-stage lifecycle breakdown;
+// "sched <app>" reports the live scheduler state (batch size, flush
+// window, admission counters) or "disabled" for a static app;
 // "trace <id>" renders the spans recorded for one traced query and
 // "trace slowest [n]" lists the worst retained traces.
 func (s *Server) control(cmd string) (string, error) {
@@ -611,8 +751,20 @@ func (s *Server) control(cmd string) (string, error) {
 		if !ok {
 			return "", fmt.Errorf("service: unknown application %q", fields[1])
 		}
-		return fmt.Sprintf("queries=%d instances=%d batches=%d errors=%d shed=%d expired=%d avg_batch=%.2f",
-			st.Queries, st.Instances, st.Batches, st.Errors, st.Shed, st.Expired, st.AvgBatch()), nil
+		return fmt.Sprintf("queries=%d instances=%d batches=%d errors=%d shed_admission=%d shed_expired=%d expired=%d avg_batch=%.2f",
+			st.Queries, st.Instances, st.Batches, st.Errors, st.ShedAdmission, st.ShedExpired, st.Expired, st.AvgBatch()), nil
+	case "sched":
+		if len(fields) != 2 {
+			return "", errors.New("service: usage: sched <app>")
+		}
+		if _, ok := s.app(fields[1]); !ok {
+			return "", fmt.Errorf("service: unknown application %q", fields[1])
+		}
+		info, ok := s.SchedFor(fields[1])
+		if !ok {
+			return "disabled", nil
+		}
+		return info.String(), nil
 	case "latency":
 		if len(fields) != 2 {
 			return "", errors.New("service: usage: latency <app>")
@@ -697,7 +849,31 @@ func (s *Server) dispatch(ctx context.Context, appName string, in []float32) ([]
 		enqueued:  time.Now(),
 		resp:      make(chan result, 1),
 	}
+	if a.ctrl != nil {
+		// Admission control: reject now if the live delay estimate says
+		// this query cannot meet its budget, instead of letting it rot
+		// in the queue until batch assembly notices the corpse. The
+		// budget is the caller's remaining deadline, capped by the SLO
+		// the app promises.
+		budget := a.ctrl.SLO()
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem < budget {
+				budget = rem
+			}
+		}
+		est, ok := a.ctrl.Admit(budget, req.instances)
+		if !ok {
+			a.shedAdmission.Add(1)
+			a.traceSpans(req, trace.Span{Name: "admission", Start: req.enqueued,
+				Dur: time.Since(req.enqueued), Note: fmt.Sprintf("rejected: est %v > budget %v", est, budget)})
+			return nil, fmt.Errorf("%w: %s admission rejected (est %v exceeds budget %v)",
+				ErrOverloaded, appName, est.Round(time.Microsecond), budget.Round(time.Microsecond))
+		}
+	}
 	if err := a.enqueue(req); err != nil {
+		if a.ctrl != nil {
+			a.ctrl.Dropped(req.instances)
+		}
 		a.traceSpans(req, trace.Span{Name: "enqueue", Start: req.enqueued,
 			Dur: time.Since(req.enqueued), Note: "rejected: " + err.Error()})
 		return nil, err

@@ -422,8 +422,8 @@ func TestBackpressureShedsLoad(t *testing.T) {
 	}
 	// Shed load is accounted separately from malformed payloads and
 	// worker failures.
-	if st.Shed != rejected {
-		t.Fatalf("shed counter %d != rejections %d", st.Shed, rejected)
+	if st.ShedAdmission != rejected {
+		t.Fatalf("shed counter %d != rejections %d", st.ShedAdmission, rejected)
 	}
 	if st.Errors != 0 {
 		t.Fatalf("shed queries leaked into the error counter (%d)", st.Errors)

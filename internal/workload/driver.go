@@ -37,10 +37,29 @@ type DriveResult struct {
 	Errors  int64 // genuine failures (malformed payloads, worker faults)
 	Shed    int64 // rejected by backpressure (ErrOverloaded)
 	Expired int64 // missed their per-query deadline (ErrDeadlineExceeded)
+	// SLOMisses counts successfully answered queries whose latency
+	// exceeded DriveOptions.SLO (0 when no SLO was declared). A shed or
+	// expired query is not an SLO miss — it is accounted above.
+	SLOMisses int64
 	// TraceIDs are the trace IDs the drive minted when sampling was on
 	// (DriveOptions.TraceEvery > 0), capped at a handful — look them up
 	// afterwards with the service's trace control verb or /slowlog.
 	TraceIDs []string
+}
+
+// Issued is the total number of queries the drive sent, whatever their
+// outcome.
+func (r DriveResult) Issued() int64 {
+	return r.Queries + r.Errors + r.Shed + r.Expired
+}
+
+// SLOAttainment is the fraction of served queries that met the SLO
+// (1 when no SLO was declared or nothing was served).
+func (r DriveResult) SLOAttainment() float64 {
+	if r.Queries == 0 {
+		return 1
+	}
+	return float64(r.Queries-r.SLOMisses) / float64(r.Queries)
 }
 
 // maxSampledTraces bounds DriveResult.TraceIDs; the drive keeps minting
@@ -50,9 +69,11 @@ const maxSampledTraces = 16
 
 // driveCounters classifies per-query outcomes during a run.
 type driveCounters struct {
-	errs    atomic.Int64
-	shed    atomic.Int64
-	expired atomic.Int64
+	errs      atomic.Int64
+	shed      atomic.Int64
+	expired   atomic.Int64
+	sloMisses atomic.Int64
+	slo       time.Duration // measurement target; 0 = not tracked
 
 	mu       sync.Mutex
 	traceIDs []string
@@ -98,7 +119,11 @@ func (c *driveCounters) issue(b service.Backend, name string, payload []float32,
 	}
 	switch {
 	case err == nil:
-		lat.Record(time.Since(t0))
+		elapsed := time.Since(t0)
+		lat.Record(elapsed)
+		if c.slo > 0 && elapsed > c.slo {
+			c.sloMisses.Add(1)
+		}
 		return outcomeOK
 	case errors.Is(err, service.ErrDeadlineExceeded):
 		c.expired.Add(1)
@@ -118,13 +143,14 @@ func (c *driveCounters) result(lat *metrics.LatencyRecorder, duration time.Durat
 	ids := append([]string(nil), c.traceIDs...)
 	c.mu.Unlock()
 	return DriveResult{
-		Queries:  int64(sum.Count),
-		QPS:      float64(sum.Count) / duration.Seconds(),
-		Latency:  sum,
-		Errors:   c.errs.Load(),
-		Shed:     c.shed.Load(),
-		Expired:  c.expired.Load(),
-		TraceIDs: ids,
+		Queries:   int64(sum.Count),
+		QPS:       float64(sum.Count) / duration.Seconds(),
+		Latency:   sum,
+		Errors:    c.errs.Load(),
+		Shed:      c.shed.Load(),
+		Expired:   c.expired.Load(),
+		SLOMisses: c.sloMisses.Load(),
+		TraceIDs:  ids,
 	}
 }
 
@@ -161,6 +187,10 @@ type DriveOptions struct {
 	Workers  int           // concurrent closed-loop clients
 	Duration time.Duration // how long to drive
 	Deadline time.Duration // per-query deadline (0 = none)
+	// SLO is a measurement-side target p99: served queries slower than
+	// this count in DriveResult.SLOMisses (0 = not tracked). Unlike
+	// Deadline it does not abort queries — it grades them.
+	SLO time.Duration
 	// TraceEvery mints a fresh trace ID onto every Nth query per worker
 	// (0 = all untraced). Each sampled query's lifecycle lands in the
 	// backend's trace store; the first few IDs come back in
@@ -172,7 +202,7 @@ type DriveOptions struct {
 // closed-loop entry point funnels here.
 func DriveClosedLoopOptions(b service.Backend, name string, payload func(*tensor.RNG) []float32, opts DriveOptions) DriveResult {
 	lat := metrics.NewLatencyRecorder()
-	var counters driveCounters
+	counters := driveCounters{slo: opts.SLO}
 	var wg sync.WaitGroup
 	stop := time.Now().Add(opts.Duration)
 	for w := 0; w < opts.Workers; w++ {
@@ -218,18 +248,30 @@ func DrivePoisson(b service.Backend, app models.App, name string, rate float64, 
 // DrivePoissonDeadline is DrivePoisson with a per-query deadline
 // (0 = none).
 func DrivePoissonDeadline(b service.Backend, app models.App, name string, rate float64, maxInflight int, duration, deadline time.Duration) DriveResult {
+	return DrivePoissonOptions(b, name, func(rng *tensor.RNG) []float32 {
+		return QueryPayload(app, rng)
+	}, rate, maxInflight, DriveOptions{Duration: duration, Deadline: deadline})
+}
+
+// DrivePoissonOptions is the full open-loop driver: exponentially
+// distributed inter-arrival times at the given rate, outstanding
+// requests bounded by maxInflight, payload from a caller-supplied
+// generator (called once, with the driver's RNG). Every other Poisson
+// entry point funnels here. Workers in opts is ignored — arrival rate,
+// not client count, sets the offered load.
+func DrivePoissonOptions(b service.Backend, name string, payload func(*tensor.RNG) []float32, rate float64, maxInflight int, opts DriveOptions) DriveResult {
 	if rate <= 0 || maxInflight <= 0 {
 		panic("workload: DrivePoisson needs positive rate and inflight bound")
 	}
 	lat := metrics.NewLatencyRecorder()
-	var counters driveCounters
+	counters := driveCounters{slo: opts.SLO}
 	rng := tensor.NewRNG(99)
-	payload := QueryPayload(app, rng)
+	query := payload(rng)
 	sem := make(chan struct{}, maxInflight)
 	var wg sync.WaitGroup
-	stop := time.Now().Add(duration)
+	stop := time.Now().Add(opts.Duration)
 	arrival := time.Now()
-	for {
+	for n := 0; ; n++ {
 		arrival = arrival.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
 		if arrival.After(stop) {
 			break
@@ -237,14 +279,19 @@ func DrivePoissonDeadline(b service.Backend, app models.App, name string, rate f
 		if d := time.Until(arrival); d > 0 {
 			time.Sleep(d)
 		}
+		var id string
+		if opts.TraceEvery > 0 && n%opts.TraceEvery == 0 {
+			id = trace.NewID()
+			counters.sampled(id)
+		}
 		sem <- struct{}{}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			counters.issue(b, name, payload, deadline, "", lat)
+			counters.issue(b, name, query, opts.Deadline, id, lat)
 		}()
 	}
 	wg.Wait()
-	return counters.result(lat, duration)
+	return counters.result(lat, opts.Duration)
 }
