@@ -1,11 +1,20 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+# Benchmark knobs: BENCH_COUNT repeated runs (benchstat wants ≥ 5
+# samples per benchmark to judge significance), BENCH_TIME per
+# measurement, BENCH_PKGS the engine-path packages that carry the
+# forward-pass benchmarks.
+BENCH_COUNT ?= 5
+BENCH_TIME  ?= 200ms
+BENCH_PKGS  ?= ./internal/tensor/... ./internal/nn/... ./internal/models/...
+
+.PHONY: check vet build test race bench bench-all
 
 # check runs everything CI should gate on: vet, a full build, the full
 # test suite (tier-1), and race-detector runs for the concurrency-heavy
 # packages (the serving path, the scheduler, the multi-backend router,
-# the load drivers, and their metrics).
+# the load drivers, their metrics, and the engine's parallel GEMM /
+# shared-plan paths).
 check: vet build test race
 
 # vet is static analysis plus a formatting gate: gofmt -l prints the
@@ -22,7 +31,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/service/... ./internal/sched/... ./internal/metrics/... ./internal/router/... ./internal/workload/... ./internal/trace/... ./internal/admin/...
+	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/service/... ./internal/sched/... ./internal/metrics/... ./internal/router/... ./internal/workload/... ./internal/trace/... ./internal/admin/...
 
+# bench emits benchstat-friendly output for the engine hot path: pipe
+# two runs into `benchstat old.txt new.txt` to compare. Example:
+#   make bench > new.txt
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) $(BENCH_PKGS)
+
+# bench-all sweeps every package's benchmarks once (slow).
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

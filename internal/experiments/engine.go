@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"djinn/internal/models"
+	"djinn/internal/nn"
+	"djinn/internal/tensor"
+)
+
+// The engine experiment measures the compiled-execution-plan forward
+// path (nn.Plan: pooled arenas, in-place elementwise layers, fused
+// bias+ReLU epilogues, intra-op parallel GEMM) against the seed
+// per-call path the repo started with: max-batch activation tensors
+// with a fresh batch-limited view allocated per layer per call, serial
+// kernels, no fusion. Both paths run the same layer arithmetic in the
+// same order, so their outputs must be bit-identical; the plan's wins
+// are allocations, memory footprint, fused passes and (given cores)
+// parallel GEMM.
+
+// EngineConfig selects the sweep grid and measurement effort.
+type EngineConfig struct {
+	Apps    []models.App
+	Batches []int
+	Workers []int // intra-op worker counts for the plan path
+	// MinTime is the minimum measured wall time per contender; MinIters
+	// the minimum forward passes. Zero means the defaults (150ms, 2).
+	MinTime  time.Duration
+	MinIters int
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if len(c.Apps) == 0 {
+		c.Apps = []models.App{models.IMC, models.DIG, models.POS}
+	}
+	if len(c.Batches) == 0 {
+		c.Batches = []int{1, 8, 32}
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4}
+	}
+	if c.MinTime <= 0 {
+		c.MinTime = 150 * time.Millisecond
+	}
+	if c.MinIters <= 0 {
+		c.MinIters = 2
+	}
+	return c
+}
+
+// EngineCell is one (app, batch, workers) point of the sweep.
+type EngineCell struct {
+	App     models.App
+	Batch   int
+	Workers int
+
+	SeedQPS float64 // instances/sec, seed per-call path (always serial)
+	PlanQPS float64 // instances/sec, compiled plan at Workers
+	Speedup float64 // PlanQPS / SeedQPS
+
+	SeedAllocs float64 // heap allocations per forward call
+	PlanAllocs float64
+
+	SeedActBytes int64 // activation memory: one buffer per layer (seed layout)
+	PlanActBytes int64 // activation memory: plan arenas (ping-pong)
+
+	Identical bool // plan output bit-identical to the seed output
+}
+
+// seedRunner replicates the pre-plan Runner forward path through the
+// public nn API: per-layer max-batch tensors, a fresh FromSlice view
+// per layer per call, Layer.Forward with a serial Ctx.
+type seedRunner struct {
+	net    *nn.Net
+	ctx    *nn.Ctx
+	shapes [][]int // input shape first, then each layer's output shape
+	acts   []*tensor.Tensor
+}
+
+func newSeedRunner(n *nn.Net, maxBatch int) *seedRunner {
+	r := &seedRunner{net: n, ctx: nn.NewCtx(1)}
+	r.shapes = append([][]int{n.InShape()}, n.Shapes()...)
+	for _, s := range r.shapes {
+		r.acts = append(r.acts, tensor.New(append([]int{maxBatch}, s...)...))
+	}
+	return r
+}
+
+func (r *seedRunner) forward(input *tensor.Tensor) *tensor.Tensor {
+	batch := input.Dim(0)
+	cur := seedView(r.acts[0], r.shapes[0], batch)
+	copy(cur.Data(), input.Data())
+	for i, l := range r.net.Layers() {
+		next := seedView(r.acts[i+1], r.shapes[i+1], batch)
+		l.Forward(r.ctx, cur, next)
+		cur = next
+	}
+	return cur
+}
+
+func seedView(t *tensor.Tensor, shape []int, batch int) *tensor.Tensor {
+	per := 1
+	for _, d := range shape {
+		per *= d
+	}
+	return tensor.FromSlice(t.Data()[:batch*per], append([]int{batch}, shape...)...)
+}
+
+// measure times fn until both minimums are met and returns
+// (forward calls per second, heap allocations per call).
+func measure(minTime time.Duration, minIters int, fn func()) (float64, float64) {
+	fn() // warm up: scratch growth, first-touch
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for {
+		fn()
+		iters++
+		if iters >= minIters && time.Since(start) >= minTime {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	allocs := float64(after.Mallocs-before.Mallocs) / float64(iters)
+	// ReadMemStats itself allocates nothing, but the timing calls may:
+	// the two time.Since/Now pairs are alloc-free, so the delta is fn's.
+	return float64(iters) / elapsed.Seconds(), allocs
+}
+
+func bitIdentical(a, b *tensor.Tensor) bool {
+	x, y := a.Data(), b.Data()
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EngineSweep runs the full grid. Seed throughput is measured once per
+// (app, batch) and reused across the worker rows.
+func EngineSweep(cfg EngineConfig) []EngineCell {
+	cfg = cfg.withDefaults()
+	var cells []EngineCell
+	for _, app := range cfg.Apps {
+		net := models.BuildCached(app)
+		for _, batch := range cfg.Batches {
+			input := tensor.New(append([]int{batch}, net.InShape()...)...)
+			tensor.NewRNG(uint64(7*batch+int(app))).FillNorm(input.Data(), 0, 1)
+
+			seed := newSeedRunner(net, batch)
+			seedOut := tensor.New(append([]int{batch}, net.OutShape()...)...)
+			copy(seedOut.Data(), seed.forward(input).Data())
+			seedFPS, seedAllocs := measure(cfg.MinTime, cfg.MinIters, func() { seed.forward(input) })
+
+			for _, workers := range cfg.Workers {
+				plan := net.CompileOpts(batch, nn.CompileOpts{Workers: workers})
+				planOut := plan.Forward(input)
+				cell := EngineCell{
+					App: app, Batch: batch, Workers: workers,
+					Identical:    bitIdentical(seedOut, planOut),
+					SeedActBytes: net.ActivationBytes(batch),
+					PlanActBytes: plan.ActivationBytes(),
+					SeedAllocs:   seedAllocs,
+				}
+				planFPS, planAllocs := measure(cfg.MinTime, cfg.MinIters, func() { plan.Forward(input) })
+				cell.SeedQPS = seedFPS * float64(batch)
+				cell.PlanQPS = planFPS * float64(batch)
+				cell.Speedup = cell.PlanQPS / cell.SeedQPS
+				cell.PlanAllocs = planAllocs
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells
+}
+
+// RenderEngine prints the seed-vs-plan engine comparison, the form
+// `djinn-bench -exp engine` emits.
+func RenderEngine() string {
+	return renderEngine(EngineSweep(EngineConfig{}))
+}
+
+func renderEngine(cells []EngineCell) string {
+	t := &table{header: []string{
+		"app", "batch", "workers",
+		"seed q/s", "plan q/s", "speedup",
+		"seed allocs/fwd", "plan allocs/fwd",
+		"act bytes seed", "act bytes plan", "act ratio",
+		"identical",
+	}}
+	for _, c := range cells {
+		t.add(c.App.String(),
+			fmt.Sprintf("%d", c.Batch), fmt.Sprintf("%d", c.Workers),
+			f1(c.SeedQPS), f1(c.PlanQPS), f2(c.Speedup),
+			f1(c.SeedAllocs), f1(c.PlanAllocs),
+			si(float64(c.SeedActBytes)), si(float64(c.PlanActBytes)),
+			f2(float64(c.SeedActBytes)/float64(c.PlanActBytes)),
+			fmt.Sprintf("%v", c.Identical))
+	}
+	return fmt.Sprintf(
+		"Engine: compiled execution plans vs seed per-call forward path (GOMAXPROCS=%d)\n"+
+			"seed: per-call views, serial GEMM, no fusion; plan: pooled arenas, in-place ops,\n"+
+			"fused bias+ReLU, row-parallel GEMM at the given intra-op worker count.\n%s",
+		runtime.GOMAXPROCS(0), t.String())
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"djinn/internal/models"
+)
+
+func TestEngineSweepSmall(t *testing.T) {
+	cells := EngineSweep(EngineConfig{
+		Apps:     []models.App{models.DIG, models.POS},
+		Batches:  []int{1, 4},
+		Workers:  []int{1, 2},
+		MinTime:  10 * time.Millisecond,
+		MinIters: 2,
+	})
+	if len(cells) != 2*2*2 {
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	for _, c := range cells {
+		if !c.Identical {
+			t.Errorf("%s batch=%d workers=%d: plan output not bit-identical to seed", c.App, c.Batch, c.Workers)
+		}
+		if c.SeedQPS <= 0 || c.PlanQPS <= 0 {
+			t.Errorf("%s batch=%d workers=%d: non-positive throughput (seed %.1f, plan %.1f)", c.App, c.Batch, c.Workers, c.SeedQPS, c.PlanQPS)
+		}
+		if c.PlanActBytes >= c.SeedActBytes {
+			t.Errorf("%s batch=%d: plan activation bytes %d not below seed %d", c.App, c.Batch, c.PlanActBytes, c.SeedActBytes)
+		}
+		// The seed path allocates per-layer views every call; the serial
+		// plan path must allocate (essentially) nothing.
+		if c.Workers == 1 {
+			if c.PlanAllocs >= c.SeedAllocs {
+				t.Errorf("%s batch=%d: plan allocs/fwd %.1f not below seed %.1f", c.App, c.Batch, c.PlanAllocs, c.SeedAllocs)
+			}
+			if c.PlanAllocs > 2 {
+				t.Errorf("%s batch=%d: serial plan path allocates %.1f per forward, want ~0", c.App, c.Batch, c.PlanAllocs)
+			}
+		}
+	}
+}
+
+func TestRenderEngineSmokeFormat(t *testing.T) {
+	// RenderEngine itself sweeps AlexNet and is too slow for the tier-1
+	// suite; drive the rendering path with a small sweep instead.
+	cells := EngineSweep(EngineConfig{
+		Apps:     []models.App{models.DIG},
+		Batches:  []int{1},
+		Workers:  []int{1},
+		MinTime:  time.Millisecond,
+		MinIters: 1,
+	})
+	out := renderEngine(cells)
+	for _, want := range []string{"speedup", "identical", "DIG", "act bytes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("engine table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -215,22 +216,61 @@ func TestSennaTaskWidthsDiffer(t *testing.T) {
 	}
 }
 
+// TestPlanMatchesRunnerAllNetworks is the golden equivalence gate for
+// the compiled execution plans: across all seven Tonic networks, a
+// plan's output (with in-place elementwise layers, fused bias+ReLU
+// epilogues and intra-op parallel GEMM) must be bit-identical to the
+// seed Runner forward path — not merely close.
+func TestPlanMatchesRunnerAllNetworks(t *testing.T) {
+	const batch = 2
+	for _, a := range Apps {
+		net := BuildCached(a)
+		in := tensor.New(append([]int{batch}, net.InShape()...)...)
+		tensor.NewRNG(uint64(a)+21).FillNorm(in.Data(), 0, 1)
+		want := net.NewRunner(batch).Forward(in)
+		plan := net.CompileOpts(batch, nn.CompileOpts{Workers: 2})
+		got := plan.Forward(in)
+		if got.Len() != want.Len() {
+			t.Fatalf("%s: plan output %v, runner %v", a, got.Shape(), want.Shape())
+		}
+		for i := range got.Data() {
+			if got.Data()[i] != want.Data()[i] {
+				t.Fatalf("%s: out[%d] = %v (plan) vs %v (runner): not bit-identical", a, i, got.Data()[i], want.Data()[i])
+			}
+		}
+		if pb, sb := plan.ActivationBytes(), net.ActivationBytes(batch); pb >= sb {
+			t.Errorf("%s: plan activation bytes %d not below seed layout %d", a, pb, sb)
+		}
+	}
+}
+
 func BenchmarkBuildMNIST(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Build(DIG, uint64(i))
 	}
 }
 
-var sinkNet *nn.Net
+var sinkOut *tensor.Tensor
 
-func BenchmarkForwardMNIST(b *testing.B) {
-	net := BuildCached(DIG)
-	r := net.NewRunner(1)
-	in := tensor.New(1, 1, 28, 28)
-	tensor.NewRNG(1).FillNorm(in.Data(), 0, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r.Forward(in)
+// benchForward measures the compiled-plan forward path at the batch
+// sizes the engine experiment sweeps. Run with -benchmem: steady-state
+// allocs/op should be 0.
+func benchForward(b *testing.B, a App) {
+	net := BuildCached(a)
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			plan := net.Compile(batch)
+			in := tensor.New(append([]int{batch}, net.InShape()...)...)
+			tensor.NewRNG(1).FillNorm(in.Data(), 0, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkOut = plan.Forward(in)
+			}
+		})
 	}
-	sinkNet = net
 }
+
+func BenchmarkForwardAlexNet(b *testing.B) { benchForward(b, IMC) }
+func BenchmarkForwardMNIST(b *testing.B)   { benchForward(b, DIG) }
+func BenchmarkForwardSENNA(b *testing.B)   { benchForward(b, POS) }

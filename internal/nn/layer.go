@@ -107,6 +107,11 @@ type Ctx struct {
 	col   []float32   // im2col scratch
 	rng   *tensor.RNG // dropout masks during training
 	Train bool        // enables dropout
+	// Workers is the intra-op parallelism knob: GEMM-backed layers
+	// (conv, FC) split their output rows across this many goroutines,
+	// each owning a disjoint row block so results stay bit-identical to
+	// the serial kernels. Zero or 1 runs serial.
+	Workers int
 }
 
 // NewCtx creates an execution context. seed controls dropout mask
@@ -120,6 +125,14 @@ func (c *Ctx) scratch(n int) []float32 {
 		c.col = make([]float32, n)
 	}
 	return c.col[:n]
+}
+
+// workers returns the effective intra-op worker count (at least 1).
+func (c *Ctx) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
 }
 
 // Layer is one stage of a sequential network. Implementations must be
@@ -141,6 +154,16 @@ type Layer interface {
 	// Kernels appends this layer's forward-pass kernel descriptors for
 	// the given per-sample input shape and batch size.
 	Kernels(in []int, batch int, ks []Kernel) []Kernel
+}
+
+// fusedBiasReLU is implemented by layers (conv, FC) whose forward pass
+// can fold an immediately-following ReLU into their bias epilogue: one
+// pass over the output instead of bias-add plus a separate
+// copy-and-clamp. Execution plans use it; results are bit-identical to
+// Forward followed by the ReLU layer.
+type fusedBiasReLU interface {
+	Layer
+	forwardReLU(ctx *Ctx, in, out *tensor.Tensor)
 }
 
 // BackLayer is implemented by layers that support backpropagation.

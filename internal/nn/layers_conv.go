@@ -89,6 +89,16 @@ func (c *Conv) OutShape(in []int) ([]int, error) {
 
 // Forward implements Layer.
 func (c *Conv) Forward(ctx *Ctx, in, out *tensor.Tensor) {
+	c.forward(ctx, in, out, false)
+}
+
+// forwardReLU implements fusedBiasReLU: the same convolution with the
+// following ReLU folded into the bias epilogue.
+func (c *Conv) forwardReLU(ctx *Ctx, in, out *tensor.Tensor) {
+	c.forward(ctx, in, out, true)
+}
+
+func (c *Conv) forward(ctx *Ctx, in, out *tensor.Tensor, fuseReLU bool) {
 	batch := in.Dim(0)
 	inShape := in.Shape()[1:]
 	g := c.geom(inShape)
@@ -109,11 +119,15 @@ func (c *Conv) Forward(ctx *Ctx, in, out *tensor.Tensor) {
 		for grp := 0; grp < c.Groups; grp++ {
 			tensor.Im2col(groupGeom, img[grp*gInC*g.Height*g.Width:(grp+1)*gInC*g.Height*g.Width], col)
 			// Filter matrix [gOutC, kTaps] × col [kTaps, outSpatial].
-			tensor.Gemm(gOutC, outSpatial, kTaps, 1,
+			tensor.GemmParallel(ctx.workers(), gOutC, outSpatial, kTaps, 1,
 				w[grp*gOutC*kTaps:(grp+1)*gOutC*kTaps], col,
 				0, dst[grp*gOutC*outSpatial:(grp+1)*gOutC*outSpatial])
 		}
-		tensor.AddBiasRows(c.OutC, outSpatial, dst, c.Bias.W.Data())
+		if fuseReLU {
+			tensor.AddBiasRowsReLU(c.OutC, outSpatial, dst, c.Bias.W.Data())
+		} else {
+			tensor.AddBiasRows(c.OutC, outSpatial, dst, c.Bias.W.Data())
+		}
 	}
 }
 

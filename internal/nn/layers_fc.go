@@ -48,14 +48,45 @@ func (f *FC) OutShape(in []int) ([]int, error) {
 // Forward implements Layer. Computes out[b] = W·in[b] + bias as one GEMM
 // over the whole batch: out [B,Out] = in [B,In] × W^T [In,Out].
 func (f *FC) Forward(ctx *Ctx, in, out *tensor.Tensor) {
+	f.forward(ctx, in, out, false)
+}
+
+// forwardReLU implements fusedBiasReLU: the same affine transform with
+// the following ReLU folded into the bias epilogue.
+func (f *FC) forwardReLU(ctx *Ctx, in, out *tensor.Tensor) {
+	f.forward(ctx, in, out, true)
+}
+
+func (f *FC) forward(ctx *Ctx, in, out *tensor.Tensor, fuseReLU bool) {
 	batch := in.Dim(0)
 	w := f.Weight.W.Data()
 	// out[b,o] = sum_i in[b,i] * w[o,i]; loop as GEMM with B transposed.
+	// Intra-op workers own disjoint output rows (samples at batch > 1,
+	// weight rows at batch 1), so the per-element accumulation order —
+	// and hence the result — matches the serial path bit for bit.
 	inD, outD := in.Data(), out.Data()
-	for b := 0; b < batch; b++ {
-		tensor.Gemv(f.Out, f.In, 1, w, inD[b*f.In:(b+1)*f.In], 0, outD[b*f.Out:(b+1)*f.Out])
+	switch workers := ctx.workers(); {
+	case workers <= 1:
+		// Serial fast path: no closure, no goroutines, zero allocations.
+		for b := 0; b < batch; b++ {
+			tensor.Gemv(f.Out, f.In, 1, w, inD[b*f.In:(b+1)*f.In], 0, outD[b*f.Out:(b+1)*f.Out])
+		}
+	case batch == 1:
+		tensor.ParallelRows(workers, f.Out, func(lo, hi int) {
+			tensor.Gemv(hi-lo, f.In, 1, w[lo*f.In:hi*f.In], inD[:f.In], 0, outD[lo:hi])
+		})
+	default:
+		tensor.ParallelRows(workers, batch, func(lo, hi int) {
+			for b := lo; b < hi; b++ {
+				tensor.Gemv(f.Out, f.In, 1, w, inD[b*f.In:(b+1)*f.In], 0, outD[b*f.Out:(b+1)*f.Out])
+			}
+		})
 	}
-	tensor.AddBias(batch, f.Out, outD, f.Bias.W.Data())
+	if fuseReLU {
+		tensor.AddBiasReLU(batch, f.Out, outD, f.Bias.W.Data())
+	} else {
+		tensor.AddBias(batch, f.Out, outD, f.Bias.W.Data())
+	}
 }
 
 // Backward implements BackLayer.

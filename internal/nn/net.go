@@ -82,6 +82,16 @@ func (n *Net) OutShape() []int { return n.outShape() }
 // Layers returns the layer list (read-only).
 func (n *Net) Layers() []Layer { return n.layers }
 
+// Shapes returns a copy of the per-sample output shape after each layer
+// (the shapes validated by Add, with any implicit flattening applied).
+func (n *Net) Shapes() [][]int {
+	out := make([][]int, len(n.shapes))
+	for i, s := range n.shapes {
+		out[i] = append([]int(nil), s...)
+	}
+	return out
+}
+
 // LayerCount returns the number of compute layers the paper's Table 1
 // counts: everything except the terminal softmax (Caffe's "prob" layer,
 // which the paper's layer counts exclude).
@@ -140,13 +150,13 @@ func (n *Net) FLOPs(batch int) float64 {
 
 // Runner executes forward (and optionally backward) passes over one Net
 // with privately-owned activation buffers. One Runner per worker thread;
-// the Net's weights are shared.
+// the Net's weights are shared. It is a thin wrapper over a Retain-mode
+// execution plan (see Plan): every layer keeps its own activation buffer
+// so Backward can consume them, and all batch-limited views are
+// precomputed at construction instead of allocated per Forward call.
 type Runner struct {
-	net      *Net
-	ctx      *Ctx
-	maxBatch int
-	acts     []*tensor.Tensor // len(layers)+1; acts[0] is the input buffer
-	grads    []*tensor.Tensor // allocated on demand for training
+	plan  *Plan
+	grads []*tensor.Tensor // allocated on demand for training
 }
 
 // NewRunner creates an execution context for net able to process up to
@@ -155,45 +165,24 @@ func (n *Net) NewRunner(maxBatch int) *Runner {
 	if maxBatch <= 0 {
 		panic("nn: NewRunner: maxBatch must be positive")
 	}
-	r := &Runner{net: n, ctx: NewCtx(uint64(0x5eed) + uint64(len(n.layers))), maxBatch: maxBatch}
-	r.acts = make([]*tensor.Tensor, len(n.layers)+1)
-	r.acts[0] = tensor.New(append([]int{maxBatch}, n.inShape...)...)
-	for i := range n.layers {
-		r.acts[i+1] = tensor.New(append([]int{maxBatch}, n.shapes[i]...)...)
-	}
-	return r
+	return &Runner{plan: n.CompileOpts(maxBatch, CompileOpts{Retain: true})}
 }
 
 // Net returns the network this runner executes.
-func (r *Runner) Net() *Net { return r.net }
+func (r *Runner) Net() *Net { return r.plan.net }
 
 // MaxBatch returns the batch capacity.
-func (r *Runner) MaxBatch() int { return r.maxBatch }
+func (r *Runner) MaxBatch() int { return r.plan.maxBatch }
 
 // SetTrain toggles training mode (dropout active).
-func (r *Runner) SetTrain(train bool) { r.ctx.Train = train }
+func (r *Runner) SetTrain(train bool) { r.plan.ctx.Train = train }
 
 // Forward runs the network on input, whose leading dimension is the
 // batch (1 ≤ batch ≤ maxBatch), and returns the output tensor
 // [batch, outShape...]. The returned tensor is owned by the runner and
 // valid until the next Forward call.
 func (r *Runner) Forward(input *tensor.Tensor) *tensor.Tensor {
-	batch := input.Dim(0)
-	if batch < 1 || batch > r.maxBatch {
-		panic(fmt.Sprintf("nn: Forward: batch %d out of range [1,%d]", batch, r.maxBatch))
-	}
-	wantPer := sampleElems(r.net.inShape)
-	if input.Len() != batch*wantPer {
-		panic(fmt.Sprintf("nn: Forward: input %v does not match net input shape %v", input.Shape(), r.net.inShape))
-	}
-	cur := view(r.acts[0], batch)
-	copy(cur.Data(), input.Data())
-	for i, l := range r.net.layers {
-		next := view(r.acts[i+1], batch)
-		l.Forward(r.ctx, cur, next)
-		cur = next
-	}
-	return cur
+	return r.plan.Forward(input)
 }
 
 // view returns a batch-limited window over a max-batch activation buffer.
@@ -212,25 +201,25 @@ func view(t *tensor.Tensor, batch int) *tensor.Tensor {
 // parameter gradients. It panics if any layer does not support
 // backpropagation.
 func (r *Runner) Backward(dOut *tensor.Tensor) {
+	net := r.plan.net
 	batch := dOut.Dim(0)
 	if r.grads == nil {
-		r.grads = make([]*tensor.Tensor, len(r.net.layers)+1)
-		r.grads[0] = tensor.New(append([]int{r.maxBatch}, r.net.inShape...)...)
-		for i := range r.net.layers {
-			r.grads[i+1] = tensor.New(append([]int{r.maxBatch}, r.net.shapes[i]...)...)
+		r.grads = make([]*tensor.Tensor, len(net.layers)+1)
+		r.grads[0] = tensor.New(append([]int{r.plan.maxBatch}, net.inShape...)...)
+		for i := range net.layers {
+			r.grads[i+1] = tensor.New(append([]int{r.plan.maxBatch}, net.shapes[i]...)...)
 		}
 	}
-	cur := view(r.grads[len(r.net.layers)], batch)
+	cur := view(r.grads[len(net.layers)], batch)
 	copy(cur.Data(), dOut.Data())
-	for i := len(r.net.layers) - 1; i >= 0; i-- {
-		bl, ok := r.net.layers[i].(BackLayer)
+	acts := r.plan.views[batch-1] // retain mode: one buffer per activation
+	for i := len(net.layers) - 1; i >= 0; i-- {
+		bl, ok := net.layers[i].(BackLayer)
 		if !ok {
-			panic(fmt.Sprintf("nn: layer %s (%s) does not support backward", r.net.layers[i].Name(), r.net.layers[i].Kind()))
+			panic(fmt.Sprintf("nn: layer %s (%s) does not support backward", net.layers[i].Name(), net.layers[i].Kind()))
 		}
-		in := view(r.acts[i], batch)
-		out := view(r.acts[i+1], batch)
 		din := view(r.grads[i], batch)
-		bl.Backward(r.ctx, in, out, cur, din)
+		bl.Backward(r.plan.ctx, acts[i], acts[i+1], cur, din)
 		cur = din
 	}
 }

@@ -8,13 +8,18 @@ import (
 
 // ParallelRunner executes one network's forward pass with intra-batch
 // parallelism: the batch is split into contiguous chunks processed
-// concurrently by private Runners over the shared read-only weights.
-// This is how a CPU-only DjiNN deployment uses its cores within a
-// single large batch (complementing the across-batch worker pool).
+// concurrently by private inference plans over the shared read-only
+// weights. This is how a CPU-only DjiNN deployment uses its cores
+// within a single large batch (complementing the across-batch worker
+// pool and the intra-op GEMM parallelism of CompileOpts.Workers).
 type ParallelRunner struct {
-	net     *Net
-	runners []*Runner
-	out     *tensor.Tensor
+	net      *Net
+	plans    []*Plan
+	maxBatch int
+	inPer    int
+	outPer   int
+	out      []float32
+	outViews []*tensor.Tensor // outViews[b-1]: [b, outShape...] over out
 }
 
 // NewParallelRunner creates a runner with the given worker count, each
@@ -23,35 +28,40 @@ func (n *Net) NewParallelRunner(maxBatch, workers int) *ParallelRunner {
 	if workers <= 0 {
 		panic("nn: NewParallelRunner: workers must be positive")
 	}
+	if maxBatch <= 0 {
+		panic("nn: NewParallelRunner: maxBatch must be positive")
+	}
 	if workers > maxBatch {
 		workers = maxBatch
 	}
 	per := (maxBatch + workers - 1) / workers
-	p := &ParallelRunner{net: n}
-	for i := 0; i < workers; i++ {
-		p.runners = append(p.runners, n.NewRunner(per))
+	p := &ParallelRunner{
+		net:      n,
+		maxBatch: per * workers,
+		inPer:    sampleElems(n.InShape()),
+		outPer:   sampleElems(n.OutShape()),
 	}
-	p.out = tensor.New(append([]int{maxBatch}, n.OutShape()...)...)
+	for i := 0; i < workers; i++ {
+		p.plans = append(p.plans, n.Compile(per))
+	}
+	p.out = make([]float32, p.maxBatch*p.outPer)
+	p.outViews = make([]*tensor.Tensor, p.maxBatch)
+	for b := 1; b <= p.maxBatch; b++ {
+		p.outViews[b-1] = tensor.FromSlice(p.out[:b*p.outPer], append([]int{b}, n.OutShape()...)...)
+	}
 	return p
 }
 
 // MaxBatch returns the total batch capacity.
-func (p *ParallelRunner) MaxBatch() int {
-	per := p.runners[0].MaxBatch()
-	return per * len(p.runners)
-}
+func (p *ParallelRunner) MaxBatch() int { return p.maxBatch }
 
 // Forward runs the batch across the workers and returns the stacked
-// output, owned by the ParallelRunner until the next call.
+// output, owned by the ParallelRunner until the next call. Each chunk
+// is gathered straight into its plan's input arena, so the only copies
+// are input-in and output-out.
 func (p *ParallelRunner) Forward(input *tensor.Tensor) *tensor.Tensor {
 	batch := input.Dim(0)
-	inPer := input.Len() / batch
-	outShape := p.net.OutShape()
-	outPer := 1
-	for _, d := range outShape {
-		outPer *= d
-	}
-	per := p.runners[0].MaxBatch()
+	per := p.plans[0].MaxBatch()
 	var wg sync.WaitGroup
 	for w := 0; w*per < batch; w++ {
 		lo := w * per
@@ -62,13 +72,13 @@ func (p *ParallelRunner) Forward(input *tensor.Tensor) *tensor.Tensor {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			chunk := tensor.FromSlice(
-				input.Data()[lo*inPer:hi*inPer],
-				append([]int{hi - lo}, p.net.InShape()...)...)
-			res := p.runners[w].Forward(chunk)
-			copy(p.out.Data()[lo*outPer:hi*outPer], res.Data()[:(hi-lo)*outPer])
+			pl := p.plans[w]
+			n := hi - lo
+			copy(pl.In(n).Data(), input.Data()[lo*p.inPer:hi*p.inPer])
+			res := pl.Run(n)
+			copy(p.out[lo*p.outPer:hi*p.outPer], res.Data()[:n*p.outPer])
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	return tensor.FromSlice(p.out.Data()[:batch*outPer], append([]int{batch}, outShape...)...)
+	return p.outViews[batch-1]
 }

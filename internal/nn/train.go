@@ -91,6 +91,6 @@ func TrainBatch(r *Runner, opt *SGD, input *tensor.Tensor, labels []int) float64
 	dProbs := tensor.New(probs.Shape()...)
 	loss := NLLLoss(probs, labels, dProbs)
 	r.Backward(dProbs)
-	opt.Step(r.net.Params(), 1)
+	opt.Step(r.Net().Params(), 1)
 	return loss
 }

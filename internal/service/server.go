@@ -16,7 +16,6 @@ import (
 	"djinn/internal/metrics"
 	"djinn/internal/nn"
 	"djinn/internal/sched"
-	"djinn/internal/tensor"
 	"djinn/internal/trace"
 )
 
@@ -34,9 +33,11 @@ type AppConfig struct {
 	// paper's concurrent DNN service instances; 4 is the paper's
 	// chosen MPS operating point). Zero means 4.
 	Workers int
-	// IntraOpWorkers splits each forward pass's batch across this many
-	// goroutines (CPU-only deployments use cores inside a batch as
-	// well as across batches). Zero or 1 disables intra-op parallelism.
+	// IntraOpWorkers is the intra-op parallelism of each forward pass:
+	// GEMM-backed layers split their output rows across this many
+	// goroutines (CPU-only deployments use cores inside a batch as well
+	// as across batches). Row blocks are disjoint, so results stay
+	// bit-identical to serial execution. Zero or 1 runs serial kernels.
 	IntraOpWorkers int
 	// MaxPending bounds the queries waiting in the app's aggregation
 	// queue; beyond it the service sheds load with an error instead of
@@ -123,7 +124,8 @@ type app struct {
 	shedAdmission atomic.Int64
 	shedExpired   atomic.Int64
 	expired       atomic.Int64
-	timerWakeups  atomic.Int64 // aggregator flush-timer fires (lazy timer)
+	timerWakeups  atomic.Int64  // aggregator flush-timer fires (lazy timer)
+	plans         chan *nn.Plan // compiled execution-plan pool, one checkout per batch
 
 	// gateMu serialises enqueues against shutdown: dispatch holds the
 	// read side across its (non-blocking) send, Close takes the write
@@ -261,27 +263,24 @@ func (s *Server) Register(name string, netw *nn.Net, cfg AppConfig) error {
 		defer s.wg.Done()
 		a.aggregate(batchCh, s.closing)
 	}()
+	// Compile the app's execution plans once at registration — DjiNN's
+	// load-once model extended to the forward path itself: weights are
+	// shared read-only, and each plan carries the precomputed activation
+	// views, arenas and scratch a batch needs, so the steady-state
+	// forward path allocates nothing. Workers check a plan out of the
+	// pool per batch and return it when done.
+	a.plans = make(chan *nn.Plan, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
-		var runner forwardRunner
-		if cfg.IntraOpWorkers > 1 {
-			runner = netw.NewParallelRunner(cfg.BatchInstances, cfg.IntraOpWorkers)
-		} else {
-			runner = netw.NewRunner(cfg.BatchInstances)
-		}
+		a.plans <- netw.CompileOpts(cfg.BatchInstances, nn.CompileOpts{Workers: cfg.IntraOpWorkers})
+	}
+	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			a.work(runner, batchCh)
+			a.work(batchCh)
 		}()
 	}
 	return nil
-}
-
-// forwardRunner is the worker-side execution interface, satisfied by
-// both nn.Runner and nn.ParallelRunner.
-type forwardRunner interface {
-	Forward(*tensor.Tensor) *tensor.Tensor
-	MaxBatch() int
 }
 
 func elems(shape []int) int {
@@ -511,14 +510,15 @@ func (a *app) traceSpans(req *request, spans ...trace.Span) {
 	}
 }
 
-// work executes batches on a private runner. A batch may exceed the
-// runner's capacity when a single query carries many instances (an ASR
-// query is 548 frames); the worker then chunks the forward passes.
-func (a *app) work(runner forwardRunner, batchCh <-chan []*request) {
-	maxB := runner.MaxBatch()
-	input := tensor.New(append([]int{maxB}, a.net.InShape()...)...)
+// work executes batches on plans checked out of the app's pool. A batch
+// may exceed a plan's capacity when a single query carries many
+// instances (an ASR query is 548 frames); the worker then chunks the
+// forward passes.
+func (a *app) work(batchCh <-chan []*request) {
 	for batch := range batchCh {
-		a.runBatch(runner, input, maxB, batch)
+		plan := <-a.plans
+		a.runBatch(plan, batch)
+		a.plans <- plan
 	}
 }
 
@@ -526,7 +526,7 @@ func (a *app) work(runner forwardRunner, batchCh <-chan []*request) {
 // guarantees every request in the batch receives exactly one response:
 // a panic anywhere in the forward path fails the batch's requests with
 // an error instead of deadlocking their callers.
-func (a *app) runBatch(runner forwardRunner, input *tensor.Tensor, maxB int, batch []*request) {
+func (a *app) runBatch(plan *nn.Plan, batch []*request) {
 	// Gather all instances across the batch's requests.
 	total := 0
 	for _, r := range batch {
@@ -554,19 +554,34 @@ func (a *app) runBatch(runner forwardRunner, input *tensor.Tensor, maxB int, bat
 	defer a.gate.Release()
 	forwardStart := time.Now()
 	batchID := a.batchSeq.Add(1)
+	maxB := plan.MaxBatch()
+	// One output array per batch; per-request responses are capped
+	// subslices of it, so the scatter below allocates nothing further
+	// and copies nothing. (Callers own their response slice forever,
+	// which is why this array cannot be pooled.)
 	out := make([]float32, total*a.sampleOut)
-	flat := make([]float32, 0, total*a.sampleIn)
-	for _, r := range batch {
-		flat = append(flat, r.in...)
-	}
+	// Gather request payloads directly into each chunk's plan input
+	// arena — no intermediate flat buffer, no per-chunk input tensor. A
+	// request's instances may straddle chunk boundaries (ASR: 548
+	// instances vs. a 64-instance plan), so a cursor tracks the partial
+	// request across chunks.
+	ri, ro := 0, 0 // request cursor: batch index, float offset within its payload
 	for off := 0; off < total; off += maxB {
 		n := total - off
 		if n > maxB {
 			n = maxB
 		}
-		in := tensor.FromSlice(input.Data()[:n*a.sampleIn], append([]int{n}, a.net.InShape()...)...)
-		copy(in.Data(), flat[off*a.sampleIn:(off+n)*a.sampleIn])
-		res := runner.Forward(in)
+		dst := plan.In(n).Data()
+		for filled, need := 0, n*a.sampleIn; filled < need; {
+			c := copy(dst[filled:need], batch[ri].in[ro:])
+			filled += c
+			ro += c
+			if ro == len(batch[ri].in) {
+				ri++
+				ro = 0
+			}
+		}
+		res := plan.Run(n)
 		copy(out[off*a.sampleOut:(off+n)*a.sampleOut], res.Data()[:n*a.sampleOut])
 		a.batches.Add(1)
 	}
@@ -582,8 +597,7 @@ func (a *app) runBatch(runner forwardRunner, input *tensor.Tensor, maxB int, bat
 	off := 0
 	for _, r := range batch {
 		n := r.instances * a.sampleOut
-		resp := make([]float32, n)
-		copy(resp, out[off:off+n])
+		resp := out[off : off+n : off+n]
 		off += n
 		if r.respond(result{out: resp}) {
 			a.queries.Add(1)

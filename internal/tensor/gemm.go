@@ -1,6 +1,9 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // gemm block sizes, sized so that a block of B and the corresponding rows
 // of A stay resident in L1/L2 while the inner kernel runs.
@@ -70,6 +73,59 @@ func gemmBlock(i0, i1, j0, j1, k0, k1, n, k int, alpha float32, a, b, c []float3
 			}
 		}
 	}
+}
+
+// GemmParallel computes the same C = alpha*A*B + beta*C as Gemm, with
+// the M dimension split into contiguous row blocks, one goroutine per
+// block. Each goroutine runs the serial blocked kernel over its own rows
+// of A and C — workers never share an output row — so the per-row
+// floating-point operation order is exactly the serial kernel's and the
+// result is bit-identical to Gemm for any worker count. workers <= 1
+// falls back to the serial kernel; workers > m is clamped.
+func GemmParallel(workers, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic(fmt.Sprintf("tensor: gemm buffer too small for m=%d n=%d k=%d (len a=%d b=%d c=%d)", m, n, k, len(a), len(b), len(c)))
+	}
+	if workers <= 1 || m <= 1 {
+		// Serial fast path: skip the closure so the steady-state forward
+		// path stays allocation-free.
+		Gemm(m, n, k, alpha, a, b, beta, c)
+		return
+	}
+	ParallelRows(workers, m, func(lo, hi int) {
+		Gemm(hi-lo, n, k, alpha, a[lo*k:hi*k], b, beta, c[lo*n:hi*n])
+	})
+}
+
+// ParallelRows splits [0, rows) into contiguous blocks, one per worker,
+// and calls fn(lo, hi) concurrently on each. fn must only touch state
+// owned by its row range. workers <= 1 (or a single block) runs
+// fn(0, rows) on the calling goroutine with no synchronisation cost.
+func ParallelRows(workers, rows int, fn func(lo, hi int)) {
+	if rows <= 0 {
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // GemmNaive is the straightforward triple loop, kept as the reference

@@ -150,3 +150,36 @@ func AddBiasRows(m, n int, x, bias []float32) {
 		}
 	}
 }
+
+// AddBiasReLU is the fused epilogue max(0, x+bias) with column bias: one
+// pass over the output instead of a bias pass plus a separate ReLU
+// layer's copy-and-clamp. Element values are bit-identical to AddBias
+// followed by ReLU (same add, then the same compare-against-zero).
+func AddBiasReLU(m, n int, x, bias []float32) {
+	for i := 0; i < m; i++ {
+		row := x[i*n : (i+1)*n]
+		for j := range row {
+			v := row[j] + bias[j]
+			if v < 0 {
+				v = 0
+			}
+			row[j] = v
+		}
+	}
+}
+
+// AddBiasRowsReLU is the fused epilogue max(0, x+bias) with row bias
+// (the convolution case). See AddBiasReLU.
+func AddBiasRowsReLU(m, n int, x, bias []float32) {
+	for i := 0; i < m; i++ {
+		row := x[i*n : (i+1)*n]
+		b := bias[i]
+		for j := range row {
+			v := row[j] + b
+			if v < 0 {
+				v = 0
+			}
+			row[j] = v
+		}
+	}
+}

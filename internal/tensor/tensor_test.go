@@ -3,6 +3,7 @@ package tensor
 import (
 	"bytes"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -572,5 +573,128 @@ func BenchmarkGemv4096(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Gemv(m, n, 1, a, x, 0, y)
+	}
+}
+
+func TestGemmParallelBitIdenticalToSerial(t *testing.T) {
+	// Row-block parallelism must be bit-identical (==, not within
+	// tolerance) to the serial blocked kernel: each goroutine owns a
+	// disjoint C row block and runs the same kernel over it, so the
+	// per-row FP operation order is unchanged. Shapes are deliberately
+	// not multiples of the kernel's 64/256/64 blocking, and worker
+	// counts exceed the row count to exercise the clamp.
+	rng := NewRNG(11)
+	shapes := [][3]int{{1, 1, 1}, {5, 3, 9}, {17, 31, 13}, {65, 63, 70}, {3, 257, 65}, {130, 19, 67}}
+	for _, s := range shapes {
+		m, n, k := s[0], s[1], s[2]
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		c0 := make([]float32, m*n)
+		rng.FillUniform(a, -1, 1)
+		rng.FillUniform(b, -1, 1)
+		rng.FillUniform(c0, -1, 1)
+		want := append([]float32(nil), c0...)
+		Gemm(m, n, k, 0.5, a, b, 0.25, want)
+		for _, workers := range []int{1, 2, 3, 7, 16, 64} {
+			got := append([]float32(nil), c0...)
+			GemmParallel(workers, m, n, k, 0.5, a, b, 0.25, got)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d m=%d n=%d k=%d: c[%d]=%v, serial %v (must be bit-identical)",
+						workers, m, n, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGemmParallelProperty(t *testing.T) {
+	// Property: parallel GEMM agrees with the reference implementation
+	// on random odd shapes and worker counts.
+	rng := NewRNG(12)
+	f := func(mRaw, nRaw, kRaw, wRaw uint8) bool {
+		m, n, k := int(mRaw%40)+1, int(nRaw%40)+1, int(kRaw%40)+1
+		workers := int(wRaw%12) + 1
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		rng.FillUniform(a, -2, 2)
+		rng.FillUniform(b, -2, 2)
+		c1 := make([]float32, m*n)
+		c2 := make([]float32, m*n)
+		GemmParallel(workers, m, n, k, 1, a, b, 0, c1)
+		GemmNaive(m, n, k, 1, a, b, 0, c2)
+		for i := range c1 {
+			if math.Abs(float64(c1[i]-c2[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGemmParallelPanicsOnShortBuffers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GemmParallel should panic on a short C buffer")
+		}
+	}()
+	GemmParallel(2, 4, 4, 4, 1, make([]float32, 16), make([]float32, 16), 0, make([]float32, 15))
+}
+
+func TestParallelRowsCoversDisjointBlocks(t *testing.T) {
+	// Every row is visited exactly once regardless of worker count.
+	for _, rows := range []int{0, 1, 2, 7, 64, 100} {
+		for _, workers := range []int{1, 2, 3, 16, 200} {
+			var mu sync.Mutex
+			seen := make([]int, rows)
+			ParallelRows(workers, rows, func(lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("rows=%d workers=%d: row %d visited %d times", rows, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestAddBiasReLUMatchesUnfused(t *testing.T) {
+	rng := NewRNG(13)
+	m, n := 7, 33
+	x0 := make([]float32, m*n)
+	colBias := make([]float32, n)
+	rowBias := make([]float32, m)
+	rng.FillUniform(x0, -2, 2)
+	rng.FillUniform(colBias, -1, 1)
+	rng.FillUniform(rowBias, -1, 1)
+
+	fused := append([]float32(nil), x0...)
+	AddBiasReLU(m, n, fused, colBias)
+	want := append([]float32(nil), x0...)
+	AddBias(m, n, want, colBias)
+	ReLU(want)
+	for i := range fused {
+		if fused[i] != want[i] {
+			t.Fatalf("AddBiasReLU[%d]=%v, unfused %v (must be bit-identical)", i, fused[i], want[i])
+		}
+	}
+
+	fused = append([]float32(nil), x0...)
+	AddBiasRowsReLU(m, n, fused, rowBias)
+	want = append([]float32(nil), x0...)
+	AddBiasRows(m, n, want, rowBias)
+	ReLU(want)
+	for i := range fused {
+		if fused[i] != want[i] {
+			t.Fatalf("AddBiasRowsReLU[%d]=%v, unfused %v (must be bit-identical)", i, fused[i], want[i])
+		}
 	}
 }
