@@ -8,7 +8,7 @@ BENCH_COUNT ?= 5
 BENCH_TIME  ?= 200ms
 BENCH_PKGS  ?= ./internal/tensor/... ./internal/nn/... ./internal/models/...
 
-.PHONY: check vet build test race bench bench-all
+.PHONY: check vet build test race bench bench-all models
 
 # check runs everything CI should gate on: vet, a full build, the full
 # test suite (tier-1), and race-detector runs for the concurrency-heavy
@@ -31,7 +31,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/service/... ./internal/sched/... ./internal/metrics/... ./internal/router/... ./internal/workload/... ./internal/trace/... ./internal/admin/...
+	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/models/... ./internal/modelstore/... ./internal/service/... ./internal/sched/... ./internal/metrics/... ./internal/router/... ./internal/workload/... ./internal/trace/... ./internal/admin/...
+
+# models exports all seven Tonic networks as versioned .djw weight
+# files (~850 MB, a one-time cost) and verifies every checksum, so a
+# store-backed server (`djinn-service -models $(MODELS_DIR)`) can boot
+# without building a single model. Override MODELS_DIR to choose the
+# destination.
+MODELS_DIR ?= ./models-export
+models:
+	$(GO) run ./cmd/djinn-service -export-models $(MODELS_DIR) -apps all
+	$(GO) run ./cmd/djinn-service -verify-models $(MODELS_DIR)
 
 # bench emits benchstat-friendly output for the engine hot path: pipe
 # two runs into `benchstat old.txt new.txt` to compare. Example:

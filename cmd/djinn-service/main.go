@@ -5,6 +5,16 @@
 // Usage:
 //
 //	djinn-service [-addr :7420] [-apps DIG,POS,NER | -apps all] [-replicas 1] [-stats 10s] [-admin :7421]
+//	djinn-service -export-models dir/ [-apps all] [-model-version 1]
+//	djinn-service -verify-models dir/
+//	djinn-service -models dir/ [-model-budget 268435456]
+//
+// -export-models writes the selected apps' weights as versioned .djw
+// files (one-time export; the files round-trip bit-identically).
+// -models serves from such a directory instead of building models at
+// boot: weights are mmapped on first query and evicted under
+// -model-budget, so a node can serve far more registered models than
+// fit in its budget (manage at runtime with `tonic models`).
 //
 // -admin starts the observability plane on a separate HTTP listener:
 // Prometheus metrics on /metrics, the Go profiler under /debug/pprof/,
@@ -29,6 +39,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -45,6 +57,11 @@ func main() {
 	replicas := flag.Int("replicas", 1, "number of replica servers to run in this process")
 	stats := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 disables)")
 	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /metrics, /slowlog, /trace?id=, /debug/pprof/ (empty disables)")
+	exportDir := flag.String("export-models", "", "export the selected apps' weights as versioned .djw files into this directory and exit")
+	verifyDir := flag.String("verify-models", "", "verify every .djw file in this directory (checksums + manifest) and exit")
+	modelsDir := flag.String("models", "", "serve models from this directory's .djw files instead of building them (fault-in on first query)")
+	modelBudget := flag.Int64("model-budget", 0, "resident model budget in bytes for -models (0 = unbounded)")
+	modelVersion := flag.Int("model-version", 1, "model version -export-models stamps into the files")
 	flag.Parse()
 
 	if *replicas < 1 {
@@ -71,9 +88,34 @@ func main() {
 		}
 	}
 
+	if *exportDir != "" {
+		paths, err := djinn.ExportModels(*exportDir, selected, *modelVersion)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range paths {
+			meta, err := djinn.VerifyModelFile(p)
+			if err != nil {
+				log.Fatalf("exported file failed verification: %v", err)
+			}
+			log.Printf("exported %s: %s (%d bytes, %d params)", meta.ID(), p, meta.FileSize, len(meta.Params))
+		}
+		return
+	}
+	if *verifyDir != "" {
+		if err := verifyModels(*verifyDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	// Build every replica before serving: model weights are cached, so
 	// N replicas share one read-only copy per app (the paper's
-	// weight-sharing, across replica boundaries too).
+	// weight-sharing, across replica boundaries too). With -models the
+	// weights stay on disk instead: each replica attaches a model
+	// registry over the same .djw files and faults models in on first
+	// query — the mappings are MAP_SHARED, so the replicas still share
+	// one page-cache copy per model.
 	servers := make([]*djinn.Server, *replicas)
 	for i := range servers {
 		srv := djinn.NewServer()
@@ -82,12 +124,24 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		for _, app := range selected {
-			if i == 0 {
-				log.Printf("loading %s model...", app)
-			}
-			if err := djinn.RegisterApp(srv, app); err != nil {
+		if *modelsDir != "" {
+			reg := djinn.NewModelRegistry(djinn.ModelRegistryConfig{BudgetBytes: *modelBudget})
+			srv.AttachModelStore(reg, djinn.AppConfig{})
+			n, err := registerModels(reg, *modelsDir)
+			if err != nil {
 				log.Fatal(err)
+			}
+			if i == 0 {
+				log.Printf("registered %d model file(s) from %s (budget %d bytes)", n, *modelsDir, *modelBudget)
+			}
+		} else {
+			for _, app := range selected {
+				if i == 0 {
+					log.Printf("loading %s model...", app)
+				}
+				if err := djinn.RegisterApp(srv, app); err != nil {
+					log.Fatal(err)
+				}
 			}
 		}
 		servers[i] = srv
@@ -198,6 +252,45 @@ func reportStats(srv *djinn.Server, replica int, selected []djinn.App) {
 				lat.Forward.P50, lat.Forward.P99, lat.Respond.P50)
 		}
 	}
+}
+
+// registerModels registers every .djw file in dir with the registry
+// (metadata only; weights stay on disk until a query faults them in).
+func registerModels(reg *djinn.ModelRegistry, dir string) (int, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.djw"))
+	if err != nil {
+		return 0, err
+	}
+	if len(paths) == 0 {
+		return 0, fmt.Errorf("no .djw files in %s (export with -export-models)", dir)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := reg.Register(p); err != nil {
+			return 0, err
+		}
+	}
+	return len(paths), nil
+}
+
+// verifyModels checksums every .djw file in dir end to end.
+func verifyModels(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.djw"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no .djw files in %s", dir)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		meta, err := djinn.VerifyModelFile(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		log.Printf("ok %s: %s (%d bytes, %d params)", meta.ID(), p, meta.FileSize, len(meta.Params))
+	}
+	return nil
 }
 
 // registerCustom parses "name=def.netdef[:weights.djnm]" and loads the

@@ -14,6 +14,7 @@
 //	tonic [-addr ...]       stats
 //	tonic [-addr ...]       sched
 //	tonic [-addr ...]       latency
+//	tonic [-addr ...]       models [-register path] [-load id] [-evict id]
 //	tonic [-addr ...]       trace <id>
 //	tonic [-addr ...]       trace -slowest 5
 //
@@ -40,7 +41,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed for synthetic inputs")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tonic [-addr host:port] <pos|chk|ner|dig|imc|face|asr|stats|sched|latency|trace|bench> [args]")
+		fmt.Fprintln(os.Stderr, "usage: tonic [-addr host:port] <pos|chk|ner|dig|imc|face|asr|stats|sched|latency|models|trace|bench> [args]")
 		os.Exit(2)
 	}
 	client, err := djinn.Dial(*addr)
@@ -193,6 +194,34 @@ func main() {
 				fmt.Printf("  %s\n", id)
 			}
 		}
+	case "models":
+		fs := flag.NewFlagSet("models", flag.ExitOnError)
+		register := fs.String("register", "", "register a .djw weight file by server-side path")
+		load := fs.String("load", "", "fault a model in ahead of traffic (name or name@vN)")
+		evict := fs.String("evict", "", "unload a model (name or name@vN)")
+		fs.Parse(args)
+		for _, act := range []struct{ arg, verb string }{
+			{*register, "register"}, {*load, "load"}, {*evict, "evict"},
+		} {
+			if act.arg == "" {
+				continue
+			}
+			msg, err := client.Control("model " + act.verb + " " + act.arg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(msg)
+		}
+		list, err := client.Models()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(list)
+		stats, err := client.ModelStats()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(stats)
 	case "trace":
 		fs := flag.NewFlagSet("trace", flag.ExitOnError)
 		slowest := fs.Int("slowest", 0, "list the server's N slowest retained traces instead of one ID")

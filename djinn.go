@@ -28,6 +28,7 @@ import (
 	"djinn/internal/experiments"
 	"djinn/internal/metrics"
 	"djinn/internal/models"
+	"djinn/internal/modelstore"
 	"djinn/internal/nn"
 	"djinn/internal/router"
 	"djinn/internal/sched"
@@ -259,6 +260,58 @@ type AdminReplica = admin.Replica
 // /metrics, pprof under /debug/pprof/, the slow-query log on /slowlog,
 // and merged per-request timelines on /trace?id=.
 func NewAdminHandler(opts AdminOptions) http.Handler { return admin.NewHandler(opts) }
+
+// ModelRegistry is the model store's lifecycle manager: it tracks
+// registered weight files, loads (mmaps) them on demand under a
+// configurable residency budget, pins models while queries are in
+// flight, and LRU-evicts cold ones. Attach one to a Server with
+// AttachModelStore and any registered model becomes servable by name.
+type ModelRegistry = modelstore.Registry
+
+// ModelRegistryConfig tunes a ModelRegistry (residency budget in
+// bytes, warm-on-load).
+type ModelRegistryConfig = modelstore.Config
+
+// ModelID names one model version ("imc@v2"); a bare name resolves to
+// the newest registered version.
+type ModelID = modelstore.ID
+
+// ModelInfo is one registered model's listing entry (residency, pins,
+// bytes, parameter count).
+type ModelInfo = modelstore.Info
+
+// ModelStats are a registry's counters: residency gauges plus
+// lifetime loads, first-query faults, evictions, and load errors —
+// the djinn_model_* metrics family.
+type ModelStats = modelstore.Stats
+
+// NewModelRegistry creates an empty model registry.
+func NewModelRegistry(cfg ModelRegistryConfig) *ModelRegistry { return modelstore.NewRegistry(cfg) }
+
+// ParseModelID parses "name" or "name@vN".
+func ParseModelID(s string) (ModelID, error) { return modelstore.ParseID(s) }
+
+// ExportModels writes the given Tonic applications' networks to dir as
+// versioned .djw weight files ("imc@v1.djw", ...) and returns the
+// paths. The files round-trip bit-identically: a server loading them
+// through a ModelRegistry answers exactly like one built from seeds.
+func ExportModels(dir string, apps []App, version int) ([]string, error) {
+	return modelstore.ExportTonic(dir, apps, version)
+}
+
+// VerifyModelFile validates one .djw file end to end — header and
+// per-section checksums, manifest/netdef agreement — without mapping
+// it, and returns its metadata.
+func VerifyModelFile(path string) (*modelstore.Meta, error) { return modelstore.VerifyFile(path) }
+
+// SplitTarget is one arm of a Router traffic split (see
+// Router.SetSplit): Weight parts of the base app's traffic go to
+// Target, typically a versioned model ID like "imc@v2".
+type SplitTarget = router.SplitTarget
+
+// SplitStatus is one split arm plus its routed-query counter
+// (Router.Splits).
+type SplitStatus = router.SplitStatus
 
 // Platform is the paper's evaluation platform (Table 2): the Xeon core
 // baseline, the K40 GPU model and the host interconnect. Its Fig* and

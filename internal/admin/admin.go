@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"djinn/internal/metrics"
+	"djinn/internal/modelstore"
 	"djinn/internal/router"
 	"djinn/internal/sched"
 	"djinn/internal/service"
@@ -220,6 +221,7 @@ func writeMetrics(w io.Writer, opts Options) {
 		}
 
 		writeSchedMetrics(w, opts)
+		writeModelMetrics(w, opts)
 
 		fmt.Fprintln(w, "# HELP djinn_recent_qps Completed queries per second over the last 10s window.")
 		fmt.Fprintln(w, "# TYPE djinn_recent_qps gauge")
@@ -269,6 +271,7 @@ func writeMetrics(w io.Writer, opts Options) {
 		for _, bs := range snaps {
 			fmt.Fprintf(w, "djinn_backend_pressure{backend=%q} %d\n", bs.ID, bs.Pressure)
 		}
+		writeSplitMetrics(w, opts.Router)
 	}
 
 	if len(opts.Stores) > 0 {
@@ -327,6 +330,88 @@ func writeSchedMetrics(w io.Writer, opts Options) {
 		for _, e := range entries {
 			fmt.Fprintf(w, "%s{replica=%q,app=%q,priority=%q} %g\n",
 				g.name, e.replica, e.app, e.info.Priority, g.v(e.info))
+		}
+	}
+}
+
+// writeModelMetrics renders the djinn_model_* family for every replica
+// with a model store attached: residency gauges (count, mapped bytes,
+// peak, budget) plus lifetime lifecycle counters (loads, first-query
+// faults, evictions, load errors).
+func writeModelMetrics(w io.Writer, opts Options) {
+	type entry struct {
+		replica string
+		st      modelstore.Stats
+	}
+	var entries []entry
+	for _, rep := range opts.Replicas {
+		if rep.Server == nil {
+			continue
+		}
+		if st, ok := rep.Server.ModelStats(); ok {
+			entries = append(entries, entry{rep.Name, st})
+		}
+	}
+	if len(entries) == 0 {
+		return
+	}
+	for _, g := range []struct {
+		name, help string
+		v          func(modelstore.Stats) float64
+	}{
+		{"djinn_model_registered", "Model versions registered with the store.",
+			func(s modelstore.Stats) float64 { return float64(s.Registered) }},
+		{"djinn_model_resident", "Model versions currently loaded.",
+			func(s modelstore.Stats) float64 { return float64(s.Resident) }},
+		{"djinn_model_resident_bytes", "Bytes of weight files currently mapped.",
+			func(s modelstore.Stats) float64 { return float64(s.ResidentBytes) }},
+		{"djinn_model_peak_bytes", "High-water mark of mapped bytes.",
+			func(s modelstore.Stats) float64 { return float64(s.PeakBytes) }},
+		{"djinn_model_budget_bytes", "Configured residency budget (0 = unbounded).",
+			func(s modelstore.Stats) float64 { return float64(s.BudgetBytes) }},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
+		for _, e := range entries {
+			fmt.Fprintf(w, "%s{replica=%q} %g\n", g.name, e.replica, g.v(e.st))
+		}
+	}
+	fmt.Fprintln(w, "# HELP djinn_model_events_total Model lifecycle counters (loads, faults, evictions, load_errors).")
+	fmt.Fprintln(w, "# TYPE djinn_model_events_total counter")
+	for _, e := range entries {
+		for _, c := range []struct {
+			event string
+			v     int64
+		}{
+			{"loads", e.st.Loads}, {"faults", e.st.Faults},
+			{"evictions", e.st.Evictions}, {"load_errors", e.st.LoadErrors},
+		} {
+			fmt.Fprintf(w, "djinn_model_events_total{replica=%q,event=%q} %d\n",
+				e.replica, c.event, c.v)
+		}
+	}
+}
+
+// writeSplitMetrics renders the router's live traffic splits: the
+// configured weight and the routed-query counter of every arm, so an
+// operator can verify a canary is actually receiving its fraction.
+func writeSplitMetrics(w io.Writer, rt *router.Router) {
+	splits := rt.Splits()
+	if len(splits) == 0 {
+		return
+	}
+	apps := rt.SplitApps()
+	fmt.Fprintln(w, "# HELP djinn_split_weight Configured weight of one traffic-split arm.")
+	fmt.Fprintln(w, "# TYPE djinn_split_weight gauge")
+	for _, app := range apps {
+		for _, st := range splits[app] {
+			fmt.Fprintf(w, "djinn_split_weight{app=%q,target=%q} %d\n", app, st.Target, st.Weight)
+		}
+	}
+	fmt.Fprintln(w, "# HELP djinn_split_routed_total Queries routed to one traffic-split arm.")
+	fmt.Fprintln(w, "# TYPE djinn_split_routed_total counter")
+	for _, app := range apps {
+		for _, st := range splits[app] {
+			fmt.Fprintf(w, "djinn_split_routed_total{app=%q,target=%q} %d\n", app, st.Target, st.Routed)
 		}
 	}
 }

@@ -3,12 +3,15 @@ package admin
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"djinn/internal/modelstore"
 	"djinn/internal/nn"
 	"djinn/internal/router"
 	"djinn/internal/service"
@@ -229,5 +232,69 @@ func TestFormatLe(t *testing.T) {
 		if got := formatLe(c.d); got != c.want {
 			t.Errorf("formatLe(%v) = %q, want %q", c.d, got, c.want)
 		}
+	}
+}
+
+// TestModelAndSplitMetrics covers the export of the model-store
+// lifecycle (djinn_model_*) and the router's canary splits
+// (djinn_split_*).
+func TestModelAndSplitMetrics(t *testing.T) {
+	testutil.NoLeaks(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny@v1.djw")
+	if err := modelstore.WriteFile(path, "tiny", 1, testNet(1)); err != nil {
+		t.Fatal(err)
+	}
+	reg := modelstore.NewRegistry(modelstore.Config{BudgetBytes: 1 << 20})
+	srv := service.NewServer()
+	srv.SetLogger(silence)
+	srv.AttachModelStore(reg, service.AppConfig{BatchInstances: 1, Workers: 1})
+	if _, err := reg.Register(path); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		if err := reg.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	rt := router.New(router.Config{})
+	t.Cleanup(rt.Close)
+	if err := rt.AddBackend("replica-0", srv); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetSplit("tiny", router.SplitTarget{Target: "tiny@v1", Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	in := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := 0; i < 2; i++ {
+		if _, err := rt.Infer("tiny", in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := Options{
+		Replicas: []Replica{{Name: "replica-0", Server: srv}},
+		Router:   rt,
+	}
+	_, body := get(t, opts, "/metrics")
+	for _, want := range []string{
+		`djinn_model_registered{replica="replica-0"} 1`,
+		`djinn_model_resident{replica="replica-0"} 1`,
+		`djinn_model_budget_bytes{replica="replica-0"} 1.048576e+06`,
+		`djinn_model_events_total{replica="replica-0",event="loads"} 1`,
+		`djinn_model_events_total{replica="replica-0",event="faults"} 1`,
+		`djinn_model_events_total{replica="replica-0",event="evictions"} 0`,
+		`djinn_split_weight{app="tiny",target="tiny@v1"} 3`,
+		`djinn_split_routed_total{app="tiny",target="tiny@v1"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	// Resident bytes match the on-disk file exactly (the mapping is the
+	// file).
+	st, _ := srv.ModelStats()
+	if !strings.Contains(body, fmt.Sprintf(`djinn_model_resident_bytes{replica="replica-0"} %g`, float64(st.ResidentBytes))) {
+		t.Errorf("/metrics missing resident_bytes %d:\n%s", st.ResidentBytes, body)
 	}
 }

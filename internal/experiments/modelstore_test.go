@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"djinn/internal/testutil"
+)
+
+// TestModelStoreRunAcceptance runs a scaled-down bounded-residency
+// serve (20 models, quarter budget) and checks the experiment's
+// acceptance invariants: resident bytes never exceed the budget, the
+// budget forces evictions, every model answers its cold query, and no
+// steady-state query is lost.
+func TestModelStoreRunAcceptance(t *testing.T) {
+	testutil.NoLeaks(t)
+	if testing.Short() {
+		t.Skip("bounded-residency serving run")
+	}
+	res, err := ModelStoreRun(20, 0.25, 4, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d queries failed", res.Failed)
+	}
+	if res.Stats.PeakBytes > res.Stats.BudgetBytes {
+		t.Fatalf("peak resident %d exceeded budget %d", res.Stats.PeakBytes, res.Stats.BudgetBytes)
+	}
+	if res.Stats.Evictions == 0 {
+		t.Fatalf("no evictions with a quarter budget: %+v", res.Stats)
+	}
+	if res.Stats.Faults < int64(res.Models) {
+		t.Fatalf("faults %d < %d cold queries", res.Stats.Faults, res.Models)
+	}
+	if res.SteadyQueries == 0 {
+		t.Fatal("steady state answered no queries")
+	}
+	if res.ColdP50 <= 0 || res.SteadyP50 <= 0 {
+		t.Fatalf("degenerate latency sample: cold p50 %v, steady p50 %v", res.ColdP50, res.SteadyP50)
+	}
+	if res.Stats.LoadErrors != 0 {
+		t.Fatalf("%d load errors", res.Stats.LoadErrors)
+	}
+}

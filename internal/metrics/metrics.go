@@ -247,19 +247,23 @@ type HistogramSnapshot struct {
 }
 
 // Snapshot copies the histogram. The per-bucket loads are not a single
-// atomic cut, but Count is loaded last after every bucket it covers, so
-// the sum of Counts never exceeds a concurrently read Count by more
-// than in-flight Records.
+// atomic cut, but Count is loaded first, before any bucket: every
+// sample Count covers incremented its bucket before incrementing
+// count (Record's order), so that increment is visible to the later
+// bucket loads. The sum of Counts can therefore run ahead of Count by
+// in-flight Records, never behind it. (Loading Count last gives the
+// opposite — a Record landing in an already-scanned bucket tears the
+// snapshot with bucket sum < Count.)
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Bounds: append([]time.Duration(nil), h.bounds...),
 		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
 	s.Sum = time.Duration(h.sum.Load())
-	s.Count = h.count.Load()
 	return s
 }
 

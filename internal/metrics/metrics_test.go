@@ -330,8 +330,10 @@ func TestHistogramConcurrentRecordVsSnapshot(t *testing.T) {
 			for _, c := range s.Counts {
 				inBuckets += c
 			}
-			// Count is loaded last, after the buckets: the bucket sum may
-			// run ahead of it by in-flight Records, never behind.
+			// Count is loaded first, before the buckets: every Record
+			// Count covers bumped its bucket before bumping count, so
+			// the bucket sum may run ahead of Count by in-flight
+			// Records, never behind.
 			if inBuckets < s.Count {
 				t.Errorf("torn snapshot: bucket sum %d < count %d", inBuckets, s.Count)
 				return

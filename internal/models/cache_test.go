@@ -1,0 +1,69 @@
+package models
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBuildCachedConcurrentFirstCall races many goroutines through the
+// first BuildCached call for the same apps (run under -race via `make
+// race`). The documented semantics: one build per app no matter how
+// many callers arrive at once, every caller gets the same *nn.Net, and
+// different apps do not serialise behind one another. Cheap DNN apps
+// keep the test fast; the cache array is shared process state, so the
+// test asserts identity rather than resetting it.
+func TestBuildCachedConcurrentFirstCall(t *testing.T) {
+	apps := []App{POS, CHK, NER, DIG}
+	const callers = 8
+	got := make([][]callResult, len(apps))
+	var wg sync.WaitGroup
+	for ai, a := range apps {
+		got[ai] = make([]callResult, callers)
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(ai, c int, a App) {
+				defer wg.Done()
+				n := BuildCached(a)
+				// Read shared state the builder wrote, so -race would
+				// flag an unsynchronised publish.
+				got[ai][c] = callResult{net: n, params: n.ParamCount()}
+			}(ai, c, a)
+		}
+	}
+	wg.Wait()
+	for ai, a := range apps {
+		ref := Build(a, 1)
+		for c := 0; c < callers; c++ {
+			r := got[ai][c]
+			if r.net != got[ai][0].net {
+				t.Fatalf("%s: caller %d got a different instance", a, c)
+			}
+			if r.params != ref.ParamCount() {
+				t.Fatalf("%s: cached net has %d params, Build(a,1) has %d", a, r.params, ref.ParamCount())
+			}
+		}
+	}
+	// And the cached instance matches a direct seed-1 build's weights
+	// (spot check one parameter of one app).
+	cached := BuildCached(POS).Params()[0].W.Data()
+	direct := Build(POS, 1).Params()[0].W.Data()
+	for i := range direct {
+		if cached[i] != direct[i] {
+			t.Fatalf("POS cached weights diverge from Build(POS, 1) at %d", i)
+		}
+	}
+}
+
+type callResult struct {
+	net    any
+	params int
+}
+
+func TestBuildCachedOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BuildCached(NumApps) should panic")
+		}
+	}()
+	BuildCached(NumApps)
+}

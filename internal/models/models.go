@@ -157,24 +157,35 @@ func Build(a App, seed uint64) *nn.Net {
 	panic("models: unknown app")
 }
 
-var (
-	cacheMu sync.Mutex
-	cache   = map[App]*nn.Net{}
-)
+var cache [NumApps]struct {
+	once sync.Once
+	net  *nn.Net
+}
 
 // BuildCached returns a process-wide shared instance of the app's
 // network (seed 1). This mirrors DjiNN's deployment: one in-memory model
 // per application, shared read-only by all workers. DeepFace alone is
-// ~475 MB of weights, so callers should prefer this over Build.
+// ~475 MB of weights, so callers should prefer this over Build. It is
+// also the cache behind the model-store export path (modelstore
+// ExportTonic), so exported weight files are bit-identical to the nets
+// a directly-seeded server builds.
+//
+// Concurrency: BuildCached is safe to call from any number of
+// goroutines. Each app's network is built exactly once, by whichever
+// caller arrives first; concurrent first calls for the SAME app block
+// until that one build completes and then share its result, while
+// first calls for DIFFERENT apps build in parallel (a per-app
+// sync.Once, not a global lock — AlexNet's ~60M-parameter build must
+// not serialise behind MNIST's). The returned *nn.Net is shared and
+// must be treated as read-only; concurrent Forward calls need one
+// Runner or compiled Plan per goroutine (see nn.Net.Compile).
 func BuildCached(a App) *nn.Net {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if n, ok := cache[a]; ok {
-		return n
+	if a < 0 || a >= NumApps {
+		panic(fmt.Sprintf("models: BuildCached(%d) out of range", int(a)))
 	}
-	n := Build(a, 1)
-	cache[a] = n
-	return n
+	c := &cache[a]
+	c.once.Do(func() { c.net = Build(a, 1) })
+	return c.net
 }
 
 // buildAlexNet reconstructs Krizhevsky et al.'s AlexNet: 22 layers,

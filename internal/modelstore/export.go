@@ -1,0 +1,45 @@
+package modelstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"djinn/internal/models"
+)
+
+// ExportName returns the serving name an application's weight file is
+// exported under: the paper's abbreviation, lowercased ("imc", "dig",
+// …), matching tonic.ServiceName (asserted by a tonic test; this
+// package cannot import tonic without a cycle through service).
+func ExportName(a models.App) string {
+	return strings.ToLower(a.String())
+}
+
+// ExportPath returns the conventional file name for a model version
+// in dir: "<name>@v<N>.djw".
+func ExportPath(dir, name string, version int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s@v%d.djw", name, version))
+}
+
+// ExportTonic writes the given Tonic applications' networks to dir as
+// version `version` weight files and returns the paths written. It
+// builds through models.BuildCached, so the files are bit-identical
+// to the nets a seed-built server serves: models.Build becomes a
+// one-time export step instead of a per-process startup cost.
+func ExportTonic(dir string, apps []models.App, version int) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(apps))
+	for _, a := range apps {
+		name := ExportName(a)
+		path := ExportPath(dir, name, version)
+		if err := WriteFile(path, name, version, models.BuildCached(a)); err != nil {
+			return nil, fmt.Errorf("modelstore: exporting %s: %w", name, err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

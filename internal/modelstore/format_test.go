@@ -1,0 +1,269 @@
+package modelstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"djinn/internal/nn"
+	"djinn/internal/tensor"
+)
+
+// testNet builds a small two-FC network with deterministic weights.
+func testNet(seed uint64) *nn.Net {
+	rng := tensor.NewRNG(seed)
+	n := nn.NewNet("tiny", nn.KindDNN, 8)
+	n.Add(nn.NewFC("fc1", rng, 8, 16)).
+		Add(nn.NewReLU("relu")).
+		Add(nn.NewFC("fc2", rng, 16, 4)).
+		Add(nn.NewSoftmax("prob"))
+	return n
+}
+
+// writeTestFile exports testNet(seed) and returns the path.
+func writeTestFile(t *testing.T, name string, version int, seed uint64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name+".djw")
+	if err := WriteFile(path, name, version, testNet(seed)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func forward1(netw *nn.Net, in []float32) []float32 {
+	plan := netw.Compile(1)
+	copy(plan.In(1).Data(), in)
+	return append([]float32(nil), plan.Run(1).Data()...)
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := writeTestFile(t, "tiny", 3, 7)
+	netw, meta, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Name != "tiny" || meta.Version != 3 {
+		t.Fatalf("meta identity %s, want tiny@v3", meta.ID())
+	}
+	if len(meta.Params) != 4 {
+		t.Fatalf("manifest has %d sections, want 4 (fc1/fc2 weight+bias)", len(meta.Params))
+	}
+	want := testNet(7)
+	if meta.WeightBytes() != want.WeightBytes() {
+		t.Fatalf("weight bytes %d, want %d", meta.WeightBytes(), want.WeightBytes())
+	}
+	in := make([]float32, 8)
+	tensor.NewRNG(42).FillUniform(in, -1, 1)
+	got, ref := forward1(netw, in), forward1(want, in)
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("output %d: %g != %g (not bit-identical)", i, got[i], ref[i])
+		}
+	}
+	// Every section offset must be aligned.
+	for _, s := range meta.Params {
+		if s.Offset%SectionAlign != 0 {
+			t.Fatalf("section %q at unaligned offset %d", s.Name, s.Offset)
+		}
+	}
+}
+
+func TestOpenZeroCopy(t *testing.T) {
+	path := writeTestFile(t, "tiny", 1, 7)
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if mmapSupported && !m.Mapped() {
+		t.Fatal("expected an mmap-backed model on this platform")
+	}
+	if m.Bytes() <= m.Meta().WeightBytes() {
+		t.Fatalf("residency cost %d should exceed raw weight bytes %d (header)", m.Bytes(), m.Meta().WeightBytes())
+	}
+	in := make([]float32, 8)
+	tensor.NewRNG(42).FillUniform(in, -1, 1)
+	got, ref := forward1(m.Net(), in), forward1(testNet(7), in)
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("output %d: %g != %g (not bit-identical)", i, got[i], ref[i])
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyFile(t *testing.T) {
+	path := writeTestFile(t, "tiny", 1, 7)
+	meta, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ID().String() != "tiny@v1" {
+		t.Fatalf("verified identity %s, want tiny@v1", meta.ID())
+	}
+}
+
+// patchHeader applies mutate to the file's header bytes and recomputes
+// the header CRC, so structural corruption reaches the field checks
+// instead of stopping at the checksum.
+func patchHeader(t *testing.T, path string, mutate func(data []byte)) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerLen := le32(data[8:])
+	mutate(data[:headerLen])
+	binary.LittleEndian.PutUint32(data[12:], crc32.Checksum(data[preambleLen:headerLen], castagnoli))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+		wantErr string
+	}{
+		{"truncated preamble", func(t *testing.T, path string) {
+			truncate(t, path, 10)
+		}, "preamble"},
+		{"truncated header", func(t *testing.T, path string) {
+			truncate(t, path, 40)
+		}, "truncated header"},
+		{"truncated data (oversized section)", func(t *testing.T, path string) {
+			fi, _ := os.Stat(path)
+			truncate(t, path, fi.Size()-4)
+		}, "oversized section"},
+		{"bad header checksum", func(t *testing.T, path string) {
+			flipByte(t, path, preambleLen+3)
+		}, "header checksum mismatch"},
+		{"bad section checksum", func(t *testing.T, path string) {
+			fi, _ := os.Stat(path)
+			flipByte(t, path, fi.Size()-1)
+		}, "section checksum mismatch"},
+		{"bad magic", func(t *testing.T, path string) {
+			flipByte(t, path, 0)
+		}, "bad magic"},
+		{"unsupported version", func(t *testing.T, path string) {
+			flipByte(t, path, 4)
+		}, "unsupported format version"},
+		{"duplicate parameter", func(t *testing.T, path string) {
+			patchHeader(t, path, func(b []byte) {
+				// Rename fc2.weight to fc1.weight (same length), a
+				// duplicate of the first manifest entry.
+				i := bytes.Index(b, []byte("fc2.weight"))
+				if i < 0 {
+					t.Fatal("fc2.weight not found in header")
+				}
+				copy(b[i:], "fc1.weight")
+			})
+		}, "duplicate parameter"},
+		{"section overlap", func(t *testing.T, path string) {
+			patchHeader(t, path, func(b []byte) {
+				// Point the second section at the first's offset.
+				i := bytes.Index(b, []byte("fc1.bias"))
+				if i < 0 {
+					t.Fatal("fc1.bias not found in header")
+				}
+				off := i + len("fc1.bias") + 1 + 4 // ndims u8 + one dim u32
+				binary.LittleEndian.PutUint64(b[off:], uint64(align64(int64(le32(b[8:])))))
+			})
+		}, "aligned and contiguous"},
+		{"definition mismatch", func(t *testing.T, path string) {
+			patchHeader(t, path, func(b []byte) {
+				// Grow fc1's netdef width so the definition no longer
+				// matches the manifest shapes.
+				i := bytes.Index(b, []byte("layer fc1 fc { out: 16 }"))
+				if i < 0 {
+					t.Fatal("fc1 def line not found in header")
+				}
+				copy(b[i:], []byte("layer fc1 fc { out: 61 }"))
+			})
+		}, "definition"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeTestFile(t, "tiny", 1, 7)
+			tc.corrupt(t, path)
+			if _, _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ReadFile error %v, want substring %q", err, tc.wantErr)
+			}
+			// The mmap loader must reject everything the strict reader
+			// rejects except section payload corruption (CRC checks of
+			// tensor data are not on the hot load path).
+			if tc.wantErr != "section checksum mismatch" {
+				if m, err := Open(path); err == nil {
+					m.Close()
+					t.Fatalf("Open accepted a file ReadFile rejects (%s)", tc.name)
+				}
+			}
+			// VerifyFile rejects all of them.
+			if _, err := VerifyFile(path); err == nil {
+				t.Fatalf("VerifyFile accepted corrupt file (%s)", tc.name)
+			}
+		})
+	}
+}
+
+func truncate(t *testing.T, path string, size int64) {
+	t.Helper()
+	if err := os.Truncate(path, size); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseID(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ID
+		ok   bool
+	}{
+		{"imc", ID{Name: "imc"}, true},
+		{"imc@v1", ID{Name: "imc", Version: 1}, true},
+		{"imc@v42", ID{Name: "imc", Version: 42}, true},
+		{"imc@1", ID{}, false},
+		{"imc@v0", ID{}, false},
+		{"imc@vx", ID{}, false},
+		{"@v1", ID{}, false},
+		{"a b@v1", ID{}, false},
+		{"", ID{}, false},
+		{strings.Repeat("x", MaxNameLen+1), ID{}, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseID(tc.in)
+		if (err == nil) != tc.ok {
+			t.Fatalf("ParseID(%q) err=%v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if err == nil && got != tc.want {
+			t.Fatalf("ParseID(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	id := ID{Name: "face", Version: 7}
+	round, err := ParseID(id.String())
+	if err != nil || round != id {
+		t.Fatalf("ParseID(%q) = %v, %v", id.String(), round, err)
+	}
+}

@@ -1,0 +1,125 @@
+package modelstore
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"djinn/internal/nn"
+	"djinn/internal/tensor"
+)
+
+// fuzzSeedFile renders a small valid weight file in memory.
+func fuzzSeedFile() []byte {
+	rng := tensor.NewRNG(3)
+	n := nn.NewNet("seed", nn.KindDNN, 4)
+	n.Add(nn.NewFC("fc", rng, 4, 3)).Add(nn.NewSoftmax("prob"))
+	var buf bytes.Buffer
+	if _, err := Write(&buf, "seed", 1, n); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzParseMeta drives the header parser — the single definition of
+// "valid weight file" shared by the strict reader and the mmap loader
+// — with arbitrary bytes. It must never panic, and any header it
+// accepts must satisfy the format's structural invariants.
+func FuzzParseMeta(f *testing.F) {
+	seed := fuzzSeedFile()
+	f.Add(seed)
+	f.Add(seed[:10])                 // truncated preamble
+	f.Add(seed[:preambleLen+8])      // truncated header
+	f.Add(seed[:len(seed)-4])        // truncated data (oversized section)
+	f.Add(append([]byte{}, seed...)) // mutation base
+	bad := append([]byte{}, seed...)
+	bad[len(bad)-1] ^= 0xff // corrupt section byte (CRC is manifest-checked)
+	f.Add(bad)
+	badHdr := append([]byte{}, seed...)
+	badHdr[preambleLen+2] ^= 0xff // corrupt header byte (header CRC)
+	f.Add(badHdr)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		meta, headerLen, err := parseMeta(data, int64(len(data)))
+		if err != nil {
+			return
+		}
+		if headerLen < preambleLen || headerLen > len(data) {
+			t.Fatalf("accepted header length %d for %d bytes", headerLen, len(data))
+		}
+		if meta.Name == "" || meta.Version < 1 || len(meta.Params) == 0 {
+			t.Fatalf("accepted implausible meta %+v", meta)
+		}
+		if meta.FileSize != int64(len(data)) {
+			t.Fatalf("accepted file size %d for %d bytes", meta.FileSize, len(data))
+		}
+		seen := map[string]bool{}
+		next := align64(int64(headerLen))
+		for _, s := range meta.Params {
+			if seen[s.Name] {
+				t.Fatalf("accepted duplicate parameter %q", s.Name)
+			}
+			seen[s.Name] = true
+			if s.Offset != next || s.Offset%SectionAlign != 0 {
+				t.Fatalf("accepted misplaced section %q at %d (want %d)", s.Name, s.Offset, next)
+			}
+			if s.Size != int64(4*s.Elems()) {
+				t.Fatalf("accepted section %q size %d for shape %v", s.Name, s.Size, s.Shape)
+			}
+			if s.Offset+s.Size > int64(len(data)) {
+				t.Fatalf("accepted oversized section %q", s.Name)
+			}
+			next = align64(s.Offset + s.Size)
+		}
+	})
+}
+
+// FuzzReadFile exercises the full strict reader (header, section CRCs,
+// definition reconstruction, manifest binding) against arbitrary file
+// contents: it must reject gracefully, never panic.
+func FuzzReadFile(f *testing.F) {
+	seed := fuzzSeedFile()
+	f.Add(seed)
+	f.Add(seed[:len(seed)-1])
+	dup := append([]byte{}, seed...)
+	if i := bytes.Index(dup, []byte("fc.weight")); i >= 0 {
+		copy(dup[i:], "fc.weighT") // breaks header CRC and manifest name
+	}
+	f.Add(dup)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := dir + "/fuzz.djw"
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		netw, meta, err := ReadFile(path)
+		if err != nil {
+			return
+		}
+		if netw == nil || meta == nil || len(netw.Params()) != len(meta.Params) {
+			t.Fatalf("accepted file with inconsistent net/manifest")
+		}
+	})
+}
+
+// FuzzParseID checks the ID grammar never panics and round-trips what
+// it accepts.
+func FuzzParseID(f *testing.F) {
+	for _, s := range []string{"imc", "imc@v1", "imc@v042", "a@v", "@", "x@v1@v2", "name@v1048577"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		id, err := ParseID(s)
+		if err != nil {
+			return
+		}
+		if err := CheckName(id.Name); err != nil {
+			t.Fatalf("ParseID(%q) accepted invalid name: %v", s, err)
+		}
+		if id.Versioned() {
+			round, err := ParseID(id.String())
+			if err != nil || round != id {
+				t.Fatalf("ParseID(%q) does not round-trip: %v %v", id.String(), round, err)
+			}
+		}
+	})
+}

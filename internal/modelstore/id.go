@@ -1,0 +1,58 @@
+package modelstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ID identifies one version of one model, rendered "name@vN". Version
+// 0 means "unspecified" and only appears in lookups (ParseID of a bare
+// name); stored models always have Version >= 1.
+type ID struct {
+	Name    string
+	Version int
+}
+
+// String renders the canonical "name@vN" form.
+func (id ID) String() string {
+	return fmt.Sprintf("%s@v%d", id.Name, id.Version)
+}
+
+// Versioned reports whether the ID names a specific version.
+func (id ID) Versioned() bool { return id.Version > 0 }
+
+// ParseID parses "name" (version unspecified) or "name@vN". The name
+// must satisfy CheckName.
+func ParseID(s string) (ID, error) {
+	name, ver, ok := strings.Cut(s, "@")
+	if err := CheckName(name); err != nil {
+		return ID{}, err
+	}
+	if !ok {
+		return ID{Name: name}, nil
+	}
+	digits, hasV := strings.CutPrefix(ver, "v")
+	n, err := strconv.Atoi(digits)
+	if !hasV || err != nil || n < 1 || n > MaxModelVersion {
+		return ID{}, fmt.Errorf("modelstore: bad model version %q in %q (want name@vN)", ver, s)
+	}
+	return ID{Name: name, Version: n}, nil
+}
+
+// CheckName validates a model name: 1..MaxNameLen bytes of printable
+// ASCII with no spaces and no '@' (reserved as the version separator).
+// The same names flow through the service protocol as application
+// names, so keeping them flat keeps the wire format unambiguous.
+func CheckName(name string) error {
+	if name == "" || len(name) > MaxNameLen {
+		return fmt.Errorf("modelstore: model name must be 1..%d bytes, have %d", MaxNameLen, len(name))
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c <= ' ' || c > '~' || c == '@' {
+			return fmt.Errorf("modelstore: model name %q contains invalid byte %q", name, c)
+		}
+	}
+	return nil
+}

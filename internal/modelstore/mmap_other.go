@@ -1,0 +1,23 @@
+//go:build !unix
+
+package modelstore
+
+import (
+	"io"
+	"os"
+)
+
+// mmapSupported reports whether this build can map weight files. On
+// platforms without syscall.Mmap the loader falls back to reading the
+// file into anonymous memory: same API, no page-cache sharing.
+const mmapSupported = false
+
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func unmapFile(b []byte) error { return nil }

@@ -1,0 +1,26 @@
+//go:build unix
+
+package modelstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build can map weight files.
+const mmapSupported = true
+
+// mapFile maps size bytes of f read-only and shared. MAP_SHARED of a
+// read-only mapping is the page-cache sharing the paper's
+// one-model-per-host deployment wants: every replica process that
+// maps the same weight file reads the same physical pages, so N
+// replicas cost one copy of the weights in RAM, and an unloaded
+// model's pages can be reclaimed by the kernel without a write-back.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// unmapFile releases a mapping created by mapFile.
+func unmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,129 @@
+package modelstore
+
+import (
+	"fmt"
+	"os"
+	"unsafe"
+
+	"djinn/internal/nn"
+	"djinn/internal/tensor"
+)
+
+// Model is a loaded weight file: the reconstructed network plus the
+// file mapping that backs its parameter tensors. While a Model is
+// open, its net's weights are views over the mapped pages — the
+// kernel pages weights in on first touch and shares them, via the
+// page cache, with every other process mapping the same file.
+//
+// Close unmaps the file; after Close every tensor bound to the
+// mapping is invalid and any access faults. The Registry guarantees
+// no query is in flight (refcount pinned) before it closes a model.
+type Model struct {
+	meta    *Meta
+	net     *nn.Net
+	mapping []byte
+	mapped  bool // mapping is a real mmap (vs heap fallback)
+	closed  bool
+}
+
+// Open loads a weight file for serving: it validates the header
+// (structure, bounds, header CRC — section CRCs are Verify's job, not
+// the hot path's), maps the file read-only, reconstructs the network
+// from the embedded definition, and rebinds every parameter tensor to
+// its mapped section with zero copies. Layer forwards read weights
+// through their Param pointers on every call, so the rebind retargets
+// all compute at the mapped pages.
+//
+// On non-unix builds, or on big-endian hosts where a float32 view
+// over little-endian file bytes would be wrong, Open degrades to a
+// validated copy (same API, no page sharing).
+func Open(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	meta, err := readMetaFrom(f, fi.Size())
+	if err != nil {
+		return nil, err
+	}
+	netw, err := buildNet(meta)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkManifest(netw, meta); err != nil {
+		return nil, err
+	}
+	mapping, err := mapFile(f, fi.Size())
+	if err != nil {
+		return nil, fmt.Errorf("modelstore: mapping %s: %w", path, err)
+	}
+	m := &Model{meta: meta, net: netw, mapping: mapping, mapped: mmapSupported}
+	if m.mapped && hostLittleEndian {
+		params := netw.Params()
+		for i, p := range params {
+			s := meta.Params[i]
+			p.W = tensor.FromSlice(float32View(mapping[s.Offset:s.Offset+s.Size]), s.Shape...)
+		}
+	} else {
+		// Portable fallback: decode a private copy, then drop the
+		// mapping (heap fallback has nothing to drop).
+		err := bindSections(netw, meta, func(s ParamSection, dst []float32) {
+			decodeSection(m.mapping[s.Offset:s.Offset+s.Size], dst)
+		})
+		if m.mapped {
+			unmapFile(m.mapping)
+		}
+		m.mapping, m.mapped = nil, false
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Meta returns the model's parsed header.
+func (m *Model) Meta() *Meta { return m.meta }
+
+// ID returns the model's identity.
+func (m *Model) ID() ID { return m.meta.ID() }
+
+// Net returns the reconstructed network. It is shared and read-only;
+// concurrent forwards need one compiled Plan or Runner per goroutine.
+func (m *Model) Net() *nn.Net { return m.net }
+
+// Bytes returns the model's residency cost: the mapped file size (or
+// the decoded weight bytes on the fallback path). This is what the
+// Registry charges against its budget.
+func (m *Model) Bytes() int64 { return m.meta.FileSize }
+
+// Mapped reports whether the weights are mmap-backed (as opposed to a
+// private decoded copy).
+func (m *Model) Mapped() bool { return m.mapped }
+
+// Close releases the mapping. The caller must guarantee no forward
+// pass over this model is running or can start; the Registry does so
+// with in-flight refcounts.
+func (m *Model) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	if !m.mapped || m.mapping == nil {
+		return nil
+	}
+	b := m.mapping
+	m.mapping = nil
+	return unmapFile(b)
+}
+
+// float32View reinterprets little-endian file bytes as a []float32
+// without copying. Sections are SectionAlign-aligned within a
+// page-aligned mapping, so the pointer is always float32-aligned.
+func float32View(b []byte) []float32 {
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+}

@@ -1,0 +1,191 @@
+package modelstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"djinn/internal/nn"
+)
+
+// ReadMeta opens path and parses its header without touching tensor
+// data (section checksums are not verified — use VerifyFile for a
+// full-integrity pass). This is what Registry.Register uses: one
+// header read tells it the model's identity and exactly how many
+// bytes residency will cost, without faulting in a single weight.
+func ReadMeta(path string) (*Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return readMetaFrom(f, fi.Size())
+}
+
+func readMetaFrom(r io.ReaderAt, fileSize int64) (*Meta, error) {
+	var pre [preambleLen]byte
+	if fileSize < preambleLen {
+		return nil, fmt.Errorf("modelstore: file too small for preamble (%d bytes)", fileSize)
+	}
+	if _, err := r.ReadAt(pre[:], 0); err != nil {
+		return nil, err
+	}
+	headerLen := int64(le32(pre[8:]))
+	if headerLen < preambleLen+11 || headerLen > maxHeaderLen || headerLen > fileSize {
+		// Out of range; delegate the error message to parseMeta's
+		// bounds checks (it cannot succeed on a bare preamble).
+		_, _, err := parseMeta(pre[:], fileSize)
+		return nil, err
+	}
+	head := make([]byte, headerLen)
+	if _, err := r.ReadAt(head, 0); err != nil {
+		return nil, err
+	}
+	meta, _, err := parseMeta(head, fileSize)
+	return meta, err
+}
+
+// ReadFile is the strict validating reader: it loads the whole file
+// into memory, verifies the header and every section checksum,
+// reconstructs the network from the embedded definition, and copies
+// the weights in. The returned net owns its memory (nothing is mapped)
+// and is bit-identical to the net that was exported. Use Open for the
+// zero-copy serving path; ReadFile is for tools and tests that want
+// maximum validation.
+func ReadFile(path string) (*nn.Net, *Meta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	meta, _, err := parseMeta(data, int64(len(data)))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, s := range meta.Params {
+		if got := crc32.Checksum(data[s.Offset:s.Offset+s.Size], castagnoli); got != s.CRC {
+			return nil, nil, fmt.Errorf("modelstore: parameter %q: section checksum mismatch (%#x != %#x)", s.Name, got, s.CRC)
+		}
+	}
+	netw, err := buildNet(meta)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := bindSections(netw, meta, func(s ParamSection, dst []float32) {
+		decodeSection(data[s.Offset:s.Offset+s.Size], dst)
+	}); err != nil {
+		return nil, nil, err
+	}
+	return netw, meta, nil
+}
+
+// VerifyFile checks a weight file end to end — header structure,
+// header CRC, every section CRC, and that the embedded definition
+// builds a network whose parameters match the manifest — while
+// streaming, so verifying a 475 MB DeepFace file does not hold
+// 475 MB. It returns the parsed header on success.
+func VerifyFile(path string) (*Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	meta, err := readMetaFrom(f, fi.Size())
+	if err != nil {
+		return nil, err
+	}
+	netw, err := buildNet(meta)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkManifest(netw, meta); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 1<<16)
+	for _, s := range meta.Params {
+		crc := uint32(0)
+		for off := int64(0); off < s.Size; {
+			n := int64(len(buf))
+			if s.Size-off < n {
+				n = s.Size - off
+			}
+			if _, err := io.ReadFull(io.NewSectionReader(f, s.Offset+off, n), buf[:n]); err != nil {
+				return nil, fmt.Errorf("modelstore: parameter %q: %w", s.Name, err)
+			}
+			crc = crc32.Update(crc, castagnoli, buf[:n])
+			off += n
+		}
+		if crc != s.CRC {
+			return nil, fmt.Errorf("modelstore: parameter %q: section checksum mismatch (%#x != %#x)", s.Name, crc, s.CRC)
+		}
+	}
+	return meta, nil
+}
+
+// buildNet reconstructs the architecture from the embedded definition
+// without synthesising weights (they are about to be bound or copied).
+func buildNet(meta *Meta) (*nn.Net, error) {
+	netw, err := nn.ParseNetDefNoInit(strings.NewReader(meta.Def))
+	if err != nil {
+		return nil, fmt.Errorf("modelstore: %s embedded definition: %w", meta.ID(), err)
+	}
+	return netw, nil
+}
+
+// checkManifest verifies that the definition-built net's parameters
+// and the manifest agree exactly: same names, same order, same shapes.
+// A file that passes has no orphan sections and no unbacked
+// parameters.
+func checkManifest(netw *nn.Net, meta *Meta) error {
+	params := netw.Params()
+	if len(params) != len(meta.Params) {
+		return fmt.Errorf("modelstore: %s definition has %d parameters, manifest %d", meta.ID(), len(params), len(meta.Params))
+	}
+	for i, p := range params {
+		s := meta.Params[i]
+		if p.Name != s.Name {
+			return fmt.Errorf("modelstore: %s parameter %d: definition says %q, manifest %q", meta.ID(), i, p.Name, s.Name)
+		}
+		shape := p.W.Shape()
+		if len(shape) != len(s.Shape) {
+			return fmt.Errorf("modelstore: %s parameter %q: definition shape %v, manifest %v", meta.ID(), p.Name, shape, s.Shape)
+		}
+		for j := range shape {
+			if shape[j] != s.Shape[j] {
+				return fmt.Errorf("modelstore: %s parameter %q: definition shape %v, manifest %v", meta.ID(), p.Name, shape, s.Shape)
+			}
+		}
+	}
+	return nil
+}
+
+// bindSections fills every parameter of netw from the manifest via
+// fill, after checking the manifest matches the net.
+func bindSections(netw *nn.Net, meta *Meta, fill func(s ParamSection, dst []float32)) error {
+	if err := checkManifest(netw, meta); err != nil {
+		return err
+	}
+	params := netw.Params()
+	for i, p := range params {
+		fill(meta.Params[i], p.W.Data())
+	}
+	return nil
+}
+
+// decodeSection decodes little-endian float32 section bytes into dst.
+func decodeSection(b []byte, dst []float32) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+}

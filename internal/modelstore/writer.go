@@ -1,0 +1,193 @@
+package modelstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"djinn/internal/nn"
+)
+
+// Write serialises net as a weight file for the given serving name and
+// model version and returns the byte count written. The parameter
+// order on disk is the network's layer order; section data is the
+// net's current weights.
+func Write(w io.Writer, name string, version int, net *nn.Net) (int64, error) {
+	if err := CheckName(name); err != nil {
+		return 0, err
+	}
+	if version < 1 || version > MaxModelVersion {
+		return 0, fmt.Errorf("modelstore: model version %d outside [1, %d]", version, MaxModelVersion)
+	}
+	var defBuf bytes.Buffer
+	if err := net.WriteDef(&defBuf); err != nil {
+		return 0, fmt.Errorf("modelstore: exporting %s definition: %w", name, err)
+	}
+	if defBuf.Len() > MaxDefLen {
+		return 0, fmt.Errorf("modelstore: %s definition is %d bytes (max %d)", name, defBuf.Len(), MaxDefLen)
+	}
+	params := net.Params()
+	if len(params) == 0 || len(params) > MaxParams {
+		return 0, fmt.Errorf("modelstore: %s has %d parameters (want 1..%d)", name, len(params), MaxParams)
+	}
+
+	// Lay out the header to learn its length, then the sections.
+	headerLen := int64(preambleLen + 2 + len(name) + 4 + 4 + defBuf.Len() + 4)
+	for _, p := range params {
+		if err := CheckName(p.Name); err != nil {
+			return 0, fmt.Errorf("modelstore: parameter name: %w", err)
+		}
+		if nd := p.W.Dims(); nd > MaxDims {
+			return 0, fmt.Errorf("modelstore: parameter %q has %d dimensions (max %d)", p.Name, nd, MaxDims)
+		}
+		headerLen += int64(2 + len(p.Name) + 1 + 4*p.W.Dims() + 8 + 8 + 4)
+	}
+	if headerLen > maxHeaderLen {
+		return 0, fmt.Errorf("modelstore: %s header is %d bytes (max %d)", name, headerLen, maxHeaderLen)
+	}
+
+	var head bytes.Buffer
+	head.Grow(int(headerLen))
+	putU16 := func(v int) { head.Write([]byte{byte(v), byte(v >> 8)}) }
+	putU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		head.Write(b[:])
+	}
+	putU64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		head.Write(b[:])
+	}
+	putU32(Magic)
+	putU32(FormatVersion)
+	putU32(uint32(headerLen))
+	putU32(0) // headerCRC, patched below
+	putU16(len(name))
+	head.WriteString(name)
+	putU32(uint32(version))
+	putU32(uint32(defBuf.Len()))
+	head.Write(defBuf.Bytes())
+	putU32(uint32(len(params)))
+
+	off := align64(headerLen)
+	for _, p := range params {
+		data := p.W.Data()
+		putU16(len(p.Name))
+		head.WriteString(p.Name)
+		head.WriteByte(byte(p.W.Dims()))
+		for _, d := range p.W.Shape() {
+			putU32(uint32(d))
+		}
+		size := int64(4 * len(data))
+		putU64(uint64(off))
+		putU64(uint64(size))
+		putU32(sectionCRC(data))
+		off = align64(off + size)
+	}
+	hb := head.Bytes()
+	if int64(len(hb)) != headerLen {
+		return 0, fmt.Errorf("modelstore: internal error: header layout %d != %d", len(hb), headerLen)
+	}
+	binary.LittleEndian.PutUint32(hb[12:], crc32.Checksum(hb[preambleLen:], castagnoli))
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	n := int64(0)
+	k, err := bw.Write(hb)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	written := headerLen
+	var pad [SectionAlign]byte
+	for _, p := range params {
+		if gap := align64(written) - written; gap > 0 {
+			k, err := bw.Write(pad[:gap])
+			n += int64(k)
+			if err != nil {
+				return n, err
+			}
+			written += gap
+		}
+		k, err := writeSection(bw, p.W.Data())
+		n += k
+		if err != nil {
+			return n, err
+		}
+		written += k
+	}
+	return n, bw.Flush()
+}
+
+// WriteFile writes net to path atomically (temp file + rename), so a
+// crash mid-export never leaves a half-written model where the
+// Registry might find it.
+func WriteFile(path, name string, version int, net *nn.Net) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".djw-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := Write(tmp, name, version, net); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// writeSection streams data as little-endian float32 in chunks, as in
+// the tensor stream writer.
+func writeSection(w io.Writer, data []float32) (int64, error) {
+	const chunk = 4096
+	buf := make([]byte, 4*chunk)
+	var n int64
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		part := data[off:end]
+		for i, v := range part {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		k, err := w.Write(buf[:len(part)*4])
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// sectionCRC computes the CRC-32C of data's on-disk encoding.
+func sectionCRC(data []float32) uint32 {
+	const chunk = 4096
+	buf := make([]byte, 4*chunk)
+	crc := uint32(0)
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		part := data[off:end]
+		for i, v := range part {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		crc = crc32.Update(crc, castagnoli, buf[:len(part)*4])
+	}
+	return crc
+}

@@ -42,6 +42,19 @@ import (
 
 // ParseNetDef reads a network definition and constructs the network.
 func ParseNetDef(r io.Reader, seed uint64) (*Net, error) {
+	return parseNetDef(r, tensor.NewRNG(seed))
+}
+
+// ParseNetDefNoInit reads a network definition and constructs the
+// network without synthesising weights: parameter tensors are allocated
+// but left zero. Loaders that immediately rebind or overwrite every
+// parameter (the model store's mmap path) use this to avoid touching —
+// and therefore faulting in — pages that will never be read.
+func ParseNetDefNoInit(r io.Reader) (*Net, error) {
+	return parseNetDef(r, tensor.NewNoInitRNG(1))
+}
+
+func parseNetDef(r io.Reader, rng *tensor.RNG) (*Net, error) {
 	sc := bufio.NewScanner(r)
 	var (
 		name    string
@@ -50,7 +63,6 @@ func ParseNetDef(r io.Reader, seed uint64) (*Net, error) {
 		net     *Net
 		lineNo  int
 	)
-	rng := tensor.NewRNG(seed)
 	fail := func(format string, args ...any) (*Net, error) {
 		return nil, fmt.Errorf("netdef line %d: %s", lineNo, fmt.Sprintf(format, args...))
 	}

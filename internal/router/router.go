@@ -267,6 +267,7 @@ type Router struct {
 
 	mu       sync.Mutex
 	replicas []*replica
+	splits   map[string]*split // base app name → live traffic split
 	rr       atomic.Uint64
 	rng      uint64
 	closed   bool
@@ -468,6 +469,10 @@ func (rt *Router) InferCtx(ctx context.Context, app string, in []float32) ([]flo
 		ctx = context.Background()
 	}
 	start := time.Now()
+	// Resolve the traffic split once per query: the rewritten target
+	// (e.g. "imc@v2" for a canary arm of "imc") sticks across retries,
+	// while routing policy and health stay keyed by the base name.
+	target := rt.splitTarget(app)
 	traceID, traceStore := trace.IDFrom(ctx), rt.traces.Load()
 	attempts := rt.maxAttempts(n)
 	tried := make(map[*replica]bool, attempts)
@@ -489,7 +494,7 @@ func (rt *Router) InferCtx(ctx context.Context, app string, in []float32) ([]flo
 			}
 		}
 		t0 := time.Now()
-		out, err := rt.attempt(ctx, rep, app, in)
+		out, err := rt.attempt(ctx, rep, target, in)
 		if traceID != "" && traceStore != nil {
 			traceStore.Add(traceID, trace.Span{
 				Name: "route_attempt", Start: t0, Dur: time.Since(t0),
@@ -499,9 +504,13 @@ func (rt *Router) InferCtx(ctx context.Context, app string, in []float32) ([]flo
 		if err == nil {
 			rt.route.Record(metrics.StageRoute, time.Since(start))
 			if traceID != "" && traceStore != nil {
+				note := fmt.Sprintf("app=%s attempts=%d", app, attempt+1)
+				if target != app {
+					note += " target=" + target
+				}
 				traceStore.Add(traceID, trace.Span{
 					Name: "route", Start: start, Dur: time.Since(start),
-					Note: fmt.Sprintf("app=%s attempts=%d", app, attempt+1),
+					Note: note,
 				})
 			}
 			return out, nil

@@ -1,0 +1,202 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Traffic splitting is the router half of the model-store lifecycle:
+// the service tier serves any registered model version side by side
+// (apps named "imc@v1", "imc@v2"), and the router decides what
+// fraction of the *base* application's traffic each version sees. A
+// canary rollout is a split {v1: 95, v2: 5}; promotion collapses it to
+// {v2: 100}; rollback restores the previous split atomically, so a
+// misbehaving canary is out of the serving path within one query.
+//
+// The split rewrites only the application name a query carries to the
+// backend. Routing policy, health state, and retries stay keyed by the
+// base name, and one query keeps its rewritten target across retries —
+// a canary query that fails on a down replica retries the same model
+// version elsewhere rather than silently falling back to stable.
+
+// SplitTarget is one arm of a traffic split: Weight parts of the
+// split's total go to Target (a backend application name, typically a
+// versioned model ID like "imc@v2").
+type SplitTarget struct {
+	Target string
+	Weight uint32
+}
+
+// SplitStatus is one arm of a split plus its routed-query counter, as
+// reported by Splits.
+type SplitStatus struct {
+	Target string
+	Weight uint32
+	Routed uint64
+}
+
+// split is the resolved form of one app's traffic split. Selection is
+// a deterministic weighted counter: query c (a global atomic per
+// split) lands in the cumulative-weight bucket of c mod total, so a
+// {90, 10} split routes exactly 10 of every 100 queries to the canary
+// — no sampling noise in small experiments.
+type split struct {
+	targets []SplitTarget
+	cum     []uint64 // cumulative weights, cum[len-1] == total
+	total   uint64
+	counter atomic.Uint64
+	routed  []atomic.Uint64 // per-target queries sent, parallel to targets
+
+	// One-deep history for Rollback: the split (or nil for "no split")
+	// that was live when this one was installed.
+	prev      *split
+	prevKnown bool
+}
+
+// pick returns the target for the next query and bumps its counter.
+func (sp *split) pick() string {
+	c := sp.counter.Add(1) - 1
+	r := c % sp.total
+	for i, cw := range sp.cum {
+		if r < cw {
+			sp.routed[i].Add(1)
+			return sp.targets[i].Target
+		}
+	}
+	// Unreachable: r < total == cum[len-1].
+	sp.routed[len(sp.routed)-1].Add(1)
+	return sp.targets[len(sp.targets)-1].Target
+}
+
+// newSplit validates and compiles a target list.
+func newSplit(targets []SplitTarget) (*split, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("router: split needs at least one target")
+	}
+	sp := &split{
+		targets: append([]SplitTarget(nil), targets...),
+		cum:     make([]uint64, len(targets)),
+		routed:  make([]atomic.Uint64, len(targets)),
+	}
+	seen := make(map[string]bool, len(targets))
+	for i, tg := range targets {
+		if tg.Target == "" {
+			return nil, fmt.Errorf("router: split target %d has an empty name", i)
+		}
+		if seen[tg.Target] {
+			return nil, fmt.Errorf("router: duplicate split target %q", tg.Target)
+		}
+		seen[tg.Target] = true
+		if tg.Weight == 0 {
+			return nil, fmt.Errorf("router: split target %q has zero weight", tg.Target)
+		}
+		sp.total += uint64(tg.Weight)
+		sp.cum[i] = sp.total
+	}
+	return sp, nil
+}
+
+// SetSplit installs (or replaces) the traffic split for one base
+// application name. Each target gets Weight parts of the total; the
+// previous split (or its absence) is kept as one-deep history for
+// Rollback. Queries already dispatched keep the target they were
+// assigned.
+func (rt *Router) SetSplit(app string, targets ...SplitTarget) error {
+	sp, err := newSplit(targets)
+	if err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.splits == nil {
+		rt.splits = make(map[string]*split)
+	}
+	sp.prev, sp.prevKnown = rt.splits[app], true
+	rt.splits[app] = sp
+	return nil
+}
+
+// Promote collapses app's split to 100% of the named target — the
+// canary graduates. The displaced split is kept for Rollback, so an
+// over-eager promotion is still one call from recovery.
+func (rt *Router) Promote(app, target string) error {
+	return rt.SetSplit(app, SplitTarget{Target: target, Weight: 1})
+}
+
+// Rollback atomically restores app's previous split state (including
+// "no split at all"). Queries routed under the rolled-back split are
+// unaffected; every query after Rollback returns sees the restored
+// state. It fails if app has no split or no recorded history.
+func (rt *Router) Rollback(app string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	sp := rt.splits[app]
+	if sp == nil {
+		return fmt.Errorf("router: no split for %q", app)
+	}
+	if !sp.prevKnown {
+		return fmt.Errorf("router: no split history for %q", app)
+	}
+	if sp.prev == nil {
+		delete(rt.splits, app)
+		return nil
+	}
+	// One-deep history: the restored split must not chain further back.
+	sp.prev.prev, sp.prev.prevKnown = nil, false
+	rt.splits[app] = sp.prev
+	return nil
+}
+
+// ClearSplit removes app's split (history included); its traffic flows
+// to the base name again.
+func (rt *Router) ClearSplit(app string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.splits, app)
+}
+
+// Splits snapshots every live split: base app name → per-target weight
+// and routed-query count, targets in installation order, apps sorted.
+func (rt *Router) Splits() map[string][]SplitStatus {
+	rt.mu.Lock()
+	live := make(map[string]*split, len(rt.splits))
+	for app, sp := range rt.splits {
+		live[app] = sp
+	}
+	rt.mu.Unlock()
+	out := make(map[string][]SplitStatus, len(live))
+	for app, sp := range live {
+		sts := make([]SplitStatus, len(sp.targets))
+		for i, tg := range sp.targets {
+			sts[i] = SplitStatus{Target: tg.Target, Weight: tg.Weight, Routed: sp.routed[i].Load()}
+		}
+		out[app] = sts
+	}
+	return out
+}
+
+// SplitApps returns the base names with a live split, sorted (for
+// rendering).
+func (rt *Router) SplitApps() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	apps := make([]string, 0, len(rt.splits))
+	for app := range rt.splits {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	return apps
+}
+
+// splitTarget resolves the backend application name for one query:
+// the split's pick when app has one, otherwise app itself.
+func (rt *Router) splitTarget(app string) string {
+	rt.mu.Lock()
+	sp := rt.splits[app]
+	rt.mu.Unlock()
+	if sp == nil {
+		return app
+	}
+	return sp.pick()
+}

@@ -247,3 +247,36 @@ func (c *Client) ServerTrace(id string) (string, error) {
 func (c *Client) ServerSlowestTraces(n int) (string, error) {
 	return c.Control("trace slowest " + strconv.Itoa(n))
 }
+
+// Models lists the server's registered model-store entries, one
+// "id resident= pins= bytes= params=" line per model (or a "no models
+// registered" sentinel).
+func (c *Client) Models() (string, error) {
+	return c.Control("model list")
+}
+
+// ModelStats returns the server's model-store counters — the textual
+// form of the djinn_model_* gauges (resident count, bytes mapped,
+// loads/faults/evictions).
+func (c *Client) ModelStats() (string, error) {
+	return c.Control("model stats")
+}
+
+// ModelRegister registers a weight file by path on the server's
+// filesystem and returns the server's confirmation ("registered
+// name@vN (...)").
+func (c *Client) ModelRegister(path string) (string, error) {
+	return c.Control("model register " + path)
+}
+
+// ModelLoad faults a model in ahead of traffic. The argument is a
+// model name ("imc", newest version) or versioned ID ("imc@v2").
+func (c *Client) ModelLoad(id string) (string, error) {
+	return c.Control("model load " + id)
+}
+
+// ModelEvict unloads a model; the server refuses while queries are in
+// flight.
+func (c *Client) ModelEvict(id string) (string, error) {
+	return c.Control("model evict " + id)
+}

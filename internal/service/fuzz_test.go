@@ -147,6 +147,12 @@ func FuzzControlRoundTrip(f *testing.F) {
 	f.Add("apps")
 	f.Add("stats tiny")
 	f.Add("sched tiny")
+	f.Add("model list")
+	f.Add("model stats")
+	f.Add("model register /models/imc@v1.djw")
+	f.Add("model load imc@v2")
+	f.Add("model evict imc")
+	f.Add("model evict imc@v1")
 	f.Fuzz(func(t *testing.T, cmd string) {
 		if len(cmd) == 0 || len(cmd) > 1024 {
 			return

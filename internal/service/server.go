@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"djinn/internal/metrics"
+	"djinn/internal/modelstore"
 	"djinn/internal/nn"
 	"djinn/internal/sched"
 	"djinn/internal/trace"
@@ -128,11 +129,31 @@ type app struct {
 	plans         chan *nn.Plan // compiled execution-plan pool, one checkout per batch
 
 	// gateMu serialises enqueues against shutdown: dispatch holds the
-	// read side across its (non-blocking) send, Close takes the write
+	// read side across its (non-blocking) send, stop takes the write
 	// side to flip closed. After that handover no new request can enter
 	// reqCh, so the aggregator's final drain is exhaustive.
 	gateMu sync.RWMutex
 	closed bool
+
+	// Per-app lifecycle: each app owns its aggregator and workers, so
+	// one app can be drained and unregistered (a model eviction) while
+	// its siblings keep serving. closing stops the aggregator; wg
+	// tracks the aggregator and every worker.
+	closing  chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// stop drains the app: close the admission gate (new enqueues fail
+// with ErrShuttingDown), stop the aggregator (the batch under assembly
+// still runs; queued stragglers fail), and wait for the aggregator and
+// every worker to exit. Idempotent and safe to call concurrently.
+func (a *app) stop() {
+	a.gateMu.Lock()
+	a.closed = true
+	a.gateMu.Unlock()
+	a.stopOnce.Do(func() { close(a.closing) })
+	a.wg.Wait()
 }
 
 // enqueue admits a request to the app's aggregation queue, shedding
@@ -166,6 +187,11 @@ type Server struct {
 	traces   atomic.Pointer[trace.Store]
 	tput     *metrics.Throughput
 	gate     *sched.Gate // cross-app execution gate; nil = unlimited slots
+
+	// Model store (see models.go): when attached, queries for names
+	// that are not registered apps fault their model in from disk.
+	store    *modelstore.Registry
+	storeCfg AppConfig // batching config for store-backed apps
 }
 
 // NewServer creates an empty DjiNN server. Register applications before
@@ -240,6 +266,7 @@ func (s *Server) Register(name string, netw *nn.Net, cfg AppConfig) error {
 		traces:    &s.traces,
 		tput:      s.tput,
 		gate:      s.gate,
+		closing:   make(chan struct{}),
 	}
 	if cfg.SLO > 0 {
 		a.ctrl = sched.NewController(sched.Config{
@@ -258,10 +285,10 @@ func (s *Server) Register(name string, netw *nn.Net, cfg AppConfig) error {
 			name, netw.ParamCount(), float64(netw.WeightBytes())/(1<<20), cfg.BatchInstances, cfg.Workers)
 	}
 	batchCh := make(chan []*request, cfg.Workers)
-	s.wg.Add(1)
+	a.wg.Add(1)
 	go func() {
-		defer s.wg.Done()
-		a.aggregate(batchCh, s.closing)
+		defer a.wg.Done()
+		a.aggregate(batchCh, a.closing)
 	}()
 	// Compile the app's execution plans once at registration — DjiNN's
 	// load-once model extended to the forward path itself: weights are
@@ -274,12 +301,35 @@ func (s *Server) Register(name string, netw *nn.Net, cfg AppConfig) error {
 		a.plans <- netw.CompileOpts(cfg.BatchInstances, nn.CompileOpts{Workers: cfg.IntraOpWorkers})
 	}
 	for w := 0; w < cfg.Workers; w++ {
-		s.wg.Add(1)
+		a.wg.Add(1)
 		go func() {
-			defer s.wg.Done()
+			defer a.wg.Done()
 			a.work(batchCh)
 		}()
 	}
+	return nil
+}
+
+// Unregister drains and removes one application at runtime: the
+// admission gate closes (new queries fail with ErrShuttingDown), the
+// batch under assembly runs to completion, queued stragglers fail, and
+// Unregister returns only after the aggregator and every worker have
+// exited — after which nothing in the server can touch the app's
+// network, so a memory-mapped model's pages are safe to unmap. This is
+// the teardown half of the model lifecycle; the model store's eviction
+// hook is its main caller.
+func (s *Server) Unregister(name string) error {
+	s.mu.Lock()
+	a, ok := s.apps[name]
+	if ok {
+		delete(s.apps, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("service: unknown application %q", name)
+	}
+	a.stop()
+	s.logf("service: unregistered %s", name)
 	return nil
 }
 
@@ -744,7 +794,9 @@ func (s *Server) handle(conn net.Conn) {
 // "sched <app>" reports the live scheduler state (batch size, flush
 // window, admission counters) or "disabled" for a static app;
 // "trace <id>" renders the spans recorded for one traced query and
-// "trace slowest [n]" lists the worst retained traces.
+// "trace slowest [n]" lists the worst retained traces;
+// "model list|stats|register|load|evict" drives the model store's
+// registry and lifecycle (see controlModel in models.go).
 func (s *Server) control(cmd string) (string, error) {
 	fields := strings.Fields(cmd)
 	if len(fields) == 0 {
@@ -753,6 +805,8 @@ func (s *Server) control(cmd string) (string, error) {
 	switch fields[0] {
 	case "trace":
 		return s.controlTrace(fields[1:])
+	case "model":
+		return s.controlModel(fields[1:])
 	case "apps":
 		names := s.Apps()
 		sort.Strings(names)
@@ -842,8 +896,16 @@ func (s *Server) controlTrace(args []string) (string, error) {
 func (s *Server) dispatch(ctx context.Context, appName string, in []float32) ([]float32, error) {
 	a, ok := s.app(appName)
 	if !ok {
-		return nil, fmt.Errorf("service: unknown application %q", appName)
+		// Not a registered app: fault the model in from the store, if
+		// one is attached (see models.go).
+		return s.dispatchStored(ctx, appName, in)
 	}
+	return s.dispatchApp(ctx, a, in)
+}
+
+// dispatchApp runs one query against a resolved application.
+func (s *Server) dispatchApp(ctx context.Context, a *app, in []float32) ([]float32, error) {
+	appName := a.name
 	if len(in) == 0 || len(in)%a.sampleIn != 0 {
 		a.errors.Add(1)
 		return nil, fmt.Errorf("service: %s payload of %d floats is not a multiple of the %d-float input", appName, len(in), a.sampleIn)
@@ -941,10 +1003,13 @@ func (s *Server) Close() {
 	// drained past its RLock, no new request can appear on any reqCh.
 	// Holding s.mu keeps this atomic with respect to Register, so no
 	// app can slip in between the gate sweep and the closing signal.
+	apps := make([]*app, 0, len(s.apps))
 	for _, a := range s.apps {
 		a.gateMu.Lock()
 		a.closed = true
 		a.gateMu.Unlock()
+		a.stopOnce.Do(func() { close(a.closing) })
+		apps = append(apps, a)
 	}
 	close(s.closing)
 	if s.listener != nil {
@@ -955,5 +1020,8 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	for _, a := range apps {
+		a.wg.Wait()
+	}
 	close(s.done)
 }

@@ -5,15 +5,33 @@ import "math"
 // RNG is a small, fast, deterministic pseudo-random generator
 // (xorshift64*), used to synthesise model weights and workload inputs
 // reproducibly without pulling in math/rand state ordering concerns.
-type RNG struct{ state uint64 }
+type RNG struct {
+	state  uint64
+	noInit bool
+}
 
 // NewRNG returns a generator seeded with seed (0 is remapped so the
 // generator never sticks at zero).
 func NewRNG(seed uint64) *RNG {
+	return &RNG{state: remapSeed(seed)}
+}
+
+// NewNoInitRNG returns a generator whose bulk fill methods (FillUniform,
+// FillNorm, XavierFill) leave their destination untouched. Loaders that
+// construct a network only to immediately rebind or overwrite every
+// parameter (the model store's mmap path) use it to skip synthesising
+// weights that would be discarded — freshly allocated zero pages that
+// are never written stay out of resident memory. Scalar draws (Uint64,
+// Float32, …) still work normally.
+func NewNoInitRNG(seed uint64) *RNG {
+	return &RNG{state: remapSeed(seed), noInit: true}
+}
+
+func remapSeed(seed uint64) uint64 {
 	if seed == 0 {
-		seed = 0x9e3779b97f4a7c15
+		return 0x9e3779b97f4a7c15
 	}
-	return &RNG{state: seed}
+	return seed
 }
 
 // Uint64 returns the next 64 random bits.
@@ -65,6 +83,9 @@ func (r *RNG) ExpFloat64() float64 {
 
 // FillUniform fills x with uniform samples in [lo, hi).
 func (r *RNG) FillUniform(x []float32, lo, hi float32) {
+	if r.noInit {
+		return
+	}
 	span := hi - lo
 	for i := range x {
 		x[i] = lo + span*r.Float32()
@@ -73,6 +94,9 @@ func (r *RNG) FillUniform(x []float32, lo, hi float32) {
 
 // FillNorm fills x with normal samples of the given mean and stddev.
 func (r *RNG) FillNorm(x []float32, mean, std float32) {
+	if r.noInit {
+		return
+	}
 	for i := range x {
 		x[i] = mean + std*r.Norm()
 	}

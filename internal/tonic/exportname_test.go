@@ -1,0 +1,21 @@
+package tonic
+
+import (
+	"testing"
+
+	"djinn/internal/models"
+	"djinn/internal/modelstore"
+)
+
+// The model store exports Tonic nets under modelstore.ExportName; the
+// serving tier registers them under ServiceName. They must agree, or
+// exported models would be served under different names than the
+// built-in apps (modelstore cannot import this package, so the
+// contract is pinned here).
+func TestExportNameMatchesServiceName(t *testing.T) {
+	for _, a := range models.Apps {
+		if got, want := modelstore.ExportName(a), ServiceName(a); got != want {
+			t.Fatalf("%s: ExportName %q != ServiceName %q", a, got, want)
+		}
+	}
+}
