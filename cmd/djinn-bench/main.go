@@ -27,42 +27,43 @@ func main() {
 
 	p := djinn.NewPlatform()
 	runners := map[string]func() string{
-		"table1":     experiments.RenderTable1,
-		"table2":     p.RenderTable2,
-		"table3":     experiments.RenderTable3,
-		"table4":     experiments.RenderTable4,
-		"table5":     experiments.RenderTable5,
-		"table6":     experiments.RenderTable6,
-		"fig4":       p.RenderFig4,
-		"fig5":       p.RenderFig5,
-		"fig6":       p.RenderFig6,
-		"fig7":       p.RenderFig7,
-		"fig8":       p.RenderFig8,
-		"fig9":       p.RenderFig8, // Figures 8 and 9 share one experiment
-		"fig10":      p.RenderFig10,
-		"fig11":      func() string { return p.RenderFig11(true) },
-		"fig12":      func() string { return p.RenderFig11(false) },
-		"fig13":      p.RenderFig13,
-		"fig15":      p.RenderFig15,
-		"fig16":      p.RenderFig16,
-		"ablation":   p.RenderAblations,
-		"openloop":   p.RenderOpenLoop,
-		"lifecycle":  experiments.RenderLifecycle,
-		"router":     p.RenderRouter,
-		"sched":      experiments.RenderSched,
-		"overhead":   p.RenderOverhead,
-		"energy":     p.RenderEnergy,
-		"validate":   p.RenderValidation,
-		"cluster":    p.RenderCluster,
-		"gpugen":     p.RenderFutureGPUs,
-		"engine":     experiments.RenderEngine,
-		"modelstore": experiments.RenderModelStore,
+		"table1":       experiments.RenderTable1,
+		"table2":       p.RenderTable2,
+		"table3":       experiments.RenderTable3,
+		"table4":       experiments.RenderTable4,
+		"table5":       experiments.RenderTable5,
+		"table6":       experiments.RenderTable6,
+		"fig4":         p.RenderFig4,
+		"fig5":         p.RenderFig5,
+		"fig6":         p.RenderFig6,
+		"fig7":         p.RenderFig7,
+		"fig8":         p.RenderFig8,
+		"fig9":         p.RenderFig8, // Figures 8 and 9 share one experiment
+		"fig10":        p.RenderFig10,
+		"fig11":        func() string { return p.RenderFig11(true) },
+		"fig12":        func() string { return p.RenderFig11(false) },
+		"fig13":        p.RenderFig13,
+		"fig15":        p.RenderFig15,
+		"fig16":        p.RenderFig16,
+		"ablation":     p.RenderAblations,
+		"openloop":     p.RenderOpenLoop,
+		"lifecycle":    experiments.RenderLifecycle,
+		"router":       p.RenderRouter,
+		"sched":        experiments.RenderSched,
+		"overhead":     p.RenderOverhead,
+		"energy":       p.RenderEnergy,
+		"validate":     p.RenderValidation,
+		"cluster":      p.RenderCluster,
+		"gpugen":       p.RenderFutureGPUs,
+		"engine":       experiments.RenderEngine,
+		"modelstore":   experiments.RenderModelStore,
+		"controlplane": experiments.RenderControlPlane,
 	}
 	order := []string{
 		"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
 		"fig11", "fig12", "fig13", "table4", "table5", "fig15", "table6", "fig16",
 		"ablation", "openloop", "lifecycle", "router", "sched", "overhead", "energy", "validate", "cluster", "gpugen",
-		"engine", "modelstore",
+		"engine", "modelstore", "controlplane",
 	}
 	if *list {
 		ids := make([]string, 0, len(runners))

@@ -48,6 +48,13 @@ import (
 	"time"
 
 	"djinn"
+	"djinn/internal/controlplane"
+	"djinn/internal/models"
+	"djinn/internal/nn"
+	"djinn/internal/router"
+	"djinn/internal/service"
+	"djinn/internal/tonic"
+	"djinn/internal/workload"
 )
 
 func main() {
@@ -57,6 +64,9 @@ func main() {
 	replicas := flag.Int("replicas", 1, "number of replica servers to run in this process")
 	stats := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 disables)")
 	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /metrics, /slowlog, /trace?id=, /debug/pprof/ (empty disables)")
+	controlPlane := flag.Bool("controlplane", false, "run the replicas as one managed fleet: a placement-aware front end serves -addr, a controller places apps, autoscales, and routes around dead replicas (use with -replicas N)")
+	cpCount := flag.Int("controlplane-count", 2, "replicas the control plane keeps each app on (clamped to -replicas)")
+	cpInterval := flag.Duration("controlplane-interval", 500*time.Millisecond, "control-loop tick interval (health scan, autoscale, reconcile)")
 	exportDir := flag.String("export-models", "", "export the selected apps' weights as versioned .djw files into this directory and exit")
 	verifyDir := flag.String("verify-models", "", "verify every .djw file in this directory (checksums + manifest) and exit")
 	modelsDir := flag.String("models", "", "serve models from this directory's .djw files instead of building them (fault-in on first query)")
@@ -106,6 +116,15 @@ func main() {
 		if err := verifyModels(*verifyDir); err != nil {
 			log.Fatal(err)
 		}
+		return
+	}
+
+	if *controlPlane {
+		if *modelsDir != "" || *custom != "" {
+			fmt.Fprintln(os.Stderr, "-controlplane manages Tonic apps; it does not combine with -models or -custom")
+			os.Exit(2)
+		}
+		runControlPlane(selected, *addr, *adminAddr, *replicas, *cpCount, *cpInterval, *stats)
 		return
 	}
 
@@ -213,6 +232,137 @@ func main() {
 		}(i, srv)
 	}
 	wg.Wait()
+}
+
+// runControlPlane stands the fleet up behind one placement-aware front
+// end: replicas bare servers (no apps at boot — activation is the
+// controller's job), a health-checked router across them, a controller
+// keeping each app on count replicas (autoscaling up to the fleet size
+// from shed and p99 signals), and a framed-protocol proxy on addr whose
+// control verbs (placement, members, autoscale, scale, rebalance) the
+// controller answers.
+func runControlPlane(selected []djinn.App, addr, adminAddr string, replicas, count int, interval, stats time.Duration) {
+	if count < 1 {
+		count = 1
+	}
+	if count > replicas {
+		count = replicas
+	}
+	apps := make([]string, len(selected))
+	nets := map[string]*nn.Net{}
+	for i, a := range selected {
+		apps[i] = tonic.ServiceName(a)
+		log.Printf("loading %s model...", a)
+		nets[apps[i]] = models.BuildCached(a)
+	}
+
+	rt := router.New(router.Config{
+		Policy: router.LeastOutstanding,
+		Health: router.HealthConfig{
+			FailureThreshold: 3,
+			ProbeInterval:    time.Second,
+			MaxProbeInterval: 10 * time.Second,
+		},
+	})
+	ctl := controlplane.NewController(controlplane.Config{
+		Router: rt,
+		Mapper: controlplane.NewMapper(controlplane.MapperConfig{
+			Policy:       controlplane.LeastLoaded{},
+			DefaultCount: count,
+			CanaryWeight: 50,
+		}),
+		Autoscaler: controlplane.NewAutoscaler(controlplane.AutoscaleConfig{Min: count, Max: replicas}),
+		Apps:       apps,
+		DrainDelay: 2 * interval,
+		Logf:       log.Printf,
+	})
+
+	servers := make([]*djinn.Server, replicas)
+	reps := make([]djinn.AdminReplica, replicas)
+	stores := []*djinn.TraceStore{rt.TraceStore()}
+	for i := range servers {
+		name := fmt.Sprintf("replica-%d", i)
+		srv := djinn.NewServer()
+		st := djinn.NewTraceStore(name, 0)
+		srv.SetTraceStore(st)
+		servers[i] = srv
+		reps[i] = djinn.AdminReplica{Name: name, Server: srv}
+		stores = append(stores, st)
+		if err := rt.AddBackend(name, srv); err != nil {
+			log.Fatal(err)
+		}
+		m := controlplane.NewServerMember(name, srv, nets, djinn.AppConfig{
+			BatchWindow: 2 * time.Millisecond, Workers: 4,
+		})
+		// Each app keeps its Table 3 batch shape when the controller
+		// activates it, matching what -replicas mode registers at boot.
+		for _, a := range selected {
+			spec := workload.Get(a)
+			m.SetAppConfig(tonic.ServiceName(a), djinn.AppConfig{
+				BatchInstances: spec.BatchSize * spec.Instances,
+				BatchWindow:    2 * time.Millisecond,
+				Workers:        4,
+			})
+		}
+		ctl.Join(m)
+	}
+	res := ctl.Reconcile()
+	log.Printf("control plane: placed %d app(s) on %d-of-%d replicas (%d moves); tick %v", len(apps), count, replicas, res.Moves, interval)
+	ctl.Run(interval)
+
+	proxy := service.NewProxy(rt, ctl.Control)
+	proxy.SetLogger(log.Printf)
+
+	if adminAddr != "" {
+		handler := djinn.NewAdminHandler(djinn.AdminOptions{
+			Replicas:     reps,
+			Router:       rt,
+			ControlPlane: ctl,
+			Stores:       stores,
+		})
+		go func() {
+			log.Printf("admin plane on http://%s (/metrics /slowlog /trace?id= /debug/pprof/)", adminAddr)
+			if err := http.ListenAndServe(adminAddr, handler); err != nil {
+				log.Fatalf("admin listener: %v", err)
+			}
+		}()
+	}
+
+	if stats > 0 {
+		go func() {
+			for range time.Tick(stats) {
+				m := ctl.Snapshot()
+				log.Printf("control plane: %d live / %d dead members, %d rebalances, %d moves",
+					m.Members-m.Dead, m.Dead, m.Rebalances, m.Moves)
+				for i, srv := range servers {
+					reportStats(srv, i, selected)
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("draining the fleet: front end first, then controller, then %d replica(s)...", len(servers))
+		start := time.Now()
+		proxy.Close()
+		ctl.Stop()
+		rt.Close()
+		var wg sync.WaitGroup
+		for _, srv := range servers {
+			wg.Add(1)
+			go func(s *djinn.Server) { defer wg.Done(); s.Close() }(srv)
+		}
+		wg.Wait()
+		log.Printf("drained in %v", time.Since(start).Round(time.Millisecond))
+	}()
+
+	log.Printf("DjiNN control-plane front end serving %v on %s (%d replicas in-process)", apps, addr, replicas)
+	if err := proxy.ListenAndServe(addr); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // replicaAddrs expands a base listen address into n consecutive-port

@@ -17,6 +17,7 @@
 //	tonic [-addr ...]       models [-register path] [-load id] [-evict id]
 //	tonic [-addr ...]       trace <id>
 //	tonic [-addr ...]       trace -slowest 5
+//	tonic [-addr ...]       control <verb> [args...]   (control-plane front end: placement, members, autoscale, scale, rebalance)
 //
 // Image and audio inputs are synthesised deterministically when not
 // supplied (the models carry synthetic weights, so predictions
@@ -41,7 +42,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed for synthetic inputs")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tonic [-addr host:port] <pos|chk|ner|dig|imc|face|asr|stats|sched|latency|models|trace|bench> [args]")
+		fmt.Fprintln(os.Stderr, "usage: tonic [-addr host:port] <pos|chk|ner|dig|imc|face|asr|stats|sched|latency|models|trace|bench|control> [args]")
 		os.Exit(2)
 	}
 	client, err := djinn.Dial(*addr)
@@ -133,6 +134,18 @@ func main() {
 		fmt.Printf("decoded %d frames in %v\n", tr.Frames, time.Since(t0).Round(time.Millisecond))
 		fmt.Printf("phones: %s\n", strings.Join(tr.Phones, " "))
 		fmt.Printf("text:   %s\n", tr.Text)
+	case "control":
+		// Raw control-verb passthrough: against a control-plane front
+		// end this reaches the controller (placement, members,
+		// autoscale, scale <app> <n>, rebalance).
+		if len(args) == 0 {
+			log.Fatal("usage: tonic control <verb> [args...]")
+		}
+		out, err := client.Control(strings.Join(args, " "))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
 	case "stats":
 		apps, err := client.Apps()
 		if err != nil {

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"djinn/internal/controlplane"
 	"djinn/internal/metrics"
 	"djinn/internal/modelstore"
 	"djinn/internal/router"
@@ -42,6 +43,10 @@ type Options struct {
 	Replicas []Replica
 	// Router, when set, contributes per-backend routing counters.
 	Router *router.Router
+	// ControlPlane, when set, contributes the djinn_placement_* and
+	// djinn_autoscale_* families: shard-map weights, membership and
+	// rebalance counters, and per-app autoscaler state.
+	ControlPlane *controlplane.Controller
 	// Stores are the trace stores the slow-query log and /trace draw
 	// from (typically one per tier in this process).
 	Stores []*trace.Store
@@ -274,6 +279,10 @@ func writeMetrics(w io.Writer, opts Options) {
 		writeSplitMetrics(w, opts.Router)
 	}
 
+	if opts.ControlPlane != nil {
+		writeControlPlaneMetrics(w, opts.ControlPlane)
+	}
+
 	if len(opts.Stores) > 0 {
 		fmt.Fprintln(w, "# HELP djinn_traces_retained Traces currently held in each tier's bounded store.")
 		fmt.Fprintln(w, "# TYPE djinn_traces_retained gauge")
@@ -387,6 +396,59 @@ func writeModelMetrics(w io.Writer, opts Options) {
 		} {
 			fmt.Fprintf(w, "djinn_model_events_total{replica=%q,event=%q} %d\n",
 				e.replica, c.event, c.v)
+		}
+	}
+}
+
+// writeControlPlaneMetrics renders the cluster control plane: the
+// shard map as per-(app, replica) weight gauges, membership and
+// rebalance counters, and the autoscaler's per-app replica counts and
+// lifetime scale events.
+func writeControlPlaneMetrics(w io.Writer, ctl *controlplane.Controller) {
+	m := ctl.Snapshot()
+	fmt.Fprintln(w, "# HELP djinn_placement_members Members known to the control plane.")
+	fmt.Fprintln(w, "# TYPE djinn_placement_members gauge")
+	fmt.Fprintf(w, "djinn_placement_members{state=\"live\"} %d\n", m.Members-m.Dead)
+	fmt.Fprintf(w, "djinn_placement_members{state=\"dead\"} %d\n", m.Dead)
+	fmt.Fprintln(w, "# HELP djinn_placement_events_total Control-plane lifecycle counters (rebalances, moves, activate_errors).")
+	fmt.Fprintln(w, "# TYPE djinn_placement_events_total counter")
+	for _, c := range []struct {
+		event string
+		v     int64
+	}{
+		{"rebalances", m.Rebalances}, {"moves", m.Moves},
+		{"activate_errors", m.ActivateErrors},
+	} {
+		fmt.Fprintf(w, "djinn_placement_events_total{event=%q} %d\n", c.event, c.v)
+	}
+	fmt.Fprintln(w, "# HELP djinn_placement_last_rebalance_seconds Duration of the most recent reconcile pass.")
+	fmt.Fprintln(w, "# TYPE djinn_placement_last_rebalance_seconds gauge")
+	fmt.Fprintf(w, "djinn_placement_last_rebalance_seconds %g\n", m.LastRebalance.Seconds())
+	if len(m.Placements) > 0 {
+		apps := make([]string, 0, len(m.Placements))
+		for app := range m.Placements {
+			apps = append(apps, app)
+		}
+		sort.Strings(apps)
+		fmt.Fprintln(w, "# HELP djinn_placement_weight Routing weight of one (app, replica) assignment in the shard map.")
+		fmt.Fprintln(w, "# TYPE djinn_placement_weight gauge")
+		for _, app := range apps {
+			for _, p := range m.Placements[app] {
+				fmt.Fprintf(w, "djinn_placement_weight{app=%q,replica=%q} %d\n", app, p.Replica, p.Weight)
+			}
+		}
+	}
+	if len(m.Scales) > 0 {
+		fmt.Fprintln(w, "# HELP djinn_autoscale_count Current autoscaler replica count per app.")
+		fmt.Fprintln(w, "# TYPE djinn_autoscale_count gauge")
+		for _, s := range m.Scales {
+			fmt.Fprintf(w, "djinn_autoscale_count{app=%q} %d\n", s.App, s.Count)
+		}
+		fmt.Fprintln(w, "# HELP djinn_autoscale_events_total Autoscaler decisions per app and direction.")
+		fmt.Fprintln(w, "# TYPE djinn_autoscale_events_total counter")
+		for _, s := range m.Scales {
+			fmt.Fprintf(w, "djinn_autoscale_events_total{app=%q,direction=\"up\"} %d\n", s.App, s.ScaleUps)
+			fmt.Fprintf(w, "djinn_autoscale_events_total{app=%q,direction=\"down\"} %d\n", s.App, s.ScaleDowns)
 		}
 	}
 }

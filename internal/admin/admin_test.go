@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"djinn/internal/controlplane"
 	"djinn/internal/modelstore"
 	"djinn/internal/nn"
 	"djinn/internal/router"
@@ -296,5 +297,61 @@ func TestModelAndSplitMetrics(t *testing.T) {
 	st, _ := srv.ModelStats()
 	if !strings.Contains(body, fmt.Sprintf(`djinn_model_resident_bytes{replica="replica-0"} %g`, float64(st.ResidentBytes))) {
 		t.Errorf("/metrics missing resident_bytes %d:\n%s", st.ResidentBytes, body)
+	}
+}
+
+// TestControlPlaneMetrics: a controller with an installed shard map and
+// autoscaler state exports the djinn_placement_* and djinn_autoscale_*
+// families.
+func TestControlPlaneMetrics(t *testing.T) {
+	testutil.NoLeaks(t)
+	rt := router.New(router.Config{})
+	t.Cleanup(rt.Close)
+	ctl := controlplane.NewController(controlplane.Config{
+		Router: rt,
+		Mapper: controlplane.NewMapper(controlplane.MapperConfig{
+			Policy: controlplane.LeastLoaded{}, DefaultCount: 2,
+		}),
+		Autoscaler: controlplane.NewAutoscaler(controlplane.AutoscaleConfig{Min: 1, Max: 3}),
+		Apps:       []string{"tiny"},
+		Logf:       silence,
+	})
+	for i := 0; i < 3; i++ {
+		srv := service.NewServer()
+		srv.SetLogger(silence)
+		t.Cleanup(srv.Close)
+		id := fmt.Sprintf("cp-%d", i)
+		if err := rt.AddBackend(id, srv); err != nil {
+			t.Fatal(err)
+		}
+		ctl.Join(controlplane.NewServerMember(id, srv,
+			map[string]*nn.Net{"tiny": testNet(1)},
+			service.AppConfig{BatchInstances: 1, Workers: 1}))
+	}
+	if res := ctl.Reconcile(); res.Moves == 0 {
+		t.Fatal("reconcile placed nothing")
+	}
+	ctl.Leave("cp-2")
+	ctl.Control("scale tiny 2")
+	defer ctl.WaitDrains()
+
+	code, body := get(t, Options{ControlPlane: ctl}, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{
+		`djinn_placement_members{state="live"} 2`,
+		`djinn_placement_members{state="dead"} 1`,
+		`djinn_placement_events_total{event="rebalances"}`,
+		`djinn_placement_events_total{event="moves"}`,
+		`djinn_placement_events_total{event="activate_errors"} 0`,
+		`djinn_placement_last_rebalance_seconds`,
+		`djinn_placement_weight{app="tiny",replica="cp-0"} 100`,
+		`djinn_autoscale_count{app="tiny"} 2`,
+		`djinn_autoscale_events_total{app="tiny",direction="up"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s\n%s", want, body)
+		}
 	}
 }

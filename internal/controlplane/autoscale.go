@@ -1,0 +1,227 @@
+package controlplane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// AutoscaleConfig tunes the per-app replica-count controller. The
+// autoscaler is a pure state machine over explicit observations and an
+// injected clock — the AIMD batch controller's test discipline applied
+// at fleet scope — so every decision is replayable in tests without
+// sleeping.
+type AutoscaleConfig struct {
+	Min, Max int // replica-count bounds (defaults 1, 8)
+
+	// ShedHigh: an observation is hot when the interval shed rate
+	// (rejected / decisions) exceeds this (default 0.01).
+	ShedHigh float64
+	// P99HighFrac: an observation is also hot when p99 exceeds this
+	// fraction of the SLO (default 0.9). Zero SLO disables the latency
+	// signal.
+	P99HighFrac float64
+	// P99LowFrac: an observation is cold only when sheds are absent
+	// AND p99 is below this fraction of the SLO (default 0.5).
+	P99LowFrac float64
+
+	// UpAfter consecutive hot observations grow the count by one;
+	// DownAfter consecutive cold observations shrink it by one
+	// (defaults 2, 6 — scaling down is deliberately much lazier than
+	// scaling up).
+	UpAfter, DownAfter int
+
+	// UpCooldown / DownCooldown bound how often the count may change
+	// in each direction; a scale-down is additionally blocked within
+	// DownCooldown of the last scale-up, which is what prevents
+	// flapping under oscillating load (defaults 0, 30s).
+	UpCooldown, DownCooldown time.Duration
+}
+
+func (c AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if c.Min < 1 {
+		c.Min = 1
+	}
+	if c.Max < c.Min {
+		if c.Max <= 0 {
+			c.Max = 8
+		}
+		if c.Max < c.Min {
+			c.Max = c.Min
+		}
+	}
+	if c.ShedHigh == 0 {
+		c.ShedHigh = 0.01
+	}
+	if c.P99HighFrac == 0 {
+		c.P99HighFrac = 0.9
+	}
+	if c.P99LowFrac == 0 {
+		c.P99LowFrac = 0.5
+	}
+	if c.UpAfter < 1 {
+		c.UpAfter = 2
+	}
+	if c.DownAfter < 1 {
+		c.DownAfter = 6
+	}
+	if c.DownCooldown == 0 {
+		c.DownCooldown = 30 * time.Second
+	}
+	return c
+}
+
+// Observation is one evaluation interval's signals for one app,
+// aggregated across its replicas from the djinn_sched_* plane.
+type Observation struct {
+	ShedRate float64       // rejected / (admitted+rejected) this interval
+	P99      time.Duration // worst recent p99 across the app's replicas
+	SLO      time.Duration // the app's latency objective (0 = none)
+}
+
+// Decision reports what one Observe call did.
+type Decision struct {
+	Count   int  // desired replica count after the observation
+	Changed bool // the count moved this call
+}
+
+type appScale struct {
+	count      int
+	hotStreak  int
+	coldStreak int
+	lastUp     time.Time
+	lastDown   time.Time
+	scaleUps   int64
+	scaleDowns int64
+}
+
+// Autoscaler tracks desired replica counts per app.
+type Autoscaler struct {
+	cfg AutoscaleConfig
+
+	mu   sync.Mutex
+	apps map[string]*appScale
+}
+
+// NewAutoscaler creates an Autoscaler; zero config fields take
+// defaults.
+func NewAutoscaler(cfg AutoscaleConfig) *Autoscaler {
+	return &Autoscaler{cfg: cfg.withDefaults(), apps: map[string]*appScale{}}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (a *Autoscaler) Config() AutoscaleConfig { return a.cfg }
+
+func (a *Autoscaler) state(app string) *appScale {
+	st, ok := a.apps[app]
+	if !ok {
+		st = &appScale{count: a.cfg.Min}
+		a.apps[app] = st
+	}
+	return st
+}
+
+// SetCount pins an app's current desired count (e.g. from an operator's
+// "scale" verb); streaks reset so the next decision starts fresh.
+func (a *Autoscaler) SetCount(app string, n int) int {
+	if n < a.cfg.Min {
+		n = a.cfg.Min
+	}
+	if n > a.cfg.Max {
+		n = a.cfg.Max
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.state(app)
+	st.count = n
+	st.hotStreak, st.coldStreak = 0, 0
+	return n
+}
+
+// Count returns the app's current desired replica count.
+func (a *Autoscaler) Count(app string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.state(app).count
+}
+
+// Observe feeds one interval's signals for app at the given time and
+// returns the (possibly unchanged) desired count. Hot and cold streaks
+// are mutually resetting: an oscillating workload keeps knocking both
+// streaks back to zero and the count holds still.
+func (a *Autoscaler) Observe(app string, now time.Time, obs Observation) Decision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.state(app)
+
+	hot := obs.ShedRate > a.cfg.ShedHigh
+	cold := obs.ShedRate == 0
+	if obs.SLO > 0 {
+		high := time.Duration(float64(obs.SLO) * a.cfg.P99HighFrac)
+		low := time.Duration(float64(obs.SLO) * a.cfg.P99LowFrac)
+		hot = hot || obs.P99 > high
+		cold = cold && obs.P99 < low
+	}
+
+	switch {
+	case hot:
+		st.coldStreak = 0
+		st.hotStreak++
+		if st.hotStreak >= a.cfg.UpAfter &&
+			st.count < a.cfg.Max &&
+			(st.lastUp.IsZero() || now.Sub(st.lastUp) >= a.cfg.UpCooldown) {
+			st.count++
+			st.lastUp = now
+			st.hotStreak = 0
+			st.scaleUps++
+			return Decision{Count: st.count, Changed: true}
+		}
+	case cold:
+		st.hotStreak = 0
+		st.coldStreak++
+		recentUp := !st.lastUp.IsZero() && now.Sub(st.lastUp) < a.cfg.DownCooldown
+		recentDown := !st.lastDown.IsZero() && now.Sub(st.lastDown) < a.cfg.DownCooldown
+		if st.coldStreak >= a.cfg.DownAfter &&
+			st.count > a.cfg.Min && !recentUp && !recentDown {
+			st.count--
+			st.lastDown = now
+			st.coldStreak = 0
+			st.scaleDowns++
+			return Decision{Count: st.count, Changed: true}
+		}
+	default:
+		// In the dead band between hot and cold: hold position and
+		// make both thresholds start over.
+		st.hotStreak, st.coldStreak = 0, 0
+	}
+	return Decision{Count: st.count}
+}
+
+// ScaleStats is one app's autoscaler counters, for the admin plane.
+type ScaleStats struct {
+	App                  string
+	Count                int
+	ScaleUps, ScaleDowns int64
+}
+
+// Stats snapshots every tracked app's counters, sorted by app name.
+func (a *Autoscaler) Stats() []ScaleStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]ScaleStats, 0, len(a.apps))
+	for app, st := range a.apps {
+		out = append(out, ScaleStats{
+			App: app, Count: st.count,
+			ScaleUps: st.scaleUps, ScaleDowns: st.scaleDowns,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out
+}
+
+// String renders one app's scale state for the "autoscale" verb.
+func (s ScaleStats) String() string {
+	return fmt.Sprintf("%s count=%d scale_ups=%d scale_downs=%d",
+		s.App, s.Count, s.ScaleUps, s.ScaleDowns)
+}

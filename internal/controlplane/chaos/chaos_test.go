@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"djinn/internal/testutil"
+)
+
+var chaosSeed = flag.Int64("chaos.seed", 1, "base seed for the randomized chaos schedules")
+
+func assertAccounted(t *testing.T, res Result, label string) {
+	t.Helper()
+	if res.Issued == 0 {
+		t.Fatalf("%s: no queries issued", label)
+	}
+	if res.Errors != 0 || res.Lost != 0 {
+		for _, line := range res.Timeline {
+			t.Log(line)
+		}
+		t.Fatalf("%s: invariant broken: %s", label, res)
+	}
+	if res.OK == 0 {
+		t.Fatalf("%s: nothing succeeded: %s", label, res)
+	}
+}
+
+// TestScriptedFaults drives the canonical schedule — a kill, a slow
+// replica, and a partition, one at a time against a 3-replica fleet
+// serving two apps — and asserts the zero-lost invariant: every issued
+// query is answered, shed, or expired; none error out, none vanish.
+func TestScriptedFaults(t *testing.T) {
+	testutil.NoLeaks(t)
+	res := Run(Options{
+		Replicas: 3,
+		Apps: []AppSpec{
+			{Name: "imc", Count: 2},
+			{Name: "asr", Count: 2},
+		},
+		Clients:  4,
+		Duration: 900 * time.Millisecond,
+		Deadline: 100 * time.Millisecond,
+		Schedule: []Event{
+			{At: 100 * time.Millisecond, Kind: Kill, Target: "r0", For: 150 * time.Millisecond},
+			{At: 400 * time.Millisecond, Kind: Slow, Target: "r1", For: 120 * time.Millisecond, Delay: 120 * time.Millisecond},
+			{At: 650 * time.Millisecond, Kind: Partition, Target: "r2", For: 120 * time.Millisecond},
+		},
+	})
+	assertAccounted(t, res, "scripted")
+	if res.Moves == 0 {
+		t.Fatalf("control plane never rebalanced through the faults: %s", res)
+	}
+}
+
+// TestKilledReplicaFailover: a kill on a placed replica must be
+// detected and routed around — attainment of the stream continues and
+// the dead replica is removed from every placement until it heals.
+func TestKilledReplicaFailover(t *testing.T) {
+	testutil.NoLeaks(t)
+	res := Run(Options{
+		Replicas: 3,
+		Apps:     []AppSpec{{Name: "imc", Count: 2}},
+		Clients:  3,
+		Duration: 600 * time.Millisecond,
+		Schedule: []Event{
+			{At: 80 * time.Millisecond, Kind: Kill, Target: "r0", For: 300 * time.Millisecond},
+		},
+	})
+	assertAccounted(t, res, "failover")
+}
+
+// randomSchedule generates a serialized fault schedule: one fault at a
+// time (the fleet keeps every app on ≥2 replicas, so a single
+// concurrent fault never removes an app's last copy), random kinds,
+// targets, offsets, and durations.
+func randomSchedule(rng *rand.Rand, replicas int, span time.Duration) []Event {
+	var events []Event
+	at := time.Duration(20+rng.Intn(60)) * time.Millisecond
+	for at < span {
+		dur := time.Duration(30+rng.Intn(60)) * time.Millisecond
+		ev := Event{
+			At:     at,
+			Kind:   EventKind(rng.Intn(3)),
+			Target: fmt.Sprintf("r%d", rng.Intn(replicas)),
+			For:    dur,
+		}
+		if ev.Kind == Slow {
+			ev.Delay = time.Duration(40+rng.Intn(80)) * time.Millisecond
+		}
+		events = append(events, ev)
+		// Strictly serialized: the next fault starts after this one
+		// heals, plus slack for the control plane to re-place.
+		at = ev.At + dur + time.Duration(30+rng.Intn(50))*time.Millisecond
+	}
+	return events
+}
+
+// TestChaosPropertyZeroLost is the seeded-random property test: 50+
+// generated kill/slow/partition schedules, each against a fresh fleet
+// with the autoscaler enabled, all holding the zero-lost invariant.
+// The failing seed is logged so any run can be replayed exactly with
+// -chaos.seed.
+func TestChaosPropertyZeroLost(t *testing.T) {
+	const schedules = 52
+	for i := 0; i < schedules; i++ {
+		seed := *chaosSeed + int64(i)
+		rng := rand.New(rand.NewSource(seed))
+		span := 300 * time.Millisecond
+		opts := Options{
+			Replicas: 3 + rng.Intn(2),
+			Apps: []AppSpec{
+				{Name: "imc", Count: 2},
+				{Name: "asr", Count: 2},
+			},
+			Clients:   2 + rng.Intn(3),
+			Duration:  span,
+			Deadline:  80 * time.Millisecond,
+			Tick:      5 * time.Millisecond,
+			Autoscale: rng.Intn(2) == 0,
+		}
+		opts.Schedule = randomSchedule(rng, opts.Replicas, span)
+		res := Run(opts)
+		if res.Issued == 0 || res.Errors != 0 || res.Lost != 0 || res.OK == 0 {
+			for _, line := range res.Timeline {
+				t.Log(line)
+			}
+			t.Fatalf("seed %d (schedule %d/%d, %d events): invariant broken: %s\nreplay with: go test ./internal/controlplane/chaos -run TestChaosPropertyZeroLost -chaos.seed %d",
+				seed, i+1, schedules, len(opts.Schedule), res, *chaosSeed+int64(i))
+		}
+	}
+}

@@ -1,0 +1,711 @@
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"djinn/internal/nn"
+	"djinn/internal/router"
+	"djinn/internal/sched"
+	"djinn/internal/service"
+)
+
+// A Member is one replica under control-plane management: the
+// controller activates and deactivates applications on it and reads
+// its scheduler signals. The router handles the data path separately —
+// a Member must already be registered with the router under the same
+// ID.
+type Member interface {
+	ID() string
+	// Activate warms app for serving (idempotent).
+	Activate(app string) error
+	// Deactivate drains app off the replica (idempotent).
+	Deactivate(app string) error
+	// SchedFor reports app's live scheduler state, false when the app
+	// is not active here or has no scheduler.
+	SchedFor(app string) (sched.Info, bool)
+}
+
+// ServerMember adapts an in-process service.Server as a Member. Apps
+// listed in nets are (re)registered directly from their networks;
+// anything else falls through to the server's model-store activation
+// path.
+type ServerMember struct {
+	name string
+	srv  *service.Server
+	nets map[string]*nn.Net
+	cfg  service.AppConfig
+	cfgs map[string]service.AppConfig
+}
+
+// NewServerMember wraps srv. nets maps app name → network for apps the
+// member can register directly (may be nil when a model store is
+// attached); cfg is the batching config those registrations use.
+func NewServerMember(name string, srv *service.Server, nets map[string]*nn.Net, cfg service.AppConfig) *ServerMember {
+	return &ServerMember{name: name, srv: srv, nets: nets, cfg: cfg}
+}
+
+// SetAppConfig overrides the registration config for one app — apps
+// with paper-specific batch shapes keep them while the rest share the
+// member-wide default.
+func (m *ServerMember) SetAppConfig(app string, cfg service.AppConfig) {
+	if m.cfgs == nil {
+		m.cfgs = map[string]service.AppConfig{}
+	}
+	m.cfgs[app] = cfg
+}
+
+// Server returns the wrapped server.
+func (m *ServerMember) Server() *service.Server { return m.srv }
+
+// ID returns the member's fleet-wide replica ID.
+func (m *ServerMember) ID() string { return m.name }
+
+// Activate implements Member.
+func (m *ServerMember) Activate(app string) error {
+	if netw, ok := m.nets[app]; ok {
+		cfg, ok := m.cfgs[app]
+		if !ok {
+			cfg = m.cfg
+		}
+		err := m.srv.Register(app, netw, cfg)
+		if err != nil && strings.Contains(err.Error(), "already registered") {
+			return nil
+		}
+		return err
+	}
+	return m.srv.Activate(app)
+}
+
+// Deactivate implements Member.
+func (m *ServerMember) Deactivate(app string) error {
+	if _, ok := m.nets[app]; ok {
+		err := m.srv.Unregister(app)
+		if err != nil && strings.Contains(err.Error(), "unknown application") {
+			return nil
+		}
+		return err
+	}
+	return m.srv.Deactivate(app)
+}
+
+// SchedFor implements Member.
+func (m *ServerMember) SchedFor(app string) (sched.Info, bool) {
+	return m.srv.SchedFor(app)
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	Router *router.Router
+	// Mapper computes shard maps (nil = consistent hashing, one
+	// replica per app).
+	Mapper *Mapper
+	// Autoscaler, when set, adjusts per-app counts from sched signals
+	// on every Tick.
+	Autoscaler *Autoscaler
+	// Apps are the managed applications. Every managed app gets a
+	// shard-map entry; apps outside this list (e.g. canary splits
+	// installed by hand) are left alone.
+	Apps []string
+	// DeadAfter is how many consecutive Ticks a replica may stay
+	// router-unhealthy before the controller declares it dead and
+	// moves its assignments (default 3).
+	DeadAfter int
+	// DrainDelay is how long a reconcile waits before deactivating an
+	// app on a replica the placement moved away from. A query that
+	// picked the old replica just before the flip must be able to
+	// finish: set this above the fleet's query deadline and the
+	// drain can never turn a straggler into a non-retryable
+	// unknown-application error. Zero drains immediately.
+	DrainDelay time.Duration
+	// Logf receives controller events (default: discard).
+	Logf func(format string, args ...any)
+}
+
+type memberState struct {
+	m         Member
+	unhealthy int // consecutive unhealthy ticks
+	dead      bool
+}
+
+// sigKey identifies one (member, app) signal stream.
+type sigKey struct{ member, app string }
+
+// placeKey identifies one (member, app) assignment.
+type placeKey struct{ member, app string }
+
+// Controller is the reconciler: it owns the shard map, watches
+// membership and health, applies the autoscaler's counts, and installs
+// placement changes into the router with an activate → flip → drain
+// ordering that never strands a query. New assignees are warmed before
+// any traffic is pointed at them; the placement flip is atomic in the
+// router; the drain of old assignees happens after the flip, so a
+// straggler that still reaches a draining replica fails with a
+// retryable shutdown error and the router retries it inside the new
+// placement.
+type Controller struct {
+	cfg Config
+
+	mu      sync.Mutex
+	members map[string]*memberState
+	prevSig map[sigKey]sched.Info
+	dirty   bool // membership changed since the last Tick reconcile
+
+	// placeGen counts how many times an app has been (re)placed on a
+	// member; a delayed drain captures the generation when scheduled
+	// and aborts if the app returned to the replica in the meantime —
+	// otherwise a drain queued by move N could tear down the live
+	// assignment installed by move N+1. placeLocks serializes
+	// activate/deactivate per (member, app) so the generation check
+	// and the action are atomic.
+	placeGen   map[placeKey]uint64
+	placeLocks map[placeKey]*sync.Mutex
+
+	rebalances     int64
+	moves          int64
+	activateErrs   int64
+	lastRebalance  time.Duration
+	lastRebalanced time.Time
+
+	drains sync.WaitGroup
+
+	runMu  sync.Mutex
+	stopCh chan struct{}
+	runWG  sync.WaitGroup
+}
+
+// NewController wires a controller; Config.Router is required.
+func NewController(cfg Config) *Controller {
+	if cfg.Router == nil {
+		panic("controlplane: Config.Router is required")
+	}
+	if cfg.Mapper == nil {
+		cfg.Mapper = NewMapper(MapperConfig{})
+	}
+	if cfg.DeadAfter < 1 {
+		cfg.DeadAfter = 3
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	sort.Strings(cfg.Apps)
+	return &Controller{
+		cfg:        cfg,
+		members:    map[string]*memberState{},
+		prevSig:    map[sigKey]sched.Info{},
+		placeGen:   map[placeKey]uint64{},
+		placeLocks: map[placeKey]*sync.Mutex{},
+	}
+}
+
+// Mapper returns the controller's shard-map builder.
+func (c *Controller) Mapper() *Mapper { return c.cfg.Mapper }
+
+// Join adds (or replaces) a member. The caller must have registered
+// the member's backend with the router under the same ID. Reconcile
+// afterwards to fold it into the map.
+func (c *Controller) Join(m Member) {
+	c.mu.Lock()
+	c.members[m.ID()] = &memberState{m: m}
+	c.dirty = true
+	c.mu.Unlock()
+	c.cfg.Logf("controlplane: member %s joined", m.ID())
+}
+
+// Leave takes a member out of the live set (graceful decommission).
+// Its assignments move on the next Reconcile, which also drains the
+// moved apps off it; the member stays known so Revive (or a fresh
+// Join) can bring it back.
+func (c *Controller) Leave(id string) {
+	c.mu.Lock()
+	if st, ok := c.members[id]; ok {
+		st.dead = true
+		c.dirty = true
+	}
+	c.mu.Unlock()
+	c.cfg.Logf("controlplane: member %s left", id)
+}
+
+// Revive clears a member's dead mark after the operator (or harness)
+// has restored it. Needed because a fully ejected replica receives no
+// traffic and therefore no recovery probes — rejoin is an explicit
+// control-plane action, not a data-path discovery.
+func (c *Controller) Revive(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.members[id]
+	if !ok {
+		return false
+	}
+	st.dead = false
+	st.unhealthy = 0
+	c.dirty = true
+	c.cfg.Logf("controlplane: member %s revived", id)
+	return true
+}
+
+// MemberIDs returns every joined member ID, sorted, with its liveness.
+func (c *Controller) MemberIDs() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]bool, len(c.members))
+	for id, st := range c.members {
+		out[id] = !st.dead
+	}
+	return out
+}
+
+// liveMembers returns the live IDs (sorted) plus a lookup over every
+// known member — drains must still reach a replica that just left.
+func (c *Controller) liveMembers() ([]string, map[string]Member) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.members))
+	byID := make(map[string]Member, len(c.members))
+	for id, st := range c.members {
+		byID[id] = st.m
+		if !st.dead {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, byID
+}
+
+// ReconcileResult summarizes one reconcile pass.
+type ReconcileResult struct {
+	Moves    int // apps whose placement changed
+	Duration time.Duration
+}
+
+// Reconcile recomputes the shard map over the live members and applies
+// the difference: for each changed app, activate the new assignees,
+// flip the router placement, then drain removed assignees in the
+// background. Returns how many apps moved and how long the pass took
+// (activation included — that is the real rebalance time a query
+// stream experiences).
+func (c *Controller) Reconcile() ReconcileResult {
+	start := time.Now()
+	live, byID := c.liveMembers()
+	desired := c.cfg.Mapper.Rebuild(c.cfg.Apps, live)
+	current := c.cfg.Router.Placements()
+
+	moves := 0
+	for _, app := range c.cfg.Apps {
+		want := desired[app]
+		have := current[app]
+		if len(want) == 0 {
+			if len(have) != 0 {
+				c.cfg.Router.ClearPlacement(app)
+				moves++
+			}
+			continue
+		}
+		if placementsEqual(want, have) {
+			continue
+		}
+		haveSet := make(map[string]bool, len(have))
+		for _, p := range have {
+			haveSet[p.Replica] = true
+		}
+		wantSet := make(map[string]bool, len(want))
+		for _, p := range want {
+			wantSet[p.Replica] = true
+			if m, ok := byID[p.Replica]; ok {
+				lk := c.placeLock(p.Replica, app)
+				lk.Lock()
+				c.bumpGen(p.Replica, app)
+				if !haveSet[p.Replica] {
+					if err := m.Activate(app); err != nil {
+						c.mu.Lock()
+						c.activateErrs++
+						c.mu.Unlock()
+						c.cfg.Logf("controlplane: activate %s on %s: %v", app, p.Replica, err)
+					}
+				}
+				lk.Unlock()
+			}
+		}
+		if err := c.cfg.Router.SetPlacement(app, want...); err != nil {
+			c.cfg.Logf("controlplane: set placement for %s: %v", app, err)
+			continue
+		}
+		moves++
+		for _, p := range have {
+			if wantSet[p.Replica] {
+				continue
+			}
+			if m, ok := byID[p.Replica]; ok {
+				gen := c.genOf(p.Replica, app)
+				c.drains.Add(1)
+				go func(m Member, app string, gen uint64) {
+					defer c.drains.Done()
+					if c.cfg.DrainDelay > 0 {
+						time.Sleep(c.cfg.DrainDelay)
+					}
+					lk := c.placeLock(m.ID(), app)
+					lk.Lock()
+					defer lk.Unlock()
+					if c.genOf(m.ID(), app) != gen {
+						return // the app was placed here again: keep it
+					}
+					if err := m.Deactivate(app); err != nil {
+						c.cfg.Logf("controlplane: deactivate %s on %s: %v", app, m.ID(), err)
+					}
+				}(m, app, gen)
+			}
+		}
+		c.cfg.Logf("controlplane: moved %s → %v", app, want)
+	}
+
+	d := time.Since(start)
+	c.mu.Lock()
+	c.rebalances++
+	c.moves += int64(moves)
+	if moves > 0 {
+		c.lastRebalance = d
+		c.lastRebalanced = time.Now()
+	}
+	c.mu.Unlock()
+	return ReconcileResult{Moves: moves, Duration: d}
+}
+
+func (c *Controller) placeLock(member, app string) *sync.Mutex {
+	k := placeKey{member: member, app: app}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lk, ok := c.placeLocks[k]
+	if !ok {
+		lk = &sync.Mutex{}
+		c.placeLocks[k] = lk
+	}
+	return lk
+}
+
+func (c *Controller) bumpGen(member, app string) {
+	c.mu.Lock()
+	c.placeGen[placeKey{member: member, app: app}]++
+	c.mu.Unlock()
+}
+
+func (c *Controller) genOf(member, app string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.placeGen[placeKey{member: member, app: app}]
+}
+
+func placementsEqual(a, b []router.Placement) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitDrains blocks until every background deactivation has finished
+// (tests and shutdown use it).
+func (c *Controller) WaitDrains() { c.drains.Wait() }
+
+// Tick runs one control-loop iteration at the given time: scan router
+// health for member death and recovery, evaluate the autoscaler on
+// fresh sched signals, and reconcile if anything changed. The clock is
+// a parameter so tests replay schedules without sleeping.
+func (c *Controller) Tick(now time.Time) ReconcileResult {
+	c.mu.Lock()
+	changed := c.dirty
+	c.dirty = false
+	c.mu.Unlock()
+	changed = c.scanHealth() || changed
+	if c.cfg.Autoscaler != nil {
+		changed = c.autoscale(now) || changed
+	}
+	if changed {
+		return c.Reconcile()
+	}
+	return ReconcileResult{}
+}
+
+// scanHealth folds router health into membership: DeadAfter
+// consecutive unhealthy observations mark a member dead (its
+// assignments move on the reconcile this triggers); a replica observed
+// healthy again resets the count. Dead members stay dead until Revive.
+func (c *Controller) scanHealth() bool {
+	healthy := make(map[string]bool)
+	for _, snap := range c.cfg.Router.Stats() {
+		healthy[snap.ID] = snap.Healthy
+	}
+	changed := false
+	c.mu.Lock()
+	for id, st := range c.members {
+		if st.dead {
+			continue
+		}
+		h, known := healthy[id]
+		if !known || h {
+			st.unhealthy = 0
+			continue
+		}
+		st.unhealthy++
+		if st.unhealthy >= c.cfg.DeadAfter {
+			st.dead = true
+			changed = true
+			c.cfg.Logf("controlplane: member %s declared dead after %d unhealthy ticks", id, st.unhealthy)
+		}
+	}
+	c.mu.Unlock()
+	return changed
+}
+
+// autoscale aggregates each managed app's interval sched signals
+// across live members and feeds the autoscaler; a changed count is
+// written into the mapper. Returns whether any count changed.
+func (c *Controller) autoscale(now time.Time) bool {
+	live, byID := c.liveMembers()
+	changed := false
+	for _, app := range c.cfg.Apps {
+		var admitted, rejected int64
+		var p99, slo time.Duration
+		got := false
+		for _, id := range live {
+			m := byID[id]
+			info, ok := m.SchedFor(app)
+			if !ok {
+				continue
+			}
+			got = true
+			key := sigKey{member: id, app: app}
+			c.mu.Lock()
+			prev := c.prevSig[key]
+			c.prevSig[key] = info
+			c.mu.Unlock()
+			dAdm := info.Admitted - prev.Admitted
+			dRej := info.Rejected - prev.Rejected
+			if dAdm < 0 || dRej < 0 { // replica restarted: counters reset
+				dAdm, dRej = info.Admitted, info.Rejected
+			}
+			admitted += dAdm
+			rejected += dRej
+			if info.P99 > p99 {
+				p99 = info.P99
+			}
+			if info.SLO > slo {
+				slo = info.SLO
+			}
+		}
+		if !got {
+			continue
+		}
+		obs := Observation{P99: p99, SLO: slo}
+		if total := admitted + rejected; total > 0 {
+			obs.ShedRate = float64(rejected) / float64(total)
+		}
+		dec := c.cfg.Autoscaler.Observe(app, now, obs)
+		if dec.Changed {
+			c.cfg.Mapper.SetCount(app, dec.Count)
+			changed = true
+			c.cfg.Logf("controlplane: autoscale %s → %d replicas (shed %.3f, p99 %v)",
+				app, dec.Count, obs.ShedRate, obs.P99)
+		}
+	}
+	return changed
+}
+
+// Run ticks the control loop every interval until Stop.
+func (c *Controller) Run(interval time.Duration) {
+	c.runMu.Lock()
+	if c.stopCh != nil {
+		c.runMu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	c.stopCh = stop
+	c.runMu.Unlock()
+	c.runWG.Add(1)
+	go func() {
+		defer c.runWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-t.C:
+				c.Tick(now)
+			}
+		}
+	}()
+}
+
+// Stop halts the Run loop and waits for background drains.
+func (c *Controller) Stop() {
+	c.runMu.Lock()
+	if c.stopCh != nil {
+		close(c.stopCh)
+		c.stopCh = nil
+	}
+	c.runMu.Unlock()
+	c.runWG.Wait()
+	c.drains.Wait()
+}
+
+// Metrics is the control plane's admin-plane snapshot.
+type Metrics struct {
+	Members, Dead  int
+	Rebalances     int64
+	Moves          int64
+	ActivateErrors int64
+	LastRebalance  time.Duration
+	Scales         []ScaleStats
+	Placements     map[string][]router.Placement
+}
+
+// Snapshot collects the djinn_placement_* / djinn_autoscale_* gauges.
+func (c *Controller) Snapshot() Metrics {
+	c.mu.Lock()
+	m := Metrics{
+		Members:        len(c.members),
+		Rebalances:     c.rebalances,
+		Moves:          c.moves,
+		ActivateErrors: c.activateErrs,
+		LastRebalance:  c.lastRebalance,
+	}
+	for _, st := range c.members {
+		if st.dead {
+			m.Dead++
+		}
+	}
+	c.mu.Unlock()
+	if c.cfg.Autoscaler != nil {
+		m.Scales = c.cfg.Autoscaler.Stats()
+	}
+	m.Placements = c.cfg.Router.Placements()
+	return m
+}
+
+// Control answers the control plane's verb family, served through the
+// front-end proxy:
+//
+//	placement [app]      the shard map (replica:weight per app)
+//	members              member liveness
+//	autoscale [app]      autoscaler counts and counters
+//	scale <app> <n>      pin an app's replica count and reconcile
+//	rebalance            force a reconcile pass
+func (c *Controller) Control(cmd string) (string, error) {
+	fields := strings.Fields(cmd)
+	if len(fields) == 0 {
+		return "", errors.New("controlplane: empty control command")
+	}
+	switch fields[0] {
+	case "placement":
+		pls := c.cfg.Router.Placements()
+		if len(fields) == 2 {
+			pl, ok := pls[fields[1]]
+			if !ok {
+				return "", fmt.Errorf("controlplane: no placement for %q", fields[1])
+			}
+			return renderPlacement(fields[1], pl), nil
+		}
+		if len(pls) == 0 {
+			return "no placements installed", nil
+		}
+		apps := make([]string, 0, len(pls))
+		for app := range pls {
+			apps = append(apps, app)
+		}
+		sort.Strings(apps)
+		lines := make([]string, len(apps))
+		for i, app := range apps {
+			lines[i] = renderPlacement(app, pls[app])
+		}
+		return strings.Join(lines, "\n"), nil
+	case "members":
+		ids := c.MemberIDs()
+		if len(ids) == 0 {
+			return "no members", nil
+		}
+		names := make([]string, 0, len(ids))
+		for id := range ids {
+			names = append(names, id)
+		}
+		sort.Strings(names)
+		lines := make([]string, len(names))
+		for i, id := range names {
+			state := "live"
+			if !ids[id] {
+				state = "dead"
+			}
+			lines[i] = id + " " + state
+		}
+		return strings.Join(lines, "\n"), nil
+	case "autoscale":
+		if c.cfg.Autoscaler == nil {
+			return "disabled", nil
+		}
+		stats := c.cfg.Autoscaler.Stats()
+		if len(fields) == 2 {
+			for _, s := range stats {
+				if s.App == fields[1] {
+					return s.String(), nil
+				}
+			}
+			return "", fmt.Errorf("controlplane: no autoscale state for %q", fields[1])
+		}
+		if len(stats) == 0 {
+			return "no apps observed", nil
+		}
+		lines := make([]string, len(stats))
+		for i, s := range stats {
+			lines[i] = s.String()
+		}
+		return strings.Join(lines, "\n"), nil
+	case "scale":
+		if len(fields) != 3 {
+			return "", errors.New("controlplane: usage: scale <app> <count>")
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 1 {
+			return "", fmt.Errorf("controlplane: bad count %q", fields[2])
+		}
+		app := fields[1]
+		if !c.managed(app) {
+			return "", fmt.Errorf("controlplane: unmanaged application %q", app)
+		}
+		if c.cfg.Autoscaler != nil {
+			n = c.cfg.Autoscaler.SetCount(app, n)
+		}
+		c.cfg.Mapper.SetCount(app, n)
+		res := c.Reconcile()
+		return fmt.Sprintf("scaled %s to %d replicas (%d moves, %v)", app, n, res.Moves, res.Duration.Round(time.Microsecond)), nil
+	case "rebalance":
+		res := c.Reconcile()
+		return fmt.Sprintf("rebalanced: %d moves in %v", res.Moves, res.Duration.Round(time.Microsecond)), nil
+	default:
+		return "", fmt.Errorf("controlplane: unknown control command %q", fields[0])
+	}
+}
+
+func (c *Controller) managed(app string) bool {
+	for _, a := range c.cfg.Apps {
+		if a == app {
+			return true
+		}
+	}
+	return false
+}
+
+func renderPlacement(app string, pl []router.Placement) string {
+	parts := make([]string, len(pl))
+	for i, p := range pl {
+		parts[i] = fmt.Sprintf("%s:%d", p.Replica, p.Weight)
+	}
+	return app + " " + strings.Join(parts, " ")
+}

@@ -1,0 +1,196 @@
+// Package controlplane places applications onto a fleet of DjiNN
+// replicas and keeps the placement healthy: a shard map (app → weighted
+// replica set) computed by a pluggable placement policy, a reconciler
+// that moves assignments when membership changes without dropping
+// in-flight queries, and an autoscaler that grows and shrinks per-app
+// replica counts from the scheduler's shed-rate and p99 signals.
+//
+// The paper's WSC analysis sizes a datacenter by packing DjiNN
+// instances per workload; this package is that packing made live.
+// Placement policy is deliberately separated from the backend tier
+// (the router only enforces weighted subsets) so a later heterogeneous
+// fleet can bias placement by device without touching the data path.
+package controlplane
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// PlaceInput is one placement decision's inputs.
+type PlaceInput struct {
+	App     string
+	Want    int      // desired replica count (≥1)
+	Members []string // live replica IDs, deduplicated
+	Prev    []string // the app's previous assignment, if any
+	// Load is an optional per-member load signal (assigned apps so
+	// far, outstanding queries, …); nil reads as all-zero.
+	Load map[string]float64
+}
+
+// A Policy deterministically chooses which replicas serve an app.
+// Implementations must be pure: same input, same output, no clocks.
+type Policy interface {
+	Name() string
+	// Place returns min(Want, len(Members)) distinct member IDs.
+	Place(in PlaceInput) []string
+}
+
+// ---------------------------------------------------------------------
+// Consistent hashing
+
+// ConsistentHash places apps on a hash ring with virtual nodes, the
+// classic minimal-churn policy: when a member leaves, only the apps it
+// carried move; when one joins, it takes an ~1/N share and nothing else
+// shifts. Placement depends only on (app, membership), never on
+// placement history, so every controller replays to the same map.
+type ConsistentHash struct {
+	// VirtualNodes per member smooths the ring (default 64).
+	VirtualNodes int
+}
+
+func (c ConsistentHash) Name() string { return "consistent-hash" }
+
+func (c ConsistentHash) vnodes() int {
+	if c.VirtualNodes <= 0 {
+		return 64
+	}
+	return c.VirtualNodes
+}
+
+// hash64 is FNV-64a with a murmur-style finalizer. Raw FNV of short,
+// similar keys ("app000", "app001", …) varies mostly in its low bits,
+// which collapses a ring ordered by the full value onto a narrow arc;
+// the multiply-xor-shift mix spreads those differences across all 64
+// bits.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+type ringPoint struct {
+	pos    uint64
+	member string
+}
+
+// Place walks the ring clockwise from hash(app), collecting distinct
+// members until Want are found.
+func (c ConsistentHash) Place(in PlaceInput) []string {
+	members := dedupSorted(in.Members)
+	want := clampWant(in.Want, len(members))
+	if want == 0 {
+		return nil
+	}
+	ring := make([]ringPoint, 0, len(members)*c.vnodes())
+	for _, m := range members {
+		for v := 0; v < c.vnodes(); v++ {
+			ring = append(ring, ringPoint{hash64(m + "#" + strconv.Itoa(v)), m})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].pos != ring[j].pos {
+			return ring[i].pos < ring[j].pos
+		}
+		return ring[i].member < ring[j].member
+	})
+	start := sort.Search(len(ring), func(i int) bool {
+		return ring[i].pos >= hash64(in.App)
+	})
+	picked := make([]string, 0, want)
+	seen := make(map[string]bool, want)
+	for i := 0; i < len(ring) && len(picked) < want; i++ {
+		p := ring[(start+i)%len(ring)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			picked = append(picked, p.member)
+		}
+	}
+	return picked
+}
+
+// ---------------------------------------------------------------------
+// Least loaded
+
+// LeastLoaded greedily assigns apps to the members with the lowest load
+// signal, holding on to an app's surviving previous assignees so a
+// load wobble doesn't shuffle the whole map: previous members are kept
+// (up to Want) regardless of load, and only the remainder is filled
+// from the least-loaded members. Ties break by member ID, so the
+// policy stays deterministic.
+type LeastLoaded struct{}
+
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+func (LeastLoaded) Place(in PlaceInput) []string {
+	members := dedupSorted(in.Members)
+	want := clampWant(in.Want, len(members))
+	if want == 0 {
+		return nil
+	}
+	alive := make(map[string]bool, len(members))
+	for _, m := range members {
+		alive[m] = true
+	}
+	picked := make([]string, 0, want)
+	used := make(map[string]bool, want)
+	for _, p := range in.Prev {
+		if len(picked) == want {
+			break
+		}
+		if alive[p] && !used[p] {
+			used[p] = true
+			picked = append(picked, p)
+		}
+	}
+	rest := make([]string, 0, len(members))
+	for _, m := range members {
+		if !used[m] {
+			rest = append(rest, m)
+		}
+	}
+	sort.SliceStable(rest, func(i, j int) bool {
+		li, lj := in.Load[rest[i]], in.Load[rest[j]]
+		if li != lj {
+			return li < lj
+		}
+		return rest[i] < rest[j]
+	})
+	for _, m := range rest {
+		if len(picked) == want {
+			break
+		}
+		picked = append(picked, m)
+	}
+	return picked
+}
+
+func clampWant(want, members int) int {
+	if want < 1 {
+		want = 1
+	}
+	if want > members {
+		want = members
+	}
+	return want
+}
+
+func dedupSorted(ids []string) []string {
+	out := append([]string(nil), ids...)
+	sort.Strings(out)
+	j := 0
+	for i, id := range out {
+		if i == 0 || id != out[i-1] {
+			out[j] = id
+			j++
+		}
+	}
+	return out[:j]
+}

@@ -1,0 +1,225 @@
+package controlplane
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"djinn/internal/router"
+)
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("r%02d", i)
+	}
+	return out
+}
+
+func apps(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("app%03d", i)
+	}
+	return out
+}
+
+// TestPoliciesDeterministic: both policies are pure functions of their
+// input — the table covers varying want, membership, and prev sets.
+func TestPoliciesDeterministic(t *testing.T) {
+	policies := []Policy{ConsistentHash{}, LeastLoaded{}}
+	cases := []PlaceInput{
+		{App: "imc", Want: 1, Members: members(4)},
+		{App: "imc", Want: 3, Members: members(4)},
+		{App: "asr", Want: 2, Members: members(8), Prev: []string{"r03"}},
+		{App: "face", Want: 2, Members: members(8), Load: map[string]float64{"r00": 5, "r01": 1}},
+		{App: "pos", Want: 10, Members: members(3)}, // want clamped to fleet
+		{App: "chk", Want: 0, Members: members(3)},  // want clamped to 1
+	}
+	for _, p := range policies {
+		for _, in := range cases {
+			t.Run(fmt.Sprintf("%s/%s/want%d", p.Name(), in.App, in.Want), func(t *testing.T) {
+				a := p.Place(in)
+				b := p.Place(in)
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("non-deterministic: %v then %v", a, b)
+				}
+				want := in.Want
+				if want < 1 {
+					want = 1
+				}
+				if want > len(in.Members) {
+					want = len(in.Members)
+				}
+				if len(a) != want {
+					t.Fatalf("placed %d replicas, want %d: %v", len(a), want, a)
+				}
+				seen := map[string]bool{}
+				valid := map[string]bool{}
+				for _, m := range in.Members {
+					valid[m] = true
+				}
+				for _, id := range a {
+					if seen[id] {
+						t.Fatalf("duplicate assignee %s in %v", id, a)
+					}
+					if !valid[id] {
+						t.Fatalf("assignee %s not a member", id)
+					}
+					seen[id] = true
+				}
+			})
+		}
+	}
+}
+
+// TestConsistentHashChurnBound: removing one member moves only the
+// apps that member carried — every app whose assignment did not
+// include the removed member keeps its exact replica set.
+func TestConsistentHashChurnBound(t *testing.T) {
+	ch := ConsistentHash{}
+	fleet := members(8)
+	all := apps(60)
+	for _, want := range []int{1, 2} {
+		before := map[string][]string{}
+		for _, app := range all {
+			before[app] = ch.Place(PlaceInput{App: app, Want: want, Members: fleet})
+		}
+		removed := "r03"
+		var survivors []string
+		for _, m := range fleet {
+			if m != removed {
+				survivors = append(survivors, m)
+			}
+		}
+		moved := 0
+		for _, app := range all {
+			after := ch.Place(PlaceInput{App: app, Want: want, Members: survivors})
+			had := false
+			for _, id := range before[app] {
+				if id == removed {
+					had = true
+				}
+			}
+			if !had {
+				if !reflect.DeepEqual(after, before[app]) {
+					t.Fatalf("want=%d: %s moved from %v to %v though %s was not an assignee",
+						want, app, before[app], after, removed)
+				}
+			} else {
+				moved++
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("want=%d: no app was placed on %s — churn bound untested", want, removed)
+		}
+	}
+}
+
+// TestConsistentHashSpread: virtual nodes keep the ring roughly
+// balanced — deterministic, so the bound is checked once and holds
+// forever.
+func TestConsistentHashSpread(t *testing.T) {
+	ch := ConsistentHash{}
+	fleet := members(8)
+	counts := map[string]int{}
+	for _, app := range apps(200) {
+		for _, id := range ch.Place(PlaceInput{App: app, Want: 1, Members: fleet}) {
+			counts[id]++
+		}
+	}
+	avg := 200.0 / 8.0
+	for _, id := range fleet {
+		if counts[id] == 0 {
+			t.Fatalf("member %s received no apps: %v", id, counts)
+		}
+		if float64(counts[id]) > 3*avg {
+			t.Fatalf("member %s has %d of 200 apps (avg %.0f): ring badly skewed", id, counts[id], avg)
+		}
+	}
+}
+
+// TestLeastLoadedPicksColdMembers: without history the policy fills
+// from the lowest load signal, ties broken by ID.
+func TestLeastLoadedPicksColdMembers(t *testing.T) {
+	ll := LeastLoaded{}
+	got := ll.Place(PlaceInput{
+		App: "imc", Want: 2, Members: []string{"r2", "r0", "r1", "r3"},
+		Load: map[string]float64{"r0": 3, "r1": 0, "r2": 1, "r3": 0},
+	})
+	if !reflect.DeepEqual(got, []string{"r1", "r3"}) {
+		t.Fatalf("Place = %v, want [r1 r3] (lowest load, ties by id)", got)
+	}
+}
+
+// TestLeastLoadedMinimalMovement: surviving previous assignees are
+// kept even when colder members exist — a load wobble must not churn
+// the map — and only dead assignees are replaced.
+func TestLeastLoadedMinimalMovement(t *testing.T) {
+	ll := LeastLoaded{}
+	got := ll.Place(PlaceInput{
+		App: "imc", Want: 2, Members: members(4), Prev: []string{"r01", "r02"},
+		Load: map[string]float64{"r01": 9, "r02": 9, "r00": 0, "r03": 0},
+	})
+	if !reflect.DeepEqual(got, []string{"r01", "r02"}) {
+		t.Fatalf("Place = %v, want previous assignees kept despite load", got)
+	}
+	// One assignee dies: it is replaced, the survivor stays.
+	got = ll.Place(PlaceInput{
+		App: "imc", Want: 2, Members: []string{"r00", "r01", "r03"}, Prev: []string{"r01", "r02"},
+		Load: map[string]float64{"r00": 1, "r03": 0},
+	})
+	if !reflect.DeepEqual(got, []string{"r01", "r03"}) {
+		t.Fatalf("Place = %v, want [r01 r03] (survivor kept, coldest fill-in)", got)
+	}
+}
+
+// TestMapperCanaryWeights: a replica newly added to an app's set
+// starts at CanaryWeight next to established full-weight assignees and
+// is promoted on the following rebuild; a from-scratch placement
+// starts everyone at full weight.
+func TestMapperCanaryWeights(t *testing.T) {
+	m := NewMapper(MapperConfig{Policy: LeastLoaded{}, FullWeight: 100, CanaryWeight: 25})
+	fleet := members(4)
+
+	sm := m.Rebuild([]string{"imc"}, fleet)
+	if len(sm["imc"]) != 1 || sm["imc"][0].Weight != 100 {
+		t.Fatalf("fresh placement = %v, want one full-weight assignee", sm["imc"])
+	}
+	first := sm["imc"][0].Replica
+
+	m.SetCount("imc", 2)
+	sm = m.Rebuild([]string{"imc"}, fleet)
+	if len(sm["imc"]) != 2 {
+		t.Fatalf("after SetCount(2): %v", sm["imc"])
+	}
+	for _, p := range sm["imc"] {
+		want := uint32(25)
+		if p.Replica == first {
+			want = 100
+		}
+		if p.Weight != want {
+			t.Fatalf("placement %v: %s has weight %d, want %d", sm["imc"], p.Replica, p.Weight, want)
+		}
+	}
+
+	sm = m.Rebuild([]string{"imc"}, fleet)
+	for _, p := range sm["imc"] {
+		if p.Weight != 100 {
+			t.Fatalf("canary not promoted on next rebuild: %v", sm["imc"])
+		}
+	}
+}
+
+// TestMapperPlacementsInstallable: rebuild output is always valid
+// router input (non-zero weights, no duplicates).
+func TestMapperPlacementsInstallable(t *testing.T) {
+	m := NewMapper(MapperConfig{DefaultCount: 2, CanaryWeight: 25})
+	rt := router.New(router.Config{})
+	defer rt.Close()
+	for app, pl := range m.Rebuild(apps(20), members(5)) {
+		if err := rt.SetPlacement(app, pl...); err != nil {
+			t.Fatalf("SetPlacement(%s, %v): %v", app, pl, err)
+		}
+	}
+}

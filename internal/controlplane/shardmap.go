@@ -1,0 +1,163 @@
+package controlplane
+
+import (
+	"sort"
+	"sync"
+
+	"djinn/internal/router"
+)
+
+// ShardMap is one full placement: app → weighted replica set, the unit
+// the reconciler diffs and installs into the router.
+type ShardMap map[string][]router.Placement
+
+// MapperConfig parameterizes shard-map construction.
+type MapperConfig struct {
+	Policy Policy // nil = ConsistentHash{}
+	// DefaultCount is the replica count for apps without an explicit
+	// SetCount (default 1).
+	DefaultCount int
+	// FullWeight is an established assignee's traffic weight
+	// (default 100); CanaryWeight is a newly placed assignee's weight
+	// until the next Rebuild promotes it (default = FullWeight, i.e.
+	// no canary ramp). A canary share warms a fresh replica's batches
+	// before it takes a full cut of the traffic.
+	FullWeight   uint32
+	CanaryWeight uint32
+}
+
+// Mapper turns (apps, live members, per-app counts) into a ShardMap.
+// It remembers each app's previous assignment so policies can minimize
+// movement and so new assignees can be told apart from established
+// ones (canary weighting).
+type Mapper struct {
+	cfg MapperConfig
+
+	mu     sync.Mutex
+	counts map[string]int
+	prev   map[string][]string
+}
+
+// NewMapper creates a Mapper; zero-value config fields take defaults.
+func NewMapper(cfg MapperConfig) *Mapper {
+	if cfg.Policy == nil {
+		cfg.Policy = ConsistentHash{}
+	}
+	if cfg.DefaultCount < 1 {
+		cfg.DefaultCount = 1
+	}
+	if cfg.FullWeight == 0 {
+		cfg.FullWeight = 100
+	}
+	if cfg.CanaryWeight == 0 || cfg.CanaryWeight > cfg.FullWeight {
+		cfg.CanaryWeight = cfg.FullWeight
+	}
+	return &Mapper{
+		cfg:    cfg,
+		counts: map[string]int{},
+		prev:   map[string][]string{},
+	}
+}
+
+// Policy returns the mapper's placement policy.
+func (m *Mapper) Policy() Policy { return m.cfg.Policy }
+
+// SetCount sets app's desired replica count (clamped to ≥1).
+func (m *Mapper) SetCount(app string, n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.mu.Lock()
+	m.counts[app] = n
+	m.mu.Unlock()
+}
+
+// Count returns app's desired replica count.
+func (m *Mapper) Count(app string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n, ok := m.counts[app]; ok {
+		return n
+	}
+	return m.cfg.DefaultCount
+}
+
+// Counts snapshots every explicit per-app count.
+func (m *Mapper) Counts() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.counts))
+	for app, n := range m.counts {
+		out[app] = n
+	}
+	return out
+}
+
+// Rebuild computes the shard map for apps over the live members. Apps
+// are placed in sorted order so the per-round load signal (apps
+// assigned so far) is deterministic. Members that carried an app in
+// the previous round keep FullWeight; fresh assignees start at
+// CanaryWeight and are promoted on the next Rebuild that keeps them.
+func (m *Mapper) Rebuild(apps, members []string) ShardMap {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sortedApps := dedupSorted(apps)
+	load := make(map[string]float64, len(members))
+	out := make(ShardMap, len(sortedApps))
+	for _, app := range sortedApps {
+		want := m.cfg.DefaultCount
+		if n, ok := m.counts[app]; ok {
+			want = n
+		}
+		assigned := m.cfg.Policy.Place(PlaceInput{
+			App:     app,
+			Want:    want,
+			Members: members,
+			Prev:    m.prev[app],
+			Load:    load,
+		})
+		if len(assigned) == 0 {
+			continue
+		}
+		established := make(map[string]bool, len(m.prev[app]))
+		for _, id := range m.prev[app] {
+			established[id] = true
+		}
+		pl := make([]router.Placement, len(assigned))
+		hasEstablished := false
+		for _, id := range assigned {
+			hasEstablished = hasEstablished || established[id]
+		}
+		for i, id := range assigned {
+			w := m.cfg.FullWeight
+			// A canary share only makes sense while established
+			// assignees carry the rest of the traffic; a fully fresh
+			// assignment (first placement, or every prior member gone)
+			// starts everyone at full weight.
+			if hasEstablished && !established[id] {
+				w = m.cfg.CanaryWeight
+			}
+			pl[i] = router.Placement{Replica: id, Weight: w}
+			load[id]++
+		}
+		sort.Slice(pl, func(i, j int) bool { return pl[i].Replica < pl[j].Replica })
+		out[app] = pl
+		m.prev[app] = assigned
+	}
+	// Forget apps that are no longer placed at all.
+	for app := range m.prev {
+		if _, ok := out[app]; !ok {
+			found := false
+			for _, a := range sortedApps {
+				if a == app {
+					found = true
+					break
+				}
+			}
+			if !found {
+				delete(m.prev, app)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"djinn/internal/testutil"
+)
+
+// TestControlPlaneRunAcceptance runs a scaled-down kill-mid-load
+// experiment and checks its acceptance invariants: no window loses a
+// query to a hard error, the controller re-places the killed replica's
+// apps within the during-window, and the recovered window serves
+// successfully.
+func TestControlPlaneRunAcceptance(t *testing.T) {
+	testutil.NoLeaks(t)
+	if testing.Short() {
+		t.Skip("multi-window fleet run")
+	}
+	res, err := ControlPlaneRun(3, 300*time.Millisecond, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []struct {
+		name  string
+		total int64
+		errs  int64
+	}{
+		{"healthy", res.Before.Total.Issued(), res.Before.Total.Errors},
+		{"kill", res.During.Total.Issued(), res.During.Total.Errors},
+		{"recovered", res.After.Total.Issued(), res.After.Total.Errors},
+	} {
+		if w.total == 0 {
+			t.Fatalf("%s window issued nothing", w.name)
+		}
+		if w.errs != 0 {
+			t.Fatalf("%s window lost %d queries to hard errors", w.name, w.errs)
+		}
+	}
+	if res.RebalanceTime <= 0 || res.RebalanceTime > time.Second {
+		t.Fatalf("implausible rebalance time %v", res.RebalanceTime)
+	}
+	if res.Metrics.Dead != 1 {
+		t.Fatalf("%d dead members at the end, want 1", res.Metrics.Dead)
+	}
+	if res.After.Total.Queries == 0 {
+		t.Fatal("recovered window served nothing")
+	}
+}

@@ -1,0 +1,161 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Placement support is the router half of the cluster control plane:
+// instead of fanning every application across every replica, a shard
+// map restricts each app to a weighted subset of the fleet. The control
+// plane (internal/controlplane) computes assignments and installs them
+// here; the router enforces them on every pick — regular attempts,
+// retries, and recovery probes alike.
+//
+// Weights bias selection inside an app's replica set: a replica with
+// weight 25 against a replica with weight 100 receives one fifth of the
+// traffic under the default policy (a deterministic weighted counter)
+// and is compared at 4× its raw load by the load-based policies — the
+// mechanism the control plane uses to warm a canary assignment before
+// promoting it to a full share.
+
+// Placement is one arm of an application's shard-map entry: the replica
+// (by router backend ID) and its traffic weight. Weight zero is
+// invalid; relative weights set the traffic proportions.
+type Placement struct {
+	Replica string
+	Weight  uint32
+}
+
+// placement is the compiled replica subset for one application.
+type placement struct {
+	order   []Placement       // installation order, for snapshots
+	weights map[string]uint32 // replica id → weight
+	rr      atomic.Uint64     // weighted round-robin counter
+}
+
+// compilePlacement validates and indexes a placement list.
+func compilePlacement(placements []Placement) (*placement, error) {
+	if len(placements) == 0 {
+		return nil, fmt.Errorf("router: placement needs at least one replica")
+	}
+	p := &placement{
+		order:   append([]Placement(nil), placements...),
+		weights: make(map[string]uint32, len(placements)),
+	}
+	for i, pl := range placements {
+		if pl.Replica == "" {
+			return nil, fmt.Errorf("router: placement %d has an empty replica id", i)
+		}
+		if pl.Weight == 0 {
+			return nil, fmt.Errorf("router: placement for %q has zero weight", pl.Replica)
+		}
+		if _, dup := p.weights[pl.Replica]; dup {
+			return nil, fmt.Errorf("router: duplicate placement for %q", pl.Replica)
+		}
+		p.weights[pl.Replica] = pl.Weight
+	}
+	return p, nil
+}
+
+// weightOf returns the replica's traffic weight under this placement
+// (0 = not placed). A nil placement places every replica at weight 1.
+func (p *placement) weightOf(id string) uint32 {
+	if p == nil {
+		return 1
+	}
+	return p.weights[id]
+}
+
+// SetPlacement installs (or replaces) the shard-map entry for one
+// application: queries for app are routed only to the listed replicas,
+// in proportion to their weights. Replicas need not be registered yet —
+// an unknown ID simply matches nothing until its backend joins. Queries
+// already dispatched are unaffected.
+func (rt *Router) SetPlacement(app string, placements ...Placement) error {
+	p, err := compilePlacement(placements)
+	if err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.placements == nil {
+		rt.placements = make(map[string]*placement)
+	}
+	rt.placements[app] = p
+	return nil
+}
+
+// ClearPlacement removes app's shard-map entry; its queries fan across
+// the whole fleet again.
+func (rt *Router) ClearPlacement(app string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.placements, app)
+}
+
+// Placements snapshots every installed shard-map entry: app →
+// placements in installation order, apps iterable in sorted order via
+// PlacementApps.
+func (rt *Router) Placements() map[string][]Placement {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make(map[string][]Placement, len(rt.placements))
+	for app, p := range rt.placements {
+		out[app] = append([]Placement(nil), p.order...)
+	}
+	return out
+}
+
+// PlacementApps returns the app names with a shard-map entry, sorted.
+func (rt *Router) PlacementApps() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	apps := make([]string, 0, len(rt.placements))
+	for app := range rt.placements {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	return apps
+}
+
+// placementFor resolves the live placement of one application (nil =
+// unrestricted).
+func (rt *Router) placementFor(app string) *placement {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.placements[app]
+}
+
+// pickWeighted selects among candidates by their placement weights with
+// a deterministic weighted counter (like the canary split's): pick c
+// lands in the cumulative-weight bucket of c mod total, so proportions
+// are exact over any window, with no sampling noise.
+func (p *placement) pickWeighted(candidates []*replica) *replica {
+	var total uint64
+	for _, r := range candidates {
+		total += uint64(p.weightOf(r.id))
+	}
+	if total == 0 {
+		return candidates[0]
+	}
+	x := (p.rr.Add(1) - 1) % total
+	var cum uint64
+	for _, r := range candidates {
+		cum += uint64(p.weightOf(r.id))
+		if x < cum {
+			return r
+		}
+	}
+	return candidates[len(candidates)-1]
+}
+
+// lessLoaded compares two replicas' weighted load under a placement:
+// the winner has the lower load per unit of weight (cross-multiplied to
+// stay in integers). With a nil placement both weights are 1 and the
+// comparison degrades to the raw load order.
+func (p *placement) lessLoaded(a, b *replica) bool {
+	wa, wb := p.weightOf(a.id), p.weightOf(b.id)
+	return a.load()*int64(wb) < b.load()*int64(wa)
+}

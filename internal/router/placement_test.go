@@ -1,0 +1,242 @@
+package router
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"djinn/internal/service"
+)
+
+func transportErr() error {
+	return fmt.Errorf("%w: connection reset", service.ErrTransport)
+}
+
+// TestPlacementValidation: a shard-map entry must name at least one
+// replica, with non-zero weights and no duplicates.
+func TestPlacementValidation(t *testing.T) {
+	rt := New(Config{})
+	defer rt.Close()
+	cases := []struct {
+		name string
+		pl   []Placement
+	}{
+		{"empty", nil},
+		{"zero weight", []Placement{{Replica: "r0", Weight: 0}}},
+		{"empty id", []Placement{{Replica: "", Weight: 1}}},
+		{"duplicate", []Placement{{Replica: "r0", Weight: 1}, {Replica: "r0", Weight: 2}}},
+	}
+	for _, tc := range cases {
+		if err := rt.SetPlacement("app", tc.pl...); err == nil {
+			t.Errorf("%s: SetPlacement accepted invalid placement %v", tc.name, tc.pl)
+		}
+	}
+	if err := rt.SetPlacement("app", Placement{Replica: "r0", Weight: 1}); err != nil {
+		t.Fatalf("valid placement rejected: %v", err)
+	}
+	if apps := rt.PlacementApps(); len(apps) != 1 || apps[0] != "app" {
+		t.Fatalf("PlacementApps = %v, want [app]", apps)
+	}
+}
+
+// TestPlacementRestrictsRouting: with a shard-map entry installed,
+// queries flow only to the placed replicas, in exact weight proportion
+// under the default policy's deterministic weighted counter.
+func TestPlacementRestrictsRouting(t *testing.T) {
+	rt := New(Config{})
+	defer rt.Close()
+	fakes := make([]*fakeBackend, 3)
+	for i := range fakes {
+		fakes[i] = &fakeBackend{}
+		if err := rt.AddBackend(fmt.Sprintf("r%d", i), fakes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.SetPlacement("tiny",
+		Placement{Replica: "r0", Weight: 3},
+		Placement{Replica: "r1", Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := rt.Infer("tiny", []float32{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fakes[2].calls.Load(); got != 0 {
+		t.Fatalf("unplaced replica r2 served %d queries", got)
+	}
+	if c0, c1 := fakes[0].calls.Load(), fakes[1].calls.Load(); c0 != 75 || c1 != 25 {
+		t.Fatalf("weighted split = %d/%d, want exactly 75/25", c0, c1)
+	}
+
+	// Clearing the entry re-opens the whole fleet.
+	rt.ClearPlacement("tiny")
+	for i := 0; i < 30; i++ {
+		if _, err := rt.Infer("tiny", []float32{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fakes[2].calls.Load(); got == 0 {
+		t.Fatal("r2 still excluded after ClearPlacement")
+	}
+}
+
+// TestPlacementRetriesStayInside: when a placed replica fails, the
+// retry goes to another placed replica — never to a replica outside the
+// app's shard-map entry, even though the fleet has spare capacity.
+func TestPlacementRetriesStayInside(t *testing.T) {
+	rt := New(Config{})
+	defer rt.Close()
+	fakes := make([]*fakeBackend, 3)
+	for i := range fakes {
+		fakes[i] = &fakeBackend{}
+		if err := rt.AddBackend(fmt.Sprintf("r%d", i), fakes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.SetPlacement("tiny",
+		Placement{Replica: "r0", Weight: 1},
+		Placement{Replica: "r1", Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	fakes[0].setErr(transportErr())
+	for i := 0; i < 20; i++ {
+		if _, err := rt.Infer("tiny", []float32{1}); err != nil {
+			t.Fatalf("query %d: %v (retry should land on r1)", i, err)
+		}
+	}
+	if got := fakes[2].calls.Load(); got != 0 {
+		t.Fatalf("retries leaked onto unplaced replica r2 (%d calls)", got)
+	}
+
+	// Both placed replicas dead: the query fails rather than leaking.
+	fakes[1].setErr(transportErr())
+	if _, err := rt.Infer("tiny", []float32{1}); err == nil {
+		t.Fatal("query succeeded with every placed replica failing")
+	}
+	if got := fakes[2].calls.Load(); got != 0 {
+		t.Fatalf("exhausted retries leaked onto unplaced replica r2 (%d calls)", got)
+	}
+}
+
+// TestProbeConsultsShardMap is the regression test for stale-assignment
+// resurrection: a recovery probe for an app is only placed on replicas
+// that still serve that app. Before the fix, any query could claim any
+// down replica's probe slot — so traffic for an app long since moved
+// off a replica kept re-testing (and resurrecting) the stale
+// assignment.
+func TestProbeConsultsShardMap(t *testing.T) {
+	rt := New(Config{Health: HealthConfig{
+		FailureThreshold: 1,
+		ProbeInterval:    2 * time.Millisecond,
+		MaxProbeInterval: 2 * time.Millisecond,
+	}})
+	defer rt.Close()
+	r0, r1 := &fakeBackend{}, &fakeBackend{}
+	if err := rt.AddBackend("r0", r0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddBackend("r1", r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetPlacement("tiny",
+		Placement{Replica: "r0", Weight: 1},
+		Placement{Replica: "r1", Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetPlacement("other", Placement{Replica: "r1", Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail r1 until it is marked down (threshold 1: one failed attempt).
+	r1.setErr(transportErr())
+	for i := 0; i < 4; i++ {
+		if _, err := rt.Infer("tiny", []float32{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, snap := range rt.Stats() {
+		if snap.ID == "r1" && snap.Healthy {
+			t.Fatal("r1 not marked down by scripted failures")
+		}
+	}
+
+	// The control plane moves the app off r1; the replica itself heals.
+	if err := rt.SetPlacement("tiny", Placement{Replica: "r0", Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r1.setErr(nil)
+	time.Sleep(5 * time.Millisecond) // mark-down expires: r1 is probe-eligible
+	base := r1.calls.Load()
+	for i := 0; i < 50; i++ {
+		if _, err := rt.Infer("tiny", []float32{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r1.calls.Load(); got != base {
+		t.Fatalf("queries for a moved-off app probed the stale replica (%d extra calls)", got-base)
+	}
+
+	// An app still placed on r1 probes and recovers it.
+	if _, err := rt.Infer("other", []float32{1}); err != nil {
+		t.Fatalf("probe query for still-placed app failed: %v", err)
+	}
+	for _, snap := range rt.Stats() {
+		if snap.ID == "r1" && !snap.Healthy {
+			t.Fatal("r1 not recovered by the still-placed app's probe")
+		}
+	}
+}
+
+// TestPlacementUnknownReplica: an entry that matches no registered
+// backend fails cleanly instead of hanging or leaking onto the fleet.
+func TestPlacementUnknownReplica(t *testing.T) {
+	rt := New(Config{})
+	defer rt.Close()
+	f := &fakeBackend{}
+	if err := rt.AddBackend("r0", f); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetPlacement("tiny", Placement{Replica: "ghost", Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := rt.Infer("tiny", []float32{1})
+	if err == nil || !strings.Contains(err.Error(), "no replica placed") {
+		t.Fatalf("err = %v, want no-replica-placed", err)
+	}
+	if got := f.calls.Load(); got != 0 {
+		t.Fatalf("query leaked onto unplaced replica (%d calls)", got)
+	}
+}
+
+// TestPlacementLeastLoadedWeights: load-based policies compare load per
+// unit of weight, so a half-weight replica is chosen only when it has
+// less than half the load of a full-weight one.
+func TestPlacementLeastLoadedWeights(t *testing.T) {
+	rt := New(Config{Policy: LeastOutstanding})
+	defer rt.Close()
+	a, b := &fakeBackend{}, &fakeBackend{}
+	if err := rt.AddBackend("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddBackend("b", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetPlacement("tiny",
+		Placement{Replica: "a", Weight: 4},
+		Placement{Replica: "b", Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// a carries 2 in-flight queries, b carries 1: raw load favours b,
+	// but per-weight load (2/4 < 1/1) favours a.
+	loadReplica(rt, "a", 2)
+	loadReplica(rt, "b", 1)
+	if _, err := rt.Infer("tiny", []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if a.calls.Load() != 1 || b.calls.Load() != 0 {
+		t.Fatalf("least-loaded ignored weights: a=%d b=%d calls, want 1/0",
+			a.calls.Load(), b.calls.Load())
+	}
+}

@@ -265,12 +265,13 @@ func (r *replica) healthy() bool {
 type Router struct {
 	cfg Config
 
-	mu       sync.Mutex
-	replicas []*replica
-	splits   map[string]*split // base app name → live traffic split
-	rr       atomic.Uint64
-	rng      uint64
-	closed   bool
+	mu         sync.Mutex
+	replicas   []*replica
+	splits     map[string]*split     // base app name → live traffic split
+	placements map[string]*placement // base app name → shard-map entry
+	rr         atomic.Uint64
+	rng        uint64
+	closed     bool
 
 	route  *metrics.StageBreakdown
 	traces atomic.Pointer[trace.Store]
@@ -374,19 +375,25 @@ func (rt *Router) policyFor(app string) Policy {
 	return rt.cfg.Policy
 }
 
-// pick selects the replica for one attempt. Priority order: a down
-// replica whose mark-down expired claims this query as its single
-// recovery probe; otherwise the app's policy chooses among healthy
-// replicas not yet tried by this query; if that set is empty the
-// policy chooses among all untried replicas (better to fail fast
-// against a down backend — which also probes it — than to fail without
-// attempting). Returns nil only when every replica has been tried.
+// pick selects the replica for one attempt. When the app has a
+// shard-map entry (SetPlacement) only its placed replicas are ever
+// considered — for regular attempts, for the widened fallback, and for
+// recovery probes, so a query can neither leak onto a replica that no
+// longer serves its app nor resurrect a stale assignment by probing it.
+// Priority order within the placed set: a down replica whose mark-down
+// expired claims this query as its single recovery probe; otherwise the
+// app's policy chooses among healthy replicas not yet tried by this
+// query; if that set is empty the policy chooses among all untried
+// placed replicas (better to fail fast against a down backend — which
+// also probes it — than to fail without attempting). Returns nil only
+// when every eligible replica has been tried.
 func (rt *Router) pick(app string, tried map[*replica]bool) *replica {
 	replicas := rt.snapshotReplicas()
+	pl := rt.placementFor(app)
 	now := time.Now()
 	var candidates []*replica
 	for _, r := range replicas {
-		if tried[r] {
+		if tried[r] || pl.weightOf(r.id) == 0 {
 			continue
 		}
 		if r.claimProbe(now) {
@@ -398,7 +405,7 @@ func (rt *Router) pick(app string, tried map[*replica]bool) *replica {
 	}
 	if len(candidates) == 0 {
 		for _, r := range replicas {
-			if !tried[r] {
+			if !tried[r] && pl.weightOf(r.id) != 0 {
 				candidates = append(candidates, r)
 			}
 		}
@@ -413,7 +420,7 @@ func (rt *Router) pick(app string, tried map[*replica]bool) *replica {
 	case LeastOutstanding:
 		best := candidates[0]
 		for _, r := range candidates[1:] {
-			if r.load() < best.load() {
+			if pl.lessLoaded(r, best) {
 				best = r
 			}
 		}
@@ -422,11 +429,14 @@ func (rt *Router) pick(app string, tried map[*replica]bool) *replica {
 		x := rt.rand()
 		a := candidates[x%uint64(len(candidates))]
 		b := candidates[(x>>32)%uint64(len(candidates))]
-		if b.load() < a.load() {
+		if pl.lessLoaded(b, a) {
 			return b
 		}
 		return a
 	default: // RoundRobin
+		if pl != nil {
+			return pl.pickWeighted(candidates)
+		}
 		return candidates[rt.rr.Add(1)%uint64(len(candidates))]
 	}
 }
@@ -474,7 +484,7 @@ func (rt *Router) InferCtx(ctx context.Context, app string, in []float32) ([]flo
 	// while routing policy and health stay keyed by the base name.
 	target := rt.splitTarget(app)
 	traceID, traceStore := trace.IDFrom(ctx), rt.traces.Load()
-	attempts := rt.maxAttempts(n)
+	attempts := rt.maxAttempts(rt.eligibleCount(app, n))
 	tried := make(map[*replica]bool, attempts)
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -521,7 +531,30 @@ func (rt *Router) InferCtx(ctx context.Context, app string, in []float32) ([]flo
 		lastErr = err
 		tried[rep] = true
 	}
+	if lastErr == nil {
+		return nil, fmt.Errorf("router: no replica placed for %s", app)
+	}
 	return nil, fmt.Errorf("router: %s failed on %d attempt(s): %w", app, attempts, lastErr)
+}
+
+// eligibleCount is how many registered replicas may serve app: the size
+// of its placed-and-registered subset, or the whole fleet when the app
+// has no shard-map entry (or its entry matches nothing yet).
+func (rt *Router) eligibleCount(app string, n int) int {
+	pl := rt.placementFor(app)
+	if pl == nil {
+		return n
+	}
+	count := 0
+	for _, r := range rt.snapshotReplicas() {
+		if pl.weightOf(r.id) != 0 {
+			count++
+		}
+	}
+	if count == 0 {
+		return n
+	}
+	return count
 }
 
 // attemptNote summarises one routing attempt for its trace span: which

@@ -233,6 +233,7 @@ type Info struct {
 	Rejected int64         // queries refused at admission since start
 	Queued   int64         // instances admitted but not yet executed
 	EstWait  time.Duration // delay estimate a 1-instance query would see now
+	P99      time.Duration // p99 server-side latency over the recent window
 }
 
 // AdmissionRate is the fraction of admission decisions that admitted,
@@ -250,6 +251,7 @@ func (c *Controller) Snapshot() Info {
 	c.mu.Lock()
 	perInst := c.perInstNS
 	batch, window := c.aimd.Batch(), c.aimd.Window()
+	p99 := c.recentP99Locked()
 	c.mu.Unlock()
 	return Info{
 		SLO:      c.cfg.SLO,
@@ -260,6 +262,7 @@ func (c *Controller) Snapshot() Info {
 		Rejected: c.rejected.Load(),
 		Queued:   c.queued.Load(),
 		EstWait:  c.estimate(perInst, window, 1),
+		P99:      p99,
 	}
 }
 
@@ -267,9 +270,9 @@ func (c *Controller) Snapshot() Info {
 // key=value fields, one line. ParseInfo inverts it.
 func (i Info) String() string {
 	return fmt.Sprintf(
-		"slo=%s priority=%s batch=%d window=%s admitted=%d rejected=%d queued=%d est_wait=%s admission_rate=%.3f",
+		"slo=%s priority=%s batch=%d window=%s admitted=%d rejected=%d queued=%d est_wait=%s p99=%s admission_rate=%.3f",
 		i.SLO, i.Priority, i.Batch, i.Window,
-		i.Admitted, i.Rejected, i.Queued, i.EstWait, i.AdmissionRate())
+		i.Admitted, i.Rejected, i.Queued, i.EstWait, i.P99, i.AdmissionRate())
 }
 
 // ParseInfo parses a "sched" control verb reply back into an Info.
@@ -301,12 +304,14 @@ func ParseInfo(s string) (Info, error) {
 			info.Queued, err = strconv.ParseInt(v, 10, 64)
 		case "est_wait":
 			info.EstWait, err = time.ParseDuration(v)
+		case "p99":
+			info.P99, err = time.ParseDuration(v)
 		}
 		if err != nil {
 			return Info{}, fmt.Errorf("sched: bad %s value %q: %v", k, v, err)
 		}
 	}
-	if info.SLO < 0 || info.Batch < 0 || info.Window < 0 || info.EstWait < 0 {
+	if info.SLO < 0 || info.Batch < 0 || info.Window < 0 || info.EstWait < 0 || info.P99 < 0 {
 		return Info{}, fmt.Errorf("sched: negative field in %q", s)
 	}
 	return info, nil

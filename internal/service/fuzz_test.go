@@ -153,6 +153,12 @@ func FuzzControlRoundTrip(f *testing.F) {
 	f.Add("model load imc@v2")
 	f.Add("model evict imc")
 	f.Add("model evict imc@v1")
+	f.Add("placement")
+	f.Add("placement imc")
+	f.Add("members")
+	f.Add("autoscale asr")
+	f.Add("scale imc 3")
+	f.Add("rebalance")
 	f.Fuzz(func(t *testing.T, cmd string) {
 		if len(cmd) == 0 || len(cmd) > 1024 {
 			return

@@ -120,6 +120,68 @@ func (s *Server) ensureStoreApp(id modelstore.ID, m *modelstore.Model) (*app, er
 	return a, nil
 }
 
+// Activate warms one application for serving on this replica — the
+// control plane's placement hook. A name that is already a registered
+// app is a no-op; otherwise the name is resolved against the attached
+// model store, the model is faulted in under the store's budget (mmap +
+// plan compilation), and its application is registered ahead of any
+// traffic, so the first placed query pays no cold-start.
+func (s *Server) Activate(name string) error {
+	if _, ok := s.app(name); ok {
+		return nil
+	}
+	reg := s.ModelRegistry()
+	if reg == nil {
+		return fmt.Errorf("service: cannot activate %q: no model store attached", name)
+	}
+	id, ok := reg.Resolve(name)
+	if !ok {
+		return fmt.Errorf("service: cannot activate unknown application %q", name)
+	}
+	if a, ok := s.app(id.String()); ok && a != nil {
+		return nil
+	}
+	m, err := reg.Acquire(id)
+	if err != nil {
+		return fmt.Errorf("service: activating %s: %w", id, err)
+	}
+	defer reg.Release(id)
+	_, err = s.ensureStoreApp(id, m)
+	return err
+}
+
+// Deactivate drains one application off this replica — the inverse
+// placement hook, run after the control plane has moved the app's
+// traffic elsewhere. It reuses the Unregister drain (gate close, batch
+// under assembly completes, workers exit) and then, when the app was
+// store-backed, evicts the model to return its budget. Eviction is best
+// effort: a pin held by an in-flight straggler keeps the mapping until
+// the store's next eviction pass. Deactivating an app that was never
+// active on this replica is a no-op.
+func (s *Server) Deactivate(name string) error {
+	target := name
+	reg := s.ModelRegistry()
+	var id modelstore.ID
+	resolved := false
+	if reg != nil {
+		if rid, ok := reg.Resolve(name); ok {
+			id, resolved = rid, true
+			target = rid.String()
+		}
+	}
+	err := s.Unregister(target)
+	if err != nil && target != name {
+		if e2 := s.Unregister(name); e2 == nil {
+			err = nil
+		}
+	}
+	if resolved {
+		_ = reg.Evict(id)
+		return nil
+	}
+	return err
+}
+
 // controlModel answers the "model" control verb family:
 //
 //	model list                 one line per registered model

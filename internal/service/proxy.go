@@ -1,0 +1,201 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+
+	"djinn/internal/trace"
+)
+
+// Proxy serves the DjiNN wire protocol on behalf of any ContextBackend
+// — typically a router fronting a fleet of replicas. Clients keep
+// speaking the ordinary framed protocol to one stable address while the
+// control plane moves applications between replicas behind it; a
+// ControlFunc hook lets the owner answer control verbs the backend has
+// no connection for (placement, autoscale, scale) and fall through to
+// fleet-level introspection for the rest.
+type Proxy struct {
+	backend ContextBackend
+	control ControlFunc
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closing  chan struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	logf     func(format string, args ...any)
+}
+
+// ControlFunc answers one control command ("placement", "autoscale",
+// …). Returning an error sends a StatusError reply; the connection
+// stays usable.
+type ControlFunc func(cmd string) (string, error)
+
+// NewProxy wraps a backend in a wire-protocol front end. control may be
+// nil, in which case every control frame is answered with an error.
+func NewProxy(backend ContextBackend, control ControlFunc) *Proxy {
+	return &Proxy{
+		backend: backend,
+		control: control,
+		conns:   map[net.Conn]struct{}{},
+		closing: make(chan struct{}),
+		logf:    log.Printf,
+	}
+}
+
+// SetLogger replaces the proxy's log function (tests use a silent one).
+func (p *Proxy) SetLogger(logf func(string, ...any)) { p.logf = logf }
+
+// Serve accepts connections on l until Close.
+func (p *Proxy) Serve(l net.Listener) error {
+	p.mu.Lock()
+	p.listener = l
+	p.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-p.closing:
+				return nil
+			default:
+				return err
+			}
+		}
+		p.mu.Lock()
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (p *Proxy) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return p.Serve(l)
+}
+
+// Addr returns the listening address, or nil before Serve.
+func (p *Proxy) Addr() net.Addr {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.listener == nil {
+		return nil
+	}
+	return p.listener.Addr()
+}
+
+// Close stops accepting, closes every client connection, and waits for
+// the handlers to exit. In-flight queries already dispatched to the
+// backend fail when their connections close; the backend itself is not
+// closed — it belongs to the caller.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.closing)
+	l := p.listener
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+}
+
+// handle runs one client connection: the same frame loop as
+// Server.handle, with dispatch delegated to the wrapped backend.
+func (p *Proxy) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		p.mu.Lock()
+		delete(p.conns, conn)
+		p.mu.Unlock()
+	}()
+	for {
+		magic, err := readUint32(conn)
+		if err != nil {
+			return
+		}
+		switch magic {
+		case reqMagic, reqTraceMagic:
+			var traceID string
+			if magic == reqTraceMagic {
+				var terr error
+				if traceID, terr = readTraceHeader(conn); terr != nil {
+					return
+				}
+			}
+			appName, budget, in, err := readRequestBody(conn)
+			if err != nil {
+				return
+			}
+			ctx := context.Background()
+			if traceID != "" {
+				ctx = trace.WithID(ctx, traceID)
+			}
+			var cancel context.CancelFunc
+			if budget > 0 {
+				ctx, cancel = context.WithTimeout(ctx, budget)
+			}
+			out, err := p.backend.InferCtx(ctx, appName, in)
+			if cancel != nil {
+				cancel()
+			}
+			if err != nil {
+				if werr := writeResponse(conn, statusFor(err), err.Error(), nil); werr != nil {
+					return
+				}
+				continue
+			}
+			if err := writeResponse(conn, StatusOK, "", out); err != nil {
+				return
+			}
+		case ctrlMagic:
+			cmd, err := readControlBody(conn)
+			if err != nil {
+				return
+			}
+			answer, cerr := p.dispatchControl(cmd)
+			status := byte(StatusOK)
+			if cerr != nil {
+				status, answer = StatusError, cerr.Error()
+			}
+			if err := writeResponse(conn, status, answer, nil); err != nil {
+				return
+			}
+		default:
+			return // protocol violation: drop the connection
+		}
+	}
+}
+
+func (p *Proxy) dispatchControl(cmd string) (string, error) {
+	if strings.TrimSpace(cmd) == "" {
+		return "", fmt.Errorf("service: empty control command")
+	}
+	if p.control == nil {
+		return "", fmt.Errorf("service: proxy has no control handler for %q", cmd)
+	}
+	return p.control(cmd)
+}

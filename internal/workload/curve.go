@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"djinn/internal/metrics"
+	"djinn/internal/models"
+	"djinn/internal/service"
+	"djinn/internal/tensor"
+	"djinn/internal/trace"
+)
+
+// RateCurve modulates offered load over a drive: it maps time since the
+// start of the run to a multiplier on the base arrival rate. The paper's
+// warehouse-scale sizing argument rests on exactly this shape — DNN
+// service demand is not flat, it swings with the day, and a fleet
+// provisioned for the peak idles at the trough. Curves let experiments
+// reproduce that swing against the in-process fleet.
+type RateCurve func(elapsed time.Duration) float64
+
+// FlatCurve is the identity curve: constant offered load.
+func FlatCurve() RateCurve {
+	return func(time.Duration) float64 { return 1 }
+}
+
+// Diurnal compresses a day/night demand cycle into period: the
+// multiplier starts at trough (midnight), climbs a cosine to peak at
+// period/2 (midday), and falls back — so a drive of exactly one period
+// sees one full cycle. trough and peak are multipliers on the base
+// rate, e.g. Diurnal(0.2, 1.0, time.Minute) swings between 20% and
+// 100% of it.
+func Diurnal(trough, peak float64, period time.Duration) RateCurve {
+	if trough < 0 || peak < trough || period <= 0 {
+		panic("workload: Diurnal needs 0 <= trough <= peak and a positive period")
+	}
+	mid := (peak + trough) / 2
+	amp := (peak - trough) / 2
+	return func(elapsed time.Duration) float64 {
+		phase := 2 * math.Pi * float64(elapsed) / float64(period)
+		return mid - amp*math.Cos(phase)
+	}
+}
+
+// Spike is a flat curve with a rectangular burst: base everywhere,
+// burst during [at, at+width). Experiments use it to slam one app of a
+// mix and watch the autoscaler respond.
+func Spike(base, burst float64, at, width time.Duration) RateCurve {
+	return func(elapsed time.Duration) float64 {
+		if elapsed >= at && elapsed < at+width {
+			return burst
+		}
+		return base
+	}
+}
+
+// minRateFloor keeps the arrival process well-defined when a curve
+// dips to (or through) zero: the instantaneous rate never falls below
+// this fraction of the base rate.
+const minRateFloor = 1e-3
+
+// MixEntry is one app's share of a traffic mix.
+type MixEntry struct {
+	Name    string // registered service name to query
+	Weight  int    // relative share of arrivals (> 0)
+	Payload func(*tensor.RNG) []float32
+}
+
+// Mix is a weighted per-app traffic mix: arrivals are dealt to entries
+// in proportion to their weights by a deterministic weighted counter,
+// so a drive of N queries splits exactly N·w/Σw per app (±1), not just
+// in expectation.
+type Mix []MixEntry
+
+// TonicMix builds a mix over Tonic Suite apps with their standard
+// payloads, each registered under its app name.
+func TonicMix(weights map[models.App]int) Mix {
+	apps := make([]models.App, 0, len(weights))
+	for app := range weights {
+		apps = append(apps, app)
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i] < apps[j] })
+	mix := make(Mix, 0, len(apps))
+	for _, app := range apps {
+		app := app
+		mix = append(mix, MixEntry{
+			Name:   app.String(),
+			Weight: weights[app],
+			Payload: func(rng *tensor.RNG) []float32 {
+				return QueryPayload(app, rng)
+			},
+		})
+	}
+	return mix
+}
+
+// validate checks the mix is usable and returns the total weight.
+func (m Mix) validate() (int, error) {
+	if len(m) == 0 {
+		return 0, fmt.Errorf("workload: empty mix")
+	}
+	total := 0
+	seen := map[string]bool{}
+	for _, e := range m {
+		if e.Name == "" || e.Weight <= 0 || e.Payload == nil {
+			return 0, fmt.Errorf("workload: mix entry %q needs a name, positive weight, and payload", e.Name)
+		}
+		if seen[e.Name] {
+			return 0, fmt.Errorf("workload: duplicate mix entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		total += e.Weight
+	}
+	return total, nil
+}
+
+// pick deals arrival n to a mix entry: the counter walks cumulative
+// weight buckets mod the total, so every window of Σw consecutive
+// arrivals contains exactly w queries for each entry.
+func (m Mix) pick(n, total int) int {
+	slot := n % total
+	for i, e := range m {
+		if slot < e.Weight {
+			return i
+		}
+		slot -= e.Weight
+	}
+	return len(m) - 1 // unreachable with a validated mix
+}
+
+// MixedResult is a DriveMixed run: the aggregate stream plus each
+// app's own slice of it.
+type MixedResult struct {
+	Total  DriveResult
+	PerApp map[string]DriveResult
+}
+
+// DriveMixed is the open-loop driver for multi-app traffic: Poisson
+// arrivals at rate·curve(elapsed) queries/sec, each arrival dealt to a
+// mix entry by deterministic weighted counter, outstanding requests
+// bounded by maxInflight. opts.Workers is ignored (arrival rate sets
+// the load); opts.TraceEvery samples across the aggregate stream.
+func DriveMixed(b service.Backend, mix Mix, rate float64, curve RateCurve, maxInflight int, opts DriveOptions) MixedResult {
+	totalWeight, err := mix.validate()
+	if err != nil {
+		panic(err.Error())
+	}
+	if rate <= 0 || maxInflight <= 0 {
+		panic("workload: DriveMixed needs positive rate and inflight bound")
+	}
+	if curve == nil {
+		curve = FlatCurve()
+	}
+
+	aggLat := metrics.NewLatencyRecorder()
+	agg := driveCounters{slo: opts.SLO}
+	perLat := make([]*metrics.LatencyRecorder, len(mix))
+	perCtr := make([]*driveCounters, len(mix))
+	payloads := make([][]float32, len(mix))
+	rng := tensor.NewRNG(99)
+	for i, e := range mix {
+		perLat[i] = metrics.NewLatencyRecorder()
+		perCtr[i] = &driveCounters{slo: opts.SLO}
+		payloads[i] = e.Payload(rng)
+	}
+
+	sem := make(chan struct{}, maxInflight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	stop := start.Add(opts.Duration)
+	arrival := start
+	for n := 0; ; n++ {
+		mult := curve(arrival.Sub(start))
+		if mult < minRateFloor {
+			mult = minRateFloor
+		}
+		arrival = arrival.Add(time.Duration(rng.ExpFloat64() / (rate * mult) * float64(time.Second)))
+		if arrival.After(stop) {
+			break
+		}
+		if d := time.Until(arrival); d > 0 {
+			time.Sleep(d)
+		}
+		i := mix.pick(n, totalWeight)
+		var id string
+		if opts.TraceEvery > 0 && n%opts.TraceEvery == 0 {
+			id = trace.NewID()
+			agg.sampled(id)
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// Classify once into the per-app counters, then mirror the
+			// outcome into the aggregate so Total is an exact sum.
+			switch perCtr[i].issue(b, mix[i].Name, payloads[i], opts.Deadline, id, perLat[i], aggLat) {
+			case outcomeShed:
+				agg.shed.Add(1)
+			case outcomeExpired:
+				agg.expired.Add(1)
+			case outcomeError:
+				agg.errs.Add(1)
+			case outcomeOK:
+				// aggLat already has the sample; SLO misses mirror below.
+			}
+		}(i, id)
+	}
+	wg.Wait()
+
+	res := MixedResult{PerApp: make(map[string]DriveResult, len(mix))}
+	var misses int64
+	for i, e := range mix {
+		r := perCtr[i].result(perLat[i], opts.Duration)
+		misses += r.SLOMisses
+		res.PerApp[e.Name] = r
+	}
+	agg.sloMisses.Store(misses)
+	res.Total = agg.result(aggLat, opts.Duration)
+	return res
+}

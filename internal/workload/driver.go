@@ -99,8 +99,10 @@ const (
 )
 
 // issue sends one query, using the context-aware API when a per-query
-// deadline or trace ID rides it, and classifies the outcome.
-func (c *driveCounters) issue(b service.Backend, name string, payload []float32, deadline time.Duration, traceID string, lat *metrics.LatencyRecorder) outcome {
+// deadline or trace ID rides it, and classifies the outcome. Successful
+// latencies are recorded into every supplied recorder (the mixed driver
+// tees each query into a per-app and an aggregate stream).
+func (c *driveCounters) issue(b service.Backend, name string, payload []float32, deadline time.Duration, traceID string, lats ...*metrics.LatencyRecorder) outcome {
 	t0 := time.Now()
 	var err error
 	if cb, ok := b.(service.ContextBackend); ok && (deadline > 0 || traceID != "") {
@@ -120,7 +122,9 @@ func (c *driveCounters) issue(b service.Backend, name string, payload []float32,
 	switch {
 	case err == nil:
 		elapsed := time.Since(t0)
-		lat.Record(elapsed)
+		for _, lat := range lats {
+			lat.Record(elapsed)
+		}
 		if c.slo > 0 && elapsed > c.slo {
 			c.sloMisses.Add(1)
 		}
