@@ -8,7 +8,7 @@ BENCH_COUNT ?= 5
 BENCH_TIME  ?= 200ms
 BENCH_PKGS  ?= ./internal/tensor/... ./internal/nn/... ./internal/models/...
 
-.PHONY: check vet build test race bench bench-all models
+.PHONY: check vet build test race bench bench-all models dash
 
 # check runs everything CI should gate on: vet, a full build, the full
 # test suite (tier-1), and race-detector runs for the concurrency-heavy
@@ -31,7 +31,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/models/... ./internal/modelstore/... ./internal/service/... ./internal/sched/... ./internal/metrics/... ./internal/router/... ./internal/workload/... ./internal/trace/... ./internal/admin/... ./internal/controlplane/...
+	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/models/... ./internal/modelstore/... ./internal/service/... ./internal/sched/... ./internal/metrics/... ./internal/router/... ./internal/workload/... ./internal/trace/... ./internal/admin/... ./internal/controlplane/... ./internal/timeseries/... ./internal/events/... ./internal/alerts/...
+
+# dash is an observability smoke test: the obsfleet experiment stands
+# up an observed three-replica fleet, kills an assignee mid-load, and
+# prints the journaled alert lifecycle, the merged-histogram fleet
+# p99, and the collector's overhead accounting.
+dash:
+	$(GO) run ./cmd/djinn-bench -exp obsfleet
 
 # models exports all seven Tonic networks as versioned .djw weight
 # files (~850 MB, a one-time cost) and verifies every checksum, so a

@@ -48,11 +48,14 @@ import (
 	"time"
 
 	"djinn"
+	"djinn/internal/alerts"
 	"djinn/internal/controlplane"
+	"djinn/internal/events"
 	"djinn/internal/models"
 	"djinn/internal/nn"
 	"djinn/internal/router"
 	"djinn/internal/service"
+	"djinn/internal/timeseries"
 	"djinn/internal/tonic"
 	"djinn/internal/workload"
 )
@@ -135,9 +138,13 @@ func main() {
 	// registry over the same .djw files and faults models in on first
 	// query — the mappings are MAP_SHARED, so the replicas still share
 	// one page-cache copy per model.
+	// The shared event journal attaches before model registration so
+	// the loads themselves are the journal's first entries.
+	journal := events.New(0)
 	servers := make([]*djinn.Server, *replicas)
 	for i := range servers {
 		srv := djinn.NewServer()
+		srv.SetJournal(journal, fmt.Sprintf("replica-%d", i))
 		if *custom != "" {
 			if err := registerCustom(srv, *custom); err != nil {
 				log.Fatal(err)
@@ -166,6 +173,36 @@ func main() {
 		servers[i] = srv
 	}
 
+	// The rest of the observability plane runs regardless of -admin: a
+	// collector samples per-app stats into time series and a burn-rate
+	// alert engine watches each app's SLO attainment; the journal and
+	// engine answer the "events"/"alerts" control verbs on every
+	// replica. -admin additionally exposes it all over HTTP.
+	targets := make([]timeseries.Target, len(servers))
+	for i := range servers {
+		targets[i] = timeseries.Target{Replica: fmt.Sprintf("replica-%d", i), Server: servers[i]}
+	}
+	collector := timeseries.NewCollector(timeseries.Config{
+		Interval: time.Second,
+		Slots:    600, // ten minutes of per-second samples
+		Targets:  targets,
+	})
+	collector.Run()
+	var rules []alerts.Rule
+	for _, name := range servers[0].Apps() {
+		rules = append(rules, alerts.Rule{
+			App: name, Objective: 0.95,
+			FastWindow: 30 * time.Second, SlowWindow: 150 * time.Second,
+			Pending: 10 * time.Second, MinDemand: 30,
+			KeepFiring: 15 * time.Second,
+		})
+	}
+	engine := alerts.New(collector, journal, rules...)
+	engine.Run(5 * time.Second)
+	for _, srv := range servers {
+		srv.SetAlertsControl(engine.Control)
+	}
+
 	if *adminAddr != "" {
 		// Each replica gets a store labelled with its name so the slow
 		// log and /trace can tell the fleet's tiers apart.
@@ -178,9 +215,15 @@ func main() {
 			reps[i] = djinn.AdminReplica{Name: name, Server: srv}
 			stores[i] = st
 		}
-		handler := djinn.NewAdminHandler(djinn.AdminOptions{Replicas: reps, Stores: stores})
+		handler := djinn.NewAdminHandler(djinn.AdminOptions{
+			Replicas:  reps,
+			Stores:    stores,
+			Journal:   journal,
+			Collector: collector,
+			Alerts:    engine,
+		})
 		go func() {
-			log.Printf("admin plane on http://%s (/metrics /slowlog /trace?id= /debug/pprof/)", *adminAddr)
+			log.Printf("admin plane on http://%s (/metrics /slowlog /trace?id= /events /dash /debug/pprof/)", *adminAddr)
 			if err := http.ListenAndServe(*adminAddr, handler); err != nil {
 				log.Fatalf("admin listener: %v", err)
 			}
@@ -256,6 +299,7 @@ func runControlPlane(selected []djinn.App, addr, adminAddr string, replicas, cou
 		nets[apps[i]] = models.BuildCached(a)
 	}
 
+	journal := events.New(0)
 	rt := router.New(router.Config{
 		Policy: router.LeastOutstanding,
 		Health: router.HealthConfig{
@@ -264,6 +308,7 @@ func runControlPlane(selected []djinn.App, addr, adminAddr string, replicas, cou
 			MaxProbeInterval: 10 * time.Second,
 		},
 	})
+	rt.SetJournal(journal)
 	ctl := controlplane.NewController(controlplane.Config{
 		Router: rt,
 		Mapper: controlplane.NewMapper(controlplane.MapperConfig{
@@ -275,6 +320,7 @@ func runControlPlane(selected []djinn.App, addr, adminAddr string, replicas, cou
 		Apps:       apps,
 		DrainDelay: 2 * interval,
 		Logf:       log.Printf,
+		Journal:    journal,
 	})
 
 	servers := make([]*djinn.Server, replicas)
@@ -283,6 +329,7 @@ func runControlPlane(selected []djinn.App, addr, adminAddr string, replicas, cou
 	for i := range servers {
 		name := fmt.Sprintf("replica-%d", i)
 		srv := djinn.NewServer()
+		srv.SetJournal(journal, name)
 		st := djinn.NewTraceStore(name, 0)
 		srv.SetTraceStore(st)
 		servers[i] = srv
@@ -310,7 +357,45 @@ func runControlPlane(selected []djinn.App, addr, adminAddr string, replicas, cou
 	log.Printf("control plane: placed %d app(s) on %d-of-%d replicas (%d moves); tick %v", len(apps), count, replicas, res.Moves, interval)
 	ctl.Run(interval)
 
-	proxy := service.NewProxy(rt, ctl.Control)
+	// Fleet observability: the collector samples every replica, the
+	// burn-rate engine journals alert transitions, and the front end
+	// answers the "events"/"alerts" verbs itself so tonic never needs a
+	// direct replica connection.
+	targets := make([]timeseries.Target, len(servers))
+	for i := range servers {
+		targets[i] = timeseries.Target{Replica: fmt.Sprintf("replica-%d", i), Server: servers[i]}
+	}
+	collector := timeseries.NewCollector(timeseries.Config{
+		Interval: time.Second,
+		Slots:    600,
+		Targets:  targets,
+	})
+	collector.Run()
+	rules := make([]alerts.Rule, len(apps))
+	for i, name := range apps {
+		rules[i] = alerts.Rule{
+			App: name, Objective: 0.95,
+			FastWindow: 30 * time.Second, SlowWindow: 150 * time.Second,
+			Pending: 10 * time.Second, MinDemand: 30,
+			KeepFiring: 15 * time.Second,
+		}
+	}
+	engine := alerts.New(collector, journal, rules...)
+	engine.Run(5 * time.Second)
+
+	control := func(cmd string) (string, error) {
+		fields := strings.Fields(cmd)
+		if len(fields) > 0 {
+			switch fields[0] {
+			case "events":
+				return journal.Control(fields[1:])
+			case "alerts":
+				return engine.Control(fields[1:])
+			}
+		}
+		return ctl.Control(cmd)
+	}
+	proxy := service.NewProxy(rt, control)
 	proxy.SetLogger(log.Printf)
 
 	if adminAddr != "" {
@@ -319,9 +404,12 @@ func runControlPlane(selected []djinn.App, addr, adminAddr string, replicas, cou
 			Router:       rt,
 			ControlPlane: ctl,
 			Stores:       stores,
+			Journal:      journal,
+			Collector:    collector,
+			Alerts:       engine,
 		})
 		go func() {
-			log.Printf("admin plane on http://%s (/metrics /slowlog /trace?id= /debug/pprof/)", adminAddr)
+			log.Printf("admin plane on http://%s (/metrics /slowlog /trace?id= /events /dash /debug/pprof/)", adminAddr)
 			if err := http.ListenAndServe(adminAddr, handler); err != nil {
 				log.Fatalf("admin listener: %v", err)
 			}

@@ -18,6 +18,15 @@
 //	tonic [-addr ...]       trace <id>
 //	tonic [-addr ...]       trace -slowest 5
 //	tonic [-addr ...]       control <verb> [args...]   (control-plane front end: placement, members, autoscale, scale, rebalance)
+//	tonic [-addr ...]       events [-n 20] [-kind markdown] [-follow]
+//	tonic                   top [-admin 127.0.0.1:7421] [-interval 1s] [-once]
+//
+// events tails the server's structured event journal (mark-downs,
+// placement flips, autoscales, canary moves, model lifecycle, alert
+// transitions); -follow polls for new entries by sequence number. top
+// is a live fleet dashboard over the admin plane's /dash endpoint —
+// per-app QPS/p99/attainment with sparklines, per-replica rates, alert
+// states, and the journal tail; it talks to -admin, not -addr.
 //
 // Image and audio inputs are synthesised deterministically when not
 // supplied (the models carry synthetic weights, so predictions
@@ -25,10 +34,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,8 +55,14 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed for synthetic inputs")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tonic [-addr host:port] <pos|chk|ner|dig|imc|face|asr|stats|sched|latency|models|trace|bench|control> [args]")
+		fmt.Fprintln(os.Stderr, "usage: tonic [-addr host:port] <pos|chk|ner|dig|imc|face|asr|stats|sched|latency|models|trace|bench|control|events|top> [args]")
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "top" {
+		// The dashboard reads the admin HTTP plane, not the serving
+		// protocol — no client connection needed.
+		runTop(flag.Args()[1:])
+		return
 	}
 	client, err := djinn.Dial(*addr)
 	if err != nil {
@@ -235,6 +254,47 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(stats)
+	case "events":
+		fs := flag.NewFlagSet("events", flag.ExitOnError)
+		n := fs.Int("n", 20, "number of recent events")
+		kind := fs.String("kind", "", "only events of this kind (markdown, recover, placement, autoscale, canary, model, member, alert)")
+		follow := fs.Bool("follow", false, "poll for new events after printing the tail")
+		every := fs.Duration("every", time.Second, "poll interval with -follow")
+		fs.Parse(args)
+		verb := fmt.Sprintf("events %d", *n)
+		if *kind != "" {
+			verb = fmt.Sprintf("events kind %s %d", *kind, *n)
+		}
+		out, err := client.Control(verb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seq := printEvents(out, 0)
+		if !*follow {
+			break
+		}
+		// Follow mode: the journal assigns strictly increasing sequence
+		// numbers, so "events since <seq>" never misses or repeats an
+		// entry even while the ring overwrites. Kind filtering is
+		// client-side here to keep the cursor exact.
+		for range time.Tick(*every) {
+			out, err := client.Control(fmt.Sprintf("events since %d", seq))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *kind != "" {
+				var kept []string
+				for _, line := range strings.Split(out, "\n") {
+					if strings.Contains(line, "] "+*kind+":") {
+						kept = append(kept, line)
+					} else if s, ok := parseEventSeq(line); ok && s > seq {
+						seq = s
+					}
+				}
+				out = strings.Join(kept, "\n")
+			}
+			seq = printEvents(out, seq)
+		}
 	case "trace":
 		fs := flag.NewFlagSet("trace", flag.ExitOnError)
 		slowest := fs.Int("slowest", 0, "list the server's N slowest retained traces instead of one ID")
@@ -269,4 +329,208 @@ func indent(s string) string {
 		lines[i] = "  " + l
 	}
 	return strings.Join(lines, "\n") + "\n"
+}
+
+// printEvents prints journal lines (skipping the "(no events)"
+// placeholder) and returns the highest sequence number seen, so follow
+// mode can resume from it.
+func printEvents(out string, seq uint64) uint64 {
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || line == "(no events)" {
+			continue
+		}
+		fmt.Println(line)
+		if s, ok := parseEventSeq(line); ok && s > seq {
+			seq = s
+		}
+	}
+	return seq
+}
+
+// parseEventSeq extracts N from a journal line's leading "#N ".
+func parseEventSeq(line string) (uint64, bool) {
+	if !strings.HasPrefix(line, "#") {
+		return 0, false
+	}
+	head, _, ok := strings.Cut(line[1:], " ")
+	if !ok {
+		return 0, false
+	}
+	s, err := strconv.ParseUint(head, 10, 64)
+	return s, err == nil
+}
+
+// dashView mirrors the admin plane's /dash JSON (admin.DashResponse);
+// durations arrive as nanosecond integers.
+type dashView struct {
+	Interval time.Duration `json:"interval_ns"`
+	Window   time.Duration `json:"window_ns"`
+	Apps     []struct {
+		App         string        `json:"app"`
+		SLO         time.Duration `json:"slo_ns"`
+		QPS         float64       `json:"qps"`
+		P50         time.Duration `json:"p50_ns"`
+		P99         time.Duration `json:"p99_ns"`
+		Attainment  float64       `json:"attainment"`
+		ShedRate    float64       `json:"shed_rate"`
+		QPSSpark    []float64     `json:"qps_spark"`
+		AttainSpark []float64     `json:"attain_spark"`
+	} `json:"apps"`
+	Replicas []struct {
+		Replica       string        `json:"replica"`
+		App           string        `json:"app"`
+		QPS           float64       `json:"qps"`
+		P99           time.Duration `json:"p99_ns"`
+		QPSSpark      []float64     `json:"qps_spark"`
+		ResidentBytes int64         `json:"resident_bytes"`
+	} `json:"replicas"`
+	Alerts []struct {
+		Rule struct {
+			App       string  `json:"App"`
+			Objective float64 `json:"Objective"`
+		} `json:"rule"`
+		State    string  `json:"state"`
+		FastBurn float64 `json:"fast_burn"`
+		SlowBurn float64 `json:"slow_burn"`
+		Fires    int64   `json:"fires"`
+	} `json:"alerts"`
+	Events []struct {
+		Seq    uint64    `json:"seq"`
+		Time   time.Time `json:"time"`
+		Kind   string    `json:"kind"`
+		Source string    `json:"source"`
+		Msg    string    `json:"msg"`
+	} `json:"events"`
+}
+
+// runTop renders a live fleet dashboard from the admin /dash endpoint.
+func runTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	admin := fs.String("admin", "127.0.0.1:7421", "admin HTTP plane address (djinn-service -admin)")
+	interval := fs.Duration("interval", time.Second, "refresh interval")
+	once := fs.Bool("once", false, "print one frame and exit (no screen clearing)")
+	fs.Parse(args)
+
+	url := fmt.Sprintf("http://%s/dash?spark=30&events=8", *admin)
+	for {
+		var d dashView
+		if err := getJSON(url, &d); err != nil {
+			log.Fatalf("fetching %s: %v (start djinn-service with -admin)", url, err)
+		}
+		frame := renderDash(&d)
+		if *once {
+			fmt.Print(frame)
+			return
+		}
+		// Clear and home between frames so the dashboard repaints in
+		// place.
+		fmt.Print("\x1b[2J\x1b[H" + frame)
+		time.Sleep(*interval)
+	}
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, v)
+}
+
+func renderDash(d *dashView) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "tonic top — %s  (window %v, tick %v)\n\n",
+		time.Now().Format("15:04:05"), d.Window, d.Interval)
+
+	fmt.Fprintf(&sb, "%-12s %9s %9s %9s %7s %6s  %s\n", "APP", "QPS", "P50", "P99", "ATTAIN", "SHED", "QPS TREND")
+	for _, a := range d.Apps {
+		slo := ""
+		if a.SLO > 0 && a.P99 > a.SLO {
+			slo = " !slo"
+		}
+		fmt.Fprintf(&sb, "%-12s %9.1f %9s %9s %7.3f %6.3f  %s%s\n",
+			a.App, a.QPS, fmtDur(a.P50), fmtDur(a.P99), a.Attainment, a.ShedRate, spark(a.QPSSpark), slo)
+	}
+	if len(d.Apps) == 0 {
+		sb.WriteString("(no app traffic sampled yet)\n")
+	}
+
+	sb.WriteString("\nALERTS\n")
+	if len(d.Alerts) == 0 {
+		sb.WriteString("(no alert rules)\n")
+	}
+	for _, al := range d.Alerts {
+		marker := " "
+		if al.State == "firing" {
+			marker = "!"
+		}
+		fmt.Fprintf(&sb, "%s %-12s %-8s objective %.1f%%  burn fast %.2fx slow %.2fx  fires %d\n",
+			marker, al.Rule.App, al.State, al.Rule.Objective*100, al.FastBurn, al.SlowBurn, al.Fires)
+	}
+
+	if len(d.Replicas) > 0 {
+		sb.WriteString("\nREPLICA\n")
+		for _, r := range d.Replicas {
+			res := ""
+			if r.ResidentBytes > 0 {
+				res = fmt.Sprintf("  resident %.1f MB", float64(r.ResidentBytes)/(1<<20))
+			}
+			fmt.Fprintf(&sb, "%-12s %-10s %9.1f qps %9s p99  %s%s\n",
+				r.Replica, r.App, r.QPS, fmtDur(r.P99), spark(r.QPSSpark), res)
+		}
+	}
+
+	if len(d.Events) > 0 {
+		sb.WriteString("\nEVENTS\n")
+		for _, e := range d.Events {
+			fmt.Fprintf(&sb, "#%d %s [%s] %s: %s\n", e.Seq, e.Time.Format("15:04:05.000"), e.Source, e.Kind, e.Msg)
+		}
+	}
+	return sb.String()
+}
+
+// sparkLevels are the eight block glyphs a sparkline quantises into.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders a series as a fixed-height sparkline scaled to its own
+// maximum.
+func spark(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		lvl := 0
+		if max > 0 && v > 0 {
+			lvl = int(v / max * float64(len(sparkLevels)-1))
+		}
+		out[i] = sparkLevels[lvl]
+	}
+	return string(out)
+}
+
+// fmtDur renders a latency compactly (µs under 1ms, ms otherwise).
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	default:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	}
 }

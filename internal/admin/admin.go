@@ -19,12 +19,15 @@ import (
 	"strings"
 	"time"
 
+	"djinn/internal/alerts"
 	"djinn/internal/controlplane"
+	"djinn/internal/events"
 	"djinn/internal/metrics"
 	"djinn/internal/modelstore"
 	"djinn/internal/router"
 	"djinn/internal/sched"
 	"djinn/internal/service"
+	"djinn/internal/timeseries"
 	"djinn/internal/trace"
 )
 
@@ -53,6 +56,21 @@ type Options struct {
 	// SlowLog bounds the /slowlog response to the K worst traces.
 	// Zero means 10.
 	SlowLog int
+	// Journal, when set, serves the structured fleet event log on
+	// /events.
+	Journal *events.Journal
+	// Collector, when set, serves the fleet time-series rollups on
+	// /dash and contributes djinn_fleet_* gauges to /metrics.
+	Collector *timeseries.Collector
+	// Alerts, when set, contributes alert states to /dash and the
+	// djinn_alert_* family to /metrics.
+	Alerts *alerts.Engine
+	// DashWindow is the trailing window /dash aggregates over (default
+	// 30s).
+	DashWindow time.Duration
+	// Runtime disables the djinn_runtime_* Go runtime family on
+	// /metrics when false is wanted; default (zero value) exports it.
+	NoRuntimeMetrics bool
 }
 
 // NewHandler builds the admin HTTP handler:
@@ -60,10 +78,15 @@ type Options struct {
 //	/metrics        Prometheus text exposition
 //	/slowlog        JSON: the K slowest retained traces, worst first
 //	/trace?id=<id>  JSON: one trace merged across this process's tiers
+//	/events         JSON: the structured fleet event journal
+//	/dash           JSON: fleet rollups + alert states (tonic top reads it)
 //	/debug/pprof/   the standard Go profiler endpoints
 func NewHandler(opts Options) http.Handler {
 	if opts.SlowLog <= 0 {
 		opts.SlowLog = 10
+	}
+	if opts.DashWindow <= 0 {
+		opts.DashWindow = 30 * time.Second
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -88,6 +111,12 @@ func NewHandler(opts Options) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(traceEntry(tr))
 	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(w, r, opts.Journal)
+	})
+	mux.HandleFunc("/dash", func(w http.ResponseWriter, r *http.Request) {
+		serveDash(w, r, opts)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -98,7 +127,7 @@ func NewHandler(opts Options) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		io.WriteString(w, "djinn admin: /metrics /slowlog /trace?id= /debug/pprof/\n")
+		io.WriteString(w, "djinn admin: /metrics /slowlog /trace?id= /events /dash /debug/pprof/\n")
 	})
 	return mux
 }
@@ -225,6 +254,7 @@ func writeMetrics(w io.Writer, opts Options) {
 			}
 		}
 
+		writeRequestLatency(w, opts)
 		writeSchedMetrics(w, opts)
 		writeModelMetrics(w, opts)
 
@@ -292,6 +322,21 @@ func writeMetrics(w io.Writer, opts Options) {
 			}
 			fmt.Fprintf(w, "djinn_traces_retained{tier=%q} %d\n", st.Tier(), st.Len())
 		}
+	}
+
+	if opts.Journal != nil {
+		fmt.Fprintln(w, "# HELP djinn_events_total Events appended to the fleet journal (monotone; survives ring overwrite).")
+		fmt.Fprintln(w, "# TYPE djinn_events_total counter")
+		fmt.Fprintf(w, "djinn_events_total %d\n", opts.Journal.LastSeq())
+	}
+	if opts.Collector != nil {
+		writeFleetMetrics(w, opts.Collector, opts.DashWindow)
+	}
+	if opts.Alerts != nil {
+		writeAlertMetrics(w, opts.Alerts)
+	}
+	if !opts.NoRuntimeMetrics {
+		writeRuntimeMetrics(w)
 	}
 }
 
@@ -480,17 +525,27 @@ func writeSplitMetrics(w io.Writer, rt *router.Router) {
 
 // writeHistogram emits one Prometheus histogram series. The snapshot's
 // per-bucket counts become cumulative le-labelled buckets; durations
-// become seconds.
+// become seconds. A bucket that retained a traced sample carries an
+// OpenMetrics-style exemplar (`# {trace_id="..."} <seconds>`) pointing
+// at the trace /slowlog and /trace?id= can expand.
 func writeHistogram(w io.Writer, name, labels string, h metrics.HistogramSnapshot) {
 	var cum int64
 	for i, bound := range h.Bounds {
 		cum += h.Counts[i]
-		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, labels, formatLe(bound), cum)
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d%s\n", name, labels, formatLe(bound), cum, exemplarSuffix(h, i))
 	}
 	cum += h.Counts[len(h.Counts)-1]
-	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d%s\n", name, labels, cum, exemplarSuffix(h, len(h.Counts)-1))
 	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.Sum.Seconds())
 	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count)
+}
+
+func exemplarSuffix(h metrics.HistogramSnapshot, i int) string {
+	if i >= len(h.Exemplars) || h.Exemplars[i].TraceID == "" {
+		return ""
+	}
+	ex := h.Exemplars[i]
+	return fmt.Sprintf(" # {trace_id=%q} %g", ex.TraceID, ex.Value.Seconds())
 }
 
 // formatLe renders a bucket bound in seconds without exponent noise

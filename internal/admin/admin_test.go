@@ -131,6 +131,11 @@ func TestMetricsHistogramBucketsCumulative(t *testing.T) {
 			continue
 		}
 		n++
+		// An exemplar suffix (` # {trace_id="..."} 0.0042`) follows the
+		// bucket value; strip it before parsing.
+		if idx := strings.Index(line, " # "); idx >= 0 {
+			line = line[:idx]
+		}
 		fields := strings.Fields(line)
 		v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
 		if err != nil {

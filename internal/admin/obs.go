@@ -1,0 +1,293 @@
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	runtimemetrics "runtime/metrics"
+	"strconv"
+	"time"
+
+	"djinn/internal/alerts"
+	"djinn/internal/events"
+	"djinn/internal/timeseries"
+)
+
+// serveEvents renders the fleet journal as JSON:
+//
+//	/events              the most recent 100 events
+//	/events?n=25         the most recent 25
+//	/events?since=42     every retained event with seq > 42 (tail -f cursors)
+//	/events?kind=markdown[&n=]  filtered by kind
+func serveEvents(w http.ResponseWriter, r *http.Request, j *events.Journal) {
+	if j == nil {
+		http.Error(w, "no event journal attached", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	var evs []events.Event
+	switch {
+	case q.Get("since") != "":
+		seq, err := strconv.ParseUint(q.Get("since"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad ?since=", http.StatusBadRequest)
+			return
+		}
+		evs = j.Since(seq)
+	case q.Get("kind") != "":
+		evs = j.Filter(events.Kind(q.Get("kind")), atoiDefault(q.Get("n"), 100))
+	default:
+		evs = j.Recent(atoiDefault(q.Get("n"), 100))
+	}
+	if evs == nil {
+		evs = []events.Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		LastSeq uint64         `json:"last_seq"`
+		Events  []events.Event `json:"events"`
+	}{j.LastSeq(), evs})
+}
+
+func atoiDefault(s string, def int) int {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return def
+	}
+	return n
+}
+
+// DashResponse is the /dash payload: the collector's fleet rollups plus
+// the alert engine's states and the journal's most recent entries — one
+// poll gives `tonic top` everything a refresh needs.
+type DashResponse struct {
+	timeseries.Dash
+	Alerts []alerts.Status `json:"alerts,omitempty"`
+	Events []events.Event  `json:"events,omitempty"`
+}
+
+func serveDash(w http.ResponseWriter, r *http.Request, opts Options) {
+	if opts.Collector == nil {
+		http.Error(w, "no fleet collector attached", http.StatusNotFound)
+		return
+	}
+	window := opts.DashWindow
+	if s := r.URL.Query().Get("window"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			window = d
+		}
+	}
+	resp := DashResponse{Dash: opts.Collector.Dash(window, atoiDefault(r.URL.Query().Get("spark"), 30))}
+	if opts.Alerts != nil {
+		resp.Alerts = opts.Alerts.Status()
+	}
+	if opts.Journal != nil {
+		resp.Events = opts.Journal.Recent(atoiDefault(r.URL.Query().Get("events"), 8))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// writeRequestLatency renders each app's end-to-end served-latency
+// histogram with OpenMetrics-style exemplars: a bucket that retained a
+// traced sample carries `# {trace_id="..."} <seconds>` so a scrape can
+// jump from a latency bucket straight to /trace?id= and /slowlog.
+func writeRequestLatency(w io.Writer, opts Options) {
+	printed := false
+	for _, rep := range opts.Replicas {
+		if rep.Server == nil {
+			continue
+		}
+		for _, app := range sortedApps(rep.Server) {
+			h, ok := rep.Server.RequestHistogram(app)
+			if !ok || h.Count == 0 {
+				continue
+			}
+			if !printed {
+				fmt.Fprintln(w, "# HELP djinn_request_latency_seconds End-to-end served latency (enqueue to response), with trace-ID exemplars.")
+				fmt.Fprintln(w, "# TYPE djinn_request_latency_seconds histogram")
+				printed = true
+			}
+			writeHistogram(w, "djinn_request_latency_seconds",
+				fmt.Sprintf("replica=%q,app=%q", rep.Name, app), h)
+		}
+	}
+}
+
+// writeFleetMetrics renders the collector's rollups: fleet QPS and the
+// merged-histogram quantiles (the true fleet tail, not an average of
+// per-replica quantiles).
+func writeFleetMetrics(w io.Writer, c *timeseries.Collector, window time.Duration) {
+	apps := c.Apps()
+	if len(apps) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "# HELP djinn_fleet_qps Fleet-wide completed queries per second (last collector tick).")
+	fmt.Fprintln(w, "# TYPE djinn_fleet_qps gauge")
+	for _, app := range apps {
+		if fs := c.App(app); fs != nil {
+			if last, ok := fs.QPS.Last(); ok {
+				fmt.Fprintf(w, "djinn_fleet_qps{app=%q} %g\n", app, last.Value)
+			}
+		}
+	}
+	fmt.Fprintln(w, "# HELP djinn_fleet_latency_quantile_seconds Fleet latency quantiles from merged per-replica histograms.")
+	fmt.Fprintln(w, "# TYPE djinn_fleet_latency_quantile_seconds gauge")
+	for _, app := range apps {
+		for _, q := range []struct {
+			label string
+			p     float64
+		}{{"0.5", 0.5}, {"0.99", 0.99}} {
+			if d := c.FleetQuantile(app, q.p, window); d > 0 {
+				fmt.Fprintf(w, "djinn_fleet_latency_quantile_seconds{app=%q,quantile=%q} %g\n", app, q.label, d.Seconds())
+			}
+		}
+	}
+	fmt.Fprintln(w, "# HELP djinn_fleet_error_rate Fraction of windowed demand that violated the SLO (shed, errored, expired, or served over-SLO).")
+	fmt.Fprintln(w, "# TYPE djinn_fleet_error_rate gauge")
+	for _, app := range apps {
+		if rate, _, ok := c.ErrorRate(app, window); ok {
+			fmt.Fprintf(w, "djinn_fleet_error_rate{app=%q} %g\n", app, rate)
+		}
+	}
+	fmt.Fprintln(w, "# HELP djinn_collector_self_seconds Cumulative time the collector spent sampling (overhead accounting).")
+	fmt.Fprintln(w, "# TYPE djinn_collector_self_seconds counter")
+	fmt.Fprintf(w, "djinn_collector_self_seconds %g\n", c.SelfTime().Seconds())
+	fmt.Fprintln(w, "# HELP djinn_collector_ticks_total Collector sampling passes completed.")
+	fmt.Fprintln(w, "# TYPE djinn_collector_ticks_total counter")
+	fmt.Fprintf(w, "djinn_collector_ticks_total %d\n", c.Ticks())
+}
+
+// writeAlertMetrics renders the burn-rate engine: a 0/1 firing gauge, a
+// numeric state, the live burn values, and the lifetime fire counter.
+func writeAlertMetrics(w io.Writer, e *alerts.Engine) {
+	sts := e.Status()
+	if len(sts) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "# HELP djinn_alert_firing Whether the app's SLO burn-rate alert is firing (1) or not (0).")
+	fmt.Fprintln(w, "# TYPE djinn_alert_firing gauge")
+	for _, st := range sts {
+		v := 0
+		if st.State == alerts.Firing {
+			v = 1
+		}
+		fmt.Fprintf(w, "djinn_alert_firing{app=%q} %d\n", st.Rule.App, v)
+	}
+	fmt.Fprintln(w, "# HELP djinn_alert_state Alert lifecycle state (0 inactive, 1 pending, 2 firing, 3 resolved).")
+	fmt.Fprintln(w, "# TYPE djinn_alert_state gauge")
+	for _, st := range sts {
+		fmt.Fprintf(w, "djinn_alert_state{app=%q,state=%q} %d\n", st.Rule.App, st.StateStr, int(st.State))
+	}
+	fmt.Fprintln(w, "# HELP djinn_alert_burn Current burn-rate multiple per evaluation window.")
+	fmt.Fprintln(w, "# TYPE djinn_alert_burn gauge")
+	for _, st := range sts {
+		fmt.Fprintf(w, "djinn_alert_burn{app=%q,window=\"fast\"} %g\n", st.Rule.App, st.FastBurn)
+		fmt.Fprintf(w, "djinn_alert_burn{app=%q,window=\"slow\"} %g\n", st.Rule.App, st.SlowBurn)
+	}
+	fmt.Fprintln(w, "# HELP djinn_alert_fires_total Times the alert has transitioned to firing.")
+	fmt.Fprintln(w, "# TYPE djinn_alert_fires_total counter")
+	for _, st := range sts {
+		fmt.Fprintf(w, "djinn_alert_fires_total{app=%q} %d\n", st.Rule.App, st.Fires)
+	}
+}
+
+// runtimeSamples is the fixed set of runtime/metrics samples the
+// djinn_runtime_* family exports. Sampling a fixed list (instead of
+// metrics.All) keeps the scrape stable across Go releases.
+var runtimeSamples = []struct {
+	source string // runtime/metrics name
+	name   string // exported name
+	help   string
+	kind   string // "gauge" or "counter" for scalars, "histogram"
+}{
+	{"/memory/classes/heap/objects:bytes", "djinn_runtime_heap_objects_bytes", "Bytes of live heap objects.", "gauge"},
+	{"/memory/classes/total:bytes", "djinn_runtime_memory_total_bytes", "All memory mapped by the Go runtime.", "gauge"},
+	{"/sched/goroutines:goroutines", "djinn_runtime_goroutines", "Live goroutines.", "gauge"},
+	{"/gc/cycles/total:gc-cycles", "djinn_runtime_gc_cycles_total", "Completed GC cycles.", "counter"},
+	{"/gc/heap/allocs:bytes", "djinn_runtime_heap_allocs_bytes_total", "Cumulative bytes allocated on the heap.", "counter"},
+	{"/gc/pauses:seconds", "djinn_runtime_gc_pause_seconds", "Stop-the-world GC pause distribution.", "histogram"},
+	{"/sched/latencies:seconds", "djinn_runtime_sched_latency_seconds", "Goroutine scheduling latency distribution.", "histogram"},
+}
+
+// writeRuntimeMetrics renders the djinn_runtime_* family from the
+// runtime/metrics package: GC pause and scheduler-latency histograms
+// plus heap and goroutine gauges. These answer the "is the tail the
+// service's fault or the runtime's?" question a latency incident always
+// raises.
+func writeRuntimeMetrics(w io.Writer) {
+	samples := make([]runtimemetrics.Sample, len(runtimeSamples))
+	for i := range runtimeSamples {
+		samples[i].Name = runtimeSamples[i].source
+	}
+	runtimemetrics.Read(samples)
+	for i, def := range runtimeSamples {
+		switch samples[i].Value.Kind() {
+		case runtimemetrics.KindUint64:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+				def.name, def.help, def.name, def.kind, def.name, samples[i].Value.Uint64())
+		case runtimemetrics.KindFloat64:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",
+				def.name, def.help, def.name, def.kind, def.name, samples[i].Value.Float64())
+		case runtimemetrics.KindFloat64Histogram:
+			h := samples[i].Value.Float64Histogram()
+			if h == nil {
+				continue
+			}
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", def.name, def.help, def.name)
+			writeRuntimeHistogram(w, def.name, h)
+		}
+	}
+}
+
+// writeRuntimeHistogram renders a runtime Float64Histogram compacted to
+// at most 16 le-buckets — the runtime's native resolution (hundreds of
+// buckets) would dwarf the rest of the scrape.
+func writeRuntimeHistogram(w io.Writer, name string, h *runtimemetrics.Float64Histogram) {
+	type bucket struct {
+		le  float64
+		cum uint64
+	}
+	var bs []bucket
+	var cum uint64
+	for i, count := range h.Counts {
+		cum += count
+		// Upper bound of bucket i is Buckets[i+1].
+		bs = append(bs, bucket{le: h.Buckets[i+1], cum: cum})
+	}
+	// Compact: keep every bucket whose cumulative count changed, capped.
+	var kept []bucket
+	var prev uint64
+	for _, b := range bs {
+		if b.cum != prev || len(kept) == 0 {
+			kept = append(kept, b)
+			prev = b.cum
+		}
+	}
+	if len(kept) > 16 {
+		stride := (len(kept) + 15) / 16
+		var thin []bucket
+		for i := 0; i < len(kept); i += stride {
+			thin = append(thin, kept[i])
+		}
+		if thin[len(thin)-1].cum != cum {
+			thin = append(thin, kept[len(kept)-1])
+		}
+		kept = thin
+	}
+	for _, b := range kept {
+		le := "+Inf"
+		if !isInf(b.le) {
+			le = strconv.FormatFloat(b.le, 'g', 6, 64)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.cum)
+	}
+	if len(kept) == 0 || isFinite(kept[len(kept)-1].le) {
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	}
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
+
+func isInf(f float64) bool    { return f > 1e308 || f < -1e308 }
+func isFinite(f float64) bool { return !isInf(f) }

@@ -1,0 +1,175 @@
+package admin
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"djinn/internal/alerts"
+	"djinn/internal/events"
+	"djinn/internal/timeseries"
+)
+
+// obsFixture extends the admin fixture with the observability plane: a
+// journal with a few entries, a collector sampling the fixture's
+// replica, and an alert engine over the collector.
+func obsFixture(t *testing.T) (Options, string) {
+	t.Helper()
+	opts, id := adminFixture(t)
+
+	j := events.New(64)
+	j.Appendf(events.KindMarkDown, "router", "b marked down for 1s: test")
+	j.Appendf(events.KindRecover, "router", "b recovered: probe answered fast")
+	opts.Journal = j
+
+	c := timeseries.NewCollector(timeseries.Config{
+		Interval: 100 * time.Millisecond,
+		Slots:    32,
+		Targets:  []timeseries.Target{{Replica: "replica-0", Server: opts.Replicas[0].Server}},
+		SLO:      map[string]time.Duration{"tiny": time.Second},
+	})
+	now := time.Now()
+	c.Sample(now.Add(-200 * time.Millisecond)) // prime baselines
+	// Traffic after the baseline lands in the sampled deltas.
+	in := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := 0; i < 2; i++ {
+		if _, err := opts.Router.Infer("tiny", in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sample(now.Add(-100 * time.Millisecond))
+	for i := 0; i < 2; i++ {
+		if _, err := opts.Router.Infer("tiny", in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sample(now)
+	opts.Collector = c
+
+	e := alerts.New(c, j, alerts.Rule{App: "tiny", Objective: 0.95, FastWindow: 200 * time.Millisecond, SlowWindow: 400 * time.Millisecond})
+	e.Eval(now)
+	opts.Alerts = e
+	return opts, id
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	opts, _ := obsFixture(t)
+	code, body := get(t, opts, "/events")
+	if code != 200 {
+		t.Fatalf("/events status %d: %s", code, body)
+	}
+	var resp struct {
+		LastSeq uint64         `json:"last_seq"`
+		Events  []events.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("/events not JSON: %v\n%s", err, body)
+	}
+	if resp.LastSeq != 2 || len(resp.Events) != 2 {
+		t.Fatalf("events = %+v, want 2 entries", resp)
+	}
+
+	// Cursor: everything after seq 1.
+	_, body = get(t, opts, "/events?since=1")
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 1 || resp.Events[0].Seq != 2 {
+		t.Fatalf("since=1 → %+v, want only seq 2", resp.Events)
+	}
+
+	// Kind filter.
+	_, body = get(t, opts, "/events?kind=markdown")
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 1 || resp.Events[0].Kind != events.KindMarkDown {
+		t.Fatalf("kind=markdown → %+v", resp.Events)
+	}
+
+	if code, _ := get(t, opts, "/events?since=zzz"); code != 400 {
+		t.Errorf("bad since status = %d, want 400", code)
+	}
+	opts.Journal = nil
+	if code, _ := get(t, opts, "/events"); code != 404 {
+		t.Errorf("no-journal status = %d, want 404", code)
+	}
+}
+
+func TestDashEndpoint(t *testing.T) {
+	opts, _ := obsFixture(t)
+	code, body := get(t, opts, "/dash")
+	if code != 200 {
+		t.Fatalf("/dash status %d: %s", code, body)
+	}
+	var resp DashResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("/dash not JSON: %v\n%s", err, body)
+	}
+	if len(resp.Apps) != 1 || resp.Apps[0].App != "tiny" {
+		t.Fatalf("dash apps = %+v", resp.Apps)
+	}
+	if resp.Apps[0].QPS <= 0 {
+		t.Errorf("dash QPS = %v, want > 0 (two fixture queries in window)", resp.Apps[0].QPS)
+	}
+	if len(resp.Replicas) != 1 || resp.Replicas[0].Replica != "replica-0" {
+		t.Fatalf("dash replicas = %+v", resp.Replicas)
+	}
+	if len(resp.Alerts) != 1 || resp.Alerts[0].Rule.App != "tiny" {
+		t.Fatalf("dash alerts = %+v", resp.Alerts)
+	}
+	if len(resp.Events) != 2 {
+		t.Fatalf("dash events = %+v, want the journal tail", resp.Events)
+	}
+
+	opts.Collector = nil
+	if code, _ := get(t, opts, "/dash"); code != 404 {
+		t.Errorf("no-collector status = %d, want 404", code)
+	}
+}
+
+func TestObservabilityMetricsFamilies(t *testing.T) {
+	opts, id := obsFixture(t)
+	_, body := get(t, opts, "/metrics")
+	for _, want := range []string{
+		"djinn_events_total 2",
+		`djinn_fleet_qps{app="tiny"}`,
+		`djinn_fleet_latency_quantile_seconds{app="tiny",quantile="0.99"}`,
+		`djinn_fleet_error_rate{app="tiny"} 0`,
+		"djinn_collector_ticks_total 3",
+		`djinn_alert_firing{app="tiny"} 0`,
+		`djinn_alert_burn{app="tiny",window="fast"}`,
+		`djinn_alert_fires_total{app="tiny"} 0`,
+		"djinn_runtime_goroutines",
+		"djinn_runtime_heap_objects_bytes",
+		"djinn_runtime_gc_pause_seconds_count",
+		"djinn_runtime_sched_latency_seconds_bucket",
+		`djinn_request_latency_seconds_count{replica="replica-0",app="tiny"} 6`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	// The traced fixture query must surface as an exemplar on the
+	// request-latency histogram, linking the bucket to /trace?id=.
+	if !strings.Contains(body, `# {trace_id="`+id+`"}`) {
+		t.Errorf("/metrics has no exemplar for trace %s", id)
+	}
+	if t.Failed() {
+		t.Log(body)
+	}
+}
+
+func TestRuntimeHistogramCompaction(t *testing.T) {
+	_, body := get(t, Options{}, "/metrics")
+	for _, name := range []string{"djinn_runtime_gc_pause_seconds", "djinn_runtime_sched_latency_seconds"} {
+		n := strings.Count(body, name+"_bucket{")
+		if n > 17 { // 16 compacted + possibly a closing +Inf
+			t.Errorf("%s exported %d buckets, want ≤ 17", name, n)
+		}
+		if !strings.Contains(body, name+"_count") {
+			t.Errorf("%s missing _count", name)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package alerts is the SLO burn-rate alert engine: multi-window
+// fast/slow burn rules evaluated over the collector's attainment
+// series, with a pending → firing → resolved state machine whose every
+// transition is appended to the fleet event journal.
+//
+// Burn rate is the classic SRE formulation: with an objective of 95%
+// the error budget is 5%, and burn = observed error rate / budget. A
+// burn of 1 spends the budget exactly at the sustainable pace; a burn
+// of 10 exhausts it ten times too fast. A rule fires only when BOTH
+// its short window (reacts quickly, noisy alone) and its long window
+// (smooths blips, slow alone) burn above their thresholds — the
+// standard trick that keeps time-to-detect short without paging on
+// every transient.
+package alerts
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"djinn/internal/events"
+)
+
+// Source supplies windowed SLO error rates — the fraction of demand
+// that violated the objective (shed, errored, expired, or served
+// over-SLO) across the trailing window. *timeseries.Collector
+// satisfies it.
+type Source interface {
+	ErrorRate(app string, window time.Duration) (rate, demand float64, ok bool)
+}
+
+// Rule is one multi-window burn-rate alert.
+type Rule struct {
+	App string
+	// Objective is the SLO attainment target in (0,1), e.g. 0.95. The
+	// error budget is 1−Objective.
+	Objective float64
+	// FastWindow/FastBurn: the short detection window and its burn
+	// threshold. FastWindow also rate-limits time-to-detect.
+	FastWindow time.Duration
+	FastBurn   float64
+	// SlowWindow/SlowBurn: the long confirmation window and its burn
+	// threshold (lower — sustained moderate burn also pages).
+	SlowWindow time.Duration
+	SlowBurn   float64
+	// Pending is how long both windows must burn before the alert
+	// escalates from pending to firing (0 fires immediately).
+	Pending time.Duration
+	// MinDemand suppresses the rule when the fast window saw fewer than
+	// this many requests — an idle app's division noise never pages.
+	MinDemand float64
+	// KeepFiring is the resolve hold: once firing, the burn must stay
+	// clear for this long continuously before the alert resolves. A
+	// momentary dip (tick aliasing, a probe cycle absorbing the
+	// errors) doesn't flap the page. Zero resolves immediately.
+	KeepFiring time.Duration
+}
+
+func (r Rule) withDefaults() Rule {
+	if r.Objective <= 0 || r.Objective >= 1 {
+		r.Objective = 0.95
+	}
+	if r.FastWindow <= 0 {
+		r.FastWindow = time.Minute
+	}
+	if r.SlowWindow <= 0 {
+		r.SlowWindow = 5 * r.FastWindow
+	}
+	if r.FastBurn <= 0 {
+		r.FastBurn = 4
+	}
+	if r.SlowBurn <= 0 {
+		r.SlowBurn = 2
+	}
+	if r.MinDemand <= 0 {
+		r.MinDemand = 1
+	}
+	return r
+}
+
+// State is one alert's position in its lifecycle.
+type State int
+
+const (
+	// Inactive: burn below thresholds, nothing outstanding.
+	Inactive State = iota
+	// Pending: both windows burning, waiting out Rule.Pending.
+	Pending
+	// Firing: sustained burn — page.
+	Firing
+	// Resolved: recently stopped firing; sticky until the next burn so
+	// dashboards show the recovery.
+	Resolved
+)
+
+// String renders the state name.
+func (s State) String() string {
+	switch s {
+	case Inactive:
+		return "inactive"
+	case Pending:
+		return "pending"
+	case Firing:
+		return "firing"
+	case Resolved:
+		return "resolved"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Status is a point-in-time view of one rule's alert.
+type Status struct {
+	Rule     Rule          `json:"rule"`
+	State    State         `json:"-"`
+	StateStr string        `json:"state"`
+	Since    time.Time     `json:"since"`
+	FastBurn float64       `json:"fast_burn"`
+	SlowBurn float64       `json:"slow_burn"`
+	Fires    int64         `json:"fires"`
+	LastFire time.Duration `json:"last_fire_ns,omitempty"` // duration of the last fire (0 while firing)
+}
+
+// alertState is the mutable half of one rule.
+type alertState struct {
+	rule       Rule
+	state      State
+	since      time.Time // when the current state was entered
+	firedAt    time.Time
+	clearSince time.Time // firing only: when the burn last went clear
+	fastBurn   float64
+	slowBurn   float64
+	fires      int64
+	lastFire   time.Duration
+}
+
+// Engine evaluates burn-rate rules against a Source on every Eval and
+// journals each state transition. Drive it with Run (own ticker) or
+// call Eval directly with a test clock.
+type Engine struct {
+	src     Source
+	journal *events.Journal
+
+	mu     sync.Mutex
+	states []*alertState
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New creates an engine over src (transitions journal to j; nil is
+// fine).
+func New(src Source, j *events.Journal, rules ...Rule) *Engine {
+	e := &Engine{src: src, journal: j, stop: make(chan struct{}), done: make(chan struct{})}
+	for _, r := range rules {
+		e.states = append(e.states, &alertState{rule: r.withDefaults()})
+	}
+	sort.SliceStable(e.states, func(i, j int) bool { return e.states[i].rule.App < e.states[j].rule.App })
+	return e
+}
+
+// Run evaluates every interval until Stop.
+func (e *Engine) Run(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		defer close(e.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-e.stop:
+				return
+			case t := <-tick.C:
+				e.Eval(t)
+			}
+		}
+	}()
+}
+
+// Stop halts the Run loop.
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() { close(e.stop) })
+	select {
+	case <-e.done:
+	case <-time.After(time.Second):
+	}
+}
+
+// Eval runs one evaluation pass stamped at now.
+func (e *Engine) Eval(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.states {
+		e.evalLocked(st, now)
+	}
+}
+
+func (e *Engine) evalLocked(st *alertState, now time.Time) {
+	r := st.rule
+	budget := 1 - r.Objective
+	fastRate, fastDemand, fastOK := e.src.ErrorRate(r.App, r.FastWindow)
+	slowRate, _, slowOK := e.src.ErrorRate(r.App, r.SlowWindow)
+	st.fastBurn, st.slowBurn = fastRate/budget, slowRate/budget
+	burning := fastOK && slowOK &&
+		fastDemand >= r.MinDemand &&
+		st.fastBurn >= r.FastBurn && st.slowBurn >= r.SlowBurn
+
+	switch st.state {
+	case Inactive, Resolved:
+		if burning {
+			st.state, st.since = Pending, now
+			e.journalf(events.KindAlert, "%s slo-burn pending: fast burn %.1fx over %v, slow burn %.1fx over %v (objective %.1f%%)",
+				r.App, st.fastBurn, r.FastWindow, st.slowBurn, r.SlowWindow, r.Objective*100)
+			if r.Pending <= 0 {
+				e.fireLocked(st, now)
+			}
+		}
+	case Pending:
+		switch {
+		case !burning:
+			st.state, st.since = Inactive, now
+			e.journalf(events.KindAlert, "%s slo-burn cancelled before firing (burn subsided)", r.App)
+		case now.Sub(st.since) >= r.Pending:
+			e.fireLocked(st, now)
+		}
+	case Firing:
+		if burning {
+			st.clearSince = time.Time{}
+			break
+		}
+		if st.clearSince.IsZero() {
+			st.clearSince = now
+		}
+		if now.Sub(st.clearSince) >= r.KeepFiring {
+			st.state, st.since = Resolved, now
+			st.lastFire = now.Sub(st.firedAt)
+			e.journalf(events.KindAlert, "%s slo-burn RESOLVED after %v (fast burn %.1fx, slow burn %.1fx)",
+				r.App, st.lastFire.Round(time.Millisecond), st.fastBurn, st.slowBurn)
+		}
+	}
+}
+
+func (e *Engine) fireLocked(st *alertState, now time.Time) {
+	st.state, st.since, st.firedAt = Firing, now, now
+	st.clearSince = time.Time{}
+	st.fires++
+	st.lastFire = 0
+	e.journalf(events.KindAlert, "%s slo-burn FIRING: fast burn %.1fx ≥ %.1fx over %v and slow burn %.1fx ≥ %.1fx over %v",
+		st.rule.App, st.fastBurn, st.rule.FastBurn, st.rule.FastWindow, st.slowBurn, st.rule.SlowBurn, st.rule.SlowWindow)
+}
+
+func (e *Engine) journalf(kind events.Kind, format string, args ...any) {
+	e.journal.Appendf(kind, "alerts", format, args...)
+}
+
+// Status snapshots every rule, sorted by app.
+func (e *Engine) Status() []Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Status, len(e.states))
+	for i, st := range e.states {
+		out[i] = Status{
+			Rule:     st.rule,
+			State:    st.state,
+			StateStr: st.state.String(),
+			Since:    st.since,
+			FastBurn: st.fastBurn,
+			SlowBurn: st.slowBurn,
+			Fires:    st.fires,
+			LastFire: st.lastFire,
+		}
+	}
+	return out
+}
+
+// Firing reports whether any rule for app (all apps when app == "") is
+// currently firing.
+func (e *Engine) Firing(app string) bool {
+	for _, st := range e.Status() {
+		if (app == "" || st.Rule.App == app) && st.State == Firing {
+			return true
+		}
+	}
+	return false
+}
+
+// Control implements the "alerts" control verb:
+//
+//	alerts          — one line per rule with state and burns
+//	alerts <app>    — only that app's rules
+func (e *Engine) Control(args []string) (string, error) {
+	if len(args) > 1 {
+		return "", fmt.Errorf("usage: alerts [app]")
+	}
+	app := ""
+	if len(args) == 1 {
+		app = args[0]
+	}
+	var lines []string
+	for _, st := range e.Status() {
+		if app != "" && st.Rule.App != app {
+			continue
+		}
+		line := fmt.Sprintf("%-10s %-8s objective=%.1f%% fast=%.2fx/%v(≥%.1fx) slow=%.2fx/%v(≥%.1fx) fires=%d",
+			st.Rule.App, st.State, st.Rule.Objective*100,
+			st.FastBurn, st.Rule.FastWindow, st.Rule.FastBurn,
+			st.SlowBurn, st.Rule.SlowWindow, st.Rule.SlowBurn, st.Fires)
+		if st.State != Inactive && !st.Since.IsZero() {
+			line += fmt.Sprintf(" since=%s", st.Since.Format("15:04:05.000"))
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) == 0 {
+		if app != "" {
+			return "", fmt.Errorf("no alert rules for %q", app)
+		}
+		return "(no alert rules)", nil
+	}
+	return strings.Join(lines, "\n"), nil
+}

@@ -1,0 +1,287 @@
+package alerts
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"djinn/internal/events"
+)
+
+// fakeSource returns scripted windowed error rates.
+type fakeSource struct {
+	mu     sync.Mutex
+	rate   map[string]float64 // same rate for both windows unless slow set
+	slow   map[string]float64
+	demand float64
+	ok     bool
+}
+
+func newFakeSource() *fakeSource {
+	return &fakeSource{rate: map[string]float64{}, slow: map[string]float64{}, demand: 100, ok: true}
+}
+
+func (f *fakeSource) set(app string, rate float64) {
+	f.mu.Lock()
+	f.rate[app] = rate
+	delete(f.slow, app)
+	f.mu.Unlock()
+}
+
+func (f *fakeSource) ErrorRate(app string, window time.Duration) (float64, float64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.ok {
+		return 0, 0, false
+	}
+	r := f.rate[app]
+	if s, ok := f.slow[app]; ok && window >= time.Minute {
+		r = s
+	}
+	return r, f.demand, true
+}
+
+func rule() Rule {
+	return Rule{
+		App:        "imc",
+		Objective:  0.95, // budget 5%
+		FastWindow: 10 * time.Second,
+		SlowWindow: 30 * time.Second,
+		FastBurn:   4, // fast error rate ≥ 20%
+		SlowBurn:   2, // slow error rate ≥ 10%
+		Pending:    5 * time.Second,
+	}
+}
+
+func at(sec int) time.Time {
+	return time.Date(2026, 8, 8, 9, 0, 0, 0, time.UTC).Add(time.Duration(sec) * time.Second)
+}
+
+func TestPendingFiringResolvedLifecycle(t *testing.T) {
+	src := newFakeSource()
+	j := events.New(64)
+	e := New(src, j, rule())
+
+	// Healthy: stays inactive.
+	src.set("imc", 0.01)
+	e.Eval(at(0))
+	if st := e.Status()[0]; st.State != Inactive {
+		t.Fatalf("healthy state = %v", st.State)
+	}
+
+	// Burn starts: 50% error rate → fast burn 10x, slow 10x → pending.
+	src.set("imc", 0.5)
+	e.Eval(at(1))
+	if st := e.Status()[0]; st.State != Pending {
+		t.Fatalf("burning state = %v, want pending", st.State)
+	}
+	// Still inside the pending hold-down.
+	e.Eval(at(4))
+	if st := e.Status()[0]; st.State != Pending {
+		t.Fatalf("state at +3s = %v, want pending", st.State)
+	}
+	// Pending elapsed → firing.
+	e.Eval(at(7))
+	st := e.Status()[0]
+	if st.State != Firing || st.Fires != 1 {
+		t.Fatalf("state at +6s = %v fires=%d, want firing/1", st.State, st.Fires)
+	}
+	if !e.Firing("imc") || !e.Firing("") {
+		t.Error("Firing() should report true")
+	}
+
+	// Recovery → resolved, with the fire duration recorded.
+	src.set("imc", 0.0)
+	e.Eval(at(20))
+	st = e.Status()[0]
+	if st.State != Resolved {
+		t.Fatalf("state after recovery = %v, want resolved", st.State)
+	}
+	if st.LastFire != 13*time.Second {
+		t.Errorf("LastFire = %v, want 13s", st.LastFire)
+	}
+	if e.Firing("imc") {
+		t.Error("Firing() after resolve")
+	}
+
+	// Journal holds the full timeline in order.
+	var kinds []string
+	for _, ev := range j.Recent(0) {
+		if ev.Kind == events.KindAlert {
+			kinds = append(kinds, ev.Msg)
+		}
+	}
+	if len(kinds) != 3 ||
+		!strings.Contains(kinds[0], "pending") ||
+		!strings.Contains(kinds[1], "FIRING") ||
+		!strings.Contains(kinds[2], "RESOLVED") {
+		t.Errorf("journal timeline = %q, want pending→FIRING→RESOLVED", kinds)
+	}
+	// A fresh burn after resolve re-enters pending.
+	src.set("imc", 0.5)
+	e.Eval(at(30))
+	if st := e.Status()[0]; st.State != Pending {
+		t.Errorf("re-burn state = %v, want pending", st.State)
+	}
+}
+
+func TestPendingCancelledOnTransientBurn(t *testing.T) {
+	src := newFakeSource()
+	j := events.New(16)
+	e := New(src, j, rule())
+	src.set("imc", 0.5)
+	e.Eval(at(0))
+	src.set("imc", 0.0) // blip over before Pending elapsed
+	e.Eval(at(2))
+	if st := e.Status()[0]; st.State != Inactive {
+		t.Fatalf("state = %v, want inactive (cancelled)", st.State)
+	}
+	msgs := j.Filter(events.KindAlert, 0)
+	if len(msgs) != 2 || !strings.Contains(msgs[1].Msg, "cancelled") {
+		t.Errorf("journal = %+v, want pending then cancelled", msgs)
+	}
+}
+
+func TestBothWindowsMustBurn(t *testing.T) {
+	src := newFakeSource()
+	e := New(src, nil, Rule{
+		App: "imc", Objective: 0.95,
+		FastWindow: 10 * time.Second, SlowWindow: time.Minute,
+		FastBurn: 4, SlowBurn: 2, Pending: 0,
+	})
+	// Fast window burns but the slow window is still clean: no alert.
+	src.mu.Lock()
+	src.rate["imc"] = 0.5
+	src.slow["imc"] = 0.0
+	src.mu.Unlock()
+	e.Eval(at(0))
+	if st := e.Status()[0]; st.State != Inactive {
+		t.Fatalf("fast-only burn state = %v, want inactive", st.State)
+	}
+	// Slow window catches up: fires immediately (Pending 0).
+	src.set("imc", 0.5)
+	e.Eval(at(1))
+	if st := e.Status()[0]; st.State != Firing {
+		t.Fatalf("both-windows state = %v, want firing", st.State)
+	}
+}
+
+func TestMinDemandSuppressesIdleNoise(t *testing.T) {
+	src := newFakeSource()
+	src.demand = 0.5 // half a request in the window
+	e := New(src, nil, func() Rule { r := rule(); r.MinDemand = 10; return r }())
+	src.set("imc", 1.0)
+	e.Eval(at(0))
+	if st := e.Status()[0]; st.State != Inactive {
+		t.Errorf("idle-app state = %v, want inactive", st.State)
+	}
+}
+
+func TestNoDataNeverBurns(t *testing.T) {
+	src := newFakeSource()
+	src.ok = false
+	e := New(src, nil, rule())
+	e.Eval(at(0))
+	if st := e.Status()[0]; st.State != Inactive {
+		t.Errorf("no-data state = %v, want inactive", st.State)
+	}
+}
+
+func TestRuleDefaults(t *testing.T) {
+	r := Rule{App: "x"}.withDefaults()
+	if r.Objective != 0.95 || r.FastWindow != time.Minute || r.SlowWindow != 5*time.Minute ||
+		r.FastBurn != 4 || r.SlowBurn != 2 || r.MinDemand != 1 {
+		t.Errorf("defaults = %+v", r)
+	}
+}
+
+func TestControlVerb(t *testing.T) {
+	src := newFakeSource()
+	e := New(src, nil, rule(), func() Rule { r := rule(); r.App = "asr"; return r }())
+	src.set("imc", 0.5)
+	e.Eval(at(0))
+	out, err := e.Control(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "imc") || !strings.Contains(out, "asr") || !strings.Contains(out, "pending") {
+		t.Errorf("alerts output:\n%s", out)
+	}
+	out, err = e.Control([]string{"imc"})
+	if err != nil || strings.Contains(out, "asr") {
+		t.Errorf("alerts imc leaked other apps: %q err=%v", out, err)
+	}
+	if _, err := e.Control([]string{"nosuch"}); err == nil {
+		t.Error("alerts nosuch should error")
+	}
+	if _, err := e.Control([]string{"a", "b"}); err == nil {
+		t.Error("alerts a b should error")
+	}
+	empty := New(src, nil)
+	if out, err := empty.Control(nil); err != nil || out != "(no alert rules)" {
+		t.Errorf("empty engine Control = %q, %v", out, err)
+	}
+}
+
+func TestRunStop(t *testing.T) {
+	src := newFakeSource()
+	src.set("imc", 0.5)
+	e := New(src, events.New(16), func() Rule { r := rule(); r.Pending = 0; return r }())
+	e.Run(2 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for !e.Firing("imc") && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	e.Stop()
+	if !e.Firing("imc") {
+		t.Fatal("Run loop never fired the alert")
+	}
+}
+
+// TestKeepFiringHoldsThroughTransientClear: with a resolve hold, a
+// momentary clear tick while firing must NOT resolve the alert — only
+// a clear that persists for KeepFiring does, and a burn resuming
+// mid-hold resets the clock.
+func TestKeepFiringHoldsThroughTransientClear(t *testing.T) {
+	src := newFakeSource()
+	r := rule()
+	r.Pending = 0
+	r.KeepFiring = 10 * time.Second
+	e := New(src, nil, r)
+
+	src.set("imc", 0.5)
+	e.Eval(at(0))
+	if st := e.Status()[0]; st.State != Firing {
+		t.Fatalf("state = %v, want firing", st.State)
+	}
+
+	// A 4 s clear blip: still firing (hold is 10 s).
+	src.set("imc", 0.0)
+	e.Eval(at(1))
+	e.Eval(at(5))
+	if st := e.Status()[0]; st.State != Firing {
+		t.Fatalf("state during blip = %v, want firing", st.State)
+	}
+
+	// Burn resumes before the hold elapses: the clear clock resets.
+	src.set("imc", 0.5)
+	e.Eval(at(6))
+	src.set("imc", 0.0)
+	e.Eval(at(8))
+	e.Eval(at(17)) // 9 s clear since at(8) — still short of 10 s
+	if st := e.Status()[0]; st.State != Firing {
+		t.Fatalf("state after reset+9s clear = %v, want firing", st.State)
+	}
+
+	// The hold finally elapses → resolved, duration spans to the
+	// resolving eval.
+	e.Eval(at(19))
+	st := e.Status()[0]
+	if st.State != Resolved {
+		t.Fatalf("state after full hold = %v, want resolved", st.State)
+	}
+	if st.LastFire != 19*time.Second {
+		t.Errorf("LastFire = %v, want 19s", st.LastFire)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"djinn/internal/events"
 	"djinn/internal/nn"
 	"djinn/internal/router"
 	"djinn/internal/sched"
@@ -125,6 +126,10 @@ type Config struct {
 	DrainDelay time.Duration
 	// Logf receives controller events (default: discard).
 	Logf func(format string, args ...any)
+	// Journal, when set, receives structured fleet events: membership
+	// changes, placement flips (with their reconcile generation), and
+	// autoscale decisions with the signal values that drove them.
+	Journal *events.Journal
 }
 
 type memberState struct {
@@ -206,6 +211,11 @@ func NewController(cfg Config) *Controller {
 // Mapper returns the controller's shard-map builder.
 func (c *Controller) Mapper() *Mapper { return c.cfg.Mapper }
 
+// journalf appends one control-plane event; a no-op without a journal.
+func (c *Controller) journalf(kind events.Kind, format string, args ...any) {
+	c.cfg.Journal.Appendf(kind, "controlplane", format, args...)
+}
+
 // Join adds (or replaces) a member. The caller must have registered
 // the member's backend with the router under the same ID. Reconcile
 // afterwards to fold it into the map.
@@ -215,6 +225,7 @@ func (c *Controller) Join(m Member) {
 	c.dirty = true
 	c.mu.Unlock()
 	c.cfg.Logf("controlplane: member %s joined", m.ID())
+	c.journalf(events.KindMember, "%s joined the fleet", m.ID())
 }
 
 // Leave takes a member out of the live set (graceful decommission).
@@ -229,6 +240,7 @@ func (c *Controller) Leave(id string) {
 	}
 	c.mu.Unlock()
 	c.cfg.Logf("controlplane: member %s left", id)
+	c.journalf(events.KindMember, "%s left the fleet (graceful)", id)
 }
 
 // Revive clears a member's dead mark after the operator (or harness)
@@ -237,15 +249,17 @@ func (c *Controller) Leave(id string) {
 // control-plane action, not a data-path discovery.
 func (c *Controller) Revive(id string) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	st, ok := c.members[id]
 	if !ok {
+		c.mu.Unlock()
 		return false
 	}
 	st.dead = false
 	st.unhealthy = 0
 	c.dirty = true
+	c.mu.Unlock()
 	c.cfg.Logf("controlplane: member %s revived", id)
+	c.journalf(events.KindMember, "%s revived by operator", id)
 	return true
 }
 
@@ -294,6 +308,9 @@ func (c *Controller) Reconcile() ReconcileResult {
 	live, byID := c.liveMembers()
 	desired := c.cfg.Mapper.Rebuild(c.cfg.Apps, live)
 	current := c.cfg.Router.Placements()
+	c.mu.Lock()
+	gen := c.rebalances + 1 // this pass's reconcile generation
+	c.mu.Unlock()
 
 	moves := 0
 	for _, app := range c.cfg.Apps {
@@ -303,6 +320,7 @@ func (c *Controller) Reconcile() ReconcileResult {
 			if len(have) != 0 {
 				c.cfg.Router.ClearPlacement(app)
 				moves++
+				c.journalf(events.KindPlacement, "gen %d: %s unplaced (no live members)", gen, app)
 			}
 			continue
 		}
@@ -361,6 +379,7 @@ func (c *Controller) Reconcile() ReconcileResult {
 			}
 		}
 		c.cfg.Logf("controlplane: moved %s → %v", app, want)
+		c.journalf(events.KindPlacement, "gen %d: %s → %s", gen, app, renderAssignees(want))
 	}
 
 	d := time.Since(start)
@@ -444,6 +463,7 @@ func (c *Controller) scanHealth() bool {
 		healthy[snap.ID] = snap.Healthy
 	}
 	changed := false
+	var dead []string
 	c.mu.Lock()
 	for id, st := range c.members {
 		if st.dead {
@@ -458,10 +478,14 @@ func (c *Controller) scanHealth() bool {
 		if st.unhealthy >= c.cfg.DeadAfter {
 			st.dead = true
 			changed = true
+			dead = append(dead, fmt.Sprintf("%s declared dead after %d unhealthy ticks", id, st.unhealthy))
 			c.cfg.Logf("controlplane: member %s declared dead after %d unhealthy ticks", id, st.unhealthy)
 		}
 	}
 	c.mu.Unlock()
+	for _, msg := range dead {
+		c.journalf(events.KindMember, "%s", msg)
+	}
 	return changed
 }
 
@@ -514,6 +538,8 @@ func (c *Controller) autoscale(now time.Time) bool {
 			changed = true
 			c.cfg.Logf("controlplane: autoscale %s → %d replicas (shed %.3f, p99 %v)",
 				app, dec.Count, obs.ShedRate, obs.P99)
+			c.journalf(events.KindAutoscale, "%s → %d replicas (shed %.3f, p99 %v, slo %v)",
+				app, dec.Count, obs.ShedRate, obs.P99, obs.SLO)
 		}
 	}
 	return changed
@@ -702,10 +728,14 @@ func (c *Controller) managed(app string) bool {
 	return false
 }
 
-func renderPlacement(app string, pl []router.Placement) string {
+func renderAssignees(pl []router.Placement) string {
 	parts := make([]string, len(pl))
 	for i, p := range pl {
 		parts[i] = fmt.Sprintf("%s:%d", p.Replica, p.Weight)
 	}
-	return app + " " + strings.Join(parts, " ")
+	return strings.Join(parts, " ")
+}
+
+func renderPlacement(app string, pl []router.Placement) string {
+	return app + " " + renderAssignees(pl)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"djinn/internal/events"
 	"djinn/internal/nn"
 	"djinn/internal/router"
 	"djinn/internal/service"
@@ -230,6 +231,66 @@ func TestHealthDrivenDeathAndRevive(t *testing.T) {
 	}
 	if live := c.MemberIDs()[victim]; !live {
 		t.Fatal("victim still dead after Revive")
+	}
+	c.WaitDrains()
+}
+
+// TestControllerJournalsFleetEvents: membership, placement (with its
+// reconcile generation), and death transitions all land in the journal.
+func TestControllerJournalsFleetEvents(t *testing.T) {
+	testutil.NoLeaks(t)
+	rt := router.New(router.Config{Health: router.HealthConfig{
+		FailureThreshold: 1,
+		ProbeInterval:    time.Hour,
+		MaxProbeInterval: time.Hour,
+	}})
+	defer rt.Close()
+	j := events.New(128)
+	c := NewController(Config{
+		Router:    rt,
+		Mapper:    NewMapper(MapperConfig{Policy: LeastLoaded{}, DefaultCount: 1}),
+		Apps:      []string{"tiny"},
+		DeadAfter: 1,
+		Logf:      silence,
+		Journal:   j,
+	})
+	members := testFleet(t, c, rt, 2, []string{"tiny"})
+	if got := len(j.Filter(events.KindMember, 0)); got != 2 {
+		t.Fatalf("join events = %d, want 2", got)
+	}
+	c.Reconcile()
+	pls := j.Filter(events.KindPlacement, 0)
+	if len(pls) != 1 || !strings.Contains(pls[0].Msg, "gen 1: tiny →") {
+		t.Fatalf("placement events = %+v, want one gen-1 flip", pls)
+	}
+
+	// Kill the placed replica; the death and re-placement both journal.
+	victim := rt.Placements()["tiny"][0].Replica
+	for _, m := range members {
+		if m.ID() == victim {
+			m.Server().Close()
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Tick(time.Now()).Moves == 0 {
+		rt.Infer("tiny", make([]float32, 8))
+		if time.Now().After(deadline) {
+			t.Fatal("failover never happened")
+		}
+	}
+	found := false
+	for _, ev := range j.Filter(events.KindMember, 0) {
+		if strings.Contains(ev.Msg, victim+" declared dead") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no death event for %s in journal", victim)
+	}
+	pls = j.Filter(events.KindPlacement, 0)
+	last := pls[len(pls)-1].Msg
+	if len(pls) < 2 || strings.Contains(last, "gen 1:") || strings.Contains(last, victim) {
+		t.Errorf("re-placement not journaled at a later generation off %s: %+v", victim, pls)
 	}
 	c.WaitDrains()
 }

@@ -1,0 +1,249 @@
+// Package events is the fleet's structured event journal: a bounded
+// in-memory ring every subsystem appends operational transitions to —
+// router mark-down/recovery with cause, placement flips with their
+// generation, autoscale decisions with the signal values that drove
+// them, canary split changes, model load/evict, alert state changes.
+//
+// The journal answers the question the instantaneous counters cannot:
+// *what happened, in what order, and why*. It is deliberately cheap
+// (one mutex, fixed memory) so every subsystem can append
+// unconditionally from its hot control paths, and every method is safe
+// on a nil *Journal so wiring stays optional.
+package events
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event for filtering and rendering.
+type Kind string
+
+// The event kinds the serving stack emits today. The set is open — the
+// journal stores whatever Kind it is handed — but sticking to these
+// keeps `tonic events` filters useful.
+const (
+	KindMarkDown  Kind = "markdown"  // router marked a replica down
+	KindRecover   Kind = "recover"   // router recovered a replica
+	KindPlacement Kind = "placement" // control plane flipped a shard map
+	KindAutoscale Kind = "autoscale" // control plane changed an app's replica count
+	KindCanary    Kind = "canary"    // traffic split set/promoted/rolled back
+	KindModel     Kind = "model"     // model registered/loaded/evicted
+	KindMember    Kind = "member"    // fleet membership change (join/leave/dead/revive)
+	KindAlert     Kind = "alert"     // SLO burn-rate alert transition
+)
+
+// Event is one journal entry. Seq is assigned at append time and
+// strictly increases, so readers can poll "everything since N" without
+// missing or double-seeing entries even as the ring overwrites.
+type Event struct {
+	Seq     uint64    `json:"seq"`
+	Time    time.Time `json:"time"`
+	Kind    Kind      `json:"kind"`
+	Source  string    `json:"source"`
+	Msg     string    `json:"msg"`
+	TraceID string    `json:"trace_id,omitempty"`
+}
+
+// String renders the entry in the journal's line format:
+//
+//	#42 15:04:05.000 [router] markdown: replica-1 marked down ...
+//
+// `tonic events -follow` parses the leading #seq back out, so keep the
+// prefix stable.
+func (e Event) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "#%d %s [%s] %s: %s", e.Seq, e.Time.Format("15:04:05.000"), e.Source, e.Kind, e.Msg)
+	if e.TraceID != "" {
+		fmt.Fprintf(&sb, " (trace %s)", e.TraceID)
+	}
+	return sb.String()
+}
+
+// DefaultCapacity bounds a journal created by New(0).
+const DefaultCapacity = 1024
+
+// Journal is the bounded event ring. All methods are safe for
+// concurrent use and on a nil receiver (appends become no-ops, reads
+// return nothing), so subsystems hold a *Journal and never check.
+type Journal struct {
+	mu   sync.Mutex
+	ring []Event
+	next uint64 // seq to assign to the next append; ring slot is (seq-1) % len
+	now  func() time.Time
+}
+
+// New creates a journal holding at most capacity events (<= 0 means
+// DefaultCapacity).
+func New(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Journal{ring: make([]Event, 0, capacity), now: time.Now}
+}
+
+// Append records one event with an empty trace ID.
+func (j *Journal) Append(kind Kind, source, msg string) {
+	j.AppendTraced(kind, source, "", msg)
+}
+
+// Appendf records one formatted event.
+func (j *Journal) Appendf(kind Kind, source, format string, args ...any) {
+	j.AppendTraced(kind, source, "", fmt.Sprintf(format, args...))
+}
+
+// AppendTraced records one event carrying the trace ID that was in
+// scope when the transition happened (empty when untraced).
+func (j *Journal) AppendTraced(kind Kind, source, traceID, msg string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.next++
+	e := Event{Seq: j.next, Time: j.now(), Kind: kind, Source: source, Msg: msg, TraceID: traceID}
+	if len(j.ring) < cap(j.ring) {
+		j.ring = append(j.ring, e)
+	} else {
+		j.ring[int((e.Seq-1)%uint64(cap(j.ring)))] = e
+	}
+	j.mu.Unlock()
+}
+
+// LastSeq returns the sequence number of the newest event (0 when
+// empty).
+func (j *Journal) LastSeq() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// Len returns how many events the ring currently holds.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.ring)
+}
+
+// Recent returns the newest n events, oldest first (all of them when
+// n <= 0 or exceeds the ring).
+func (j *Journal) Recent(n int) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	held := len(j.ring)
+	if n <= 0 || n > held {
+		n = held
+	}
+	return j.sliceLocked(j.next-uint64(n), n)
+}
+
+// Since returns every retained event with Seq > seq, oldest first. A
+// reader that fell behind the ring simply gets the oldest retained
+// events; compare the first returned Seq against its cursor to detect
+// the gap.
+func (j *Journal) Since(seq uint64) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	held := uint64(len(j.ring))
+	if seq >= j.next {
+		return nil
+	}
+	oldest := j.next - held // seq of the oldest retained event, minus one
+	if seq < oldest {
+		seq = oldest
+	}
+	return j.sliceLocked(seq, int(j.next-seq))
+}
+
+// sliceLocked copies n events starting after sequence number `after`.
+func (j *Journal) sliceLocked(after uint64, n int) []Event {
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		seq := after + uint64(i) + 1
+		out = append(out, j.ring[int((seq-1)%uint64(cap(j.ring)))])
+	}
+	return out
+}
+
+// Filter returns the newest n events of the given kind, oldest first
+// (n <= 0 means all retained).
+func (j *Journal) Filter(kind Kind, n int) []Event {
+	all := j.Recent(0)
+	out := make([]Event, 0, len(all))
+	for _, e := range all {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Control implements the "events" control verb:
+//
+//	events                  — the 20 newest events
+//	events <n>              — the n newest events
+//	events since <seq>      — everything after seq (the -follow poll)
+//	events kind <kind> [n]  — newest n of one kind
+func (j *Journal) Control(args []string) (string, error) {
+	if j == nil {
+		return "", fmt.Errorf("no event journal attached")
+	}
+	var evs []Event
+	switch {
+	case len(args) == 0:
+		evs = j.Recent(20)
+	case args[0] == "since":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: events since <seq>")
+		}
+		seq, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("events since: bad sequence %q", args[1])
+		}
+		evs = j.Since(seq)
+	case args[0] == "kind":
+		if len(args) < 2 || len(args) > 3 {
+			return "", fmt.Errorf("usage: events kind <kind> [n]")
+		}
+		n := 20
+		if len(args) == 3 {
+			v, err := strconv.Atoi(args[2])
+			if err != nil || v <= 0 {
+				return "", fmt.Errorf("events kind: bad count %q", args[2])
+			}
+			n = v
+		}
+		evs = j.Filter(Kind(args[1]), n)
+	default:
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n <= 0 {
+			return "", fmt.Errorf("usage: events [n] | events since <seq> | events kind <kind> [n]")
+		}
+		evs = j.Recent(n)
+	}
+	if len(evs) == 0 {
+		return "(no events)", nil
+	}
+	lines := make([]string, len(evs))
+	for i, e := range evs {
+		lines[i] = e.String()
+	}
+	return strings.Join(lines, "\n"), nil
+}

@@ -1,0 +1,231 @@
+package events
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAppendRecentOrder(t *testing.T) {
+	j := New(8)
+	for i := 1; i <= 3; i++ {
+		j.Appendf(KindModel, "test", "event %d", i)
+	}
+	got := j.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("Recent(0) = %d events, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d Seq = %d, want %d", i, e.Seq, i+1)
+		}
+		if want := fmt.Sprintf("event %d", i+1); e.Msg != want {
+			t.Errorf("event %d Msg = %q, want %q", i, e.Msg, want)
+		}
+	}
+	if last := j.Recent(1); len(last) != 1 || last[0].Seq != 3 {
+		t.Errorf("Recent(1) = %+v, want just seq 3", last)
+	}
+}
+
+func TestRingOverwriteKeepsNewest(t *testing.T) {
+	j := New(4)
+	for i := 1; i <= 10; i++ {
+		j.Appendf(KindMarkDown, "test", "e%d", i)
+	}
+	got := j.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("ring held %d, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Errorf("slot %d Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if j.LastSeq() != 10 {
+		t.Errorf("LastSeq = %d, want 10", j.LastSeq())
+	}
+}
+
+func TestSinceCursor(t *testing.T) {
+	j := New(4)
+	for i := 1; i <= 6; i++ {
+		j.Appendf(KindAlert, "test", "e%d", i)
+	}
+	// Cursor in range: everything after 4.
+	got := j.Since(4)
+	if len(got) != 2 || got[0].Seq != 5 || got[1].Seq != 6 {
+		t.Errorf("Since(4) = %+v, want seqs 5,6", got)
+	}
+	// Cursor caught up: nothing.
+	if got := j.Since(6); len(got) != 0 {
+		t.Errorf("Since(6) = %+v, want empty", got)
+	}
+	// Cursor fell behind the ring (events 1,2 overwritten): the oldest
+	// retained event is 3, and the gap is visible from the first Seq.
+	got = j.Since(0)
+	if len(got) != 4 || got[0].Seq != 3 {
+		t.Errorf("Since(0) = %+v, want seqs 3..6", got)
+	}
+}
+
+func TestNilJournalSafe(t *testing.T) {
+	var j *Journal
+	j.Append(KindModel, "x", "dropped")
+	j.Appendf(KindModel, "x", "dropped %d", 1)
+	j.AppendTraced(KindModel, "x", "tr", "dropped")
+	if j.Recent(5) != nil || j.Since(0) != nil || j.LastSeq() != 0 || j.Len() != 0 {
+		t.Error("nil journal leaked state")
+	}
+	if _, err := j.Control(nil); err == nil {
+		t.Error("nil journal Control should error")
+	}
+}
+
+func TestFilterByKind(t *testing.T) {
+	j := New(16)
+	j.Append(KindMarkDown, "router", "down")
+	j.Append(KindRecover, "router", "up")
+	j.Append(KindMarkDown, "router", "down again")
+	got := j.Filter(KindMarkDown, 0)
+	if len(got) != 2 {
+		t.Fatalf("Filter(markdown) = %d events, want 2", len(got))
+	}
+	if got := j.Filter(KindMarkDown, 1); len(got) != 1 || got[0].Msg != "down again" {
+		t.Errorf("Filter(markdown, 1) = %+v, want newest only", got)
+	}
+}
+
+func TestEventStringAndTrace(t *testing.T) {
+	j := New(4)
+	j.now = func() time.Time { return time.Date(2026, 8, 8, 12, 30, 45, 120e6, time.UTC) }
+	j.AppendTraced(KindMarkDown, "router", "tr-77", "replica-1 marked down for 250ms: 2 consecutive transport failures")
+	s := j.Recent(1)[0].String()
+	for _, want := range []string{"#1 ", "12:30:45.120", "[router]", "markdown:", "(trace tr-77)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered event %q missing %q", s, want)
+		}
+	}
+}
+
+func TestControlVerb(t *testing.T) {
+	j := New(32)
+	for i := 1; i <= 25; i++ {
+		j.Appendf(KindAutoscale, "controlplane", "scale %d", i)
+	}
+	out, err := j.Control(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(out, "\n")); n != 20 {
+		t.Errorf("bare events = %d lines, want 20", n)
+	}
+	out, err = j.Control([]string{"3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(out, "\n")); n != 3 {
+		t.Errorf("events 3 = %d lines, want 3", n)
+	}
+	out, err = j.Control([]string{"since", "23"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "#24 ") {
+		t.Errorf("events since 23 starts %q, want #24", out[:10])
+	}
+	out, err = j.Control([]string{"kind", "autoscale", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(out, "\n")); n != 2 {
+		t.Errorf("events kind autoscale 2 = %d lines, want 2", n)
+	}
+	if out, err := j.Control([]string{"kind", "nosuch"}); err != nil || out != "(no events)" {
+		t.Errorf("events kind nosuch = %q, %v; want (no events)", out, err)
+	}
+	for _, bad := range [][]string{{"0"}, {"-3"}, {"junk"}, {"since"}, {"since", "x"}, {"kind"}, {"kind", "a", "b", "c"}, {"kind", "a", "nan"}} {
+		if _, err := j.Control(bad); err == nil {
+			t.Errorf("Control(%v) should error", bad)
+		}
+	}
+}
+
+// TestConcurrentAppendersVsReaders is the journal's -race contract:
+// parallel appenders from multiple "subsystems" against snapshot
+// readers polling Recent/Since, with invariants checked on every read
+// (sequence numbers strictly increase, no torn events).
+func TestConcurrentAppendersVsReaders(t *testing.T) {
+	j := New(64)
+	const appenders = 4
+	const perAppender = 500
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			src := fmt.Sprintf("sub-%d", a)
+			for i := 0; i < perAppender; i++ {
+				j.AppendTraced(KindMarkDown, src, fmt.Sprintf("tr-%d-%d", a, i), fmt.Sprintf("msg %d", i))
+			}
+		}(a)
+	}
+
+	readErr := make(chan error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var cursor uint64
+			for !stop.Load() {
+				for _, batch := range [][]Event{j.Recent(16), j.Since(cursor)} {
+					var last uint64
+					for _, e := range batch {
+						if e.Seq == 0 || e.Msg == "" || e.Source == "" {
+							readErr <- fmt.Errorf("torn event: %+v", e)
+							return
+						}
+						if last != 0 && e.Seq != last+1 {
+							readErr <- fmt.Errorf("non-contiguous seqs: %d then %d", last, e.Seq)
+							return
+						}
+						last = e.Seq
+					}
+					if len(batch) > 0 {
+						cursor = batch[len(batch)-1].Seq
+					}
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Let appenders finish, then release the readers.
+	for j.LastSeq() < appenders*perAppender {
+		select {
+		case err := <-readErr:
+			t.Fatal(err)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	stop.Store(true)
+	<-done
+	select {
+	case err := <-readErr:
+		t.Fatal(err)
+	default:
+	}
+	if j.LastSeq() != appenders*perAppender {
+		t.Errorf("LastSeq = %d, want %d", j.LastSeq(), appenders*perAppender)
+	}
+}

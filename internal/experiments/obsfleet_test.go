@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// The obsfleet acceptance story: killing a replica mid-load must walk
+// the burn-rate alert through pending → firing while the kill window
+// is still open, and the alert must resolve only after the control
+// plane re-placed the app.
+func TestObsFleetAlertLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("obsfleet drives ~2s of open-loop load")
+	}
+	window := 300 * time.Millisecond
+	res, err := ObsFleetRun(3, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killEnd := res.KillAt.Add(2 * window)
+	if res.FiringAt.IsZero() {
+		t.Fatalf("alert never fired; timeline pending=%v events=%v", res.PendingAt, res.EventsByKind)
+	}
+	if res.FiringAt.Before(res.KillAt) || res.FiringAt.After(killEnd) {
+		t.Errorf("alert fired at %v, want inside the kill window [%v, %v]",
+			res.FiringAt, res.KillAt, killEnd)
+	}
+	if !res.PendingAt.IsZero() && res.FiringAt.Before(res.PendingAt) {
+		t.Errorf("fired (%v) before pending (%v)", res.FiringAt, res.PendingAt)
+	}
+	if res.ReplacedAt.IsZero() {
+		t.Fatal("control plane never re-placed the app after the kill")
+	}
+	if res.ResolvedAt.IsZero() {
+		t.Fatal("alert never resolved after recovery")
+	}
+	if !res.ResolvedAt.After(res.ReplacedAt) {
+		t.Errorf("alert resolved at %v before the re-placement at %v", res.ResolvedAt, res.ReplacedAt)
+	}
+
+	// The merged-histogram fleet p99 must not understate the tail the
+	// way averaging per-replica p99s does.
+	if res.FleetP99 <= 0 {
+		t.Error("fleet p99 from merged histograms is zero")
+	}
+
+	// The observability plane itself must stay under the 2% budget.
+	if res.OverheadFrac >= 0.02 {
+		t.Errorf("collector self-time fraction = %.4f, want < 0.02", res.OverheadFrac)
+	}
+
+	// The journal must have recorded the whole story.
+	for _, kind := range []string{"markdown", "placement", "alert", "member", "model"} {
+		found := false
+		for k, n := range res.EventsByKind {
+			if string(k) == kind && n > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("journal has no %q events: %v", kind, res.EventsByKind)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond})
+	h.RecordEx(500*time.Microsecond, "trace-a")
+	h.RecordEx(5*time.Millisecond, "")
+	h.RecordEx(7*time.Millisecond, "trace-b")
+	h.RecordEx(8*time.Millisecond, "trace-c") // last traced sample wins
+	h.RecordEx(time.Minute, "trace-inf")
+
+	s := h.Snapshot()
+	if s.Exemplars == nil {
+		t.Fatal("snapshot has no exemplars")
+	}
+	if got := s.Exemplars[0].TraceID; got != "trace-a" {
+		t.Errorf("bucket 0 exemplar = %q, want trace-a", got)
+	}
+	if got := s.Exemplars[1]; got.TraceID != "trace-c" || got.Value != 8*time.Millisecond {
+		t.Errorf("bucket 1 exemplar = %+v, want trace-c@8ms", got)
+	}
+	if got := s.Exemplars[2].TraceID; got != "trace-inf" {
+		t.Errorf("overflow bucket exemplar = %q, want trace-inf", got)
+	}
+}
+
+func TestHistogramSnapshotNoExemplarsStaysNil(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Record(time.Millisecond)
+	if s := h.Snapshot(); s.Exemplars != nil {
+		t.Errorf("untraced histogram snapshot grew Exemplars: %+v", s.Exemplars)
+	}
+}
+
+func TestHistogramQuantileInterpolates(t *testing.T) {
+	h := NewHistogram([]time.Duration{10 * time.Millisecond, 20 * time.Millisecond})
+	for i := 0; i < 100; i++ {
+		h.Record(15 * time.Millisecond) // all in (10ms, 20ms]
+	}
+	s := h.Snapshot()
+	// Median rank falls halfway through the second bucket: 10ms + 0.5*10ms.
+	if got, want := s.Quantile(0.5), 15*time.Millisecond; got != want {
+		t.Errorf("Quantile(0.5) = %v, want %v", got, want)
+	}
+	if got := s.Quantile(1.0); got != 20*time.Millisecond {
+		t.Errorf("Quantile(1.0) = %v, want 20ms", got)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	h := NewHistogram([]time.Duration{time.Millisecond})
+	h.Record(time.Hour) // overflow only
+	if got := h.Snapshot().Quantile(0.99); got != time.Millisecond {
+		t.Errorf("overflow-only Quantile = %v, want clamp to last bound 1ms", got)
+	}
+}
+
+func TestHistogramCountAtOrBelow(t *testing.T) {
+	h := NewHistogram([]time.Duration{10 * time.Millisecond, 20 * time.Millisecond})
+	for i := 0; i < 10; i++ {
+		h.Record(5 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(15 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if got := s.CountAtOrBelow(10 * time.Millisecond); got != 10 {
+		t.Errorf("CountAtOrBelow(10ms) = %v, want 10", got)
+	}
+	// 15ms is halfway through the (10,20] bucket → 10 + 0.5*10 = 15.
+	if got := s.CountAtOrBelow(15 * time.Millisecond); got != 15 {
+		t.Errorf("CountAtOrBelow(15ms) = %v, want 15", got)
+	}
+	if got := s.CountAtOrBelow(time.Hour); got != 20 {
+		t.Errorf("CountAtOrBelow(1h) = %v, want 20", got)
+	}
+}
+
+func TestHistogramSnapshotSub(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond})
+	h.Record(500 * time.Microsecond)
+	prev := h.Snapshot()
+	h.Record(5 * time.Millisecond)
+	h.Record(5 * time.Millisecond)
+	d := h.Snapshot().Sub(prev)
+	if d.Count != 2 {
+		t.Fatalf("delta Count = %d, want 2", d.Count)
+	}
+	if d.Counts[0] != 0 || d.Counts[1] != 2 {
+		t.Errorf("delta Counts = %v, want [0 2 0]", d.Counts)
+	}
+
+	// A reset (prev ahead of cur in some bucket) returns cur unchanged.
+	fresh := NewHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond})
+	fresh.Record(time.Millisecond)
+	cur := fresh.Snapshot()
+	got := cur.Sub(h.Snapshot()) // h has bucket counts cur lacks
+	if got.Count != cur.Count || got.Counts[0] != cur.Counts[0] {
+		t.Errorf("reset Sub = %+v, want cur unchanged %+v", got, cur)
+	}
+
+	// Mismatched bounds return cur unchanged.
+	other := NewHistogram([]time.Duration{2 * time.Millisecond, 10 * time.Millisecond}).Snapshot()
+	if got := cur.Sub(other); got.Counts[0] != cur.Counts[0] {
+		t.Error("bounds-mismatched Sub did not return cur unchanged")
+	}
+}
+
+func TestMergeHistogramsFleetQuantile(t *testing.T) {
+	bounds := []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond}
+	// Three "replicas" with skewed tails, plus a single-node oracle that
+	// saw every sample: the merged quantile must match the oracle
+	// exactly (identical buckets ⇒ identical interpolation).
+	replicas := make([]*Histogram, 3)
+	oracle := NewHistogram(bounds)
+	for i := range replicas {
+		replicas[i] = NewHistogram(bounds)
+	}
+	samples := []struct {
+		replica int
+		d       time.Duration
+		n       int
+	}{
+		{0, 500 * time.Microsecond, 400},
+		{1, 600 * time.Microsecond, 380},
+		{2, 700 * time.Microsecond, 300},
+		{2, 50 * time.Millisecond, 20}, // one replica owns the tail
+	}
+	for _, s := range samples {
+		for i := 0; i < s.n; i++ {
+			replicas[s.replica].Record(s.d)
+			oracle.Record(s.d)
+		}
+	}
+	snaps := make([]HistogramSnapshot, len(replicas))
+	for i := range replicas {
+		snaps[i] = replicas[i].Snapshot()
+	}
+	merged, ok := MergeHistograms(snaps...)
+	if !ok {
+		t.Fatal("merge failed")
+	}
+	want := oracle.Snapshot()
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if got, exp := merged.Quantile(p), want.Quantile(p); got != exp {
+			t.Errorf("merged Quantile(%v) = %v, oracle = %v", p, got, exp)
+		}
+	}
+	if merged.Count != want.Count || merged.Sum != want.Sum {
+		t.Errorf("merged Count/Sum = %d/%v, oracle = %d/%v", merged.Count, merged.Sum, want.Count, want.Sum)
+	}
+
+	// Contrast: the average of per-replica p99s underestimates the true
+	// fleet p99 when one replica owns the tail. Guard the property that
+	// motivates merged rollups.
+	var avg time.Duration
+	for _, s := range snaps {
+		avg += s.Quantile(0.99)
+	}
+	avg /= time.Duration(len(snaps))
+	if avg >= merged.Quantile(0.99) {
+		t.Errorf("avg-of-p99s %v unexpectedly ≥ merged p99 %v (tail hidden)", avg, merged.Quantile(0.99))
+	}
+}
+
+func TestMergeHistogramsSkipsMismatched(t *testing.T) {
+	a := NewHistogram([]time.Duration{time.Millisecond})
+	a.Record(time.Millisecond)
+	b := NewHistogram([]time.Duration{2 * time.Millisecond})
+	b.Record(time.Millisecond)
+	merged, ok := MergeHistograms(a.Snapshot(), b.Snapshot())
+	if !ok {
+		t.Fatal("merge of first snapshot should succeed")
+	}
+	if merged.Count != 1 {
+		t.Errorf("mismatched-bounds snapshot was merged: Count=%d", merged.Count)
+	}
+	if _, ok := MergeHistograms(); ok {
+		t.Error("empty merge reported ok")
+	}
+}
+
+func TestStageBreakdownRecordEx(t *testing.T) {
+	b := NewStageBreakdown()
+	b.RecordEx(StageForward, 3*time.Millisecond, "tr-9")
+	s := b.HistogramFor(StageForward)
+	found := false
+	for _, ex := range s.Exemplars {
+		if ex.TraceID == "tr-9" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stage histogram missing exemplar tr-9: %+v", s.Exemplars)
+	}
+}

@@ -206,14 +206,24 @@ var DefaultLatencyBuckets = []time.Duration{
 	500 * time.Millisecond, time.Second, 2500 * time.Millisecond, 5 * time.Second,
 }
 
+// Exemplar ties one concrete traced request to a histogram bucket, so
+// an operator looking at a latency spike in /metrics can jump straight
+// to the matching /slowlog entry instead of hunting for a trace that
+// landed in the same bucket.
+type Exemplar struct {
+	TraceID string
+	Value   time.Duration
+}
+
 // Histogram is a fixed-bucket latency histogram. Record is lock-free
 // (one atomic add per bucket/sum/count), so it can sit on the serving
 // hot path next to the reservoir recorders.
 type Histogram struct {
-	bounds []time.Duration
-	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
-	sum    atomic.Int64   // nanoseconds
-	count  atomic.Int64
+	bounds    []time.Duration
+	counts    []atomic.Int64             // len(bounds)+1; last is the +Inf bucket
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1; latest traced sample per bucket
+	sum       atomic.Int64               // nanoseconds
+	count     atomic.Int64
 }
 
 // NewHistogram creates a histogram over the given ascending bucket
@@ -223,27 +233,41 @@ func NewHistogram(bounds []time.Duration) *Histogram {
 		bounds = DefaultLatencyBuckets
 	}
 	return &Histogram{
-		bounds: append([]time.Duration(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
+		bounds:    append([]time.Duration(nil), bounds...),
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
 // Record adds one sample.
 func (h *Histogram) Record(d time.Duration) {
+	h.RecordEx(d, "")
+}
+
+// RecordEx adds one sample and, when the request carried a trace ID,
+// remembers it as the bucket's exemplar (last traced sample wins — a
+// single pointer swap, no coordination with other recorders).
+func (h *Histogram) RecordEx(d time.Duration, traceID string) {
 	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
 	h.counts[i].Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: d})
+	}
 	h.sum.Add(int64(d))
 	h.count.Add(1)
 }
 
 // HistogramSnapshot is a point-in-time copy of a Histogram. Counts is
 // per-bucket (not cumulative) and one longer than Bounds; the final
-// entry is the overflow (+Inf) bucket.
+// entry is the overflow (+Inf) bucket. Exemplars, when present, is
+// parallel to Counts; a zero-value entry means the bucket has seen no
+// traced sample.
 type HistogramSnapshot struct {
-	Bounds []time.Duration
-	Counts []int64
-	Sum    time.Duration
-	Count  int64
+	Bounds    []time.Duration
+	Counts    []int64
+	Exemplars []Exemplar
+	Sum       time.Duration
+	Count     int64
 }
 
 // Snapshot copies the histogram. The per-bucket loads are not a single
@@ -263,8 +287,186 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	for i := range h.exemplars {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]Exemplar, len(h.counts))
+			}
+			s.Exemplars[i] = *ex
+		}
+	}
 	s.Sum = time.Duration(h.sum.Load())
 	return s
+}
+
+// bucketTotal is the number of samples accounted for by the buckets
+// themselves; it can run ahead of Count by in-flight Records (see
+// Snapshot) so quantile math uses it rather than Count.
+func (s HistogramSnapshot) bucketTotal() int64 {
+	var n int64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile estimates the p-quantile (0 < p ≤ 1) by walking the bucket
+// cumulative counts and interpolating linearly inside the straddling
+// bucket. Samples in the +Inf overflow bucket report the last finite
+// bound (the histogram cannot see past it). Returns 0 for an empty
+// snapshot.
+func (s HistogramSnapshot) Quantile(p float64) time.Duration {
+	total := s.bucketTotal()
+	if total == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: clamp to the largest finite bound.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := (rank - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// CountAtOrBelow estimates how many recorded samples were ≤ d,
+// interpolating linearly inside the bucket d falls in. This is the
+// attainment side of the SLO math: good = CountAtOrBelow(SLO).
+func (s HistogramSnapshot) CountAtOrBelow(d time.Duration) float64 {
+	var cum float64
+	for i, c := range s.Counts {
+		if i >= len(s.Bounds) {
+			// Overflow samples are all > the last finite bound.
+			return cum
+		}
+		hi := s.Bounds[i]
+		if d >= hi {
+			cum += float64(c)
+			continue
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if d > lo && hi > lo {
+			cum += float64(c) * float64(d-lo) / float64(hi-lo)
+		}
+		return cum
+	}
+	return cum
+}
+
+// Sub returns the per-bucket difference s − prev, the per-interval
+// delta a periodic collector needs from two cumulative snapshots. A
+// bounds mismatch or a counter reset (any bucket going backwards)
+// returns s unchanged, the standard counter-reset semantics.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Counts) != len(s.Counts) || len(prev.Bounds) != len(s.Bounds) {
+		return s
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != prev.Bounds[i] {
+			return s
+		}
+	}
+	d := HistogramSnapshot{
+		Bounds:    s.Bounds,
+		Counts:    make([]int64, len(s.Counts)),
+		Exemplars: s.Exemplars,
+		Sum:       s.Sum - prev.Sum,
+		Count:     s.Count - prev.Count,
+	}
+	for i := range s.Counts {
+		if s.Counts[i] < prev.Counts[i] {
+			return s
+		}
+		d.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	if d.Count < 0 {
+		return s
+	}
+	return d
+}
+
+// MergeHistograms sums snapshots with identical bounds into one fleet
+// histogram — the "true fleet p99" path: quantiles over the merged
+// buckets, not an average of per-replica quantiles. Snapshots with
+// mismatched bounds are skipped; ok reports whether anything merged.
+func MergeHistograms(snaps ...HistogramSnapshot) (merged HistogramSnapshot, ok bool) {
+	for _, s := range snaps {
+		if len(s.Counts) == 0 {
+			continue
+		}
+		if merged.Counts == nil {
+			merged = HistogramSnapshot{
+				Bounds: append([]time.Duration(nil), s.Bounds...),
+				Counts: append([]int64(nil), s.Counts...),
+				Sum:    s.Sum,
+				Count:  s.Count,
+			}
+			if s.Exemplars != nil {
+				merged.Exemplars = append([]Exemplar(nil), s.Exemplars...)
+			}
+			ok = true
+			continue
+		}
+		if len(s.Counts) != len(merged.Counts) || len(s.Bounds) != len(merged.Bounds) {
+			continue
+		}
+		compatible := true
+		for i := range s.Bounds {
+			if s.Bounds[i] != merged.Bounds[i] {
+				compatible = false
+				break
+			}
+		}
+		if !compatible {
+			continue
+		}
+		for i := range s.Counts {
+			merged.Counts[i] += s.Counts[i]
+		}
+		for i := range s.Exemplars {
+			if s.Exemplars[i].TraceID != "" {
+				if merged.Exemplars == nil {
+					merged.Exemplars = make([]Exemplar, len(merged.Counts))
+				}
+				merged.Exemplars[i] = s.Exemplars[i]
+			}
+		}
+		merged.Sum += s.Sum
+		merged.Count += s.Count
+	}
+	return merged, ok
 }
 
 // StageBreakdown holds one bounded reservoir recorder plus one
@@ -286,11 +488,17 @@ func NewStageBreakdown() *StageBreakdown {
 
 // Record adds one sample to a stage's reservoir and histogram.
 func (b *StageBreakdown) Record(s Stage, d time.Duration) {
+	b.RecordEx(s, d, "")
+}
+
+// RecordEx records a sample and attaches the request's trace ID (when
+// present) to the stage histogram bucket as an exemplar.
+func (b *StageBreakdown) RecordEx(s Stage, d time.Duration, traceID string) {
 	if s < 0 || s >= numStages {
 		return
 	}
 	b.recs[s].Record(d)
-	b.hists[s].Record(d)
+	b.hists[s].RecordEx(d, traceID)
 }
 
 // HistogramFor snapshots one stage's fixed-bucket histogram (the

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"djinn/internal/events"
 	"djinn/internal/metrics"
 	"djinn/internal/service"
 	"djinn/internal/trace"
@@ -102,7 +103,8 @@ type replica struct {
 	pressure atomic.Int64
 	counters metrics.BackendCounters
 
-	ownedPool *clientPool // non-nil when the router dialled this backend
+	ownedPool *clientPool                     // non-nil when the router dialled this backend
+	jrn       *atomic.Pointer[events.Journal] // the router's journal slot, shared
 
 	mu            sync.Mutex
 	state         healthState
@@ -134,14 +136,23 @@ func (r *replica) claimProbe(now time.Time) bool {
 	return true
 }
 
+// journalf appends one router event carrying the trace ID in scope
+// when the transition happened; a no-op until SetJournal.
+func (r *replica) journalf(kind events.Kind, traceID, format string, args ...any) {
+	if r.jrn == nil {
+		return
+	}
+	r.jrn.Load().AppendTraced(kind, "router", traceID, fmt.Sprintf(format, args...))
+}
+
 // onSuccess records a successful exchange; slow marks it as a
 // slow-response health signal (the answer still goes to the caller).
-func (r *replica) onSuccess(init HealthConfig, slow bool) {
+func (r *replica) onSuccess(init HealthConfig, slow bool, traceID string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if slow {
 		r.counters.Slow()
-		r.failLocked(init, time.Now())
+		r.failLocked(init, time.Now(), traceID, "slow response")
 		return
 	}
 	r.consecFails = 0
@@ -151,6 +162,7 @@ func (r *replica) onSuccess(init HealthConfig, slow bool) {
 		// next incident starts from the initial interval.
 		r.state = healthy
 		r.probeInterval = init.ProbeInterval
+		r.journalf(events.KindRecover, traceID, "%s recovered: probe answered fast", r.id)
 	}
 	// A fast answer is evidence the backend is absorbing load again:
 	// decay the backpressure penalty geometrically.
@@ -168,7 +180,7 @@ func (r *replica) onSuccess(init HealthConfig, slow bool) {
 // deadline or cancellation is inconclusive, so the replica is
 // re-marked down with the usual exponential back-off and re-probed
 // later.
-func (r *replica) onTerminal(init HealthConfig, answered bool) {
+func (r *replica) onTerminal(init HealthConfig, answered bool, traceID string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.probing {
@@ -179,17 +191,18 @@ func (r *replica) onTerminal(init HealthConfig, answered bool) {
 		r.consecFails = 0
 		r.state = healthy
 		r.probeInterval = init.ProbeInterval
+		r.journalf(events.KindRecover, traceID, "%s recovered: probe drew a server answer", r.id)
 		return
 	}
-	r.markDownLocked(init, time.Now())
+	r.markDownLocked(init, time.Now(), traceID, "recovery probe inconclusive (caller deadline/cancel)")
 }
 
 // onFailure records a retryable failure signal.
-func (r *replica) onFailure(init HealthConfig) {
+func (r *replica) onFailure(init HealthConfig, traceID string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.counters.Failure()
-	r.failLocked(init, time.Now())
+	r.failLocked(init, time.Now(), traceID, "transport failure")
 }
 
 // onBackpressure records an overload answer. Unlike onFailure this is
@@ -199,7 +212,7 @@ func (r *replica) onFailure(init HealthConfig) {
 // router to this one's recovery. Instead the pressure penalty steers
 // load-based policies away while the query retries elsewhere, and a
 // probing replica recovers (the probe got an answer).
-func (r *replica) onBackpressure(init HealthConfig) {
+func (r *replica) onBackpressure(init HealthConfig, traceID string) {
 	r.pressure.Add(pressureStep)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -209,6 +222,7 @@ func (r *replica) onBackpressure(init HealthConfig) {
 	if r.state == down {
 		r.state = healthy
 		r.probeInterval = init.ProbeInterval
+		r.journalf(events.KindRecover, traceID, "%s recovered: probe answered with backpressure", r.id)
 	}
 }
 
@@ -226,27 +240,29 @@ func (r *replica) load() int64 {
 // failed recovery probe re-marks the replica down with a doubled
 // interval; FailureThreshold consecutive signals mark a healthy one
 // down.
-func (r *replica) failLocked(init HealthConfig, now time.Time) {
+func (r *replica) failLocked(init HealthConfig, now time.Time, traceID, signal string) {
 	r.consecFails++
 	if r.state == down {
 		if r.probing {
 			// The recovery probe failed: back off exponentially.
 			r.probing = false
-			r.markDownLocked(init, now)
+			r.markDownLocked(init, now, traceID, "recovery probe failed ("+signal+")")
 		}
 		return
 	}
 	if r.consecFails >= init.FailureThreshold {
-		r.markDownLocked(init, now)
+		r.markDownLocked(init, now, traceID,
+			fmt.Sprintf("%d consecutive failure signals (last: %s)", r.consecFails, signal))
 	}
 }
 
-func (r *replica) markDownLocked(init HealthConfig, now time.Time) {
+func (r *replica) markDownLocked(init HealthConfig, now time.Time, traceID, cause string) {
 	if r.probeInterval <= 0 {
 		r.probeInterval = init.ProbeInterval
 	}
 	r.state = down
 	r.downUntil = now.Add(r.probeInterval)
+	r.journalf(events.KindMarkDown, traceID, "%s marked down for %v: %s", r.id, r.probeInterval, cause)
 	r.probeInterval *= 2
 	if r.probeInterval > init.MaxProbeInterval {
 		r.probeInterval = init.MaxProbeInterval
@@ -273,8 +289,9 @@ type Router struct {
 	rng        uint64
 	closed     bool
 
-	route  *metrics.StageBreakdown
-	traces atomic.Pointer[trace.Store]
+	route   *metrics.StageBreakdown
+	traces  atomic.Pointer[trace.Store]
+	journal atomic.Pointer[events.Journal]
 }
 
 // New creates a router with no backends; add them with AddBackend or
@@ -300,6 +317,20 @@ func (rt *Router) SetTraceStore(st *trace.Store) {
 	if st != nil {
 		rt.traces.Store(st)
 	}
+}
+
+// SetJournal attaches the fleet event journal: every mark-down (with
+// its cause), recovery, and canary split change appends one entry,
+// carrying the trace ID of the query whose exchange drove the
+// transition. Nil detaches.
+func (rt *Router) SetJournal(j *events.Journal) {
+	rt.journal.Store(j)
+}
+
+// journalf appends one router-sourced event; a no-op when no journal
+// is attached.
+func (rt *Router) journalf(kind events.Kind, format string, args ...any) {
+	rt.journal.Load().Appendf(kind, "router", format, args...)
 }
 
 // AddBackend registers a replica the caller owns (an in-process
@@ -332,6 +363,7 @@ func (rt *Router) add(r *replica) error {
 			return fmt.Errorf("router: backend %q already registered", r.id)
 		}
 	}
+	r.jrn = &rt.journal
 	rt.replicas = append(rt.replicas, r)
 	return nil
 }
@@ -582,6 +614,7 @@ func attemptNote(rep *replica, attempt int, err error) string {
 func (rt *Router) attempt(ctx context.Context, rep *replica, app string, in []float32) ([]float32, error) {
 	rep.counters.Sent()
 	rep.outstanding.Add(1)
+	traceID := trace.IDFrom(ctx)
 	t0 := time.Now()
 	out, err := rep.be.InferCtx(ctx, app, in)
 	elapsed := time.Since(t0)
@@ -589,7 +622,7 @@ func (rt *Router) attempt(ctx context.Context, rep *replica, app string, in []fl
 	if err == nil {
 		rep.counters.OK()
 		slow := rt.cfg.Health.SlowThreshold > 0 && elapsed > rt.cfg.Health.SlowThreshold
-		rep.onSuccess(rt.cfg.Health, slow)
+		rep.onSuccess(rt.cfg.Health, slow, traceID)
 		return out, nil
 	}
 	if service.Retryable(err) {
@@ -598,9 +631,9 @@ func (rt *Router) attempt(ctx context.Context, rep *replica, app string, in []fl
 			// pending queue shed the query. Backpressure, not failure —
 			// the retry goes elsewhere while load-based policies steer
 			// around this replica until it answers fast again.
-			rep.onBackpressure(rt.cfg.Health)
+			rep.onBackpressure(rt.cfg.Health, traceID)
 		} else {
-			rep.onFailure(rt.cfg.Health)
+			rep.onFailure(rt.cfg.Health, traceID)
 		}
 		return nil, err
 	}
@@ -609,7 +642,7 @@ func (rt *Router) attempt(ctx context.Context, rep *replica, app string, in []fl
 	// liveness evidence; a deadline or cancellation says nothing about
 	// the replica. Either way the probe slot is released.
 	answered := ctx.Err() == nil && !errors.Is(err, service.ErrDeadlineExceeded)
-	rep.onTerminal(rt.cfg.Health, answered)
+	rep.onTerminal(rt.cfg.Health, answered, traceID)
 	return nil, err
 }
 

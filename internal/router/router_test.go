@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"djinn/internal/events"
 	"djinn/internal/nn"
 	"djinn/internal/service"
 	"djinn/internal/tensor"
@@ -728,18 +730,82 @@ func TestReplicaPressureDecays(t *testing.T) {
 	cfg := HealthConfig{}.withDefaults()
 	r := &replica{id: "x"}
 	for i := 0; i < 4; i++ {
-		r.onBackpressure(cfg)
+		r.onBackpressure(cfg, "")
 	}
 	if p := r.pressure.Load(); p != 4*pressureStep {
 		t.Fatalf("pressure = %d after 4 overloads, want %d", p, 4*pressureStep)
 	}
 	for i := 0; i < 10 && r.pressure.Load() > 0; i++ {
-		r.onSuccess(cfg, false)
+		r.onSuccess(cfg, false, "")
 	}
 	if p := r.pressure.Load(); p != 0 {
 		t.Fatalf("pressure = %d after successes, want 0", p)
 	}
 	if r.load() != 0 {
 		t.Fatalf("load = %d on an idle replica", r.load())
+	}
+}
+
+// TestRouterJournalsHealthAndCanaryTransitions: mark-down (with its
+// cause), probe recovery, and split changes each land in the attached
+// event journal.
+func TestRouterJournalsHealthAndCanaryTransitions(t *testing.T) {
+	flaky, good := &fakeBackend{}, &fakeBackend{}
+	flaky.setErr(fmt.Errorf("%w: conn reset", service.ErrTransport))
+	const probe = 20 * time.Millisecond
+	rt := New(Config{
+		Policy: RoundRobin,
+		Health: HealthConfig{FailureThreshold: 1, ProbeInterval: probe, MaxProbeInterval: time.Second},
+	})
+	defer rt.Close()
+	j := events.New(64)
+	rt.SetJournal(j)
+	rt.AddBackend("flaky", flaky)
+	rt.AddBackend("good", good)
+
+	for i := 0; i < 2; i++ {
+		rt.Infer("tiny", nil)
+	}
+	downs := j.Filter(events.KindMarkDown, 0)
+	if len(downs) != 1 {
+		t.Fatalf("markdown events = %d, want 1", len(downs))
+	}
+	if !strings.Contains(downs[0].Msg, "flaky") || !strings.Contains(downs[0].Msg, "transport failure") {
+		t.Errorf("markdown msg = %q, want replica id and cause", downs[0].Msg)
+	}
+
+	flaky.setErr(nil)
+	time.Sleep(probe + 10*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for len(j.Filter(events.KindRecover, 0)) == 0 && time.Now().Before(deadline) {
+		rt.Infer("tiny", nil)
+		time.Sleep(time.Millisecond)
+	}
+	recs := j.Filter(events.KindRecover, 0)
+	if len(recs) == 0 {
+		t.Fatal("no recovery event journaled")
+	}
+	if !strings.Contains(recs[0].Msg, "flaky recovered") {
+		t.Errorf("recovery msg = %q", recs[0].Msg)
+	}
+
+	// Canary lifecycle: set, promote, roll back — three journal entries.
+	if err := rt.SetSplit("tiny", SplitTarget{Target: "tiny@v1", Weight: 9}, SplitTarget{Target: "tiny@v2", Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Promote("tiny", "tiny@v2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Rollback("tiny"); err != nil {
+		t.Fatal(err)
+	}
+	cs := j.Filter(events.KindCanary, 0)
+	if len(cs) != 3 {
+		t.Fatalf("canary events = %d, want 3", len(cs))
+	}
+	if !strings.Contains(cs[0].Msg, "tiny@v2:10%") ||
+		!strings.Contains(cs[1].Msg, "promoted") ||
+		!strings.Contains(cs[2].Msg, "rolled back → tiny@v1:90% tiny@v2:10%") {
+		t.Errorf("canary timeline = %q, %q, %q", cs[0].Msg, cs[1].Msg, cs[2].Msg)
 	}
 }

@@ -3,7 +3,10 @@ package router
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
+
+	"djinn/internal/events"
 )
 
 // Traffic splitting is the router half of the model-store lifecycle:
@@ -103,25 +106,39 @@ func newSplit(targets []SplitTarget) (*split, error) {
 // Rollback. Queries already dispatched keep the target they were
 // assigned.
 func (rt *Router) SetSplit(app string, targets ...SplitTarget) error {
+	return rt.setSplit(app, "split", targets)
+}
+
+func (rt *Router) setSplit(app, action string, targets []SplitTarget) error {
 	sp, err := newSplit(targets)
 	if err != nil {
 		return err
 	}
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	if rt.splits == nil {
 		rt.splits = make(map[string]*split)
 	}
 	sp.prev, sp.prevKnown = rt.splits[app], true
 	rt.splits[app] = sp
+	rt.mu.Unlock()
+	rt.journalf(events.KindCanary, "%s %s → %s", app, action, formatTargets(sp))
 	return nil
+}
+
+// formatTargets renders a split's arms as "v1:90% v2:10%".
+func formatTargets(sp *split) string {
+	parts := make([]string, len(sp.targets))
+	for i, tg := range sp.targets {
+		parts[i] = fmt.Sprintf("%s:%.0f%%", tg.Target, 100*float64(tg.Weight)/float64(sp.total))
+	}
+	return strings.Join(parts, " ")
 }
 
 // Promote collapses app's split to 100% of the named target — the
 // canary graduates. The displaced split is kept for Rollback, so an
 // over-eager promotion is still one call from recovery.
 func (rt *Router) Promote(app, target string) error {
-	return rt.SetSplit(app, SplitTarget{Target: target, Weight: 1})
+	return rt.setSplit(app, "promoted", []SplitTarget{{Target: target, Weight: 1}})
 }
 
 // Rollback atomically restores app's previous split state (including
@@ -130,21 +147,26 @@ func (rt *Router) Promote(app, target string) error {
 // state. It fails if app has no split or no recorded history.
 func (rt *Router) Rollback(app string) error {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	sp := rt.splits[app]
 	if sp == nil {
+		rt.mu.Unlock()
 		return fmt.Errorf("router: no split for %q", app)
 	}
 	if !sp.prevKnown {
+		rt.mu.Unlock()
 		return fmt.Errorf("router: no split history for %q", app)
 	}
+	restored := "(no split)"
 	if sp.prev == nil {
 		delete(rt.splits, app)
-		return nil
+	} else {
+		// One-deep history: the restored split must not chain further back.
+		sp.prev.prev, sp.prev.prevKnown = nil, false
+		rt.splits[app] = sp.prev
+		restored = formatTargets(sp.prev)
 	}
-	// One-deep history: the restored split must not chain further back.
-	sp.prev.prev, sp.prev.prevKnown = nil, false
-	rt.splits[app] = sp.prev
+	rt.mu.Unlock()
+	rt.journalf(events.KindCanary, "%s rolled back → %s", app, restored)
 	return nil
 }
 

@@ -159,6 +159,12 @@ func FuzzControlRoundTrip(f *testing.F) {
 	f.Add("autoscale asr")
 	f.Add("scale imc 3")
 	f.Add("rebalance")
+	f.Add("events")
+	f.Add("events 20")
+	f.Add("events since 42")
+	f.Add("events kind markdown 5")
+	f.Add("alerts")
+	f.Add("alerts imc")
 	f.Fuzz(func(t *testing.T, cmd string) {
 		if len(cmd) == 0 || len(cmd) > 1024 {
 			return

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"djinn/internal/events"
 	"djinn/internal/metrics"
 	"djinn/internal/modelstore"
 	"djinn/internal/nn"
@@ -27,6 +28,12 @@ type AppConfig struct {
 	// into one forward pass (queries × instances-per-query at the
 	// Table 3 operating point). Zero means 64.
 	BatchInstances int
+	// MinBatchInstances floors the adaptive batch controller: under an
+	// SLO the effective batch floats within [MinBatchInstances,
+	// BatchInstances]. Setting it equal to BatchInstances pins the
+	// batch size — useful when the backend's per-batch cost is fixed
+	// and shrinking the batch only sheds capacity. Zero means 1.
+	MinBatchInstances int
 	// BatchWindow is how long the aggregator waits for a batch to fill
 	// before flushing a partial one. Zero means 2ms.
 	BatchWindow time.Duration
@@ -59,6 +66,9 @@ type AppConfig struct {
 func (c AppConfig) withDefaults() AppConfig {
 	if c.BatchInstances <= 0 {
 		c.BatchInstances = 64
+	}
+	if c.MinBatchInstances > c.BatchInstances {
+		c.MinBatchInstances = c.BatchInstances
 	}
 	if c.BatchWindow <= 0 {
 		c.BatchWindow = 2 * time.Millisecond
@@ -113,6 +123,7 @@ type app struct {
 	sampleOut     int
 	reqCh         chan *request
 	stages        *metrics.StageBreakdown
+	e2e           *metrics.Histogram           // end-to-end served latency (enqueue → respond), fleet-mergeable
 	traces        *atomic.Pointer[trace.Store] // the server's store, shared
 	tput          *metrics.Throughput          // the server's completion rate, shared
 	ctrl          *sched.Controller            // nil unless cfg.SLO > 0
@@ -192,6 +203,21 @@ type Server struct {
 	// that are not registered apps fault their model in from disk.
 	store    *modelstore.Registry
 	storeCfg AppConfig // batching config for store-backed apps
+
+	// Fleet observability (optional): the shared event journal this
+	// server appends model-lifecycle transitions to, and the injected
+	// handler behind the "alerts" control verb (the burn-rate engine
+	// lives above the service layer; a plain func avoids the upward
+	// dependency).
+	journal   atomic.Pointer[journalRef]
+	alertsCtl atomic.Pointer[func(args []string) (string, error)]
+}
+
+// journalRef pairs the shared journal with this server's source label
+// ("replica-2"), so one atomic pointer swaps both.
+type journalRef struct {
+	j      *events.Journal
+	source string
 }
 
 // NewServer creates an empty DjiNN server. Register applications before
@@ -230,6 +256,55 @@ func (s *Server) SetTraceStore(st *trace.Store) {
 // "current load" a metrics scrape reports.
 func (s *Server) Throughput() *metrics.Throughput { return s.tput }
 
+// SetJournal attaches the shared fleet event journal; source labels
+// this server's entries (e.g. "replica-2"). Model registrations,
+// fault-ins and eviction drains append here, and the "events" control
+// verb reads from it.
+func (s *Server) SetJournal(j *events.Journal, source string) {
+	if source == "" {
+		source = "server"
+	}
+	s.journal.Store(&journalRef{j: j, source: source})
+}
+
+// Journal returns the attached event journal (nil when none).
+func (s *Server) Journal() *events.Journal {
+	if ref := s.journal.Load(); ref != nil {
+		return ref.j
+	}
+	return nil
+}
+
+// journalf appends one formatted event to the attached journal; a
+// no-op when none is attached.
+func (s *Server) journalf(kind events.Kind, format string, args ...any) {
+	if ref := s.journal.Load(); ref != nil {
+		ref.j.Appendf(kind, ref.source, format, args...)
+	}
+}
+
+// SetAlertsControl injects the handler behind the "alerts" control
+// verb (the admin wiring points it at the burn-rate engine).
+func (s *Server) SetAlertsControl(fn func(args []string) (string, error)) {
+	if fn == nil {
+		s.alertsCtl.Store(nil)
+		return
+	}
+	s.alertsCtl.Store(&fn)
+}
+
+// RequestHistogram returns one application's end-to-end served-latency
+// histogram (enqueue → response). Fixed buckets make per-replica
+// snapshots mergeable, which is what lets the fleet collector compute
+// a true fleet p99 instead of averaging per-replica quantiles.
+func (s *Server) RequestHistogram(name string) (metrics.HistogramSnapshot, bool) {
+	a, ok := s.app(name)
+	if !ok {
+		return metrics.HistogramSnapshot{}, false
+	}
+	return a.e2e.Snapshot(), true
+}
+
 // SetSchedSlots bounds how many batch executions may run concurrently
 // across all applications; when slots are contended, pending batches
 // are granted by weighted round-robin over the apps' priority classes,
@@ -263,6 +338,7 @@ func (s *Server) Register(name string, netw *nn.Net, cfg AppConfig) error {
 		sampleOut: elems(netw.OutShape()),
 		reqCh:     make(chan *request, cfg.MaxPending),
 		stages:    metrics.NewStageBreakdown(),
+		e2e:       metrics.NewHistogram(nil),
 		traces:    &s.traces,
 		tput:      s.tput,
 		gate:      s.gate,
@@ -274,6 +350,7 @@ func (s *Server) Register(name string, netw *nn.Net, cfg AppConfig) error {
 			Priority: cfg.Priority,
 			MaxBatch: cfg.BatchInstances,
 			Workers:  cfg.Workers,
+			AIMD:     sched.AIMDConfig{Min: cfg.MinBatchInstances},
 		})
 	}
 	s.apps[name] = a
@@ -284,6 +361,7 @@ func (s *Server) Register(name string, netw *nn.Net, cfg AppConfig) error {
 		s.logf("service: registered %s (%d params, %.1f MB, batch %d instances, %d workers)",
 			name, netw.ParamCount(), float64(netw.WeightBytes())/(1<<20), cfg.BatchInstances, cfg.Workers)
 	}
+	s.journalf(events.KindModel, "loaded %s (%.1f MB, %d workers)", name, float64(netw.WeightBytes())/(1<<20), cfg.Workers)
 	batchCh := make(chan []*request, cfg.Workers)
 	a.wg.Add(1)
 	go func() {
@@ -330,6 +408,7 @@ func (s *Server) Unregister(name string) error {
 	}
 	a.stop()
 	s.logf("service: unregistered %s", name)
+	s.journalf(events.KindModel, "evicted %s (drained, %d queries served)", name, a.queries.Load())
 	return nil
 }
 
@@ -652,15 +731,17 @@ func (a *app) runBatch(plan *nn.Plan, batch []*request) {
 		if r.respond(result{out: resp}) {
 			a.queries.Add(1)
 			a.tput.Add(1)
+			e2e := time.Since(r.enqueued)
+			a.e2e.RecordEx(e2e, r.traceID)
 			if a.ctrl != nil {
-				a.ctrl.Complete(time.Since(r.enqueued))
+				a.ctrl.Complete(e2e)
 			}
 		}
-		a.stages.Record(metrics.StageQueueWait, r.dequeued.Sub(r.enqueued))
-		a.stages.Record(metrics.StageBatchAssembly, r.flushed.Sub(r.dequeued))
-		a.stages.Record(metrics.StageForward, forward)
+		a.stages.RecordEx(metrics.StageQueueWait, r.dequeued.Sub(r.enqueued), r.traceID)
+		a.stages.RecordEx(metrics.StageBatchAssembly, r.flushed.Sub(r.dequeued), r.traceID)
+		a.stages.RecordEx(metrics.StageForward, forward, r.traceID)
 		respond := time.Since(forwardDone)
-		a.stages.Record(metrics.StageRespond, respond)
+		a.stages.RecordEx(metrics.StageRespond, respond, r.traceID)
 		a.traceSpans(r,
 			trace.Span{Name: "queue_wait", Start: r.enqueued, Dur: r.dequeued.Sub(r.enqueued)},
 			trace.Span{Name: "batch_assembly", Start: r.dequeued, Dur: r.flushed.Sub(r.dequeued),
@@ -796,7 +877,10 @@ func (s *Server) handle(conn net.Conn) {
 // "trace <id>" renders the spans recorded for one traced query and
 // "trace slowest [n]" lists the worst retained traces;
 // "model list|stats|register|load|evict" drives the model store's
-// registry and lifecycle (see controlModel in models.go).
+// registry and lifecycle (see controlModel in models.go);
+// "events [n] | events since <seq> | events kind <kind> [n]" reads the
+// attached fleet event journal; "alerts" reaches the injected
+// burn-rate alert engine.
 func (s *Server) control(cmd string) (string, error) {
 	fields := strings.Fields(cmd)
 	if len(fields) == 0 {
@@ -807,6 +891,13 @@ func (s *Server) control(cmd string) (string, error) {
 		return s.controlTrace(fields[1:])
 	case "model":
 		return s.controlModel(fields[1:])
+	case "events":
+		return s.Journal().Control(fields[1:])
+	case "alerts":
+		if fn := s.alertsCtl.Load(); fn != nil {
+			return (*fn)(fields[1:])
+		}
+		return "", errors.New("service: no alert engine attached")
 	case "apps":
 		names := s.Apps()
 		sort.Strings(names)

@@ -1,0 +1,280 @@
+package timeseries
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"djinn/internal/metrics"
+	"djinn/internal/modelstore"
+	"djinn/internal/sched"
+	"djinn/internal/service"
+)
+
+// fakeReplica implements Replica without booting a real server, so the
+// collector's rollup math is tested against exact known inputs.
+type fakeReplica struct {
+	mu       sync.Mutex
+	apps     map[string]*fakeApp
+	resident int64
+}
+
+type fakeApp struct {
+	stats service.Stats
+	info  sched.Info
+	hist  *metrics.Histogram
+}
+
+func newFakeReplica(apps ...string) *fakeReplica {
+	r := &fakeReplica{apps: map[string]*fakeApp{}}
+	for _, a := range apps {
+		r.apps[a] = &fakeApp{hist: metrics.NewHistogram(nil)}
+	}
+	return r
+}
+
+func (r *fakeReplica) serve(app string, d time.Duration, n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.apps[app]
+	for i := 0; i < n; i++ {
+		a.hist.Record(d)
+	}
+	a.stats.Queries += int64(n)
+	a.stats.Instances += int64(n)
+	a.stats.Batches += int64(n)
+}
+
+func (r *fakeReplica) shed(app string, adm, exp int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.apps[app].stats.ShedAdmission += adm
+	r.apps[app].stats.ShedExpired += exp
+}
+
+func (r *fakeReplica) Apps() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.apps))
+	for a := range r.apps {
+		out = append(out, a)
+	}
+	return out
+}
+
+func (r *fakeReplica) StatsFor(app string) (service.Stats, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.apps[app]
+	if !ok {
+		return service.Stats{}, false
+	}
+	return a.stats, true
+}
+
+func (r *fakeReplica) SchedFor(app string) (sched.Info, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.apps[app]
+	if !ok || a.info.SLO == 0 {
+		return sched.Info{}, false
+	}
+	return a.info, true
+}
+
+func (r *fakeReplica) RequestHistogram(app string) (metrics.HistogramSnapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.apps[app]
+	if !ok {
+		return metrics.HistogramSnapshot{}, false
+	}
+	return a.hist.Snapshot(), true
+}
+
+func (r *fakeReplica) ModelStats() (modelstore.Stats, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return modelstore.Stats{ResidentBytes: r.resident}, r.resident > 0
+}
+
+func TestCollectorFleetP99MatchesSingleNodeOracle(t *testing.T) {
+	// Three replicas with very different tails, plus an oracle histogram
+	// that saw every sample. The collector's merged fleet quantile must
+	// equal the oracle's, while the average of per-replica p99s must
+	// not (it hides the tail replica).
+	reps := []*fakeReplica{newFakeReplica("imc"), newFakeReplica("imc"), newFakeReplica("imc")}
+	oracle := metrics.NewHistogram(nil)
+	c := NewCollector(Config{
+		Interval: 100 * time.Millisecond,
+		Slots:    64,
+		Targets: []Target{
+			{Replica: "r0", Server: reps[0]},
+			{Replica: "r1", Server: reps[1]},
+			{Replica: "r2", Server: reps[2]},
+		},
+	})
+	c.Sample(ts(0)) // prime baselines
+
+	record := func(rep int, d time.Duration, n int) {
+		reps[rep].serve("imc", d, n)
+		for i := 0; i < n; i++ {
+			oracle.Record(d)
+		}
+	}
+	record(0, 2*time.Millisecond, 300)
+	record(1, 3*time.Millisecond, 300)
+	record(2, 4*time.Millisecond, 290)
+	record(2, 80*time.Millisecond, 10) // r2 owns the tail
+	c.Sample(ts(1))
+
+	window := 200 * time.Millisecond
+	want := oracle.Snapshot()
+	for _, p := range []float64{0.5, 0.99} {
+		if got, exp := c.FleetQuantile("imc", p, window), want.Quantile(p); got != exp {
+			t.Errorf("FleetQuantile(%v) = %v, oracle = %v", p, got, exp)
+		}
+	}
+
+	var avg time.Duration
+	for i := range reps {
+		rs := c.ReplicaApp([]string{"r0", "r1", "r2"}[i], "imc")
+		if rs == nil {
+			t.Fatalf("missing replica series %d", i)
+		}
+		if last, ok := rs.P99.Last(); ok {
+			avg += time.Duration(last.Value * float64(time.Second))
+		}
+	}
+	avg /= time.Duration(len(reps))
+	if avg >= c.FleetQuantile("imc", 0.99, window) {
+		t.Errorf("avg of per-replica p99s %v ≥ merged fleet p99 %v — rollup lost the tail", avg, c.FleetQuantile("imc", 0.99, window))
+	}
+}
+
+func TestCollectorRatesAndAttainment(t *testing.T) {
+	rep := newFakeReplica("asr")
+	c := NewCollector(Config{
+		Interval: time.Second,
+		Slots:    16,
+		Targets:  []Target{{Replica: "r0", Server: rep}},
+		SLO:      map[string]time.Duration{"asr": 10 * time.Millisecond},
+	})
+	c.Sample(ts(0))
+	// Tick 1: 80 fast (in SLO), 20 slow (over), plus 50 admission sheds
+	// and 10 queue expiries. Demand = 160, good = 80.
+	rep.serve("asr", time.Millisecond, 80)
+	rep.serve("asr", 100*time.Millisecond, 20)
+	rep.shed("asr", 50, 10)
+	c.Sample(ts(1))
+
+	fs := c.App("asr")
+	if fs == nil {
+		t.Fatal("no fleet series for asr")
+	}
+	if last, _ := fs.QPS.Last(); last.Value != 100 {
+		t.Errorf("QPS = %v, want 100", last.Value)
+	}
+	if last, _ := fs.ShedAdm.Last(); last.Value != 50 {
+		t.Errorf("ShedAdm rate = %v, want 50", last.Value)
+	}
+	if last, _ := fs.ShedExp.Last(); last.Value != 10 {
+		t.Errorf("ShedExp rate = %v, want 10", last.Value)
+	}
+	rate, demand, ok := c.ErrorRate("asr", time.Second)
+	if !ok {
+		t.Fatal("ErrorRate not ok")
+	}
+	if demand != 160 {
+		t.Errorf("demand = %v, want 160", demand)
+	}
+	if rate < 0.45 || rate > 0.55 {
+		t.Errorf("error rate = %v, want ≈ 0.5 (80 good of 160)", rate)
+	}
+	if last, _ := fs.Attainment.Last(); last.Value < 0.45 || last.Value > 0.55 {
+		t.Errorf("attainment = %v, want ≈ 0.5", last.Value)
+	}
+
+	// Tick 2: healthy again — windowed rate over both ticks sits between.
+	rep.serve("asr", time.Millisecond, 100)
+	c.Sample(ts(2))
+	rate2, _, _ := c.ErrorRate("asr", 2*time.Second)
+	if rate2 >= rate || rate2 <= 0 {
+		t.Errorf("2-tick windowed rate = %v, want between 0 and %v", rate2, rate)
+	}
+	if oneTick, _, _ := c.ErrorRate("asr", time.Second); oneTick > 0.05 {
+		t.Errorf("healthy tick rate = %v, want ≈ 0", oneTick)
+	}
+}
+
+func TestCollectorNoSLOTreatsServedAsGood(t *testing.T) {
+	rep := newFakeReplica("pos")
+	c := NewCollector(Config{Interval: time.Second, Slots: 8, Targets: []Target{{Replica: "r0", Server: rep}}})
+	c.Sample(ts(0))
+	rep.serve("pos", time.Hour, 50) // absurdly slow, but no SLO declared
+	c.Sample(ts(1))
+	rate, _, ok := c.ErrorRate("pos", time.Second)
+	if !ok || rate != 0 {
+		t.Errorf("no-SLO ErrorRate = %v ok=%v, want 0", rate, ok)
+	}
+}
+
+func TestCollectorUnknownAppAndNoSamples(t *testing.T) {
+	c := NewCollector(Config{Interval: time.Second, Slots: 8})
+	if _, _, ok := c.ErrorRate("nope", time.Second); ok {
+		t.Error("unknown app ErrorRate ok")
+	}
+	if q := c.FleetQuantile("nope", 0.99, time.Second); q != 0 {
+		t.Errorf("unknown app quantile = %v", q)
+	}
+}
+
+func TestCollectorDash(t *testing.T) {
+	rep := newFakeReplica("imc")
+	rep.resident = 1 << 20
+	c := NewCollector(Config{
+		Interval: time.Second,
+		Slots:    8,
+		Targets:  []Target{{Replica: "r0", Server: rep}},
+		SLO:      map[string]time.Duration{"imc": 50 * time.Millisecond},
+	})
+	c.Sample(ts(0))
+	rep.serve("imc", 5*time.Millisecond, 120)
+	c.Sample(ts(1))
+
+	d := c.Dash(4*time.Second, 8)
+	if len(d.Apps) != 1 || d.Apps[0].App != "imc" {
+		t.Fatalf("Dash apps = %+v", d.Apps)
+	}
+	a := d.Apps[0]
+	if a.QPS != 120 || a.Attainment != 1 || a.SLO != 50*time.Millisecond {
+		t.Errorf("AppDash = %+v, want qps 120 attainment 1", a)
+	}
+	if a.P99 <= 0 || a.P99 > 50*time.Millisecond {
+		t.Errorf("AppDash P99 = %v, want in (0, 50ms]", a.P99)
+	}
+	if len(d.Replicas) != 1 || d.Replicas[0].Replica != "r0" || d.Replicas[0].ResidentBytes != 1<<20 {
+		t.Fatalf("Dash replicas = %+v", d.Replicas)
+	}
+	if len(d.Replicas[0].QPSSpark) == 0 {
+		t.Error("replica sparkline empty")
+	}
+}
+
+func TestCollectorRunStop(t *testing.T) {
+	rep := newFakeReplica("imc")
+	c := NewCollector(Config{Interval: 5 * time.Millisecond, Slots: 64, Targets: []Target{{Replica: "r0", Server: rep}}})
+	c.Run()
+	rep.serve("imc", time.Millisecond, 10)
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Ticks() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	if c.Ticks() < 3 {
+		t.Fatalf("collector took %d ticks in 2s", c.Ticks())
+	}
+	if c.SelfTime() <= 0 {
+		t.Error("SelfTime not accounted")
+	}
+}

@@ -1,0 +1,179 @@
+// Package timeseries gives the fleet a memory: fixed-interval
+// ring-buffer series over counter rates plus mergeable histogram
+// snapshots, and a collector that samples every replica's per-app
+// stats and rolls them up fleet-wide. The rollup path merges the
+// per-replica histogram deltas before taking quantiles, so the fleet
+// p99 is a true quantile over every sample — not an average of
+// per-replica p99s, which hides the replica that owns the tail.
+package timeseries
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"djinn/internal/metrics"
+)
+
+// Point is one fixed-interval sample.
+type Point struct {
+	Time  time.Time `json:"time"`
+	Value float64   `json:"value"`
+}
+
+// Series is a bounded ring of periodic float64 samples (rates, gauges,
+// per-tick counts). Safe for concurrent use.
+type Series struct {
+	mu   sync.Mutex
+	ring []Point
+	next int // slot the next Push writes
+	n    int // filled slots
+}
+
+// NewSeries creates a series retaining the last `slots` samples.
+func NewSeries(slots int) *Series {
+	if slots <= 0 {
+		slots = 1
+	}
+	return &Series{ring: make([]Point, slots)}
+}
+
+// Push appends one sample, overwriting the oldest once full.
+func (s *Series) Push(t time.Time, v float64) {
+	s.mu.Lock()
+	s.ring[s.next] = Point{Time: t, Value: v}
+	s.next = (s.next + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// Len returns how many samples the ring holds.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Last returns the newest sample, if any.
+func (s *Series) Last() (Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Point{}, false
+	}
+	return s.ring[(s.next-1+len(s.ring))%len(s.ring)], true
+}
+
+// Tail returns the newest k samples, oldest first (all when k <= 0 or
+// k exceeds the retained count).
+func (s *Series) Tail(k int) []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k <= 0 || k > s.n {
+		k = s.n
+	}
+	out := make([]Point, k)
+	for i := 0; i < k; i++ {
+		out[i] = s.ring[(s.next-k+i+len(s.ring))%len(s.ring)]
+	}
+	return out
+}
+
+// Values returns the newest k sample values, oldest first.
+func (s *Series) Values(k int) []float64 {
+	pts := s.Tail(k)
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Sum adds the newest k sample values (all when k <= 0).
+func (s *Series) Sum(k int) float64 {
+	var sum float64
+	for _, p := range s.Tail(k) {
+		sum += p.Value
+	}
+	return sum
+}
+
+// Mean averages the newest k sample values, 0 when empty.
+func (s *Series) Mean(k int) float64 {
+	pts := s.Tail(k)
+	if len(pts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += p.Value
+	}
+	return sum / float64(len(pts))
+}
+
+// HistSeries is a bounded ring of per-interval histogram deltas. Each
+// slot is the merged fleet histogram for one collector tick; merging a
+// tail of slots yields the fleet latency distribution over any recent
+// window, from which true fleet quantiles fall out.
+type HistSeries struct {
+	mu   sync.Mutex
+	ring []metrics.HistogramSnapshot
+	next int
+	n    int
+}
+
+// NewHistSeries creates a histogram series retaining `slots` intervals.
+func NewHistSeries(slots int) *HistSeries {
+	if slots <= 0 {
+		slots = 1
+	}
+	return &HistSeries{ring: make([]metrics.HistogramSnapshot, slots)}
+}
+
+// Push appends one per-interval delta snapshot.
+func (h *HistSeries) Push(s metrics.HistogramSnapshot) {
+	h.mu.Lock()
+	h.ring[h.next] = s
+	h.next = (h.next + 1) % len(h.ring)
+	if h.n < len(h.ring) {
+		h.n++
+	}
+	h.mu.Unlock()
+}
+
+// Len returns how many intervals the ring holds.
+func (h *HistSeries) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Merged merges the newest k interval snapshots (all when k <= 0) into
+// one histogram; ok is false when nothing non-empty was retained.
+func (h *HistSeries) Merged(k int) (metrics.HistogramSnapshot, bool) {
+	h.mu.Lock()
+	if k <= 0 || k > h.n {
+		k = h.n
+	}
+	snaps := make([]metrics.HistogramSnapshot, k)
+	for i := 0; i < k; i++ {
+		snaps[i] = h.ring[(h.next-k+i+len(h.ring))%len(h.ring)]
+	}
+	h.mu.Unlock()
+	return metrics.MergeHistograms(snaps...)
+}
+
+// Ticks converts a wall-clock window into a tick count at the given
+// sampling interval, rounding up and clamping to at least one tick.
+func Ticks(window, interval time.Duration) int {
+	if interval <= 0 {
+		return 1
+	}
+	k := int(math.Ceil(float64(window) / float64(interval)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

@@ -1,0 +1,147 @@
+package timeseries
+
+import (
+	"testing"
+	"time"
+
+	"djinn/internal/metrics"
+)
+
+func ts(sec int) time.Time {
+	return time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC).Add(time.Duration(sec) * time.Second)
+}
+
+func TestSeriesPushTailOrder(t *testing.T) {
+	s := NewSeries(8)
+	for i := 0; i < 5; i++ {
+		s.Push(ts(i), float64(i))
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	got := s.Values(3)
+	if len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Errorf("Values(3) = %v, want [2 3 4]", got)
+	}
+	if last, ok := s.Last(); !ok || last.Value != 4 || !last.Time.Equal(ts(4)) {
+		t.Errorf("Last = %+v, want value 4 at t4", last)
+	}
+	if sum := s.Sum(0); sum != 0+1+2+3+4 {
+		t.Errorf("Sum(0) = %v, want 10", sum)
+	}
+	if m := s.Mean(2); m != 3.5 {
+		t.Errorf("Mean(2) = %v, want 3.5", m)
+	}
+}
+
+func TestSeriesWraparound(t *testing.T) {
+	s := NewSeries(4)
+	for i := 0; i < 11; i++ {
+		s.Push(ts(i), float64(i))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	got := s.Values(0)
+	want := []float64{7, 8, 9, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after wrap Values = %v, want %v", got, want)
+		}
+	}
+	// A window larger than the retained history clamps to what's held.
+	if got := s.Values(100); len(got) != 4 {
+		t.Errorf("Values(100) len = %d, want 4", len(got))
+	}
+	if sum := s.Sum(2); sum != 19 {
+		t.Errorf("Sum(2) = %v, want 19", sum)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries(4)
+	if _, ok := s.Last(); ok {
+		t.Error("empty Last ok")
+	}
+	if s.Sum(3) != 0 || s.Mean(3) != 0 || len(s.Values(3)) != 0 {
+		t.Error("empty series leaked values")
+	}
+}
+
+func histWith(bounds []time.Duration, samples ...time.Duration) metrics.HistogramSnapshot {
+	h := metrics.NewHistogram(bounds)
+	for _, d := range samples {
+		h.Record(d)
+	}
+	return h.Snapshot()
+}
+
+func TestHistSeriesMergeAtWindowBoundary(t *testing.T) {
+	bounds := []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond}
+	hs := NewHistSeries(4)
+	// Six ticks; ring holds the last four. Tick i records (i+1) samples
+	// of 5ms, except tick 5 which has the only slow tail sample.
+	for i := 0; i < 5; i++ {
+		samples := make([]time.Duration, i+1)
+		for j := range samples {
+			samples[j] = 5 * time.Millisecond
+		}
+		hs.Push(histWith(bounds, samples...))
+	}
+	hs.Push(histWith(bounds, 50*time.Millisecond))
+
+	// Window of 2 ticks: tick 4 (5 samples) + tick 5 (1 slow sample).
+	m, ok := hs.Merged(2)
+	if !ok {
+		t.Fatal("Merged(2) not ok")
+	}
+	if m.Count != 6 {
+		t.Errorf("Merged(2) Count = %d, want 6", m.Count)
+	}
+	if q := m.Quantile(0.99); q <= 10*time.Millisecond {
+		t.Errorf("window p99 = %v, want > 10ms (tail tick included)", q)
+	}
+	// Full retained window (4 ticks): ticks 2..5 → 3+4+5+1 = 13.
+	m, ok = hs.Merged(0)
+	if !ok {
+		t.Fatal("Merged(0) not ok")
+	}
+	if m.Count != 13 {
+		t.Errorf("Merged(all) Count = %d, want 13 (wrapped ticks excluded)", m.Count)
+	}
+	// Window of 1: only the tail tick.
+	m, _ = hs.Merged(1)
+	if m.Count != 1 {
+		t.Errorf("Merged(1) Count = %d, want 1", m.Count)
+	}
+}
+
+func TestHistSeriesEmptySlotsSkipped(t *testing.T) {
+	hs := NewHistSeries(4)
+	hs.Push(metrics.HistogramSnapshot{}) // an idle tick
+	if _, ok := hs.Merged(0); ok {
+		t.Error("all-empty Merged reported ok")
+	}
+	hs.Push(histWith([]time.Duration{time.Millisecond}, 500*time.Microsecond))
+	m, ok := hs.Merged(0)
+	if !ok || m.Count != 1 {
+		t.Errorf("Merged over idle+busy ticks = %+v ok=%v, want Count 1", m, ok)
+	}
+}
+
+func TestTicks(t *testing.T) {
+	for _, tc := range []struct {
+		window, interval time.Duration
+		want             int
+	}{
+		{time.Second, 100 * time.Millisecond, 10},
+		{150 * time.Millisecond, 100 * time.Millisecond, 2},
+		{50 * time.Millisecond, 100 * time.Millisecond, 1},
+		{0, 100 * time.Millisecond, 1},
+		{time.Second, 0, 1},
+	} {
+		if got := Ticks(tc.window, tc.interval); got != tc.want {
+			t.Errorf("Ticks(%v, %v) = %d, want %d", tc.window, tc.interval, got, tc.want)
+		}
+	}
+}
