@@ -8,7 +8,7 @@ BENCH_COUNT ?= 5
 BENCH_TIME  ?= 200ms
 BENCH_PKGS  ?= ./internal/tensor/... ./internal/nn/... ./internal/models/...
 
-.PHONY: check vet build test race bench bench-all models dash
+.PHONY: check vet build test race bench bench-all models dash gateway
 
 # check runs everything CI should gate on: vet, a full build, the full
 # test suite (tier-1), and race-detector runs for the concurrency-heavy
@@ -31,7 +31,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/models/... ./internal/modelstore/... ./internal/service/... ./internal/sched/... ./internal/metrics/... ./internal/router/... ./internal/workload/... ./internal/trace/... ./internal/admin/... ./internal/controlplane/... ./internal/timeseries/... ./internal/events/... ./internal/alerts/...
+	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/models/... ./internal/modelstore/... ./internal/service/... ./internal/sched/... ./internal/metrics/... ./internal/router/... ./internal/workload/... ./internal/trace/... ./internal/admin/... ./internal/controlplane/... ./internal/timeseries/... ./internal/events/... ./internal/alerts/... ./internal/gateway/... ./internal/pipeline/...
 
 # dash is an observability smoke test: the obsfleet experiment stands
 # up an observed three-replica fleet, kills an assignee mid-load, and
@@ -39,6 +39,23 @@ race:
 # p99, and the collector's overhead accounting.
 dash:
 	$(GO) run ./cmd/djinn-bench -exp obsfleet
+
+# gateway is an HTTP-tier smoke test: boot djinn-service with the
+# JSON gateway enabled, POST the same POS query twice, and show the
+# second response served from the content-addressed cache
+# (`"cached":true`), then shut the service down.
+gateway:
+	@$(GO) build -o /tmp/djinn-service-smoke ./cmd/djinn-service
+	@/tmp/djinn-service-smoke -apps POS -addr 127.0.0.1:7424 -http 127.0.0.1:7423 & \
+	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; \
+	sleep 2; \
+	body='{"app":"pos","text":"the quick brown fox jumps over the lazy dog"}'; \
+	echo "first request (cache fill):"; \
+	curl -sf -X POST -d "$$body" http://127.0.0.1:7423/v1/infer; echo; \
+	echo "second request (cache hit):"; \
+	out=$$(curl -sf -X POST -d "$$body" http://127.0.0.1:7423/v1/infer); echo "$$out"; echo; \
+	echo "$$out" | grep -q '"cached":true' && echo "gateway smoke: OK (served from cache)" \
+		|| { echo "gateway smoke: FAILED (second response not cached)"; exit 1; }
 
 # models exports all seven Tonic networks as versioned .djw weight
 # files (~850 MB, a one-time cost) and verifies every checksum, so a

@@ -59,12 +59,13 @@ func main() {
 		"modelstore":   experiments.RenderModelStore,
 		"controlplane": experiments.RenderControlPlane,
 		"obsfleet":     experiments.RenderObsFleet,
+		"gateway":      experiments.RenderGateway,
 	}
 	order := []string{
 		"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
 		"fig11", "fig12", "fig13", "table4", "table5", "fig15", "table6", "fig16",
 		"ablation", "openloop", "lifecycle", "router", "sched", "overhead", "energy", "validate", "cluster", "gpugen",
-		"engine", "modelstore", "controlplane", "obsfleet",
+		"engine", "modelstore", "controlplane", "obsfleet", "gateway",
 	}
 	if *list {
 		ids := make([]string, 0, len(runners))

@@ -51,6 +51,7 @@ import (
 	"djinn/internal/alerts"
 	"djinn/internal/controlplane"
 	"djinn/internal/events"
+	"djinn/internal/gateway"
 	"djinn/internal/models"
 	"djinn/internal/nn"
 	"djinn/internal/router"
@@ -67,6 +68,9 @@ func main() {
 	replicas := flag.Int("replicas", 1, "number of replica servers to run in this process")
 	stats := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 disables)")
 	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /metrics, /slowlog, /trace?id=, /debug/pprof/ (empty disables)")
+	httpAddr := flag.String("http", "", "HTTP/JSON gateway listen address serving /v1/infer, /v1/pipeline, /v1/apps, /v1/cache, /healthz (empty disables)")
+	httpRate := flag.Float64("http-rate", 0, "gateway per-tenant rate limit in requests/second, keyed by X-API-Key (0 disables)")
+	httpCacheMB := flag.Int64("http-cache-mb", 64, "gateway response-cache byte budget in MB (negative disables the cache)")
 	controlPlane := flag.Bool("controlplane", false, "run the replicas as one managed fleet: a placement-aware front end serves -addr, a controller places apps, autoscales, and routes around dead replicas (use with -replicas N)")
 	cpCount := flag.Int("controlplane-count", 2, "replicas the control plane keeps each app on (clamped to -replicas)")
 	cpInterval := flag.Duration("controlplane-interval", 500*time.Millisecond, "control-loop tick interval (health scan, autoscale, reconcile)")
@@ -127,7 +131,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-controlplane manages Tonic apps; it does not combine with -models or -custom")
 			os.Exit(2)
 		}
-		runControlPlane(selected, *addr, *adminAddr, *replicas, *cpCount, *cpInterval, *stats)
+		runControlPlane(selected, *addr, *adminAddr, *replicas, *cpCount, *cpInterval, *stats,
+			gatewayOpts{addr: *httpAddr, rate: *httpRate, cacheMB: *httpCacheMB})
 		return
 	}
 
@@ -203,6 +208,29 @@ func main() {
 		srv.SetAlertsControl(engine.Control)
 	}
 
+	// -http fronts the replica fleet with the HTTP/JSON gateway: a
+	// health-checked router spreads queries over the in-process
+	// replicas, and the gateway layers JSON translation, the
+	// content-addressed response cache, and per-tenant admission on
+	// top of it.
+	var gw *gateway.Gateway
+	var gwStores []*djinn.TraceStore
+	if *httpAddr != "" {
+		grt := router.New(router.Config{Policy: router.LeastOutstanding})
+		grt.SetJournal(journal)
+		for i, srv := range servers {
+			if err := grt.AddBackend(fmt.Sprintf("replica-%d", i), srv); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sel := selected
+		if *modelsDir != "" || *custom != "" {
+			sel = nil // serve whatever the registry holds; keep all kinds
+		}
+		gw = serveGateway(gatewayOpts{addr: *httpAddr, rate: *httpRate, cacheMB: *httpCacheMB}, grt, sel, journal)
+		gwStores = []*djinn.TraceStore{gw.Traces(), grt.TraceStore()}
+	}
+
 	if *adminAddr != "" {
 		// Each replica gets a store labelled with its name so the slow
 		// log and /trace can tell the fleet's tiers apart.
@@ -217,10 +245,11 @@ func main() {
 		}
 		handler := djinn.NewAdminHandler(djinn.AdminOptions{
 			Replicas:  reps,
-			Stores:    stores,
+			Stores:    append(stores, gwStores...),
 			Journal:   journal,
 			Collector: collector,
 			Alerts:    engine,
+			Gateway:   gw,
 		})
 		go func() {
 			log.Printf("admin plane on http://%s (/metrics /slowlog /trace?id= /events /dash /debug/pprof/)", *adminAddr)
@@ -284,7 +313,51 @@ func main() {
 // from shed and p99 signals), and a framed-protocol proxy on addr whose
 // control verbs (placement, members, autoscale, scale, rebalance) the
 // controller answers.
-func runControlPlane(selected []djinn.App, addr, adminAddr string, replicas, count int, interval, stats time.Duration) {
+// gatewayOpts carries the -http flags into a fleet mode.
+type gatewayOpts struct {
+	addr    string
+	rate    float64
+	cacheMB int64
+}
+
+// serveGateway boots the HTTP/JSON gateway over a backend (router or
+// proxy tier) and returns it for admin wiring; nil when disabled.
+func serveGateway(opts gatewayOpts, backend service.ContextBackend, selected []djinn.App, journal *events.Journal) *gateway.Gateway {
+	if opts.addr == "" {
+		return nil
+	}
+	cfgApps := gateway.DefaultApps()
+	if len(selected) > 0 {
+		sel := make(map[string]bool, len(selected))
+		for _, a := range selected {
+			sel[djinn.ServiceName(a)] = true
+		}
+		for name := range cfgApps {
+			if !sel[name] {
+				delete(cfgApps, name)
+			}
+		}
+	}
+	gw, err := gateway.New(gateway.Config{
+		Backend: backend,
+		Apps:    cfgApps,
+		Cache:   gateway.CacheConfig{Budget: opts.cacheMB << 20},
+		Limit:   gateway.LimitConfig{Rate: opts.rate},
+		Journal: journal,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		log.Printf("gateway on http://%s (/v1/infer /v1/pipeline /v1/apps /v1/cache /healthz)", opts.addr)
+		if err := http.ListenAndServe(opts.addr, gw); err != nil {
+			log.Fatalf("gateway listener: %v", err)
+		}
+	}()
+	return gw
+}
+
+func runControlPlane(selected []djinn.App, addr, adminAddr string, replicas, count int, interval, stats time.Duration, gwOpts gatewayOpts) {
 	if count < 1 {
 		count = 1
 	}
@@ -398,6 +471,13 @@ func runControlPlane(selected []djinn.App, addr, adminAddr string, replicas, cou
 	proxy := service.NewProxy(rt, control)
 	proxy.SetLogger(log.Printf)
 
+	// The gateway shares the control plane's router, so placement and
+	// canary splits apply to HTTP traffic exactly as to DJRT queries.
+	gw := serveGateway(gwOpts, rt, selected, journal)
+	if gw != nil {
+		stores = append(stores, gw.Traces())
+	}
+
 	if adminAddr != "" {
 		handler := djinn.NewAdminHandler(djinn.AdminOptions{
 			Replicas:     reps,
@@ -407,6 +487,7 @@ func runControlPlane(selected []djinn.App, addr, adminAddr string, replicas, cou
 			Journal:      journal,
 			Collector:    collector,
 			Alerts:       engine,
+			Gateway:      gw,
 		})
 		go func() {
 			log.Printf("admin plane on http://%s (/metrics /slowlog /trace?id= /events /dash /debug/pprof/)", adminAddr)

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"image/png"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"djinn/internal/gateway"
+	"djinn/internal/tensor"
+	"djinn/internal/workload"
+)
+
+// runGateway implements the http and pipeline verbs: JSON requests
+// against the gateway tier. Inputs are synthesised deterministically
+// when not supplied, like the socket verbs.
+func runGateway(verb string, args []string, seed uint64) {
+	fs := flag.NewFlagSet(verb, flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:7423", "gateway base URL")
+	app := fs.String("app", "pos", "app for the http verb (pos|chk|ner|asr|imc|face|dig)")
+	spec := fs.String("spec", "asr-pos-ner", "preset pipeline for the pipeline verb")
+	text := fs.String("text", "", "sentence input (default: synthetic)")
+	seconds := fs.Float64("seconds", 1.0, "synthetic utterance length for audio apps")
+	key := fs.String("key", "", "API key sent as X-API-Key (rate-limit tenant)")
+	noCache := fs.Bool("no-cache", false, "bypass the response cache (http verb)")
+	fs.Parse(args)
+
+	rng := tensor.NewRNG(seed)
+	body := map[string]any{}
+	var path string
+	switch verb {
+	case "http":
+		path = "/v1/infer"
+		body["app"] = *app
+		if *noCache {
+			body["no_cache"] = true
+		}
+		fillPayload(body, *app, *text, *seconds, rng)
+	case "pipeline":
+		path = "/v1/pipeline"
+		body["pipeline"] = *spec
+		// Presets start from audio unless the caller supplied text.
+		if *text != "" {
+			body["text"] = *text
+		} else {
+			fillPayload(body, "asr", "", *seconds, rng)
+		}
+	}
+
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, strings.TrimRight(*url, "/")+path, bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if *key != "" {
+		req.Header.Set("X-API-Key", *key)
+	}
+	t0 := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("gateway at %s: %v (start djinn-service with -http)", *url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	took := time.Since(t0).Round(time.Millisecond)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %s", resp.Status, strings.TrimSpace(string(out)))
+	}
+
+	switch verb {
+	case "http":
+		var r struct {
+			App     string          `json:"app"`
+			Cached  bool            `json:"cached"`
+			TraceID string          `json:"trace_id"`
+			Result  json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(out, &r); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s via gateway in %v (cached=%v, trace %s)\n", r.App, took, r.Cached, r.TraceID)
+		printJSON(r.Result)
+	case "pipeline":
+		var r struct {
+			Pipeline string `json:"pipeline"`
+			TraceID  string `json:"trace_id"`
+			Dur      int64  `json:"dur_ns"`
+			Stages   []struct {
+				Name   string          `json:"name"`
+				App    string          `json:"app"`
+				Output json.RawMessage `json:"output"`
+			} `json:"stages"`
+		}
+		if err := json.Unmarshal(out, &r); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pipeline %s in %v (server %v, trace %s)\n",
+			r.Pipeline, took, time.Duration(r.Dur).Round(time.Millisecond), r.TraceID)
+		for _, st := range r.Stages {
+			fmt.Printf("  stage %-8s [%s]: ", st.Name, st.App)
+			printJSON(st.Output)
+		}
+	}
+}
+
+// fillPayload adds the right JSON payload field for an app, using
+// supplied text or synthesising audio/image/digit inputs.
+func fillPayload(body map[string]any, app, text string, seconds float64, rng *tensor.RNG) {
+	switch app {
+	case "pos", "chk", "ner":
+		if text == "" {
+			text = workload.Sentence(rng, workload.SentenceWords)
+			fmt.Printf("input: %s\n", text)
+		}
+		body["text"] = text
+	case "asr":
+		signal := workload.Utterance(rng, seconds)
+		body["audio"] = base64.StdEncoding.EncodeToString(gateway.EncodePCM16(signal))
+	case "imc", "face":
+		var buf bytes.Buffer
+		if err := png.Encode(&buf, workload.Image(rng, 480, 360)); err != nil {
+			log.Fatal(err)
+		}
+		body["image"] = base64.StdEncoding.EncodeToString(buf.Bytes())
+	case "dig":
+		imgs, _ := workload.Digits(rng, 4)
+		body["digits"] = imgs
+	default:
+		log.Fatalf("unknown app %q", app)
+	}
+}
+
+// printJSON renders one result object compactly on one line.
+func printJSON(raw json.RawMessage) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		fmt.Println(string(raw))
+		return
+	}
+	fmt.Println(buf.String())
+}

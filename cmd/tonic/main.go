@@ -20,6 +20,14 @@
 //	tonic [-addr ...]       control <verb> [args...]   (control-plane front end: placement, members, autoscale, scale, rebalance)
 //	tonic [-addr ...]       events [-n 20] [-kind markdown] [-follow]
 //	tonic                   top [-admin 127.0.0.1:7421] [-interval 1s] [-once]
+//	tonic                   http [-url http://127.0.0.1:7423] [-app pos] [-text ...] [-seconds 1.0] [-key apikey] [-no-cache]
+//	tonic                   pipeline [-url ...] [-spec asr-pos-ner] [-text ...] [-seconds 1.0]
+//
+// http and pipeline talk JSON to the gateway tier (start djinn-service
+// with -http :port): http runs one app through /v1/infer (showing
+// whether the response came from the content-addressed cache),
+// pipeline runs a staged DAG through /v1/pipeline as one traced
+// request.
 //
 // events tails the server's structured event journal (mark-downs,
 // placement flips, autoscales, canary moves, model lifecycle, alert
@@ -62,6 +70,12 @@ func main() {
 		// The dashboard reads the admin HTTP plane, not the serving
 		// protocol — no client connection needed.
 		runTop(flag.Args()[1:])
+		return
+	}
+	if flag.Arg(0) == "http" || flag.Arg(0) == "pipeline" {
+		// These speak JSON to the gateway tier (-http on
+		// djinn-service), not the DJRT socket.
+		runGateway(flag.Arg(0), flag.Args()[1:], *seed)
 		return
 	}
 	client, err := djinn.Dial(*addr)

@@ -26,10 +26,12 @@ import (
 
 	"djinn/internal/admin"
 	"djinn/internal/experiments"
+	"djinn/internal/gateway"
 	"djinn/internal/metrics"
 	"djinn/internal/models"
 	"djinn/internal/modelstore"
 	"djinn/internal/nn"
+	"djinn/internal/pipeline"
 	"djinn/internal/router"
 	"djinn/internal/sched"
 	"djinn/internal/service"
@@ -320,3 +322,46 @@ type Platform = experiments.Platform
 
 // NewPlatform returns the calibrated Table 2 platform.
 func NewPlatform() Platform { return experiments.DefaultPlatform() }
+
+// Gateway is the HTTP/JSON front-end tier: JSON requests in, DJRT
+// queries out, with a content-addressed response cache, per-tenant
+// rate limits, and server-side pipelines (see internal/gateway).
+type Gateway = gateway.Gateway
+
+// GatewayConfig configures a Gateway: the backend it fronts, the
+// app table, cache and rate-limit policy, body caps, and tracing.
+type GatewayConfig = gateway.Config
+
+// GatewayCacheConfig sizes the gateway's content-addressed response
+// cache (byte budget + TTL).
+type GatewayCacheConfig = gateway.CacheConfig
+
+// GatewayLimitConfig is the per-tenant token-bucket rate limit
+// applied at gateway admission.
+type GatewayLimitConfig = gateway.LimitConfig
+
+// NewGateway builds a Gateway over a backend (a Server, Client, or
+// Router).
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
+
+// PipelineSpec declares a server-side DAG of Tonic stages; run it
+// with a PipelineRunner or POST it to a gateway's /v1/pipeline.
+type PipelineSpec = pipeline.Spec
+
+// PipelineStage is one node of a PipelineSpec: a named Tonic app plus
+// the stages it waits on.
+type PipelineStage = pipeline.StageSpec
+
+// PipelineRunner executes pipeline specs over a backend, recording
+// per-stage trace spans and stats.
+type PipelineRunner = pipeline.Runner
+
+// PipelinePreset returns a named built-in pipeline ("asr-pos-ner",
+// "asr-chk").
+func PipelinePreset(name string) (PipelineSpec, bool) { return pipeline.Preset(name) }
+
+// NewPipelineRunner builds a runner over a context-aware backend;
+// traces may be nil.
+func NewPipelineRunner(b ContextBackend, traces *TraceStore) *PipelineRunner {
+	return pipeline.NewRunner(b, traces)
+}

@@ -22,6 +22,7 @@ import (
 	"djinn/internal/alerts"
 	"djinn/internal/controlplane"
 	"djinn/internal/events"
+	"djinn/internal/gateway"
 	"djinn/internal/metrics"
 	"djinn/internal/modelstore"
 	"djinn/internal/router"
@@ -65,6 +66,10 @@ type Options struct {
 	// Alerts, when set, contributes alert states to /dash and the
 	// djinn_alert_* family to /metrics.
 	Alerts *alerts.Engine
+	// Gateway, when set, contributes the djinn_gateway_* and
+	// djinn_pipeline_* families: HTTP status counts, response-cache
+	// and rate-limit counters, and pipeline stage/latency stats.
+	Gateway *gateway.Gateway
 	// DashWindow is the trailing window /dash aggregates over (default
 	// 30s).
 	DashWindow time.Duration
@@ -334,6 +339,9 @@ func writeMetrics(w io.Writer, opts Options) {
 	}
 	if opts.Alerts != nil {
 		writeAlertMetrics(w, opts.Alerts)
+	}
+	if opts.Gateway != nil {
+		writeGatewayMetrics(w, opts.Gateway)
 	}
 	if !opts.NoRuntimeMetrics {
 		writeRuntimeMetrics(w)

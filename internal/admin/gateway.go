@@ -1,0 +1,104 @@
+package admin
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"djinn/internal/gateway"
+)
+
+// writeGatewayMetrics renders the djinn_gateway_* and djinn_pipeline_*
+// families from one gateway's counters: HTTP status counts, the
+// content-addressed response cache, per-tenant rate limiting, and the
+// pipeline runner's per-stage dispatch counts and end-to-end latency.
+func writeGatewayMetrics(w io.Writer, g *gateway.Gateway) {
+	st := g.Stats()
+
+	fmt.Fprintln(w, "# HELP djinn_gateway_requests_total HTTP requests served, by status code.")
+	fmt.Fprintln(w, "# TYPE djinn_gateway_requests_total counter")
+	codes := make([]int, 0, len(st.ByStatus))
+	for c := range st.ByStatus {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "djinn_gateway_requests_total{code=\"%d\"} %d\n", c, st.ByStatus[c])
+	}
+
+	fmt.Fprintln(w, "# HELP djinn_gateway_endpoint_total Requests by endpoint.")
+	fmt.Fprintln(w, "# TYPE djinn_gateway_endpoint_total counter")
+	fmt.Fprintf(w, "djinn_gateway_endpoint_total{endpoint=%q} %d\n", "infer", st.Infer)
+	fmt.Fprintf(w, "djinn_gateway_endpoint_total{endpoint=%q} %d\n", "pipeline", st.Pipelines)
+
+	fmt.Fprintln(w, "# HELP djinn_gateway_parse_errors_total Request bodies rejected as malformed.")
+	fmt.Fprintln(w, "# TYPE djinn_gateway_parse_errors_total counter")
+	fmt.Fprintf(w, "djinn_gateway_parse_errors_total %d\n", st.ParseErrors)
+
+	c := st.Cache
+	fmt.Fprintln(w, "# HELP djinn_gateway_cache_events_total Response-cache outcomes (hit, miss, fill, fill_error, dedup, eviction, expired).")
+	fmt.Fprintln(w, "# TYPE djinn_gateway_cache_events_total counter")
+	for _, kv := range []struct {
+		k string
+		v int64
+	}{
+		{"hit", c.Hits}, {"miss", c.Misses}, {"fill", c.Fills},
+		{"fill_error", c.FillErrs}, {"dedup", c.Dedup},
+		{"eviction", c.Evictions}, {"expired", c.Expired},
+	} {
+		fmt.Fprintf(w, "djinn_gateway_cache_events_total{event=%q} %d\n", kv.k, kv.v)
+	}
+	fmt.Fprintln(w, "# HELP djinn_gateway_cache_bytes Bytes of cached response bodies resident.")
+	fmt.Fprintln(w, "# TYPE djinn_gateway_cache_bytes gauge")
+	fmt.Fprintf(w, "djinn_gateway_cache_bytes %d\n", c.Bytes)
+	fmt.Fprintln(w, "# HELP djinn_gateway_cache_entries Cached responses resident.")
+	fmt.Fprintln(w, "# TYPE djinn_gateway_cache_entries gauge")
+	fmt.Fprintf(w, "djinn_gateway_cache_entries %d\n", c.Entries)
+
+	l := st.Limit
+	fmt.Fprintln(w, "# HELP djinn_gateway_ratelimit_total Admission decisions at the tenant token buckets.")
+	fmt.Fprintln(w, "# TYPE djinn_gateway_ratelimit_total counter")
+	fmt.Fprintf(w, "djinn_gateway_ratelimit_total{decision=%q} %d\n", "allowed", l.Allowed)
+	fmt.Fprintf(w, "djinn_gateway_ratelimit_total{decision=%q} %d\n", "denied", l.Denied)
+	fmt.Fprintln(w, "# HELP djinn_gateway_ratelimit_tenants Tenant buckets currently tracked.")
+	fmt.Fprintln(w, "# TYPE djinn_gateway_ratelimit_tenants gauge")
+	fmt.Fprintf(w, "djinn_gateway_ratelimit_tenants %d\n", l.Tenants)
+
+	if st.E2E.Count > 0 {
+		fmt.Fprintln(w, "# HELP djinn_gateway_latency_seconds Gateway end-to-end serving latency (successful requests).")
+		fmt.Fprintln(w, "# TYPE djinn_gateway_latency_seconds histogram")
+		writeHistogram(w, "djinn_gateway_latency_seconds", `tier="gateway"`, st.E2E)
+	}
+
+	p := st.Pipeline
+	fmt.Fprintln(w, "# HELP djinn_pipeline_runs_total Pipeline executions.")
+	fmt.Fprintln(w, "# TYPE djinn_pipeline_runs_total counter")
+	fmt.Fprintf(w, "djinn_pipeline_runs_total %d\n", p.Runs)
+	fmt.Fprintln(w, "# HELP djinn_pipeline_errors_total Pipeline executions that failed.")
+	fmt.Fprintln(w, "# TYPE djinn_pipeline_errors_total counter")
+	fmt.Fprintf(w, "djinn_pipeline_errors_total %d\n", p.Errors)
+	if len(p.StageRuns) > 0 {
+		fmt.Fprintln(w, "# HELP djinn_pipeline_stage_runs_total Stage dispatches by app.")
+		fmt.Fprintln(w, "# TYPE djinn_pipeline_stage_runs_total counter")
+		for _, app := range p.StageApps() {
+			fmt.Fprintf(w, "djinn_pipeline_stage_runs_total{app=%q} %d\n", app, p.StageRuns[app])
+		}
+	}
+	if len(p.StageErrs) > 0 {
+		fmt.Fprintln(w, "# HELP djinn_pipeline_stage_errors_total Stage dispatches that failed, by app.")
+		fmt.Fprintln(w, "# TYPE djinn_pipeline_stage_errors_total counter")
+		apps := make([]string, 0, len(p.StageErrs))
+		for a := range p.StageErrs {
+			apps = append(apps, a)
+		}
+		sort.Strings(apps)
+		for _, app := range apps {
+			fmt.Fprintf(w, "djinn_pipeline_stage_errors_total{app=%q} %d\n", app, p.StageErrs[app])
+		}
+	}
+	if p.E2E.Count > 0 {
+		fmt.Fprintln(w, "# HELP djinn_pipeline_latency_seconds Pipeline end-to-end latency.")
+		fmt.Fprintln(w, "# TYPE djinn_pipeline_latency_seconds histogram")
+		writeHistogram(w, "djinn_pipeline_latency_seconds", `tier="pipeline"`, p.E2E)
+	}
+}

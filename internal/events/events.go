@@ -34,6 +34,8 @@ const (
 	KindModel     Kind = "model"     // model registered/loaded/evicted
 	KindMember    Kind = "member"    // fleet membership change (join/leave/dead/revive)
 	KindAlert     Kind = "alert"     // SLO burn-rate alert transition
+	KindCache     Kind = "cache"     // gateway response-cache toggle/flush
+	KindRateLimit Kind = "ratelimit" // gateway tenant entered rate limiting
 )
 
 // Event is one journal entry. Seq is assigned at append time and

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGatewayAcceptance runs a shrunk gateway experiment and checks
+// the PR's acceptance bars: the response cache serves repeated NLP
+// queries at ≥5× the uncached rate, and the server-side pipeline
+// beats three sequential round-trips at p50 with one merged trace
+// showing all three stages.
+func TestGatewayAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gateway experiment is seconds-long; skipped in -short")
+	}
+	res, err := RunGateway(GatewayOptions{
+		Replicas:     2,
+		Sentences:    8,
+		Rate:         20000,
+		Drive:        1500 * time.Millisecond,
+		MaxInflight:  4,
+		AudioSeconds: 0.1,
+		Iterations:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Uncached.Queries == 0 || res.Cached.Queries == 0 {
+		t.Fatalf("empty arm: uncached=%d cached=%d", res.Uncached.Queries, res.Cached.Queries)
+	}
+	if res.Speedup < 5 {
+		t.Errorf("cache speedup = %.1fx, want >= 5x (uncached %.0f qps, cached %.0f qps)",
+			res.Speedup, res.Uncached.QPS, res.Cached.QPS)
+	}
+	if res.Cache.Hits == 0 {
+		t.Error("cache recorded zero hits")
+	}
+	// Paired comparison: the same utterance runs through both arms, so
+	// the median per-iteration gap isolates the structural win (one
+	// HTTP exchange and overlapped POS/NER) from ASR forward noise.
+	if res.MedianDelta <= 0 {
+		t.Errorf("pipeline not faster: median (sequential-pipeline) delta %v (p50 seq=%v pipe=%v)",
+			res.MedianDelta, res.SeqP50, res.PipeP50)
+	}
+	if res.StageSpans != 3 {
+		t.Errorf("merged trace has %d stage spans, want 3:\n%s", res.StageSpans, res.Merged)
+	}
+	for _, stage := range []string{"stage:asr", "stage:pos", "stage:ner"} {
+		if !strings.Contains(res.Merged, stage) {
+			t.Errorf("merged trace missing %s:\n%s", stage, res.Merged)
+		}
+	}
+}

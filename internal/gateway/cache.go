@@ -1,0 +1,275 @@
+// Content-addressed response cache for the gateway tier.
+//
+// The key is a hash of app@version plus the canonical input (the
+// post-normalisation payload the engine would see), so two requests
+// that differ only in JSON formatting or base64 padding hit the same
+// entry, and a model version bump invalidates the whole app's entries
+// without a scan. Entries hold the serialized result bytes; the cache
+// never stores request payloads. Capacity is a byte budget enforced by
+// LRU eviction, staleness by a TTL, and concurrent misses for one key
+// are collapsed into a single backend fill (singleflight) so a burst
+// of identical queries costs one forward pass.
+package gateway
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// CacheConfig sizes the response cache.
+type CacheConfig struct {
+	// Budget is the total byte budget for cached response bodies.
+	// Zero means DefaultCacheBudget; negative disables the cache.
+	Budget int64
+	// TTL bounds entry staleness. Zero means DefaultCacheTTL;
+	// negative means entries never expire.
+	TTL time.Duration
+	// Now is the clock; nil means time.Now. Tests inject a fake.
+	Now func() time.Time
+}
+
+const (
+	// DefaultCacheBudget is the response-cache byte budget when the
+	// config leaves it zero: 64 MB, a few hundred thousand NLP
+	// responses.
+	DefaultCacheBudget = 64 << 20
+	// DefaultCacheTTL bounds how stale a cached response may be.
+	DefaultCacheTTL = 10 * time.Minute
+)
+
+// CacheKey hashes app@version plus the canonical input bytes into the
+// cache's content address.
+func CacheKey(appVersion string, canonical []byte) string {
+	h := sha256.New()
+	h.Write([]byte(appVersion))
+	h.Write([]byte{0})
+	h.Write(canonical)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+type cacheEntry struct {
+	key     string
+	val     []byte
+	expires time.Time // zero = never
+}
+
+type cacheFill struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Cache is the byte-budgeted LRU + TTL response cache with
+// singleflight fills. The zero value is not usable; use NewCache.
+type Cache struct {
+	budget int64
+	ttl    time.Duration
+	now    func() time.Time
+
+	mu      sync.Mutex
+	lru     *list.List // front = most recent; values are *cacheEntry
+	entries map[string]*list.Element
+	fills   map[string]*cacheFill
+	bytes   int64
+
+	hits      int64
+	misses    int64
+	fillOK    int64
+	fillErr   int64
+	dedup     int64 // waiters that piggybacked on an in-flight fill
+	evictions int64
+	expired   int64
+}
+
+// NewCache builds a cache from the config; returns nil (a disabled
+// cache — every method nil-safe) when the budget is negative.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.Budget < 0 {
+		return nil
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = DefaultCacheBudget
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = DefaultCacheTTL
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Cache{
+		budget:  cfg.Budget,
+		ttl:     cfg.TTL,
+		now:     cfg.Now,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+		fills:   make(map[string]*cacheFill),
+	}
+}
+
+// Get returns the cached bytes for key, or ok=false on miss/expiry.
+// The returned slice is shared; callers must not mutate it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		c.removeLocked(el)
+		c.expired++
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return e.val, true
+}
+
+// Do returns the cached bytes for key, filling via fn on a miss.
+// Concurrent callers for the same key share one fn call; the losers
+// block until the winner's fill completes. A failed fill is not
+// cached — the next caller retries. fn runs without the cache lock
+// held, so fills for different keys proceed in parallel.
+func (c *Cache) Do(key string, fn func() ([]byte, error)) (val []byte, cached bool, err error) {
+	if c == nil {
+		v, err := fn()
+		return v, false, err
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.expires.IsZero() || !c.now().After(e.expires) {
+			c.lru.MoveToFront(el)
+			c.hits++
+			c.mu.Unlock()
+			return e.val, true, nil
+		}
+		c.removeLocked(el)
+		c.expired++
+	}
+	c.misses++
+	if f, ok := c.fills[key]; ok {
+		c.dedup++
+		c.mu.Unlock()
+		<-f.done
+		// A deduplicated waiter reports cached=true only in stats
+		// terms of "did not pay a forward pass"; callers that care
+		// about span naming treat dedup as a fill they waited on.
+		return f.val, f.err == nil, f.err
+	}
+	f := &cacheFill{done: make(chan struct{})}
+	c.fills[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.fills, key)
+	if f.err == nil {
+		c.insertLocked(key, f.val)
+		c.fillOK++
+	} else {
+		c.fillErr++
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// Put inserts val under key unconditionally (outside the singleflight
+// path); used by tests and warm-fill tooling.
+func (c *Cache) Put(key string, val []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.removeLocked(el)
+	}
+	c.insertLocked(key, val)
+}
+
+func (c *Cache) insertLocked(key string, val []byte) {
+	if int64(len(val)) > c.budget {
+		return // larger than the whole budget: not cacheable
+	}
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	e := &cacheEntry{key: key, val: val, expires: expires}
+	c.entries[key] = c.lru.PushFront(e)
+	c.bytes += int64(len(val))
+	for c.bytes > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions++
+	}
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= int64(len(e.val))
+}
+
+// Invalidate drops every cached entry (e.g. after a model promote).
+func (c *Cache) Invalidate() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.entries = make(map[string]*list.Element)
+	c.bytes = 0
+}
+
+// CacheStats is a point-in-time cache counters snapshot.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Budget    int64 `json:"budget"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Fills     int64 `json:"fills"`
+	FillErrs  int64 `json:"fill_errors"`
+	Dedup     int64 `json:"dedup"`
+	Evictions int64 `json:"evictions"`
+	Expired   int64 `json:"expired"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+		Budget:    c.budget,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Fills:     c.fillOK,
+		FillErrs:  c.fillErr,
+		Dedup:     c.dedup,
+		Evictions: c.evictions,
+		Expired:   c.expired,
+	}
+}

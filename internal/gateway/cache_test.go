@@ -1,0 +1,210 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock for cache and limiter tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestCacheKeyDistinguishesAppAndInput(t *testing.T) {
+	base := CacheKey("pos@v1", []byte("the quick fox"))
+	for name, other := range map[string]string{
+		"different app":     CacheKey("ner@v1", []byte("the quick fox")),
+		"different version": CacheKey("pos@v2", []byte("the quick fox")),
+		"different input":   CacheKey("pos@v1", []byte("the slow fox")),
+	} {
+		if other == base {
+			t.Errorf("%s produced the same key %s", name, base)
+		}
+	}
+	if again := CacheKey("pos@v1", []byte("the quick fox")); again != base {
+		t.Errorf("key not deterministic: %s vs %s", again, base)
+	}
+}
+
+func TestCacheLRUEvictionUnderByteBudget(t *testing.T) {
+	clock := newFakeClock()
+	// Room for exactly 3 ten-byte entries.
+	c := NewCache(CacheConfig{Budget: 30, Now: clock.Now})
+	val := []byte("0123456789")
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), val)
+	}
+	if st := c.Stats(); st.Entries != 3 || st.Bytes != 30 {
+		t.Fatalf("want 3 entries / 30 bytes, got %+v", st)
+	}
+	// Touch k0 so k1 becomes least-recently-used, then overflow.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.Put("k3", val)
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 should have been evicted as LRU")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should have survived eviction", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("want 1 eviction, got %d", st.Evictions)
+	}
+	if st.Bytes > 30 {
+		t.Errorf("bytes %d exceed budget 30", st.Bytes)
+	}
+}
+
+func TestCacheOversizedEntryNotCached(t *testing.T) {
+	c := NewCache(CacheConfig{Budget: 8, Now: newFakeClock().Now})
+	c.Put("big", []byte("this value exceeds the whole budget"))
+	if _, ok := c.Get("big"); ok {
+		t.Error("entry larger than the whole budget must not be cached")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("want empty cache, got %+v", st)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	clock := newFakeClock()
+	c := NewCache(CacheConfig{Budget: 1 << 10, TTL: time.Minute, Now: clock.Now})
+	c.Put("k", []byte("v"))
+	clock.Advance(59 * time.Second)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	clock.Advance(2 * time.Second)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry survived past its TTL")
+	}
+	if st := c.Stats(); st.Expired != 1 || st.Entries != 0 {
+		t.Errorf("want 1 expired / 0 entries, got %+v", st)
+	}
+}
+
+func TestCacheNegativeTTLNeverExpires(t *testing.T) {
+	clock := newFakeClock()
+	c := NewCache(CacheConfig{Budget: 1 << 10, TTL: -1, Now: clock.Now})
+	c.Put("k", []byte("v"))
+	clock.Advance(1000 * time.Hour)
+	if _, ok := c.Get("k"); !ok {
+		t.Error("negative TTL means entries never expire")
+	}
+}
+
+func TestCacheDisabledIsNilSafe(t *testing.T) {
+	c := NewCache(CacheConfig{Budget: -1})
+	if c != nil {
+		t.Fatal("negative budget should disable the cache entirely")
+	}
+	c.Put("k", []byte("v")) // must not panic
+	if _, ok := c.Get("k"); ok {
+		t.Error("nil cache returned a hit")
+	}
+	val, cached, err := c.Do("k", func() ([]byte, error) { return []byte("x"), nil })
+	if err != nil || cached || string(val) != "x" {
+		t.Errorf("nil cache Do = (%q, %v, %v), want passthrough", val, cached, err)
+	}
+}
+
+func TestCacheSingleflightDedup(t *testing.T) {
+	clock := newFakeClock()
+	c := NewCache(CacheConfig{Budget: 1 << 10, Now: clock.Now})
+	const waiters = 8
+	fills := 0
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	results := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, cached, err := c.Do("k", func() ([]byte, error) {
+				mu.Lock()
+				fills++
+				mu.Unlock()
+				<-gate // hold the fill open so the others pile up
+				return []byte("v"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = cached
+		}(i)
+	}
+	// Let the waiters reach Do before releasing the fill.
+	for c.Stats().Dedup < waiters-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if fills != 1 {
+		t.Errorf("want exactly 1 fill, got %d", fills)
+	}
+	shared := 0
+	for _, cached := range results {
+		if cached {
+			shared++
+		}
+	}
+	if shared != waiters-1 {
+		t.Errorf("want %d deduplicated waiters, got %d", waiters-1, shared)
+	}
+}
+
+func TestCacheFailedFillNotCached(t *testing.T) {
+	c := NewCache(CacheConfig{Budget: 1 << 10, Now: newFakeClock().Now})
+	boom := errors.New("backend down")
+	if _, _, err := c.Do("k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("want fill error back, got %v", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("failed fill must not populate the cache")
+	}
+	called := false
+	if _, _, err := c.Do("k", func() ([]byte, error) { called = true; return []byte("v"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("second Do should retry the fill after a failure")
+	}
+	if st := c.Stats(); st.FillErrs != 1 {
+		t.Errorf("want 1 fill error, got %+v", st)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(CacheConfig{Budget: 1 << 10, Now: newFakeClock().Now})
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Invalidate()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("want empty after Invalidate, got %+v", st)
+	}
+}

@@ -1,0 +1,124 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"image/png"
+	"math"
+	"strings"
+
+	"djinn/internal/lang"
+	"djinn/internal/pipeline"
+)
+
+// The gateway's JSON payload encodings. Audio travels as base64 of
+// 16-bit little-endian PCM at 16 kHz mono; images as base64 PNG bytes;
+// text as plain JSON strings; digits as nested float arrays. The
+// decoded, normalised form doubles as the cache's canonical input so
+// two base64 spellings of the same payload share an entry.
+
+// EncodePCM16 packs [-1,1] float samples as little-endian int16 PCM —
+// the inverse of the gateway's audio decode, for clients and tests.
+func EncodePCM16(signal []float64) []byte {
+	out := make([]byte, 2*len(signal))
+	for i, s := range signal {
+		if s > 1 {
+			s = 1
+		} else if s < -1 {
+			s = -1
+		}
+		v := int16(math.Round(s * 32767))
+		binary.LittleEndian.PutUint16(out[2*i:], uint16(v))
+	}
+	return out
+}
+
+// DecodePCM16 unpacks little-endian int16 PCM into [-1,1] floats.
+func DecodePCM16(raw []byte) ([]float64, error) {
+	if len(raw)%2 != 0 {
+		return nil, fmt.Errorf("pcm16 payload has odd length %d", len(raw))
+	}
+	out := make([]float64, len(raw)/2)
+	for i := range out {
+		out[i] = float64(int16(binary.LittleEndian.Uint16(raw[2*i:]))) / 32767
+	}
+	return out, nil
+}
+
+// canonicalText normalises a sentence the way the NLP pre-processing
+// does — whitespace-insensitive token stream — so "Hello,  world" and
+// "hello , world\n" share a cache entry exactly when they share a
+// token sequence.
+func canonicalText(text string) []byte {
+	return []byte(strings.Join(lang.Tokenize(text), " "))
+}
+
+// decodePayload turns the JSON request payload fields into a pipeline
+// Input plus the canonical bytes the cache keys on, according to the
+// app's declared kind. Errors are client errors (400).
+func decodePayload(kind Kind, req *inferRequest) (pipeline.Input, []byte, error) {
+	var in pipeline.Input
+	switch kind {
+	case KindText:
+		if req.Text == "" {
+			return in, nil, fmt.Errorf("app %q takes a %q field", req.App, "text")
+		}
+		in.Text = req.Text
+		canon := canonicalText(req.Text)
+		if len(canon) == 0 {
+			return in, nil, fmt.Errorf("text has no tokens")
+		}
+		return in, canon, nil
+	case KindAudio:
+		if req.Audio == "" {
+			return in, nil, fmt.Errorf("app %q takes an %q field (base64 PCM16 @ 16 kHz)", req.App, "audio")
+		}
+		raw, err := base64.StdEncoding.DecodeString(req.Audio)
+		if err != nil {
+			return in, nil, fmt.Errorf("audio: bad base64: %v", err)
+		}
+		sig, err := DecodePCM16(raw)
+		if err != nil {
+			return in, nil, fmt.Errorf("audio: %v", err)
+		}
+		if len(sig) == 0 {
+			return in, nil, fmt.Errorf("audio: empty signal")
+		}
+		in.Audio = sig
+		return in, raw, nil
+	case KindImage:
+		if req.Image == "" {
+			return in, nil, fmt.Errorf("app %q takes an %q field (base64 PNG)", req.App, "image")
+		}
+		raw, err := base64.StdEncoding.DecodeString(req.Image)
+		if err != nil {
+			return in, nil, fmt.Errorf("image: bad base64: %v", err)
+		}
+		img, err := png.Decode(bytes.NewReader(raw))
+		if err != nil {
+			return in, nil, fmt.Errorf("image: bad png: %v", err)
+		}
+		in.Image = img
+		return in, raw, nil
+	case KindDigits:
+		if len(req.Digits) == 0 {
+			return in, nil, fmt.Errorf("app %q takes a %q field (rows of 784 floats)", req.App, "digits")
+		}
+		canon := make([]byte, 0, 4*784*len(req.Digits))
+		var scratch [4]byte
+		for i, row := range req.Digits {
+			if len(row) != 28*28 {
+				return in, nil, fmt.Errorf("digits[%d]: %d values, want %d", i, len(row), 28*28)
+			}
+			for _, v := range row {
+				binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(v))
+				canon = append(canon, scratch[:]...)
+			}
+		}
+		in.Digits = req.Digits
+		return in, canon, nil
+	}
+	return in, nil, fmt.Errorf("app %q has unknown payload kind %q", req.App, kind)
+}

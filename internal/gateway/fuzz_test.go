@@ -1,0 +1,127 @@
+package gateway
+
+import (
+	"strings"
+	"testing"
+
+	"djinn/internal/service"
+)
+
+// FuzzParseInferRequest throws arbitrary bodies at the strict JSON
+// parser: it must never panic, and accepted requests must satisfy the
+// parser's documented invariants.
+func FuzzParseInferRequest(f *testing.F) {
+	seeds := []string{
+		`{"app":"pos","text":"the quick brown fox"}`,
+		`{"app":"asr","audio":"AAAA"}`,
+		`{"app":"asr","audio":"!!not-base64!!"}`,
+		`{"app":"imc","image":"iVBORw0KGgo="}`,
+		`{"app":"dig","digits":[[0.1,0.2]]}`,
+		`{"app":"pos","app":"ner","text":"dup"}`,        // duplicate field
+		`{"app":"pos","text":"x","text":"y"}`,           // duplicate payload
+		`{"app":"pos","text":"x","bogus":true}`,         // unknown field
+		`{"app":"pos","text":"x"}{"trailing":1}`,        // trailing content
+		`{"app":"pos","text":"x","deadline_ms":-1}`,     // negative deadline
+		`{"app":"pos","text":"x","audio":"AAAA"}`,       // two payloads
+		`{"app":"` + strings.Repeat("a", 300) + `"}`,    // oversized app name
+		`{"nested":{"a":{"b":{"c":{"d":1}}}},"app":""}`, // depth
+		`{"app":"POS ","text":"x"}`,                     // needs normalisation
+		`[1,2,3]`, `null`, `""`, `{`, ``, `{"app":7}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := parseInferRequest(data)
+		if err != nil {
+			return
+		}
+		if req.App == "" {
+			t.Fatalf("accepted request with empty app: %q", data)
+		}
+		if len(req.App) > service.MaxAppNameLen {
+			t.Fatalf("accepted over-long app name (%d bytes): %q", len(req.App), data)
+		}
+		if req.App != strings.ToLower(strings.TrimSpace(req.App)) {
+			t.Fatalf("accepted non-normalised app name %q", req.App)
+		}
+		if req.DeadlineMS < 0 {
+			t.Fatalf("accepted negative deadline: %q", data)
+		}
+		payloads := 0
+		if req.Text != "" {
+			payloads++
+		}
+		if req.Audio != "" {
+			payloads++
+		}
+		if req.Image != "" {
+			payloads++
+		}
+		if len(req.Digits) > 0 {
+			payloads++
+		}
+		if payloads > 1 {
+			t.Fatalf("accepted request with %d payload fields: %q", payloads, data)
+		}
+	})
+}
+
+// FuzzParsePipelineRequest exercises the pipeline body parser and the
+// spec normaliser behind it.
+func FuzzParsePipelineRequest(f *testing.F) {
+	seeds := []string{
+		`{"pipeline":"asr-pos-ner","audio":"AAAA"}`,
+		`{"stages":[{"name":"a","app":"pos"}],"text":"x"}`,
+		`{"stages":[{"name":"a","app":"pos","after":["b"]},{"name":"b","app":"ner","after":["a"]}],"text":"x"}`,
+		`{"pipeline":"asr-pos-ner","stages":[{"app":"pos"}],"text":"x"}`, // both given
+		`{"text":"x"}`, // neither given
+		`{"stages":[],"text":"x"}`,
+		`{"pipeline":"asr-pos-ner","pipeline":"asr-chk","text":"x"}`,
+		`{"stages":[{"name":"a","app":"pos"},{"name":"a","app":"ner"}],"text":"x"}`, // dup names
+		`{`, ``, `null`, `[1]`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := parsePipelineRequest(data)
+		if err != nil {
+			return
+		}
+		if req.Pipeline == "" && len(req.Stages) == 0 {
+			t.Fatalf("accepted request naming no pipeline and no stages: %q", data)
+		}
+		if req.Pipeline != "" && len(req.Stages) > 0 {
+			t.Fatalf("accepted request naming both a preset and inline stages: %q", data)
+		}
+	})
+}
+
+// FuzzDecodePCM16 checks the audio codec never panics and enforces
+// the even-length invariant.
+func FuzzDecodePCM16(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x80})
+	f.Add([]byte{0xff, 0x7f, 0x01})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		signal, err := DecodePCM16(raw)
+		if len(raw)%2 != 0 {
+			if err == nil {
+				t.Fatalf("odd-length input (%d bytes) accepted", len(raw))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("even-length input rejected: %v", err)
+		}
+		if len(signal) != len(raw)/2 {
+			t.Fatalf("decoded %d samples from %d bytes", len(signal), len(raw))
+		}
+		for i, s := range signal {
+			if s < -1.001 || s > 1.001 {
+				t.Fatalf("sample %d out of range: %f", i, s)
+			}
+		}
+	})
+}

@@ -1,0 +1,601 @@
+// Package gateway is the HTTP/JSON front door to a DjiNN fleet. The
+// paper's service speaks a custom binary socket protocol; real
+// warehouse-scale serving fronts that with a multi-tenant tier that
+// terminates commodity HTTP, translates JSON payloads into engine
+// queries, absorbs repeated work in a content-addressed response
+// cache, and applies per-tenant admission before a request ever
+// reaches the scheduler. The gateway sits in front of anything that
+// implements service.ContextBackend — normally the router fleet, so
+// retries, placement, and canary splits all apply beneath it.
+//
+// Endpoints: POST /v1/infer (single app), POST /v1/pipeline (a DAG of
+// apps, see internal/pipeline), GET /v1/apps, GET/POST /v1/cache
+// (stats / per-app toggle + flush), GET /healthz.
+//
+// Status mapping mirrors the wire protocol's shed semantics:
+// 400 malformed, 404 unknown app, 413 oversized body, 429 tenant
+// rate-limited, 502 transport, 503 shed (ErrOverloaded/ErrShuttingDown),
+// 504 deadline exceeded.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"djinn/internal/events"
+	"djinn/internal/metrics"
+	"djinn/internal/pipeline"
+	"djinn/internal/service"
+	"djinn/internal/trace"
+)
+
+// Kind classifies an app's payload encoding.
+type Kind string
+
+const (
+	KindText   Kind = "text"
+	KindAudio  Kind = "audio"
+	KindImage  Kind = "image"
+	KindDigits Kind = "digits"
+)
+
+// AppSpec declares one servable app at the gateway.
+type AppSpec struct {
+	// Kind selects the JSON payload field and pre-processing.
+	Kind Kind `json:"kind"`
+	// Cache enables the response cache for this app. NLP queries
+	// repeat (the same sentences come back); camera frames do not —
+	// so text/audio default on, image/digits default off.
+	Cache bool `json:"cache"`
+}
+
+// DefaultApps maps the seven Tonic applications.
+func DefaultApps() map[string]AppSpec {
+	return map[string]AppSpec{
+		"pos":  {Kind: KindText, Cache: true},
+		"chk":  {Kind: KindText, Cache: true},
+		"ner":  {Kind: KindText, Cache: true},
+		"asr":  {Kind: KindAudio, Cache: true},
+		"imc":  {Kind: KindImage, Cache: false},
+		"face": {Kind: KindImage, Cache: false},
+		"dig":  {Kind: KindDigits, Cache: false},
+	}
+}
+
+// DefaultBodyLimit caps request bodies when the config leaves it
+// zero: 8 MB fits any Tonic payload (a 227×227 PNG or ~4 min of
+// PCM16 speech) with room to spare.
+const DefaultBodyLimit = 8 << 20
+
+// Config assembles a Gateway.
+type Config struct {
+	// Backend serves the queries — normally a *router.Router over
+	// the replica fleet.
+	Backend service.ContextBackend
+	// Apps declares the servable set; nil means DefaultApps().
+	Apps map[string]AppSpec
+	// Cache sizes the response cache (CacheConfig.Budget < 0
+	// disables it).
+	Cache CacheConfig
+	// Limit shapes per-tenant token buckets (Rate <= 0 disables).
+	Limit LimitConfig
+	// BodyLimit caps request-body bytes; 0 means DefaultBodyLimit.
+	// Oversized bodies return 413 without buffering the excess.
+	BodyLimit int64
+	// Deadline is the default per-request serving budget when the
+	// body carries no deadline_ms; 0 means no deadline.
+	Deadline time.Duration
+	// Version tags an app for cache keying; a model promote that
+	// changes the version invalidates the app's entries implicitly.
+	// nil means the app name alone.
+	Version func(app string) string
+	// Traces collects gateway-tier spans; nil means a private store.
+	Traces *trace.Store
+	// Journal receives cache/ratelimit events; may be nil.
+	Journal *events.Journal
+}
+
+// Gateway is the HTTP front-end. Create with New; safe for concurrent
+// use.
+type Gateway struct {
+	backend   service.ContextBackend
+	apps      map[string]AppSpec
+	cache     *Cache
+	limiter   *Limiter
+	runner    *pipeline.Runner
+	traces    *trace.Store
+	journal   *events.Journal
+	version   func(string) string
+	bodyLimit int64
+	deadline  time.Duration
+	mux       *http.ServeMux
+
+	mu          sync.Mutex
+	cacheable   map[string]bool // runtime per-app cache toggle
+	byStatus    map[int]int64
+	inferCount  int64
+	pipeCount   int64
+	parseErrors int64
+
+	e2e *metrics.Histogram
+}
+
+// New builds a gateway over cfg.Backend.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("gateway: nil backend")
+	}
+	apps := cfg.Apps
+	if apps == nil {
+		apps = DefaultApps()
+	}
+	if cfg.BodyLimit == 0 {
+		cfg.BodyLimit = DefaultBodyLimit
+	}
+	if cfg.Version == nil {
+		cfg.Version = func(app string) string { return app }
+	}
+	traces := cfg.Traces
+	if traces == nil {
+		traces = trace.NewStore("gateway", trace.DefaultStoreSize)
+	}
+	g := &Gateway{
+		backend:   cfg.Backend,
+		apps:      apps,
+		cache:     NewCache(cfg.Cache),
+		limiter:   NewLimiter(cfg.Limit),
+		runner:    pipeline.NewRunner(cfg.Backend, traces),
+		traces:    traces,
+		journal:   cfg.Journal,
+		version:   cfg.Version,
+		bodyLimit: cfg.BodyLimit,
+		deadline:  cfg.Deadline,
+		cacheable: make(map[string]bool, len(apps)),
+		byStatus:  make(map[int]int64),
+		e2e:       metrics.NewHistogram(nil),
+	}
+	for name, spec := range apps {
+		g.cacheable[name] = spec.Cache
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", g.handleInfer)
+	mux.HandleFunc("/v1/pipeline", g.handlePipeline)
+	mux.HandleFunc("/v1/apps", g.handleApps)
+	mux.HandleFunc("/v1/cache", g.handleCache)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	g.mux = mux
+	return g, nil
+}
+
+// Traces exposes the gateway-tier span store for cross-tier merges.
+func (g *Gateway) Traces() *trace.Store { return g.traces }
+
+// Pipelines exposes the pipeline runner (for stats rendering).
+func (g *Gateway) Pipelines() *pipeline.Runner { return g.runner }
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// SetCache toggles the response cache for one app at runtime;
+// unknown apps are an error.
+func (g *Gateway) SetCache(app string, on bool) error {
+	if _, ok := g.apps[app]; !ok {
+		return fmt.Errorf("unknown app %q", app)
+	}
+	g.mu.Lock()
+	prev := g.cacheable[app]
+	g.cacheable[app] = on
+	g.mu.Unlock()
+	if prev != on {
+		g.journal.Appendf(events.KindCache, "gateway", "cache %s app=%s", onOff(on), app)
+	}
+	return nil
+}
+
+func onOff(on bool) string {
+	if on {
+		return "enabled"
+	}
+	return "disabled"
+}
+
+func (g *Gateway) cacheEnabled(app string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cacheable[app]
+}
+
+// status-tracking response writer
+
+func (g *Gateway) count(code int, kind string) {
+	g.mu.Lock()
+	g.byStatus[code]++
+	switch kind {
+	case "infer":
+		g.inferCount++
+	case "pipeline":
+		g.pipeCount++
+	}
+	g.mu.Unlock()
+}
+
+func (g *Gateway) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (g *Gateway) fail(w http.ResponseWriter, kind string, code int, format string, args ...any) {
+	g.count(code, kind)
+	if code == http.StatusBadRequest {
+		g.mu.Lock()
+		g.parseErrors++
+		g.mu.Unlock()
+	}
+	if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	g.writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusForErr maps backend errors onto the HTTP surface, mirroring
+// the wire protocol's status semantics.
+func statusForErr(err error) int {
+	switch {
+	case errors.Is(err, service.ErrOverloaded), errors.Is(err, service.ErrShuttingDown):
+		return http.StatusServiceUnavailable // 503: shed, retryable
+	case errors.Is(err, service.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout // 504
+	case errors.Is(err, service.ErrTransport):
+		return http.StatusBadGateway // 502
+	}
+	return http.StatusInternalServerError
+}
+
+// admit runs the shared front-of-handler checks: method, tenant rate
+// limit, bounded body read. ok=false means the response was written.
+func (g *Gateway) admit(w http.ResponseWriter, r *http.Request, kind string) (body []byte, ok bool) {
+	if r.Method != http.MethodPost {
+		g.fail(w, kind, http.StatusMethodNotAllowed, "POST only")
+		return nil, false
+	}
+	if allowed, first := g.limiter.Allow(Tenant(r)); !allowed {
+		if first {
+			g.journal.Appendf(events.KindRateLimit, "gateway", "tenant %s rate limited", Tenant(r))
+		}
+		g.fail(w, kind, http.StatusTooManyRequests, "rate limit exceeded")
+		return nil, false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.bodyLimit))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			g.fail(w, kind, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+		} else {
+			g.fail(w, kind, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// requestContext derives the traced, deadline-bounded context.
+func (g *Gateway) requestContext(r *http.Request, deadlineMS int) (context.Context, context.CancelFunc, string) {
+	id := trace.NewID()
+	ctx := trace.WithID(r.Context(), id)
+	d := g.deadline
+	if deadlineMS > 0 {
+		d = time.Duration(deadlineMS) * time.Millisecond
+	}
+	if d > 0 {
+		ctx, cancel := context.WithTimeout(ctx, d)
+		return ctx, cancel, id
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	return ctx, cancel, id
+}
+
+// inferResponse is the /v1/infer reply envelope.
+type inferResponse struct {
+	App     string          `json:"app"`
+	Cached  bool            `json:"cached"`
+	TraceID string          `json:"trace_id"`
+	Result  json.RawMessage `json:"result"`
+}
+
+func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	body, ok := g.admit(w, r, "infer")
+	if !ok {
+		return
+	}
+	req, err := parseInferRequest(body)
+	if err != nil {
+		g.fail(w, "infer", http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	spec, known := g.apps[req.App]
+	if !known {
+		g.fail(w, "infer", http.StatusNotFound, "unknown app %q", req.App)
+		return
+	}
+	in, canon, err := decodePayload(spec.Kind, &req)
+	if err != nil {
+		g.fail(w, "infer", http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	ctx, cancel, id := g.requestContext(r, req.DeadlineMS)
+	defer cancel()
+
+	useCache := g.cache != nil && !req.NoCache && g.cacheEnabled(req.App)
+	var (
+		resultBytes []byte
+		cached      bool
+	)
+	if useCache {
+		key := CacheKey(req.App+"@"+g.version(req.App), canon)
+		if hit, ok := g.cache.Get(key); ok {
+			// Distinct span so timelines attribute served-from-cache
+			// latency to the cache, not a synthetic engine forward.
+			g.traces.Add(id, trace.Span{
+				Name: "cache", Note: fmt.Sprintf("hit app=%s bytes=%d", req.App, len(hit)),
+				Start: start, Dur: time.Since(start),
+			})
+			resultBytes, cached = hit, true
+		} else {
+			t0 := time.Now()
+			val, shared, err := g.cache.Do(key, func() ([]byte, error) {
+				out, err := pipeline.RunApp(ctx, g.backend, req.App, in)
+				if err != nil {
+					return nil, err
+				}
+				return json.Marshal(out)
+			})
+			if err != nil {
+				g.finishError(w, "infer", id, err)
+				return
+			}
+			note := fmt.Sprintf("fill app=%s bytes=%d", req.App, len(val))
+			if shared {
+				note = fmt.Sprintf("fill-wait app=%s bytes=%d", req.App, len(val))
+			}
+			g.traces.Add(id, trace.Span{
+				Name: "cache_fill", Note: note, Start: t0, Dur: time.Since(t0),
+			})
+			resultBytes, cached = val, shared
+		}
+	} else {
+		out, err := pipeline.RunApp(ctx, g.backend, req.App, in)
+		if err != nil {
+			g.finishError(w, "infer", id, err)
+			return
+		}
+		resultBytes, err = json.Marshal(out)
+		if err != nil {
+			g.finishError(w, "infer", id, err)
+			return
+		}
+	}
+	g.traces.Add(id, trace.Span{
+		Name: "gateway", Note: fmt.Sprintf("app=%s cached=%v", req.App, cached),
+		Start: start, Dur: time.Since(start),
+	})
+	g.e2e.RecordEx(time.Since(start), id)
+	g.count(http.StatusOK, "infer")
+	g.writeJSON(w, http.StatusOK, inferResponse{
+		App: req.App, Cached: cached, TraceID: id, Result: resultBytes,
+	})
+}
+
+func (g *Gateway) finishError(w http.ResponseWriter, kind, id string, err error) {
+	code := statusForErr(err)
+	g.count(code, kind)
+	if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	g.writeJSON(w, code, struct {
+		Error   string `json:"error"`
+		TraceID string `json:"trace_id"`
+	}{Error: err.Error(), TraceID: id})
+}
+
+func (g *Gateway) handlePipeline(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	body, ok := g.admit(w, r, "pipeline")
+	if !ok {
+		return
+	}
+	req, err := parsePipelineRequest(body)
+	if err != nil {
+		g.fail(w, "pipeline", http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	var spec pipeline.Spec
+	if req.Pipeline != "" {
+		var found bool
+		if spec, found = pipeline.Preset(req.Pipeline); !found {
+			g.fail(w, "pipeline", http.StatusNotFound, "unknown pipeline %q", req.Pipeline)
+			return
+		}
+	} else {
+		spec = pipeline.Spec{Name: "inline", Stages: req.Stages}
+	}
+	if spec, err = spec.Normalize(); err != nil {
+		g.fail(w, "pipeline", http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	in, err := g.pipelineInput(&req)
+	if err != nil {
+		g.fail(w, "pipeline", http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	ctx, cancel, id := g.requestContext(r, req.DeadlineMS)
+	defer cancel()
+	res, err := g.runner.Run(ctx, spec, in)
+	if err != nil {
+		g.finishError(w, "pipeline", id, err)
+		return
+	}
+	g.traces.Add(id, trace.Span{
+		Name: "gateway", Note: fmt.Sprintf("pipeline=%s stages=%d", spec.Name, len(spec.Stages)),
+		Start: start, Dur: time.Since(start),
+	})
+	g.e2e.RecordEx(time.Since(start), id)
+	g.count(http.StatusOK, "pipeline")
+	g.writeJSON(w, http.StatusOK, res)
+}
+
+// pipelineInput decodes the request-level payloads a pipeline's
+// stages draw from.
+func (g *Gateway) pipelineInput(req *pipelineRequest) (pipeline.Input, error) {
+	var in pipeline.Input
+	in.Text = req.Text
+	if req.Audio != "" {
+		tmp := inferRequest{App: "asr", Audio: req.Audio}
+		dec, _, err := decodePayload(KindAudio, &tmp)
+		if err != nil {
+			return in, err
+		}
+		in.Audio = dec.Audio
+	}
+	if req.Image != "" {
+		tmp := inferRequest{App: "imc", Image: req.Image}
+		dec, _, err := decodePayload(KindImage, &tmp)
+		if err != nil {
+			return in, err
+		}
+		in.Image = dec.Image
+	}
+	if len(req.Digits) > 0 {
+		tmp := inferRequest{App: "dig", Digits: req.Digits}
+		dec, _, err := decodePayload(KindDigits, &tmp)
+		if err != nil {
+			return in, err
+		}
+		in.Digits = dec.Digits
+	}
+	return in, nil
+}
+
+// handleApps lists the servable set.
+func (g *Gateway) handleApps(w http.ResponseWriter, r *http.Request) {
+	type appInfo struct {
+		Name  string `json:"name"`
+		Kind  Kind   `json:"kind"`
+		Cache bool   `json:"cache"`
+	}
+	names := make([]string, 0, len(g.apps))
+	for name := range g.apps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]appInfo, 0, len(names))
+	for _, name := range names {
+		out = append(out, appInfo{Name: name, Kind: g.apps[name].Kind, Cache: g.cacheEnabled(name)})
+	}
+	g.writeJSON(w, http.StatusOK, out)
+}
+
+// handleCache serves cache stats (GET) and per-app toggles / flush
+// (POST {"app":..., "enabled":...} or {"flush": true}).
+func (g *Gateway) handleCache(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		g.mu.Lock()
+		apps := make(map[string]bool, len(g.cacheable))
+		for k, v := range g.cacheable {
+			apps[k] = v
+		}
+		g.mu.Unlock()
+		g.writeJSON(w, http.StatusOK, struct {
+			Cache CacheStats      `json:"cache"`
+			Apps  map[string]bool `json:"apps"`
+		}{Cache: g.cache.Stats(), Apps: apps})
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4096))
+		if err != nil {
+			g.fail(w, "cache", http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		var req struct {
+			App     string `json:"app,omitempty"`
+			Enabled *bool  `json:"enabled,omitempty"`
+			Flush   bool   `json:"flush,omitempty"`
+		}
+		if err := decodeStrict(body, &req); err != nil {
+			g.fail(w, "cache", http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		if req.Flush {
+			g.cache.Invalidate()
+			g.journal.Appendf(events.KindCache, "gateway", "cache flushed")
+		}
+		if req.App != "" {
+			if req.Enabled == nil {
+				g.fail(w, "cache", http.StatusBadRequest, "app toggle needs %q", "enabled")
+				return
+			}
+			if err := g.SetCache(req.App, *req.Enabled); err != nil {
+				g.fail(w, "cache", http.StatusNotFound, "%v", err)
+				return
+			}
+		} else if !req.Flush {
+			g.fail(w, "cache", http.StatusBadRequest, "need %q or %q", "app", "flush")
+			return
+		}
+		g.writeJSON(w, http.StatusOK, struct {
+			OK bool `json:"ok"`
+		}{OK: true})
+	default:
+		g.fail(w, "cache", http.StatusMethodNotAllowed, "GET or POST")
+	}
+}
+
+// Stats is a point-in-time gateway counters snapshot.
+type Stats struct {
+	Infer       int64          `json:"infer"`
+	Pipelines   int64          `json:"pipelines"`
+	ParseErrors int64          `json:"parse_errors"`
+	ByStatus    map[int]int64  `json:"by_status"`
+	Cache       CacheStats     `json:"cache"`
+	Limit       LimiterStats   `json:"ratelimit"`
+	Pipeline    pipeline.Stats `json:"pipeline"`
+	E2E         metrics.HistogramSnapshot
+}
+
+// Stats snapshots the gateway counters for /metrics and tooling.
+func (g *Gateway) Stats() Stats {
+	g.mu.Lock()
+	st := Stats{
+		Infer:       g.inferCount,
+		Pipelines:   g.pipeCount,
+		ParseErrors: g.parseErrors,
+		ByStatus:    make(map[int]int64, len(g.byStatus)),
+	}
+	for k, v := range g.byStatus {
+		st.ByStatus[k] = v
+	}
+	g.mu.Unlock()
+	st.Cache = g.cache.Stats()
+	st.Limit = g.limiter.Stats()
+	st.Pipeline = g.runner.Stats()
+	st.E2E = g.e2e.Snapshot()
+	return st
+}

@@ -1,0 +1,173 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"djinn/internal/pipeline"
+	"djinn/internal/service"
+)
+
+// Strict JSON request parsing. The stock decoder happily accepts
+// duplicate keys (last one wins) and trailing garbage; a front door
+// shared by many tenants should not — a proxy and the gateway
+// disagreeing on which "app" field counts is a classic smuggling
+// vector. So every request body goes through a token-level walk that
+// rejects duplicate keys at any depth, then a DisallowUnknownFields
+// decode, then a trailing-content check.
+
+// inferRequest is the /v1/infer body.
+type inferRequest struct {
+	// App is the Tonic service name (asr, pos, chk, ner, imc, face, dig).
+	App string `json:"app"`
+	// Exactly one payload field per the app's kind:
+	Text   string      `json:"text,omitempty"`
+	Audio  string      `json:"audio,omitempty"`  // base64 PCM16 @ 16 kHz mono
+	Image  string      `json:"image,omitempty"`  // base64 PNG
+	Digits [][]float32 `json:"digits,omitempty"` // rows of 28×28
+	// DeadlineMS bounds end-to-end serving time; 0 means the
+	// gateway default.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// NoCache bypasses the response cache for this request.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// pipelineRequest is the /v1/pipeline body: either a named preset or
+// an inline stage DAG, plus the request-level payloads stages draw on.
+type pipelineRequest struct {
+	Pipeline   string               `json:"pipeline,omitempty"`
+	Stages     []pipeline.StageSpec `json:"stages,omitempty"`
+	Text       string               `json:"text,omitempty"`
+	Audio      string               `json:"audio,omitempty"`
+	Image      string               `json:"image,omitempty"`
+	Digits     [][]float32          `json:"digits,omitempty"`
+	DeadlineMS int                  `json:"deadline_ms,omitempty"`
+}
+
+// rejectDuplicateKeys walks the JSON token stream and fails on a
+// repeated key inside any single object, at any nesting depth.
+func rejectDuplicateKeys(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	return dupCheckValue(dec, 0)
+}
+
+// maxParseDepth bounds recursion so deeply nested arrays cannot blow
+// the goroutine stack before the decoder's own limits kick in.
+const maxParseDepth = 64
+
+func dupCheckValue(dec *json.Decoder, depth int) error {
+	if depth > maxParseDepth {
+		return fmt.Errorf("json nested deeper than %d", maxParseDepth)
+	}
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	delim, ok := tok.(json.Delim)
+	if !ok {
+		return nil // scalar
+	}
+	switch delim {
+	case '{':
+		seen := make(map[string]bool)
+		for dec.More() {
+			keyTok, err := dec.Token()
+			if err != nil {
+				return err
+			}
+			key, _ := keyTok.(string)
+			if seen[key] {
+				return fmt.Errorf("duplicate field %q", key)
+			}
+			seen[key] = true
+			if err := dupCheckValue(dec, depth+1); err != nil {
+				return err
+			}
+		}
+		_, err = dec.Token() // consume '}'
+		return err
+	case '[':
+		for dec.More() {
+			if err := dupCheckValue(dec, depth+1); err != nil {
+				return err
+			}
+		}
+		_, err = dec.Token() // consume ']'
+		return err
+	}
+	return nil
+}
+
+// decodeStrict unmarshals data into v with duplicate-key, unknown-
+// field, and trailing-garbage rejection.
+func decodeStrict(data []byte, v any) error {
+	if err := rejectDuplicateKeys(data); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing content after JSON body")
+	}
+	return nil
+}
+
+// parseInferRequest parses and sanity-checks a /v1/infer body. It
+// validates shape only — app existence is the handler's 404, payload
+// decoding is decodePayload's 400.
+func parseInferRequest(data []byte) (inferRequest, error) {
+	var req inferRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return req, err
+	}
+	req.App = strings.ToLower(strings.TrimSpace(req.App))
+	if req.App == "" {
+		return req, fmt.Errorf("missing %q field", "app")
+	}
+	if len(req.App) > service.MaxAppNameLen {
+		return req, fmt.Errorf("app name longer than %d", service.MaxAppNameLen)
+	}
+	if req.DeadlineMS < 0 {
+		return req, fmt.Errorf("negative deadline_ms")
+	}
+	n := 0
+	if req.Text != "" {
+		n++
+	}
+	if req.Audio != "" {
+		n++
+	}
+	if req.Image != "" {
+		n++
+	}
+	if len(req.Digits) > 0 {
+		n++
+	}
+	if n > 1 {
+		return req, fmt.Errorf("more than one payload field set")
+	}
+	return req, nil
+}
+
+// parsePipelineRequest parses and sanity-checks a /v1/pipeline body.
+func parsePipelineRequest(data []byte) (pipelineRequest, error) {
+	var req pipelineRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return req, err
+	}
+	if req.Pipeline == "" && len(req.Stages) == 0 {
+		return req, fmt.Errorf("need %q or %q", "pipeline", "stages")
+	}
+	if req.Pipeline != "" && len(req.Stages) > 0 {
+		return req, fmt.Errorf("%q and %q are mutually exclusive", "pipeline", "stages")
+	}
+	if req.DeadlineMS < 0 {
+		return req, fmt.Errorf("negative deadline_ms")
+	}
+	return req, nil
+}

@@ -1,0 +1,168 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"djinn/internal/models"
+	"djinn/internal/router"
+	"djinn/internal/service"
+	"djinn/internal/testutil"
+	"djinn/internal/tonic"
+)
+
+// TestGatewayKillReplicaMidRunZeroLost drives concurrent HTTP clients
+// through the full gateway → router → replica stack — cacheable
+// queries, cache-bypassing queries, pipelines, and a rate-limited
+// tenant — while one replica dies mid-run. Every accepted request
+// must resolve to a definite HTTP status: 200, or an accounted
+// shed/limit status (429/503/504). Nothing may be lost and no
+// goroutines may leak.
+func TestGatewayKillReplicaMidRunZeroLost(t *testing.T) {
+	testutil.NoLeaks(t)
+	rt := router.New(router.Config{
+		Policy: router.LeastOutstanding,
+		Health: router.HealthConfig{FailureThreshold: 2, ProbeInterval: 100 * time.Millisecond},
+	})
+	defer rt.Close()
+	var victim *service.Server
+	for i := 0; i < 3; i++ {
+		srv := service.NewServer()
+		srv.SetLogger(func(string, ...any) {})
+		for _, a := range []models.App{models.POS, models.NER} {
+			if err := tonic.Register(srv, a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rt.AddBackend(fmt.Sprintf("replica-%d", i), srv); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			victim = srv
+		} else {
+			defer srv.Close()
+		}
+	}
+	gw, err := New(Config{
+		Backend: rt,
+		Limit:   LimitConfig{Rate: 50, Burst: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(gw)
+	defer hs.Close()
+
+	var issued, ok, accounted atomic.Int64
+	var unexplainedMu sync.Mutex
+	var firstUnexplained error
+	noteUnexplained := func(err error) {
+		unexplainedMu.Lock()
+		if firstUnexplained == nil {
+			firstUnexplained = err
+		}
+		unexplainedMu.Unlock()
+	}
+	post := func(client *http.Client, path string, body []byte, tenant string) {
+		issued.Add(1)
+		req, err := http.NewRequest(http.MethodPost, hs.URL+path, bytes.NewReader(body))
+		if err != nil {
+			noteUnexplained(err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-API-Key", tenant)
+		resp, err := client.Do(req)
+		if err != nil {
+			// A transport-level failure is a lost request: the gateway
+			// must answer even when replicas die under it.
+			noteUnexplained(fmt.Errorf("transport: %w", err))
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok.Add(1)
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			accounted.Add(1)
+		case http.StatusInternalServerError:
+			// The engine may surface a non-lifecycle failure while its
+			// server tears down mid-batch; the request still resolved.
+			accounted.Add(1)
+		default:
+			accounted.Add(1)
+			noteUnexplained(fmt.Errorf("unexpected status %d", resp.StatusCode))
+		}
+	}
+
+	const clients = 6
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			defer client.CloseIdleConnections()
+			tenant := fmt.Sprintf("tenant-%d", c%3) // shared tenants → some 429s
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch n % 3 {
+				case 0: // cacheable: repeats drive fills, dedup, and hits
+					body, _ := json.Marshal(map[string]any{
+						"app": "pos", "text": fmt.Sprintf("repeated sentence number %d", n%4),
+					})
+					post(client, "/v1/infer", body, tenant)
+				case 1: // unique + no_cache: always reaches the fleet
+					body, _ := json.Marshal(map[string]any{
+						"app": "ner", "no_cache": true,
+						"text": fmt.Sprintf("client %d fresh sentence %d from paris", c, n),
+					})
+					post(client, "/v1/infer", body, tenant)
+				default: // pipeline: multi-stage requests cross the kill
+					body, _ := json.Marshal(map[string]any{
+						"stages": []map[string]any{
+							{"name": "tag", "app": "pos"},
+							{"name": "rec", "app": "ner", "after": []string{"tag"}},
+						},
+						"text": fmt.Sprintf("pipeline input %d for client %d", n, c),
+					})
+					post(client, "/v1/pipeline", body, tenant)
+				}
+			}
+		}(c)
+	}
+	time.Sleep(150 * time.Millisecond)
+	victim.Close() // kill one replica mid-run
+	time.Sleep(250 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if firstUnexplained != nil {
+		t.Fatalf("unexplained failure: %v", firstUnexplained)
+	}
+	if got := ok.Load() + accounted.Load(); got != issued.Load() {
+		t.Fatalf("lost requests: issued %d, resolved %d", issued.Load(), got)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no request succeeded")
+	}
+	st := gw.Stats()
+	if st.Cache.Fills == 0 || st.Cache.Hits == 0 {
+		t.Errorf("cache not exercised under load: %+v", st.Cache)
+	}
+	t.Logf("issued=%d ok=%d accounted=%d cache=%+v", issued.Load(), ok.Load(), accounted.Load(), st.Cache)
+}

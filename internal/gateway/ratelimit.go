@@ -1,0 +1,154 @@
+package gateway
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LimitConfig shapes the per-tenant token buckets.
+type LimitConfig struct {
+	// Rate is tokens (requests) replenished per second per tenant.
+	// Zero or negative disables rate limiting entirely.
+	Rate float64
+	// Burst is the bucket capacity — how far a tenant may run ahead
+	// of the steady rate. Zero means max(1, Rate).
+	Burst float64
+	// Now is the clock; nil means time.Now. Tests inject a fake.
+	Now func() time.Time
+}
+
+// maxTenants bounds the bucket map so a key-spraying client cannot
+// grow gateway memory without bound; full idle buckets are pruned
+// once the map passes this size.
+const maxTenants = 16384
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+	denied bool // in a denial streak (for edge-triggered events)
+}
+
+// Limiter applies a token bucket per tenant key. The zero value is
+// not usable; use NewLimiter. A nil *Limiter allows everything.
+type Limiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	allowed int64
+	denied  int64
+}
+
+// NewLimiter builds a limiter; returns nil (allow-all) when the rate
+// is zero or negative.
+func NewLimiter(cfg LimitConfig) *Limiter {
+	if cfg.Rate <= 0 {
+		return nil
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.Rate
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Limiter{
+		rate:    cfg.Rate,
+		burst:   cfg.Burst,
+		now:     cfg.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Allow spends one token from tenant's bucket. The second return is
+// true exactly when this denial starts a new denial streak — the
+// edge the gateway journals, so a sustained limit storm is one event,
+// not thousands.
+func (l *Limiter) Allow(tenant string) (ok, firstDenial bool) {
+	if l == nil {
+		return true, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[tenant]
+	if b == nil {
+		if len(l.buckets) >= maxTenants {
+			l.pruneLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens += elapsed * l.rate
+			if b.tokens > l.burst {
+				b.tokens = l.burst
+			}
+			b.last = now
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		b.denied = false
+		l.allowed++
+		return true, false
+	}
+	first := !b.denied
+	b.denied = true
+	l.denied++
+	return false, first
+}
+
+// pruneLocked drops buckets that have fully refilled — tenants idle
+// long enough that forgetting them is indistinguishable from keeping
+// them.
+func (l *Limiter) pruneLocked(now time.Time) {
+	for k, b := range l.buckets {
+		idle := now.Sub(b.last).Seconds()
+		if b.tokens+idle*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// LimiterStats is a point-in-time limiter counters snapshot.
+type LimiterStats struct {
+	Tenants int   `json:"tenants"`
+	Allowed int64 `json:"allowed"`
+	Denied  int64 `json:"denied"`
+}
+
+// Stats snapshots the counters.
+func (l *Limiter) Stats() LimiterStats {
+	if l == nil {
+		return LimiterStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LimiterStats{Tenants: len(l.buckets), Allowed: l.allowed, Denied: l.denied}
+}
+
+// Tenant extracts the rate-limit key from a request: X-API-Key wins,
+// then an Authorization bearer token, then the anonymous bucket.
+// Anonymous callers share one bucket by design — unauthenticated
+// traffic is capped in aggregate, not per source.
+func Tenant(r *http.Request) string {
+	if k := strings.TrimSpace(r.Header.Get("X-API-Key")); k != "" {
+		return k
+	}
+	auth := r.Header.Get("Authorization")
+	if tok, ok := strings.CutPrefix(auth, "Bearer "); ok {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			return tok
+		}
+	}
+	return "anonymous"
+}

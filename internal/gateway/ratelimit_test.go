@@ -1,0 +1,156 @@
+package gateway
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestLimiterTokenBucket(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  LimitConfig
+		run  func(t *testing.T, l *Limiter, clock *fakeClock)
+	}{
+		{
+			name: "burst then deny",
+			cfg:  LimitConfig{Rate: 10, Burst: 3},
+			run: func(t *testing.T, l *Limiter, clock *fakeClock) {
+				for i := 0; i < 3; i++ {
+					if ok, _ := l.Allow("a"); !ok {
+						t.Fatalf("request %d within burst denied", i)
+					}
+				}
+				if ok, first := l.Allow("a"); ok || !first {
+					t.Errorf("4th request: got (ok=%v, first=%v), want denied with first-denial edge", ok, first)
+				}
+				if _, first := l.Allow("a"); first {
+					t.Error("5th request should not re-report the denial edge")
+				}
+			},
+		},
+		{
+			name: "refill at the configured rate",
+			cfg:  LimitConfig{Rate: 10, Burst: 2},
+			run: func(t *testing.T, l *Limiter, clock *fakeClock) {
+				l.Allow("a")
+				l.Allow("a")
+				if ok, _ := l.Allow("a"); ok {
+					t.Fatal("bucket should be empty")
+				}
+				clock.Advance(100 * time.Millisecond) // one token at 10/s
+				if ok, _ := l.Allow("a"); !ok {
+					t.Error("one token should have refilled after 100ms")
+				}
+				if ok, _ := l.Allow("a"); ok {
+					t.Error("only one token should have refilled")
+				}
+			},
+		},
+		{
+			name: "refill caps at burst",
+			cfg:  LimitConfig{Rate: 10, Burst: 2},
+			run: func(t *testing.T, l *Limiter, clock *fakeClock) {
+				l.Allow("a")
+				clock.Advance(time.Hour)
+				for i := 0; i < 2; i++ {
+					if ok, _ := l.Allow("a"); !ok {
+						t.Fatalf("request %d within burst denied after long idle", i)
+					}
+				}
+				if ok, _ := l.Allow("a"); ok {
+					t.Error("idle refill must cap at burst, not accumulate for an hour")
+				}
+			},
+		},
+		{
+			name: "per-tenant isolation",
+			cfg:  LimitConfig{Rate: 10, Burst: 1},
+			run: func(t *testing.T, l *Limiter, clock *fakeClock) {
+				if ok, _ := l.Allow("a"); !ok {
+					t.Fatal("tenant a's first request denied")
+				}
+				if ok, _ := l.Allow("a"); ok {
+					t.Fatal("tenant a should be out of tokens")
+				}
+				if ok, _ := l.Allow("b"); !ok {
+					t.Error("tenant b must have its own bucket")
+				}
+			},
+		},
+		{
+			name: "burst defaults to rate",
+			cfg:  LimitConfig{Rate: 5},
+			run: func(t *testing.T, l *Limiter, clock *fakeClock) {
+				for i := 0; i < 5; i++ {
+					if ok, _ := l.Allow("a"); !ok {
+						t.Fatalf("request %d within default burst denied", i)
+					}
+				}
+				if ok, _ := l.Allow("a"); ok {
+					t.Error("6th request should exceed the default burst")
+				}
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := newFakeClock()
+			cfg := tc.cfg
+			cfg.Now = clock.Now
+			tc.run(t, NewLimiter(cfg), clock)
+		})
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l := NewLimiter(LimitConfig{Rate: 0})
+	if l != nil {
+		t.Fatal("zero rate should disable the limiter")
+	}
+	for i := 0; i < 1000; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatal("nil limiter must allow everything")
+		}
+	}
+}
+
+func TestLimiterStats(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimitConfig{Rate: 10, Burst: 1, Now: clock.Now})
+	l.Allow("a")
+	l.Allow("a")
+	l.Allow("b")
+	st := l.Stats()
+	if st.Tenants != 2 || st.Allowed != 2 || st.Denied != 1 {
+		t.Errorf("stats = %+v, want 2 tenants / 2 allowed / 1 denied", st)
+	}
+}
+
+func TestTenantHeaderPrecedence(t *testing.T) {
+	tests := []struct {
+		name   string
+		apiKey string
+		auth   string
+		want   string
+	}{
+		{"x-api-key wins", "key-1", "Bearer tok-1", "key-1"},
+		{"bearer token as fallback", "", "Bearer tok-1", "tok-1"},
+		{"non-bearer auth ignored", "", "Basic dXNlcg==", "anonymous"},
+		{"no credentials", "", "", "anonymous"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			r, _ := http.NewRequest(http.MethodPost, "/v1/infer", nil)
+			if tc.apiKey != "" {
+				r.Header.Set("X-API-Key", tc.apiKey)
+			}
+			if tc.auth != "" {
+				r.Header.Set("Authorization", tc.auth)
+			}
+			if got := Tenant(r); got != tc.want {
+				t.Errorf("Tenant() = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,477 @@
+// Package pipeline runs a declared DAG of Tonic applications as one
+// server-side request. The paper's client drives each app one-shot:
+// a composite workload like ASR→POS→NER pays a client round-trip per
+// stage and ships intermediate outputs through the front-end twice.
+// Here the gateway accepts the whole DAG, dispatches every stage
+// through the router/placement tier, and flows stage outputs
+// server-side — independent branches (POS and NER both hanging off
+// the ASR transcript) run concurrently, and one trace ID threads
+// through every stage so the merged timeline shows all hops.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"image"
+	"sort"
+	"sync"
+	"time"
+
+	"djinn/internal/metrics"
+	"djinn/internal/service"
+	"djinn/internal/tonic"
+	"djinn/internal/trace"
+)
+
+// MaxStages bounds a declared DAG so a hostile spec cannot fan one
+// HTTP request into unbounded backend work.
+const MaxStages = 16
+
+// StageSpec declares one node of the DAG: which Tonic app runs and
+// which earlier stages it consumes.
+type StageSpec struct {
+	// Name identifies the stage inside the spec; defaults to App.
+	Name string `json:"name,omitempty"`
+	// App is the Tonic service name: asr, pos, chk, ner, imc, face, dig.
+	App string `json:"app"`
+	// After lists stage names whose outputs this stage consumes. A
+	// text stage takes its sentence from the nearest listed upstream
+	// that produced text (e.g. an ASR transcript); with no upstream
+	// text the request's own text field is used.
+	After []string `json:"after,omitempty"`
+}
+
+// Spec is a whole pipeline declaration.
+type Spec struct {
+	Name   string      `json:"name,omitempty"`
+	Stages []StageSpec `json:"stages"`
+}
+
+// Preset returns a named built-in pipeline. "asr-pos-ner" is the
+// canonical speech-understanding composite: transcribe once, then
+// part-of-speech and named-entity tag the transcript in parallel.
+func Preset(name string) (Spec, bool) {
+	switch name {
+	case "asr-pos-ner":
+		return Spec{
+			Name: "asr-pos-ner",
+			Stages: []StageSpec{
+				{Name: "asr", App: "asr"},
+				{Name: "pos", App: "pos", After: []string{"asr"}},
+				{Name: "ner", App: "ner", After: []string{"asr"}},
+			},
+		}, true
+	case "asr-chk":
+		return Spec{
+			Name: "asr-chk",
+			Stages: []StageSpec{
+				{Name: "asr", App: "asr"},
+				{Name: "chk", App: "chk", After: []string{"asr"}},
+			},
+		}, true
+	}
+	return Spec{}, false
+}
+
+// knownApps is the set of dispatchable Tonic service names.
+var knownApps = map[string]bool{
+	"asr": true, "pos": true, "chk": true, "ner": true,
+	"imc": true, "face": true, "dig": true,
+}
+
+// Normalize fills defaulted stage names and validates the spec:
+// stage count bound, known apps, unique names, existing dependencies,
+// and acyclicity. It returns the normalized copy.
+func (s Spec) Normalize() (Spec, error) {
+	if len(s.Stages) == 0 {
+		return s, fmt.Errorf("pipeline: no stages")
+	}
+	if len(s.Stages) > MaxStages {
+		return s, fmt.Errorf("pipeline: %d stages exceeds limit %d", len(s.Stages), MaxStages)
+	}
+	out := Spec{Name: s.Name, Stages: make([]StageSpec, len(s.Stages))}
+	copy(out.Stages, s.Stages)
+	byName := make(map[string]int, len(out.Stages))
+	for i := range out.Stages {
+		st := &out.Stages[i]
+		if !knownApps[st.App] {
+			return s, fmt.Errorf("pipeline: stage %d: unknown app %q", i, st.App)
+		}
+		if st.Name == "" {
+			st.Name = st.App
+		}
+		if _, dup := byName[st.Name]; dup {
+			return s, fmt.Errorf("pipeline: duplicate stage name %q", st.Name)
+		}
+		byName[st.Name] = i
+	}
+	for i := range out.Stages {
+		for _, dep := range out.Stages[i].After {
+			j, ok := byName[dep]
+			if !ok {
+				return s, fmt.Errorf("pipeline: stage %q depends on unknown stage %q", out.Stages[i].Name, dep)
+			}
+			if j == i {
+				return s, fmt.Errorf("pipeline: stage %q depends on itself", out.Stages[i].Name)
+			}
+		}
+	}
+	// Kahn's algorithm: every stage must be reachable in dependency
+	// order or the spec has a cycle.
+	indeg := make([]int, len(out.Stages))
+	for i := range out.Stages {
+		indeg[i] = len(out.Stages[i].After)
+	}
+	resolved := 0
+	for changed := true; changed; {
+		changed = false
+		for i := range out.Stages {
+			if indeg[i] != 0 {
+				continue
+			}
+			indeg[i] = -1 // visited
+			resolved++
+			changed = true
+			for k := range out.Stages {
+				for _, dep := range out.Stages[k].After {
+					if byName[dep] == i && indeg[k] > 0 {
+						indeg[k]--
+					}
+				}
+			}
+		}
+	}
+	if resolved != len(out.Stages) {
+		return s, fmt.Errorf("pipeline: dependency cycle")
+	}
+	return out, nil
+}
+
+// Tagged is one word with its predicted tag, JSON-shaped for the
+// gateway's responses.
+type Tagged struct {
+	Word string `json:"word"`
+	Tag  string `json:"tag"`
+}
+
+func tagged(ws []tonic.TaggedWord) []Tagged {
+	out := make([]Tagged, len(ws))
+	for i, w := range ws {
+		out[i] = Tagged{Word: w.Word, Tag: w.Tag}
+	}
+	return out
+}
+
+// Value is a stage's output in a shape every Tonic app can project
+// into. Text flows transitively: taggers copy their input sentence
+// into Text so downstream text stages can chain off any of them.
+type Value struct {
+	Text   string   `json:"text,omitempty"`
+	Words  []Tagged `json:"words,omitempty"`
+	Phones []string `json:"phones,omitempty"`
+	Frames int      `json:"frames,omitempty"`
+	Class  int      `json:"class,omitempty"`
+	Label  string   `json:"label,omitempty"`
+	Prob   float32  `json:"prob,omitempty"`
+	Digits []int    `json:"digits,omitempty"`
+}
+
+// Input carries the request-level payloads stages draw from.
+type Input struct {
+	Text   string
+	Audio  []float64 // 16 kHz mono samples in [-1, 1]
+	Image  image.Image
+	Digits [][]float32 // 28×28 rows for DIG
+}
+
+// StageResult is one executed stage.
+type StageResult struct {
+	Name   string        `json:"name"`
+	App    string        `json:"app"`
+	Dur    time.Duration `json:"dur_ns"`
+	Output Value         `json:"output"`
+}
+
+// Result is one executed pipeline. Output is the last declared
+// stage's value.
+type Result struct {
+	Pipeline string        `json:"pipeline,omitempty"`
+	TraceID  string        `json:"trace_id,omitempty"`
+	Dur      time.Duration `json:"dur_ns"`
+	Stages   []StageResult `json:"stages"`
+	Output   Value         `json:"output"`
+}
+
+// Bind adapts a context-aware backend to the plain tonic Backend
+// interface, threading ctx (deadline + trace ID) through every Infer
+// a Tonic app issues.
+func Bind(ctx context.Context, b service.ContextBackend) service.Backend {
+	return boundBackend{ctx: ctx, b: b}
+}
+
+type boundBackend struct {
+	ctx context.Context
+	b   service.ContextBackend
+}
+
+func (bb boundBackend) Infer(app string, in []float32) ([]float32, error) {
+	return bb.b.InferCtx(bb.ctx, app, in)
+}
+
+// Runner executes pipeline specs against one backend (typically the
+// router fleet). Safe for concurrent use.
+type Runner struct {
+	backend service.ContextBackend
+	traces  *trace.Store
+
+	mu        sync.Mutex
+	runs      int64
+	errors    int64
+	stageRuns map[string]int64 // by app
+	stageErrs map[string]int64 // by app
+	e2e       *metrics.Histogram
+}
+
+// NewRunner builds a runner dispatching through b; traces may be nil.
+func NewRunner(b service.ContextBackend, traces *trace.Store) *Runner {
+	return &Runner{
+		backend:   b,
+		traces:    traces,
+		stageRuns: make(map[string]int64),
+		stageErrs: make(map[string]int64),
+		e2e:       metrics.NewHistogram(nil),
+	}
+}
+
+type stageState struct {
+	spec StageSpec
+	deps []*stageState
+	done chan struct{}
+	out  Value
+	dur  time.Duration
+	err  error
+}
+
+// Run executes spec (already normalized or normalizable) over in.
+// Stages run as soon as their dependencies finish; the first stage
+// error cancels the rest and becomes the pipeline error.
+func (r *Runner) Run(ctx context.Context, spec Spec, in Input) (*Result, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	states := make([]*stageState, len(spec.Stages))
+	byName := make(map[string]*stageState, len(spec.Stages))
+	for i, st := range spec.Stages {
+		states[i] = &stageState{spec: st, done: make(chan struct{})}
+		byName[st.Name] = states[i]
+	}
+	for _, s := range states {
+		for _, dep := range s.spec.After {
+			s.deps = append(s.deps, byName[dep])
+		}
+	}
+
+	id := trace.IDFrom(ctx)
+	var wg sync.WaitGroup
+	for _, s := range states {
+		wg.Add(1)
+		go func(s *stageState) {
+			defer wg.Done()
+			defer close(s.done)
+			for _, dep := range s.deps {
+				<-dep.done
+				if dep.err != nil {
+					s.err = fmt.Errorf("stage %s: upstream %s: %w", s.spec.Name, dep.spec.Name, dep.err)
+					return
+				}
+			}
+			t0 := time.Now()
+			s.out, s.err = r.runStage(ctx, s, in)
+			s.dur = time.Since(t0)
+			if id != "" && r.traces != nil {
+				note := "app=" + s.spec.App
+				if s.err != nil {
+					note += " err=" + s.err.Error()
+				}
+				r.traces.Add(id, trace.Span{
+					Name: "stage:" + s.spec.Name, Note: note,
+					Start: t0, Dur: s.dur,
+				})
+			}
+			r.mu.Lock()
+			r.stageRuns[s.spec.App]++
+			if s.err != nil {
+				r.stageErrs[s.spec.App]++
+			}
+			r.mu.Unlock()
+			if s.err != nil {
+				cancel() // abort sibling branches promptly
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	dur := time.Since(start)
+	res := &Result{Pipeline: spec.Name, TraceID: id, Dur: dur, Stages: make([]StageResult, len(states))}
+	var firstErr error
+	for i, s := range states {
+		res.Stages[i] = StageResult{Name: s.spec.Name, App: s.spec.App, Dur: s.dur, Output: s.out}
+		if s.err != nil && firstErr == nil {
+			firstErr = s.err
+		}
+	}
+	res.Output = res.Stages[len(res.Stages)-1].Output
+
+	r.mu.Lock()
+	r.runs++
+	if firstErr != nil {
+		r.errors++
+	}
+	r.mu.Unlock()
+	r.e2e.Record(dur)
+	if id != "" && r.traces != nil {
+		r.traces.Add(id, trace.Span{
+			Name: "pipeline", Note: fmt.Sprintf("spec=%s stages=%d", spec.Name, len(states)),
+			Start: start, Dur: dur,
+		})
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	return res, nil
+}
+
+// runStage dispatches one stage's Tonic app with its resolved input:
+// the request payloads, with text rebound to the nearest upstream
+// transcript when one exists.
+func (r *Runner) runStage(ctx context.Context, s *stageState, in Input) (Value, error) {
+	if t := s.textInput(in); t != "" {
+		in.Text = t
+	}
+	return RunApp(ctx, r.backend, s.spec.App, in)
+}
+
+// RunApp dispatches one Tonic app over in through a context-aware
+// backend: the single-stage primitive the gateway's /v1/infer and
+// every pipeline stage share.
+func RunApp(ctx context.Context, backend service.ContextBackend, app string, in Input) (Value, error) {
+	b := Bind(ctx, backend)
+	switch app {
+	case "asr":
+		if len(in.Audio) == 0 {
+			return Value{}, fmt.Errorf("app %s needs audio input", app)
+		}
+		t, err := tonic.NewASR(b).Transcribe(in.Audio)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Text: t.Text, Phones: t.Phones, Frames: t.Frames}, nil
+	case "pos", "chk", "ner":
+		if in.Text == "" {
+			return Value{}, fmt.Errorf("app %s needs text input (request text or upstream transcript)", app)
+		}
+		var (
+			ws  []tonic.TaggedWord
+			err error
+		)
+		switch app {
+		case "pos":
+			ws, err = tonic.NewPOS(b).Tag(in.Text)
+		case "chk":
+			ws, err = tonic.NewCHK(b).Chunk(in.Text)
+		case "ner":
+			ws, err = tonic.NewNER(b).Recognize(in.Text)
+		}
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Text: in.Text, Words: tagged(ws)}, nil
+	case "imc", "face":
+		if in.Image == nil {
+			return Value{}, fmt.Errorf("app %s needs image input", app)
+		}
+		var (
+			p   tonic.Prediction
+			err error
+		)
+		if app == "imc" {
+			p, err = tonic.NewIMC(b).Classify(in.Image)
+		} else {
+			p, err = tonic.NewFACE(b).Identify(in.Image)
+		}
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Class: p.Class, Label: p.Label, Prob: p.Prob}, nil
+	case "dig":
+		if len(in.Digits) == 0 {
+			return Value{}, fmt.Errorf("app %s needs digits input", app)
+		}
+		preds, err := tonic.NewDIG(b).Recognize(in.Digits)
+		if err != nil {
+			return Value{}, err
+		}
+		ds := make([]int, len(preds))
+		for i, p := range preds {
+			ds[i] = p.Class
+		}
+		return Value{Digits: ds}, nil
+	}
+	return Value{}, fmt.Errorf("unknown app %q", app)
+}
+
+// textInput resolves a text stage's sentence: the nearest declared
+// upstream that produced text wins, else the request text.
+func (s *stageState) textInput(in Input) string {
+	for _, dep := range s.deps {
+		if dep.out.Text != "" {
+			return dep.out.Text
+		}
+	}
+	return in.Text
+}
+
+// Stats is a point-in-time runner counters snapshot.
+type Stats struct {
+	Runs      int64            `json:"runs"`
+	Errors    int64            `json:"errors"`
+	StageRuns map[string]int64 `json:"stage_runs"`
+	StageErrs map[string]int64 `json:"stage_errors,omitempty"`
+	E2E       metrics.HistogramSnapshot
+}
+
+// Stats snapshots the counters.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	st := Stats{
+		Runs:      r.runs,
+		Errors:    r.errors,
+		StageRuns: make(map[string]int64, len(r.stageRuns)),
+		StageErrs: make(map[string]int64, len(r.stageErrs)),
+	}
+	for k, v := range r.stageRuns {
+		st.StageRuns[k] = v
+	}
+	for k, v := range r.stageErrs {
+		st.StageErrs[k] = v
+	}
+	r.mu.Unlock()
+	st.E2E = r.e2e.Snapshot()
+	return st
+}
+
+// StageApps lists the apps the runner has dispatched, sorted, for
+// stable metrics rendering.
+func (st Stats) StageApps() []string {
+	apps := make([]string, 0, len(st.StageRuns))
+	for a := range st.StageRuns {
+		apps = append(apps, a)
+	}
+	sort.Strings(apps)
+	return apps
+}

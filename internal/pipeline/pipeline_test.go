@@ -1,0 +1,272 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"djinn/internal/models"
+	"djinn/internal/service"
+	"djinn/internal/tonic"
+	"djinn/internal/trace"
+)
+
+func TestNormalize(t *testing.T) {
+	tests := []struct {
+		name    string
+		spec    Spec
+		wantErr string
+	}{
+		{
+			name: "valid chain",
+			spec: Spec{Stages: []StageSpec{
+				{Name: "a", App: "pos"},
+				{Name: "b", App: "ner", After: []string{"a"}},
+			}},
+		},
+		{
+			name:    "empty",
+			spec:    Spec{},
+			wantErr: "stage",
+		},
+		{
+			name: "duplicate names",
+			spec: Spec{Stages: []StageSpec{
+				{Name: "a", App: "pos"},
+				{Name: "a", App: "ner"},
+			}},
+			wantErr: "duplicate",
+		},
+		{
+			name:    "unknown app",
+			spec:    Spec{Stages: []StageSpec{{Name: "a", App: "nope"}}},
+			wantErr: "unknown app",
+		},
+		{
+			name: "missing dependency",
+			spec: Spec{Stages: []StageSpec{
+				{Name: "a", App: "pos", After: []string{"ghost"}},
+			}},
+			wantErr: "ghost",
+		},
+		{
+			name: "cycle",
+			spec: Spec{Stages: []StageSpec{
+				{Name: "a", App: "pos", After: []string{"b"}},
+				{Name: "b", App: "ner", After: []string{"a"}},
+			}},
+			wantErr: "cycle",
+		},
+		{
+			name: "self cycle",
+			spec: Spec{Stages: []StageSpec{
+				{Name: "a", App: "pos", After: []string{"a"}},
+			}},
+			wantErr: "depends on itself",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.spec.Normalize()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestNormalizeDefaultsNames(t *testing.T) {
+	spec := Spec{Stages: []StageSpec{{App: "pos"}, {App: "ner"}}}
+	norm, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, st := range norm.Stages {
+		if st.Name == "" {
+			t.Fatal("normalised stage with empty name")
+		}
+		if names[st.Name] {
+			t.Fatalf("defaulted names collide: %q", st.Name)
+		}
+		names[st.Name] = true
+	}
+}
+
+func TestNormalizeTooManyStages(t *testing.T) {
+	spec := Spec{}
+	for i := 0; i <= MaxStages; i++ {
+		spec.Stages = append(spec.Stages, StageSpec{App: "pos"})
+	}
+	if _, err := spec.Normalize(); err == nil {
+		t.Fatalf("accepted %d stages, max is %d", len(spec.Stages), MaxStages)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{"asr-pos-ner", "asr-chk"} {
+		spec, ok := Preset(name)
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		if _, err := spec.Normalize(); err != nil {
+			t.Fatalf("preset %q does not normalise: %v", name, err)
+		}
+		if spec.Stages[0].App != "asr" {
+			t.Errorf("preset %q should start from asr", name)
+		}
+	}
+	if _, ok := Preset("no-such"); ok {
+		t.Error("unknown preset reported as found")
+	}
+}
+
+// newTaggerBackend boots one in-process replica with the SENNA
+// taggers registered.
+func newTaggerBackend(t *testing.T) *service.Server {
+	t.Helper()
+	srv := service.NewServer()
+	srv.SetLogger(func(string, ...any) {})
+	t.Cleanup(srv.Close)
+	for _, a := range []models.App{models.POS, models.NER} {
+		if err := tonic.Register(srv, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srv
+}
+
+func TestRunExecutesDAGAndFlowsText(t *testing.T) {
+	srv := newTaggerBackend(t)
+	store := trace.NewStore("test", 0)
+	r := NewRunner(srv, store)
+	ctx := trace.WithID(context.Background(), trace.NewID())
+	spec := Spec{Name: "tag-then-rec", Stages: []StageSpec{
+		{Name: "tag", App: "pos"},
+		{Name: "rec", App: "ner", After: []string{"tag"}},
+	}}
+	res, err := r.Run(ctx, spec, Input{Text: "barack obama visited paris today"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 2 {
+		t.Fatalf("want 2 stage results, got %d", len(res.Stages))
+	}
+	if len(res.Stages[0].Output.Words) == 0 {
+		t.Error("pos stage produced no tagged words")
+	}
+	// The tagger copies its input sentence into Text so downstream
+	// stages see the same transcript.
+	if res.Stages[0].Output.Text != "barack obama visited paris today" {
+		t.Errorf("stage text = %q, want input sentence", res.Stages[0].Output.Text)
+	}
+	if len(res.Stages[1].Output.Words) == 0 {
+		t.Error("ner stage produced no recognised words")
+	}
+	for _, st := range res.Stages {
+		if st.Dur <= 0 {
+			t.Errorf("stage %s reported dur %v, want > 0", st.Name, st.Dur)
+		}
+	}
+	if res.Output.Text != res.Stages[1].Output.Text {
+		t.Error("Result.Output should be the last declared stage's value")
+	}
+	tr, ok := store.Get(res.TraceID)
+	if !ok {
+		t.Fatal("no trace recorded")
+	}
+	var stages, pipelines int
+	for _, sp := range tr.Spans {
+		if strings.HasPrefix(sp.Name, "stage:") {
+			stages++
+		}
+		if sp.Name == "pipeline" {
+			pipelines++
+		}
+	}
+	if stages != 2 || pipelines != 1 {
+		t.Errorf("trace has %d stage spans / %d pipeline spans, want 2 / 1", stages, pipelines)
+	}
+}
+
+func TestRunParallelBranches(t *testing.T) {
+	srv := newTaggerBackend(t)
+	r := NewRunner(srv, nil)
+	spec := Spec{Stages: []StageSpec{
+		{Name: "tag", App: "pos"},
+		{Name: "rec", App: "ner"}, // no deps: runs concurrently with tag
+	}}
+	res, err := r.Run(context.Background(), spec, Input{Text: "alice met bob in london"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Stages {
+		if len(st.Output.Words) == 0 {
+			t.Errorf("stage %s produced no output", st.Name)
+		}
+	}
+	st := r.Stats()
+	if st.Runs != 1 || st.Errors != 0 {
+		t.Errorf("stats = %+v, want 1 run / 0 errors", st)
+	}
+}
+
+// failingBackend fails every inference; downstream stages must see
+// the upstream error instead of running.
+type failingBackend struct {
+	calls atomic.Int64
+}
+
+func (b *failingBackend) Infer(string, []float32) ([]float32, error) {
+	b.calls.Add(1)
+	return nil, errors.New("engine down")
+}
+
+func (b *failingBackend) InferCtx(context.Context, string, []float32) ([]float32, error) {
+	return b.Infer("", nil)
+}
+
+func TestRunPropagatesUpstreamErrors(t *testing.T) {
+	b := &failingBackend{}
+	r := NewRunner(b, nil)
+	spec := Spec{Stages: []StageSpec{
+		{Name: "tag", App: "pos"},
+		{Name: "rec", App: "ner", After: []string{"tag"}},
+	}}
+	_, err := r.Run(context.Background(), spec, Input{Text: "some words here"})
+	if err == nil {
+		t.Fatal("want error from failing backend")
+	}
+	if !strings.Contains(err.Error(), "engine down") {
+		t.Errorf("error %v should carry the stage failure", err)
+	}
+	st := r.Stats()
+	if st.Errors != 1 {
+		t.Errorf("stats = %+v, want 1 errored run", st)
+	}
+	if st.StageErrs["ner"] != 0 {
+		t.Error("downstream stage should be skipped, not counted as its own error")
+	}
+}
+
+func TestRunAppUnknown(t *testing.T) {
+	srv := newTaggerBackend(t)
+	if _, err := RunApp(context.Background(), srv, "nope", Input{Text: "x"}); err == nil {
+		t.Fatal("unknown app must error")
+	}
+}
+
+func TestRunAppMissingPayload(t *testing.T) {
+	srv := newTaggerBackend(t)
+	if _, err := RunApp(context.Background(), srv, "pos", Input{}); err == nil {
+		t.Fatal("pos with no text must error")
+	}
+}

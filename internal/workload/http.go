@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"djinn/internal/metrics"
+	"djinn/internal/tensor"
+)
+
+// HTTPOptions shapes DriveHTTP, the open-loop driver for the gateway
+// tier. The gateway speaks JSON over HTTP rather than the binary
+// DJRT socket, so the driver classifies outcomes by status code with
+// the same semantics the socket drivers use for wire statuses.
+type HTTPOptions struct {
+	// URL is the full endpoint, e.g. http://127.0.0.1:7423/v1/infer.
+	URL string
+	// Body synthesises one request body; called once per distinct
+	// body when Bodies > 1, else once for the whole run.
+	Body func(rng *tensor.RNG) []byte
+	// Bodies is how many distinct bodies to rotate through (models a
+	// population of repeating queries for cache studies); 0 means 1.
+	Bodies int
+	// Rate is the offered load in requests/second (Poisson arrivals).
+	Rate float64
+	// MaxInflight bounds outstanding requests.
+	MaxInflight int
+	// Duration is the drive length.
+	Duration time.Duration
+	// Headers are added to every request (e.g. X-API-Key).
+	Headers map[string]string
+	// Seed varies the body population between runs; 0 means a fixed
+	// default.
+	Seed uint64
+}
+
+// DriveHTTP offers Poisson load to an HTTP endpoint and classifies
+// outcomes: 200 → served, 429/503 → shed (admission or backpressure),
+// 504 → expired, anything else → error. The response body is drained
+// and discarded; latency covers the full request/response exchange.
+func DriveHTTP(opts HTTPOptions) DriveResult {
+	if opts.Rate <= 0 || opts.MaxInflight <= 0 {
+		panic("workload: DriveHTTP needs positive rate and inflight bound")
+	}
+	if opts.Bodies <= 0 {
+		opts.Bodies = 1
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 7
+	}
+	rng := tensor.NewRNG(seed)
+	bodies := make([][]byte, opts.Bodies)
+	for i := range bodies {
+		bodies[i] = opts.Body(rng)
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        opts.MaxInflight,
+		MaxIdleConnsPerHost: opts.MaxInflight,
+	}}
+	defer client.CloseIdleConnections()
+
+	lat := metrics.NewLatencyRecorder()
+	counters := driveCounters{}
+	sem := make(chan struct{}, opts.MaxInflight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	stop := start.Add(opts.Duration)
+	arrival := start
+	for n := 0; ; n++ {
+		arrival = arrival.Add(time.Duration(rng.ExpFloat64() / opts.Rate * float64(time.Second)))
+		if arrival.After(stop) {
+			break
+		}
+		if d := time.Until(arrival); d > 0 {
+			time.Sleep(d)
+		}
+		body := bodies[n%len(bodies)]
+		sem <- struct{}{}
+		// When the endpoint can't keep up, arrivals queue behind the
+		// inflight bound and fall behind schedule; issuing the whole
+		// backlog would stretch the run far past Duration while QPS
+		// still divided by the nominal window. Stop offering at the
+		// wall-clock deadline instead — the drive then measures what
+		// the endpoint sustained over Duration, not the offered rate.
+		if time.Now().After(stop) {
+			<-sem
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			switch issueHTTP(client, opts.URL, body, opts.Headers) {
+			case outcomeOK:
+				lat.Record(time.Since(t0))
+			case outcomeShed:
+				counters.shed.Add(1)
+			case outcomeExpired:
+				counters.expired.Add(1)
+			default:
+				counters.errs.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return counters.result(lat, time.Since(start))
+}
+
+// issueHTTP sends one JSON POST and classifies the status code.
+func issueHTTP(client *http.Client, url string, body []byte, headers map[string]string) outcome {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return outcomeError
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return outcomeError
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return outcomeOK
+	case resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable:
+		return outcomeShed
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		return outcomeExpired
+	}
+	return outcomeError
+}
