@@ -8,7 +8,7 @@ BENCH_COUNT ?= 5
 BENCH_TIME  ?= 200ms
 BENCH_PKGS  ?= ./internal/tensor/... ./internal/nn/... ./internal/models/...
 
-.PHONY: check vet build test race bench bench-all models dash gateway
+.PHONY: check vet build test race bench bench-all benchcmp models dash gateway
 
 # check runs everything CI should gate on: vet, a full build, the full
 # test suite (tier-1), and race-detector runs for the concurrency-heavy
@@ -76,3 +76,26 @@ bench:
 # bench-all sweeps every package's benchmarks once (slow).
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# benchcmp benchmarks the working tree against a git ref (BENCH_REF,
+# default HEAD^) on the BENCH_PKGS hot path and compares the two runs
+# through benchstat when it is installed, falling back to printing both
+# raw outputs when it is not. The ref runs from a throwaway worktree,
+# so the working tree (including uncommitted changes) is untouched.
+# Example: make benchcmp BENCH_REF=v0-seed BENCH_COUNT=5
+BENCH_REF ?= HEAD^
+benchcmp:
+	@tmp=$$(mktemp -d); \
+	trap 'git worktree remove --force "$$tmp/ref" 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	git worktree add --detach "$$tmp/ref" $(BENCH_REF) >/dev/null || exit 1; \
+	echo "benchcmp: benchmarking $(BENCH_REF) ..."; \
+	( cd "$$tmp/ref" && $(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) $(BENCH_PKGS) ) > "$$tmp/old.txt" || { cat "$$tmp/old.txt"; exit 1; }; \
+	echo "benchcmp: benchmarking working tree ..."; \
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) $(BENCH_PKGS) > "$$tmp/new.txt" || { cat "$$tmp/new.txt"; exit 1; }; \
+	if command -v benchstat >/dev/null 2>&1; then \
+		benchstat "$$tmp/old.txt" "$$tmp/new.txt"; \
+	else \
+		echo "benchcmp: benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); raw outputs:"; \
+		echo "--- $(BENCH_REF)"; cat "$$tmp/old.txt"; \
+		echo "--- working tree"; cat "$$tmp/new.txt"; \
+	fi

@@ -7,9 +7,14 @@
 //	djinn-bench                 # everything
 //	djinn-bench -exp fig7       # one experiment
 //	djinn-bench -list           # list experiment ids
+//
+// The quant experiment additionally honours -quant-json: a path the
+// machine-readable sweep (the same cells the table renders) is written
+// to, e.g. `djinn-bench -exp quant -quant-json BENCH_quant.json`.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +28,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id (fig4...fig16, table1...table6) or all")
 	list := flag.Bool("list", false, "list experiment ids")
+	quantJSON := flag.String("quant-json", "", "with -exp quant: also write the sweep as JSON to this path")
 	flag.Parse()
 
 	p := djinn.NewPlatform()
@@ -60,12 +66,27 @@ func main() {
 		"controlplane": experiments.RenderControlPlane,
 		"obsfleet":     experiments.RenderObsFleet,
 		"gateway":      experiments.RenderGateway,
+		"quant":        experiments.RenderQuant,
+	}
+	if *quantJSON != "" {
+		runners["quant"] = func() string {
+			cells := experiments.QuantSweep(experiments.QuantConfig{})
+			buf, err := json.MarshalIndent(cells, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*quantJSON, append(buf, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *quantJSON, err)
+				os.Exit(1)
+			}
+			return experiments.RenderQuantCells(cells)
+		}
 	}
 	order := []string{
 		"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
 		"fig11", "fig12", "fig13", "table4", "table5", "fig15", "table6", "fig16",
 		"ablation", "openloop", "lifecycle", "router", "sched", "overhead", "energy", "validate", "cluster", "gpugen",
-		"engine", "modelstore", "controlplane", "obsfleet", "gateway",
+		"engine", "modelstore", "controlplane", "obsfleet", "gateway", "quant",
 	}
 	if *list {
 		ids := make([]string, 0, len(runners))

@@ -4,13 +4,20 @@
 //
 // Usage:
 //
-//	djinn-service [-addr :7420] [-apps DIG,POS,NER | -apps all] [-replicas 1] [-stats 10s] [-admin :7421]
-//	djinn-service -export-models dir/ [-apps all] [-model-version 1]
+//	djinn-service [-addr :7420] [-apps DIG,POS,NER | -apps all] [-precision float32|float32-packed|int8] [-replicas 1] [-stats 10s] [-admin :7421]
+//	djinn-service -export-models dir/ [-apps all] [-model-version 1] [-quantize]
 //	djinn-service -verify-models dir/
 //	djinn-service -models dir/ [-model-budget 268435456]
 //
+// -precision selects the kernel backend every registered app's plan
+// pool compiles against: float32 is the reference path, float32-packed
+// the panel kernels (bit-identical outputs), int8 the quantized path
+// (inspect with `tonic precision`).
+//
 // -export-models writes the selected apps' weights as versioned .djw
-// files (one-time export; the files round-trip bit-identically).
+// files (one-time export; the files round-trip bit-identically);
+// -quantize additionally embeds int8 quantized weight sections so int8
+// serving pays no quantization at load.
 // -models serves from such a directory instead of building models at
 // boot: weights are mmapped on first query and evicted under
 // -model-budget, so a node can serve far more registered models than
@@ -74,7 +81,9 @@ func main() {
 	controlPlane := flag.Bool("controlplane", false, "run the replicas as one managed fleet: a placement-aware front end serves -addr, a controller places apps, autoscales, and routes around dead replicas (use with -replicas N)")
 	cpCount := flag.Int("controlplane-count", 2, "replicas the control plane keeps each app on (clamped to -replicas)")
 	cpInterval := flag.Duration("controlplane-interval", 500*time.Millisecond, "control-loop tick interval (health scan, autoscale, reconcile)")
+	precision := flag.String("precision", "float32", "kernel precision for registered apps: float32 (reference), float32-packed (panel kernels, bit-identical), int8 (quantized, ~99% top-1 agreement)")
 	exportDir := flag.String("export-models", "", "export the selected apps' weights as versioned .djw files into this directory and exit")
+	quantize := flag.Bool("quantize", false, "with -export-models: embed int8 quantized weight sections (version-2 .djw), so int8 serving pays no quantization at load")
 	verifyDir := flag.String("verify-models", "", "verify every .djw file in this directory (checksums + manifest) and exit")
 	modelsDir := flag.String("models", "", "serve models from this directory's .djw files instead of building them (fault-in on first query)")
 	modelBudget := flag.Int64("model-budget", 0, "resident model budget in bytes for -models (0 = unbounded)")
@@ -86,6 +95,11 @@ func main() {
 		os.Exit(2)
 	}
 	addrs, err := replicaAddrs(*addr, *replicas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prec, err := djinn.ParsePrecision(*precision)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -106,7 +120,11 @@ func main() {
 	}
 
 	if *exportDir != "" {
-		paths, err := djinn.ExportModels(*exportDir, selected, *modelVersion)
+		export := djinn.ExportModels
+		if *quantize {
+			export = djinn.ExportModelsQuantized
+		}
+		paths, err := export(*exportDir, selected, *modelVersion)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -131,7 +149,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-controlplane manages Tonic apps; it does not combine with -models or -custom")
 			os.Exit(2)
 		}
-		runControlPlane(selected, *addr, *adminAddr, *replicas, *cpCount, *cpInterval, *stats,
+		runControlPlane(selected, *addr, *adminAddr, *replicas, *cpCount, *cpInterval, *stats, prec,
 			gatewayOpts{addr: *httpAddr, rate: *httpRate, cacheMB: *httpCacheMB})
 		return
 	}
@@ -151,13 +169,13 @@ func main() {
 		srv := djinn.NewServer()
 		srv.SetJournal(journal, fmt.Sprintf("replica-%d", i))
 		if *custom != "" {
-			if err := registerCustom(srv, *custom); err != nil {
+			if err := registerCustom(srv, *custom, prec); err != nil {
 				log.Fatal(err)
 			}
 		}
 		if *modelsDir != "" {
 			reg := djinn.NewModelRegistry(djinn.ModelRegistryConfig{BudgetBytes: *modelBudget})
-			srv.AttachModelStore(reg, djinn.AppConfig{})
+			srv.AttachModelStore(reg, djinn.AppConfig{Precision: prec})
 			n, err := registerModels(reg, *modelsDir)
 			if err != nil {
 				log.Fatal(err)
@@ -170,7 +188,7 @@ func main() {
 				if i == 0 {
 					log.Printf("loading %s model...", app)
 				}
-				if err := djinn.RegisterApp(srv, app); err != nil {
+				if err := djinn.RegisterAppPrecision(srv, app, prec); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -357,7 +375,7 @@ func serveGateway(opts gatewayOpts, backend service.ContextBackend, selected []d
 	return gw
 }
 
-func runControlPlane(selected []djinn.App, addr, adminAddr string, replicas, count int, interval, stats time.Duration, gwOpts gatewayOpts) {
+func runControlPlane(selected []djinn.App, addr, adminAddr string, replicas, count int, interval, stats time.Duration, prec djinn.Precision, gwOpts gatewayOpts) {
 	if count < 1 {
 		count = 1
 	}
@@ -412,7 +430,7 @@ func runControlPlane(selected []djinn.App, addr, adminAddr string, replicas, cou
 			log.Fatal(err)
 		}
 		m := controlplane.NewServerMember(name, srv, nets, djinn.AppConfig{
-			BatchWindow: 2 * time.Millisecond, Workers: 4,
+			BatchWindow: 2 * time.Millisecond, Workers: 4, Precision: prec,
 		})
 		// Each app keeps its Table 3 batch shape when the controller
 		// activates it, matching what -replicas mode registers at boot.
@@ -422,6 +440,7 @@ func runControlPlane(selected []djinn.App, addr, adminAddr string, replicas, cou
 				BatchInstances: spec.BatchSize * spec.Instances,
 				BatchWindow:    2 * time.Millisecond,
 				Workers:        4,
+				Precision:      prec,
 			})
 		}
 		ctl.Join(m)
@@ -614,7 +633,7 @@ func verifyModels(dir string) error {
 
 // registerCustom parses "name=def.netdef[:weights.djnm]" and loads the
 // model.
-func registerCustom(srv *djinn.Server, spec string) error {
+func registerCustom(srv *djinn.Server, spec string, prec djinn.Precision) error {
 	name, paths, ok := strings.Cut(spec, "=")
 	if !ok || name == "" {
 		return fmt.Errorf("-custom wants name=def.netdef[:weights.djnm], got %q", spec)
@@ -635,5 +654,5 @@ func registerCustom(srv *djinn.Server, spec string) error {
 		weights = wf
 	}
 	log.Printf("loading custom model %q from %s...", name, defPath)
-	return djinn.RegisterFromDef(srv, name, defFile, weights, djinn.AppConfig{})
+	return djinn.RegisterFromDef(srv, name, defFile, weights, djinn.AppConfig{Precision: prec})
 }

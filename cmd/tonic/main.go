@@ -13,6 +13,7 @@
 //	tonic [-addr ...]       bench -app POS [-workers 4] [-dur 5s] [-deadline 20ms] [-trace 100]
 //	tonic [-addr ...]       stats
 //	tonic [-addr ...]       sched
+//	tonic [-addr ...]       precision [app]
 //	tonic [-addr ...]       latency
 //	tonic [-addr ...]       models [-register path] [-load id] [-evict id]
 //	tonic [-addr ...]       trace <id>
@@ -63,7 +64,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed for synthetic inputs")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tonic [-addr host:port] <pos|chk|ner|dig|imc|face|asr|stats|sched|latency|models|trace|bench|control|events|top> [args]")
+		fmt.Fprintln(os.Stderr, "usage: tonic [-addr host:port] <pos|chk|ner|dig|imc|face|asr|stats|sched|precision|latency|models|trace|bench|control|events|top> [args]")
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "top" {
@@ -203,6 +204,22 @@ func main() {
 			}
 			fmt.Printf("%-10s %s\n", app, info)
 		}
+	case "precision":
+		// The kernel precision each app's plan pool was compiled at
+		// (djinn-service -precision).
+		if len(args) == 1 {
+			out, err := client.ServerPrecision(args[0])
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(out)
+			break
+		}
+		out, err := client.Control("precision")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
 	case "latency":
 		apps, err := client.Apps()
 		if err != nil {

@@ -86,6 +86,24 @@ const (
 // and Client.ServerSched.
 type SchedInfo = sched.Info
 
+// Precision selects the kernel backend an application's execution plans
+// compile against (AppConfig.Precision, nn.CompileOpts.Precision).
+type Precision = nn.Precision
+
+// The kernel precisions: the reference float32 path, the panel-packing
+// float32 kernels (bit-identical outputs, better cache behaviour), and
+// the quantized int8 path (dynamic activation scales, int32
+// accumulation, ~99%+ top-1 agreement with float32).
+const (
+	Float32       = nn.Float32
+	Float32Packed = nn.Float32Packed
+	Int8          = nn.Int8
+)
+
+// ParsePrecision converts "float32"/"fp32", "float32-packed"/"packed",
+// "int8"/"quant" to a Precision.
+func ParsePrecision(s string) (Precision, error) { return nn.ParsePrecision(s) }
+
 // Client is a TCP client for a remote DjiNN server.
 type Client = service.Client
 
@@ -165,6 +183,13 @@ func NewRouter(cfg RouterConfig) *Router { return router.New(cfg) }
 // RegisterApp loads one application's model into a server with the
 // paper's Table 3 batching configuration.
 func RegisterApp(s *Server, app App) error { return tonic.Register(s, app) }
+
+// RegisterAppPrecision is RegisterApp with an explicit kernel
+// precision: the app's whole plan pool compiles against the selected
+// backend.
+func RegisterAppPrecision(s *Server, app App, prec Precision) error {
+	return tonic.RegisterPrecision(s, app, prec)
+}
 
 // RegisterAll loads all seven Tonic models (~850 MB of weights).
 func RegisterAll(s *Server) error { return tonic.RegisterAll(s) }
@@ -299,6 +324,15 @@ func ParseModelID(s string) (ModelID, error) { return modelstore.ParseID(s) }
 // through a ModelRegistry answers exactly like one built from seeds.
 func ExportModels(dir string, apps []App, version int) ([]string, error) {
 	return modelstore.ExportTonic(dir, apps, version)
+}
+
+// ExportModelsQuantized is ExportModels emitting version-2 weight files
+// whose conv/FC weights carry checksummed int8 quantized sections: a
+// server opening them serves Int8 plans with quantization already paid
+// at export time (stored and on-the-fly quantized weights are
+// bit-identical).
+func ExportModelsQuantized(dir string, apps []App, version int) ([]string, error) {
+	return modelstore.ExportTonicOpts(dir, apps, version, modelstore.WriteOptions{Quantize: true})
 }
 
 // VerifyModelFile validates one .djw file end to end — header and

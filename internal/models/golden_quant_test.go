@@ -1,0 +1,117 @@
+package models
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"djinn/internal/nn"
+	"djinn/internal/tensor"
+)
+
+// The golden top-1 harness pins the precision layer's accuracy story
+// to committed fixtures: for every Tonic network, the float32 plan's
+// top-1 classes on a fixed random batch must match testdata/
+// quant_top1.json exactly (float32 plans are bit-identical across
+// worker counts, so this is deterministic), the int8 plan's top-1
+// classes must match its fixture exactly (integer accumulation is
+// exact, so int8 is deterministic too), and the two fixtures must
+// agree on >= 99% of instances — the serving gate for Int8 pools.
+//
+// Regenerate after an intentional numerics change with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/models -run TestGoldenTop1
+
+const goldenTop1Path = "testdata/quant_top1.json"
+
+type goldenTop1 struct {
+	Batch int    `json:"batch"`
+	Seed  uint64 `json:"seed"`
+	F32   []int  `json:"f32_top1"`
+	Int8  []int  `json:"int8_top1"`
+}
+
+func top1Classes(t *tensor.Tensor) []int {
+	batch := t.Dim(0)
+	data := t.Data()
+	per := len(data) / batch
+	out := make([]int, batch)
+	for i := 0; i < batch; i++ {
+		row := data[i*per : (i+1)*per]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+func goldenRun(a App, batch int, seed uint64) (f32, int8Top []int) {
+	net := BuildCached(a)
+	in := tensor.New(append([]int{batch}, net.InShape()...)...)
+	tensor.NewRNG(seed).FillNorm(in.Data(), 0, 1)
+	f32 = top1Classes(net.CompileOpts(batch, nn.CompileOpts{Workers: 2}).Forward(in))
+	int8Top = top1Classes(net.CompileOpts(batch, nn.CompileOpts{Workers: 2, Precision: nn.Int8}).Forward(in))
+	return f32, int8Top
+}
+
+func TestGoldenTop1AllNetworks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("big nets in -short mode")
+	}
+	const batch = 4
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		fixtures := make(map[string]goldenTop1, len(Apps))
+		for _, a := range Apps {
+			seed := uint64(a)*100 + 17
+			f32, i8 := goldenRun(a, batch, seed)
+			fixtures[a.String()] = goldenTop1{Batch: batch, Seed: seed, F32: f32, Int8: i8}
+		}
+		buf, err := json.MarshalIndent(fixtures, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenTop1Path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTop1Path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", goldenTop1Path)
+	}
+
+	buf, err := os.ReadFile(goldenTop1Path)
+	if err != nil {
+		t.Fatalf("reading golden fixtures (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	var fixtures map[string]goldenTop1
+	if err := json.Unmarshal(buf, &fixtures); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Apps {
+		want, ok := fixtures[a.String()]
+		if !ok {
+			t.Fatalf("%s: no golden fixture (regenerate with UPDATE_GOLDEN=1)", a)
+		}
+		f32, i8 := goldenRun(a, want.Batch, want.Seed)
+		agree := 0
+		for i := range f32 {
+			if f32[i] != want.F32[i] {
+				t.Errorf("%s: f32 top-1[%d] = %d, golden %d", a, i, f32[i], want.F32[i])
+			}
+			if i8[i] != want.Int8[i] {
+				t.Errorf("%s: int8 top-1[%d] = %d, golden %d", a, i, i8[i], want.Int8[i])
+			}
+			if f32[i] == i8[i] {
+				agree++
+			}
+		}
+		if frac := float64(agree) / float64(len(f32)); frac < 0.99 {
+			t.Errorf("%s: int8 top-1 agreement %.2f below the 0.99 serving gate", a, frac)
+		}
+	}
+}

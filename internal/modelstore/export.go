@@ -29,6 +29,14 @@ func ExportPath(dir, name string, version int) string {
 // to the nets a seed-built server serves: models.Build becomes a
 // one-time export step instead of a per-process startup cost.
 func ExportTonic(dir string, apps []models.App, version int) ([]string, error) {
+	return ExportTonicOpts(dir, apps, version, WriteOptions{})
+}
+
+// ExportTonicOpts is ExportTonic with explicit write options — pass
+// WriteOptions{Quantize: true} to emit version-2 files whose conv/FC
+// weights carry int8 quantized sections, so a server opening them runs
+// Int8 plans without paying quantization at load time.
+func ExportTonicOpts(dir string, apps []models.App, version int, o WriteOptions) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -36,7 +44,7 @@ func ExportTonic(dir string, apps []models.App, version int) ([]string, error) {
 	for _, a := range apps {
 		name := ExportName(a)
 		path := ExportPath(dir, name, version)
-		if err := WriteFile(path, name, version, models.BuildCached(a)); err != nil {
+		if err := WriteFileOpts(path, name, version, models.BuildCached(a), o); err != nil {
 			return nil, fmt.Errorf("modelstore: exporting %s: %w", name, err)
 		}
 		paths = append(paths, path)

@@ -31,10 +31,20 @@
 //	  offset     uint64  file offset of the section, 64-byte aligned
 //	  size       uint64  section bytes, = 4 × product(dims)
 //	  crc        uint32  CRC-32C of the section bytes
+//	quant manifest (format version 2 only)
+//	  nquant     uint32  quantized section count, 1..nparams
+//	  then per entry:
+//	  paramIdx   uint32  float manifest index, strictly increasing
+//	  scaleBits  uint32  float32 bits of the symmetric scale (finite, > 0)
+//	  zeroPoint  uint8   must be 0 (symmetric quantization; reserved)
+//	  offset     uint64  file offset of the section, 64-byte aligned
+//	  size       uint64  section bytes, = product(dims) (one int8 each)
+//	  crc        uint32  CRC-32C of the section bytes
 //	data sections
 //	  raw float32 little-endian values at the manifest offsets,
-//	  contiguous in manifest order modulo alignment padding; the last
-//	  section ends exactly at end of file
+//	  contiguous in manifest order modulo alignment padding; version 2
+//	  files follow them with the raw int8 quantized sections, same
+//	  contiguity rule; the last section ends exactly at end of file
 //
 // Sections are 64-byte aligned so that a page-aligned mapping of the
 // file yields naturally aligned float32 views, and so tensor rows
@@ -42,11 +52,19 @@
 // file self-contained: the reader reconstructs the architecture from
 // the definition and binds the sections to it by parameter name, so
 // the Registry can serve a model it has no Go constructor for.
+//
+// Version 2 adds the optional quantized-weights manifest: the int8
+// image of each conv/FC weight matrix under tensor.QuantizeSymmetric,
+// stored next to the float32 truth. Int8 execution plans bind these
+// sections directly (zero-copy under mmap), moving quantization cost
+// from every process start to a single export. A version-1 file is
+// exactly a version-2 file with no quant manifest; readers accept both.
 package modelstore
 
 import (
 	"fmt"
 	"hash/crc32"
+	"math"
 	"unsafe"
 )
 
@@ -56,8 +74,12 @@ import (
 const (
 	// Magic opens every weight file ("DJWF" little-endian).
 	Magic = 0x46574a44
-	// FormatVersion is the only on-disk version this package reads.
+	// FormatVersion is the baseline on-disk version: float32 sections
+	// only. The writer emits it whenever no quantized sections are
+	// requested, keeping new files readable by old readers.
 	FormatVersion = 1
+	// FormatVersionQuant adds the optional quantized-weights manifest.
+	FormatVersionQuant = 2
 	// SectionAlign is the alignment of every tensor data section.
 	SectionAlign = 64
 	// MaxNameLen bounds model and parameter names; matches the service
@@ -109,6 +131,16 @@ func (s ParamSection) Elems() int {
 	return n
 }
 
+// QuantSection describes one quantized weight section in a version-2
+// file: the int8 image of the float manifest entry at ParamIdx.
+type QuantSection struct {
+	ParamIdx int     // index into Meta.Params
+	Scale    float32 // symmetric dequantization scale, finite and > 0
+	Offset   int64   // file offset, SectionAlign-aligned
+	Size     int64   // bytes, = element count (one int8 per element)
+	CRC      uint32
+}
+
 // Meta is a weight file's parsed header: identity, architecture
 // definition, and the section manifest.
 type Meta struct {
@@ -116,6 +148,11 @@ type Meta struct {
 	Version int
 	Def     string
 	Params  []ParamSection
+	// Format is the file's on-disk format version (1 or 2).
+	Format int
+	// Quant lists the quantized weight sections; empty for version-1
+	// files.
+	Quant []QuantSection
 	// FileSize is the total file size the header commits to (end of
 	// the last section).
 	FileSize int64
@@ -124,12 +161,22 @@ type Meta struct {
 // ID returns the model's identity.
 func (m *Meta) ID() ID { return ID{Name: m.Name, Version: m.Version} }
 
-// WeightBytes returns the total tensor section bytes (excluding
-// header and alignment padding).
+// WeightBytes returns the total float32 tensor section bytes
+// (excluding header, alignment padding and quantized sections).
 func (m *Meta) WeightBytes() int64 {
 	var n int64
 	for _, p := range m.Params {
 		n += p.Size
+	}
+	return n
+}
+
+// QuantBytes returns the total quantized section bytes (zero for
+// version-1 files).
+func (m *Meta) QuantBytes() int64 {
+	var n int64
+	for _, q := range m.Quant {
+		n += q.Size
 	}
 	return n
 }
@@ -154,8 +201,9 @@ func parseMeta(b []byte, fileSize int64) (*Meta, int, error) {
 	if got := le32(b[0:]); got != Magic {
 		return nil, 0, fmt.Errorf("modelstore: bad magic %#x (want %#x)", got, uint32(Magic))
 	}
-	if v := le32(b[4:]); v != FormatVersion {
-		return nil, 0, fmt.Errorf("modelstore: unsupported format version %d (want %d)", v, FormatVersion)
+	format := int(le32(b[4:]))
+	if format != FormatVersion && format != FormatVersionQuant {
+		return nil, 0, fmt.Errorf("modelstore: unsupported format version %d (want %d or %d)", format, FormatVersion, FormatVersionQuant)
 	}
 	headerLen := int64(le32(b[8:]))
 	wantCRC := le32(b[12:])
@@ -210,6 +258,7 @@ func parseMeta(b []byte, fileSize int64) (*Meta, int, error) {
 		Name:    name,
 		Version: int(ver),
 		Def:     string(def),
+		Format:  format,
 		Params:  make([]ParamSection, 0, nparams),
 	}
 	seen := make(map[string]bool, nparams)
@@ -276,11 +325,87 @@ func parseMeta(b []byte, fileSize int64) (*Meta, int, error) {
 			CRC:    crc,
 		})
 	}
+	if format >= FormatVersionQuant {
+		// The quantized sections sit after the float sections under the
+		// same alignment and contiguity rules, so `next` simply keeps
+		// advancing.
+		nquant, err := cur.u32("quantized section count")
+		if err != nil {
+			return nil, 0, err
+		}
+		if nquant == 0 || nquant > nparams {
+			return nil, 0, fmt.Errorf("modelstore: implausible quantized section count %d (have %d parameters)", nquant, nparams)
+		}
+		meta.Quant = make([]QuantSection, 0, nquant)
+		prevIdx := -1
+		for i := 0; i < int(nquant); i++ {
+			idx, err := cur.u32("quantized parameter index")
+			if err != nil {
+				return nil, 0, err
+			}
+			if int(idx) >= len(meta.Params) {
+				return nil, 0, fmt.Errorf("modelstore: quantized section %d references parameter %d of %d", i, idx, len(meta.Params))
+			}
+			if int(idx) <= prevIdx {
+				return nil, 0, fmt.Errorf("modelstore: quantized section %d: parameter index %d not strictly increasing", i, idx)
+			}
+			prevIdx = int(idx)
+			scaleBits, err := cur.u32("quantization scale")
+			if err != nil {
+				return nil, 0, err
+			}
+			scale := math.Float32frombits(scaleBits)
+			if !(scale > 0) || math.IsInf(float64(scale), 0) {
+				return nil, 0, fmt.Errorf("modelstore: quantized section %d: implausible scale %v", i, scale)
+			}
+			zp, err := cur.u8("zero point")
+			if err != nil {
+				return nil, 0, err
+			}
+			if zp != 0 {
+				return nil, 0, fmt.Errorf("modelstore: quantized section %d: nonzero zero point %d (symmetric scheme)", i, zp)
+			}
+			offset, err := cur.u64("quantized section offset")
+			if err != nil {
+				return nil, 0, err
+			}
+			size, err := cur.u64("quantized section size")
+			if err != nil {
+				return nil, 0, err
+			}
+			crc, err := cur.u32("quantized section checksum")
+			if err != nil {
+				return nil, 0, err
+			}
+			ref := meta.Params[idx]
+			if int64(offset) != next {
+				return nil, 0, fmt.Errorf("modelstore: quantized section for %q: offset %d, want %d (sections must be aligned and contiguous)", ref.Name, offset, next)
+			}
+			if int64(size) != int64(ref.Elems()) {
+				return nil, 0, fmt.Errorf("modelstore: quantized section for %q: size %d does not match shape %v (%d bytes)", ref.Name, size, ref.Shape, ref.Elems())
+			}
+			if int64(offset)+int64(size) > fileSize {
+				return nil, 0, fmt.Errorf("modelstore: quantized section for %q: section [%d, %d) exceeds file size %d", ref.Name, offset, int64(offset)+int64(size), fileSize)
+			}
+			next = align64(int64(offset) + int64(size))
+			meta.Quant = append(meta.Quant, QuantSection{
+				ParamIdx: int(idx),
+				Scale:    scale,
+				Offset:   int64(offset),
+				Size:     int64(size),
+				CRC:      crc,
+			})
+		}
+	}
 	if cur.off != int(headerLen) {
 		return nil, 0, fmt.Errorf("modelstore: %d bytes of trailing junk in header", int(headerLen)-cur.off)
 	}
 	last := meta.Params[len(meta.Params)-1]
 	meta.FileSize = last.Offset + last.Size
+	if len(meta.Quant) > 0 {
+		lq := meta.Quant[len(meta.Quant)-1]
+		meta.FileSize = lq.Offset + lq.Size
+	}
 	if meta.FileSize != fileSize {
 		return nil, 0, fmt.Errorf("modelstore: file size %d, header commits to %d", fileSize, meta.FileSize)
 	}

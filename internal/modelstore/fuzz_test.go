@@ -21,6 +21,19 @@ func fuzzSeedFile() []byte {
 	return buf.Bytes()
 }
 
+// fuzzSeedQuantFile renders a small valid version-2 file (quantized
+// weight sections) in memory.
+func fuzzSeedQuantFile() []byte {
+	rng := tensor.NewRNG(4)
+	n := nn.NewNet("seedq", nn.KindDNN, 4)
+	n.Add(nn.NewFC("fc", rng, 4, 3)).Add(nn.NewSoftmax("prob"))
+	var buf bytes.Buffer
+	if _, err := WriteOpts(&buf, "seedq", 1, n, WriteOptions{Quantize: true}); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzParseMeta drives the header parser — the single definition of
 // "valid weight file" shared by the strict reader and the mmap loader
 // — with arbitrary bytes. It must never panic, and any header it
@@ -38,6 +51,17 @@ func FuzzParseMeta(f *testing.F) {
 	badHdr := append([]byte{}, seed...)
 	badHdr[preambleLen+2] ^= 0xff // corrupt header byte (header CRC)
 	f.Add(badHdr)
+	// Version-2 seeds: a valid quantized file plus targeted corruptions
+	// of the quant manifest region and sections.
+	qseed := fuzzSeedQuantFile()
+	f.Add(qseed)
+	f.Add(qseed[:len(qseed)-8]) // truncated quantized section
+	qv1 := append([]byte{}, qseed...)
+	qv1[4] = 1 // version says 1, header still carries a quant manifest
+	f.Add(qv1)
+	qbad := append([]byte{}, qseed...)
+	qbad[len(qbad)-2] ^= 0x7f // corrupt quantized byte (CRC-checked by readers)
+	f.Add(qbad)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		meta, headerLen, err := parseMeta(data, int64(len(data)))
 		if err != nil {
@@ -70,6 +94,32 @@ func FuzzParseMeta(f *testing.F) {
 			}
 			next = align64(s.Offset + s.Size)
 		}
+		if meta.Format == FormatVersion && len(meta.Quant) != 0 {
+			t.Fatalf("accepted version-1 file with %d quant sections", len(meta.Quant))
+		}
+		if meta.Format == FormatVersionQuant && len(meta.Quant) == 0 {
+			t.Fatalf("accepted version-2 file without quant sections")
+		}
+		prevIdx := -1
+		for _, q := range meta.Quant {
+			if q.ParamIdx <= prevIdx || q.ParamIdx >= len(meta.Params) {
+				t.Fatalf("accepted quant index %d (prev %d, %d params)", q.ParamIdx, prevIdx, len(meta.Params))
+			}
+			prevIdx = q.ParamIdx
+			if !(q.Scale > 0) {
+				t.Fatalf("accepted quant scale %v", q.Scale)
+			}
+			if q.Offset != next || q.Offset%SectionAlign != 0 {
+				t.Fatalf("accepted misplaced quant section at %d (want %d)", q.Offset, next)
+			}
+			if q.Size != int64(meta.Params[q.ParamIdx].Elems()) {
+				t.Fatalf("accepted quant section size %d for %d elems", q.Size, meta.Params[q.ParamIdx].Elems())
+			}
+			if q.Offset+q.Size > int64(len(data)) {
+				t.Fatalf("accepted oversized quant section")
+			}
+			next = align64(q.Offset + q.Size)
+		}
 	})
 }
 
@@ -85,6 +135,12 @@ func FuzzReadFile(f *testing.F) {
 		copy(dup[i:], "fc.weighT") // breaks header CRC and manifest name
 	}
 	f.Add(dup)
+	qseed := fuzzSeedQuantFile()
+	f.Add(qseed)
+	f.Add(qseed[:len(qseed)-1])
+	qbad := append([]byte{}, qseed...)
+	qbad[len(qbad)-3] ^= 0x11 // quant section CRC must catch this
+	f.Add(qbad)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
 		path := dir + "/fuzz.djw"

@@ -69,12 +69,25 @@ func Open(path string) (*Model, error) {
 			s := meta.Params[i]
 			p.W = tensor.FromSlice(float32View(mapping[s.Offset:s.Offset+s.Size]), s.Shape...)
 		}
+		// Quantized sections bind as zero-copy int8 views too: an Int8
+		// plan's weight packing reads them straight off the mapped
+		// pages, so quantization cost was fully paid at export.
+		bindQuantSections(netw, meta, func(q QuantSection) []int8 {
+			return int8View(mapping[q.Offset : q.Offset+q.Size])
+		})
 	} else {
 		// Portable fallback: decode a private copy, then drop the
 		// mapping (heap fallback has nothing to drop).
 		err := bindSections(netw, meta, func(s ParamSection, dst []float32) {
 			decodeSection(m.mapping[s.Offset:s.Offset+s.Size], dst)
 		})
+		if err == nil {
+			err = bindQuantSections(netw, meta, func(q QuantSection) []int8 {
+				dst := make([]int8, q.Size)
+				decodeQuantSection(m.mapping[q.Offset:q.Offset+q.Size], dst)
+				return dst
+			})
+		}
 		if m.mapped {
 			unmapFile(m.mapping)
 		}
@@ -126,4 +139,10 @@ func (m *Model) Close() error {
 // page-aligned mapping, so the pointer is always float32-aligned.
 func float32View(b []byte) []float32 {
 	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// int8View reinterprets quantized section bytes as []int8 without
+// copying (no endianness applies to single bytes).
+func int8View(b []byte) []int8 {
+	return unsafe.Slice((*int8)(unsafe.Pointer(&b[0])), len(b))
 }

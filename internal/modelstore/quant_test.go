@@ -1,0 +1,199 @@
+package modelstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"unsafe"
+
+	"djinn/internal/nn"
+	"djinn/internal/tensor"
+)
+
+// writeQuantFile exports testNet(seed) as a version-2 file with
+// quantized weight sections and returns the path.
+func writeQuantFile(t *testing.T, name string, version int, seed uint64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name+".djw")
+	if err := WriteFileOpts(path, name, version, testNet(seed), WriteOptions{Quantize: true}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestQuantWriteReadRoundTrip(t *testing.T) {
+	path := writeQuantFile(t, "tiny", 2, 9)
+	netw, meta, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Format != FormatVersionQuant {
+		t.Fatalf("format %d, want %d", meta.Format, FormatVersionQuant)
+	}
+	if len(meta.Quant) != 2 {
+		t.Fatalf("quant manifest has %d sections, want 2 (fc1/fc2 weights)", len(meta.Quant))
+	}
+	// Every quantized section must be the bit-identical image of the
+	// float weights under the plan compiler's own quantizer.
+	ref := testNet(9)
+	refParams := ref.Params()
+	for _, q := range meta.Quant {
+		p := netw.Params()[q.ParamIdx]
+		if p.Q == nil {
+			t.Fatalf("parameter %q has no bound quantized form", p.Name)
+		}
+		want := make([]int8, refParams[q.ParamIdx].W.Len())
+		scale := tensor.QuantizeSymmetric(refParams[q.ParamIdx].W.Data(), want)
+		if p.Q.Scale != scale {
+			t.Fatalf("parameter %q scale %v, want %v", p.Name, p.Q.Scale, scale)
+		}
+		for i := range want {
+			if p.Q.Data[i] != want[i] {
+				t.Fatalf("parameter %q quantized[%d]=%d, want %d", p.Name, i, p.Q.Data[i], want[i])
+			}
+		}
+	}
+	// Biases and non-GEMM parameters stay unquantized.
+	for i, p := range netw.Params() {
+		if strings.HasSuffix(p.Name, ".bias") && p.Q != nil {
+			t.Fatalf("bias parameter %d (%q) has a quantized form", i, p.Name)
+		}
+	}
+	if meta.QuantBytes() == 0 || meta.QuantBytes() >= meta.WeightBytes() {
+		t.Fatalf("quant bytes %d vs weight bytes %d: int8 sections should be ~4x smaller", meta.QuantBytes(), meta.WeightBytes())
+	}
+}
+
+// TestQuantFileVerifies: VerifyFile accepts a clean version-2 file and
+// rejects a single corrupted byte in a quantized section.
+func TestQuantFileVerifies(t *testing.T) {
+	path := writeQuantFile(t, "tiny", 1, 10)
+	meta, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the first quantized section.
+	data[meta.Quant[0].Offset+1] ^= 0x40
+	bad := filepath.Join(t.TempDir(), "bad.djw")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyFile(bad); err == nil || !strings.Contains(err.Error(), "quantized section checksum") {
+		t.Fatalf("VerifyFile accepted corrupt quantized section (err=%v)", err)
+	}
+	if _, _, err := ReadFile(bad); err == nil {
+		t.Fatal("ReadFile accepted corrupt quantized section")
+	}
+}
+
+// TestQuantOpenBindsMappedViews: the mmap loader binds quantized
+// sections zero-copy, and an Int8 plan over the opened model is
+// bit-identical to one over a freshly built net (stored quantization ==
+// on-the-fly quantization).
+func TestQuantOpenBindsMappedViews(t *testing.T) {
+	const seed = 11
+	path := writeQuantFile(t, "tiny", 1, seed)
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	quantized := 0
+	for _, p := range m.Net().Params() {
+		if p.Q == nil {
+			continue
+		}
+		quantized++
+		if m.Mapped() {
+			// The view must alias the mapping, not a copy.
+			d := unsafe.Pointer(&p.Q.Data[0])
+			lo := unsafe.Pointer(&m.mapping[0])
+			hi := unsafe.Pointer(&m.mapping[len(m.mapping)-1])
+			if uintptr(d) < uintptr(lo) || uintptr(d) > uintptr(hi) {
+				t.Fatalf("parameter %q quantized data is not a view over the mapping", p.Name)
+			}
+		}
+	}
+	if quantized != 2 {
+		t.Fatalf("%d quantized parameters bound, want 2", quantized)
+	}
+
+	in := make([]float32, 8)
+	tensor.NewRNG(77).FillUniform(in, -1, 1)
+	plan := m.Net().CompileOpts(1, nn.CompileOpts{Precision: nn.Int8})
+	copy(plan.In(1).Data(), in)
+	got := append([]float32(nil), plan.Run(1).Data()...)
+
+	ref := testNet(seed).CompileOpts(1, nn.CompileOpts{Precision: nn.Int8})
+	copy(ref.In(1).Data(), in)
+	want := ref.Run(1).Data()
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d]=%v, fresh-net int8 plan %v (must be bit-identical)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQuantPlainFilesStayVersion1: without the Quantize option (or with
+// nothing to quantize) the writer emits the baseline format.
+func TestQuantPlainFilesStayVersion1(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, "tiny", 1, testNet(12)); err != nil {
+		t.Fatal(err)
+	}
+	meta, _, err := parseMeta(buf.Bytes(), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Format != FormatVersion || len(meta.Quant) != 0 {
+		t.Fatalf("plain write produced format %d with %d quant sections", meta.Format, len(meta.Quant))
+	}
+
+	// A net with no conv/fc layers has nothing to quantize: still v1.
+	// (Locally-connected layers have weights, but the int8 backend does
+	// not cover them.)
+	n := nn.NewNet("acts", nn.KindCNN, 2, 6, 6)
+	n.Add(nn.NewLocal("local", tensor.NewRNG(13), 2, 6, 6, 3, 3, 1)).Add(nn.NewSoftmax("prob"))
+	buf.Reset()
+	if _, err := WriteOpts(&buf, "acts", 1, n, WriteOptions{Quantize: true}); err != nil {
+		t.Fatal(err)
+	}
+	meta, _, err = parseMeta(buf.Bytes(), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Format != FormatVersion {
+		t.Fatalf("quantize of conv/fc-free net produced format %d", meta.Format)
+	}
+}
+
+// TestQuantRejectsNonGemmTarget: a quant manifest entry pointing at a
+// bias is structurally valid but semantically wrong; the net-aware
+// readers must reject it.
+func TestQuantRejectsNonGemmTarget(t *testing.T) {
+	path := writeQuantFile(t, "tiny", 1, 14)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, _, err := parseMeta(data, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netw, err := buildNet(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *meta
+	bad.Quant = append([]QuantSection(nil), meta.Quant...)
+	bad.Quant[0].ParamIdx = 1 // fc1.bias
+	if err := checkManifest(netw, &bad); err == nil || !strings.Contains(err.Error(), "not a conv/fc weight") {
+		t.Fatalf("checkManifest accepted quantized bias (err=%v)", err)
+	}
+}

@@ -74,12 +74,24 @@ func ReadFile(path string) (*nn.Net, *Meta, error) {
 			return nil, nil, fmt.Errorf("modelstore: parameter %q: section checksum mismatch (%#x != %#x)", s.Name, got, s.CRC)
 		}
 	}
+	for _, q := range meta.Quant {
+		if got := crc32.Checksum(data[q.Offset:q.Offset+q.Size], castagnoli); got != q.CRC {
+			return nil, nil, fmt.Errorf("modelstore: parameter %q: quantized section checksum mismatch (%#x != %#x)", meta.Params[q.ParamIdx].Name, got, q.CRC)
+		}
+	}
 	netw, err := buildNet(meta)
 	if err != nil {
 		return nil, nil, err
 	}
 	if err := bindSections(netw, meta, func(s ParamSection, dst []float32) {
 		decodeSection(data[s.Offset:s.Offset+s.Size], dst)
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := bindQuantSections(netw, meta, func(q QuantSection) []int8 {
+		dst := make([]int8, q.Size)
+		decodeQuantSection(data[q.Offset:q.Offset+q.Size], dst)
+		return dst
 	}); err != nil {
 		return nil, nil, err
 	}
@@ -113,21 +125,32 @@ func VerifyFile(path string) (*Meta, error) {
 		return nil, err
 	}
 	buf := make([]byte, 1<<16)
-	for _, s := range meta.Params {
+	streamCRC := func(name string, offset, size int64, want uint32, what string) error {
 		crc := uint32(0)
-		for off := int64(0); off < s.Size; {
+		for off := int64(0); off < size; {
 			n := int64(len(buf))
-			if s.Size-off < n {
-				n = s.Size - off
+			if size-off < n {
+				n = size - off
 			}
-			if _, err := io.ReadFull(io.NewSectionReader(f, s.Offset+off, n), buf[:n]); err != nil {
-				return nil, fmt.Errorf("modelstore: parameter %q: %w", s.Name, err)
+			if _, err := io.ReadFull(io.NewSectionReader(f, offset+off, n), buf[:n]); err != nil {
+				return fmt.Errorf("modelstore: parameter %q: %w", name, err)
 			}
 			crc = crc32.Update(crc, castagnoli, buf[:n])
 			off += n
 		}
-		if crc != s.CRC {
-			return nil, fmt.Errorf("modelstore: parameter %q: section checksum mismatch (%#x != %#x)", s.Name, crc, s.CRC)
+		if crc != want {
+			return fmt.Errorf("modelstore: parameter %q: %s checksum mismatch (%#x != %#x)", name, what, crc, want)
+		}
+		return nil
+	}
+	for _, s := range meta.Params {
+		if err := streamCRC(s.Name, s.Offset, s.Size, s.CRC, "section"); err != nil {
+			return nil, err
+		}
+	}
+	for _, q := range meta.Quant {
+		if err := streamCRC(meta.Params[q.ParamIdx].Name, q.Offset, q.Size, q.CRC, "quantized section"); err != nil {
+			return nil, err
 		}
 	}
 	return meta, nil
@@ -167,6 +190,17 @@ func checkManifest(netw *nn.Net, meta *Meta) error {
 			}
 		}
 	}
+	// Quantized sections may only shadow GEMM weight matrices — the
+	// parameters an Int8 plan actually consumes. parseMeta has already
+	// pinned index monotonicity, sizes and placement.
+	if len(meta.Quant) > 0 {
+		gemm := netw.GemmWeightNames()
+		for _, q := range meta.Quant {
+			if name := meta.Params[q.ParamIdx].Name; !gemm[name] {
+				return fmt.Errorf("modelstore: %s: quantized section for %q, which is not a conv/fc weight", meta.ID(), name)
+			}
+		}
+	}
 	return nil
 }
 
@@ -183,9 +217,30 @@ func bindSections(netw *nn.Net, meta *Meta, fill func(s ParamSection, dst []floa
 	return nil
 }
 
+// bindQuantSections attaches every quantized section to its parameter's
+// Q slot via load, which returns the int8 values (a decoded copy, or a
+// zero-copy view over a mapping). Assumes checkManifest has passed.
+func bindQuantSections(netw *nn.Net, meta *Meta, load func(q QuantSection) []int8) error {
+	if len(meta.Quant) == 0 {
+		return nil
+	}
+	params := netw.Params()
+	for _, q := range meta.Quant {
+		params[q.ParamIdx].Q = &nn.QuantizedParam{Scale: q.Scale, Data: load(q)}
+	}
+	return nil
+}
+
 // decodeSection decodes little-endian float32 section bytes into dst.
 func decodeSection(b []byte, dst []float32) {
 	for i := range dst {
 		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+}
+
+// decodeQuantSection decodes raw int8 section bytes into dst.
+func decodeQuantSection(b []byte, dst []int8) {
+	for i := range dst {
+		dst[i] = int8(b[i])
 	}
 }

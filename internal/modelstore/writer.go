@@ -10,15 +10,39 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"unsafe"
 
 	"djinn/internal/nn"
+	"djinn/internal/tensor"
 )
+
+// WriteOptions tunes weight-file serialisation.
+type WriteOptions struct {
+	// Quantize adds the int8 image of every conv/FC weight matrix as a
+	// version-2 quantized section (symmetric per-tensor scale via
+	// tensor.QuantizeSymmetric — the same routine Int8 plans run, so
+	// stored and on-the-fly quantization are bit-identical). Nets with
+	// no GEMM-backed layers still serialise as version 1.
+	Quantize bool
+}
 
 // Write serialises net as a weight file for the given serving name and
 // model version and returns the byte count written. The parameter
 // order on disk is the network's layer order; section data is the
 // net's current weights.
 func Write(w io.Writer, name string, version int, net *nn.Net) (int64, error) {
+	return WriteOpts(w, name, version, net, WriteOptions{})
+}
+
+// quantSectionData is one pending quantized section during layout.
+type quantSectionData struct {
+	paramIdx int
+	scale    float32
+	data     []int8
+}
+
+// WriteOpts serialises net with explicit options.
+func WriteOpts(w io.Writer, name string, version int, net *nn.Net, o WriteOptions) (int64, error) {
 	if err := CheckName(name); err != nil {
 		return 0, err
 	}
@@ -37,6 +61,25 @@ func Write(w io.Writer, name string, version int, net *nn.Net) (int64, error) {
 		return 0, fmt.Errorf("modelstore: %s has %d parameters (want 1..%d)", name, len(params), MaxParams)
 	}
 
+	// Quantize the GEMM weights up front so layout knows the section
+	// count. A net with nothing to quantize stays a version-1 file.
+	var qsecs []quantSectionData
+	format := uint32(FormatVersion)
+	if o.Quantize {
+		gemm := net.GemmWeightNames()
+		for i, p := range params {
+			if !gemm[p.Name] {
+				continue
+			}
+			q := make([]int8, p.W.Len())
+			scale := tensor.QuantizeSymmetric(p.W.Data(), q)
+			qsecs = append(qsecs, quantSectionData{paramIdx: i, scale: scale, data: q})
+		}
+		if len(qsecs) > 0 {
+			format = FormatVersionQuant
+		}
+	}
+
 	// Lay out the header to learn its length, then the sections.
 	headerLen := int64(preambleLen + 2 + len(name) + 4 + 4 + defBuf.Len() + 4)
 	for _, p := range params {
@@ -47,6 +90,9 @@ func Write(w io.Writer, name string, version int, net *nn.Net) (int64, error) {
 			return 0, fmt.Errorf("modelstore: parameter %q has %d dimensions (max %d)", p.Name, nd, MaxDims)
 		}
 		headerLen += int64(2 + len(p.Name) + 1 + 4*p.W.Dims() + 8 + 8 + 4)
+	}
+	if format == FormatVersionQuant {
+		headerLen += int64(4 + len(qsecs)*(4+4+1+8+8+4))
 	}
 	if headerLen > maxHeaderLen {
 		return 0, fmt.Errorf("modelstore: %s header is %d bytes (max %d)", name, headerLen, maxHeaderLen)
@@ -66,7 +112,7 @@ func Write(w io.Writer, name string, version int, net *nn.Net) (int64, error) {
 		head.Write(b[:])
 	}
 	putU32(Magic)
-	putU32(FormatVersion)
+	putU32(format)
 	putU32(uint32(headerLen))
 	putU32(0) // headerCRC, patched below
 	putU16(len(name))
@@ -90,6 +136,19 @@ func Write(w io.Writer, name string, version int, net *nn.Net) (int64, error) {
 		putU64(uint64(size))
 		putU32(sectionCRC(data))
 		off = align64(off + size)
+	}
+	if format == FormatVersionQuant {
+		putU32(uint32(len(qsecs)))
+		for _, q := range qsecs {
+			putU32(uint32(q.paramIdx))
+			putU32(math.Float32bits(q.scale))
+			head.WriteByte(0) // zero point: always 0 under the symmetric scheme
+			size := int64(len(q.data))
+			putU64(uint64(off))
+			putU64(uint64(size))
+			putU32(crc32.Checksum(int8Bytes(q.data), castagnoli))
+			off = align64(off + size)
+		}
 	}
 	hb := head.Bytes()
 	if int64(len(hb)) != headerLen {
@@ -122,6 +181,22 @@ func Write(w io.Writer, name string, version int, net *nn.Net) (int64, error) {
 		}
 		written += k
 	}
+	for _, q := range qsecs {
+		if gap := align64(written) - written; gap > 0 {
+			k, err := bw.Write(pad[:gap])
+			n += int64(k)
+			if err != nil {
+				return n, err
+			}
+			written += gap
+		}
+		k, err := bw.Write(int8Bytes(q.data))
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+		written += int64(k)
+	}
 	return n, bw.Flush()
 }
 
@@ -129,13 +204,18 @@ func Write(w io.Writer, name string, version int, net *nn.Net) (int64, error) {
 // crash mid-export never leaves a half-written model where the
 // Registry might find it.
 func WriteFile(path, name string, version int, net *nn.Net) error {
+	return WriteFileOpts(path, name, version, net, WriteOptions{})
+}
+
+// WriteFileOpts writes net to path atomically with explicit options.
+func WriteFileOpts(path, name string, version int, net *nn.Net, o WriteOptions) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".djw-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := Write(tmp, name, version, net); err != nil {
+	if _, err := WriteOpts(tmp, name, version, net, o); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -171,6 +251,12 @@ func writeSection(w io.Writer, data []float32) (int64, error) {
 		}
 	}
 	return n, nil
+}
+
+// int8Bytes reinterprets quantized values as their on-disk bytes (int8
+// two's complement is the byte value; no endianness applies).
+func int8Bytes(q []int8) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(&q[0])), len(q))
 }
 
 // sectionCRC computes the CRC-32C of data's on-disk encoding.

@@ -21,6 +21,20 @@ type Param struct {
 	Name string
 	W    *tensor.Tensor
 	Grad *tensor.Tensor
+	// Q, when non-nil, is the pre-quantized form of W loaded from a model
+	// file's quantized-weights section. Int8 plans use it directly
+	// instead of re-quantizing W at Compile time; because exporters
+	// produce it with the same tensor.QuantizeSymmetric the compiler
+	// would run, the two paths are bit-identical.
+	Q *QuantizedParam
+}
+
+// QuantizedParam is the int8 image of a parameter tensor under symmetric
+// per-tensor quantization: W ≈ Scale · Data, zero point 0. Data is laid
+// out exactly like W.Data() (and may alias a memory-mapped model file).
+type QuantizedParam struct {
+	Scale float32
+	Data  []int8
 }
 
 // EnsureGrad allocates the gradient tensor if it does not exist yet.

@@ -20,6 +20,8 @@ type Conv struct {
 	Groups           int
 	Weight           *Param // [OutC, InC/Groups, KH, KW]
 	Bias             *Param // [OutC]
+
+	kern convKernelCache // lazily built quantized weight form
 }
 
 // ConvOpt configures optional convolution geometry.

@@ -15,6 +15,8 @@ type FC struct {
 	In, Out int
 	Weight  *Param // [Out, In]
 	Bias    *Param // [Out]
+
+	kern fcKernelCache // lazily built packed/quantized weight forms
 }
 
 // NewFC creates a fully-connected layer with Xavier-initialised weights.

@@ -30,20 +30,34 @@ import (
 // may execute concurrently over one Net (DjiNN's load-once model). Use
 // one plan per worker, or a checkout pool.
 type Plan struct {
-	net      *Net
-	ctx      *Ctx
-	maxBatch int
-	retain   bool
-	steps    []planStep
-	arenas   [][]float32        // slot 0 is the input arena
-	slots    []int              // arena slot per activation (len(steps)+1)
-	views    [][]*tensor.Tensor // views[b-1][i]: activation i as a [b,...] tensor
+	net       *Net
+	ctx       *Ctx
+	maxBatch  int
+	retain    bool
+	precision Precision
+	steps     []planStep
+	arenas    [][]float32        // slot 0 is the input arena
+	slots     []int              // arena slot per activation (len(steps)+1)
+	views     [][]*tensor.Tensor // views[b-1][i]: activation i as a [b,...] tensor
+
+	// Packing scratch owned by the plan, sized at Compile by
+	// buildBackend; nil at the reference precision. Weight-derived packed
+	// operands live on the layers instead (see backend.go).
+	packB []float32 // Float32Packed: im2col columns in K×NR panels
+	qB    []uint8   // Int8: quantized im2col columns, offset panels
+	qBSum []int32   // Int8: per-column signed sums for the B scratch
+	qA    []uint64  // Int8: quantized FC activations, lane pairs
+	qASum []int32   // Int8: per-row signed sums for the A scratch
 }
 
 type planStep struct {
 	layer Layer
 	fuse  fusedBiasReLU // non-nil: forward runs with the next ReLU fused in
 	skip  bool          // output already produced by a fused predecessor
+	// exec, when non-nil, runs the step through a precision backend
+	// (packed float32 or int8 kernels) instead of layer.Forward; it
+	// already honours fuse. Installed by buildBackend.
+	exec func(in, out *tensor.Tensor)
 }
 
 // CompileOpts tunes plan compilation.
@@ -55,6 +69,12 @@ type CompileOpts struct {
 	// disables in-place execution and ReLU fusion, exactly the seed
 	// memory layout. Required for Backward; Runner compiles with it.
 	Retain bool
+	// Precision selects the kernel backend for conv and FC layers. The
+	// zero value (Float32) is the reference path, bit-identical to the
+	// seed. Retain-mode plans always compile at Float32 — Backward reads
+	// float32 weights and the training path never routes through the
+	// packed kernels.
+	Precision Precision
 }
 
 // Compile builds an inference execution plan able to process up to
@@ -173,6 +193,14 @@ func (n *Net) CompileOpts(maxBatch int, o CompileOpts) *Plan {
 	if scratch > 0 {
 		p.ctx.scratch(scratch)
 	}
+
+	// Route conv/FC steps through the selected kernel backend. Retain
+	// compiles at the reference precision: training reads float32
+	// weights and the seed memory layout.
+	if o.Precision != Float32 && !o.Retain {
+		p.precision = o.Precision
+		p.buildBackend(o.Precision)
+	}
 	return p
 }
 
@@ -197,6 +225,9 @@ func (p *Plan) MaxBatch() int { return p.maxBatch }
 
 // Workers returns the intra-op worker count the plan was compiled with.
 func (p *Plan) Workers() int { return p.ctx.workers() }
+
+// Precision returns the kernel backend the plan was compiled with.
+func (p *Plan) Precision() Precision { return p.precision }
 
 // ActivationBytes returns the plan's resident activation memory: the
 // sum of its arenas. With ping-pong aliasing this is roughly two large
@@ -244,9 +275,12 @@ func (p *Plan) Run(batch int) *tensor.Tensor {
 			cur = out // aliases the fused predecessor's output
 			continue
 		}
-		if st.fuse != nil {
+		switch {
+		case st.exec != nil:
+			st.exec(cur, out)
+		case st.fuse != nil:
 			st.fuse.forwardReLU(p.ctx, cur, out)
-		} else {
+		default:
 			st.layer.Forward(p.ctx, cur, out)
 		}
 		cur = out

@@ -1,0 +1,201 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"djinn/internal/tensor"
+)
+
+// convNet has no FC layers, so every GEMM-backed step routes through the
+// packed kernel, whose convolution outputs are bit-identical to the
+// blocked reference.
+func convNet(seed uint64) *Net {
+	rng := tensor.NewRNG(seed)
+	n := NewNet("convnet", KindCNN, 3, 12, 12)
+	n.Add(NewConv("conv1", rng, 3, 8, 3, ConvOpt{Pad: 1})).
+		Add(NewReLU("relu1")).
+		Add(NewPool("pool1", MaxPool, 2, 2, 0)).
+		Add(NewConv("conv2", rng, 8, 6, 3, ConvOpt{Pad: 1, Groups: 2})).
+		Add(NewLRN("lrn1", 3, 0, 0, 0)).
+		Add(NewSoftmax("prob"))
+	return n
+}
+
+func TestParsePrecisionRoundTrip(t *testing.T) {
+	for _, p := range Precisions() {
+		got, err := ParsePrecision(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePrecision(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if p, err := ParsePrecision(""); err != nil || p != Float32 {
+		t.Fatalf("empty precision = %v, %v, want Float32", p, err)
+	}
+	if _, err := ParsePrecision("float16"); err == nil {
+		t.Fatal("ParsePrecision(float16) should fail")
+	}
+}
+
+// TestPackedPlanConvBitIdentical pins the packed backend's compatibility
+// gate on convolutions: identical bytes to the reference plan, for every
+// batch and worker count, because the panel kernel accumulates each
+// output element in the same ascending-k order as the blocked GEMM.
+func TestPackedPlanConvBitIdentical(t *testing.T) {
+	n := convNet(11)
+	const maxBatch = 3
+	ref := n.Compile(maxBatch)
+	for _, workers := range []int{1, 2, 4} {
+		plan := n.CompileOpts(maxBatch, CompileOpts{Workers: workers, Precision: Float32Packed})
+		if plan.Precision() != Float32Packed {
+			t.Fatalf("plan precision = %v", plan.Precision())
+		}
+		for batch := 1; batch <= maxBatch; batch++ {
+			in := randInput(n, batch, uint64(20+batch))
+			want := ref.Forward(in)
+			got := plan.Forward(in)
+			for i := range got.Data() {
+				if got.Data()[i] != want.Data()[i] {
+					t.Fatalf("workers=%d batch=%d: out[%d]=%v, reference %v (must be bit-identical)",
+						workers, batch, i, got.Data()[i], want.Data()[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPackedPlanCloseToFloat32 covers the FC case, where the packed
+// kernel's accumulation order differs from the reference GEMV's 4-wide
+// unrolled sum: results agree to float rounding, not bit-identically.
+func TestPackedPlanCloseToFloat32(t *testing.T) {
+	n := zooNet(12)
+	const maxBatch = 4
+	ref := n.Compile(maxBatch)
+	plan := n.CompileOpts(maxBatch, CompileOpts{Precision: Float32Packed})
+	for batch := 1; batch <= maxBatch; batch++ {
+		in := randInput(n, batch, uint64(30+batch))
+		want := ref.Forward(in).Data()
+		got := plan.Forward(in).Data()
+		for i := range got {
+			if math.Abs(float64(got[i]-want[i])) > 1e-5 {
+				t.Fatalf("batch=%d: out[%d]=%v, reference %v", batch, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestInt8PlanCloseAndMostlyAgrees checks the quantized plan end to end
+// on the zoo net: softmax outputs stay close to the float32 plan's and
+// the argmax agrees on the overwhelming majority of random inputs. (The
+// seven-net ≥99% top-1 gate lives in internal/models' golden harness.)
+func TestInt8PlanCloseAndMostlyAgrees(t *testing.T) {
+	n := zooNet(13)
+	const maxBatch = 4
+	ref := n.Compile(maxBatch)
+	plan := n.CompileOpts(maxBatch, CompileOpts{Precision: Int8})
+	if plan.Precision() != Int8 {
+		t.Fatalf("plan precision = %v", plan.Precision())
+	}
+	samples, agree := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		batch := trial%maxBatch + 1
+		in := randInput(n, batch, uint64(40+trial))
+		want := ref.Forward(in)
+		got := plan.Forward(in)
+		classes := want.Dim(1)
+		for i := range got.Data() {
+			if math.Abs(float64(got.Data()[i]-want.Data()[i])) > 0.05 {
+				t.Fatalf("trial=%d: prob[%d]=%v, float32 %v: quantization error too large", trial, i, got.Data()[i], want.Data()[i])
+			}
+		}
+		for b := 0; b < batch; b++ {
+			samples++
+			if tensor.Argmax(got.Data()[b*classes:(b+1)*classes]) == tensor.Argmax(want.Data()[b*classes:(b+1)*classes]) {
+				agree++
+			}
+		}
+	}
+	if frac := float64(agree) / float64(samples); frac < 0.9 {
+		t.Fatalf("int8 top-1 agreement %.2f (%d/%d), want ≥ 0.90", frac, agree, samples)
+	}
+}
+
+// TestInt8PlanWorkersBitIdentical: integer accumulation is associative,
+// so the quantized plan is bit-identical across worker counts by
+// construction — a stronger guarantee than the float path needs careful
+// row-splitting for.
+func TestInt8PlanWorkersBitIdentical(t *testing.T) {
+	n := zooNet(14)
+	const maxBatch = 3
+	serial := n.CompileOpts(maxBatch, CompileOpts{Precision: Int8})
+	for _, workers := range []int{2, 3, 5} {
+		plan := n.CompileOpts(maxBatch, CompileOpts{Workers: workers, Precision: Int8})
+		for batch := 1; batch <= maxBatch; batch++ {
+			in := randInput(n, batch, uint64(50+batch))
+			want := serial.Forward(in)
+			got := plan.Forward(in)
+			for i := range got.Data() {
+				if got.Data()[i] != want.Data()[i] {
+					t.Fatalf("workers=%d batch=%d: out[%d]=%v, serial %v (must be bit-identical)",
+						workers, batch, i, got.Data()[i], want.Data()[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPrecisionPlansZeroAllocSteadyState(t *testing.T) {
+	n := zooNet(15)
+	for _, prec := range []Precision{Float32Packed, Int8} {
+		plan := n.CompileOpts(4, CompileOpts{Precision: prec})
+		in := randInput(n, 4, 16)
+		plan.Forward(in)
+		if allocs := testing.AllocsPerRun(20, func() { plan.Forward(in) }); allocs != 0 {
+			t.Fatalf("%v: %.1f allocs per forward, want 0", prec, allocs)
+		}
+	}
+}
+
+// TestRetainForcesFloat32: training plans never route through precision
+// backends — Backward reads float32 weights.
+func TestRetainForcesFloat32(t *testing.T) {
+	n := zooNet(17)
+	plan := n.CompileOpts(2, CompileOpts{Retain: true, Precision: Int8})
+	if plan.Precision() != Float32 {
+		t.Fatalf("retain plan precision = %v, want Float32", plan.Precision())
+	}
+	for i, st := range plan.steps {
+		if st.exec != nil {
+			t.Fatalf("retain plan step %d has a backend exec installed", i)
+		}
+	}
+}
+
+// TestPreQuantizedParamBitIdentical: a Param.Q loaded from a model file
+// (produced by the same QuantizeSymmetric the compiler runs) yields a
+// bit-identical int8 plan to on-the-fly quantization.
+func TestPreQuantizedParamBitIdentical(t *testing.T) {
+	const seed = 18
+	onTheFly := zooNet(seed).CompileOpts(2, CompileOpts{Precision: Int8})
+
+	n := zooNet(seed)
+	for _, l := range n.Layers() {
+		switch l.Kind() {
+		case "conv", "fc":
+			w := l.Params()[0]
+			q := make([]int8, w.W.Len())
+			scale := tensor.QuantizeSymmetric(w.W.Data(), q)
+			w.Q = &QuantizedParam{Scale: scale, Data: q}
+		}
+	}
+	stored := n.CompileOpts(2, CompileOpts{Precision: Int8})
+
+	in := randInput(n, 2, 19)
+	want := onTheFly.Forward(in)
+	got := stored.Forward(in)
+	for i := range got.Data() {
+		if got.Data()[i] != want.Data()[i] {
+			t.Fatalf("out[%d]=%v, on-the-fly %v (must be bit-identical)", i, got.Data()[i], want.Data()[i])
+		}
+	}
+}

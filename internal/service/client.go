@@ -235,6 +235,13 @@ func (c *Client) ServerSched(app string) (string, error) {
 	return c.Control("sched " + app)
 }
 
+// ServerPrecision returns the kernel precision one application's plan
+// pool was compiled at ("float32", "float32-packed" or "int8"), as
+// rendered by the "precision" control verb.
+func (c *Client) ServerPrecision(app string) (string, error) {
+	return c.Control("precision " + app)
+}
+
 // ServerTrace returns the server's rendered span timeline for one
 // trace ID — what the server recorded for a query sent with
 // trace.WithID.

@@ -61,6 +61,16 @@ type AppConfig struct {
 	// Priority is the app's tenant class at the cross-app execution
 	// gate (see Server.SetSchedSlots). Zero is sched.Throughput.
 	Priority sched.Priority
+	// Precision selects the kernel backend the app's execution plans
+	// compile against: nn.Float32 (the zero value) is the reference
+	// path, nn.Float32Packed the panel-packing float32 kernels
+	// (bit-identical outputs), nn.Int8 the quantized path (int8
+	// weights and activations, int32 accumulation, ~99%+ top-1
+	// agreement). The app's whole plan pool is compiled at this
+	// precision, so pools are keyed by (app, version, precision) —
+	// serving one model at two precisions means registering it twice
+	// (e.g. "imc" and "imc@v2" with different configs).
+	Precision nn.Precision
 }
 
 func (c AppConfig) withDefaults() AppConfig {
@@ -332,6 +342,9 @@ func (s *Server) Register(name string, netw *nn.Net, cfg AppConfig) error {
 		return fmt.Errorf("service: app %q already registered", name)
 	}
 	cfg = cfg.withDefaults()
+	if err := netw.CheckPrecision(cfg.Precision); err != nil {
+		return fmt.Errorf("service: cannot register %q at %s: %w", name, cfg.Precision, err)
+	}
 	a := &app{
 		name: name, net: netw, cfg: cfg,
 		sampleIn:  elems(netw.InShape()),
@@ -355,11 +368,11 @@ func (s *Server) Register(name string, netw *nn.Net, cfg AppConfig) error {
 	}
 	s.apps[name] = a
 	if a.ctrl != nil {
-		s.logf("service: registered %s (%d params, %.1f MB, adaptive batch ≤%d instances, slo %v, priority %v, %d workers)",
-			name, netw.ParamCount(), float64(netw.WeightBytes())/(1<<20), cfg.BatchInstances, cfg.SLO, cfg.Priority, cfg.Workers)
+		s.logf("service: registered %s (%d params, %.1f MB, %s, adaptive batch ≤%d instances, slo %v, priority %v, %d workers)",
+			name, netw.ParamCount(), float64(netw.WeightBytes())/(1<<20), cfg.Precision, cfg.BatchInstances, cfg.SLO, cfg.Priority, cfg.Workers)
 	} else {
-		s.logf("service: registered %s (%d params, %.1f MB, batch %d instances, %d workers)",
-			name, netw.ParamCount(), float64(netw.WeightBytes())/(1<<20), cfg.BatchInstances, cfg.Workers)
+		s.logf("service: registered %s (%d params, %.1f MB, %s, batch %d instances, %d workers)",
+			name, netw.ParamCount(), float64(netw.WeightBytes())/(1<<20), cfg.Precision, cfg.BatchInstances, cfg.Workers)
 	}
 	s.journalf(events.KindModel, "loaded %s (%.1f MB, %d workers)", name, float64(netw.WeightBytes())/(1<<20), cfg.Workers)
 	batchCh := make(chan []*request, cfg.Workers)
@@ -376,7 +389,7 @@ func (s *Server) Register(name string, netw *nn.Net, cfg AppConfig) error {
 	// pool per batch and return it when done.
 	a.plans = make(chan *nn.Plan, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
-		a.plans <- netw.CompileOpts(cfg.BatchInstances, nn.CompileOpts{Workers: cfg.IntraOpWorkers})
+		a.plans <- netw.CompileOpts(cfg.BatchInstances, nn.CompileOpts{Workers: cfg.IntraOpWorkers, Precision: cfg.Precision})
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		a.wg.Add(1)
@@ -462,6 +475,16 @@ func (s *Server) StatsFor(name string) (Stats, bool) {
 		ShedExpired:   a.shedExpired.Load(),
 		Expired:       a.expired.Load(),
 	}, true
+}
+
+// PrecisionFor returns the kernel precision one application's plan pool
+// was compiled at.
+func (s *Server) PrecisionFor(name string) (nn.Precision, bool) {
+	a, ok := s.app(name)
+	if !ok {
+		return nn.Float32, false
+	}
+	return a.cfg.Precision, true
 }
 
 // SchedFor returns the live scheduler snapshot of one application, or
@@ -874,6 +897,8 @@ func (s *Server) handle(conn net.Conn) {
 // "latency <app>" reports its per-stage lifecycle breakdown;
 // "sched <app>" reports the live scheduler state (batch size, flush
 // window, admission counters) or "disabled" for a static app;
+// "precision [app]" reports the kernel precision an app's plan pool was
+// compiled at (all apps when the name is omitted);
 // "trace <id>" renders the spans recorded for one traced query and
 // "trace slowest [n]" lists the worst retained traces;
 // "model list|stats|register|load|evict" drives the model store's
@@ -924,6 +949,31 @@ func (s *Server) control(cmd string) (string, error) {
 			return "disabled", nil
 		}
 		return info.String(), nil
+	case "precision":
+		if len(fields) > 2 {
+			return "", errors.New("service: usage: precision [app]")
+		}
+		if len(fields) == 2 {
+			prec, ok := s.PrecisionFor(fields[1])
+			if !ok {
+				return "", fmt.Errorf("service: unknown application %q", fields[1])
+			}
+			return prec.String(), nil
+		}
+		names := s.Apps()
+		sort.Strings(names)
+		var sb strings.Builder
+		for i, name := range names {
+			if i > 0 {
+				sb.WriteByte('\n')
+			}
+			prec, _ := s.PrecisionFor(name)
+			fmt.Fprintf(&sb, "%s %s", name, prec)
+		}
+		if sb.Len() == 0 {
+			return "no applications registered", nil
+		}
+		return sb.String(), nil
 	case "latency":
 		if len(fields) != 2 {
 			return "", errors.New("service: usage: latency <app>")

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"djinn/internal/models"
+	"djinn/internal/nn"
 	"djinn/internal/service"
 	"djinn/internal/workload"
 )
@@ -41,19 +42,33 @@ func ServiceName(a models.App) string {
 // Register adds one application's network to a DjiNN server with the
 // Table 3 batch size (in DNN input instances).
 func Register(s *service.Server, a models.App) error {
+	return RegisterPrecision(s, a, nn.Float32)
+}
+
+// RegisterPrecision is Register with an explicit kernel precision: the
+// app's whole plan pool compiles against the selected backend
+// (reference float32, packed float32, or quantized int8).
+func RegisterPrecision(s *service.Server, a models.App, prec nn.Precision) error {
 	spec := workload.Get(a)
 	return s.Register(ServiceName(a), models.BuildCached(a), service.AppConfig{
 		BatchInstances: spec.BatchSize * spec.Instances,
 		BatchWindow:    2 * time.Millisecond,
 		Workers:        4,
+		Precision:      prec,
 	})
 }
 
 // RegisterAll registers every Tonic application. The full model set is
 // ~850 MB of weights (Table 1), matching DjiNN's resident-model design.
 func RegisterAll(s *service.Server) error {
+	return RegisterAllPrecision(s, nn.Float32)
+}
+
+// RegisterAllPrecision registers every Tonic application at one kernel
+// precision.
+func RegisterAllPrecision(s *service.Server, prec nn.Precision) error {
 	for _, a := range models.Apps {
-		if err := Register(s, a); err != nil {
+		if err := RegisterPrecision(s, a, prec); err != nil {
 			return err
 		}
 	}
